@@ -1,0 +1,428 @@
+(* ogc — the software-controlled operand-gating toolchain driver.
+
+   Subcommands:
+     compile    compile a MiniC file (or named workload) and dump the IR
+     run        execute a program in the reference interpreter
+     vrp        run value range propagation and report widths
+     vrs        run value range specialization and report what happened
+     sim        simulate on the Table 2 machine with a gating policy
+     report     regenerate the paper's tables and figures
+     workloads  list the benchmark suite *)
+
+open Cmdliner
+module Minic = Ogc_minic.Minic
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+module Vrp = Ogc_core.Vrp
+module Vrs = Ogc_core.Vrs
+module Workload = Ogc_workloads.Workload
+module Pipeline = Ogc_cpu.Pipeline
+module Policy = Ogc_gating.Policy
+module Account = Ogc_energy.Account
+
+(* --- program loading ---------------------------------------------------- *)
+
+let load_program spec input =
+  if Sys.file_exists spec then begin
+    let ic = open_in_bin spec in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    (* .s files hold the assembly save format; anything else is MiniC. *)
+    if Filename.check_suffix spec ".s" then begin
+      let p = try Ogc_ir.Asm.parse src with Ogc_ir.Asm.Error m -> failwith m in
+      Ogc_ir.Validate.program p;
+      p
+    end
+    else Minic.compile src
+  end
+  else
+    match Workload.find spec with
+    | w -> Workload.compile w input
+    | exception Not_found ->
+      Fmt.failwith
+        "%s is neither a file nor a workload (try `ogc workloads`)" spec
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE.s"
+           ~doc:"Write the (possibly transformed) program in the assembly \
+                 save format; it can be fed back to any subcommand.")
+
+let maybe_save out p =
+  match out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (Ogc_ir.Asm.to_string p);
+    close_out oc;
+    Fmt.epr "wrote %s@." path
+
+let program_arg =
+  let doc =
+    "MiniC source file, or the name of a built-in workload (see $(b,ogc \
+     workloads))."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let input_arg =
+  let doc = "Input scale for workloads: $(b,train) or $(b,ref)." in
+  let input_conv =
+    Arg.enum [ ("train", Workload.Train); ("ref", Workload.Ref) ]
+  in
+  Arg.(value & opt input_conv Workload.Train
+       & info [ "input" ] ~docv:"INPUT" ~doc)
+
+let wrap f =
+  try f () with
+  | Minic.Error msg | Failure msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+  | Interp.Fault msg ->
+    Fmt.epr "runtime fault: %s@." msg;
+    exit 2
+
+(* --- compile -------------------------------------------------------------- *)
+
+let compile_cmd =
+  let run spec input out =
+    wrap (fun () ->
+        let p = load_program spec input in
+        maybe_save out p;
+        if out = None then Format.printf "%a@." Prog.pp p)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile and dump the Alpha-like IR")
+    Term.(const run $ program_arg $ input_arg $ save_arg)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run spec input =
+    wrap (fun () ->
+        let p = load_program spec input in
+        let out = Interp.run p in
+        List.iter (fun v -> Format.printf "emit: %Ld@." v) out.Interp.emitted;
+        Format.printf "checksum: %Ld@." out.Interp.checksum;
+        Format.printf "dynamic instructions: %d@." out.Interp.steps)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute in the reference interpreter")
+    Term.(const run $ program_arg $ input_arg)
+
+(* --- vrp -------------------------------------------------------------------- *)
+
+let vrp_cmd =
+  let conventional =
+    Arg.(value & flag
+         & info [ "conventional" ]
+             ~doc:"Disable useful-range propagation (the Figure 2 baseline).")
+  in
+  let paper_literal =
+    Arg.(value & flag
+         & info [ "paper-literal" ]
+             ~doc:"Forbid useful-width propagation through arithmetic (§2.2.5).")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Dump the re-encoded program.")
+  in
+  let run spec input conventional paper_literal dump out =
+    wrap (fun () ->
+        let p = load_program spec input in
+        let config =
+          if conventional then Vrp.conventional_config
+          else if paper_literal then
+            { Vrp.default_config with useful_through_arith = false }
+          else Vrp.default_config
+        in
+        let before = Interp.run p in
+        let res = Vrp.run ~config p in
+        let after = Interp.run p in
+        assert (Int64.equal before.Interp.checksum after.Interp.checksum);
+        maybe_save out p;
+        Format.printf "%a@." Vrp.pp_summary res;
+        (* The paper's syntactic trip-count analysis (§2.3), for
+           comparison with the widening-based bounds. *)
+        List.iter
+          (fun (f : Prog.func) ->
+            List.iter
+              (fun (lo : Ogc_core.Tripcount.affine_loop) ->
+                Format.printf
+                  "affine loop in %s at L%d: iterator %a, %d iterations, range %s@."
+                  f.Prog.fname
+                  (Ogc_ir.Label.to_int lo.Ogc_core.Tripcount.header)
+                  Ogc_isa.Reg.pp lo.Ogc_core.Tripcount.iterator
+                  lo.Ogc_core.Tripcount.trip_count
+                  (Ogc_core.Interval.to_string
+                     lo.Ogc_core.Tripcount.iterator_range))
+              (Ogc_core.Tripcount.analyze f))
+          p.Prog.funcs;
+        if dump then Format.printf "%a@." Prog.pp p)
+  in
+  Cmd.v
+    (Cmd.info "vrp" ~doc:"Run value range propagation and re-encode widths")
+    Term.(const run $ program_arg $ input_arg $ conventional $ paper_literal
+          $ dump $ save_arg)
+
+(* --- vrs -------------------------------------------------------------------- *)
+
+let vrs_cmd =
+  let cost =
+    Arg.(value & opt int 50
+         & info [ "cost" ] ~docv:"NJ"
+             ~doc:"Specialization cost configuration (the paper's 30-110 sweep).")
+  in
+  let run spec _input cost out =
+    wrap (fun () ->
+        (* VRS trains on the train scale and evaluates on ref, like the
+           harness. *)
+        let p = load_program spec Workload.Train in
+        let cfg =
+          { Vrs.default_config with
+            test_cost_nj = Ogc_harness.Results.test_cost_of_label cost }
+        in
+        let rep = Vrs.run ~config:cfg p in
+        let s, d, n =
+          List.fold_left
+            (fun (s, d, n) (_, o) ->
+              match o with
+              | Vrs.Specialized _ -> (s + 1, d, n)
+              | Vrs.Dependent_on_other -> (s, d + 1, n)
+              | Vrs.No_benefit -> (s, d, n + 1))
+            (0, 0, 0) rep.Vrs.profiled
+        in
+        maybe_save out p;
+        Format.printf
+          "profiled %d points: %d specialized, %d dependent, %d without benefit@."
+          (s + d + n) s d n;
+        Format.printf "cloned %d static instructions, eliminated %d@."
+          rep.Vrs.static_cloned rep.Vrs.static_eliminated;
+        List.iter
+          (fun (iid, o) ->
+            match o with
+            | Vrs.Specialized { lo; hi; freq; benefit } ->
+              Format.printf "  point %d: range [%Ld,%Ld] freq %.2f benefit %.0f@."
+                iid lo hi freq benefit
+            | _ -> ())
+          rep.Vrs.profiled)
+  in
+  Cmd.v
+    (Cmd.info "vrs" ~doc:"Run value range specialization (profile + clone)")
+    Term.(const run $ program_arg $ input_arg $ cost $ save_arg)
+
+(* --- sim -------------------------------------------------------------------- *)
+
+let policy_arg =
+  let policy_conv =
+    Arg.enum (List.map (fun p -> (Policy.name p, p)) Policy.all)
+  in
+  Arg.(value & opt policy_conv Policy.No_gating
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Gating policy: none, sw, hw-significance, hw-size, \
+                 sw+significance, sw+size.")
+
+let sim_cmd =
+  let optimize =
+    Arg.(value & opt (enum [ ("none", `None); ("vrp", `Vrp); ("vrs", `Vrs) ])
+           `None
+         & info [ "optimize" ] ~docv:"PASS"
+             ~doc:"Software pass to apply first: none, vrp or vrs.")
+  in
+  let run spec input policy optimize =
+    wrap (fun () ->
+        let p = load_program spec input in
+        (match optimize with
+        | `None -> ()
+        | `Vrp -> ignore (Vrp.run p)
+        | `Vrs ->
+          Workload.set_scale p Workload.Train;
+          ignore (Vrs.run p);
+          Workload.set_scale p input);
+        let s = Pipeline.simulate ~policy p in
+        Format.printf "instructions : %d@." s.Pipeline.instructions;
+        Format.printf "cycles       : %d (IPC %.2f)@." s.Pipeline.cycles
+          (Pipeline.ipc s);
+        Format.printf "branches     : %d (%d mispredicted)@." s.Pipeline.branches
+          s.Pipeline.mispredictions;
+        Format.printf "L1D          : %d accesses, %d misses (%d L2 misses)@."
+          s.Pipeline.dcache_accesses s.Pipeline.dcache_misses s.Pipeline.l2_misses;
+        Format.printf "energy       : %.0f nJ@."
+          (Account.total s.Pipeline.energy);
+        List.iter
+          (fun (st, e) ->
+            Format.printf "  %-18s %12.0f nJ@."
+              (Ogc_energy.Energy_params.structure_name st)
+              e)
+          (Account.by_structure s.Pipeline.energy))
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate on the out-of-order Table 2 machine and report energy")
+    Term.(const run $ program_arg $ input_arg $ policy_arg $ optimize)
+
+(* --- diff -------------------------------------------------------------------- *)
+
+let diff_cmd =
+  let program2 =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"PROGRAM2"
+             ~doc:"Second program (same shape: typically the optimized .s)")
+  in
+  let run spec1 spec2 input =
+    wrap (fun () ->
+        let p1 = load_program spec1 input in
+        let p2 = load_program spec2 input in
+        let widths p =
+          let h = Hashtbl.create 8 in
+          Prog.iter_all_ins p (fun _ _ ins ->
+              let w = Ogc_isa.Instr.width ins.Ogc_ir.Prog.op in
+              Hashtbl.replace h w
+                (1 + Option.value ~default:0 (Hashtbl.find_opt h w)));
+          h
+        in
+        let h1 = widths p1 and h2 = widths p2 in
+        Format.printf "static width histogram (%s -> %s):@." spec1 spec2;
+        List.iter
+          (fun w ->
+            let a = Option.value ~default:0 (Hashtbl.find_opt h1 w) in
+            let b = Option.value ~default:0 (Hashtbl.find_opt h2 w) in
+            Format.printf "  %2s-bit: %5d -> %5d  (%+d)@."
+              (Ogc_isa.Width.to_string w) a b (b - a))
+          Ogc_isa.Width.all;
+        (* Per-instruction narrowings for instructions present in both. *)
+        let ops1 = Hashtbl.create 256 in
+        Prog.iter_all_ins p1 (fun _ _ ins ->
+            Hashtbl.replace ops1 ins.Ogc_ir.Prog.iid ins.Ogc_ir.Prog.op);
+        let narrowed = ref 0 and widened = ref 0 and changed = ref 0 in
+        Prog.iter_all_ins p2 (fun _ _ ins ->
+            match Hashtbl.find_opt ops1 ins.Ogc_ir.Prog.iid with
+            | Some op1 ->
+              let w1 = Ogc_isa.Instr.width op1
+              and w2 = Ogc_isa.Instr.width ins.Ogc_ir.Prog.op in
+              let c = Ogc_isa.Width.compare w2 w1 in
+              if c < 0 then incr narrowed
+              else if c > 0 then incr widened;
+              if not (String.equal (Ogc_isa.Instr.to_string op1)
+                        (Ogc_isa.Instr.to_string ins.Ogc_ir.Prog.op))
+              then incr changed
+            | None -> ());
+        Format.printf
+          "shared instructions: %d narrowed, %d widened, %d textually changed@."
+          !narrowed !widened !changed;
+        let n1 = Prog.num_static_ins p1 and n2 = Prog.num_static_ins p2 in
+        Format.printf "static instructions: %d -> %d (%+d)@." n1 n2 (n2 - n1))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare the width profiles of two versions of a program")
+    Term.(const run $ program_arg $ program2 $ input_arg)
+
+(* --- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let count =
+    Arg.(value & opt int 40
+         & info [ "n" ] ~docv:"N" ~doc:"Number of dynamic events to show.")
+  in
+  let skip =
+    Arg.(value & opt int 0
+         & info [ "skip" ] ~docv:"N" ~doc:"Events to skip before printing.")
+  in
+  let run spec input count skip =
+    wrap (fun () ->
+        let p = load_program spec input in
+        let seen = ref 0 in
+        let exception Done in
+        let show = function
+          | Interp.E_ins { iid; op; a; b; result; addr } ->
+            if Ogc_isa.Instr.is_mem op then
+              Format.printf "%8d  [%4d] %-28s a=%Ld addr=%Ld -> %Ld@." !seen iid
+                (Ogc_isa.Instr.to_string op) a addr result
+            else
+              Format.printf "%8d  [%4d] %-28s a=%Ld b=%Ld -> %Ld@." !seen iid
+                (Ogc_isa.Instr.to_string op) a b result
+          | Interp.E_branch { iid; taken; value; _ } ->
+            Format.printf "%8d  [%4d] branch on %Ld -> %s@." !seen iid value
+              (if taken then "taken" else "not taken")
+          | Interp.E_jump { iid } -> Format.printf "%8d  [%4d] jump@." !seen iid
+          | Interp.E_return { iid } ->
+            Format.printf "%8d  [%4d] return@." !seen iid
+        in
+        let on_event ev =
+          if !seen >= skip then show ev;
+          incr seen;
+          if !seen >= skip + count then raise_notrace Done
+        in
+        (try ignore (Interp.run ~on_event p) with Done -> ());
+        Format.printf "(%d events shown from #%d)@." (min count (!seen - skip))
+          skip)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print a window of the dynamic instruction trace")
+    Term.(const run $ program_arg $ input_arg $ count $ skip)
+
+(* --- report ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Use train inputs and only the VRS-50 configuration.")
+  in
+  let only =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"WORKLOAD" ~doc:"Restrict to a workload.")
+  in
+  let experiment =
+    Arg.(value & opt_all string []
+         & info [ "experiment" ] ~docv:"ID"
+             ~doc:"Render only this table/figure (e.g. fig8); repeatable.")
+  in
+  let run quick only experiment =
+    wrap (fun () ->
+        let only = if only = [] then None else Some only in
+        let res =
+          Ogc_harness.Results.collect ~quick ?only
+            ~progress:(fun s -> Fmt.epr "[%s] %!" s)
+            ()
+        in
+        Fmt.epr "@.";
+        let exps =
+          if experiment = [] then Ogc_harness.Experiments.all
+          else List.map Ogc_harness.Experiments.find experiment
+        in
+        List.iter
+          (fun (e : Ogc_harness.Experiments.experiment) ->
+            print_string (Ogc_harness.Render.heading e.title);
+            print_string (e.render res);
+            print_newline ())
+          exps;
+        if experiment = [] then
+          print_string
+            (Ogc_harness.Experiments.render_headline
+               (Ogc_harness.Experiments.headline res)))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Regenerate the paper's tables and figures on the workload suite")
+    Term.(const run $ quick $ only $ experiment)
+
+(* --- workloads ----------------------------------------------------------------- *)
+
+let workloads_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workload.t) ->
+        Format.printf "%-10s %s@." w.Workload.name w.Workload.description)
+      Workload.all
+  in
+  Cmd.v
+    (Cmd.info "workloads" ~doc:"List the SpecInt95 surrogate benchmarks")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "software-controlled operand gating (CGO 2004) toolchain" in
+  let info = Cmd.info "ogc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; sim_cmd;
+                      trace_cmd; diff_cmd; report_cmd; workloads_cmd ]))

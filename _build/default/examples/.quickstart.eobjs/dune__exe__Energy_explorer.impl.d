@@ -1,0 +1,1 @@
+examples/energy_explorer.ml: Array Format List Ogc_core Ogc_cpu Ogc_energy Ogc_gating Ogc_harness Ogc_workloads Printf String Sys

@@ -1,0 +1,1 @@
+examples/opcode_budget.ml: Array Format Hashtbl List Ogc_core Ogc_cpu Ogc_gating Ogc_harness Ogc_isa Ogc_workloads Printf String Sys

@@ -1,0 +1,1 @@
+examples/paper_figure1.ml: Format Instr List Ogc_core Ogc_ir Ogc_isa Ogc_minic Reg

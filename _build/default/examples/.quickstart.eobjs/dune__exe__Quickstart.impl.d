@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Hashtbl Int64 List Ogc_core Ogc_ir Ogc_isa Ogc_minic Option

@@ -1,0 +1,1 @@
+examples/specialize_hotloop.ml: Format Int64 List Ogc_core Ogc_cpu Ogc_energy Ogc_gating Ogc_harness Ogc_ir Ogc_minic

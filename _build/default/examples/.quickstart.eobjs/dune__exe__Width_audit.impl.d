@@ -1,0 +1,1 @@
+examples/width_audit.ml: Array Format Hashtbl Instr List Ogc_core Ogc_harness Ogc_ir Ogc_isa Ogc_workloads Option Printf Sys Width

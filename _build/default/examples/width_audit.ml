@@ -1,0 +1,87 @@
+(* Width audit: where do a workload's wide operations come from?  Prints
+   the dynamic class/width matrix (the paper's Table 3 for one benchmark)
+   plus the hottest instructions that VRP could not narrow — exactly what
+   a compiler engineer would look at before adding specialization points.
+
+   Run with: dune exec examples/width_audit.exe [-- <workload>] *)
+
+open Ogc_isa
+module Workload = Ogc_workloads.Workload
+module Interp = Ogc_ir.Interp
+module Prog = Ogc_ir.Prog
+module Vrp = Ogc_core.Vrp
+module Render = Ogc_harness.Render
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "compress" in
+  let w = Workload.find name in
+  Format.printf "width audit of %s (train input)@.@." w.Workload.name;
+  let prog = Workload.compile w Workload.Train in
+  let res = Vrp.run prog in
+  (* Dynamic counts by executing with basic-block profiling. *)
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let out = Interp.run ~bb_counts:counts prog in
+  let dyn = Hashtbl.create 256 in
+  Prog.iter_all_ins prog (fun f b ins ->
+      let c = Interp.count_of counts f.Prog.fname b.Prog.label in
+      if c > 0 then Hashtbl.replace dyn ins.Prog.iid (c, f.Prog.fname, ins));
+  (* Class x width matrix. *)
+  let matrix = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (c, _, (ins : Prog.ins)) ->
+      let ic = Instr.iclass ins.Prog.op in
+      if List.mem ic Instr.all_alu_classes then begin
+        let key = (ic, Instr.width ins.Prog.op) in
+        Hashtbl.replace matrix key
+          (c + Option.value ~default:0 (Hashtbl.find_opt matrix key))
+      end)
+    dyn;
+  let class_total ic =
+    List.fold_left
+      (fun a w -> a + Option.value ~default:0 (Hashtbl.find_opt matrix (ic, w)))
+      0 Width.all
+  in
+  let rows =
+    Instr.all_alu_classes
+    |> List.filter (fun ic -> class_total ic > 0)
+    |> List.sort (fun a b -> compare (class_total b) (class_total a))
+    |> List.map (fun ic ->
+           let tot = class_total ic in
+           Instr.iclass_name ic
+           :: Printf.sprintf "%.2f%%"
+                (100.0 *. float_of_int tot /. float_of_int out.Interp.steps)
+           :: List.map
+                (fun w ->
+                  Render.pct
+                    (float_of_int
+                       (Option.value ~default:0 (Hashtbl.find_opt matrix (ic, w)))
+                    /. float_of_int tot))
+                [ Width.W64; Width.W32; Width.W16; Width.W8 ])
+  in
+  Format.printf "%s"
+    (Render.table
+       ~header:[ "Type"; "% of run-time"; "64b"; "32b"; "16b"; "8b" ] rows);
+  (* The hottest still-wide instructions: specialization candidates. *)
+  Format.printf "@.hottest instructions VRP left at 64 bits:@.";
+  let wide =
+    Hashtbl.fold
+      (fun iid (c, fname, (ins : Prog.ins)) acc ->
+        match ins.Prog.op with
+        | Instr.Alu _ | Instr.Load _
+          when Width.equal (Instr.width ins.Prog.op) Width.W64 ->
+          (c, fname, iid, ins) :: acc
+        | _ -> acc)
+      dyn []
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a)
+  in
+  List.iteri
+    (fun i (c, fname, iid, (ins : Prog.ins)) ->
+      if i < 10 then
+        Format.printf "  %8d x  %-10s [%4d] %s   (useful width %s)@." c fname
+          iid
+          (Instr.to_string ins.Prog.op)
+          (match Vrp.useful_width_of res iid with
+          | Some w -> Width.to_string w
+          | None -> "?"))
+    wide;
+  Format.printf "@.%d dynamic instructions in total@." out.Interp.steps

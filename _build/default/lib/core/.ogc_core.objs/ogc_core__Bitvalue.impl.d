@@ -1,0 +1,1 @@
+lib/core/bitvalue.ml: Array Cfg Fmt Format Hashtbl Instr Int64 Label List Ogc_ir Ogc_isa Prog Reg String Width

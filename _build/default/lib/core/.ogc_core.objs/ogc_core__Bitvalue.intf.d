@@ -1,0 +1,1 @@
+lib/core/bitvalue.mli: Format Instr Ogc_ir Ogc_isa Prog Width

@@ -1,0 +1,1 @@
+lib/core/cleanup.ml: Array Cfg Label List Ogc_ir Prog

@@ -1,0 +1,1 @@
+lib/core/constprop.ml: Array Cfg Instr Int64 Interval List Ogc_ir Ogc_isa Prog Reg Usedef Vrp Width

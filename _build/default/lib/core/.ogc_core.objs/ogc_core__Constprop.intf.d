@@ -1,0 +1,1 @@
+lib/core/constprop.mli: Ogc_ir Prog Vrp

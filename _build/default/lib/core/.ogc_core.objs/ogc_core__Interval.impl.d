@@ -1,0 +1,1 @@
+lib/core/interval.ml: Fmt Format Instr Int64 Ogc_isa Width

@@ -1,0 +1,1 @@
+lib/core/savings_table.ml: List Ogc_energy Ogc_isa Width

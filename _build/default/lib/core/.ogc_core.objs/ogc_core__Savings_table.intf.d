@@ -1,0 +1,1 @@
+lib/core/savings_table.mli: Ogc_energy Ogc_isa Width

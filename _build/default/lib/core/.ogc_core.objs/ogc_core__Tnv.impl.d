@@ -1,0 +1,1 @@
+lib/core/tnv.ml: Hashtbl Int Int64 List

@@ -1,0 +1,1 @@
+lib/core/tripcount.ml: Array Cfg Dom Instr Int64 Interval Label List Loops Ogc_ir Ogc_isa Prog Reg Width

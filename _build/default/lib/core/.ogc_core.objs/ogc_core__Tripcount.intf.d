@@ -1,0 +1,1 @@
+lib/core/tripcount.mli: Instr Interval Label Ogc_ir Ogc_isa Prog Reg

@@ -1,0 +1,1 @@
+lib/core/vrp.ml: Array Callgraph Cfg Format Hashtbl Instr Int64 Interp Interval Label List Ogc_ir Ogc_isa Option Prog Reg String Usedef Width

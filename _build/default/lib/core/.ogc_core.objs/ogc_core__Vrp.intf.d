@@ -1,0 +1,1 @@
+lib/core/vrp.mli: Format Interval Label Ogc_ir Ogc_isa Prog Reg Width

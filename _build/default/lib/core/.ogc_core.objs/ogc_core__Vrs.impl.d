@@ -1,0 +1,1 @@
+lib/core/vrs.ml: Array Cfg Constprop Dom Float Hashtbl Instr Int64 Interp Interval Label List Ogc_ir Ogc_isa Option Prog Reg Savings_table Tnv Usedef Validate Vrp Width

@@ -1,0 +1,1 @@
+lib/core/vrs.mli: Hashtbl Interp Label Ogc_ir Prog Vrp

@@ -1,0 +1,381 @@
+open Ogc_isa
+open Ogc_ir
+
+type t = { zeros : int64; ones : int64 }
+
+let top = { zeros = 0L; ones = 0L }
+
+let make ~zeros ~ones =
+  if not (Int64.equal (Int64.logand zeros ones) 0L) then
+    Fmt.invalid_arg "Bitvalue.make: contradictory bits";
+  { zeros; ones }
+
+let const c = { zeros = Int64.lognot c; ones = c }
+
+let is_const bv =
+  if Int64.equal (Int64.logor bv.zeros bv.ones) (-1L) then Some bv.ones
+  else None
+
+let join a b =
+  { zeros = Int64.logand a.zeros b.zeros; ones = Int64.logand a.ones b.ones }
+
+let equal a b = Int64.equal a.zeros b.zeros && Int64.equal a.ones b.ones
+
+let concretizes bv v =
+  Int64.equal (Int64.logand v bv.zeros) 0L
+  && Int64.equal (Int64.logand v bv.ones) bv.ones
+
+let popcount =
+  let rec go acc x =
+    if Int64.equal x 0L then acc
+    else go (acc + 1) (Int64.logand x (Int64.sub x 1L))
+  in
+  go 0
+
+let known_bits bv = popcount (Int64.logor bv.zeros bv.ones)
+
+(* Narrowest two's-complement width: bits [w-1 .. 63] must all be known
+   equal to bit [w-1] in every concretization, i.e. all known-0 or all
+   known-1. *)
+let width bv =
+  let all_known_zero ~from_ =
+    let mask = Int64.shift_left (-1L) from_ in
+    Int64.equal (Int64.logand bv.zeros mask) mask
+  and all_known_one ~from_ =
+    let mask = Int64.shift_left (-1L) from_ in
+    Int64.equal (Int64.logand bv.ones mask) mask
+  in
+  let fits w =
+    let b = Width.bits w in
+    if b >= 64 then true
+    else
+      (* Non-negative: bit b-1 .. 63 known zero; negative: known one. *)
+      all_known_zero ~from_:(b - 1) || all_known_one ~from_:(b - 1)
+  in
+  if fits Width.W8 then Width.W8
+  else if fits Width.W16 then Width.W16
+  else if fits Width.W32 then Width.W32
+  else Width.W64
+
+(* --- transfer functions --------------------------------------------------- *)
+
+(* Truncate to the operating width: result bits above w copy bit w-1
+   (sign extension) when it is known; unknown otherwise. *)
+let sext_to w bv =
+  match w with
+  | Width.W64 -> bv
+  | _ ->
+    let b = Width.bits w in
+    let high = Int64.shift_left (-1L) b in
+    let low = Int64.lognot high in
+    let sign = Int64.shift_left 1L (b - 1) in
+    let zeros = Int64.logand bv.zeros low and ones = Int64.logand bv.ones low in
+    if not (Int64.equal (Int64.logand bv.zeros sign) 0L) then
+      { zeros = Int64.logor zeros high; ones }
+    else if not (Int64.equal (Int64.logand bv.ones sign) 0L) then
+      { zeros; ones = Int64.logor ones high }
+    else { zeros; ones }
+
+let zext_to w bv =
+  match w with
+  | Width.W64 -> bv
+  | _ ->
+    let b = Width.bits w in
+    let high = Int64.shift_left (-1L) b in
+    let low = Int64.lognot high in
+    { zeros = Int64.logor (Int64.logand bv.zeros low) high;
+      ones = Int64.logand bv.ones low }
+
+let bit_and a b =
+  { ones = Int64.logand a.ones b.ones;
+    zeros = Int64.logor a.zeros b.zeros }
+
+let bit_or a b =
+  { ones = Int64.logor a.ones b.ones;
+    zeros = Int64.logand a.zeros b.zeros }
+
+let bit_xor a b =
+  { ones =
+      Int64.logor
+        (Int64.logand a.ones b.zeros)
+        (Int64.logand a.zeros b.ones);
+    zeros =
+      Int64.logor
+        (Int64.logand a.zeros b.zeros)
+        (Int64.logand a.ones b.ones) }
+
+let bit_not a = { zeros = a.ones; ones = a.zeros }
+
+(* Ripple-carry known-bits addition: track the carry's known state bit by
+   bit; stop knowing anything once the carry is unknown and both addend
+   bits are not determining. *)
+let bit_add a b =
+  let zeros = ref 0L and ones = ref 0L in
+  (* carry state: `Zero | `One | `Unknown *)
+  let carry = ref `Zero in
+  for i = 0 to 63 do
+    let bit m = Int64.logand (Int64.shift_right_logical m i) 1L in
+    let ka = if bit a.zeros = 1L then `Zero else if bit a.ones = 1L then `One else `Unknown in
+    let kb = if bit b.zeros = 1L then `Zero else if bit b.ones = 1L then `One else `Unknown in
+    let sum_known, carry' =
+      match (ka, kb, !carry) with
+      | `Zero, `Zero, `Zero -> (Some 0, `Zero)
+      | `Zero, `Zero, `One -> (Some 1, `Zero)
+      | `Zero, `One, `Zero | `One, `Zero, `Zero -> (Some 1, `Zero)
+      | `Zero, `One, `One | `One, `Zero, `One -> (Some 0, `One)
+      | `One, `One, `Zero -> (Some 0, `One)
+      | `One, `One, `One -> (Some 1, `One)
+      | `Zero, `Zero, `Unknown -> (None, `Zero)
+      | `One, `One, `Unknown -> (None, `One)
+      | _ -> (None, `Unknown)
+    in
+    (match sum_known with
+    | Some 0 -> zeros := Int64.logor !zeros (Int64.shift_left 1L i)
+    | Some _ -> ones := Int64.logor !ones (Int64.shift_left 1L i)
+    | None -> ());
+    carry := carry'
+  done;
+  { zeros = !zeros; ones = !ones }
+
+let bit_neg a = bit_add (bit_not a) (const 1L)
+let bit_sub a b = bit_add a (bit_neg b)
+
+let shift_known b =
+  (* Shift amounts use the low 6 bits; only fully known amounts shift
+     precisely. *)
+  match is_const b with
+  | Some s -> Some (Int64.to_int (Int64.logand s 63L))
+  | None -> None
+
+let forward_alu op w a b =
+  let a = sext_to w a and b = sext_to w b in
+  let r =
+    match op with
+    | Instr.And -> bit_and a b
+    | Instr.Or -> bit_or a b
+    | Instr.Xor -> bit_xor a b
+    | Instr.Bic -> bit_and a (bit_not b)
+    | Instr.Add -> bit_add a b
+    | Instr.Sub -> bit_sub a b
+    | Instr.Mul -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const (Int64.mul x y)
+      | _ ->
+        (* Known trailing zeros of the factors add up. *)
+        let tz m =
+          let rec go i =
+            if i >= 64 then 64
+            else if
+              Int64.equal (Int64.logand (Int64.shift_right_logical m i) 1L) 1L
+            then go (i + 1)
+            else i
+          in
+          go 0
+        in
+        let k = min 63 (tz a.zeros + tz b.zeros) in
+        { zeros = Int64.lognot (Int64.shift_left (-1L) k); ones = 0L })
+    | Instr.Div | Instr.Rem -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> const (Instr.eval_alu op Width.W64 x y)
+      | _ -> top)
+    | Instr.Sll -> (
+      match shift_known b with
+      | Some s ->
+        { zeros =
+            Int64.logor (Int64.shift_left a.zeros s)
+              (Int64.lognot (Int64.shift_left (-1L) s));
+          ones = Int64.shift_left a.ones s }
+      | None -> top)
+    | Instr.Srl -> (
+      (* The shift reads the w-truncated value zero-extended. *)
+      match shift_known b with
+      | Some 0 -> a
+      | Some s ->
+        let az = zext_to w a in
+        { zeros =
+            Int64.logor
+              (Int64.shift_right_logical az.zeros s)
+              (Int64.shift_left (-1L) (64 - s));
+          ones = Int64.shift_right_logical az.ones s }
+      | None -> top)
+    | Instr.Sra -> (
+      match shift_known b with
+      | Some s ->
+        { zeros = Int64.shift_right a.zeros s;
+          ones = Int64.shift_right a.ones s }
+      | None -> top)
+  in
+  sext_to w r
+
+let forward_cmp =
+  (* 0 or 1: bits 1..63 known zero. *)
+  { zeros = Int64.lognot 1L; ones = 0L }
+
+let forward_msk w a = zext_to w a
+let forward_sext w a = sext_to w a
+
+let forward_load w ~signed =
+  if Width.equal w Width.W64 then top
+  else if signed then top |> sext_to w
+  else top |> zext_to w
+
+let forward_cmov w ~old ~src = join old (sext_to w src)
+
+let pp ppf bv =
+  (* MSB-first, abbreviating long runs. *)
+  let bit i =
+    if not (Int64.equal (Int64.logand bv.zeros (Int64.shift_left 1L i)) 0L)
+    then '0'
+    else if not (Int64.equal (Int64.logand bv.ones (Int64.shift_left 1L i)) 0L)
+    then '1'
+    else '?'
+  in
+  let s = String.init 64 (fun k -> bit (63 - k)) in
+  (* Compress the leading run. *)
+  let c0 = s.[0] in
+  let rec run i = if i < 64 && s.[i] = c0 then run (i + 1) else i in
+  let n = run 1 in
+  if n > 8 then Format.fprintf ppf "%c*%d%s" c0 n (String.sub s n (64 - n))
+  else Format.pp_print_string ppf s
+
+let to_string bv = Format.asprintf "%a" pp bv
+
+(* --- whole-function analysis ------------------------------------------------ *)
+
+type result = { values : (int, t) Hashtbl.t; widths : (int, Width.t) Hashtbl.t }
+
+let nregs = 32
+
+let state_join a b = Array.init nregs (fun i -> join a.(i) b.(i))
+
+let state_equal a b =
+  let rec go i = i >= nregs || (equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let transfer res record state (ins : Prog.ins) =
+  let get r = state.(Reg.to_int r) in
+  let operand = function
+    | Instr.Reg r -> get r
+    | Instr.Imm v -> const v
+  in
+  let set r v =
+    if not (Reg.equal r Reg.zero) then state.(Reg.to_int r) <- v
+  in
+  let out =
+    match ins.op with
+    | Instr.Alu { op; width; src1; src2; dst } ->
+      let r = forward_alu op width (get src1) (operand src2) in
+      set dst r;
+      Some r
+    | Instr.Cmp { dst; _ } ->
+      set dst forward_cmp;
+      Some forward_cmp
+    | Instr.Cmov { width; src; dst; _ } ->
+      let r = forward_cmov width ~old:(get dst) ~src:(operand src) in
+      set dst r;
+      Some r
+    | Instr.Msk { width; src; dst } ->
+      let r = forward_msk width (get src) in
+      set dst r;
+      Some r
+    | Instr.Sext { width; src; dst } ->
+      let r = forward_sext width (get src) in
+      set dst r;
+      Some r
+    | Instr.Li { dst; imm } ->
+      set dst (const imm);
+      Some (const imm)
+    | Instr.La { dst; _ } ->
+      set dst top;
+      Some top
+    | Instr.Load { width; signed; dst; _ } ->
+      let r = forward_load width ~signed in
+      set dst r;
+      Some r
+    | Instr.Store _ | Instr.Emit _ -> None
+    | Instr.Call _ ->
+      List.iter (fun r -> set r top) Reg.caller_saved;
+      Some top
+  in
+  match (record, out) with
+  | true, Some v -> Hashtbl.replace res.values ins.iid v
+  | _ -> ()
+
+let analyze_func res (f : Prog.func) =
+  let cfg = Cfg.of_func f in
+  let n = Array.length f.blocks in
+  let state_top () =
+    let s = Array.make nregs top in
+    s.(Reg.to_int Reg.zero) <- const 0L;
+    s
+  in
+  let in_states : t array option array = Array.make n None in
+  let out_states : t array option array = Array.make n None in
+  let compute_in bi =
+    if bi = 0 then Some (state_top ())
+    else
+      let contributions =
+        List.filter_map
+          (fun p -> out_states.(Label.to_int p))
+          (Cfg.preds cfg (Label.of_int bi))
+      in
+      match contributions with
+      | [] -> None
+      | c :: cs -> Some (List.fold_left state_join (Array.copy c) cs)
+  in
+  let transfer_block bi state record =
+    Array.iter (transfer res record state) f.blocks.(bi).Prog.body;
+    state
+  in
+  (* The lattice is finite (each bit only loses information at joins), so
+     plain iteration converges. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let bi = Label.to_int l in
+        match compute_in bi with
+        | None -> ()
+        | Some fresh ->
+          let stale =
+            match in_states.(bi) with
+            | None -> true
+            | Some old -> not (state_equal fresh old)
+          in
+          if stale then begin
+            in_states.(bi) <- Some fresh;
+            out_states.(bi) <- Some (transfer_block bi (Array.copy fresh) false);
+            changed := true
+          end)
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* Recording sweep. *)
+  Array.iteri
+    (fun bi _ ->
+      let start =
+        match in_states.(bi) with Some s -> Array.copy s | None -> state_top ()
+      in
+      ignore (transfer_block bi start true))
+    f.blocks;
+  (* Width assignment: same never-widen contract as VRP. *)
+  Prog.iter_ins f (fun _ ins ->
+      match ins.op with
+      | Instr.Alu { width = orig; _ } | Instr.Cmp { width = orig; _ }
+      | Instr.Cmov { width = orig; _ } | Instr.Msk { width = orig; _ }
+      | Instr.Sext { width = orig; _ } -> (
+        match Hashtbl.find_opt res.values ins.iid with
+        | Some bv ->
+          Hashtbl.replace res.widths ins.iid (Width.min orig (width bv))
+        | None -> ())
+      | Instr.Load { width; _ } | Instr.Store { width; _ } ->
+        Hashtbl.replace res.widths ins.iid width
+      | Instr.Li _ | Instr.La _ | Instr.Call _ | Instr.Emit _ -> ())
+
+let analyze (p : Prog.t) =
+  let res = { values = Hashtbl.create 1024; widths = Hashtbl.create 1024 } in
+  List.iter (analyze_func res) p.funcs;
+  res
+
+let value_of res iid = Hashtbl.find_opt res.values iid
+let width_of res iid = Hashtbl.find_opt res.widths iid

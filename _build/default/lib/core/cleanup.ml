@@ -1,0 +1,87 @@
+open Ogc_ir
+
+type stats = {
+  threaded : int;
+  branches_unified : int;
+  pruned_blocks : int;
+  pruned_instructions : int;
+}
+
+(* Follow a chain of empty jump-only blocks, guarding against cycles. *)
+let resolve (f : Prog.func) l0 =
+  let rec go l seen =
+    let b = Prog.block f l in
+    match b.Prog.term with
+    | Prog.Jump m
+      when Array.length b.Prog.body = 0
+           && (not (Label.equal m l))
+           && not (List.exists (Label.equal m) seen) ->
+      go m (m :: seen)
+    | _ -> l
+  in
+  go l0 [ l0 ]
+
+let thread_jumps (f : Prog.func) =
+  let threaded = ref 0 and unified = ref 0 in
+  Array.iter
+    (fun (b : Prog.block) ->
+      match b.Prog.term with
+      | Prog.Jump l ->
+        let l' = resolve f l in
+        if not (Label.equal l l') then begin
+          incr threaded;
+          b.Prog.term <- Prog.Jump l'
+        end
+      | Prog.Branch { cond; src; if_true; if_false } ->
+        let t' = resolve f if_true and f' = resolve f if_false in
+        if not (Label.equal t' if_true && Label.equal f' if_false) then
+          incr threaded;
+        if Label.equal t' f' then begin
+          incr unified;
+          b.Prog.term <- Prog.Jump t'
+        end
+        else b.Prog.term <- Prog.Branch { cond; src; if_true = t'; if_false = f' }
+      | Prog.Return -> ())
+    f.Prog.blocks;
+  (!threaded, !unified)
+
+let prune_unreachable (f : Prog.func) =
+  let cfg = Cfg.of_func f in
+  let blocks = ref 0 and instructions = ref 0 in
+  Array.iter
+    (fun (b : Prog.block) ->
+      if not (Cfg.is_reachable cfg b.Prog.label) then begin
+        let n = Array.length b.Prog.body in
+        if n > 0 || b.Prog.term <> Prog.Return then begin
+          incr blocks;
+          instructions := !instructions + n;
+          b.Prog.body <- [||];
+          b.Prog.term <- Prog.Return
+        end
+      end)
+    f.Prog.blocks;
+  (!blocks, !instructions)
+
+let run (p : Prog.t) =
+  let acc = ref { threaded = 0; branches_unified = 0; pruned_blocks = 0;
+                  pruned_instructions = 0 } in
+  List.iter
+    (fun f ->
+      (* Threading can expose more threading (chains through newly-folded
+         branches); iterate to a fixpoint with a small bound. *)
+      let rec loop n =
+        if n > 0 then begin
+          let t, u = thread_jumps f in
+          acc :=
+            { !acc with threaded = !acc.threaded + t;
+              branches_unified = !acc.branches_unified + u };
+          if t + u > 0 then loop (n - 1)
+        end
+      in
+      loop 8;
+      let b, i = prune_unreachable f in
+      acc :=
+        { !acc with pruned_blocks = !acc.pruned_blocks + b;
+          pruned_instructions = !acc.pruned_instructions + i })
+    p.Prog.funcs;
+  !acc

@@ -1,0 +1,36 @@
+(** Generic binary-optimizer cleanups (the Alto substrate's bread and
+    butter): jump threading and unreachable-code pruning.
+
+    The paper's evaluation baseline is itself Alto-processed ("the
+    resulting binaries were ... post-processed with our binary
+    optimizer"), so the harness applies these cleanups uniformly to every
+    binary version — baseline and optimized alike — keeping the
+    comparisons about operand gating, not about generic link-time
+    optimization.
+
+    Both transformations preserve block labels (blocks are emptied or
+    retargeted, never removed from the array), so instruction ids,
+    profiles, and VRS assumptions stay valid. *)
+
+open Ogc_ir
+
+type stats = {
+  threaded : int;  (** terminator targets redirected through empty blocks *)
+  branches_unified : int;  (** branches with equal targets folded to jumps *)
+  pruned_blocks : int;  (** unreachable blocks emptied *)
+  pruned_instructions : int;  (** instructions dropped with them *)
+}
+
+(** [thread_jumps f] redirects every terminator target that points at an
+    empty block ending in an unconditional jump, following chains (with a
+    cycle guard); branches whose arms become equal fold to jumps. *)
+val thread_jumps : Prog.func -> int * int
+
+(** [prune_unreachable f] empties blocks unreachable from the entry
+    (body cleared, terminator replaced by [Return]); they are never
+    executed, so semantics are unchanged. *)
+val prune_unreachable : Prog.func -> int * int
+
+val run : Prog.t -> stats
+(** Threads then prunes, for every function; validates nothing itself
+    (callers re-validate). *)

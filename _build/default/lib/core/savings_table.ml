@@ -1,0 +1,47 @@
+open Ogc_isa
+module Ep = Ogc_energy.Energy_params
+
+type t = { alu : Width.t -> float; params : Ep.t }
+
+(* Per-instruction width-dependent energy: every structure an operand
+   traverses on its way through the pipeline, with typical access counts
+   (one issue-queue entry, result written to and read from the rename
+   buffers, up to two register reads plus one write, the functional unit,
+   one result-bus transfer).  This is what the paper measured with Wattch
+   to fill Table 1: the energy at stake when one instruction's operands
+   narrow. *)
+let traversal = [ (Ep.Iq, 1); (Ep.Rename_buffers, 2); (Ep.Regfile, 3);
+                  (Ep.Alu, 1); (Ep.Resultbus, 1) ]
+
+let of_params params =
+  let alu w =
+    List.fold_left
+      (fun acc (s, n) ->
+        acc
+        +. (float_of_int n
+           *. Ep.access_energy params s ~active_bytes:(Width.bytes w)
+                ~tag_bits:0))
+      0.0 traversal
+  in
+  { alu; params }
+
+let default = of_params Ep.default
+
+let saving t ~from_ ~to_ = t.alu from_ -. t.alu to_
+
+(* Guard instructions run at full width before specialization kicks in:
+   charge them the widest ALU/branch energies. *)
+let cost_branch t =
+  Ep.access_energy t.params Ep.Bpred ~active_bytes:8 ~tag_bits:0
+  +. Ep.access_energy t.params Ep.Alu ~active_bytes:8 ~tag_bits:0
+
+let cost_comparison t = Ep.access_energy t.params Ep.Alu ~active_bytes:8 ~tag_bits:0
+let cost_and t = Ep.access_energy t.params Ep.Alu ~active_bytes:8 ~tag_bits:0
+
+let widths_desc = [ Width.W64; Width.W32; Width.W16; Width.W8 ]
+
+let matrix t =
+  List.map
+    (fun dst ->
+      (dst, List.map (fun src -> (src, saving t ~from_:src ~to_:dst)) widths_desc))
+    widths_desc

@@ -1,0 +1,30 @@
+(** The paper's Table 1: per-operation energy savings of width changes.
+
+    The paper defines [InstSaving(I, r, min, max)] from an empirically
+    measured matrix of ALU energy savings by source (current) and
+    destination (re-encoded) width.  Here the matrix is derived from the
+    energy model's ALU access energies, which plays the same role as the
+    paper's empirical Wattch measurements. *)
+
+open Ogc_isa
+
+type t
+
+val of_params : Ogc_energy.Energy_params.t -> t
+val default : t
+
+(** [saving t ~from_ ~to_] is the energy saved (nJ, possibly negative) per
+    execution when an instruction encoded at width [from_] is re-encoded
+    at width [to_].  [saving t ~from_:w ~to_:w = 0]. *)
+val saving : t -> from_:Width.t -> to_:Width.t -> float
+
+(** Per-guard-instruction energy costs used by the VRS cost model
+    (§3.2): branches, comparisons and AND operations. *)
+val cost_branch : t -> float
+
+val cost_comparison : t -> float
+val cost_and : t -> float
+
+(** Rows of the Table 1 matrix in the paper's layout: destination width
+    rows (64 down to 8) of source-width columns (64 down to 8). *)
+val matrix : t -> (Width.t * (Width.t * float) list) list

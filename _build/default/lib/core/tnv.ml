@@ -1,0 +1,62 @@
+type t = {
+  capacity : int;
+  clean_interval : int;
+  counts : (int64, int ref) Hashtbl.t;
+  mutable total : int;
+  mutable since_clean : int;
+}
+
+let create ?(capacity = 8) ?(clean_interval = 4096) () =
+  {
+    capacity;
+    clean_interval;
+    counts = Hashtbl.create 16;
+    total = 0;
+    since_clean = 0;
+  }
+
+let clean t =
+  (* Evict the least frequently used half so new values can enter. *)
+  let entries =
+    Hashtbl.fold (fun v c acc -> (v, !c) :: acc) t.counts []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let keep = max 1 (t.capacity / 2) in
+  List.iteri
+    (fun i (v, _) -> if i >= keep then Hashtbl.remove t.counts v)
+    entries
+
+let observe t v =
+  t.total <- t.total + 1;
+  t.since_clean <- t.since_clean + 1;
+  (match Hashtbl.find_opt t.counts v with
+  | Some c -> incr c
+  | None ->
+    if Hashtbl.length t.counts < t.capacity then
+      Hashtbl.replace t.counts v (ref 1));
+  if t.since_clean >= t.clean_interval then begin
+    t.since_clean <- 0;
+    clean t
+  end
+
+let total t = t.total
+
+let entries t =
+  Hashtbl.fold (fun v c acc -> (v, !c) :: acc) t.counts []
+  |> List.sort (fun (v1, a) (v2, b) ->
+         match Int.compare b a with 0 -> Int64.compare v1 v2 | c -> c)
+
+let candidate_ranges t =
+  if t.total = 0 then []
+  else
+    let es = entries t in
+    let tot = float_of_int t.total in
+    let _, _, _, ranges =
+      List.fold_left
+        (fun (mn, mx, cnt, acc) (v, c) ->
+          let mn = min mn v and mx = max mx v and cnt = cnt + c in
+          (mn, mx, cnt, (mn, mx, float_of_int cnt /. tot) :: acc))
+        (Int64.max_int, Int64.min_int, 0, [])
+        es
+    in
+    List.rev ranges

@@ -1,0 +1,25 @@
+(** Top-N-values profiling table (Calder et al., used by paper §3.3).
+
+    A fixed-size table of (value, count) pairs fed by the profiling
+    interpreter at each candidate instruction.  When the table is full,
+    new values are ignored until the periodic cleaning evicts the least
+    frequently used half, letting fresh values enter.  A separate counter
+    tracks the total number of observations. *)
+
+type t
+
+val create : ?capacity:int -> ?clean_interval:int -> unit -> t
+(** Defaults: capacity 8, cleaning every 4096 observations. *)
+
+val observe : t -> int64 -> unit
+val total : t -> int
+
+(** Entries sorted by descending count. *)
+val entries : t -> (int64 * int) list
+
+(** [candidate_ranges t] enumerates the value ranges VRS may specialize
+    on: for each prefix of the most frequent values, the tightest
+    [(min, max)] covering the prefix together with a lower bound on the
+    fraction of observations falling inside.  Sorted tightest first;
+    empty when nothing was observed. *)
+val candidate_ranges : t -> (int64 * int64 * float) list

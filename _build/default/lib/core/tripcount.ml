@@ -1,0 +1,171 @@
+open Ogc_isa
+open Ogc_ir
+
+type affine_loop = {
+  header : Label.t;
+  iterator : Reg.t;
+  init : int64;
+  mul : int64;
+  add : int64;
+  bound : int64;
+  cmp : Instr.cmp_op;
+  iter_on_left : bool;
+  exit_on_false : bool;
+  trip_count : int;
+  iterator_range : Interval.t;
+}
+
+let iteration_cap = 1 lsl 20
+
+let trip_count ?(iter_on_left = true) ~init ~mul ~add ~cmp ~bound () =
+  let holds x =
+    if iter_on_left then Int64.equal (Instr.eval_cmp cmp Width.W64 x bound) 1L
+    else Int64.equal (Instr.eval_cmp cmp Width.W64 bound x) 1L
+  in
+  let rec go x n lo hi =
+    if not (holds x) then Some (n, Interval.v lo hi)
+    else if n >= iteration_cap then None
+    else
+      let x' =
+        Instr.eval_alu Instr.Add Width.W64
+          (Instr.eval_alu Instr.Mul Width.W64 mul x)
+          add
+      in
+      go x' (n + 1) (min lo x) (max hi x)
+  in
+  if holds init then go init 0 init init
+  else Some (0, Interval.v init init)
+
+(* The last definition of [r] in a block, searched backwards. *)
+let last_def_of (b : Prog.block) r =
+  let rec go i =
+    if i < 0 then None
+    else if List.exists (Reg.equal r) (Instr.defs b.body.(i).Prog.op) then
+      Some b.body.(i).Prog.op
+    else go (i - 1)
+  in
+  go (Array.length b.body - 1)
+
+(* Resolve the common "through a move" shape: [v] was produced either
+   directly by [pattern] or by [or t, #0 -> v] with [t] produced by
+   [pattern] earlier in the same block. *)
+let rec def_through_moves (b : Prog.block) r depth =
+  if depth > 4 then None
+  else
+    match last_def_of b r with
+    | Some (Instr.Alu { op = Instr.Or; src1; src2 = Instr.Imm 0L; _ }) ->
+      def_through_moves b src1 (depth + 1)
+    | d -> d
+
+let analyze (f : Prog.func) =
+  let cfg = Cfg.of_func f in
+  let dom = Dom.compute cfg in
+  let loops = Loops.compute cfg dom in
+  List.filter_map
+    (fun (lo : Loops.loop) ->
+      let header_block = Prog.block f lo.Loops.header in
+      match header_block.Prog.term with
+      | Prog.Branch { cond = Instr.Ne; src; if_true; if_false }
+        when Label.Set.mem if_true lo.Loops.body
+             && not (Label.Set.mem if_false lo.Loops.body) -> (
+        (* The canonical `for` shape: continue into the body while the
+           header compare holds. *)
+        let header_cmp =
+          match last_def_of header_block src with
+          | Some (Instr.Cmp { op = cmp; src1 = iterator; src2 = Instr.Imm bound; _ })
+            -> Some (cmp, iterator, bound, true)
+          | Some (Instr.Cmp { op = cmp; src1 = lhs; src2 = Instr.Reg iterator; _ })
+            -> (
+            (* x > bound compiles as bound < x: the bound constant arrives
+               in a register through a Li. *)
+            match def_through_moves header_block lhs 0 with
+            | Some (Instr.Li { imm = bound; _ }) ->
+              Some (cmp, iterator, bound, false)
+            | _ -> None)
+          | _ -> None
+        in
+        match header_cmp with
+        | Some (cmp, iterator, bound, iter_on_left) -> (
+          (* Exactly one update of the iterator inside the loop, affine. *)
+          let body_blocks =
+            Label.Set.elements lo.Loops.body
+            |> List.map (fun l -> Prog.block f l)
+          in
+          let defs_of_iter =
+            List.concat_map
+              (fun (b : Prog.block) ->
+                Array.to_list b.Prog.body
+                |> List.filter (fun (ins : Prog.ins) ->
+                       List.exists (Reg.equal iterator)
+                         (Instr.defs ins.Prog.op)))
+              body_blocks
+          in
+          let has_call =
+            List.exists
+              (fun (b : Prog.block) ->
+                Array.exists
+                  (fun (ins : Prog.ins) -> Instr.is_call ins.Prog.op)
+                  b.Prog.body)
+              body_blocks
+          in
+          let clobbered_by_call =
+            has_call && List.exists (Reg.equal iterator) Reg.caller_saved
+          in
+          match defs_of_iter with
+          | [ upd ] when not clobbered_by_call -> (
+            let update_block =
+              List.find
+                (fun (b : Prog.block) ->
+                  Array.exists (fun (i : Prog.ins) -> i.Prog.iid = upd.Prog.iid)
+                    b.Prog.body)
+                body_blocks
+            in
+            let affine =
+              match def_through_moves update_block iterator 0 with
+              | Some (Instr.Alu { op = Instr.Add; src1; src2 = Instr.Imm b; _ })
+                when Reg.equal src1 iterator -> Some (1L, b)
+              | Some (Instr.Alu { op = Instr.Mul; src1; src2 = Instr.Imm a; _ })
+                when Reg.equal src1 iterator -> Some (a, 0L)
+              | Some (Instr.Alu { op = Instr.Sub; src1; src2 = Instr.Imm b; _ })
+                when Reg.equal src1 iterator -> Some (1L, Int64.neg b)
+              | _ -> None
+            in
+            (* Constant initial value from the predecessors outside the
+               loop. *)
+            let init =
+              let outside =
+                List.filter
+                  (fun p -> not (Label.Set.mem p lo.Loops.body))
+                  (Cfg.preds cfg lo.Loops.header)
+              in
+              match outside with
+              | [ p ] -> (
+                match def_through_moves (Prog.block f p) iterator 0 with
+                | Some (Instr.Li { imm; _ }) -> Some imm
+                | _ -> None)
+              | _ -> None
+            in
+            match (affine, init) with
+            | Some (mul, add), Some init -> (
+              match trip_count ~iter_on_left ~init ~mul ~add ~cmp ~bound () with
+              | Some (n, range) ->
+                Some
+                  {
+                    header = lo.Loops.header;
+                    iterator;
+                    init;
+                    mul;
+                    add;
+                    bound;
+                    cmp;
+                    iter_on_left;
+                    exit_on_false = true;
+                    trip_count = n;
+                    iterator_range = range;
+                  }
+              | None -> None)
+            | _ -> None)
+          | _ -> None)
+        | None -> None)
+      | _ -> None)
+    (Loops.loops loops)

@@ -1,0 +1,62 @@
+(** Syntactic loop trip-count estimation — the paper's §2.3 technique.
+
+    The paper bounds loop iterators of the form [x = ax + b] (constant [a],
+    [b]) whose exit is a comparison against a constant, computing the trip
+    count and hence the iterator's range.  The VRP engine itself obtains
+    the same bounds through threshold widening plus branch refinement (see
+    {!Vrp}), so this module exists as the paper-literal implementation:
+    the `bench` ablation compares the two, reports use it to show which
+    loops the syntactic method covers, and tests pin its behaviour on the
+    paper's examples.
+
+    Recognized shape (as produced by the code generator for
+    [for (x = init; x REL bound; x = a*x + b)]):
+
+    - a natural loop whose header ends in a conditional branch fed by a
+      compare of the iterator register against a constant;
+    - exactly one definition chain of the iterator inside the loop body,
+      of the form [x' = a*x + b] (including the common [x++] case, and
+      spelled either directly or through a register move);
+    - a constant initial value flowing in from outside the loop.
+
+    Loops with several iterators, data-dependent exits, or non-affine
+    updates are rejected ([None]), exactly as in the paper. *)
+
+open Ogc_isa
+open Ogc_ir
+
+type affine_loop = {
+  header : Label.t;
+  iterator : Reg.t;
+  init : int64;  (** value on loop entry *)
+  mul : int64;  (** [a] in [x = ax + b] *)
+  add : int64;  (** [b] *)
+  bound : int64;  (** the compared-against constant *)
+  cmp : Instr.cmp_op;  (** how the iterator is compared *)
+  iter_on_left : bool;
+      (** [true] for [x CMP bound]; [false] for [bound CMP x] (how the
+          code generator spells [x > bound] / [x >= bound]) *)
+  exit_on_false : bool;  (** loop continues while the compare holds *)
+  trip_count : int;  (** number of body executions *)
+  iterator_range : Interval.t;  (** values of [x] inside the body *)
+}
+
+(** [analyze f] finds the affine loops of [f] the §2.3 method can bound.
+    Loops it cannot handle are simply absent. *)
+val analyze : Prog.func -> affine_loop list
+
+(** [trip_count ~init ~mul ~add ~cmp ~bound] iterates the recurrence
+    symbolically (capped at 2^20 iterations): the number of times the
+    continuation condition holds before it first fails, and the value
+    range of the iterator over those iterations.  [None] when the loop
+    does not terminate within the cap.  [iter_on_left] (default [true])
+    selects between [x CMP bound] and [bound CMP x]. *)
+val trip_count :
+  ?iter_on_left:bool ->
+  init:int64 ->
+  mul:int64 ->
+  add:int64 ->
+  cmp:Instr.cmp_op ->
+  bound:int64 ->
+  unit ->
+  (int * Interval.t) option

@@ -1,0 +1,702 @@
+open Ogc_isa
+open Ogc_ir
+
+type assumption = {
+  af : string;
+  alabel : Label.t;
+  areg : Reg.t;
+  arange : Interval.t;
+}
+
+type config = {
+  useful : bool;
+  useful_through_arith : bool;
+  widen_after : int;
+  interproc_rounds : int;
+  assumptions : assumption list;
+}
+
+(* [useful_through_arith] defaults to on: the paper's introductory example
+   (a dependence chain feeding an AND mask computes only one byte) requires
+   demand to flow through additions.  In this demand formulation it is
+   sound — the low k bits of add/sub/mul/shift-left results depend only on
+   the low k bits of their inputs, and every overflow-observing use
+   (compare, branch, divide, right shift) demands full width — so the
+   §2.2.5 overflow-hiding hazard cannot arise.  Setting it to [false]
+   gives the paper-literal conservative variant (kept as an ablation). *)
+let default_config =
+  {
+    useful = true;
+    useful_through_arith = true;
+    widen_after = 3;
+    interproc_rounds = 2;
+    assumptions = [];
+  }
+
+let conventional_config = { default_config with useful = false }
+
+type summary = { mutable s_args : Interval.t array; mutable s_ret : Interval.t }
+
+type result = {
+  ranges : (int, Interval.t) Hashtbl.t;
+  inputs : (int, Interval.t * Interval.t) Hashtbl.t;
+  reqs : (int, Width.t) Hashtbl.t;
+  widths : (int, Width.t) Hashtbl.t;
+  summaries : (string, summary) Hashtbl.t;
+}
+
+(* --- flow states: one interval per architectural register ---------------- *)
+
+let nregs = 32
+let zero_i = Reg.to_int Reg.zero
+let sp_i = Reg.to_int Reg.sp
+
+let sp_range =
+  Interval.v Interp.virtual_base
+    (Int64.add Interp.virtual_base 0x1_0000_0000L)
+
+let state_top () =
+  let s = Array.make nregs Interval.top in
+  s.(zero_i) <- Interval.const 0L;
+  s
+
+let state_equal a b =
+  let rec go i = i >= nregs || (Interval.equal a.(i) b.(i) && go (i + 1)) in
+  go 0
+
+let state_join a b =
+  Array.init nregs (fun i ->
+      if i = zero_i then Interval.const 0L else Interval.join a.(i) b.(i))
+
+(* Directional threshold widening: an unstable bound jumps to the next
+   width landmark, so compares at narrower operation widths can still
+   refine the widened range (jumping straight to ±2^63 would make every
+   W32 compare non-refinable). *)
+let hi_landmarks = [ 127L; 32767L; 0x7FFF_FFFFL; Int64.max_int ]
+let lo_landmarks = [ -128L; -32768L; Int64.neg 0x8000_0000L; Int64.min_int ]
+
+let widen_hi n =
+  List.find (fun l -> Int64.compare n l <= 0) hi_landmarks
+
+let widen_lo n =
+  List.find (fun l -> Int64.compare l n <= 0) lo_landmarks
+
+let widen_state ~old ~next =
+  Array.init nregs (fun i ->
+      if i = zero_i then Interval.const 0L
+      else
+        let o = (old.(i) : Interval.t) and n = (next.(i) : Interval.t) in
+        let lo =
+          if Int64.compare n.Interval.lo o.Interval.lo < 0 then
+            widen_lo n.Interval.lo
+          else o.Interval.lo
+        in
+        let hi =
+          if Int64.compare n.Interval.hi o.Interval.hi > 0 then
+            widen_hi n.Interval.hi
+          else o.Interval.hi
+        in
+        Interval.v lo hi)
+
+(* --- per-function analysis ------------------------------------------------ *)
+
+type fctx = {
+  cfg : Cfg.t;
+  gaddr : (string * int64) list;
+  summaries : (string, summary) Hashtbl.t;
+  prog : Prog.t;
+  config : config;
+  (* When collecting: join actual argument ranges into callee accumulators. *)
+  arg_acc : (string, Interval.t array) Hashtbl.t option;
+  (* When recording: fill result tables. *)
+  record : result option;
+}
+
+let operand_range state = function
+  | Instr.Reg r -> state.(Reg.to_int r)
+  | Instr.Imm v -> Interval.const v
+
+let set state r v = if Reg.to_int r <> zero_i then state.(Reg.to_int r) <- v
+
+(* Transfer one instruction over a mutable state copy. *)
+let transfer ctx state (ins : Prog.ins) =
+  let record_def rng a b =
+    match ctx.record with
+    | Some res ->
+      Hashtbl.replace res.ranges ins.iid rng;
+      Hashtbl.replace res.inputs ins.iid (a, b)
+    | None -> ()
+  in
+  match ins.op with
+  | Instr.Alu { op; width; src1; src2; dst } ->
+    let a = state.(Reg.to_int src1) and b = operand_range state src2 in
+    let r = Interval.forward_alu op width a b in
+    record_def r a b;
+    set state dst r
+  | Instr.Cmp { op; width; src1; src2; dst } ->
+    let a = state.(Reg.to_int src1) and b = operand_range state src2 in
+    let r = Interval.forward_cmp_op op width a b in
+    record_def r a b;
+    set state dst r
+  | Instr.Cmov { width; test; src; dst; _ } ->
+    let t = state.(Reg.to_int test) and s = operand_range state src in
+    let r = Interval.forward_cmov width ~old:state.(Reg.to_int dst) ~src:s in
+    record_def r t s;
+    set state dst r
+  | Instr.Msk { width; src; dst } ->
+    let a = state.(Reg.to_int src) in
+    let r = Interval.forward_msk width a in
+    record_def r a (Interval.const 0L);
+    set state dst r
+  | Instr.Sext { width; src; dst } ->
+    let a = state.(Reg.to_int src) in
+    let r = Interval.forward_sext width a in
+    record_def r a (Interval.const 0L);
+    set state dst r
+  | Instr.Li { dst; imm } ->
+    let r = Interval.const imm in
+    record_def r r r;
+    set state dst r
+  | Instr.La { dst; symbol } ->
+    let r =
+      match List.assoc_opt symbol ctx.gaddr with
+      | Some a -> Interval.const a
+      | None -> sp_range
+    in
+    record_def r r r;
+    set state dst r
+  | Instr.Load { width; signed; base; dst; _ } ->
+    let a = state.(Reg.to_int base) in
+    let r = Interval.forward_load width ~signed in
+    record_def r a (Interval.const 0L);
+    set state dst r
+  | Instr.Store { base; src; _ } ->
+    let a = state.(Reg.to_int base) and s = state.(Reg.to_int src) in
+    record_def Interval.top a s
+  | Instr.Call { callee } ->
+    (* Collect actual argument ranges for interprocedural propagation. *)
+    (match (ctx.arg_acc, Prog.find_func_opt ctx.prog callee) with
+    | Some acc, Some cf ->
+      let cur =
+        match Hashtbl.find_opt acc callee with
+        | Some a -> a
+        | None ->
+          let a =
+            Array.init cf.arity (fun _ -> Interval.v Int64.max_int Int64.max_int)
+          in
+          (* seeded empty-ish: replaced below on first join *)
+          Array.iteri (fun i _ -> a.(i) <- state.(Reg.to_int (Reg.arg i))) a;
+          Hashtbl.replace acc callee a;
+          a
+      in
+      Array.iteri
+        (fun i r -> cur.(i) <- Interval.join r state.(Reg.to_int (Reg.arg i)))
+        cur
+    | _ -> ());
+    let ret_range =
+      match Hashtbl.find_opt ctx.summaries callee with
+      | Some s -> s.s_ret
+      | None -> Interval.top
+    in
+    List.iter (fun r -> set state r Interval.top) Reg.caller_saved;
+    set state Reg.ret ret_range;
+    record_def ret_range Interval.top Interval.top
+  | Instr.Emit { src } ->
+    record_def Interval.top state.(Reg.to_int src) (Interval.const 0L)
+
+(* Refinements carried by a CFG edge leaving a conditional branch. *)
+let edge_refinements (b : Prog.block) ~taken =
+  match b.term with
+  | Prog.Jump _ | Prog.Return -> []
+  | Prog.Branch { cond; src; _ } ->
+    (* Locate the last definition of [src] in the block body; when it is a
+       compare whose operands are not redefined afterwards, the compare
+       operands can be refined too (paper §2.2.4). *)
+    let body = b.body in
+    let n = Array.length body in
+    let defines r (ins : Prog.ins) = List.exists (Reg.equal r) (Instr.defs ins.op) in
+    let rec last_def i = if i < 0 then None else if defines src body.(i) then Some i else last_def (i - 1) in
+    let cmp_refine =
+      match last_def (n - 1) with
+      | None -> []
+      | Some i -> (
+        match body.(i).op with
+        | Instr.Cmp { op; width; src1; src2; _ } ->
+          let redefined r =
+            let rec go j =
+              j < n && (defines r body.(j) || go (j + 1))
+            in
+            go (i + 1)
+          in
+          let ok_src1 = not (redefined src1) in
+          let ok_src2 =
+            match src2 with Instr.Reg r -> not (redefined r) | Instr.Imm _ -> true
+          in
+          if ok_src1 || ok_src2 then [ (op, width, src1, src2, ok_src1, ok_src2) ]
+          else []
+        | _ -> [])
+    in
+    [ `Cond (cond, src, taken) ]
+    @ List.map (fun c -> `Cmp (c, cond, src, taken)) cmp_refine
+
+(* Apply edge refinements to a state copy; [None] means the edge is
+   infeasible. *)
+let apply_refinements state refs =
+  let infeasible = ref false in
+  List.iter
+    (fun r ->
+      match r with
+      | `Cond (cond, src, taken) -> (
+        let i = Reg.to_int src in
+        match Interval.refine_cond cond state.(i) ~taken with
+        | Some rng -> if i <> zero_i then state.(i) <- rng
+        | None -> infeasible := true)
+      | `Cmp ((op, width, src1, src2, ok1, ok2), cond, src, taken) -> (
+        (* The branch tests the compare result against zero; determine
+           whether the compare held on this edge. *)
+        match Interval.refine_cond cond state.(Reg.to_int src) ~taken with
+        | None -> infeasible := true
+        | Some rng -> (
+          match Interval.is_const rng with
+          | Some c ->
+            let holds = not (Int64.equal c 0L) in
+            let lhs = state.(Reg.to_int src1) in
+            let rhs = operand_range state src2 in
+            if ok1 then (
+              match Interval.refine_cmp_lhs op width ~lhs ~rhs ~holds with
+              | Some l -> if Reg.to_int src1 <> zero_i then state.(Reg.to_int src1) <- l
+              | None -> infeasible := true);
+            (match src2 with
+            | Instr.Reg r2 when ok2 -> (
+              match Interval.refine_cmp_rhs op width ~lhs ~rhs ~holds with
+              | Some rr -> if Reg.to_int r2 <> zero_i then state.(Reg.to_int r2) <- rr
+              | None -> infeasible := true)
+            | Instr.Reg _ | Instr.Imm _ -> ())
+          | None -> ())))
+    refs;
+  not !infeasible
+
+(* Analyze one function to a fixpoint; returns the join of the return-value
+   ranges over all return sites. *)
+let analyze_func ctx (f : Prog.func) : Interval.t =
+  let cfg = ctx.cfg in
+  let n = Array.length f.blocks in
+  let entry_state () =
+    let s = state_top () in
+    s.(sp_i) <- sp_range;
+    (match Hashtbl.find_opt ctx.summaries f.fname with
+    | Some sum ->
+      Array.iteri (fun i r -> s.(Reg.to_int (Reg.arg i)) <- r) sum.s_args
+    | None -> ());
+    s
+  in
+  (* [None] is ⊥: not yet reached by the analysis. *)
+  let in_states : Interval.t array option array = Array.make n None in
+  let out_states : Interval.t array option array = Array.make n None in
+  let visits = Array.make n 0 in
+  let assumptions_for l =
+    List.filter
+      (fun a -> String.equal a.af f.fname && Label.equal a.alabel l)
+      ctx.config.assumptions
+  in
+  (* Fresh input state of block [bi]: join of refined predecessor outputs;
+     [None] (⊥) when no predecessor has been reached yet. *)
+  let compute_in bi =
+    let l = Label.of_int bi in
+    let preds = Cfg.preds cfg l in
+    let contributions =
+      List.filter_map
+        (fun p ->
+          match out_states.(Label.to_int p) with
+          | None -> None (* predecessor not reached yet *)
+          | Some out ->
+            let pb = f.blocks.(Label.to_int p) in
+            let taken =
+              match pb.term with
+              | Prog.Branch { if_true; _ } when Label.equal if_true l -> true
+              | Prog.Branch _ | Prog.Jump _ | Prog.Return -> false
+            in
+            (* A branch with identical targets contributes both edges;
+               using [taken] for the true side is sound because the join
+               of the two refinements over-approximates either. *)
+            let s = Array.copy out in
+            if apply_refinements s (edge_refinements pb ~taken) then Some s
+            else None)
+        preds
+    in
+    let base =
+      if bi = 0 then
+        Some
+          (List.fold_left state_join (entry_state ()) contributions)
+      else
+        match contributions with
+        | [] -> None
+        | c :: cs -> Some (List.fold_left state_join c cs)
+    in
+    Option.map
+      (fun base ->
+        List.iter
+          (fun a ->
+            let i = Reg.to_int a.areg in
+            if i <> zero_i then
+              match Interval.meet base.(i) a.arange with
+              | Some m -> base.(i) <- m
+              | None -> base.(i) <- a.arange)
+          (assumptions_for l);
+        base)
+      base
+  in
+  let transfer_block bi state =
+    let b = f.blocks.(bi) in
+    Array.iter (transfer ctx state) b.body;
+    state
+  in
+  (* Ascending phase with widening, starting from ⊥ everywhere. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let bi = Label.to_int l in
+        match compute_in bi with
+        | None -> ()
+        | Some fresh ->
+          let next =
+            match in_states.(bi) with
+            | None -> fresh
+            | Some old ->
+              let joined = state_join old fresh in
+              if visits.(bi) > ctx.config.widen_after then
+                widen_state ~old ~next:joined
+              else joined
+          in
+          visits.(bi) <- visits.(bi) + 1;
+          let stale =
+            match in_states.(bi) with
+            | None -> true
+            | Some old -> not (state_equal next old)
+          in
+          if stale then begin
+            in_states.(bi) <- Some next;
+            out_states.(bi) <- Some (transfer_block bi (Array.copy next));
+            changed := true
+          end)
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* Two descending (narrowing) sweeps; each recomputed state remains a
+     sound over-approximation because it is derived from sound inputs. *)
+  for _ = 1 to 2 do
+    List.iter
+      (fun l ->
+        let bi = Label.to_int l in
+        match compute_in bi with
+        | None -> ()
+        | Some fresh ->
+          in_states.(bi) <- Some fresh;
+          out_states.(bi) <- Some (transfer_block bi (Array.copy fresh)))
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* Final recorded sweep: re-run the transfer so the record callback sees
+     the stabilized input states, and collect the return range.  Blocks
+     never reached (⊥) are recorded conservatively from ⊤ so that dead
+     code keeps sound (wide) widths. *)
+  let ret = ref None in
+  Array.iteri
+    (fun bi (b : Prog.block) ->
+      let start =
+        match in_states.(bi) with Some s -> Array.copy s | None -> state_top ()
+      in
+      let reached = in_states.(bi) <> None in
+      let s = transfer_block bi start in
+      match b.term with
+      | Prog.Return when reached ->
+        let r = s.(Reg.to_int Reg.ret) in
+        ret := Some (match !ret with None -> r | Some acc -> Interval.join acc r)
+      | Prog.Return | Prog.Jump _ | Prog.Branch _ -> ())
+    f.blocks;
+  Option.value ~default:Interval.top !ret
+
+(* --- useful-width (demand) analysis -------------------------------------- *)
+
+let sound_width_of_def res ins_tbl (ud : Usedef.t) di =
+  let d = Usedef.def ud di in
+  match d.Usedef.site with
+  | Usedef.Entry -> Width.W64
+  | Usedef.At iid -> (
+    (* Calls define every caller-saved register; only the return value's
+       range is known.  All other defs have a single destination whose
+       range was recorded under the instruction id. *)
+    let is_call =
+      match Hashtbl.find_opt ins_tbl iid with
+      | Some (Instr.Call _) -> true
+      | Some _ | None -> false
+    in
+    if is_call && not (Reg.equal d.Usedef.dreg Reg.ret) then Width.W64
+    else
+      match Hashtbl.find_opt res.ranges iid with
+      | Some rng -> Interval.width rng
+      | None -> Width.W64)
+
+let demand config ~req_out ~(op : Instr.t) ~(r : Reg.t) =
+  (* Width of register [r]'s low bits that instruction [op] can expose to
+     its consumers; [req_out] is the useful width of [op]'s own output. *)
+  let roles = ref [] in
+  let add w = roles := w :: !roles in
+  (match op with
+  | Instr.Alu { op = aop; src1; src2; _ } ->
+    let is1 = Reg.equal r src1 in
+    let is2 = match src2 with Instr.Reg x -> Reg.equal r x | Instr.Imm _ -> false in
+    (match aop with
+    | Instr.And | Instr.Or | Instr.Xor | Instr.Bic ->
+      if is1 || is2 then add req_out
+    | Instr.Add | Instr.Sub | Instr.Mul ->
+      if is1 || is2 then
+        add (if config.useful_through_arith then req_out else Width.W64)
+    | Instr.Sll ->
+      if is1 then
+        add (if config.useful_through_arith then req_out else Width.W64);
+      if is2 then add Width.W64
+    | Instr.Div | Instr.Rem | Instr.Srl | Instr.Sra ->
+      if is1 || is2 then add Width.W64)
+  | Instr.Cmp { src1; src2; _ } ->
+    let is2 = match src2 with Instr.Reg x -> Reg.equal r x | Instr.Imm _ -> false in
+    if Reg.equal r src1 || is2 then add Width.W64
+  | Instr.Cmov { test; src; dst; _ } ->
+    if Reg.equal r test then add Width.W64;
+    (match src with
+    | Instr.Reg x when Reg.equal r x -> add req_out
+    | Instr.Reg _ | Instr.Imm _ -> ());
+    if Reg.equal r dst then add req_out
+  | Instr.Msk { width; src; _ } ->
+    if Reg.equal r src then add (Width.min width req_out)
+  | Instr.Sext { width; src; _ } ->
+    if Reg.equal r src then add (Width.min width req_out)
+  | Instr.Load { base; _ } -> if Reg.equal r base then add Width.W64
+  | Instr.Store { width; base; src; _ } ->
+    if Reg.equal r base then add Width.W64;
+    if Reg.equal r src then add width
+  | Instr.Li _ | Instr.La _ -> ()
+  | Instr.Call _ -> add Width.W64
+  | Instr.Emit _ -> add Width.W64);
+  match !roles with [] -> Width.W64 | w :: ws -> List.fold_left Width.max w ws
+
+let useful_pass config res (f : Prog.func) cfg =
+  let ud = Usedef.compute f cfg in
+  let nd = Usedef.num_defs ud in
+  let ins_tbl = Hashtbl.create 256 in
+  Prog.iter_ins f (fun _ ins -> Hashtbl.replace ins_tbl ins.iid ins.op);
+  let req = Array.init nd (fun di -> sound_width_of_def res ins_tbl ud di) in
+  (* Useful width of the output of instruction [iid]: max over the reqs of
+     the defs it makes (a Call makes many; they are all W64 anyway). *)
+  let req_out_of iid =
+    match Usedef.defs_of_ins ud iid with
+    | [] -> Width.W64
+    | ds -> List.fold_left (fun acc d -> Width.max acc req.(d)) Width.W8 ds
+  in
+  if config.useful then begin
+    let changed = ref true in
+    let guard = ref 0 in
+    while !changed && !guard < 64 do
+      changed := false;
+      incr guard;
+      for di = 0 to nd - 1 do
+        let d = Usedef.def ud di in
+        let uses = Usedef.uses_of_def ud di in
+        let dem =
+          List.fold_left
+            (fun acc (use_iid, r) ->
+              match Hashtbl.find_opt ins_tbl use_iid with
+              | Some op ->
+                Width.max acc (demand config ~req_out:(req_out_of use_iid) ~op ~r)
+              | None -> Width.W64 (* terminator use: full value *))
+            Width.W8 uses
+        in
+        (* Dead defs (no uses) demand nothing — except the stack pointer
+           and the return-value register, which are live across the
+           function boundary (the caller observes their full value). *)
+        let dem =
+          if Reg.equal d.Usedef.dreg Reg.sp || Reg.equal d.Usedef.dreg Reg.ret
+          then Width.W64
+          else if uses = [] then Width.W8
+          else dem
+        in
+        let nw = Width.min req.(di) dem in
+        if not (Width.equal nw req.(di)) then begin
+          req.(di) <- nw;
+          changed := true
+        end
+      done
+    done
+  end;
+  (* Publish per-instruction useful widths. *)
+  Prog.iter_ins f (fun _ ins ->
+      match Usedef.defs_of_ins ud ins.iid with
+      | [] -> ()
+      | ds ->
+        let w = List.fold_left (fun acc d -> Width.max acc req.(d)) Width.W8 ds in
+        Hashtbl.replace res.reqs ins.iid w)
+
+(* --- width assignment ------------------------------------------------------ *)
+
+let assign_widths res (f : Prog.func) =
+  Prog.iter_ins f (fun _ ins ->
+      let rng iid = Hashtbl.find_opt res.ranges iid in
+      let req iid =
+        match Hashtbl.find_opt res.reqs iid with Some w -> w | None -> Width.W64
+      in
+      let sound iid =
+        match rng iid with Some r -> Interval.width r | None -> Width.W64
+      in
+      let ins_rngs iid =
+        match Hashtbl.find_opt res.inputs iid with
+        | Some (a, b) -> (Interval.width a, Interval.width b)
+        | None -> (Width.W64, Width.W64)
+      in
+      let w =
+        match ins.op with
+        | Instr.Alu { op; width = orig; _ } -> (
+          match op with
+          | Instr.And | Instr.Or | Instr.Xor | Instr.Bic
+          | Instr.Add | Instr.Sub | Instr.Mul ->
+            (* Low-bit determined: the useful width of the output is
+               enough; never widen beyond the encoded width. *)
+            Some (Width.min orig (Width.min (req ins.iid) (sound ins.iid)))
+          | Instr.Sll ->
+            let _, wb = ins_rngs ins.iid in
+            Some (Width.min orig
+                    (Width.max wb (Width.min (req ins.iid) (sound ins.iid))))
+          | Instr.Div | Instr.Rem | Instr.Srl | Instr.Sra ->
+            let wa, wb = ins_rngs ins.iid in
+            Some (Width.min orig (Width.max (Width.max wa wb) (sound ins.iid))))
+        | Instr.Cmp { width = orig; _ } ->
+          let wa, wb = ins_rngs ins.iid in
+          Some (Width.min orig (Width.max wa wb))
+        | Instr.Cmov { width = orig; _ } ->
+          Some (Width.min orig (Width.min (req ins.iid) (sound ins.iid)))
+        | Instr.Msk { width = orig; _ } | Instr.Sext { width = orig; _ } ->
+          Some (Width.min orig (req ins.iid))
+        | Instr.Li _ | Instr.La _ ->
+          Some (Width.min (req ins.iid) (sound ins.iid))
+        | Instr.Load { width; _ } | Instr.Store { width; _ } -> Some width
+        | Instr.Call _ | Instr.Emit _ -> None
+      in
+      match w with
+      | Some w -> Hashtbl.replace res.widths ins.iid w
+      | None -> ())
+
+(* --- driver ---------------------------------------------------------------- *)
+
+let analyze ?(config = default_config) (p : Prog.t) : result =
+  let res =
+    {
+      ranges = Hashtbl.create 4096;
+      inputs = Hashtbl.create 4096;
+      reqs = Hashtbl.create 4096;
+      widths = Hashtbl.create 4096;
+      summaries = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (f : Prog.func) ->
+      Hashtbl.replace res.summaries f.fname
+        { s_args = Array.make f.arity Interval.top; s_ret = Interval.top })
+    p.funcs;
+  let gaddr = Interp.global_addresses p in
+  let cfgs = Hashtbl.create 16 in
+  let cfg_of (f : Prog.func) =
+    match Hashtbl.find_opt cfgs f.fname with
+    | Some c -> c
+    | None ->
+      let c = Cfg.of_func f in
+      Hashtbl.replace cfgs f.fname c;
+      c
+  in
+  let mk_ctx ?arg_acc ?record (f : Prog.func) =
+    { cfg = cfg_of f; gaddr; summaries = res.summaries; prog = p; config;
+      arg_acc; record }
+  in
+  let cg = Callgraph.compute p in
+  for _round = 1 to config.interproc_rounds do
+    (* One sweep: recompute every return summary and collect call-site
+       argument ranges with the current summaries. *)
+    let acc = Hashtbl.create 16 in
+    let new_rets = Hashtbl.create 16 in
+    List.iter
+      (fun fname ->
+        match Prog.find_func_opt p fname with
+        | None -> ()
+        | Some f ->
+          let ret = analyze_func (mk_ctx ~arg_acc:acc f) f in
+          Hashtbl.replace new_rets fname ret)
+      (Callgraph.bottom_up cg);
+    Hashtbl.iter
+      (fun fname ret ->
+        match Hashtbl.find_opt res.summaries fname with
+        | Some s -> s.s_ret <- ret
+        | None -> ())
+      new_rets;
+    List.iter
+      (fun (f : Prog.func) ->
+        match Hashtbl.find_opt res.summaries f.fname with
+        | None -> ()
+        | Some s ->
+          if Callgraph.is_recursive cg f.fname then
+            s.s_args <- Array.make f.arity Interval.top
+          else (
+            match Hashtbl.find_opt acc f.fname with
+            | Some a -> s.s_args <- a
+            | None -> () (* never called: keep ⊤ *)))
+      p.funcs
+  done;
+  (* Final recorded pass, then demand and width assignment per function. *)
+  List.iter
+    (fun (f : Prog.func) ->
+      let ret = analyze_func (mk_ctx ~record:res f) f in
+      (match Hashtbl.find_opt res.summaries f.fname with
+      | Some s -> s.s_ret <- ret
+      | None -> ());
+      useful_pass config res f (cfg_of f);
+      assign_widths res f)
+    p.funcs;
+  res
+
+let range_of res iid = Hashtbl.find_opt res.ranges iid
+let useful_width_of res iid = Hashtbl.find_opt res.reqs iid
+let width_of res iid = Hashtbl.find_opt res.widths iid
+
+let apply res (p : Prog.t) =
+  Prog.iter_all_ins p (fun _ _ ins ->
+      match Hashtbl.find_opt res.widths ins.iid with
+      | None -> ()
+      | Some w -> (
+        match ins.op with
+        | Instr.Alu _ | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _ | Instr.Sext _
+          ->
+          ins.op <- Instr.with_width ins.op w
+        | Instr.Li _ | Instr.La _ | Instr.Load _ | Instr.Store _
+        | Instr.Call _ | Instr.Emit _ -> ()))
+
+let run ?config p =
+  let res = analyze ?config p in
+  apply res p;
+  res
+
+let input_ranges_of res iid = Hashtbl.find_opt res.inputs iid
+
+let return_range (res : result) fname =
+  Option.map (fun s -> s.s_ret) (Hashtbl.find_opt res.summaries fname)
+
+let pp_summary ppf res =
+  Format.fprintf ppf "defs analyzed: %d; widths assigned: %d@\n"
+    (Hashtbl.length res.ranges) (Hashtbl.length res.widths);
+  let counts = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ w ->
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts w) in
+      Hashtbl.replace counts w (c + 1))
+    res.widths;
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "  width %s: %d@\n" (Width.to_string w)
+        (Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    Width.all

@@ -1,0 +1,524 @@
+open Ogc_isa
+open Ogc_ir
+
+type config = {
+  test_cost_nj : float;
+  hot_fraction : float;
+  max_candidates : int;
+  min_freq : float;
+  tnv_capacity : int;
+  train_config : Interp.config;
+  constprop : bool;  (* fold/eliminate inside clones (ablation knob) *)
+}
+
+(* The default guard cost approximates the full pipeline energy of one
+   extra instruction; the harness sweeps it (paper Figure 8's VRS 30-110nJ
+   configurations). *)
+let default_config =
+  {
+    test_cost_nj = 1.5;
+    hot_fraction = 0.001;
+    max_candidates = 256;
+    min_freq = 0.4;
+    tnv_capacity = 8;
+    train_config = Interp.default_config;
+    constprop = true;
+  }
+
+type outcome =
+  | Specialized of { lo : int64; hi : int64; freq : float; benefit : float }
+  | Dependent_on_other
+  | No_benefit
+
+type report = {
+  profiled : (int * outcome) list;
+  guard_iids : (int, unit) Hashtbl.t;
+  guard_branch_iids : (int, unit) Hashtbl.t;
+  clone_blocks : (string * Label.t) list;
+  clone_iids : (int, unit) Hashtbl.t;
+  static_cloned : int;
+  static_eliminated : int;
+  assumptions : Vrp.assumption list;
+  final_vrp : Vrp.result;
+}
+
+let specialized_count r =
+  List.length
+    (List.filter (function _, Specialized _ -> true | _ -> false) r.profiled)
+
+let r27 = Reg.of_int 27
+let r28 = Reg.of_int 28
+
+let fits_imm v = Int64.compare v (-32768L) >= 0 && Int64.compare v 32767L <= 0
+
+(* --- savings estimation (paper §3.1) -------------------------------------- *)
+
+(* Execution count of the block holding instruction [iid]. *)
+let make_inst_count (f : Prog.func) (counts : Interp.bb_counts) =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun (b : Prog.block) ->
+      let c = Interp.count_of counts f.fname b.label in
+      Array.iter (fun (ins : Prog.ins) -> Hashtbl.replace tbl ins.iid c) b.body;
+      Hashtbl.replace tbl b.term_iid c)
+    f.blocks;
+  fun iid -> Option.value ~default:0 (Hashtbl.find_opt tbl iid)
+
+(* Energy recovered when constant propagation folds one dependent
+   instruction away entirely (Li replacement + dead-code elimination),
+   beyond mere width narrowing.  Roughly the non-fixed share of one
+   instruction's pipeline energy. *)
+let fold_gain_nj = 1.2
+
+(* [Savings(I, r, min, max)]: total energy saved over the (training) run if
+   the output of [iid] narrowed to [new_width], following the def-use graph
+   through dependent instructions as in the paper's recursive formula.
+   When the specialized range is a single value ([single]), dependents
+   whose only register inputs carry that value fold to constants
+   (§3.4's value-specialization-plus-constant-propagation), which saves
+   their whole execution rather than just datapath width.  The realized
+   narrowing is later decided by re-running VRP; this estimate drives
+   candidate filtering and the final cost/benefit test. *)
+let estimate_savings ~table ~vrp ~ud ~ins_ops ~inst_count ~iid ~new_width
+    ~single =
+  let visited = Hashtbl.create 32 in
+  let gain = ref 0.0 in
+  let current_width use_iid =
+    match Vrp.width_of vrp use_iid with Some w -> w | None -> Width.W64
+  in
+  let other_input_width use_iid =
+    match Vrp.input_ranges_of vrp use_iid with
+    | Some (a, b) -> Width.min (Interval.width a) (Interval.width b)
+    | None -> Width.W64
+  in
+  (* A use folds to a constant when all the registers it reads hold the
+     (constant) specialized value — i.e. every register use is [r]. *)
+  let folds use_iid r =
+    match Hashtbl.find_opt ins_ops use_iid with
+    | Some (Instr.Alu _ | Instr.Cmp _ | Instr.Msk _ | Instr.Sext _ as op) ->
+      List.for_all (fun u -> Reg.equal u r) (Instr.uses op)
+    | Some _ | None -> false
+  in
+  let rec propagate def_iid w ~is_const =
+    List.iter
+      (fun di ->
+        List.iter
+          (fun (use_iid, r) ->
+            if not (Hashtbl.mem visited use_iid) then begin
+              Hashtbl.replace visited use_iid ();
+              let cur = current_width use_iid in
+              if is_const && folds use_iid r then begin
+                gain :=
+                  !gain +. (float_of_int (inst_count use_iid) *. fold_gain_nj);
+                propagate use_iid w ~is_const:true
+              end
+              else begin
+                let w' =
+                  Width.min cur (Width.max w (other_input_width use_iid))
+                in
+                if Width.compare w' cur < 0 then begin
+                  gain :=
+                    !gain
+                    +. float_of_int (inst_count use_iid)
+                       *. Savings_table.saving table ~from_:cur ~to_:w';
+                  propagate use_iid w' ~is_const:false
+                end
+              end
+            end)
+          (Usedef.uses_of_def ud di))
+      (Usedef.defs_of_ins ud def_iid)
+  in
+  (* The candidate itself is re-encoded narrower, too. *)
+  let cur = current_width iid in
+  let w0 = Width.min cur new_width in
+  if Width.compare w0 cur < 0 then
+    gain :=
+      !gain
+      +. float_of_int (inst_count iid)
+         *. Savings_table.saving table ~from_:cur ~to_:w0;
+  propagate iid w0 ~is_const:single;
+  !gain
+
+(* --- candidate selection (paper §3.3) -------------------------------------- *)
+
+type candidate = {
+  c_iid : int;
+  c_fname : string;
+  c_dst : Reg.t;
+  c_count : int;
+  c_prelim : float;
+}
+
+let eligible_dst (ins : Prog.ins) =
+  match ins.op with
+  | Instr.Alu { dst; _ } | Instr.Load { dst; _ } ->
+    if Reg.equal dst Reg.sp || Reg.equal dst Reg.zero then None else Some dst
+  | Instr.Call _ -> Some Reg.ret
+  | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _ | Instr.Sext _ | Instr.Li _
+  | Instr.La _ | Instr.Store _ | Instr.Emit _ -> None
+
+let select_candidates config ~table ~vrp (p : Prog.t) counts ~total_dyn =
+  let cands = ref [] in
+  List.iter
+    (fun (f : Prog.func) ->
+      let cfg = Cfg.of_func f in
+      let ud = Usedef.compute f cfg in
+      let inst_count = make_inst_count f counts in
+      let ins_ops = Hashtbl.create 256 in
+      Prog.iter_ins f (fun _ ins -> Hashtbl.replace ins_ops ins.iid ins.op);
+      Prog.iter_ins f (fun _ ins ->
+          match eligible_dst ins with
+          | None -> ()
+          | Some dst ->
+            let count = inst_count ins.iid in
+            let hot =
+              float_of_int count
+              >= config.hot_fraction *. float_of_int total_dyn
+              && count > 0
+            in
+            let wide =
+              match Vrp.width_of vrp ins.iid with
+              | Some (Width.W32 | Width.W64) -> true
+              | Some (Width.W8 | Width.W16) | None -> (
+                (* calls have no width; use the range instead *)
+                match Vrp.range_of vrp ins.iid with
+                | Some rng -> Width.compare (Interval.width rng) Width.W32 >= 0
+                | None -> false)
+            in
+            if hot && wide then begin
+              (* Preliminary filter: best-case narrowing (to a byte) at
+                 the cheapest guard (a single comparison). *)
+              let sav =
+                estimate_savings ~table ~vrp ~ud ~ins_ops ~inst_count
+                  ~iid:ins.iid ~new_width:Width.W8 ~single:true
+              in
+              let min_cost =
+                float_of_int count *. config.test_cost_nj
+              in
+              if sav -. min_cost > 0.0 then
+                cands :=
+                  {
+                    c_iid = ins.iid;
+                    c_fname = f.fname;
+                    c_dst = dst;
+                    c_count = count;
+                    c_prelim = sav -. min_cost;
+                  }
+                  :: !cands
+            end))
+    p.funcs;
+  let sorted =
+    List.sort (fun a b -> Float.compare b.c_prelim a.c_prelim) !cands
+  in
+  List.filteri (fun i _ -> i < config.max_candidates) sorted
+
+(* --- the transformation (paper §3.4) ---------------------------------------- *)
+
+(* Find the block index and body index of instruction [iid] in [f]. *)
+let locate (f : Prog.func) iid =
+  let found = ref None in
+  Array.iteri
+    (fun bi (b : Prog.block) ->
+      Array.iteri
+        (fun ii (ins : Prog.ins) -> if ins.iid = iid then found := Some (bi, ii))
+        b.body)
+    f.blocks;
+  !found
+
+(* Guard instruction sequence testing [x ∈ [lo,hi]]; returns the body
+   instructions (fresh iids recorded as guards) and the branch condition
+   source.  [None] as the register means "branch directly on x = 0". *)
+let build_guard p report ~x ~lo ~hi =
+  let fresh i =
+    let iid = Prog.fresh_iid p in
+    Hashtbl.replace report.guard_iids iid ();
+    { Prog.iid; op = i }
+  in
+  if Int64.equal lo hi then
+    if Int64.equal lo 0L then ([], `Zero_test)
+    else if fits_imm lo then
+      ( [ fresh (Instr.Cmp { op = Instr.Ceq; width = Width.W64; src1 = x;
+                             src2 = Instr.Imm lo; dst = r27 }) ],
+        `Test r27 )
+    else
+      ( [ fresh (Instr.Li { dst = r27; imm = lo });
+          fresh (Instr.Cmp { op = Instr.Ceq; width = Width.W64; src1 = x;
+                             src2 = Instr.Reg r27; dst = r27 }) ],
+        `Test r27 )
+  else begin
+    let lo_ins =
+      if fits_imm lo then
+        [ fresh (Instr.Cmp { op = Instr.Clt; width = Width.W64; src1 = x;
+                             src2 = Instr.Imm lo; dst = r27 }) ]
+      else
+        [ fresh (Instr.Li { dst = r27; imm = lo });
+          fresh (Instr.Cmp { op = Instr.Clt; width = Width.W64; src1 = x;
+                             src2 = Instr.Reg r27; dst = r27 }) ]
+    in
+    let hi_ins =
+      if fits_imm hi then
+        [ fresh (Instr.Cmp { op = Instr.Cle; width = Width.W64; src1 = x;
+                             src2 = Instr.Imm hi; dst = r28 }) ]
+      else
+        [ fresh (Instr.Li { dst = r28; imm = hi });
+          fresh (Instr.Cmp { op = Instr.Cle; width = Width.W64; src1 = x;
+                             src2 = Instr.Reg r28; dst = r28 }) ]
+    in
+    (* inside = (x <= hi) AND NOT (x < lo) *)
+    let combine =
+      [ fresh (Instr.Alu { op = Instr.Bic; width = Width.W64; src1 = r28;
+                           src2 = Instr.Reg r27; dst = r27 }) ]
+    in
+    (lo_ins @ hi_ins @ combine, `Test r27)
+  end
+
+(* Clone the dependent region and wire the guard.  Returns the assumption
+   to install, or [None] when the transformation is not applicable. *)
+let specialize_point (p : Prog.t) (f : Prog.func) report ~iid ~x ~lo ~hi =
+  match locate f iid with
+  | None -> None
+  | Some (bi, ii) ->
+    let b = f.blocks.(bi) in
+    let nbody = Array.length b.body in
+    (* 1. Split after the candidate. *)
+    let tail_body = Array.sub b.body (ii + 1) (nbody - ii - 1) in
+    let tail_label =
+      Prog.append_block f ~body:tail_body ~term:b.term ~term_iid:b.term_iid
+    in
+    let guard_body, test = build_guard p report ~x ~lo ~hi in
+    let head =
+      {
+        Prog.label = b.label;
+        body = Array.append (Array.sub b.body 0 (ii + 1)) (Array.of_list guard_body);
+        term = Prog.Jump tail_label (* placeholder until the clone exists *);
+        term_iid = Prog.fresh_iid p;
+      }
+    in
+    Hashtbl.replace report.guard_branch_iids head.term_iid ();
+    f.blocks.(Label.to_int b.label) <- head;
+    (* 2. Region: blocks dominated by the tail that contain instructions
+       dependent on the candidate, or lead to one inside the dominated
+       set. *)
+    let cfg = Cfg.of_func f in
+    let dom = Dom.compute cfg in
+    let ud = Usedef.compute f cfg in
+    let deps = Usedef.dependents ud ~iid in
+    let dominated =
+      Array.to_list f.blocks
+      |> List.filter_map (fun (blk : Prog.block) ->
+             if Dom.dominates dom tail_label blk.label then Some blk.label
+             else None)
+    in
+    let contains_dep (blk : Prog.block) =
+      Hashtbl.mem deps blk.term_iid
+      || Array.exists (fun (ins : Prog.ins) -> Hashtbl.mem deps ins.iid) blk.body
+    in
+    let dep_labels =
+      List.filter (fun l -> contains_dep f.blocks.(Label.to_int l)) dominated
+    in
+    (* Reverse reachability to a dependent block within the dominated set. *)
+    let in_dominated l = List.exists (Label.equal l) dominated in
+    let region = Hashtbl.create 16 in
+    let rec mark l =
+      if not (Hashtbl.mem region l) then begin
+        Hashtbl.replace region l ();
+        List.iter
+          (fun pl -> if in_dominated pl then mark pl)
+          (Cfg.preds cfg l)
+      end
+    in
+    List.iter mark dep_labels;
+    Hashtbl.replace region tail_label ();
+    let region_list =
+      List.filter (fun l -> Hashtbl.mem region l) dominated
+    in
+    (* 3. Clone the region. *)
+    let mapping = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        let orig = f.blocks.(Label.to_int l) in
+        let body =
+          Array.map
+            (fun (ins : Prog.ins) ->
+              let niid = Prog.fresh_iid p in
+              Hashtbl.replace report.clone_iids niid ();
+              { Prog.iid = niid; op = ins.op })
+            orig.body
+        in
+        let nl =
+          Prog.append_block f ~body ~term:orig.term
+            ~term_iid:(Prog.fresh_iid p)
+        in
+        Hashtbl.replace mapping (Label.to_int l) nl)
+      region_list;
+    (* Redirect intra-region edges inside the clones. *)
+    let remap l =
+      match Hashtbl.find_opt mapping (Label.to_int l) with
+      | Some nl -> nl
+      | None -> l
+    in
+    Hashtbl.iter
+      (fun _ nl ->
+        let blk = f.blocks.(Label.to_int nl) in
+        blk.term <-
+          (match blk.term with
+          | Prog.Jump l -> Prog.Jump (remap l)
+          | Prog.Branch br ->
+            Prog.Branch
+              { br with if_true = remap br.if_true; if_false = remap br.if_false }
+          | Prog.Return -> Prog.Return))
+      mapping;
+    (* 4. Final guard branch. *)
+    let clone_entry = Hashtbl.find mapping (Label.to_int tail_label) in
+    head.term <-
+      (match test with
+      | `Zero_test ->
+        Prog.Branch
+          { cond = Instr.Eq; src = x; if_true = clone_entry; if_false = tail_label }
+      | `Test r ->
+        Prog.Branch
+          { cond = Instr.Ne; src = r; if_true = clone_entry; if_false = tail_label });
+    let cloned_static =
+      List.fold_left
+        (fun acc l -> acc + Array.length f.blocks.(Label.to_int l).body)
+        0 region_list
+    in
+    Some
+      ( { Vrp.af = f.fname; alabel = clone_entry; areg = x;
+          arange = Interval.v lo hi },
+        region_list,
+        List.map (fun l -> Hashtbl.find mapping (Label.to_int l)) region_list,
+        deps,
+        cloned_static )
+
+(* --- driver ------------------------------------------------------------------ *)
+
+let guard_instr_count ~lo ~hi =
+  if Int64.equal lo hi then (if Int64.equal lo 0L then 1 else 2) else 4
+
+let run ?(config = default_config) (p : Prog.t) =
+  let table = Savings_table.default in
+  (* Step 0: VRP pass; VRS builds on re-encoded code. *)
+  let vrp1 = Vrp.run p in
+  (* Step 1: training run for basic-block profiles. *)
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let train1 = Interp.run ~config:config.train_config ~bb_counts:counts p in
+  let cands =
+    select_candidates config ~table ~vrp:vrp1 p counts ~total_dyn:train1.steps
+  in
+  (* Step 2: value-profile the candidates on the training input. *)
+  let profiles = Hashtbl.create 64 in
+  let samplers = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let t = Tnv.create ~capacity:config.tnv_capacity () in
+      Hashtbl.replace profiles c.c_iid t;
+      Hashtbl.replace samplers c.c_iid (Tnv.observe t))
+    cands;
+  ignore (Interp.run ~config:config.train_config ~profile:samplers p);
+  (* Step 3: cost/benefit and transformation, best candidates first. *)
+  let report =
+    {
+      profiled = [];
+      guard_iids = Hashtbl.create 64;
+      guard_branch_iids = Hashtbl.create 64;
+      clone_blocks = [];
+      clone_iids = Hashtbl.create 256;
+      static_cloned = 0;
+      static_eliminated = 0;
+      assumptions = [];
+      final_vrp = vrp1;
+    }
+  in
+  let consumed = Hashtbl.create 64 in
+  let outcomes = ref [] in
+  let assumptions = ref [] in
+  let clone_blocks = ref [] in
+  let static_cloned = ref 0 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem consumed c.c_iid then
+        outcomes := (c.c_iid, Dependent_on_other) :: !outcomes
+      else begin
+        let f = Prog.find_func p c.c_fname in
+        let cfg = Cfg.of_func f in
+        let ud = Usedef.compute f cfg in
+        let inst_count = make_inst_count f counts in
+        let ins_ops = Hashtbl.create 256 in
+        Prog.iter_ins f (fun _ ins -> Hashtbl.replace ins_ops ins.iid ins.op);
+        let tnv = Hashtbl.find profiles c.c_iid in
+        let best =
+          List.fold_left
+            (fun best (lo, hi, freq) ->
+              if freq < config.min_freq then best
+              else begin
+                let w = Width.needed_range lo hi in
+                let sav =
+                  estimate_savings ~table ~vrp:vrp1 ~ud ~ins_ops ~inst_count
+                    ~iid:c.c_iid ~new_width:w ~single:(Int64.equal lo hi)
+                in
+                let cost =
+                  float_of_int c.c_count
+                  *. config.test_cost_nj
+                  *. float_of_int (guard_instr_count ~lo ~hi)
+                in
+                let benefit = (freq *. sav) -. cost in
+                match best with
+                | Some (_, _, _, b) when b >= benefit -> best
+                | _ when benefit > 0.0 -> Some (lo, hi, freq, benefit)
+                | _ -> best
+              end)
+            None (Tnv.candidate_ranges tnv)
+        in
+        match best with
+        | None -> outcomes := (c.c_iid, No_benefit) :: !outcomes
+        | Some (lo, hi, freq, benefit) -> (
+          match
+            specialize_point p f report ~iid:c.c_iid ~x:c.c_dst ~lo ~hi
+          with
+          | None -> outcomes := (c.c_iid, No_benefit) :: !outcomes
+          | Some (assumption, region_orig, region_clones, deps, cloned) ->
+            assumptions := assumption :: !assumptions;
+            static_cloned := !static_cloned + cloned;
+            clone_blocks :=
+              List.map (fun l -> (c.c_fname, l)) region_clones @ !clone_blocks;
+            (* Later candidates inside this region, or data-dependent on
+               this point, are subsumed. *)
+            Hashtbl.iter (fun dep_iid () -> Hashtbl.replace consumed dep_iid ()) deps;
+            List.iter
+              (fun l ->
+                Array.iter
+                  (fun (ins : Prog.ins) -> Hashtbl.replace consumed ins.iid ())
+                  f.blocks.(Label.to_int l).body)
+              region_orig;
+            outcomes :=
+              (c.c_iid, Specialized { lo; hi; freq; benefit }) :: !outcomes)
+      end)
+    cands;
+  Validate.program p;
+  (* Step 4: propagate the guard-established ranges and fold constants. *)
+  let vrp_cfg = { Vrp.default_config with assumptions = !assumptions } in
+  let vrp2 = Vrp.run ~config:vrp_cfg p in
+  let eliminated_in_clones =
+    if config.constprop then begin
+      let cp = Constprop.run vrp2 p in
+      List.length
+        (List.filter
+           (fun iid -> Hashtbl.mem report.clone_iids iid)
+           cp.removed_iids)
+    end
+    else 0
+  in
+  Validate.program p;
+  (* Step 5: final width assignment on the cleaned program. *)
+  let vrp3 = Vrp.run ~config:vrp_cfg p in
+  Validate.program p;
+  {
+    report with
+    profiled = List.rev !outcomes;
+    clone_blocks = !clone_blocks;
+    static_cloned = !static_cloned;
+    static_eliminated = eliminated_in_clones;
+    assumptions = !assumptions;
+    final_vrp = vrp3;
+  }

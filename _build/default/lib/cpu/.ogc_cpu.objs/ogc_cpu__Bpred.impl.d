@@ -1,0 +1,1 @@
+lib/cpu/bpred.ml: Bool Bytes Char Machine_config

@@ -1,0 +1,1 @@
+lib/cpu/bpred.mli: Machine_config

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.ml: Array Bpred Cache Encoding Hashtbl Instr Int64 Interp List Machine_config Ogc_energy Ogc_gating Ogc_ir Ogc_isa Option Prog Reg Width

@@ -1,0 +1,1 @@
+lib/cpu/pipeline.mli: Hashtbl Instr Interp Machine_config Ogc_energy Ogc_gating Ogc_ir Ogc_isa Prog Width

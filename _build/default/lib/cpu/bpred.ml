@@ -1,0 +1,85 @@
+(* 2-bit saturating counters packed in Bytes; >= 2 predicts taken. *)
+type table = { counters : Bytes.t; mask : int }
+
+let make_table entries =
+  { counters = Bytes.make entries '\001'; mask = entries - 1 }
+
+let read tbl i = Char.code (Bytes.get tbl.counters (i land tbl.mask))
+
+let bump tbl i up =
+  let i = i land tbl.mask in
+  let c = Char.code (Bytes.get tbl.counters i) in
+  let c' = if up then min 3 (c + 1) else max 0 (c - 1) in
+  Bytes.set tbl.counters i (Char.chr c')
+
+type kind =
+  | Bimodal of table
+  | Gshare of { tbl : table; history_mask : int; mutable history : int }
+  | Combined of { chooser : table; gshare : t; bimodal : t }
+
+and t = { kind : kind; mutable predictions : int; mutable mispredictions : int }
+
+let create_bimodal ~entries =
+  { kind = Bimodal (make_table entries); predictions = 0; mispredictions = 0 }
+
+let create_gshare ~entries ~history_bits =
+  {
+    kind =
+      Gshare
+        { tbl = make_table entries;
+          history_mask = (1 lsl history_bits) - 1;
+          history = 0 };
+    predictions = 0;
+    mispredictions = 0;
+  }
+
+let create_combined ~chooser_entries ~gshare_entries ~gshare_history
+    ~bimodal_entries =
+  {
+    kind =
+      Combined
+        {
+          chooser = make_table chooser_entries;
+          gshare = create_gshare ~entries:gshare_entries ~history_bits:gshare_history;
+          bimodal = create_bimodal ~entries:bimodal_entries;
+        };
+    predictions = 0;
+    mispredictions = 0;
+  }
+
+let of_config (c : Machine_config.t) =
+  create_combined ~chooser_entries:c.chooser_entries
+    ~gshare_entries:c.gshare_entries ~gshare_history:c.gshare_history
+    ~bimodal_entries:c.bimodal_entries
+
+let rec predict_raw t ~pc =
+  match t.kind with
+  | Bimodal tbl -> read tbl pc >= 2
+  | Gshare g -> read g.tbl (pc lxor (g.history land g.history_mask)) >= 2
+  | Combined c ->
+    if read c.chooser pc >= 2 then predict_raw c.gshare ~pc
+    else predict_raw c.bimodal ~pc
+
+let predict t ~pc =
+  t.predictions <- t.predictions + 1;
+  predict_raw t ~pc
+
+let rec update_raw t ~pc ~taken =
+  match t.kind with
+  | Bimodal tbl -> bump tbl pc taken
+  | Gshare g ->
+    bump g.tbl (pc lxor (g.history land g.history_mask)) taken;
+    g.history <- ((g.history lsl 1) lor Bool.to_int taken) land g.history_mask
+  | Combined c ->
+    let pg = predict_raw c.gshare ~pc and pb = predict_raw c.bimodal ~pc in
+    (* Train the chooser toward whichever component was right. *)
+    if pg <> pb then bump c.chooser pc (pg = taken);
+    update_raw c.gshare ~pc ~taken;
+    update_raw c.bimodal ~pc ~taken
+
+let update t ~pc ~taken =
+  if predict_raw t ~pc <> taken then
+    t.mispredictions <- t.mispredictions + 1;
+  update_raw t ~pc ~taken
+
+let stats t = (t.predictions, t.mispredictions)

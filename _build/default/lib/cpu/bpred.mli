@@ -1,0 +1,28 @@
+(** Branch predictors: bimodal, gshare, and the Table 2 combined
+    predictor (a chooser selecting between them, McFarling style). *)
+
+type t
+
+val create_bimodal : entries:int -> t
+val create_gshare : entries:int -> history_bits:int -> t
+
+val create_combined :
+  chooser_entries:int ->
+  gshare_entries:int ->
+  gshare_history:int ->
+  bimodal_entries:int ->
+  t
+
+val of_config : Machine_config.t -> t
+(** The paper's combined predictor. *)
+
+(** [predict t ~pc] returns the taken/not-taken prediction. *)
+val predict : t -> pc:int -> bool
+
+(** [update t ~pc ~taken] trains the predictor (and chooser) with the
+    actual outcome.  Call after {!predict} for the same branch. *)
+val update : t -> pc:int -> taken:bool -> unit
+
+(** Statistics: (predictions, mispredictions) observed via
+    {!predict}/{!update} pairs. *)
+val stats : t -> int * int

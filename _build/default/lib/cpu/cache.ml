@@ -1,0 +1,65 @@
+type t = {
+  ways : int;
+  sets : int;
+  line_shift : int;
+  (* tags.(set * ways + way); -1 = invalid.  [lru] holds a per-line
+     timestamp; the smallest stamp in a set is the LRU victim. *)
+  tags : int array;
+  lru : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create (g : Machine_config.cache_geometry) =
+  let lines = g.size_bytes / g.line_bytes in
+  let sets = max 1 (lines / g.ways) in
+  {
+    ways = g.ways;
+    sets;
+    line_shift = log2 g.line_bytes;
+    tags = Array.make (sets * g.ways) (-1);
+    lru = Array.make (sets * g.ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = Int64.to_int (Int64.shift_right_logical addr t.line_shift) in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.ways in
+  let hit = ref false in
+  (try
+     for w = 0 to t.ways - 1 do
+       if t.tags.(base + w) = tag then begin
+         t.lru.(base + w) <- t.clock;
+         hit := true;
+         raise_notrace Exit
+       end
+     done
+   with Exit -> ());
+  if not !hit then begin
+    t.misses <- t.misses + 1;
+    (* Fill, evicting the least recently used way. *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if t.lru.(base + w) < t.lru.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- tag;
+    t.lru.(base + !victim) <- t.clock
+  end;
+  !hit
+
+let stats t = (t.accesses, t.misses)
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0

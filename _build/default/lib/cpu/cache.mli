@@ -1,0 +1,14 @@
+(** Set-associative cache with LRU replacement. *)
+
+type t
+
+val create : Machine_config.cache_geometry -> t
+
+(** [access t addr] touches the line containing [addr]; returns [true] on
+    hit.  On miss the line is filled (and an LRU victim evicted). *)
+val access : t -> int64 -> bool
+
+(** (accesses, misses) since creation. *)
+val stats : t -> int * int
+
+val reset_stats : t -> unit

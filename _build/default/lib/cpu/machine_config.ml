@@ -1,0 +1,99 @@
+type cache_geometry = { size_bytes : int; ways : int; line_bytes : int }
+
+type t = {
+  fetch_width : int;
+  decode_width : int;
+  issue_width : int;
+  retire_width : int;
+  window_size : int;
+  phys_regs : int;
+  int_alus : int;
+  int_muldiv : int;
+  frontend_depth : int;
+  icache : cache_geometry;
+  icache_hit : int;
+  icache_miss_penalty : int;
+  dcache : cache_geometry;
+  dcache_hit : int;
+  dcache_miss_penalty : int;
+  l2 : cache_geometry;
+  l2_hit : int;
+  memory_latency : int;
+  mispredict_penalty : int;
+  gshare_entries : int;
+  gshare_history : int;
+  bimodal_entries : int;
+  chooser_entries : int;
+  mul_latency : int;
+  div_latency : int;
+}
+
+let default =
+  {
+    fetch_width = 4;
+    decode_width = 4;
+    issue_width = 4;
+    retire_width = 4;
+    window_size = 64;
+    phys_regs = 96;
+    int_alus = 3;
+    int_muldiv = 1;
+    frontend_depth = 4;
+    icache = { size_bytes = 64 * 1024; ways = 2; line_bytes = 32 };
+    icache_hit = 1;
+    icache_miss_penalty = 6;
+    dcache = { size_bytes = 64 * 1024; ways = 2; line_bytes = 32 };
+    dcache_hit = 1;
+    dcache_miss_penalty = 6;
+    l2 = { size_bytes = 256 * 1024; ways = 4; line_bytes = 64 };
+    l2_hit = 6;
+    memory_latency = 18;
+    mispredict_penalty = 5;
+    gshare_entries = 64 * 1024;
+    gshare_history = 16;
+    bimodal_entries = 2 * 1024;
+    chooser_entries = 1024;
+    mul_latency = 7;
+    div_latency = 20;
+  }
+
+let narrow2 =
+  { default with fetch_width = 2; decode_width = 2; issue_width = 2;
+    retire_width = 2; window_size = 32; int_alus = 2; phys_regs = 64 }
+
+let wide8 =
+  { default with fetch_width = 8; decode_width = 8; issue_width = 8;
+    retire_width = 8; window_size = 128; int_alus = 6; int_muldiv = 2;
+    phys_regs = 192 }
+
+let rows t =
+  [
+    ("Fetch width", Printf.sprintf "%d instructions" t.fetch_width);
+    ( "I-cache",
+      Printf.sprintf
+        "%dKB, %d-way set-associative, %d-byte lines, %d-cycle hit, %d-cycle miss penalty"
+        (t.icache.size_bytes / 1024) t.icache.ways t.icache.line_bytes
+        t.icache_hit t.icache_miss_penalty );
+    ( "Branch predictor",
+      Printf.sprintf
+        "combined: %dK-entry chooser, gshare with %dK 2-bit counters and %d-bit history, %dK-entry bimodal"
+        (t.chooser_entries / 1024) (t.gshare_entries / 1024) t.gshare_history
+        (t.bimodal_entries / 1024) );
+    ("Decode/Rename width", Printf.sprintf "%d instructions" t.decode_width);
+    ("Max in-flight instructions", string_of_int t.window_size);
+    ("Retire width", Printf.sprintf "%d instructions" t.retire_width);
+    ( "Functional units",
+      Printf.sprintf "%d intALU + %d int mul/div" t.int_alus t.int_muldiv );
+    ("Issue mechanism", Printf.sprintf "%d instructions, out-of-order" t.issue_width);
+    ( "D-cache L1",
+      Printf.sprintf
+        "%dKB, %d-way set-associative, %d-byte lines, %d-cycle hit, %d-cycle miss penalty"
+        (t.dcache.size_bytes / 1024) t.dcache.ways t.dcache.line_bytes
+        t.dcache_hit t.dcache_miss_penalty );
+    ( "I/D-cache L2",
+      Printf.sprintf
+        "%dKB, %d-way set-associative, %d-byte lines, %d-cycle hit, %d+2-cycle memory"
+        (t.l2.size_bytes / 1024) t.l2.ways t.l2.line_bytes t.l2_hit
+        t.memory_latency );
+    ("Physical registers", string_of_int t.phys_regs);
+  ]

@@ -1,0 +1,55 @@
+(** Machine parameters — the paper's Table 2. *)
+
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+}
+
+type t = {
+  fetch_width : int;
+  decode_width : int;
+  issue_width : int;
+  retire_width : int;
+  window_size : int;  (** max in-flight instructions *)
+  phys_regs : int;
+  int_alus : int;
+  int_muldiv : int;
+  frontend_depth : int;  (** fetch-to-dispatch stages *)
+  icache : cache_geometry;
+  icache_hit : int;
+  icache_miss_penalty : int;
+  dcache : cache_geometry;
+  dcache_hit : int;
+  dcache_miss_penalty : int;  (** L1 miss, L2 hit: extra cycles *)
+  l2 : cache_geometry;
+  l2_hit : int;
+  memory_latency : int;  (** L2 miss: first-chunk cycles *)
+  mispredict_penalty : int;  (** front-end refill after redirect *)
+  (* branch predictor *)
+  gshare_entries : int;
+  gshare_history : int;
+  bimodal_entries : int;
+  chooser_entries : int;
+  mul_latency : int;
+  div_latency : int;
+}
+
+val default : t
+(** The Table 2 configuration: 4-wide fetch/decode/issue/retire, 64-entry
+    window, 96 physical registers, 3 integer ALUs + 1 mul/div, 64KB 2-way
+    L1 caches (32B lines, 1-cycle hit, 6-cycle miss penalty), 256KB 4-way
+    L2 (64B lines, 6-cycle hit), 16+2-cycle memory, combined predictor
+    (64K-counter gshare with 16-bit history, 2K-entry bimodal, 1K-entry
+    chooser). *)
+
+(** Sensitivity-study variants (beyond the paper): a 2-wide machine with
+    half the window/units, and an 8-wide machine with double.  Cache and
+    predictor geometry stay at the Table 2 values so the comparison
+    isolates issue width. *)
+val narrow2 : t
+
+val wide8 : t
+
+val rows : t -> (string * string) list
+(** Human-readable parameter table for reports. *)

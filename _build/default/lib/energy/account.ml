@@ -1,0 +1,66 @@
+let structure_index (s : Energy_params.structure) =
+  match s with
+  | Energy_params.Rename -> 0
+  | Energy_params.Bpred -> 1
+  | Energy_params.Iq -> 2
+  | Energy_params.Rob -> 3
+  | Energy_params.Rename_buffers -> 4
+  | Energy_params.Lsq -> 5
+  | Energy_params.Regfile -> 6
+  | Energy_params.Icache -> 7
+  | Energy_params.Dcache1 -> 8
+  | Energy_params.Dcache2 -> 9
+  | Energy_params.Alu -> 10
+  | Energy_params.Muldiv -> 11
+  | Energy_params.Resultbus -> 12
+  | Energy_params.Clock -> 13
+
+type t = {
+  p : Energy_params.t;
+  acc : float array;
+  (* Precomputed per-access energies: [table.(structure * 8 + bytes - 1)]
+     at zero tag bits; tags add [tag_bit_nj] per bit. *)
+  table : float array;
+}
+
+let nstructures = List.length Energy_params.all_structures
+
+let create p =
+  let table = Array.make (nstructures * 8) 0.0 in
+  List.iter
+    (fun s ->
+      let i = structure_index s in
+      for bytes = 1 to 8 do
+        table.((i * 8) + bytes - 1) <-
+          Energy_params.access_energy p s ~active_bytes:bytes ~tag_bits:0
+      done)
+    Energy_params.all_structures;
+  { p; acc = Array.make nstructures 0.0; table }
+
+let params t = t.p
+
+let charge t s ~active_bytes ~tag_bits =
+  let i = structure_index s in
+  let b = if active_bytes < 1 then 1 else if active_bytes > 8 then 8 else active_bytes in
+  t.acc.(i) <-
+    t.acc.(i)
+    +. t.table.((i * 8) + b - 1)
+    +. (float_of_int tag_bits *. t.p.Energy_params.tag_bit_nj)
+
+let charge_fixed t s n =
+  let i = structure_index s in
+  t.acc.(i) <- t.acc.(i) +. (float_of_int n *. t.table.((i * 8) + 7))
+
+let energy_of t s = t.acc.(structure_index s)
+
+let total t = Array.fold_left ( +. ) 0.0 t.acc
+
+let by_structure t =
+  List.map (fun s -> (s, energy_of t s)) Energy_params.all_structures
+
+let ed2 ~energy ~cycles =
+  let d = float_of_int cycles in
+  energy *. d *. d
+
+let savings ~baseline ~improved =
+  if baseline = 0.0 then 0.0 else (baseline -. improved) /. baseline

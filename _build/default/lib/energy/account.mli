@@ -1,0 +1,30 @@
+(** Energy accounting: per-structure accumulation and derived metrics. *)
+
+type t
+
+val create : Energy_params.t -> t
+val params : t -> Energy_params.t
+
+(** [charge t s ~active_bytes ~tag_bits] adds one access. *)
+val charge : t -> Energy_params.structure -> active_bytes:int -> tag_bits:int -> unit
+
+(** [charge_fixed t s n] adds [n] accesses with no width scaling (full
+    width, no tags). *)
+val charge_fixed : t -> Energy_params.structure -> int -> unit
+
+val energy_of : t -> Energy_params.structure -> float
+(** Accumulated nJ in one structure. *)
+
+val total : t -> float
+
+val by_structure : t -> (Energy_params.structure * float) list
+(** In {!Energy_params.all_structures} order. *)
+
+(** {1 Metrics} *)
+
+(** [ed2 ~energy ~cycles] is the energy-delay² product. *)
+val ed2 : energy:float -> cycles:int -> float
+
+(** [savings ~baseline ~improved] is the fractional reduction
+    [(baseline - improved) / baseline]; 0 when the baseline is 0. *)
+val savings : baseline:float -> improved:float -> float

@@ -1,0 +1,1 @@
+lib/gating/policy.ml: Ogc_isa Sigbytes Width

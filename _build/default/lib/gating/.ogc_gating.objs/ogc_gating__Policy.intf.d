@@ -1,0 +1,1 @@
+lib/gating/policy.mli: Ogc_isa Width

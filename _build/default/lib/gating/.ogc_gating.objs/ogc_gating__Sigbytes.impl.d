@@ -1,0 +1,1 @@
+lib/gating/sigbytes.ml: Int64

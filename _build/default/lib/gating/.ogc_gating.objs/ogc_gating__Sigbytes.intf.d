@@ -1,0 +1,1 @@
+lib/gating/sigbytes.mli:

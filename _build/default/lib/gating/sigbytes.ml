@@ -1,0 +1,23 @@
+let significant_bytes v =
+  let rec go k =
+    if k >= 8 then 8
+    else
+      let shift = k * 8 in
+      let sext =
+        Int64.shift_right (Int64.shift_left v (64 - shift)) (64 - shift)
+      in
+      let zext =
+        Int64.shift_right_logical (Int64.shift_left v (64 - shift)) (64 - shift)
+      in
+      if Int64.equal sext v || Int64.equal zext v then k else go (k + 1)
+  in
+  go 1
+
+let size_class k =
+  if k <= 1 then 1
+  else if k <= 2 then 2
+  else if k <= 5 then 5
+  else 8
+
+let significance_tag_bits = 7
+let size_tag_bits = 2

@@ -1,0 +1,24 @@
+(** Dynamic significance of values (hardware operand gating, paper §4.6).
+
+    The hardware schemes inspect each value as it flows through the
+    pipeline and gate off its insignificant upper bytes — those that are
+    pure sign/zero extension of the significant part. *)
+
+(** [significant_bytes v] is the smallest [k] in [1..8] such that either
+    sign-extending or zero-extending the low [k] bytes of [v] recovers
+    [v].  E.g. [significant_bytes 255L = 1] (zero-extension),
+    [significant_bytes (-1L) = 1] (sign-extension),
+    [significant_bytes 256L = 2]. *)
+val significant_bytes : int64 -> int
+
+(** [size_class k] rounds a byte count up to the 2-bit size-compression
+    classes {1, 2, 5, 8} (the 5-byte class exists because Alpha data and
+    stack addresses are 33-40 bits; see the paper's Figure 12). *)
+val size_class : int -> int
+
+(** Significance compression: [k] significant bytes pass, plus 7 tag bits
+    of overhead per 64-bit word. *)
+val significance_tag_bits : int
+
+(** Size compression: 2 tag bits per word. *)
+val size_tag_bits : int

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer Hashtbl Instr Int List Ogc_core Ogc_cpu Ogc_energy Ogc_isa Option Printf Render Results String Width

@@ -1,0 +1,1 @@
+lib/harness/results.ml: Array Float Hashtbl Instr Int64 List Ogc_core Ogc_cpu Ogc_energy Ogc_gating Ogc_ir Ogc_isa Ogc_workloads Option Printf Width

@@ -1,0 +1,1 @@
+lib/harness/results.mli: Instr Ogc_core Ogc_cpu Ogc_energy Ogc_isa Width

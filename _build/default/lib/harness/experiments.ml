@@ -1,0 +1,487 @@
+open Ogc_isa
+module Ep = Ogc_energy.Energy_params
+module Vrs = Ogc_core.Vrs
+module Savings_table = Ogc_core.Savings_table
+
+type experiment = {
+  id : string;
+  title : string;
+  render : Results.t -> string;
+}
+
+let widths_desc = [ Width.W64; Width.W32; Width.W16; Width.W8 ]
+let buf_render f = let b = Buffer.create 1024 in f b; Buffer.contents b
+
+
+(* Per-benchmark row + AVG row for a list of (config name, selector). *)
+let per_benchmark_table (t : Results.t) configs =
+  let header = "Benchmark" :: List.map fst configs in
+  let rows =
+    List.map
+      (fun (w : Results.wres) ->
+        w.wname :: List.map (fun (_, f) -> Render.pct (f w)) configs)
+      t.workloads
+  in
+  let avg =
+    "AVG" :: List.map (fun (_, f) -> Render.pct (Results.mean t f)) configs
+  in
+  Render.table ~header (rows @ [ avg ])
+
+(* --- Table 1 --------------------------------------------------------------- *)
+
+let table1 _ =
+  let tbl = Savings_table.default in
+  let header =
+    "Dest \\ Source" :: List.map (fun w -> Width.to_string w ^ "b") widths_desc
+  in
+  let rows =
+    List.map
+      (fun (dst, cols) ->
+        (Width.to_string dst ^ "b")
+        :: List.map
+             (fun (src, v) ->
+               if Width.equal src dst then "-" else Printf.sprintf "%.2f" v)
+             cols)
+      (Savings_table.matrix tbl)
+  in
+  "Energy savings for ALU operations (nJ) by source width (columns) and\n\
+   destination width (rows), derived from the energy model as the paper\n\
+   derived its Table 1 from Wattch measurements.\n\n"
+  ^ Render.table ~header rows
+
+(* --- Table 2 --------------------------------------------------------------- *)
+
+let table2 _ =
+  let rows =
+    List.map (fun (k, v) -> [ k; v ]) (Ogc_cpu.Machine_config.rows Ogc_cpu.Machine_config.default)
+  in
+  Render.table ~header:[ "Parameter"; "Configuration" ] rows
+
+(* --- Table 3 --------------------------------------------------------------- *)
+
+(* The §4.3 analysis around Table 3: which width-variant opcodes must be
+   added to the Alpha ISA, and how much of the dynamic instruction stream
+   they cover. *)
+let opcode_extensions (t : Results.t) =
+  let counts = Hashtbl.create 128 in
+  let total = ref 0 in
+  List.iter
+    (fun (w : Results.wres) ->
+      Hashtbl.iter
+        (fun op n ->
+          total := !total + n;
+          Hashtbl.replace counts op
+            (n + Option.value ~default:0 (Hashtbl.find_opt counts op)))
+        w.Results.vrp_sw.Ogc_cpu.Pipeline.opcode_counts)
+    t.workloads;
+  let extensions =
+    Hashtbl.fold
+      (fun op n acc ->
+        if Ogc_isa.Encoding.base_alpha (Ogc_isa.Encoding.opcode_of_int op) then acc
+        else (op, n) :: acc)
+      counts []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let ext_total = List.fold_left (fun a (_, n) -> a + n) 0 extensions in
+  let rows =
+    List.filteri (fun i _ -> i < 14) extensions
+    |> List.map (fun (op, n) ->
+           [ Ogc_isa.Encoding.mnemonic (Ogc_isa.Encoding.opcode_of_int op);
+             Render.pct (float_of_int n /. float_of_int (max 1 !total)) ])
+  in
+  Printf.sprintf
+    "\nRequired opcode extensions (§4.3): %d width-variant opcodes beyond\n\
+     the base Alpha set are executed, covering %s of the dynamic stream.\n\
+     The most frequent:\n\n"
+    (List.length extensions)
+    (Render.pct (float_of_int ext_total /. float_of_int (max 1 !total)))
+  ^ Render.table ~header:[ "Opcode"; "% of run-time instrs" ] rows
+
+let table3 (t : Results.t) =
+  let rows =
+    List.map
+      (fun (ic, share, per_width) ->
+        Instr.iclass_name ic
+        :: Render.pct share
+        :: List.map (fun w -> Render.pct (List.assoc w per_width)) widths_desc)
+      (Results.class_table t (fun w -> w.Results.vrp_sw))
+  in
+  "Distribution of operation types (dynamic, averaged over the suite,\n\
+   widths assigned by the proposed VRP).\n\n"
+  ^ Render.table
+      ~header:("Type" :: "% of run-time instrs"
+               :: List.map (fun w -> Width.to_string w ^ "b") widths_desc)
+      rows
+  ^ opcode_extensions t
+
+(* --- Figure 2 --------------------------------------------------------------- *)
+
+let dist_row label dist =
+  label
+  :: List.map (fun w -> Render.pct (List.assoc w dist)) [ Width.W8; Width.W16; Width.W32; Width.W64 ]
+
+let fig2 (t : Results.t) =
+  let conv = Results.average_distribution t (fun w -> w.Results.vrpconv_sw) in
+  let prop = Results.average_distribution t (fun w -> w.Results.vrp_sw) in
+  "Dynamic instruction distribution according to value-range width\n\
+   (average over the suite).\n\n"
+  ^ Render.table
+      ~header:[ "Mechanism"; "8 bits"; "16 bits"; "32 bits"; "64 bits" ]
+      [ dist_row "Conventional VRP" conv; dist_row "Proposed VRP" prop ]
+
+(* --- Figure 3 --------------------------------------------------------------- *)
+
+let fig3_structures =
+  [ Ep.Iq; Ep.Rename_buffers; Ep.Lsq; Ep.Regfile; Ep.Dcache1; Ep.Alu;
+    Ep.Resultbus ]
+
+let overall_saving metric (t : Results.t) select =
+  Results.mean t (fun w -> metric w ~improved:(select w))
+
+let fig3 (t : Results.t) =
+  let rows =
+    List.map
+      (fun s ->
+        let v =
+          Results.mean t (fun w ->
+              Results.structure_saving w ~improved:w.Results.vrp_sw s)
+        in
+        [ Ep.structure_name s; Render.pct v; Render.bar v ~scale:0.25 ~width:32 ])
+      fig3_structures
+    @ [ (let v = overall_saving Results.energy_saving t (fun w -> w.Results.vrp_sw) in
+         [ "Processor"; Render.pct v; Render.bar v ~scale:0.25 ~width:32 ]) ]
+  in
+  "Energy savings with VRP, per processor structure (average).\n\n"
+  ^ Render.table ~header:[ "Processor part"; "Saving"; "" ] rows
+
+(* --- Figure 4 --------------------------------------------------------------- *)
+
+let outcome_counts (rep : Vrs.report) =
+  List.fold_left
+    (fun (s, d, n) (_, o) ->
+      match o with
+      | Vrs.Specialized _ -> (s + 1, d, n)
+      | Vrs.Dependent_on_other -> (s, d + 1, n)
+      | Vrs.No_benefit -> (s, d, n + 1))
+    (0, 0, 0) rep.profiled
+
+let report50 (w : Results.wres) =
+  match List.assoc_opt 50 w.vrs_reports with
+  | Some r -> r
+  | None -> snd (List.hd w.vrs_reports)
+
+let fig4 (t : Results.t) =
+  let rows =
+    List.map
+      (fun (w : Results.wres) ->
+        let rep = report50 w in
+        let s, d, n = outcome_counts rep in
+        let tot = max 1 (s + d + n) in
+        let p x = Render.pct (float_of_int x /. float_of_int tot) in
+        [ w.wname; string_of_int (s + d + n); p s; p d; p n ])
+      t.workloads
+  in
+  let ts, td, tn =
+    List.fold_left
+      (fun (a, b, c) (w : Results.wres) ->
+        let s, d, n = outcome_counts (report50 w) in
+        (a + s, b + d, c + n))
+      (0, 0, 0) t.workloads
+  in
+  let tot = max 1 (ts + td + tn) in
+  let p x = Render.pct (float_of_int x /. float_of_int tot) in
+  "Distribution of the points profiled, by specialization outcome\n\
+   (VRS 50 configuration).\n\n"
+  ^ Render.table
+      ~header:[ "Benchmark"; "points"; "specialized"; "dependent"; "no benefit" ]
+      (rows @ [ [ "Total"; string_of_int tot; p ts; p td; p tn ] ])
+
+(* --- Figure 5 --------------------------------------------------------------- *)
+
+let fig5 (t : Results.t) =
+  let rows =
+    List.map
+      (fun (w : Results.wres) ->
+        let rep = report50 w in
+        let cloned = max rep.static_cloned 0 in
+        let elim = rep.static_eliminated in
+        let denom = float_of_int (max 1 cloned) in
+        [ w.wname; string_of_int cloned;
+          Render.pct (float_of_int (cloned - elim) /. denom);
+          Render.pct (float_of_int elim /. denom) ])
+      t.workloads
+  in
+  "Distribution of the specialized static instructions at compile time\n\
+   (VRS 50): fraction kept (re-encoded) vs eliminated by constant\n\
+   propagation in the specialized regions.\n\n"
+  ^ Render.table
+      ~header:[ "Benchmark"; "cloned instrs"; "specialized"; "eliminated" ]
+      rows
+
+(* --- Figure 6 --------------------------------------------------------------- *)
+
+let fig6 (t : Results.t) =
+  let rows =
+    List.map
+      (fun (w : Results.wres) ->
+        [ w.wname; Render.pct w.vrs50_spec_frac; Render.pct w.vrs50_guard_frac ])
+      t.workloads
+  in
+  let avg =
+    [ "AVG";
+      Render.pct (Results.mean t (fun w -> w.Results.vrs50_spec_frac));
+      Render.pct (Results.mean t (fun w -> w.Results.vrs50_guard_frac)) ]
+  in
+  "Run-time distribution of specialized instructions (VRS 50): fraction\n\
+   of committed instructions inside specialized regions, and fraction\n\
+   spent on specialization comparisons.\n\n"
+  ^ Render.table
+      ~header:[ "Benchmark"; "specialized instrs"; "specialization comparisons" ]
+      (rows @ [ avg ])
+
+(* --- Figure 7 --------------------------------------------------------------- *)
+
+let vrs_at label (w : Results.wres) =
+  match List.assoc_opt label w.vrs with
+  | Some s -> s
+  | None -> snd (List.hd w.vrs)
+
+let fig7 (t : Results.t) =
+  let non = Results.average_distribution t (fun w -> w.Results.base_none) in
+  let vrp = Results.average_distribution t (fun w -> w.Results.vrp_sw) in
+  let vrs = Results.average_distribution t (vrs_at 50) in
+  "Run-time instructions according to width (average over the suite).\n\n"
+  ^ Render.table
+      ~header:[ "Mechanism"; "8 bits"; "16 bits"; "32 bits"; "64 bits" ]
+      [ dist_row "non" non; dist_row "VRP" vrp; dist_row "VRS 50" vrs ]
+
+(* --- Figure 8 --------------------------------------------------------------- *)
+
+let vrs_configs =
+  List.map
+    (fun l ->
+      (Printf.sprintf "VRS %dnJ" l, fun (w : Results.wres) -> vrs_at l w))
+    Results.vrs_costs
+
+let fig8 (t : Results.t) =
+  let configs =
+    ("VRP", fun (w : Results.wres) -> w.Results.vrp_sw) :: vrs_configs
+  in
+  "Energy savings for the suite (vs the ungated baseline).\n\n"
+  ^ per_benchmark_table t
+      (List.map
+         (fun (n, sel) ->
+           (n, fun w -> Results.energy_saving w ~improved:(sel w)))
+         configs)
+
+(* --- Figure 9 --------------------------------------------------------------- *)
+
+let fig9_structures =
+  [ Ep.Rename; Ep.Bpred; Ep.Iq; Ep.Rob; Ep.Rename_buffers; Ep.Lsq; Ep.Regfile;
+    Ep.Icache; Ep.Dcache1; Ep.Dcache2; Ep.Alu; Ep.Resultbus ]
+
+let fig9 (t : Results.t) =
+  let configs =
+    ("VRP", fun (w : Results.wres) -> w.Results.vrp_sw) :: vrs_configs
+  in
+  let header = "Processor part" :: List.map fst configs in
+  let rows =
+    List.map
+      (fun s ->
+        Ep.structure_name s
+        :: List.map
+             (fun (_, sel) ->
+               Render.pct
+                 (Results.mean t (fun w ->
+                      Results.structure_saving w ~improved:(sel w) s)))
+             configs)
+      fig9_structures
+    @ [ "Processor"
+        :: List.map
+             (fun (_, sel) ->
+               Render.pct
+                 (Results.mean t (fun w ->
+                      Results.energy_saving w ~improved:(sel w))))
+             configs ]
+  in
+  "Energy benefits for the different parts of the processor (average).\n\n"
+  ^ Render.table ~header rows
+
+(* --- Figure 10 -------------------------------------------------------------- *)
+
+let fig10 (t : Results.t) =
+  "Execution-time savings of VRS (vs baseline; VRP does not change\n\
+   the instruction stream, so its saving is zero by construction).\n\n"
+  ^ per_benchmark_table t
+      (List.map
+         (fun (n, sel) -> (n, fun w -> Results.time_saving w ~improved:(sel w)))
+         vrs_configs)
+
+(* --- Figure 11 -------------------------------------------------------------- *)
+
+let fig11 (t : Results.t) =
+  let configs =
+    ("VRP", fun (w : Results.wres) -> w.Results.vrp_sw) :: vrs_configs
+  in
+  "Energy-delay^2 benefits for the suite.\n\n"
+  ^ per_benchmark_table t
+      (List.map
+         (fun (n, sel) -> (n, fun w -> Results.ed2_saving w ~improved:(sel w)))
+         configs)
+
+(* --- Figure 12 -------------------------------------------------------------- *)
+
+let fig12 (t : Results.t) =
+  let hist = Array.make 8 0 in
+  List.iter
+    (fun (w : Results.wres) ->
+      Array.iteri
+        (fun i n -> hist.(i) <- hist.(i) + n)
+        w.base_none.Ogc_cpu.Pipeline.sigbyte_histogram)
+    t.workloads;
+  let total = float_of_int (max 1 (Array.fold_left ( + ) 0 hist)) in
+  let rows =
+    List.init 8 (fun i ->
+        let f = float_of_int hist.(i) /. total in
+        [ string_of_int (i + 1); Render.pct f; Render.bar f ~scale:0.5 ~width:40 ])
+  in
+  "Data size distribution (significant bytes of committed result\n\
+   values, baseline binaries).\n\n"
+  ^ Render.table ~header:[ "Size in bytes"; "Occurrence"; "" ] rows
+
+(* --- Figure 13 -------------------------------------------------------------- *)
+
+let fig13 (t : Results.t) =
+  "Energy savings of the hardware approaches (vs ungated baseline).\n\n"
+  ^ per_benchmark_table t
+      [ ("size compression",
+         fun w -> Results.energy_saving w ~improved:w.Results.base_hwsize);
+        ("significance compression",
+         fun w -> Results.energy_saving w ~improved:w.Results.base_hwsig) ]
+
+(* --- Figure 14 -------------------------------------------------------------- *)
+
+let fig14 (t : Results.t) =
+  let configs =
+    [ ("size compression", fun (w : Results.wres) -> w.Results.base_hwsize);
+      ("significance compression", fun (w : Results.wres) -> w.Results.base_hwsig) ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        Ep.structure_name s
+        :: List.map
+             (fun (_, sel) ->
+               Render.pct
+                 (Results.mean t (fun w ->
+                      Results.structure_saving w ~improved:(sel w) s)))
+             configs)
+      fig9_structures
+    @ [ "Processor"
+        :: List.map
+             (fun (_, sel) ->
+               Render.pct
+                 (Results.mean t (fun w ->
+                      Results.energy_saving w ~improved:(sel w))))
+             configs ]
+  in
+  "Energy savings of the hardware schemes per processor part (average).\n\n"
+  ^ Render.table ~header:("Processor part" :: List.map fst configs) rows
+
+(* --- Figure 15 -------------------------------------------------------------- *)
+
+let fig15_configs =
+  [ ("VRP", fun (w : Results.wres) -> w.Results.vrp_sw);
+    ("VRS 50", vrs_at 50);
+    ("hdw size", fun w -> w.Results.base_hwsize);
+    ("hdw signif", fun w -> w.Results.base_hwsig);
+    ("VRP+size", fun w -> w.Results.vrp_size);
+    ("VRP+signif", fun w -> w.Results.vrp_sig);
+    ("VRS50+size", fun w -> w.Results.vrs50_size);
+    ("VRS50+signif", fun w -> w.Results.vrs50_sig) ]
+
+let fig15 (t : Results.t) =
+  "Energy-delay^2 savings for the hardware, software and cooperative\n\
+   configurations.\n\n"
+  ^ per_benchmark_table t
+      (List.map
+         (fun (n, sel) -> (n, fun w -> Results.ed2_saving w ~improved:(sel w)))
+         fig15_configs)
+
+(* --- registry ---------------------------------------------------------------- *)
+
+let all =
+  [
+    { id = "table1"; title = "Table 1: energy savings for ALU operations";
+      render = table1 };
+    { id = "table2"; title = "Table 2: machine parameters"; render = table2 };
+    { id = "table3"; title = "Table 3: distribution of operation types";
+      render = table3 };
+    { id = "fig2"; title = "Figure 2: conventional vs proposed VRP widths";
+      render = fig2 };
+    { id = "fig3"; title = "Figure 3: energy savings with VRP"; render = fig3 };
+    { id = "fig4"; title = "Figure 4: profiled points after specialization";
+      render = fig4 };
+    { id = "fig5"; title = "Figure 5: static specialized instructions";
+      render = fig5 };
+    { id = "fig6"; title = "Figure 6: run-time specialized instructions";
+      render = fig6 };
+    { id = "fig7"; title = "Figure 7: run-time widths by mechanism";
+      render = fig7 };
+    { id = "fig8"; title = "Figure 8: energy savings"; render = fig8 };
+    { id = "fig9"; title = "Figure 9: energy benefits per processor part";
+      render = fig9 };
+    { id = "fig10"; title = "Figure 10: execution time savings"; render = fig10 };
+    { id = "fig11"; title = "Figure 11: energy-delay^2 benefits"; render = fig11 };
+    { id = "fig12"; title = "Figure 12: data size distribution"; render = fig12 };
+    { id = "fig13"; title = "Figure 13: energy savings, hardware approaches";
+      render = fig13 };
+    { id = "fig14"; title = "Figure 14: hardware savings per processor part";
+      render = fig14 };
+    { id = "fig15"; title = "Figure 15: energy-delay^2, hw/sw configurations";
+      render = fig15 };
+  ]
+
+let find id = List.find (fun e -> String.equal e.id id) all
+
+let render_all t =
+  buf_render (fun b ->
+      List.iter
+        (fun e ->
+          Buffer.add_string b (Render.heading e.title);
+          Buffer.add_string b (e.render t);
+          Buffer.add_char b '\n')
+        all)
+
+type headline = {
+  vrp_energy : float;
+  vrp_ed2 : float;
+  vrs_energy : float;
+  vrs_ed2 : float;
+  hw_significance_ed2 : float;
+  combined_ed2 : float;
+}
+
+let headline (t : Results.t) =
+  {
+    vrp_energy = overall_saving Results.energy_saving t (fun w -> w.Results.vrp_sw);
+    vrp_ed2 = overall_saving Results.ed2_saving t (fun w -> w.Results.vrp_sw);
+    vrs_energy = overall_saving Results.energy_saving t (vrs_at 50);
+    vrs_ed2 = overall_saving Results.ed2_saving t (vrs_at 50);
+    hw_significance_ed2 =
+      overall_saving Results.ed2_saving t (fun w -> w.Results.base_hwsig);
+    combined_ed2 =
+      overall_saving Results.ed2_saving t (fun w -> w.Results.vrs50_sig);
+  }
+
+let render_headline h =
+  Render.table
+    ~header:[ "Headline metric"; "paper"; "measured" ]
+    [
+      [ "VRP energy saving"; "~6%"; Render.pct h.vrp_energy ];
+      [ "VRP energy-delay^2 saving"; "~5%"; Render.pct h.vrp_ed2 ];
+      [ "VRS energy saving"; "~9%"; Render.pct h.vrs_energy ];
+      [ "VRS energy-delay^2 saving"; "~14-15%"; Render.pct h.vrs_ed2 ];
+      [ "HW significance ED^2 saving"; "~15%"; Render.pct h.hw_significance_ed2 ];
+      [ "Cooperative SW+HW ED^2 saving"; "~28%"; Render.pct h.combined_ed2 ];
+    ]

@@ -1,0 +1,35 @@
+(** Per-table / per-figure report generation.
+
+    Every entry of the paper's evaluation section (Tables 1-3, Figures
+    2-15) has a renderer that produces the same rows/series from a
+    {!Results.t}.  See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+type experiment = {
+  id : string;  (** "table1" .. "fig15" *)
+  title : string;
+  render : Results.t -> string;
+}
+
+val all : experiment list
+(** In paper order: table1, table2, table3, fig2 .. fig15. *)
+
+val find : string -> experiment
+(** Raises [Not_found]. *)
+
+val render_all : Results.t -> string
+
+(** {1 Headline numbers}
+
+    The summary comparisons quoted in the paper's abstract/conclusions. *)
+
+type headline = {
+  vrp_energy : float;  (** paper: ~6% *)
+  vrp_ed2 : float;  (** paper: ~5% *)
+  vrs_energy : float;  (** paper: ~9% *)
+  vrs_ed2 : float;  (** paper: ~14-15% *)
+  hw_significance_ed2 : float;  (** paper: ~15% *)
+  combined_ed2 : float;  (** paper: ~28% *)
+}
+
+val headline : Results.t -> headline
+val render_headline : headline -> string

@@ -1,0 +1,44 @@
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun a r -> max a (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun a r -> max a (String.length (Option.value ~default:"" (List.nth_opt r c))))
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let s = Option.value ~default:"" (List.nth_opt r c) in
+           (* Right-align numeric-looking cells, left-align text. *)
+           let numeric =
+             String.length s > 0
+             && (match s.[0] with
+                | '0' .. '9' | '-' | '+' | '.' -> true
+                | _ -> false)
+           in
+           if numeric then Printf.sprintf "%*s" w s
+           else Printf.sprintf "%-*s" w s)
+         widths)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: rule :: List.map render_row rows)
+  ^ "\n"
+
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let bar x ~scale ~width =
+  let n =
+    if scale <= 0.0 then 0
+    else
+      let f = x /. scale in
+      let f = if f < 0.0 then 0.0 else if f > 1.0 then 1.0 else f in
+      int_of_float (f *. float_of_int width +. 0.5)
+  in
+  String.make n '#'
+
+let heading s = s ^ "\n" ^ String.make (String.length s) '=' ^ "\n"

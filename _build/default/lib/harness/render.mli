@@ -1,0 +1,15 @@
+(** Plain-text rendering helpers for the experiment reports. *)
+
+(** [table ~header rows] renders an aligned text table with a rule under
+    the header. *)
+val table : header:string list -> string list list -> string
+
+(** [pct x] formats a fraction as a percentage ("12.3%"); [x] in [0,1]
+    scale (negative allowed). *)
+val pct : float -> string
+
+(** [bar x ~scale ~width] renders a proportional ASCII bar. *)
+val bar : float -> scale:float -> width:int -> string
+
+val heading : string -> string
+(** Underlined section heading. *)

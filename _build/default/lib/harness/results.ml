@@ -1,0 +1,277 @@
+open Ogc_isa
+module Pipeline = Ogc_cpu.Pipeline
+module Policy = Ogc_gating.Policy
+module Workload = Ogc_workloads.Workload
+module Vrp = Ogc_core.Vrp
+module Vrs = Ogc_core.Vrs
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+module Account = Ogc_energy.Account
+
+let vrs_costs = [ 110; 90; 70; 50; 30 ]
+
+(* One guard instruction costs roughly the pipeline energy of an extra
+   instruction; the paper's nJ labels scale it. *)
+let test_cost_of_label l = float_of_int l *. 0.03
+
+type wres = {
+  wname : string;
+  static_instructions : int;
+  base_none : Pipeline.stats;
+  base_hwsig : Pipeline.stats;
+  base_hwsize : Pipeline.stats;
+  vrp_sw : Pipeline.stats;
+  vrpconv_sw : Pipeline.stats;
+  vrp_sig : Pipeline.stats;
+  vrp_size : Pipeline.stats;
+  vrs : (int * Pipeline.stats) list;
+  vrs50_sig : Pipeline.stats;
+  vrs50_size : Pipeline.stats;
+  vrs_reports : (int * Vrs.report) list;
+  vrs50_spec_frac : float;
+  vrs50_guard_frac : float;
+}
+
+type t = { workloads : wres list; quick : bool }
+
+exception Semantics_changed of string
+
+let check_checksum wname expected (s : Pipeline.stats) what =
+  if not (Int64.equal expected s.checksum) then
+    raise
+      (Semantics_changed
+         (Printf.sprintf "%s: %s changed the output (%Ld vs %Ld)" wname what
+            expected s.checksum))
+
+(* Run-time accounting of the specialized code (Figure 6): execute the
+   final binary, count instructions committed inside clone blocks and
+   guard comparisons. *)
+let runtime_specialization (p : Prog.t) (rep : Vrs.report) eval_input =
+  Workload.set_scale p eval_input;
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let out = Interp.run ~bb_counts:counts p in
+  let clone_instrs = ref 0 in
+  List.iter
+    (fun (fname, label) ->
+      match Prog.find_func_opt p fname with
+      | None -> ()
+      | Some f ->
+        let b = Prog.block f label in
+        let c = Interp.count_of counts fname label in
+        clone_instrs := !clone_instrs + (c * (Array.length b.body + 1)))
+    rep.clone_blocks;
+  let guard_instrs = ref 0 in
+  let tbl = Prog.ins_table p in
+  Hashtbl.iter
+    (fun iid () ->
+      match Hashtbl.find_opt tbl iid with
+      | Some (f, b, _) ->
+        guard_instrs :=
+          !guard_instrs + Interp.count_of counts f.Prog.fname b.Prog.label
+      | None -> ())
+    rep.guard_iids;
+  let total = float_of_int (max 1 out.steps) in
+  (float_of_int !clone_instrs /. total, float_of_int !guard_instrs /. total)
+
+let collect ?(quick = false) ?only ?(progress = fun _ -> ()) () =
+  let eval_input = if quick then Workload.Train else Workload.Ref in
+  let costs = if quick then [ 50 ] else vrs_costs in
+  let sim = Pipeline.simulate in
+  (* Every binary version gets the generic binary-optimizer cleanups,
+     baseline included — the paper's baseline is Alto-processed too. *)
+  let fresh w inp =
+    let p = Workload.compile w inp in
+    ignore (Ogc_core.Cleanup.run p);
+    p
+  in
+  let tidy p =
+    ignore (Ogc_core.Cleanup.run p);
+    Ogc_ir.Validate.program p
+  in
+  let selected =
+    match only with
+    | None -> Workload.all
+    | Some names ->
+      List.filter (fun (w : Workload.t) -> List.mem w.name names) Workload.all
+  in
+  let workloads =
+    List.map
+      (fun (w : Workload.t) ->
+        progress w.name;
+        (* Baseline binary. *)
+        let base = fresh w eval_input in
+        let reference = Interp.run base in
+        let base_none = sim ~policy:Policy.No_gating base in
+        let base_hwsig = sim ~policy:Policy.Hw_significance base in
+        let base_hwsize = sim ~policy:Policy.Hw_size base in
+        (* VRP binary (useful ranges). *)
+        let pvrp = fresh w eval_input in
+        ignore (Vrp.run pvrp);
+        tidy pvrp;
+        let vrp_sw = sim ~policy:Policy.Software pvrp in
+        check_checksum w.name reference.checksum vrp_sw "VRP";
+        let vrp_sig = sim ~policy:Policy.Sw_plus_significance pvrp in
+        let vrp_size = sim ~policy:Policy.Sw_plus_size pvrp in
+        (* Conventional VRP (no useful-range backward propagation). *)
+        let pconv = fresh w eval_input in
+        ignore (Vrp.run ~config:Vrp.conventional_config pconv);
+        tidy pconv;
+        let vrpconv_sw = sim ~policy:Policy.Software pconv in
+        check_checksum w.name reference.checksum vrpconv_sw "conventional VRP";
+        (* VRS at each specialization cost. *)
+        let vrs_runs =
+          List.map
+            (fun label ->
+              progress (Printf.sprintf "%s/vrs%d" w.name label);
+              let p = fresh w Workload.Train in
+              let cfg =
+                { Vrs.default_config with
+                  test_cost_nj = test_cost_of_label label }
+              in
+              let rep = Vrs.run ~config:cfg p in
+              tidy p;
+              Workload.set_scale p eval_input;
+              let stats = sim ~policy:Policy.Software p in
+              check_checksum w.name reference.checksum stats
+                (Printf.sprintf "VRS %d" label);
+              (label, p, rep, stats))
+            costs
+        in
+        let find_vrs label =
+          match List.find_opt (fun (l, _, _, _) -> l = label) vrs_runs with
+          | Some r -> r
+          | None -> List.hd vrs_runs
+        in
+        let _, p50, rep50, _ = find_vrs 50 in
+        let vrs50_sig = sim ~policy:Policy.Sw_plus_significance p50 in
+        let vrs50_size = sim ~policy:Policy.Sw_plus_size p50 in
+        let spec_frac, guard_frac =
+          runtime_specialization p50 rep50 eval_input
+        in
+        let vrs_stats =
+          List.map (fun l -> (l, (fun (_, _, _, s) -> s) (find_vrs l))) costs
+        in
+        let vrs_reports =
+          List.map (fun l -> (l, (fun (_, _, r, _) -> r) (find_vrs l))) costs
+        in
+        {
+          wname = w.name;
+          static_instructions = Prog.num_static_ins base;
+          base_none;
+          base_hwsig;
+          base_hwsize;
+          vrp_sw;
+          vrpconv_sw;
+          vrp_sig;
+          vrp_size;
+          vrs = vrs_stats;
+          vrs50_sig;
+          vrs50_size;
+          vrs_reports;
+          vrs50_spec_frac = spec_frac;
+          vrs50_guard_frac = guard_frac;
+        })
+      selected
+  in
+  { workloads; quick }
+
+(* --- aggregation ---------------------------------------------------------- *)
+
+let width_classes =
+  Instr.all_alu_classes @ [ Instr.C_move ]
+
+let width_distribution (s : Pipeline.stats) =
+  let totals = Hashtbl.create 4 in
+  let grand = ref 0 in
+  Hashtbl.iter
+    (fun (ic, w) n ->
+      if List.mem ic width_classes then begin
+        Hashtbl.replace totals w (n + Option.value ~default:0 (Hashtbl.find_opt totals w));
+        grand := !grand + n
+      end)
+    s.class_width;
+  List.map
+    (fun w ->
+      ( w,
+        float_of_int (Option.value ~default:0 (Hashtbl.find_opt totals w))
+        /. float_of_int (max 1 !grand) ))
+    Width.all
+
+let average_distribution t select =
+  let dists = List.map (fun w -> width_distribution (select w)) t.workloads in
+  let n = float_of_int (max 1 (List.length dists)) in
+  List.map
+    (fun w ->
+      ( w,
+        List.fold_left (fun acc d -> acc +. List.assoc w d) 0.0 dists /. n ))
+    Width.all
+
+let class_table t select =
+  let acc = Hashtbl.create 32 in
+  let grand = ref 0 in
+  List.iter
+    (fun wr ->
+      let s = select wr in
+      Hashtbl.iter
+        (fun (ic, w) n ->
+          if List.mem ic Instr.all_alu_classes then begin
+            Hashtbl.replace acc (ic, w)
+              (n + Option.value ~default:0 (Hashtbl.find_opt acc (ic, w)));
+            grand := !grand + n
+          end)
+        s.Pipeline.class_width)
+    t.workloads;
+  (* Include every committed instruction in the denominator of the share
+     column, as the paper does ("percentage of run-time instructions"). *)
+  let total_committed =
+    List.fold_left (fun a wr -> a + (select wr).Pipeline.instructions) 0 t.workloads
+  in
+  List.filter_map
+    (fun ic ->
+      let class_total =
+        List.fold_left
+          (fun a w -> a + Option.value ~default:0 (Hashtbl.find_opt acc (ic, w)))
+          0 Width.all
+      in
+      if class_total = 0 then None
+      else
+        let share = float_of_int class_total /. float_of_int (max 1 total_committed) in
+        let per_width =
+          List.map
+            (fun w ->
+              ( w,
+                float_of_int
+                  (Option.value ~default:0 (Hashtbl.find_opt acc (ic, w)))
+                /. float_of_int class_total ))
+            Width.all
+        in
+        Some (ic, share, per_width))
+    Instr.all_alu_classes
+  |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare b a)
+
+let mean t f =
+  let xs = List.map f t.workloads in
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (max 1 (List.length xs))
+
+let total_energy (s : Pipeline.stats) = Account.total s.Pipeline.energy
+
+let energy_saving w ~(improved : Pipeline.stats) =
+  Account.savings ~baseline:(total_energy w.base_none)
+    ~improved:(total_energy improved)
+
+let time_saving w ~(improved : Pipeline.stats) =
+  Account.savings
+    ~baseline:(float_of_int w.base_none.cycles)
+    ~improved:(float_of_int improved.Pipeline.cycles)
+
+let ed2_saving w ~(improved : Pipeline.stats) =
+  Account.savings
+    ~baseline:
+      (Account.ed2 ~energy:(total_energy w.base_none) ~cycles:w.base_none.Pipeline.cycles)
+    ~improved:
+      (Account.ed2 ~energy:(total_energy improved) ~cycles:improved.Pipeline.cycles)
+
+let structure_saving w ~(improved : Pipeline.stats) s =
+  Account.savings
+    ~baseline:(Account.energy_of w.base_none.Pipeline.energy s)
+    ~improved:(Account.energy_of improved.Pipeline.energy s)

@@ -1,0 +1,89 @@
+(** End-to-end experiment data collection.
+
+    For every workload, build and evaluate all the binary versions and
+    gating policies the paper's evaluation needs:
+
+    - the {b baseline} binary under no gating and under the two hardware
+      schemes (significance and size compression);
+    - the {b VRP} binary (useful-range propagation) under software gating
+      and the two cooperative software+hardware policies;
+    - the {b conventional-VRP} binary (Figure 2's comparison point);
+    - the {b VRS} binaries for the five specialization-cost
+      configurations (the paper's VRS 110/90/70/50/30 sweep; profiling
+      always runs on the train input, evaluation on ref);
+    - an execution profile of the VRS-50 binary for the run-time
+      specialized-instruction accounting of Figure 6.
+
+    Semantic equality (output checksums) across every version and policy
+    is asserted during collection — an optimized binary that changes the
+    program's output is a hard error. *)
+
+open Ogc_isa
+module Pipeline = Ogc_cpu.Pipeline
+
+(** The paper's VRS cost labels (nJ), most expensive first. *)
+val vrs_costs : int list
+
+(** [test_cost_of_label l] maps a label (e.g. 50) to the model's
+    per-guard-instruction energy parameter. *)
+val test_cost_of_label : int -> float
+
+type wres = {
+  wname : string;
+  static_instructions : int;
+  base_none : Pipeline.stats;
+  base_hwsig : Pipeline.stats;
+  base_hwsize : Pipeline.stats;
+  vrp_sw : Pipeline.stats;
+  vrpconv_sw : Pipeline.stats;
+  vrp_sig : Pipeline.stats;
+  vrp_size : Pipeline.stats;
+  vrs : (int * Pipeline.stats) list;  (** by cost label, software gating *)
+  vrs50_sig : Pipeline.stats;
+  vrs50_size : Pipeline.stats;
+  vrs_reports : (int * Ogc_core.Vrs.report) list;
+  vrs50_spec_frac : float;  (** run-time fraction executed inside clones *)
+  vrs50_guard_frac : float;  (** run-time fraction of guard comparisons *)
+}
+
+type t = { workloads : wres list; quick : bool }
+
+val collect :
+  ?quick:bool -> ?only:string list -> ?progress:(string -> unit) -> unit -> t
+(** [quick] evaluates on the train input and keeps only the VRS-50
+    configuration (duplicated across labels), for fast test runs; [only]
+    restricts collection to the named workloads. *)
+
+(** {1 Aggregation helpers} *)
+
+(** Distribution of committed width-bearing instructions (the ten Table 3
+    ALU classes plus immediate moves) over the four widths; fractions sum
+    to 1. *)
+val width_distribution : Pipeline.stats -> (Width.t * float) list
+
+(** Average of distributions across workloads. *)
+val average_distribution :
+  t -> (wres -> Pipeline.stats) -> (Width.t * float) list
+
+(** Table 3 rows: class, share of committed instructions, and width
+    percentages within the class, averaged over workloads and ordered by
+    share. *)
+val class_table : t -> (wres -> Pipeline.stats) ->
+  (Instr.iclass * float * (Width.t * float) list) list
+
+(** Mean over workloads of a per-workload fraction. *)
+val mean : t -> (wres -> float) -> float
+
+(** [energy_saving w ~improved] — fraction of baseline (ungated) energy
+    saved by [improved]. *)
+val energy_saving : wres -> improved:Pipeline.stats -> float
+
+val time_saving : wres -> improved:Pipeline.stats -> float
+val ed2_saving : wres -> improved:Pipeline.stats -> float
+
+(** Per-structure energy saving of [improved] vs the ungated baseline. *)
+val structure_saving :
+  wres -> improved:Pipeline.stats -> Ogc_energy.Energy_params.structure -> float
+
+(** Total energy (nJ) of a run. *)
+val total_energy : Pipeline.stats -> float

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Bytes Char Fmt Format Instr Int64 Label List Ogc_isa Printf Prog Reg String Width

@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Label Ogc_isa Prog

@@ -1,0 +1,1 @@
+lib/ir/callgraph.ml: Hashtbl Instr List Ogc_isa Option Prog

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Bytes Fmt Hashtbl Instr Int64 Label List Ogc_isa Prog Reg Width

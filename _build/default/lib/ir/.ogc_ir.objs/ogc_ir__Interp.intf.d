@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Hashtbl Instr Label Ogc_isa Prog Reg

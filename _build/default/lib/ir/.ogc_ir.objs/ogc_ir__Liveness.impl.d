@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Cfg Instr Label List Ogc_isa Prog Reg

@@ -1,0 +1,1 @@
+lib/ir/liveness.mli: Cfg Label Ogc_isa Prog Reg

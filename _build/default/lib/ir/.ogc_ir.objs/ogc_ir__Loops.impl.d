@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Cfg Dom Hashtbl Int Label List

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Bytes Format Hashtbl Instr Label List Ogc_isa Reg String

@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Bytes Format Hashtbl Instr Label Ogc_isa Reg

@@ -1,0 +1,1 @@
+lib/ir/usedef.ml: Array Bitset Cfg Hashtbl Instr Label List Ogc_isa Option Prog Reg

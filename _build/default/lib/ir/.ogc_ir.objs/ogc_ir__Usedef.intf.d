@@ -1,0 +1,1 @@
+lib/ir/usedef.mli: Cfg Hashtbl Ogc_isa Prog Reg

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Fmt Hashtbl Instr Label List Ogc_isa Prog Reg

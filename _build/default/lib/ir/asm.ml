@@ -1,0 +1,332 @@
+open Ogc_isa
+
+exception Error of string
+
+let err line fmt = Fmt.kstr (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* --- output ------------------------------------------------------------------ *)
+
+let hex_of_bytes b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Bytes.get_uint8 b i)))
+
+let output ppf (p : Prog.t) =
+  List.iter
+    (fun (g : Prog.global) ->
+      Format.fprintf ppf "global %s[%d] = %s@\n" g.gname (Bytes.length g.init)
+        (hex_of_bytes g.init))
+    p.globals;
+  List.iter (fun f -> Format.fprintf ppf "@\n%a" Prog.pp_func f) p.funcs
+
+let to_string p = Format.asprintf "%a" output p
+
+(* --- parsing ------------------------------------------------------------------ *)
+
+let bytes_of_hex line s =
+  let n = String.length s in
+  if n mod 2 <> 0 then err line "odd-length hex image";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> err line "bad hex digit %C" c
+  in
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] * 16) + digit s.[(2 * i) + 1]))
+
+let parse_reg line s =
+  if String.equal s "sp" then Reg.sp
+  else if String.equal s "zero" then Reg.zero
+  else if String.length s >= 2 && s.[0] = 'r' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 && i <= 31 -> Reg.of_int i
+    | _ -> err line "bad register %s" s
+  else err line "bad register %s" s
+
+let parse_int64 line s =
+  match Int64.of_string_opt s with
+  | Some v -> v
+  | None -> err line "bad integer %s" s
+
+(* Split a mnemonic into its alphabetic stem and optional width suffix. *)
+let split_mnemonic m =
+  let n = String.length m in
+  let rec stem_end i =
+    if i < n && not (m.[i] >= '0' && m.[i] <= '9') then stem_end (i + 1) else i
+  in
+  let k = stem_end 0 in
+  (String.sub m 0 k, String.sub m k (n - k))
+
+let width_of_suffix line = function
+  | "" -> Width.W64
+  | "8" -> Width.W8
+  | "16" -> Width.W16
+  | "32" -> Width.W32
+  | "64" -> Width.W64
+  | s -> err line "bad width suffix %s" s
+
+let alu_ops =
+  [ ("add", Instr.Add); ("sub", Instr.Sub); ("mul", Instr.Mul);
+    ("div", Instr.Div); ("rem", Instr.Rem); ("and", Instr.And);
+    ("or", Instr.Or); ("xor", Instr.Xor); ("bic", Instr.Bic);
+    ("sll", Instr.Sll); ("srl", Instr.Srl); ("sra", Instr.Sra) ]
+
+let cmp_ops =
+  [ ("cmpeq", Instr.Ceq); ("cmplt", Instr.Clt); ("cmple", Instr.Cle);
+    ("cmpult", Instr.Cult); ("cmpule", Instr.Cule) ]
+
+let conds =
+  [ ("eq", Instr.Eq); ("ne", Instr.Ne); ("lt", Instr.Lt); ("le", Instr.Le);
+    ("gt", Instr.Gt); ("ge", Instr.Ge) ]
+
+let parse_operand line s =
+  if String.length s > 0 && s.[0] = '#' then
+    Instr.Imm (parse_int64 line (String.sub s 1 (String.length s - 1)))
+  else Instr.Reg (parse_reg line s)
+
+(* "OFFSET(BASE)" *)
+let parse_mem line s =
+  match String.index_opt s '(' with
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+    let offset = parse_int64 line (String.sub s 0 i) in
+    let base = parse_reg line (String.sub s (i + 1) (String.length s - i - 2)) in
+    (base, offset)
+  | _ -> err line "bad memory operand %s" s
+
+let parse_label line s =
+  if String.length s >= 2 && s.[0] = 'L' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some i when i >= 0 -> Label.of_int i
+    | _ -> err line "bad label %s" s
+  else err line "bad label %s" s
+
+(* Tokenize an instruction body: split on commas and whitespace. *)
+let operands_of rest =
+  String.split_on_char ',' rest
+  |> List.map String.trim
+  |> List.filter (fun s -> String.length s > 0)
+
+let parse_instr line mnemonic rest : Instr.t =
+  let ops = operands_of rest in
+  let stem, suffix = split_mnemonic mnemonic in
+  let width () = width_of_suffix line suffix in
+  let reg = parse_reg line in
+  match (stem, ops) with
+  | "li", [ imm; dst ] -> (
+    match imm.[0] with
+    | '#' ->
+      Instr.Li { dst = reg dst;
+                 imm = parse_int64 line (String.sub imm 1 (String.length imm - 1)) }
+    | _ -> err line "li needs an immediate")
+  | "la", [ sym; dst ] ->
+    if String.length sym > 1 && sym.[0] = '@' then
+      Instr.La { dst = reg dst; symbol = String.sub sym 1 (String.length sym - 1) }
+    else err line "la needs @symbol"
+  | "call", [ callee ] -> Instr.Call { callee }
+  | "emit", [ src ] -> Instr.Emit { src = reg src }
+  | "msk", [ src; dst ] -> Instr.Msk { width = width (); src = reg src; dst = reg dst }
+  | "sext", [ src; dst ] ->
+    Instr.Sext { width = width (); src = reg src; dst = reg dst }
+  | "st", [ src; mem ] ->
+    let base, offset = parse_mem line mem in
+    Instr.Store { width = width (); base; offset; src = reg src }
+  | "ld", [ mem; dst ] | "ldu", [ mem; dst ] ->
+    (* ld8u / ld16 / ld64: the 'u' follows the width digits. *)
+    let base, offset = parse_mem line mem in
+    let w = width () in
+    let signed = String.equal stem "ld" in
+    Instr.Load { width = w; signed = signed || Width.equal w Width.W64;
+                 base; offset; dst = reg dst }
+  | _, [ a; b; c ] when List.mem_assoc stem alu_ops ->
+    Instr.Alu { op = List.assoc stem alu_ops; width = width (); src1 = reg a;
+                src2 = parse_operand line b; dst = reg c }
+  | _, [ a; b; c ] when List.mem_assoc stem cmp_ops ->
+    Instr.Cmp { op = List.assoc stem cmp_ops; width = width (); src1 = reg a;
+                src2 = parse_operand line b; dst = reg c }
+  | _, [ a; b; c ]
+    when String.length stem > 4
+         && String.equal (String.sub stem 0 4) "cmov"
+         && List.mem_assoc (String.sub stem 4 (String.length stem - 4)) conds ->
+    Instr.Cmov { cond = List.assoc (String.sub stem 4 (String.length stem - 4)) conds;
+                 width = width (); test = reg a; src = parse_operand line b;
+                 dst = reg c }
+  | _ -> err line "cannot parse instruction %s %s" mnemonic rest
+
+(* The load mnemonic needs special splitting: "ld8u" has the width digits
+   between stem and the signedness letter. *)
+let normalize_load m =
+  let n = String.length m in
+  if n >= 3 && String.sub m 0 2 = "ld" then begin
+    let has_u = m.[n - 1] = 'u' in
+    let digits = String.sub m 2 (n - 2 - if has_u then 1 else 0) in
+    if digits <> "" && String.for_all (fun c -> c >= '0' && c <= '9') digits
+    then Some ((if has_u then "ldu" else "ld") ^ digits |> fun s -> s, has_u)
+    else None
+  end
+  else None
+
+type pending_term = { pt_iid : int; pt_term : Prog.terminator }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let globals = ref [] in
+  let funcs = ref [] in
+  (* current function state *)
+  let cur_name = ref None in
+  let cur_arity = ref 0 in
+  let cur_frame = ref 0 in
+  let blocks : (int * Prog.ins list * pending_term option) list ref = ref [] in
+  let cur_label = ref None in
+  let cur_body = ref [] in
+  let cur_term = ref None in
+  let flush_block lineno =
+    match !cur_label with
+    | None -> ()
+    | Some l ->
+      (match !cur_term with
+      | None -> err lineno "block L%d has no terminator" l
+      | Some _ -> ());
+      blocks := (l, List.rev !cur_body, !cur_term) :: !blocks;
+      cur_label := None;
+      cur_body := [];
+      cur_term := None
+  in
+  let flush_func lineno =
+    match !cur_name with
+    | None -> ()
+    | Some fname ->
+      flush_block lineno;
+      let blist = List.rev !blocks in
+      let n = List.length blist in
+      let arr = Array.make n None in
+      List.iter
+        (fun (l, body, term) ->
+          if l >= n then err lineno "function %s: label L%d out of order" fname l;
+          arr.(l) <- Some (body, term))
+        blist;
+      let blocks_arr =
+        Array.mapi
+          (fun i slot ->
+            match slot with
+            | Some (body, Some { pt_iid; pt_term }) ->
+              { Prog.label = Label.of_int i; body = Array.of_list body;
+                term = pt_term; term_iid = pt_iid }
+            | _ -> err lineno "function %s: missing block L%d" fname i)
+          arr
+      in
+      funcs :=
+        { Prog.fname; arity = !cur_arity; blocks = blocks_arr;
+          frame_size = !cur_frame }
+        :: !funcs;
+      blocks := [];
+      cur_name := None
+  in
+  List.iteri
+    (fun idx raw ->
+      let lineno = idx + 1 in
+      let line = String.trim raw in
+      if String.length line = 0 then ()
+      else if String.length line > 7 && String.sub line 0 7 = "global " then begin
+        (* global NAME[SIZE] = HEX *)
+        match String.index_opt line '[' with
+        | None -> err lineno "bad global line"
+        | Some i -> (
+          let name = String.trim (String.sub line 7 (i - 7)) in
+          match (String.index_opt line ']', String.index_opt line '=') with
+          | Some j, Some k ->
+            let size =
+              match int_of_string_opt (String.sub line (i + 1) (j - i - 1)) with
+              | Some s -> s
+              | None -> err lineno "bad global size"
+            in
+            let hex = String.trim (String.sub line (k + 1) (String.length line - k - 1)) in
+            let init = bytes_of_hex lineno hex in
+            if Bytes.length init <> size then
+              err lineno "global %s: size %d but %d bytes of data" name size
+                (Bytes.length init);
+            globals := { Prog.gname = name; init } :: !globals
+          | _ -> err lineno "bad global line")
+      end
+      else if String.length line > 5 && String.sub line 0 5 = "func " then begin
+        flush_func lineno;
+        (* func NAME(ARITY) frame=N *)
+        match (String.index_opt line '(', String.index_opt line ')') with
+        | Some i, Some j -> (
+          let name = String.trim (String.sub line 5 (i - 5)) in
+          let arity =
+            match int_of_string_opt (String.sub line (i + 1) (j - i - 1)) with
+            | Some a -> a
+            | None -> err lineno "bad arity"
+          in
+          match String.index_opt line '=' with
+          | Some k -> (
+            match
+              int_of_string_opt
+                (String.trim (String.sub line (k + 1) (String.length line - k - 1)))
+            with
+            | Some frame ->
+              cur_name := Some name;
+              cur_arity := arity;
+              cur_frame := frame
+            | None -> err lineno "bad frame size")
+          | None -> err lineno "missing frame size")
+        | _ -> err lineno "bad func line"
+      end
+      else if line.[String.length line - 1] = ':' then begin
+        flush_block lineno;
+        let l = parse_label lineno (String.sub line 0 (String.length line - 1)) in
+        cur_label := Some (Label.to_int l)
+      end
+      else if line.[0] = '[' then begin
+        (* [ IID] mnemonic operands *)
+        match String.index_opt line ']' with
+        | None -> err lineno "bad instruction line"
+        | Some i -> (
+          let iid =
+            match int_of_string_opt (String.trim (String.sub line 1 (i - 1))) with
+            | Some v -> v
+            | None -> err lineno "bad instruction id"
+          in
+          let rest = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+          let mnemonic, args =
+            match String.index_opt rest ' ' with
+            | Some j ->
+              (String.sub rest 0 j,
+               String.trim (String.sub rest (j + 1) (String.length rest - j - 1)))
+            | None -> (rest, "")
+          in
+          if !cur_label = None then err lineno "instruction outside a block";
+          match mnemonic with
+          | "jump" ->
+            cur_term :=
+              Some { pt_iid = iid; pt_term = Prog.Jump (parse_label lineno args) }
+          | "ret" -> cur_term := Some { pt_iid = iid; pt_term = Prog.Return }
+          | m when String.length m > 1 && m.[0] = 'b'
+                   && List.mem_assoc (String.sub m 1 (String.length m - 1)) conds
+            -> (
+            let cond = List.assoc (String.sub m 1 (String.length m - 1)) conds in
+            match operands_of args with
+            | [ src; t; f ] ->
+              cur_term :=
+                Some
+                  { pt_iid = iid;
+                    pt_term =
+                      Prog.Branch
+                        { cond; src = parse_reg lineno src;
+                          if_true = parse_label lineno t;
+                          if_false = parse_label lineno f } }
+            | _ -> err lineno "bad branch")
+          | m ->
+            if !cur_term <> None then err lineno "instruction after terminator";
+            let m' =
+              match normalize_load m with Some (nm, _) -> nm | None -> m
+            in
+            let op = parse_instr lineno m' args in
+            cur_body := { Prog.iid; op } :: !cur_body)
+      end
+      else err lineno "cannot parse: %s" line)
+    lines;
+  flush_func (List.length lines);
+  Prog.create ~globals:(List.rev !globals) (List.rev !funcs)

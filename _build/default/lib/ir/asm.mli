@@ -1,0 +1,31 @@
+(** Textual assembly: a parseable save/load format for programs.
+
+    {!output} writes the same per-function listing as {!Prog.pp} (so dumps
+    are also loadable) plus global data images in hex; {!parse} reads it
+    back.  Instruction ids are preserved exactly, so analysis facts and
+    profiles keyed by iid survive a save/load cycle.  Round-tripping is
+    property-tested: [parse (output p)] is structurally identical to [p]
+    for every program the code generator and the optimizer can produce.
+
+    Format:
+
+    {v
+    global counter[8] = 2a00000000000000
+    func main(0) frame=224
+    L0:
+      [   1] li #0, r1
+      [   2] add32 r1, #5, r2
+      [   3] st32 r2, -8(sp)
+      [   4] beq r2, L1, L2
+    ...
+    v} *)
+
+exception Error of string
+(** Parse failure, with a line number in the message. *)
+
+val output : Format.formatter -> Prog.t -> unit
+val to_string : Prog.t -> string
+
+val parse : string -> Prog.t
+(** The result passes {!Validate.program} whenever the input came from
+    {!output} of a valid program. *)

@@ -1,0 +1,61 @@
+type t = { words : int array; nbits : int }
+
+let create nbits = { words = Array.make ((nbits + 62) / 63) 0; nbits }
+let copy t = { t with words = Array.copy t.words }
+let length t = t.nbits
+
+let check t i =
+  if i < 0 || i >= t.nbits then Fmt.invalid_arg "Bitset: index %d" i
+
+let set t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+
+let clear t i =
+  check t i;
+  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let union_into ~into src =
+  let changed = ref false in
+  Array.iteri
+    (fun k w ->
+      let nw = into.words.(k) lor w in
+      if nw <> into.words.(k) then begin
+        into.words.(k) <- nw;
+        changed := true
+      end)
+    src.words;
+  !changed
+
+let diff_into ~into src =
+  Array.iteri (fun k w -> into.words.(k) <- into.words.(k) land lnot w) src.words
+
+let equal a b = a.nbits = b.nbits && a.words = b.words
+
+let iter t k =
+  for i = 0 to t.nbits - 1 do
+    if mem t i then k i
+  done
+
+let elements t =
+  let acc = ref [] in
+  for i = t.nbits - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let cardinal t =
+  let n = ref 0 in
+  Array.iter
+    (fun w ->
+      let w = ref w in
+      while !w <> 0 do
+        w := !w land (!w - 1);
+        incr n
+      done)
+    t.words;
+  !n

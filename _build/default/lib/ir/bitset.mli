@@ -1,0 +1,24 @@
+(** Fixed-capacity mutable bitsets for dataflow. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. *)
+
+val copy : t -> t
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val mem : t -> int -> bool
+
+(** [union_into ~into src] ors [src] into [into]; returns [true] when
+    [into] changed. *)
+val union_into : into:t -> t -> bool
+
+(** [diff_into ~into src] removes [src]'s bits from [into]. *)
+val diff_into : into:t -> t -> unit
+
+val equal : t -> t -> bool
+val iter : t -> (int -> unit) -> unit
+val elements : t -> int list
+val cardinal : t -> int

@@ -1,0 +1,80 @@
+type pending = {
+  label : Label.t;
+  mutable body_rev : Prog.ins list;
+  mutable term : Prog.terminator option;
+  mutable term_iid : int;
+}
+
+type t = {
+  fresh_iid : unit -> int;
+  fname : string;
+  arity : int;
+  mutable blocks : pending list;  (* reversed *)
+  mutable nblocks : int;
+  mutable current : pending option;
+}
+
+let create ~fresh_iid ~fname ~arity =
+  { fresh_iid; fname; arity; blocks = []; nblocks = 0; current = None }
+
+let new_block t =
+  let label = Label.of_int t.nblocks in
+  t.nblocks <- t.nblocks + 1;
+  t.blocks <- { label; body_rev = []; term = None; term_iid = -1 } :: t.blocks;
+  label
+
+let find_pending t l =
+  List.find (fun p -> Label.equal p.label l) t.blocks
+
+let switch_to t l =
+  let p = find_pending t l in
+  if p.term <> None || p.body_rev <> [] then
+    Fmt.invalid_arg "Builder.switch_to: block %d already filled"
+      (Label.to_int l);
+  t.current <- Some p
+
+let current t =
+  match t.current with
+  | Some p -> p
+  | None -> invalid_arg "Builder: no current block"
+
+let ins t i =
+  let p = current t in
+  if p.term <> None then invalid_arg "Builder.ins: block already terminated";
+  let iid = t.fresh_iid () in
+  p.body_rev <- { Prog.iid; op = i } :: p.body_rev;
+  iid
+
+let terminate t term =
+  let p = current t in
+  if p.term <> None then invalid_arg "Builder.terminate: already terminated";
+  p.term <- Some term;
+  p.term_iid <- t.fresh_iid ();
+  t.current <- None
+
+let current_label t = (current t).label
+
+let finish t ~frame_size =
+  let blocks = Array.make t.nblocks None in
+  List.iter
+    (fun p -> blocks.(Label.to_int p.label) <- Some p)
+    t.blocks;
+  let blocks =
+    Array.map
+      (function
+        | Some p -> (
+          match p.term with
+          | None ->
+            Fmt.invalid_arg "Builder.finish(%s): block %d not terminated"
+              t.fname (Label.to_int p.label)
+          | Some term ->
+            {
+              Prog.label = p.label;
+              body = Array.of_list (List.rev p.body_rev);
+              term;
+              term_iid = p.term_iid;
+            })
+        | None -> assert false)
+      blocks
+  in
+  { Prog.fname = t.fname; arity = t.arity; blocks; frame_size }

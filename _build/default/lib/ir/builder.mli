@@ -1,0 +1,33 @@
+(** Incremental construction of a {!Prog.func}.
+
+    Blocks are created with {!new_block}, filled with {!ins}, and closed
+    with {!terminate}; instruction ids are drawn from a caller-supplied
+    counter so they stay unique across a whole program build. *)
+
+
+
+type t
+
+val create : fresh_iid:(unit -> int) -> fname:string -> arity:int -> t
+
+(** [new_block t] allocates the next block label (the first call returns
+    the entry label). *)
+val new_block : t -> Label.t
+
+(** [switch_to t l] makes [l] the block receiving subsequent {!ins}.
+    A block may only be filled once. *)
+val switch_to : t -> Label.t -> unit
+
+(** [ins t i] appends [i] to the current block and returns its iid. *)
+val ins : t -> Ogc_isa.Instr.t -> int
+
+(** [terminate t term] closes the current block; no current block remains
+    until the next {!switch_to}. *)
+val terminate : t -> Prog.terminator -> unit
+
+val current_label : t -> Label.t
+(** Raises [Invalid_argument] when no block is being filled. *)
+
+(** [finish t ~frame_size] checks every allocated block was terminated and
+    builds the function. *)
+val finish : t -> frame_size:int -> Prog.func

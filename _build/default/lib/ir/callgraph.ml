@@ -1,0 +1,73 @@
+open Ogc_isa
+
+type t = {
+  callees : (string, string list) Hashtbl.t;
+  callers : (string, string list) Hashtbl.t;
+  sites : (string, (string * int) list) Hashtbl.t;
+  order : string list;
+  recursive : (string, bool) Hashtbl.t;
+}
+
+let add_edge tbl k v =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+  if not (List.mem v prev) then Hashtbl.replace tbl k (v :: prev)
+
+let compute (p : Prog.t) =
+  let callees = Hashtbl.create 16 in
+  let callers = Hashtbl.create 16 in
+  let sites = Hashtbl.create 16 in
+  List.iter (fun (f : Prog.func) -> Hashtbl.replace callees f.fname []) p.funcs;
+  Prog.iter_all_ins p (fun f _ ins ->
+      match ins.op with
+      | Instr.Call { callee } when Prog.find_func_opt p callee <> None ->
+        add_edge callees f.fname callee;
+        add_edge callers callee f.fname;
+        let prev = Option.value ~default:[] (Hashtbl.find_opt sites callee) in
+        Hashtbl.replace sites callee ((f.fname, ins.iid) :: prev)
+      | _ -> ());
+  (* Bottom-up order by DFS postorder over the callee relation. *)
+  let visited = Hashtbl.create 16 and order = ref [] in
+  let on_stack = Hashtbl.create 16 in
+  let recursive = Hashtbl.create 16 in
+  let rec dfs f =
+    if Hashtbl.mem on_stack f then Hashtbl.replace recursive f true
+    else if not (Hashtbl.mem visited f) then begin
+      Hashtbl.replace visited f ();
+      Hashtbl.replace on_stack f ();
+      List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt callees f));
+      Hashtbl.remove on_stack f;
+      order := f :: !order
+    end
+  in
+  List.iter (fun (f : Prog.func) -> dfs f.fname) p.funcs;
+  (* A function is recursive if it is in a cycle: propagate within SCCs is
+     overkill here; direct/indirect self-reach detected below. *)
+  let reachable_from f =
+    let seen = Hashtbl.create 8 in
+    let rec go g =
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c) then begin
+            Hashtbl.replace seen c ();
+            go c
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt callees g))
+    in
+    go f;
+    seen
+  in
+  List.iter
+    (fun (f : Prog.func) ->
+      if not (Hashtbl.mem recursive f.fname) then
+        Hashtbl.replace recursive f.fname
+          (Hashtbl.mem (reachable_from f.fname) f.fname))
+    p.funcs;
+  { callees; callers; sites; order = List.rev !order; recursive }
+
+let callees t f = Option.value ~default:[] (Hashtbl.find_opt t.callees f)
+let callers t f = Option.value ~default:[] (Hashtbl.find_opt t.callers f)
+let call_sites t f = Option.value ~default:[] (Hashtbl.find_opt t.sites f)
+let bottom_up t = t.order
+
+let is_recursive t f =
+  Option.value ~default:false (Hashtbl.find_opt t.recursive f)

@@ -1,0 +1,21 @@
+(** Call graph over a program's direct calls. *)
+
+type t
+
+val compute : Prog.t -> t
+
+(** Functions called by [f] (deduplicated, defined functions only). *)
+val callees : t -> string -> string list
+
+(** Functions containing a call to [f]. *)
+val callers : t -> string -> string list
+
+(** Call sites of [callee]: [(caller, iid)] pairs. *)
+val call_sites : t -> string -> (string * int) list
+
+(** Bottom-up ordering (callees before callers); members of call cycles
+    appear in an arbitrary relative order. *)
+val bottom_up : t -> string list
+
+(** [is_recursive t f] is true when [f] can reach itself. *)
+val is_recursive : t -> string -> bool

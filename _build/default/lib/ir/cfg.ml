@@ -1,0 +1,55 @@
+type t = {
+  nblocks : int;
+  succ : Label.t list array;
+  pred : Label.t list array;
+  rpo : Label.t list;
+  reach : bool array;
+}
+
+let successors_of_term = function
+  | Prog.Jump l -> [ l ]
+  | Prog.Branch { if_true; if_false; _ } ->
+    if Label.equal if_true if_false then [ if_true ]
+    else [ if_true; if_false ]
+  | Prog.Return -> []
+
+let of_func (f : Prog.func) =
+  let n = Array.length f.blocks in
+  let succ = Array.make n [] and pred = Array.make n [] in
+  Array.iter
+    (fun (b : Prog.block) ->
+      let s = successors_of_term b.term in
+      succ.(Label.to_int b.label) <- s;
+      List.iter
+        (fun l ->
+          let i = Label.to_int l in
+          pred.(i) <- b.label :: pred.(i))
+        s)
+    f.blocks;
+  Array.iteri (fun i ps -> pred.(i) <- List.rev ps) pred;
+  (* Depth-first search for postorder / reachability. *)
+  let reach = Array.make n false in
+  let order = ref [] in
+  let rec dfs l =
+    let i = Label.to_int l in
+    if not reach.(i) then begin
+      reach.(i) <- true;
+      List.iter dfs succ.(i);
+      order := l :: !order
+    end
+  in
+  if n > 0 then dfs (Label.of_int 0);
+  let unreachable =
+    List.filter_map
+      (fun i -> if reach.(i) then None else Some (Label.of_int i))
+      (List.init n (fun i -> i))
+  in
+  { nblocks = n; succ; pred; rpo = !order @ unreachable; reach }
+
+let num_blocks t = t.nblocks
+let succs t l = t.succ.(Label.to_int l)
+let preds t l = t.pred.(Label.to_int l)
+let entry _ = Label.of_int 0
+let reverse_postorder t = t.rpo
+let postorder t = List.rev t.rpo
+let is_reachable t l = t.reach.(Label.to_int l)

@@ -1,0 +1,25 @@
+(** Control-flow-graph queries over a {!Prog.func}.
+
+    A [Cfg.t] is a snapshot: it must be rebuilt after a transformation adds
+    blocks or rewrites terminators. *)
+
+type t
+
+val of_func : Prog.func -> t
+
+val num_blocks : t -> int
+val succs : t -> Label.t -> Label.t list
+val preds : t -> Label.t -> Label.t list
+val entry : t -> Label.t
+
+(** Blocks in reverse postorder from the entry.  Unreachable blocks are
+    appended at the end (in index order) so dataflow still covers them. *)
+val reverse_postorder : t -> Label.t list
+
+val postorder : t -> Label.t list
+
+val is_reachable : t -> Label.t -> bool
+
+(** [successors_of_term term] lists the control successors of a
+    terminator. *)
+val successors_of_term : Prog.terminator -> Label.t list

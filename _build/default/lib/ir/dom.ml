@@ -1,0 +1,63 @@
+type t = { idom : int array (* -1 = none *) }
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let idom = Array.make n (-1) in
+  if n = 0 then { idom }
+  else begin
+    let entry = Label.to_int (Cfg.entry cfg) in
+    idom.(entry) <- entry;
+    (* Map each block to its reverse-postorder position for intersection. *)
+    let rpo = Cfg.reverse_postorder cfg in
+    let rpo_pos = Array.make n max_int in
+    List.iteri (fun i l -> rpo_pos.(Label.to_int l) <- i) rpo;
+    let rec intersect a b =
+      if a = b then a
+      else if rpo_pos.(a) > rpo_pos.(b) then intersect idom.(a) b
+      else intersect a idom.(b)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun l ->
+          let i = Label.to_int l in
+          if i <> entry && Cfg.is_reachable cfg l then begin
+            let preds =
+              List.filter
+                (fun p -> idom.(Label.to_int p) <> -1)
+                (Cfg.preds cfg l)
+            in
+            match preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom =
+                List.fold_left
+                  (fun acc p -> intersect acc (Label.to_int p))
+                  (Label.to_int first) rest
+              in
+              if idom.(i) <> new_idom then begin
+                idom.(i) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo
+    done;
+    (* By convention the entry has no immediate dominator. *)
+    idom.(entry) <- -1;
+    { idom }
+  end
+
+let idom t l =
+  let i = t.idom.(Label.to_int l) in
+  if i = -1 then None else Some (Label.of_int i)
+
+let dominates t a b =
+  let a = Label.to_int a in
+  let rec walk b =
+    if b = a then true
+    else
+      let d = t.idom.(b) in
+      if d = -1 then false else walk d
+  in
+  walk (Label.to_int b)

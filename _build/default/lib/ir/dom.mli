@@ -1,0 +1,12 @@
+(** Dominator tree (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** [idom t l] is the immediate dominator of [l]; [None] for the entry
+    block and for unreachable blocks. *)
+val idom : t -> Label.t -> Label.t option
+
+(** [dominates t a b] is true when [a] dominates [b] (reflexive). *)
+val dominates : t -> Label.t -> Label.t -> bool

@@ -1,0 +1,75 @@
+(** Reference interpreter.
+
+    Executes a program functionally and streams the committed dynamic
+    instruction trace to an optional callback; the out-of-order timing
+    model replays this stream (functional-first, trace-driven simulation).
+    The interpreter is also the profiling engine: it counts basic-block
+    executions and can sample the values produced by a chosen set of
+    instructions (the paper's Calder-style value profiling hook).
+
+    Execution starts at [main] with no arguments.  The [emit] intrinsic
+    accumulates an order-sensitive checksum of everything emitted, which
+    the tests use to prove that VRP/VRS/gating preserve semantics. *)
+
+open Ogc_isa
+
+exception Fault of string
+(** Memory violation, missing function, or step-limit exhaustion. *)
+
+type config = {
+  mem_size : int;  (** bytes of flat memory; default 4 MiB *)
+  max_steps : int;  (** dynamic instruction budget; default 100M *)
+}
+
+val default_config : config
+
+(** One committed dynamic instruction. *)
+type event =
+  | E_ins of {
+      iid : int;
+      op : Instr.t;
+      a : int64;  (** first source value (0 when none) *)
+      b : int64;  (** second source value (0 when none) *)
+      result : int64;  (** destination value (0 when none) *)
+      addr : int64;  (** effective address for memory operations, else 0 *)
+    }
+  | E_branch of { iid : int; taken : bool; value : int64; reg : Reg.t }
+  | E_jump of { iid : int }
+  | E_return of { iid : int }
+
+type outcome = {
+  checksum : int64;  (** fold of emitted values: [c*31 + v] *)
+  emitted : int64 list;  (** first [emit]ted values, oldest first (capped) *)
+  steps : int;  (** committed dynamic instructions, terminators included *)
+}
+
+(** Basic-block execution counts: function name to per-label counts. *)
+type bb_counts = (string, int array) Hashtbl.t
+
+val run :
+  ?config:config ->
+  ?on_event:(event -> unit) ->
+  ?bb_counts:bb_counts ->
+  ?profile:(int, int64 -> unit) Hashtbl.t ->
+  Prog.t ->
+  outcome
+(** [profile] maps an instruction id to a sampler invoked with the
+    destination value each time that instruction commits. *)
+
+val count_of : bb_counts -> string -> Label.t -> int
+
+(** {1 Data layout}
+
+    Addresses are virtual: the flat data segment starts at
+    {!virtual_base} (chosen so that data and stack addresses are 33-40 bit
+    values, like the Alpha address-space layout the paper's Figure 12
+    reflects).  Globals are placed from [virtual_base + 4096] upward,
+    8-byte aligned, in declaration order; the stack pointer starts at
+    [virtual_base + mem_size - 64] and grows down.  The layout only
+    depends on the global list, so every binary version of a workload
+    sees identical addresses. *)
+
+val virtual_base : int64
+
+val global_addresses : Prog.t -> (string * int64) list
+val address_of_global : Prog.t -> string -> int64

@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i =
+  if i < 0 then Fmt.invalid_arg "Label.of_int %d" i else i
+
+let to_int l = l
+let equal (a : t) (b : t) = a = b
+let compare = Int.compare
+let pp ppf l = Format.fprintf ppf "L%d" l
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

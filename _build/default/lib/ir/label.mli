@@ -1,0 +1,15 @@
+(** Basic-block labels.
+
+    A label is the index of a block inside its function's block array, so
+    labels are only meaningful within one function. *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

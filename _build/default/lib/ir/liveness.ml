@@ -1,0 +1,46 @@
+open Ogc_isa
+
+type t = { live_in : Reg.Set.t array; live_out : Reg.Set.t array }
+
+let term_uses = function
+  | Prog.Branch { src; _ } -> Reg.Set.singleton src
+  | Prog.Jump _ -> Reg.Set.empty
+  | Prog.Return -> Reg.Set.singleton Reg.ret
+
+let block_transfer (b : Prog.block) out =
+  (* Walk the body backwards starting from [out] + terminator uses. *)
+  let live = ref (Reg.Set.union out (term_uses b.term)) in
+  for i = Array.length b.body - 1 downto 0 do
+    let op = b.body.(i).op in
+    live := Reg.Set.diff !live (Reg.Set.of_list (Instr.defs op));
+    live := Reg.Set.union !live (Reg.Set.of_list (Instr.uses op))
+  done;
+  !live
+
+let compute (f : Prog.func) cfg =
+  let n = Array.length f.blocks in
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let i = Label.to_int l in
+        let out =
+          List.fold_left
+            (fun acc s -> Reg.Set.union acc live_in.(Label.to_int s))
+            Reg.Set.empty (Cfg.succs cfg l)
+        in
+        let inn = block_transfer f.blocks.(i) out in
+        if not (Reg.Set.equal inn live_in.(i)) then begin
+          live_in.(i) <- inn;
+          changed := true
+        end;
+        live_out.(i) <- out)
+      (Cfg.postorder cfg)
+  done;
+  { live_in; live_out }
+
+let live_in t l = t.live_in.(Label.to_int l)
+let live_out t l = t.live_out.(Label.to_int l)

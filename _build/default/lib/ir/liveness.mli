@@ -1,0 +1,18 @@
+(** Backward register liveness per basic block. *)
+
+open Ogc_isa
+
+type t
+
+val compute : Prog.func -> Cfg.t -> t
+
+(** Registers live at block entry. *)
+val live_in : t -> Label.t -> Reg.Set.t
+
+(** Registers live at block exit: the union of the successors' live-in
+    sets (the terminator's own uses are accounted for inside the block
+    transfer, not here). *)
+val live_out : t -> Label.t -> Reg.Set.t
+
+(** [term_uses term] is the set of registers a terminator reads. *)
+val term_uses : Prog.terminator -> Reg.Set.t

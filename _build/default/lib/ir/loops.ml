@@ -1,0 +1,70 @@
+type loop = {
+  header : Label.t;
+  latches : Label.t list;
+  body : Label.Set.t;
+  exits : (Label.t * Label.t) list;
+}
+
+type t = { loops : loop list }
+
+let natural_loop_body cfg ~header ~latches =
+  (* Everything that reaches a latch without passing through the header. *)
+  let body = ref (Label.Set.singleton header) in
+  let rec visit l =
+    if not (Label.Set.mem l !body) then begin
+      body := Label.Set.add l !body;
+      List.iter visit (Cfg.preds cfg l)
+    end
+  in
+  List.iter visit latches;
+  !body
+
+let compute cfg dom =
+  let backedges = Hashtbl.create 8 in
+  (* header -> latches *)
+  let n = Cfg.num_blocks cfg in
+  for i = 0 to n - 1 do
+    let l = Label.of_int i in
+    if Cfg.is_reachable cfg l then
+      List.iter
+        (fun s -> if Dom.dominates dom s l then begin
+            let latches =
+              match Hashtbl.find_opt backedges s with
+              | None -> []
+              | Some ls -> ls
+            in
+            Hashtbl.replace backedges s (l :: latches)
+          end)
+        (Cfg.succs cfg l)
+  done;
+  let loops =
+    Hashtbl.fold
+      (fun header latches acc ->
+        let body = natural_loop_body cfg ~header ~latches in
+        let exits =
+          Label.Set.fold
+            (fun b acc ->
+              List.fold_left
+                (fun acc s ->
+                  if Label.Set.mem s body then acc else (b, s) :: acc)
+                acc (Cfg.succs cfg b))
+            body []
+        in
+        { header; latches; body; exits } :: acc)
+      backedges []
+  in
+  (* Sort by body size so the innermost (smallest) loop is found first. *)
+  let loops =
+    List.sort
+      (fun a b -> Int.compare (Label.Set.cardinal a.body) (Label.Set.cardinal b.body))
+      loops
+  in
+  { loops }
+
+let loops t = t.loops
+
+let innermost_containing t l =
+  List.find_opt (fun lo -> Label.Set.mem l lo.body) t.loops
+
+let depth t l =
+  List.length (List.filter (fun lo -> Label.Set.mem l lo.body) t.loops)

@@ -1,0 +1,27 @@
+(** Natural-loop detection.
+
+    A natural loop is identified from a back edge [latch -> header] where
+    [header] dominates [latch]; its body is every block that can reach the
+    latch without passing through the header.  Loops sharing a header are
+    merged, as usual. *)
+
+type loop = {
+  header : Label.t;
+  latches : Label.t list;  (** sources of the back edges *)
+  body : Label.Set.t;  (** includes the header *)
+  exits : (Label.t * Label.t) list;
+      (** [(from, to)] edges leaving the loop body *)
+}
+
+type t
+
+val compute : Cfg.t -> Dom.t -> t
+val loops : t -> loop list
+
+(** [innermost_containing t l] is the smallest loop whose body contains
+    [l], if any. *)
+val innermost_containing : t -> Label.t -> loop option
+
+(** [depth t l] is the loop-nesting depth of block [l]; 0 when not in any
+    loop. *)
+val depth : t -> Label.t -> int

@@ -1,0 +1,155 @@
+open Ogc_isa
+
+type def_site = Entry | At of int
+
+type def = { dreg : Reg.t; site : def_site }
+
+type t = {
+  defs : def array;
+  defs_of_ins : (int, int list) Hashtbl.t;
+  use_defs : (int * int, int list) Hashtbl.t;
+      (* (use_iid, reg index) -> def indices *)
+  def_uses : (int, (int * Reg.t) list) Hashtbl.t;
+}
+
+let compute (f : Prog.func) cfg =
+  (* 1. Enumerate definitions. *)
+  let defs = ref [] and ndefs = ref 0 in
+  let defs_of_ins = Hashtbl.create 256 in
+  let add_def dreg site =
+    let idx = !ndefs in
+    defs := { dreg; site } :: !defs;
+    incr ndefs;
+    (match site with
+    | At iid ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt defs_of_ins iid) in
+      Hashtbl.replace defs_of_ins iid (idx :: prev)
+    | Entry -> ());
+    idx
+  in
+  let entry_def = Array.make 32 (-1) in
+  List.iter
+    (fun r -> entry_def.(Reg.to_int r) <- add_def r Entry)
+    Reg.all;
+  Prog.iter_ins f (fun _ ins ->
+      List.iter (fun r -> ignore (add_def r (At ins.iid))) (Instr.defs ins.op));
+  let defs = Array.of_list (List.rev !defs) in
+  let nd = Array.length defs in
+  (* Per-register def index lists, for kill sets. *)
+  let defs_of_reg = Array.make 32 [] in
+  Array.iteri
+    (fun i d -> defs_of_reg.(Reg.to_int d.dreg) <- i :: defs_of_reg.(Reg.to_int d.dreg))
+    defs;
+  (* 2. Block-level gen/kill. *)
+  let n = Array.length f.blocks in
+  let gen = Array.init n (fun _ -> Bitset.create nd) in
+  let kill = Array.init n (fun _ -> Bitset.create nd) in
+  let ins_defs iid = Option.value ~default:[] (Hashtbl.find_opt defs_of_ins iid) in
+  Array.iteri
+    (fun bi (b : Prog.block) ->
+      Array.iter
+        (fun (ins : Prog.ins) ->
+          List.iter
+            (fun di ->
+              let r = Reg.to_int defs.(di).dreg in
+              List.iter
+                (fun other ->
+                  if other <> di then begin
+                    Bitset.set kill.(bi) other;
+                    Bitset.clear gen.(bi) other
+                  end)
+                defs_of_reg.(r);
+              Bitset.set gen.(bi) di;
+              Bitset.clear kill.(bi) di)
+            (ins_defs ins.iid))
+        b.body)
+    f.blocks;
+  (* 3. Iterate to fixpoint: in[b] = U out[p]; out[b] = gen + (in - kill). *)
+  let inb = Array.init n (fun _ -> Bitset.create nd) in
+  let outb = Array.init n (fun _ -> Bitset.create nd) in
+  (* Entry block starts with the entry pseudo-defs. *)
+  let entry_bits = Bitset.create nd in
+  Array.iter (fun di -> if di >= 0 then Bitset.set entry_bits di) entry_def;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let bi = Label.to_int l in
+        let i = Bitset.create nd in
+        if bi = 0 then ignore (Bitset.union_into ~into:i entry_bits);
+        List.iter
+          (fun p -> ignore (Bitset.union_into ~into:i outb.(Label.to_int p)))
+          (Cfg.preds cfg l);
+        let o = Bitset.copy i in
+        Bitset.diff_into ~into:o kill.(bi);
+        ignore (Bitset.union_into ~into:o gen.(bi));
+        if not (Bitset.equal i inb.(bi) && Bitset.equal o outb.(bi)) then begin
+          inb.(bi) <- i;
+          outb.(bi) <- o;
+          changed := true
+        end)
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* 4. Walk each block to record per-use reaching defs. *)
+  let use_defs = Hashtbl.create 1024 in
+  let def_uses = Hashtbl.create 1024 in
+  let record_use cur use_iid r =
+    let ds =
+      List.filter (fun di -> Reg.equal defs.(di).dreg r) (Bitset.elements cur)
+    in
+    Hashtbl.replace use_defs (use_iid, Reg.to_int r) ds;
+    List.iter
+      (fun di ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt def_uses di) in
+        Hashtbl.replace def_uses di ((use_iid, r) :: prev))
+      ds
+  in
+  Array.iteri
+    (fun bi (b : Prog.block) ->
+      let cur = Bitset.copy inb.(bi) in
+      Array.iter
+        (fun (ins : Prog.ins) ->
+          List.iter (record_use cur ins.iid) (Instr.uses ins.op);
+          List.iter
+            (fun di ->
+              let r = Reg.to_int defs.(di).dreg in
+              List.iter
+                (fun other -> if other <> di then Bitset.clear cur other)
+                defs_of_reg.(r);
+              Bitset.set cur di)
+            (ins_defs ins.iid))
+        b.body;
+      match b.term with
+      | Prog.Branch { src; _ } -> record_use cur b.term_iid src
+      | Prog.Return -> record_use cur b.term_iid Reg.ret
+      | Prog.Jump _ -> ())
+    f.blocks;
+  { defs; defs_of_ins; use_defs; def_uses }
+
+let num_defs t = Array.length t.defs
+let def t i = t.defs.(i)
+
+let defs_of_ins t iid =
+  Option.value ~default:[] (Hashtbl.find_opt t.defs_of_ins iid)
+
+let reaching_uses t ~use_iid ~reg =
+  Option.value ~default:[]
+    (Hashtbl.find_opt t.use_defs (use_iid, Reg.to_int reg))
+
+let uses_of_def t d =
+  Option.value ~default:[] (Hashtbl.find_opt t.def_uses d)
+
+let dependents t ~iid =
+  let seen = Hashtbl.create 64 in
+  let rec expand_def di =
+    List.iter
+      (fun (use_iid, _) ->
+        if not (Hashtbl.mem seen use_iid) then begin
+          Hashtbl.replace seen use_iid ();
+          List.iter expand_def (defs_of_ins t use_iid)
+        end)
+      (uses_of_def t di)
+  in
+  List.iter expand_def (defs_of_ins t iid);
+  seen

@@ -1,0 +1,62 @@
+open Ogc_isa
+
+exception Invalid of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let check_label (f : Prog.func) l =
+  let i = Label.to_int l in
+  if i < 0 || i >= Array.length f.blocks then
+    fail "%s: label L%d out of range" f.fname i
+
+let func (p : Prog.t) (f : Prog.func) =
+  if f.arity < 0 || f.arity > Reg.num_arg_regs then
+    fail "%s: arity %d out of range" f.fname f.arity;
+  if f.frame_size < 0 || f.frame_size mod 8 <> 0 then
+    fail "%s: bad frame size %d" f.fname f.frame_size;
+  if Array.length f.blocks = 0 then fail "%s: no blocks" f.fname;
+  Array.iteri
+    (fun i (b : Prog.block) ->
+      if Label.to_int b.label <> i then
+        fail "%s: block at position %d is labelled L%d" f.fname i
+          (Label.to_int b.label);
+      Array.iter
+        (fun (ins : Prog.ins) ->
+          match ins.op with
+          | Instr.Call { callee } ->
+            if Prog.find_func_opt p callee = None then
+              fail "%s: call to undefined function %s" f.fname callee
+          | Instr.La { symbol; _ } ->
+            if Prog.find_global p symbol = None then
+              fail "%s: address of undefined global %s" f.fname symbol
+          | Instr.Alu { dst; _ } | Instr.Cmp { dst; _ } | Instr.Cmov { dst; _ }
+          | Instr.Msk { dst; _ } | Instr.Sext { dst; _ } | Instr.Li { dst; _ }
+          | Instr.Load { dst; _ } ->
+            if Reg.equal dst Reg.zero then
+              fail "%s: instruction %d writes the zero register" f.fname ins.iid
+          | Instr.Store _ | Instr.Emit _ -> ())
+        b.body;
+      match b.term with
+      | Prog.Jump l -> check_label f l
+      | Prog.Branch { if_true; if_false; _ } ->
+        check_label f if_true;
+        check_label f if_false
+      | Prog.Return -> ())
+    f.blocks
+
+let program (p : Prog.t) =
+  let seen = Hashtbl.create 1024 in
+  let check_iid where iid =
+    if Hashtbl.mem seen iid then fail "%s: duplicate instruction id %d" where iid;
+    Hashtbl.replace seen iid ()
+  in
+  List.iter
+    (fun (f : Prog.func) ->
+      func p f;
+      Array.iter
+        (fun (b : Prog.block) ->
+          Array.iter (fun (ins : Prog.ins) -> check_iid f.fname ins.iid) b.body;
+          check_iid f.fname b.term_iid)
+        f.blocks)
+    p.funcs;
+  if Prog.find_func_opt p "main" = None then fail "program has no main function"

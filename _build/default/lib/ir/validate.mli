@@ -1,0 +1,14 @@
+(** Structural well-formedness checks for programs.
+
+    Run after code generation and after every transformation; raises
+    [Invalid of message] describing the first violation found. *)
+
+exception Invalid of string
+
+val func : Prog.t -> Prog.func -> unit
+val program : Prog.t -> unit
+(** Checks: labels in range and consistent with block positions; branch
+    targets exist; instruction ids unique program-wide; calls name defined
+    functions or known intrinsics; arity within register-argument limits;
+    [Reg.zero] never used as a destination of a meaningful def; frame sizes
+    non-negative and 8-byte aligned. *)

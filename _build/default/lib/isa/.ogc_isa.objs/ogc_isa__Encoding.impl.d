@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Fmt Hashtbl Instr Int32 Int64 List Printf Reg Width

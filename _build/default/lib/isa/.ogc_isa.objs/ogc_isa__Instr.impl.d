@@ -1,0 +1,1 @@
+lib/isa/instr.ml: Format Int64 List Reg Width

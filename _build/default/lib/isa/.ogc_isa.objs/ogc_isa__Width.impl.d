@@ -1,0 +1,1 @@
+lib/isa/width.ml: Fmt Format Int Int64

@@ -1,0 +1,1 @@
+lib/isa/width.mli: Format

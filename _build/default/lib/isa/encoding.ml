@@ -1,0 +1,290 @@
+type opcode = int
+
+type encoded = { word : int32; ext : int64 option }
+
+(* --- opcode numbering ------------------------------------------------------
+
+   Dense, systematic numbering: operations enumerate their width variants
+   contiguously so [base_alpha] and the §4.3 accounting can reason about
+   (operation, width) pairs. *)
+
+let alu_ops =
+  [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+    Instr.Or; Instr.Xor; Instr.Bic; Instr.Sll; Instr.Srl; Instr.Sra ]
+
+let cmp_ops = [ Instr.Ceq; Instr.Clt; Instr.Cle; Instr.Cult; Instr.Cule ]
+
+let conds = [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge ]
+
+let width_index = function
+  | Width.W8 -> 0
+  | Width.W16 -> 1
+  | Width.W32 -> 2
+  | Width.W64 -> 3
+
+let width_of_index = function
+  | 0 -> Width.W8
+  | 1 -> Width.W16
+  | 2 -> Width.W32
+  | 3 -> Width.W64
+  | i -> Fmt.invalid_arg "Encoding: width index %d" i
+
+let index_of lst x =
+  let rec go i = function
+    | [] -> invalid_arg "Encoding.index_of"
+    | y :: rest -> if y = x then i else go (i + 1) rest
+  in
+  go 0 lst
+
+(* Opcode space layout. *)
+let alu_base = 0 (* 12 ops x 4 widths = 48 *)
+let cmp_base = 48 (* 5 x 4 = 20 *)
+let cmov_base = 68 (* 6 x 4 = 24 *)
+let msk_base = 92 (* 4 *)
+let sext_base = 96 (* 4 *)
+let li_op = 100
+let la_op = 101
+let load_base = 102 (* width x signedness = 8 *)
+let store_base = 110 (* 4 *)
+let call_op = 114
+let emit_op = 115
+let num_opcodes = 116
+
+let opcode_of (i : Instr.t) =
+  match i with
+  | Instr.Alu { op; width; _ } ->
+    alu_base + (index_of alu_ops op * 4) + width_index width
+  | Instr.Cmp { op; width; _ } ->
+    cmp_base + (index_of cmp_ops op * 4) + width_index width
+  | Instr.Cmov { cond; width; _ } ->
+    cmov_base + (index_of conds cond * 4) + width_index width
+  | Instr.Msk { width; _ } -> msk_base + width_index width
+  | Instr.Sext { width; _ } -> sext_base + width_index width
+  | Instr.Li _ -> li_op
+  | Instr.La _ -> la_op
+  | Instr.Load { width; signed; _ } ->
+    load_base + (width_index width * 2) + if signed then 1 else 0
+  | Instr.Store { width; _ } -> store_base + width_index width
+  | Instr.Call _ -> call_op
+  | Instr.Emit _ -> emit_op
+
+let opcode_to_int op = op
+
+let opcode_of_int i =
+  if i < 0 || i >= num_opcodes then Fmt.invalid_arg "Encoding.opcode_of_int %d" i
+  else i
+
+let alu_name = function
+  | Instr.Add -> "add"
+  | Instr.Sub -> "sub"
+  | Instr.Mul -> "mul"
+  | Instr.Div -> "div"
+  | Instr.Rem -> "rem"
+  | Instr.And -> "and"
+  | Instr.Or -> "or"
+  | Instr.Xor -> "xor"
+  | Instr.Bic -> "bic"
+  | Instr.Sll -> "sll"
+  | Instr.Srl -> "srl"
+  | Instr.Sra -> "sra"
+
+let cmp_name = function
+  | Instr.Ceq -> "cmpeq"
+  | Instr.Clt -> "cmplt"
+  | Instr.Cle -> "cmple"
+  | Instr.Cult -> "cmpult"
+  | Instr.Cule -> "cmpule"
+
+let cond_name = function
+  | Instr.Eq -> "eq"
+  | Instr.Ne -> "ne"
+  | Instr.Lt -> "lt"
+  | Instr.Le -> "le"
+  | Instr.Gt -> "gt"
+  | Instr.Ge -> "ge"
+
+let mnemonic op =
+  let w i = Width.to_string (width_of_index i) in
+  if op >= alu_base && op < cmp_base then
+    let k = op - alu_base in
+    Printf.sprintf "%s%s" (alu_name (List.nth alu_ops (k / 4))) (w (k mod 4))
+  else if op >= cmp_base && op < cmov_base then
+    let k = op - cmp_base in
+    Printf.sprintf "%s%s" (cmp_name (List.nth cmp_ops (k / 4))) (w (k mod 4))
+  else if op >= cmov_base && op < msk_base then
+    let k = op - cmov_base in
+    Printf.sprintf "cmov%s%s" (cond_name (List.nth conds (k / 4))) (w (k mod 4))
+  else if op >= msk_base && op < sext_base then
+    Printf.sprintf "msk%s" (w (op - msk_base))
+  else if op >= sext_base && op < li_op then
+    Printf.sprintf "sext%s" (w (op - sext_base))
+  else if op = li_op then "li"
+  else if op = la_op then "la"
+  else if op >= load_base && op < store_base then
+    let k = op - load_base in
+    Printf.sprintf "ld%s%s" (w (k / 2)) (if k mod 2 = 0 then "u" else "")
+  else if op >= store_base && op < call_op then
+    Printf.sprintf "st%s" (w (op - store_base))
+  else if op = call_op then "call"
+  else if op = emit_op then "emit"
+  else Fmt.invalid_arg "Encoding.mnemonic: %d" op
+
+let all_opcodes = List.init num_opcodes (fun op -> (op, mnemonic op))
+
+(* Which (operation, width) pairs the Alpha ISA already provides:
+   - all 64-bit operates, plus 32-bit add/sub/mul (addl/subl/mull);
+   - logicals, shifts, compares and conditional moves at 64 bits only;
+   - every memory width (LDBU/LDWU/LDL/LDQ and the stores);
+   - byte/word mask-extract (MSKxL/EXTxL) at every granularity;
+   - SEXTB/SEXTW (BWX) and the ADDL sign-extend idiom for 32 bits;
+   - LDA/LDAH for immediates and addresses.
+   Integer divide does not exist on Alpha at any width. *)
+let base_alpha op =
+  if op >= alu_base && op < cmp_base then begin
+    let k = op - alu_base in
+    let operation = List.nth alu_ops (k / 4) in
+    let width = width_of_index (k mod 4) in
+    match operation with
+    | Instr.Add | Instr.Sub | Instr.Mul ->
+      Width.equal width Width.W64 || Width.equal width Width.W32
+    | Instr.And | Instr.Or | Instr.Xor | Instr.Bic | Instr.Sll | Instr.Srl
+    | Instr.Sra -> Width.equal width Width.W64
+    | Instr.Div | Instr.Rem -> false
+  end
+  else if op >= cmp_base && op < cmov_base then
+    Width.equal (width_of_index ((op - cmp_base) mod 4)) Width.W64
+  else if op >= cmov_base && op < msk_base then
+    Width.equal (width_of_index ((op - cmov_base) mod 4)) Width.W64
+  else if op >= msk_base && op < li_op then true (* MSK/EXT, SEXTB/W, ADDL *)
+  else if op >= li_op && op < num_opcodes then true
+  else Fmt.invalid_arg "Encoding.base_alpha: %d" op
+
+(* --- encode / decode --------------------------------------------------------
+
+   Word fields (from bit 0): [7:0] opcode, [12:8] dst, [17:13] src1,
+   [22:18] src2/test, [23] immediate flag.  Any immediate, displacement or
+   symbol index travels in the 64-bit extension word. *)
+
+type symtab = { sym_index : string -> int; sym_name : int -> string }
+
+let identity_symtab () =
+  let fwd = Hashtbl.create 16 and bwd = Hashtbl.create 16 in
+  let next = ref 0 in
+  {
+    sym_index =
+      (fun s ->
+        match Hashtbl.find_opt fwd s with
+        | Some i -> i
+        | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.replace fwd s i;
+          Hashtbl.replace bwd i s;
+          i);
+    sym_name =
+      (fun i ->
+        match Hashtbl.find_opt bwd i with
+        | Some s -> s
+        | None -> Fmt.invalid_arg "symtab: unknown symbol %d" i);
+  }
+
+let pack ~opcode ~dst ~src1 ~src2 ~imm_flag =
+  Int32.logor
+    (Int32.of_int
+       (opcode lor (dst lsl 8) lor (src1 lsl 13) lor (src2 lsl 18)))
+    (if imm_flag then Int32.shift_left 1l 23 else 0l)
+
+let field word ~lo ~bits =
+  (Int32.to_int (Int32.shift_right_logical word lo)) land ((1 lsl bits) - 1)
+
+let encode symtab (i : Instr.t) =
+  let opcode = opcode_of i in
+  let r = Reg.to_int in
+  let reg_or_imm = function
+    | Instr.Reg x -> (r x, false, None)
+    | Instr.Imm v -> (0, true, Some v)
+  in
+  match i with
+  | Instr.Alu { src1; src2; dst; _ } | Instr.Cmp { src1; src2; dst; _ } ->
+    let s2, imm_flag, ext = reg_or_imm src2 in
+    { word = pack ~opcode ~dst:(r dst) ~src1:(r src1) ~src2:s2 ~imm_flag; ext }
+  | Instr.Cmov { test; src; dst; _ } ->
+    let s2, imm_flag, ext = reg_or_imm src in
+    { word = pack ~opcode ~dst:(r dst) ~src1:(r test) ~src2:s2 ~imm_flag; ext }
+  | Instr.Msk { src; dst; _ } | Instr.Sext { src; dst; _ } ->
+    { word = pack ~opcode ~dst:(r dst) ~src1:(r src) ~src2:0 ~imm_flag:false;
+      ext = None }
+  | Instr.Li { dst; imm } ->
+    { word = pack ~opcode ~dst:(r dst) ~src1:0 ~src2:0 ~imm_flag:true;
+      ext = Some imm }
+  | Instr.La { dst; symbol } ->
+    { word = pack ~opcode ~dst:(r dst) ~src1:0 ~src2:0 ~imm_flag:true;
+      ext = Some (Int64.of_int (symtab.sym_index symbol)) }
+  | Instr.Load { base; offset; dst; _ } ->
+    { word = pack ~opcode ~dst:(r dst) ~src1:(r base) ~src2:0 ~imm_flag:true;
+      ext = Some offset }
+  | Instr.Store { base; offset; src; _ } ->
+    { word = pack ~opcode ~dst:0 ~src1:(r base) ~src2:(r src) ~imm_flag:true;
+      ext = Some offset }
+  | Instr.Call { callee } ->
+    { word = pack ~opcode ~dst:0 ~src1:0 ~src2:0 ~imm_flag:true;
+      ext = Some (Int64.of_int (symtab.sym_index callee)) }
+  | Instr.Emit { src } ->
+    { word = pack ~opcode ~dst:0 ~src1:(r src) ~src2:0 ~imm_flag:false;
+      ext = None }
+
+let decode symtab { word; ext } =
+  let opcode = field word ~lo:0 ~bits:8 in
+  let dst = Reg.of_int (field word ~lo:8 ~bits:5) in
+  let src1 = Reg.of_int (field word ~lo:13 ~bits:5) in
+  let src2 = Reg.of_int (field word ~lo:18 ~bits:5) in
+  let imm_flag = field word ~lo:23 ~bits:1 = 1 in
+  let operand () =
+    if imm_flag then
+      match ext with
+      | Some v -> Instr.Imm v
+      | None -> invalid_arg "Encoding.decode: missing extension word"
+    else Instr.Reg src2
+  in
+  let required_ext () =
+    match ext with
+    | Some v -> v
+    | None -> invalid_arg "Encoding.decode: missing extension word"
+  in
+  if opcode >= alu_base && opcode < cmp_base then begin
+    let k = opcode - alu_base in
+    Instr.Alu { op = List.nth alu_ops (k / 4); width = width_of_index (k mod 4);
+                src1; src2 = operand (); dst }
+  end
+  else if opcode >= cmp_base && opcode < cmov_base then begin
+    let k = opcode - cmp_base in
+    Instr.Cmp { op = List.nth cmp_ops (k / 4); width = width_of_index (k mod 4);
+                src1; src2 = operand (); dst }
+  end
+  else if opcode >= cmov_base && opcode < msk_base then begin
+    let k = opcode - cmov_base in
+    Instr.Cmov { cond = List.nth conds (k / 4);
+                 width = width_of_index (k mod 4); test = src1;
+                 src = operand (); dst }
+  end
+  else if opcode >= msk_base && opcode < sext_base then
+    Instr.Msk { width = width_of_index (opcode - msk_base); src = src1; dst }
+  else if opcode >= sext_base && opcode < li_op then
+    Instr.Sext { width = width_of_index (opcode - sext_base); src = src1; dst }
+  else if opcode = li_op then Instr.Li { dst; imm = required_ext () }
+  else if opcode = la_op then
+    Instr.La { dst; symbol = symtab.sym_name (Int64.to_int (required_ext ())) }
+  else if opcode >= load_base && opcode < store_base then begin
+    let k = opcode - load_base in
+    Instr.Load { width = width_of_index (k / 2); signed = k mod 2 = 1;
+                 base = src1; offset = required_ext (); dst }
+  end
+  else if opcode >= store_base && opcode < call_op then
+    Instr.Store { width = width_of_index (opcode - store_base); base = src1;
+                  offset = required_ext (); src = src2 }
+  else if opcode = call_op then
+    Instr.Call { callee = symtab.sym_name (Int64.to_int (required_ext ())) }
+  else if opcode = emit_op then Instr.Emit { src = src1 }
+  else Fmt.invalid_arg "Encoding.decode: bad opcode %d" opcode
+
+let size_bytes e = match e.ext with None -> 4 | Some _ -> 12

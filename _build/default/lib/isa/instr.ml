@@ -1,0 +1,238 @@
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Bic
+  | Sll
+  | Srl
+  | Sra
+
+type cmp_op = Ceq | Clt | Cle | Cult | Cule
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand = Reg of Reg.t | Imm of int64
+
+type t =
+  | Alu of { op : alu_op; width : Width.t; src1 : Reg.t; src2 : operand; dst : Reg.t }
+  | Cmp of { op : cmp_op; width : Width.t; src1 : Reg.t; src2 : operand; dst : Reg.t }
+  | Cmov of { cond : cond; width : Width.t; test : Reg.t; src : operand; dst : Reg.t }
+  | Msk of { width : Width.t; src : Reg.t; dst : Reg.t }
+  | Sext of { width : Width.t; src : Reg.t; dst : Reg.t }
+  | Li of { dst : Reg.t; imm : int64 }
+  | La of { dst : Reg.t; symbol : string }
+  | Load of { width : Width.t; signed : bool; base : Reg.t; offset : int64; dst : Reg.t }
+  | Store of { width : Width.t; base : Reg.t; offset : int64; src : Reg.t }
+  | Call of { callee : string }
+  | Emit of { src : Reg.t }
+
+let defs = function
+  | Alu { dst; _ } | Cmp { dst; _ } | Cmov { dst; _ }
+  | Msk { dst; _ } | Sext { dst; _ } | Li { dst; _ } | La { dst; _ }
+  | Load { dst; _ } -> [ dst ]
+  | Store _ | Emit _ -> []
+  | Call _ -> Reg.caller_saved
+
+let operand_uses = function Reg r -> [ r ] | Imm _ -> []
+
+let uses = function
+  | Alu { src1; src2; _ } | Cmp { src1; src2; _ } ->
+    src1 :: operand_uses src2
+  | Cmov { test; src; dst; _ } ->
+    (* the old dst value survives when the move does not fire *)
+    test :: dst :: operand_uses src
+  | Msk { src; _ } | Sext { src; _ } -> [ src ]
+  | Li _ | La _ -> []
+  | Load { base; _ } -> [ base ]
+  | Store { base; src; _ } -> [ base; src ]
+  | Call _ -> List.init Reg.num_arg_regs Reg.arg
+  | Emit { src } -> [ src ]
+
+let is_call = function Call _ -> true | _ -> false
+
+let is_mem = function
+  | Load _ | Store _ -> true
+  | Alu _ | Cmp _ | Cmov _ | Msk _ | Sext _ | Li _ | La _ | Call _ | Emit _ ->
+    false
+
+let width = function
+  | Alu { width; _ } | Cmp { width; _ } | Cmov { width; _ }
+  | Msk { width; _ } | Sext { width; _ }
+  | Load { width; _ } | Store { width; _ } -> width
+  | Li _ | La _ | Call _ | Emit _ -> Width.W64
+
+let with_width i w =
+  match i with
+  | Alu r -> Alu { r with width = w }
+  | Cmp r -> Cmp { r with width = w }
+  | Cmov r -> Cmov { r with width = w }
+  | Msk r -> Msk { r with width = w }
+  | Sext r -> Sext { r with width = w }
+  | Load r -> Load { r with width = w }
+  | Store r -> Store { r with width = w }
+  | Li _ | La _ | Call _ | Emit _ -> i
+
+type iclass =
+  | C_add | C_sub | C_mul | C_and | C_or | C_xor
+  | C_shift | C_cmp | C_cmov | C_msk
+  | C_load | C_store | C_move | C_call | C_other
+
+let iclass = function
+  | Alu { op = Add; _ } -> C_add
+  | Alu { op = Sub; _ } -> C_sub
+  | Alu { op = Mul | Div | Rem; _ } -> C_mul
+  | Alu { op = And | Bic; _ } -> C_and
+  | Alu { op = Or; _ } -> C_or
+  | Alu { op = Xor; _ } -> C_xor
+  | Alu { op = Sll | Srl | Sra; _ } -> C_shift
+  | Cmp _ -> C_cmp
+  | Cmov _ -> C_cmov
+  | Msk _ | Sext _ -> C_msk
+  | Load _ -> C_load
+  | Store _ -> C_store
+  | Li _ | La _ -> C_move
+  | Call _ -> C_call
+  | Emit _ -> C_other
+
+let iclass_name = function
+  | C_add -> "ADD"
+  | C_sub -> "SUB"
+  | C_mul -> "MUL"
+  | C_and -> "AND"
+  | C_or -> "OR"
+  | C_xor -> "XOR"
+  | C_shift -> "SHIFT"
+  | C_cmp -> "CMP"
+  | C_cmov -> "CMOV"
+  | C_msk -> "MSK"
+  | C_load -> "LOAD"
+  | C_store -> "STORE"
+  | C_move -> "MOVE"
+  | C_call -> "CALL"
+  | C_other -> "OTHER"
+
+let all_alu_classes =
+  [ C_add; C_msk; C_cmp; C_shift; C_sub; C_and; C_or; C_xor; C_cmov; C_mul ]
+
+(* Evaluation.  A width-[w] operation computes on the low [w] bits and
+   sign-extends the result; this is the single place where the narrow
+   semantics is defined, shared by the interpreter and the analyses. *)
+
+let eval_alu op w a b =
+  let a = Width.truncate a w and b = Width.truncate b w in
+  let shift_amount b = Int64.to_int (Int64.logand b 63L) in
+  let r =
+    match op with
+    | Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Div ->
+      (* x/0 = 0 and min_int/-1 wraps to itself: total, trap-free division *)
+      if b = 0L then 0L
+      else if a = Int64.min_int && b = -1L then a
+      else Int64.div a b
+    | Rem ->
+      if b = 0L then 0L
+      else if a = Int64.min_int && b = -1L then 0L
+      else Int64.rem a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Bic -> Int64.logand a (Int64.lognot b)
+    | Sll -> Int64.shift_left a (shift_amount b)
+    | Srl ->
+      (* logical shift over the operation width: zero-fill from bit [w] *)
+      Int64.shift_right_logical (Width.truncate_unsigned a w) (shift_amount b)
+    | Sra -> Int64.shift_right a (shift_amount b)
+  in
+  Width.truncate r w
+
+let eval_cmp op w a b =
+  let a = Width.truncate a w and b = Width.truncate b w in
+  let holds =
+    match op with
+    | Ceq -> Int64.equal a b
+    | Clt -> Int64.compare a b < 0
+    | Cle -> Int64.compare a b <= 0
+    | Cult -> Int64.unsigned_compare a b < 0
+    | Cule -> Int64.unsigned_compare a b <= 0
+  in
+  if holds then 1L else 0L
+
+let eval_cond c v =
+  match c with
+  | Eq -> Int64.equal v 0L
+  | Ne -> not (Int64.equal v 0L)
+  | Lt -> Int64.compare v 0L < 0
+  | Le -> Int64.compare v 0L <= 0
+  | Gt -> Int64.compare v 0L > 0
+  | Ge -> Int64.compare v 0L >= 0
+
+let alu_op_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Bic -> "bic"
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+
+let cmp_op_name = function
+  | Ceq -> "cmpeq"
+  | Clt -> "cmplt"
+  | Cle -> "cmple"
+  | Cult -> "cmpult"
+  | Cule -> "cmpule"
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Format.fprintf ppf "#%Ld" i
+
+let width_suffix w = if Width.equal w Width.W64 then "" else Width.to_string w
+
+let pp ppf i =
+  let f fmt = Format.fprintf ppf fmt in
+  match i with
+  | Alu { op; width; src1; src2; dst } ->
+    f "%s%s %a, %a, %a" (alu_op_name op) (width_suffix width) Reg.pp src1
+      pp_operand src2 Reg.pp dst
+  | Cmp { op; width; src1; src2; dst } ->
+    f "%s%s %a, %a, %a" (cmp_op_name op) (width_suffix width) Reg.pp src1
+      pp_operand src2 Reg.pp dst
+  | Cmov { cond; width; test; src; dst } ->
+    f "cmov%s%s %a, %a, %a" (cond_name cond) (width_suffix width) Reg.pp test
+      pp_operand src Reg.pp dst
+  | Msk { width; src; dst } ->
+    f "msk%s %a, %a" (Width.to_string width) Reg.pp src Reg.pp dst
+  | Sext { width; src; dst } ->
+    f "sext%s %a, %a" (Width.to_string width) Reg.pp src Reg.pp dst
+  | Li { dst; imm } -> f "li #%Ld, %a" imm Reg.pp dst
+  | La { dst; symbol } -> f "la @%s, %a" symbol Reg.pp dst
+  | Load { width; signed; base; offset; dst } ->
+    f "ld%s%s %Ld(%a), %a" (Width.to_string width)
+      (if signed || Width.equal width Width.W64 then "" else "u")
+      offset Reg.pp base Reg.pp dst
+  | Store { width; base; offset; src } ->
+    f "st%s %a, %Ld(%a)" (Width.to_string width) Reg.pp src offset Reg.pp base
+  | Call { callee } -> f "call %s" callee
+  | Emit { src } -> f "emit %a" Reg.pp src
+
+let to_string i = Format.asprintf "%a" pp i

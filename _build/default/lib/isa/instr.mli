@@ -1,0 +1,107 @@
+(** Straight-line (non-control-flow) instructions of the Alpha-like ISA.
+
+    Control transfer lives in the IR terminator type ({!Ogc_ir.Block});
+    calls are modelled here as straight-line instructions that return to the
+    following instruction, matching how a binary optimizer sees them.
+
+    Every data-manipulating opcode carries a {!Width.t}: this is the
+    software operand-gating hook.  The semantics of a width-[w] operation is
+    "compute on the low [w] bits of the inputs, sign-extend the result to 64
+    bits" — narrow values are always kept in two's complement (paper §2.4).
+    The original compiler output uses [W32] for [int]-typed arithmetic and
+    [W64] elsewhere (the Alpha [addl]/[addq] split); VRP and VRS re-encode
+    instructions with narrower widths. *)
+
+(** Three-operand ALU operations.  [Mul], [Div] and [Rem] execute on the
+    integer multiply/divide unit; everything else on the plain ALUs. *)
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Div   (** signed division; traps are not modelled, x/0 = 0 *)
+  | Rem   (** signed remainder; x rem 0 = 0 *)
+  | And
+  | Or
+  | Xor
+  | Bic   (** and-not: [a land (lnot b)] *)
+  | Sll
+  | Srl   (** logical shift right over the low [w] bits *)
+  | Sra
+
+(** Compare operations producing 0/1, Alpha [cmpXX] style. *)
+type cmp_op = Ceq | Clt | Cle | Cult | Cule
+
+(** Conditions against zero, used by conditional moves (and by IR branches). *)
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Second source operand: register or short immediate. *)
+type operand = Reg of Reg.t | Imm of int64
+
+type t =
+  | Alu of { op : alu_op; width : Width.t; src1 : Reg.t; src2 : operand; dst : Reg.t }
+  | Cmp of { op : cmp_op; width : Width.t; src1 : Reg.t; src2 : operand; dst : Reg.t }
+  | Cmov of { cond : cond; width : Width.t; test : Reg.t; src : operand; dst : Reg.t }
+      (** [dst <- src] when [test cond 0] holds, else [dst] unchanged. *)
+  | Msk of { width : Width.t; src : Reg.t; dst : Reg.t }
+      (** Extract the low [width] bits of [src], zero-extended (the paper's
+          MSKBL-style mask operation, §2.2.5). *)
+  | Sext of { width : Width.t; src : Reg.t; dst : Reg.t }
+      (** Sign-extend the low [width] bits of [src]. *)
+  | Li of { dst : Reg.t; imm : int64 }  (** load (wide) immediate *)
+  | La of { dst : Reg.t; symbol : string }
+      (** load the address of a global data symbol *)
+  | Load of { width : Width.t; signed : bool; base : Reg.t; offset : int64; dst : Reg.t }
+  | Store of { width : Width.t; base : Reg.t; offset : int64; src : Reg.t }
+  | Call of { callee : string }
+      (** Direct call; arguments in [Reg.arg 0..5], result in [Reg.ret].
+          Clobbers all caller-saved registers. *)
+  | Emit of { src : Reg.t }
+      (** Intrinsic output instruction used by workloads to produce a
+          result checksum; behaves like a store to an output stream. *)
+
+(** {1 Register usage} *)
+
+val defs : t -> Reg.t list
+(** Registers written.  [Reg.zero] writes are discarded but still reported
+    here; [Call] reports its clobbers. *)
+
+val uses : t -> Reg.t list
+(** Registers read ([Call] reports all argument registers; the interpreter
+    and analyses refine this with per-call arity). *)
+
+val is_call : t -> bool
+val is_mem : t -> bool
+
+(** [width i] is the operating width of [i] ([W64] for [Li], [La], [Call]
+    and [Emit]). *)
+val width : t -> Width.t
+
+(** [with_width i w] re-encodes [i] at width [w] when [i] has a width field;
+    returns [i] unchanged otherwise. *)
+val with_width : t -> Width.t -> t
+
+(** {1 Instruction classes}
+
+    The categories of the paper's Table 3. *)
+
+type iclass =
+  | C_add | C_sub | C_mul | C_and | C_or | C_xor
+  | C_shift | C_cmp | C_cmov | C_msk
+  | C_load | C_store | C_move | C_call | C_other
+
+val iclass : t -> iclass
+val iclass_name : iclass -> string
+val all_alu_classes : iclass list
+(** The ten ALU classes of Table 3, in the paper's row order. *)
+
+(** {1 Evaluation helpers} *)
+
+val eval_alu : alu_op -> Width.t -> int64 -> int64 -> int64
+val eval_cmp : cmp_op -> Width.t -> int64 -> int64 -> int64
+val eval_cond : cond -> int64 -> bool
+
+(** {1 Printing} *)
+
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

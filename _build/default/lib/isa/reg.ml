@@ -1,0 +1,43 @@
+type t = int
+
+let of_int i =
+  if i < 0 || i > 31 then Fmt.invalid_arg "Reg.of_int %d" i else i
+
+let to_int r = r
+let equal (a : t) (b : t) = a = b
+let compare = Int.compare
+let hash (r : t) = r
+
+let zero = 31
+let sp = 30
+let ret = 0
+
+let num_arg_regs = 6
+
+let arg i =
+  if i < 0 || i >= num_arg_regs then Fmt.invalid_arg "Reg.arg %d" i
+  else 16 + i
+
+let callee_saved = [ 9; 10; 11; 12; 13; 14 ]
+
+let caller_saved =
+  let rec build i acc =
+    if i < 0 then acc
+    else if List.mem i callee_saved || i = sp || i = zero then
+      build (i - 1) acc
+    else build (i - 1) (i :: acc)
+  in
+  build 29 []
+
+let all = List.init 32 (fun i -> i)
+let allocatable = List.filter (fun r -> r <> sp && r <> zero) all
+
+let to_string r =
+  if r = zero then "zero"
+  else if r = sp then "sp"
+  else Printf.sprintf "r%d" r
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

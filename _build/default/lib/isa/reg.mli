@@ -1,0 +1,45 @@
+(** Architectural integer registers.
+
+    The machine follows the Alpha integer register file: 32 registers
+    [r0]..[r31], with [r31] hardwired to zero.  The calling convention used
+    by the MiniC code generator mirrors the Alpha convention:
+
+    - [r0]        return value ([ret])
+    - [r16]-[r21] the first six arguments ([arg 0] .. [arg 5])
+    - [r9]-[r14]  callee-saved
+    - [r30]       stack pointer ([sp])
+    - [r31]       hardwired zero ([zero]) *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] outside [0, 31]. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val zero : t
+val sp : t
+val ret : t
+
+val arg : int -> t
+(** [arg i] is the [i]-th argument register, [0 <= i < 6]. *)
+
+val num_arg_regs : int
+val callee_saved : t list
+val caller_saved : t list
+
+(** All 32 registers. *)
+val all : t list
+
+(** Registers usable as scratch by the code generator (excludes [sp] and
+    [zero]). *)
+val allocatable : t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

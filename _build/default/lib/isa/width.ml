@@ -1,0 +1,57 @@
+type t = W8 | W16 | W32 | W64
+
+let equal (a : t) (b : t) = a = b
+
+let bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+let bytes w = bits w / 8
+
+let of_bytes n =
+  if n < 1 || n > 8 then Fmt.invalid_arg "Width.of_bytes %d" n
+  else if n <= 1 then W8
+  else if n <= 2 then W16
+  else if n <= 4 then W32
+  else W64
+
+let compare a b = Int.compare (bits a) (bits b)
+
+let all = [ W8; W16; W32; W64 ]
+
+let max a b = if compare a b >= 0 then a else b
+let min a b = if compare a b <= 0 then a else b
+
+let min_value = function
+  | W8 -> -128L
+  | W16 -> -32768L
+  | W32 -> Int64.neg 0x8000_0000L
+  | W64 -> Int64.min_int
+
+let max_value = function
+  | W8 -> 127L
+  | W16 -> 32767L
+  | W32 -> 0x7FFF_FFFFL
+  | W64 -> Int64.max_int
+
+let fits v w = v >= min_value w && v <= max_value w
+
+let needed v =
+  if fits v W8 then W8
+  else if fits v W16 then W16
+  else if fits v W32 then W32
+  else W64
+
+let needed_range lo hi = max (needed lo) (needed hi)
+
+let truncate v = function
+  | W64 -> v
+  | w ->
+    let b = bits w in
+    Int64.shift_right (Int64.shift_left v (64 - b)) (64 - b)
+
+let truncate_unsigned v = function
+  | W64 -> v
+  | w ->
+    let b = bits w in
+    Int64.shift_right_logical (Int64.shift_left v (64 - b)) (64 - b)
+
+let to_string = function W8 -> "8" | W16 -> "16" | W32 -> "32" | W64 -> "64"
+let pp ppf w = Format.pp_print_string ppf (to_string w)

@@ -1,0 +1,58 @@
+(** Operand widths.
+
+    The paper's software operand-gating scheme re-encodes instructions with
+    opcodes that specify one of four operand widths: byte, halfword, word and
+    doubleword (the architecture is 64-bit).  Narrow values are always kept
+    in two's complement, i.e. a width-[w] value occupies the low [w] bits of
+    a register and is sign-extended to 64 bits. *)
+
+type t = W8 | W16 | W32 | W64
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [bits w] is the number of bits of [w]: 8, 16, 32 or 64. *)
+val bits : t -> int
+
+(** [bytes w] is [bits w / 8]. *)
+val bytes : t -> int
+
+(** [of_bytes n] is the narrowest width holding [n] bytes.
+    Raises [Invalid_argument] if [n < 1] or [n > 8]. *)
+val of_bytes : int -> t
+
+(** All widths, narrowest first. *)
+val all : t list
+
+(** [max a b] is the wider of the two widths. *)
+val max : t -> t -> t
+
+(** [min a b] is the narrower of the two widths. *)
+val min : t -> t -> t
+
+(** [min_value w] is the smallest signed value representable at width [w]. *)
+val min_value : t -> int64
+
+(** [max_value w] is the largest signed value representable at width [w]. *)
+val max_value : t -> int64
+
+(** [fits v w] is true when the signed value [v] is representable in [w]
+    bits of two's complement. *)
+val fits : int64 -> t -> bool
+
+(** [needed v] is the narrowest width whose signed range contains [v]. *)
+val needed : int64 -> t
+
+(** [needed_range lo hi] is the narrowest width containing both bounds. *)
+val needed_range : int64 -> int64 -> t
+
+(** [truncate v w] keeps the low [bits w] bits of [v] and sign-extends the
+    result back to 64 bits.  [truncate v W64 = v]. *)
+val truncate : int64 -> t -> int64
+
+(** [truncate_unsigned v w] keeps the low [bits w] bits of [v],
+    zero-extended. *)
+val truncate_unsigned : int64 -> t -> int64
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Bytes Char Fmt Instr Int64 List Ogc_ir Ogc_isa Option Reg String Width

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Array Ast Buffer Char Fmt Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Codegen Lexer Ogc_ir Parser Printf Typecheck

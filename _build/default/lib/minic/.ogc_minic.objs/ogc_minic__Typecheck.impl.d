@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Fmt List Ogc_isa Option String

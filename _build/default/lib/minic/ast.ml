@@ -1,0 +1,87 @@
+(* Abstract syntax of MiniC, the small C-like language the workloads are
+   written in.
+
+   MiniC is integer-only, in the spirit of the SpecInt evaluation: four
+   integer types, one-dimensional arrays, functions, and an [emit]
+   intrinsic producing the program's observable output.  [char] is an
+   unsigned byte (Alpha byte loads are unsigned, paper §4.3); [short],
+   [int] and [long] are signed 16/32/64-bit.  Arithmetic is performed at
+   the promoted width of its operands with a minimum of [int] (the Alpha
+   addl/addq split), and wraps around in two's complement. *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+type ty = Tchar | Tshort | Tint | Tlong
+
+let ty_name = function
+  | Tchar -> "char"
+  | Tshort -> "short"
+  | Tint -> "int"
+  | Tlong -> "long"
+
+let size_of_ty = function Tchar -> 1 | Tshort -> 2 | Tint -> 4 | Tlong -> 8
+
+type unop = Neg | Lognot (* ! *) | Bitnot (* ~ *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | Andand | Oror
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Andand -> "&&" | Oror -> "||"
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Num of int64
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Ternary of expr * expr * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr option
+  | Decl_array of ty * string * int
+  | Assign of lvalue * expr
+  | Op_assign of binop * lvalue * expr  (* x op= e *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr_stmt of expr
+  | Emit of expr
+
+type param = { pty : ty; pname : string; parray : bool }
+
+type fundef = {
+  ret : ty option;  (* None for void *)
+  fname : string;
+  params : param list;
+  body : stmt list;
+  fpos : pos;
+}
+
+type init = Init_list of int64 list | Init_string of string
+
+type gdecl =
+  | Gscalar of ty * string * int64
+  | Garray of ty * string * int * init option
+
+type program = { globals : gdecl list; funcs : fundef list }

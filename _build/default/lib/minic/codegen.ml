@@ -1,0 +1,843 @@
+open Ogc_isa
+open Ast
+module Prog = Ogc_ir.Prog
+module Builder = Ogc_ir.Builder
+module Label = Ogc_ir.Label
+
+(* --- frame layout constants -------------------------------------------
+
+   sp-relative, sp fixed after the prologue:
+     [0,   48)   callee-saved register save area (6 x 8)
+     [48,  184)  temp spill area used around calls (17 x 8)
+     [184, ...)  scalar spill slots, then local arrays                    *)
+
+let callee_save_base = 0
+let temp_save_base = 48
+let dynamic_base = 184
+
+(* Caller-saved registers usable as expression temporaries.  r27 and r28
+   are deliberately never allocated: the binary optimizer (VRS) uses them
+   as guard scratch registers, the way Alto would claim registers proven
+   free by liveness analysis. *)
+let temp_regs =
+  List.filter
+    (fun r ->
+      let i = Reg.to_int r in
+      (i >= 1 && i <= 8) || i = 15 || (i >= 22 && i <= 26) || i = 29)
+    Reg.all
+
+let temp_save_slot r =
+  let i = Reg.to_int r in
+  let idx = if i <= 8 then i - 1 else if i = 15 then 8 else 9 + (i - 22) in
+  temp_save_base + (8 * idx)
+
+let width_of_ty = function
+  | Tchar -> Width.W8
+  | Tshort -> Width.W16
+  | Tint -> Width.W32
+  | Tlong -> Width.W64
+
+(* Arithmetic promotion: minimum [int], as in C on Alpha. *)
+let promote a b =
+  match (a, b) with
+  | Tlong, _ | _, Tlong -> Tlong
+  | (Tchar | Tshort | Tint), (Tchar | Tshort | Tint) -> Tint
+
+let fits_imm v = v >= -32768L && v <= 32767L
+
+type loc =
+  | Home_reg of Reg.t
+  | Home_slot of int
+  | Glob_scalar of string
+  | Glob_array of string
+  | Frame_array of int
+
+type binding = { bty : ty; loc : loc; is_ptr : bool }
+
+type loop_ctx = { break_to : Label.t; continue_to : Label.t }
+
+type cg = {
+  b : Builder.t;
+  prog_funs : (string * fundef) list;
+  globals : (string * binding) list;
+  mutable scopes : (string * binding) list list;
+  mutable free_temps : Reg.t list;
+  mutable active_temps : Reg.t list;  (* owned, allocated, not yet released *)
+  mutable free_homes : Reg.t list;  (* callee-saved not yet assigned *)
+  mutable used_homes : Reg.t list;
+  mutable next_slot : int;
+  mutable loops : loop_ctx list;
+  exit_label : Label.t;
+  ret_ty : ty option;
+}
+
+exception Codegen_bug of string
+
+let bug fmt = Fmt.kstr (fun s -> raise (Codegen_bug s)) fmt
+
+let alloc_temp cg =
+  match cg.free_temps with
+  | [] -> bug "expression too deep: out of temporaries"
+  | r :: rest ->
+    cg.free_temps <- rest;
+    cg.active_temps <- r :: cg.active_temps;
+    r
+
+let release cg ~owned r =
+  if owned then begin
+    cg.active_temps <- List.filter (fun x -> not (Reg.equal x r)) cg.active_temps;
+    cg.free_temps <- r :: cg.free_temps
+  end
+
+let lookup cg name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some b -> Some b
+      | None -> in_scopes rest)
+  in
+  match in_scopes cg.scopes with
+  | Some b -> b
+  | None -> (
+    match List.assoc_opt name cg.globals with
+    | Some b -> b
+    | None -> bug "unbound variable %s" name)
+
+let declare cg name b =
+  match cg.scopes with
+  | [] -> bug "no scope"
+  | scope :: rest -> cg.scopes <- ((name, b) :: scope) :: rest
+
+let alloc_home cg =
+  match cg.free_homes with
+  | r :: rest ->
+    cg.free_homes <- rest;
+    if not (List.exists (Reg.equal r) cg.used_homes) then
+      cg.used_homes <- r :: cg.used_homes;
+    Home_reg r
+  | [] ->
+    let s = cg.next_slot in
+    cg.next_slot <- s + 8;
+    Home_slot s
+
+let alloc_array cg ~bytes =
+  let s = cg.next_slot in
+  cg.next_slot <- s + ((bytes + 7) / 8 * 8);
+  Frame_array s
+
+(* --- emission helpers --------------------------------------------------- *)
+
+let emit cg i = ignore (Builder.ins cg.b i)
+
+(* Register move, encoded as the Alpha BIS idiom. *)
+let move cg ~src ~dst =
+  if not (Reg.equal src dst) then
+    emit cg (Instr.Alu { op = Instr.Or; width = Width.W64; src1 = src;
+                         src2 = Instr.Imm 0L; dst })
+
+let load_ty cg ~ty ~base ~offset ~dst =
+  let width = width_of_ty ty in
+  let signed = match ty with Tchar -> false | Tshort | Tint | Tlong -> true in
+  emit cg (Instr.Load { width; signed; base; offset; dst })
+
+let store_ty cg ~ty ~base ~offset ~src =
+  emit cg (Instr.Store { width = width_of_ty ty; base; offset; src })
+
+(* Normalize the 64-bit canonical value [src] to type [ty_to], given that it
+   currently conforms to [ty_from]; writes the result into [dst]. *)
+let normalize cg ~ty_from ~ty_to ~src ~dst =
+  let no_op = move cg ~src ~dst in
+  match ty_to with
+  | Tlong -> no_op
+  | Tint -> (
+    match ty_from with
+    | Tchar | Tshort | Tint -> no_op
+    | Tlong -> emit cg (Instr.Sext { width = Width.W32; src; dst }))
+  | Tshort -> (
+    match ty_from with
+    | Tchar | Tshort -> no_op
+    | Tint | Tlong -> emit cg (Instr.Sext { width = Width.W16; src; dst }))
+  | Tchar -> (
+    match ty_from with
+    | Tchar -> no_op
+    | Tshort | Tint | Tlong ->
+      emit cg (Instr.Msk { width = Width.W8; src; dst }))
+
+let li cg ~dst v = emit cg (Instr.Li { dst; imm = v })
+
+(* --- expressions --------------------------------------------------------
+
+   [gen_expr] returns [(reg, ty, owned)]: the 64-bit canonical value of the
+   expression, its MiniC type, and whether the register is a temporary the
+   caller must release (home registers are borrowed, not owned). *)
+
+let shift_of_size = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false
+
+let ty_of_num v =
+  if v >= 0L && v <= 255L then Tchar
+  else if Width.fits v Width.W16 then Tshort
+  else if Width.fits v Width.W32 then Tint
+  else Tlong
+
+let rec contains_call (e : expr) =
+  match e.desc with
+  | Num _ | Var _ -> false
+  | Index (_, i) -> contains_call i
+  | Unop (_, a) | Cast (_, a) -> contains_call a
+  | Binop (_, a, b) -> contains_call a || contains_call b
+  | Ternary (a, b, c) -> contains_call a || contains_call b || contains_call c
+  | Call _ -> true
+
+let rec gen_expr cg (e : expr) : Reg.t * ty * bool =
+  match e.desc with
+  | Num v ->
+    let t = alloc_temp cg in
+    li cg ~dst:t v;
+    (t, ty_of_num v, true)
+  | Var name -> (
+    let b = lookup cg name in
+    match b.loc with
+    | Home_reg r -> (r, b.bty, false)
+    | Home_slot off ->
+      let t = alloc_temp cg in
+      if b.is_ptr then
+        emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
+                              offset = Int64.of_int off; dst = t })
+      else load_ty cg ~ty:b.bty ~base:Reg.sp ~offset:(Int64.of_int off) ~dst:t;
+      (t, (if b.is_ptr then Tlong else b.bty), true)
+    | Glob_scalar g ->
+      let t = alloc_temp cg in
+      emit cg (Instr.La { dst = t; symbol = g });
+      load_ty cg ~ty:b.bty ~base:t ~offset:0L ~dst:t;
+      (t, b.bty, true)
+    | Glob_array _ | Frame_array _ -> bug "array %s read as scalar" name)
+  | Index (name, idx) ->
+    let b = lookup cg name in
+    let addr, off = gen_element_addr cg b idx in
+    let t = alloc_temp cg in
+    load_ty cg ~ty:b.bty ~base:addr ~offset:off ~dst:t;
+    release cg ~owned:true addr;
+    (t, b.bty, true)
+  | Unop (Neg, a) ->
+    let ra, ta, own = gen_expr cg a in
+    let pt = promote ta Tint in
+    let t = alloc_temp cg in
+    emit cg (Instr.Alu { op = Instr.Sub; width = width_of_ty pt;
+                         src1 = Reg.zero; src2 = Instr.Reg ra; dst = t });
+    release cg ~owned:own ra;
+    (t, pt, true)
+  | Unop (Lognot, a) ->
+    let ra, ta, own = gen_expr cg a in
+    let t = alloc_temp cg in
+    emit cg (Instr.Cmp { op = Instr.Ceq; width = width_of_ty (promote ta Tint);
+                         src1 = ra; src2 = Instr.Imm 0L; dst = t });
+    release cg ~owned:own ra;
+    (t, Tint, true)
+  | Unop (Bitnot, a) ->
+    let ra, ta, own = gen_expr cg a in
+    let pt = promote ta Tint in
+    let t = alloc_temp cg in
+    emit cg (Instr.Alu { op = Instr.Xor; width = width_of_ty pt; src1 = ra;
+                         src2 = Instr.Imm (-1L); dst = t });
+    release cg ~owned:own ra;
+    (t, pt, true)
+  | Binop ((Andand | Oror), _, _) ->
+    (* Value context: materialize 0/1 through the branching lowering. *)
+    gen_bool_value cg e
+  | Binop (op, a, b) -> gen_binop cg op a b
+  | Ternary (c, t, f) ->
+    if contains_call t || contains_call f then gen_ternary_branchy cg c t f
+    else gen_ternary_cmov cg c t f
+  | Call (name, args) -> gen_call cg name args
+  | Cast (ty_to, a) ->
+    let ra, ta, own = gen_expr cg a in
+    let t = alloc_temp cg in
+    normalize cg ~ty_from:ta ~ty_to ~src:ra ~dst:t;
+    release cg ~owned:own ra;
+    (t, ty_to, true)
+
+(* Element address for [b.(idx)]: returns an owned register plus a constant
+   byte offset folded into the eventual load/store. *)
+and gen_element_addr cg (b : binding) idx : Reg.t * int64 =
+  let elem = size_of_ty b.bty in
+  let scale src dst =
+    if elem = 1 then move cg ~src ~dst
+    else
+      emit cg (Instr.Alu { op = Instr.Sll; width = Width.W64; src1 = src;
+                           src2 = Instr.Imm (Int64.of_int (shift_of_size elem));
+                           dst })
+  in
+  let ri, _, own = gen_expr cg idx in
+  let t = alloc_temp cg in
+  scale ri t;
+  release cg ~owned:own ri;
+  match b.loc with
+  | Frame_array off ->
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
+                         src2 = Instr.Reg Reg.sp; dst = t });
+    (t, Int64.of_int off)
+  | Glob_array g ->
+    let ta = alloc_temp cg in
+    emit cg (Instr.La { dst = ta; symbol = g });
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
+                         src2 = Instr.Reg ta; dst = t });
+    release cg ~owned:true ta;
+    (t, 0L)
+  | Home_reg r when b.is_ptr ->
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
+                         src2 = Instr.Reg r; dst = t });
+    (t, 0L)
+  | Home_slot off when b.is_ptr ->
+    let tp = alloc_temp cg in
+    emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
+                          offset = Int64.of_int off; dst = tp });
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
+                         src2 = Instr.Reg tp; dst = t });
+    release cg ~owned:true tp;
+    (t, 0L)
+  | Home_reg _ | Home_slot _ | Glob_scalar _ -> bug "indexing a scalar"
+
+and gen_binop cg op a b : Reg.t * ty * bool =
+  let alu aop =
+    let ra, ta, own_a = gen_expr cg a in
+    (* Immediate operand folding for the common [x op const] shape. *)
+    match b.desc with
+    | Num v when fits_imm v && not (Reg.equal ra Reg.zero) ->
+      let pt = promote ta (ty_of_num v) in
+      let pt = promote pt Tint in
+      let t = alloc_temp cg in
+      emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = ra;
+                           src2 = Instr.Imm v; dst = t });
+      release cg ~owned:own_a ra;
+      (t, pt, true)
+    | _ ->
+      let rb, tb, own_b = gen_expr cg b in
+      let pt = promote (promote ta tb) Tint in
+      let t = alloc_temp cg in
+      emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = ra;
+                           src2 = Instr.Reg rb; dst = t });
+      release cg ~owned:own_b rb;
+      release cg ~owned:own_a ra;
+      (t, pt, true)
+  in
+  let cmp cop ~swap ~negate =
+    let x, y = if swap then (b, a) else (a, b) in
+    let rx, tx, own_x = gen_expr cg x in
+    let finish src2 ty2 release_y =
+      let pt = promote (promote tx ty2) Tint in
+      let t = alloc_temp cg in
+      emit cg (Instr.Cmp { op = cop; width = width_of_ty pt; src1 = rx; src2;
+                           dst = t });
+      release_y ();
+      release cg ~owned:own_x rx;
+      if negate then begin
+        let t2 = alloc_temp cg in
+        emit cg (Instr.Alu { op = Instr.Xor; width = Width.W32; src1 = t;
+                             src2 = Instr.Imm 1L; dst = t2 });
+        release cg ~owned:true t;
+        (t2, Tint, true)
+      end
+      else (t, Tint, true)
+    in
+    match y.desc with
+    | Num v when fits_imm v ->
+      finish (Instr.Imm v) (ty_of_num v) (fun () -> ())
+    | _ ->
+      let ry, ty_y, own_y = gen_expr cg y in
+      finish (Instr.Reg ry) ty_y (fun () -> release cg ~owned:own_y ry)
+  in
+  match op with
+  | Add -> alu Instr.Add
+  | Sub -> alu Instr.Sub
+  | Mul -> alu Instr.Mul
+  | Div -> alu Instr.Div
+  | Rem -> alu Instr.Rem
+  | Band -> alu Instr.And
+  | Bor -> alu Instr.Or
+  | Bxor -> alu Instr.Xor
+  | Shl -> alu Instr.Sll
+  | Shr -> alu Instr.Sra (* arithmetic: all MiniC values are canonical signed *)
+  | Eq -> cmp Instr.Ceq ~swap:false ~negate:false
+  | Neq -> cmp Instr.Ceq ~swap:false ~negate:true
+  | Lt -> cmp Instr.Clt ~swap:false ~negate:false
+  | Le -> cmp Instr.Cle ~swap:false ~negate:false
+  | Gt -> cmp Instr.Clt ~swap:true ~negate:false
+  | Ge -> cmp Instr.Cle ~swap:true ~negate:false
+  | Andand | Oror -> bug "short-circuit operator in gen_binop"
+
+and gen_ternary_cmov cg c t f : Reg.t * ty * bool =
+  let rc, _, own_c = gen_expr cg c in
+  let rt, tt, own_t = gen_expr cg t in
+  let rf, tf, own_f = gen_expr cg f in
+  let pt = promote (promote tt tf) Tint in
+  let dst = alloc_temp cg in
+  move cg ~src:rf ~dst;
+  emit cg (Instr.Cmov { cond = Instr.Ne; width = width_of_ty pt; test = rc;
+                        src = Instr.Reg rt; dst });
+  release cg ~owned:own_f rf;
+  release cg ~owned:own_t rt;
+  release cg ~owned:own_c rc;
+  (dst, pt, true)
+
+and gen_ternary_branchy cg c t f : Reg.t * ty * bool =
+  let dst = alloc_temp cg in
+  let then_l = Builder.new_block cg.b in
+  let else_l = Builder.new_block cg.b in
+  let join_l = Builder.new_block cg.b in
+  gen_cond cg c ~if_true:then_l ~if_false:else_l;
+  Builder.switch_to cg.b then_l;
+  let rt, tt, own_t = gen_expr cg t in
+  move cg ~src:rt ~dst;
+  release cg ~owned:own_t rt;
+  Builder.terminate cg.b (Prog.Jump join_l);
+  Builder.switch_to cg.b else_l;
+  let rf, tf, own_f = gen_expr cg f in
+  move cg ~src:rf ~dst;
+  release cg ~owned:own_f rf;
+  Builder.terminate cg.b (Prog.Jump join_l);
+  Builder.switch_to cg.b join_l;
+  (dst, promote (promote tt tf) Tint, true)
+
+and gen_bool_value cg (e : expr) : Reg.t * ty * bool =
+  let dst = alloc_temp cg in
+  let true_l = Builder.new_block cg.b in
+  let false_l = Builder.new_block cg.b in
+  let join_l = Builder.new_block cg.b in
+  gen_cond cg e ~if_true:true_l ~if_false:false_l;
+  Builder.switch_to cg.b true_l;
+  li cg ~dst 1L;
+  Builder.terminate cg.b (Prog.Jump join_l);
+  Builder.switch_to cg.b false_l;
+  li cg ~dst 0L;
+  Builder.terminate cg.b (Prog.Jump join_l);
+  Builder.switch_to cg.b join_l;
+  (dst, Tint, true)
+
+(* Lower [e] as a branch condition, terminating the current block. *)
+and gen_cond cg (e : expr) ~if_true ~if_false =
+  match e.desc with
+  | Binop (Andand, a, b) ->
+    let mid = Builder.new_block cg.b in
+    gen_cond cg a ~if_true:mid ~if_false;
+    Builder.switch_to cg.b mid;
+    gen_cond cg b ~if_true ~if_false
+  | Binop (Oror, a, b) ->
+    let mid = Builder.new_block cg.b in
+    gen_cond cg a ~if_true ~if_false:mid;
+    Builder.switch_to cg.b mid;
+    gen_cond cg b ~if_true ~if_false
+  | Unop (Lognot, a) -> gen_cond cg a ~if_true:if_false ~if_false:if_true
+  | _ ->
+    let r, _, own = gen_expr cg e in
+    release cg ~owned:own r;
+    Builder.terminate cg.b
+      (Prog.Branch { cond = Instr.Ne; src = r; if_true; if_false })
+
+and gen_call cg name args : Reg.t * ty * bool =
+  let f =
+    match List.assoc_opt name cg.prog_funs with
+    | Some f -> f
+    | None -> bug "call to unknown function %s" name
+  in
+  (* Evaluate the arguments into temporaries first. *)
+  let arg_vals =
+    List.map2
+      (fun (p : param) (a : expr) ->
+        if p.parray then begin
+          (* array argument: pass its address *)
+          match a.desc with
+          | Var vn -> (
+            let bnd = lookup cg vn in
+            let t = alloc_temp cg in
+            (match bnd.loc with
+            | Glob_array g -> emit cg (Instr.La { dst = t; symbol = g })
+            | Frame_array off ->
+              emit cg (Instr.Alu { op = Instr.Add; width = Width.W64;
+                                   src1 = Reg.sp;
+                                   src2 = Instr.Imm (Int64.of_int off); dst = t })
+            | Home_reg r when bnd.is_ptr -> move cg ~src:r ~dst:t
+            | Home_slot off when bnd.is_ptr ->
+              emit cg (Instr.Load { width = Width.W64; signed = true;
+                                    base = Reg.sp; offset = Int64.of_int off;
+                                    dst = t })
+            | Home_reg _ | Home_slot _ | Glob_scalar _ ->
+              bug "passing scalar %s as array" vn);
+            (t, true))
+          | _ -> bug "array argument must be a variable"
+        end
+        else begin
+          let r, ta, own = gen_expr cg a in
+          (* Narrow the value to the parameter type at the call boundary. *)
+          if ta <> p.pty && width_of_ty p.pty < width_of_ty ta then begin
+            let t = alloc_temp cg in
+            normalize cg ~ty_from:ta ~ty_to:p.pty ~src:r ~dst:t;
+            release cg ~owned:own r;
+            (t, true)
+          end
+          else (r, own)
+        end)
+      f.params args
+  in
+  (* Move them into the argument registers, then free the temporaries. *)
+  List.iteri
+    (fun i (r, _) -> move cg ~src:r ~dst:(Reg.arg i))
+    arg_vals;
+  List.iter (fun (r, own) -> release cg ~owned:own r) arg_vals;
+  (* Save the live temporaries across the call. *)
+  let live = cg.active_temps in
+  List.iter
+    (fun r ->
+      emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
+                             offset = Int64.of_int (temp_save_slot r); src = r }))
+    live;
+  emit cg (Instr.Call { callee = name });
+  List.iter
+    (fun r ->
+      emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
+                            offset = Int64.of_int (temp_save_slot r); dst = r }))
+    live;
+  match f.ret with
+  | None ->
+    (* void call in statement position: hand back the zero register *)
+    (Reg.zero, Tint, false)
+  | Some rt ->
+    let t = alloc_temp cg in
+    move cg ~src:Reg.ret ~dst:t;
+    (t, rt, true)
+
+(* --- statements --------------------------------------------------------- *)
+
+let assign_to_binding cg (b : binding) ~rhs ~rhs_ty ~rhs_owned =
+  match b.loc with
+  | Home_reg dst ->
+    normalize cg ~ty_from:rhs_ty ~ty_to:b.bty ~src:rhs ~dst;
+    release cg ~owned:rhs_owned rhs
+  | Home_slot off ->
+    store_ty cg ~ty:b.bty ~base:Reg.sp ~offset:(Int64.of_int off) ~src:rhs;
+    release cg ~owned:rhs_owned rhs
+  | Glob_scalar g ->
+    let ta = alloc_temp cg in
+    emit cg (Instr.La { dst = ta; symbol = g });
+    store_ty cg ~ty:b.bty ~base:ta ~offset:0L ~src:rhs;
+    release cg ~owned:true ta;
+    release cg ~owned:rhs_owned rhs
+  | Glob_array _ | Frame_array _ -> bug "assignment to array"
+
+let rec gen_stmt cg (s : stmt) =
+  match s.sdesc with
+  | Decl (t, name, init) ->
+    let loc = alloc_home cg in
+    let b = { bty = t; loc; is_ptr = false } in
+    declare cg name b;
+    let rhs, rhs_ty, own =
+      match init with
+      | Some e -> gen_expr cg e
+      | None ->
+        let r = alloc_temp cg in
+        li cg ~dst:r 0L;
+        (r, t, true)
+    in
+    assign_to_binding cg b ~rhs ~rhs_ty:rhs_ty ~rhs_owned:own
+  | Decl_array (t, name, size) ->
+    let loc = alloc_array cg ~bytes:(size * size_of_ty t) in
+    declare cg name { bty = t; loc; is_ptr = false }
+  | Assign (Lvar name, e) ->
+    let b = lookup cg name in
+    let rhs, rhs_ty, own = gen_expr cg e in
+    assign_to_binding cg b ~rhs ~rhs_ty ~rhs_owned:own
+  | Assign (Lindex (name, idx), e) ->
+    let b = lookup cg name in
+    let addr, off = gen_element_addr cg b idx in
+    let rhs, _, own = gen_expr cg e in
+    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs;
+    release cg ~owned:own rhs;
+    release cg ~owned:true addr
+  | Op_assign (op, Lvar name, e) ->
+    let b = lookup cg name in
+    let cur, cur_ty, own_cur = gen_expr cg { desc = Var name; pos = s.spos } in
+    let rhs, rhs_ty, own = gen_apply cg op cur cur_ty e in
+    release cg ~owned:own_cur cur;
+    assign_to_binding cg b ~rhs ~rhs_ty ~rhs_owned:own
+  | Op_assign (op, Lindex (name, idx), e) ->
+    let b = lookup cg name in
+    let addr, off = gen_element_addr cg b idx in
+    let cur = alloc_temp cg in
+    load_ty cg ~ty:b.bty ~base:addr ~offset:off ~dst:cur;
+    let rhs, _, own = gen_apply cg op cur b.bty e in
+    release cg ~owned:true cur;
+    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs;
+    release cg ~owned:own rhs;
+    release cg ~owned:true addr
+  | If (c, then_, else_) ->
+    let then_l = Builder.new_block cg.b in
+    let join_l = Builder.new_block cg.b in
+    let else_l = if else_ = [] then join_l else Builder.new_block cg.b in
+    gen_cond cg c ~if_true:then_l ~if_false:else_l;
+    Builder.switch_to cg.b then_l;
+    gen_body cg then_;
+    Builder.terminate cg.b (Prog.Jump join_l);
+    if else_ <> [] then begin
+      Builder.switch_to cg.b else_l;
+      gen_body cg else_;
+      Builder.terminate cg.b (Prog.Jump join_l)
+    end;
+    Builder.switch_to cg.b join_l
+  | While (c, body) ->
+    let head_l = Builder.new_block cg.b in
+    let body_l = Builder.new_block cg.b in
+    let exit_l = Builder.new_block cg.b in
+    Builder.terminate cg.b (Prog.Jump head_l);
+    Builder.switch_to cg.b head_l;
+    gen_cond cg c ~if_true:body_l ~if_false:exit_l;
+    Builder.switch_to cg.b body_l;
+    cg.loops <- { break_to = exit_l; continue_to = head_l } :: cg.loops;
+    gen_body cg body;
+    cg.loops <- List.tl cg.loops;
+    Builder.terminate cg.b (Prog.Jump head_l);
+    Builder.switch_to cg.b exit_l
+  | Do_while (body, c) ->
+    let body_l = Builder.new_block cg.b in
+    let cond_l = Builder.new_block cg.b in
+    let exit_l = Builder.new_block cg.b in
+    Builder.terminate cg.b (Prog.Jump body_l);
+    Builder.switch_to cg.b body_l;
+    cg.loops <- { break_to = exit_l; continue_to = cond_l } :: cg.loops;
+    gen_body cg body;
+    cg.loops <- List.tl cg.loops;
+    Builder.terminate cg.b (Prog.Jump cond_l);
+    Builder.switch_to cg.b cond_l;
+    gen_cond cg c ~if_true:body_l ~if_false:exit_l;
+    Builder.switch_to cg.b exit_l
+  | For (init, cond, step, body) ->
+    cg.scopes <- [] :: cg.scopes;
+    Option.iter (gen_stmt cg) init;
+    let head_l = Builder.new_block cg.b in
+    let body_l = Builder.new_block cg.b in
+    let step_l = Builder.new_block cg.b in
+    let exit_l = Builder.new_block cg.b in
+    Builder.terminate cg.b (Prog.Jump head_l);
+    Builder.switch_to cg.b head_l;
+    (match cond with
+    | Some c -> gen_cond cg c ~if_true:body_l ~if_false:exit_l
+    | None -> Builder.terminate cg.b (Prog.Jump body_l));
+    Builder.switch_to cg.b body_l;
+    cg.loops <- { break_to = exit_l; continue_to = step_l } :: cg.loops;
+    gen_body cg body;
+    cg.loops <- List.tl cg.loops;
+    Builder.terminate cg.b (Prog.Jump step_l);
+    Builder.switch_to cg.b step_l;
+    Option.iter (gen_stmt cg) step;
+    Builder.terminate cg.b (Prog.Jump head_l);
+    Builder.switch_to cg.b exit_l;
+    cg.scopes <- List.tl cg.scopes
+  | Break -> (
+    match cg.loops with
+    | [] -> bug "break outside loop"
+    | l :: _ ->
+      Builder.terminate cg.b (Prog.Jump l.break_to);
+      let dead = Builder.new_block cg.b in
+      Builder.switch_to cg.b dead)
+  | Continue -> (
+    match cg.loops with
+    | [] -> bug "continue outside loop"
+    | l :: _ ->
+      Builder.terminate cg.b (Prog.Jump l.continue_to);
+      let dead = Builder.new_block cg.b in
+      Builder.switch_to cg.b dead)
+  | Return e ->
+    (match e with
+    | Some e ->
+      let r, ty_r, own = gen_expr cg e in
+      (match cg.ret_ty with
+      | Some rt when rt <> ty_r && width_of_ty rt < width_of_ty ty_r ->
+        normalize cg ~ty_from:ty_r ~ty_to:rt ~src:r ~dst:Reg.ret
+      | _ -> move cg ~src:r ~dst:Reg.ret);
+      release cg ~owned:own r
+    | None -> ());
+    Builder.terminate cg.b (Prog.Jump cg.exit_label);
+    let dead = Builder.new_block cg.b in
+    Builder.switch_to cg.b dead
+  | Expr_stmt e ->
+    let r, _, own = gen_expr cg e in
+    release cg ~owned:own r
+  | Emit e ->
+    let r, _, own = gen_expr cg e in
+    emit cg (Instr.Emit { src = r });
+    release cg ~owned:own r
+(* [cur op= e]: compute [cur op e]; reuses the binop machinery. *)
+and gen_apply cg op cur cur_ty (e : expr) : Reg.t * ty * bool =
+  let aop =
+    match op with
+    | Add -> Instr.Add
+    | Sub -> Instr.Sub
+    | Mul -> Instr.Mul
+    | Div -> Instr.Div
+    | Rem -> Instr.Rem
+    | Band -> Instr.And
+    | Bor -> Instr.Or
+    | Bxor -> Instr.Xor
+    | Shl -> Instr.Sll
+    | Shr -> Instr.Sra
+    | Andand | Oror | Eq | Neq | Lt | Le | Gt | Ge -> bug "bad op-assign"
+  in
+  match e.desc with
+  | Num v when fits_imm v ->
+    let pt = promote (promote cur_ty (ty_of_num v)) Tint in
+    let t = alloc_temp cg in
+    emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = cur;
+                         src2 = Instr.Imm v; dst = t });
+    (t, pt, true)
+  | _ ->
+    let rb, tb, own_b = gen_expr cg e in
+    let pt = promote (promote cur_ty tb) Tint in
+    let t = alloc_temp cg in
+    emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = cur;
+                         src2 = Instr.Reg rb; dst = t });
+    release cg ~owned:own_b rb;
+    (t, pt, true)
+
+and gen_body cg body =
+  cg.scopes <- [] :: cg.scopes;
+  List.iter (gen_stmt cg) body;
+  cg.scopes <- List.tl cg.scopes
+
+(* --- functions and globals ---------------------------------------------- *)
+
+let gen_fun ~fresh_iid ~prog_funs ~globals (f : fundef) : Prog.func =
+  let b = Builder.create ~fresh_iid ~fname:f.fname ~arity:(List.length f.params) in
+  let entry_l = Builder.new_block b in
+  let exit_l = Builder.new_block b in
+  let body_l = Builder.new_block b in
+  let cg =
+    {
+      b;
+      prog_funs;
+      globals;
+      scopes = [ [] ];
+      free_temps = temp_regs;
+      active_temps = [];
+      free_homes = Reg.callee_saved;
+      used_homes = [];
+      next_slot = dynamic_base;
+      loops = [];
+      exit_label = exit_l;
+      ret_ty = f.ret;
+    }
+  in
+  (* Parameters: bind each to a fresh home; the prologue (emitted last)
+     copies the incoming argument registers there. *)
+  let param_homes =
+    List.map
+      (fun (p : param) ->
+        let loc = alloc_home cg in
+        declare cg p.pname
+          { bty = p.pty; loc; is_ptr = p.parray };
+        loc)
+      f.params
+  in
+  Builder.switch_to cg.b body_l;
+  gen_body cg f.body;
+  (* Fall off the end: return (r0 unspecified for non-void, as in C). *)
+  Builder.terminate cg.b (Prog.Jump exit_l);
+  let frame_size = (cg.next_slot + 15) / 16 * 16 in
+  (* Prologue. *)
+  Builder.switch_to cg.b entry_l;
+  if frame_size <= 32767 then
+    emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
+                         src2 = Instr.Imm (Int64.of_int frame_size);
+                         dst = Reg.sp })
+  else begin
+    let t = List.hd temp_regs in
+    li cg ~dst:t (Int64.of_int frame_size);
+    emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
+                         src2 = Instr.Reg t; dst = Reg.sp })
+  end;
+  List.iteri
+    (fun i r ->
+      if List.exists (Reg.equal r) cg.used_homes then
+        emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
+                               offset = Int64.of_int (callee_save_base + (8 * i));
+                               src = r }))
+    Reg.callee_saved;
+  List.iteri
+    (fun i loc ->
+      match loc with
+      | Home_reg r -> move cg ~src:(Reg.arg i) ~dst:r
+      | Home_slot off ->
+        emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
+                               offset = Int64.of_int off; src = Reg.arg i })
+      | Glob_scalar _ | Glob_array _ | Frame_array _ -> assert false)
+    param_homes;
+  Builder.terminate cg.b (Prog.Jump body_l);
+  (* Epilogue. *)
+  Builder.switch_to cg.b exit_l;
+  List.iteri
+    (fun i r ->
+      if List.exists (Reg.equal r) cg.used_homes then
+        emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
+                              offset = Int64.of_int (callee_save_base + (8 * i));
+                              dst = r }))
+    Reg.callee_saved;
+  if frame_size <= 32767 then
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
+                         src2 = Instr.Imm (Int64.of_int frame_size);
+                         dst = Reg.sp })
+  else begin
+    let t = List.hd temp_regs in
+    li cg ~dst:t (Int64.of_int frame_size);
+    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
+                         src2 = Instr.Reg t; dst = Reg.sp })
+  end;
+  Builder.terminate cg.b Prog.Return;
+  Builder.finish cg.b ~frame_size
+
+let global_image = function
+  | Gscalar (t, name, v) ->
+    let bytes = Bytes.make (size_of_ty t) '\000' in
+    (match t with
+    | Tchar -> Bytes.set_uint8 bytes 0 (Int64.to_int (Int64.logand v 0xFFL))
+    | Tshort ->
+      Bytes.set_int16_le bytes 0 (Int64.to_int (Int64.logand v 0xFFFFL))
+    | Tint -> Bytes.set_int32_le bytes 0 (Int64.to_int32 v)
+    | Tlong -> Bytes.set_int64_le bytes 0 v);
+    { Prog.gname = name; init = bytes }
+  | Garray (t, name, size, init) ->
+    let esz = size_of_ty t in
+    let bytes = Bytes.make (size * esz) '\000' in
+    (match init with
+    | None -> ()
+    | Some (Init_string s) ->
+      String.iteri (fun i c -> Bytes.set_uint8 bytes (i * esz) (Char.code c)) s
+    | Some (Init_list vs) ->
+      List.iteri
+        (fun i v ->
+          let off = i * esz in
+          match t with
+          | Tchar -> Bytes.set_uint8 bytes off (Int64.to_int (Int64.logand v 0xFFL))
+          | Tshort ->
+            Bytes.set_int16_le bytes off (Int64.to_int (Int64.logand v 0xFFFFL))
+          | Tint -> Bytes.set_int32_le bytes off (Int64.to_int32 v)
+          | Tlong -> Bytes.set_int64_le bytes off v)
+        vs);
+    { Prog.gname = name; init = bytes }
+
+let gen_program (p : program) : Prog.t =
+  let counter = ref 0 in
+  let fresh_iid () =
+    incr counter;
+    !counter
+  in
+  let prog_funs = List.map (fun (f : fundef) -> (f.fname, f)) p.funcs in
+  let globals =
+    List.map
+      (function
+        | Gscalar (t, name, _) ->
+          (name, { bty = t; loc = Glob_scalar name; is_ptr = false })
+        | Garray (t, name, _, _) ->
+          (name, { bty = t; loc = Glob_array name; is_ptr = false }))
+      p.globals
+  in
+  let funcs = List.map (gen_fun ~fresh_iid ~prog_funs ~globals) p.funcs in
+  let gimages = List.map global_image p.globals in
+  Prog.create ~globals:gimages funcs

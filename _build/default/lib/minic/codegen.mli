@@ -1,0 +1,25 @@
+(** Code generation from checked MiniC to the Alpha-like IR.
+
+    The generated code mirrors what a conventional optimizing compiler for
+    a 64-bit Alpha-class machine emits, before any operand-gating analysis:
+
+    - arithmetic runs at width [W32] when both promoted operands are
+      [int]-or-narrower (the Alpha addl/addq split), and [W64] otherwise;
+      address arithmetic is always [W64];
+    - [char] is an unsigned byte: byte loads are zero-extending and
+      assignments to [char] lvalues mask with [Msk W8];
+    - named scalars live in callee-saved registers (spilling to stack
+      slots when more than six are live in a function), arrays live in the
+      frame or in global data, register moves are encoded as [Or r, #0]
+      (the Alpha BIS idiom);
+    - short-circuit [&&]/[||] lower to branches; [?:] lowers to [Cmov]
+      when both arms are call-free.
+
+    Width re-encoding is left entirely to VRP/VRS, as in the paper. *)
+
+exception Codegen_bug of string
+(** Internal invariant violation; indicates a bug, not a user error. *)
+
+val gen_program : Ast.program -> Ogc_ir.Prog.t
+(** Assumes {!Typecheck.check} succeeded.  The result passes
+    {!Ogc_ir.Validate.program}. *)

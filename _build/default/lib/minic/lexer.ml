@@ -1,0 +1,151 @@
+exception Error of string * Ast.pos
+
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  | STRING_LIT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+let keywords =
+  [
+    "char"; "short"; "int"; "long"; "void"; "if"; "else"; "while"; "do";
+    "for"; "break"; "continue"; "return"; "emit";
+  ]
+
+(* Multi-character punctuation, longest first so matching is greedy. *)
+let puncts =
+  [
+    "<<="; ">>="; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+=";
+    "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "+"; "-"; "*";
+    "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "("; ")"; "{"; "}";
+    "["; "]"; ";"; ","; "?"; ":";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let error i fmt = Fmt.kstr (fun s -> raise (Error (s, pos i))) fmt in
+  let newline i = incr line; bol := i + 1 in
+  let rec skip_line_comment i = if i < n && src.[i] <> '\n' then skip_line_comment (i + 1) else i in
+  let rec skip_block_comment i =
+    if i + 1 >= n then error i "unterminated comment"
+    else if src.[i] = '\n' then begin newline i; skip_block_comment (i + 1) end
+    else if src.[i] = '*' && src.[i + 1] = '/' then i + 2
+    else skip_block_comment (i + 1)
+  in
+  let escape i = function
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | '\\' -> '\\'
+    | '\'' -> '\''
+    | '"' -> '"'
+    | c -> error i "unknown escape \\%c" c
+  in
+  let rec go i =
+    if i >= n then toks := (EOF, pos i) :: !toks
+    else
+      let c = src.[i] in
+      if c = '\n' then begin newline i; go (i + 1) end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then go (skip_line_comment i)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then go (skip_block_comment (i + 2))
+      else if is_digit c then begin
+        let p = pos i in
+        let j = ref i in
+        let v =
+          if c = '0' && i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X')
+          then begin
+            j := i + 2;
+            let start = !j in
+            while !j < n && is_hex src.[!j] do incr j done;
+            if !j = start then error i "bad hex literal";
+            Int64.of_string ("0x" ^ String.sub src start (!j - start))
+          end
+          else begin
+            while !j < n && is_digit src.[!j] do incr j done;
+            Int64.of_string (String.sub src i (!j - i))
+          end
+        in
+        toks := (INT_LIT v, p) :: !toks;
+        go !j
+      end
+      else if is_alpha c then begin
+        let p = pos i in
+        let j = ref i in
+        while !j < n && is_alnum src.[!j] do incr j done;
+        let s = String.sub src i (!j - i) in
+        let tok = if List.mem s keywords then KW s else IDENT s in
+        toks := (tok, p) :: !toks;
+        go !j
+      end
+      else if c = '\'' then begin
+        let p = pos i in
+        if i + 1 >= n then error i "unterminated char literal";
+        let v, j =
+          if src.[i + 1] = '\\' then begin
+            if i + 2 >= n then error i "unterminated char literal";
+            (escape i src.[i + 2], i + 3)
+          end
+          else (src.[i + 1], i + 2)
+        in
+        if j >= n || src.[j] <> '\'' then error i "unterminated char literal";
+        toks := (INT_LIT (Int64.of_int (Char.code v)), p) :: !toks;
+        go (j + 1)
+      end
+      else if c = '"' then begin
+        let p = pos i in
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then error i "unterminated string literal"
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' then begin
+            if j + 1 >= n then error i "unterminated string literal";
+            Buffer.add_char buf (escape j src.[j + 1]);
+            str (j + 2)
+          end
+          else begin
+            if src.[j] = '\n' then newline j;
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        toks := (STRING_LIT (Buffer.contents buf), p) :: !toks;
+        go j
+      end
+      else begin
+        let p = pos i in
+        match
+          List.find_opt
+            (fun op ->
+              let l = String.length op in
+              i + l <= n && String.equal (String.sub src i l) op)
+            puncts
+        with
+        | Some op ->
+          toks := (PUNCT op, p) :: !toks;
+          go (i + String.length op)
+        | None -> error i "unexpected character %C" c
+      end
+  in
+  go 0;
+  Array.of_list (List.rev !toks)
+
+let token_to_string = function
+  | INT_LIT v -> Int64.to_string v
+  | IDENT s -> s
+  | STRING_LIT s -> Printf.sprintf "%S" s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"

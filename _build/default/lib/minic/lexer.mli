@@ -1,0 +1,19 @@
+(** Hand-written lexer for MiniC. *)
+
+exception Error of string * Ast.pos
+
+type token =
+  | INT_LIT of int64
+  | IDENT of string
+  | STRING_LIT of string
+  | KW of string  (** one of the reserved words *)
+  | PUNCT of string  (** operator or delimiter, longest-match *)
+  | EOF
+
+val keywords : string list
+
+(** [tokenize src] is the token stream of [src] with source positions;
+    the last element is [EOF].  Raises {!Error} on malformed input. *)
+val tokenize : string -> (token * Ast.pos) array
+
+val token_to_string : token -> string

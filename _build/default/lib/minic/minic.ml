@@ -1,0 +1,25 @@
+exception Error of string
+
+let wrap_pos what msg (pos : Ast.pos) =
+  raise (Error (Printf.sprintf "%s at %d:%d: %s" what pos.line pos.col msg))
+
+let parse src =
+  try
+    let ast = Parser.parse src in
+    ignore (Typecheck.check ast);
+    ast
+  with
+  | Lexer.Error (msg, pos) -> wrap_pos "lexical error" msg pos
+  | Parser.Error (msg, pos) -> wrap_pos "syntax error" msg pos
+  | Typecheck.Error (msg, pos) -> wrap_pos "semantic error" msg pos
+
+let compile src =
+  let ast = parse src in
+  try
+    let prog = Codegen.gen_program ast in
+    Ogc_ir.Validate.program prog;
+    prog
+  with
+  | Codegen.Codegen_bug msg -> raise (Error ("code generator bug: " ^ msg))
+  | Ogc_ir.Validate.Invalid msg ->
+    raise (Error ("generated invalid code: " ^ msg))

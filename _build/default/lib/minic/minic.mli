@@ -1,0 +1,12 @@
+(** MiniC front end: one-call compilation to the Alpha-like IR. *)
+
+(** Compilation error with a human-readable message (includes source
+    position when available). *)
+exception Error of string
+
+val parse : string -> Ast.program
+(** Parse and semantically check; raises {!Error}. *)
+
+val compile : string -> Ogc_ir.Prog.t
+(** Parse, check, generate code and validate the result;
+    raises {!Error}. *)

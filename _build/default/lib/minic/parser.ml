@@ -1,0 +1,426 @@
+open Ast
+
+exception Error of string * Ast.pos
+
+type state = { toks : (Lexer.token * pos) array; mutable i : int }
+
+let error_at pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+let peek st = fst st.toks.(st.i)
+let peek_pos st = snd st.toks.(st.i)
+let peek2 st =
+  if st.i + 1 < Array.length st.toks then fst st.toks.(st.i + 1) else Lexer.EOF
+let peek3 st =
+  if st.i + 2 < Array.length st.toks then fst st.toks.(st.i + 2) else Lexer.EOF
+
+let advance st = st.i <- st.i + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error_at (peek_pos st) "expected %s, found %s" what
+      (Lexer.token_to_string (peek st))
+
+let expect_punct st p = expect st (Lexer.PUNCT p) (Printf.sprintf "'%s'" p)
+
+let accept_punct st p =
+  if peek st = Lexer.PUNCT p then begin advance st; true end else false
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> error_at (peek_pos st) "expected identifier, found %s" (Lexer.token_to_string t)
+
+let ty_of_kw = function
+  | "char" -> Some Tchar
+  | "short" -> Some Tshort
+  | "int" -> Some Tint
+  | "long" -> Some Tlong
+  | _ -> None
+
+let peek_ty st =
+  match peek st with Lexer.KW k -> ty_of_kw k | _ -> None
+
+let parse_ty st =
+  match peek_ty st with
+  | Some t -> advance st; t
+  | None ->
+    error_at (peek_pos st) "expected a type, found %s"
+      (Lexer.token_to_string (peek st))
+
+let int_lit st =
+  let neg = accept_punct st "-" in
+  match peek st with
+  | Lexer.INT_LIT v ->
+    advance st;
+    if neg then Int64.neg v else v
+  | t -> error_at (peek_pos st) "expected integer literal, found %s" (Lexer.token_to_string t)
+
+(* --- expressions ------------------------------------------------------- *)
+
+(* Binary precedence levels, loosest first.  [&&]/[||] and [?:] are handled
+   separately because of short-circuit lowering. *)
+let binop_levels =
+  [
+    [ ("||", Oror) ];
+    [ ("&&", Andand) ];
+    [ ("|", Bor) ];
+    [ ("^", Bxor) ];
+    [ ("&", Band) ];
+    [ ("==", Eq); ("!=", Neq) ];
+    [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ];
+    [ ("<<", Shl); (">>", Shr) ];
+    [ ("+", Add); ("-", Sub) ];
+    [ ("*", Mul); ("/", Div); ("%", Rem) ];
+  ]
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_binop st 0 in
+  if accept_punct st "?" then begin
+    let t = parse_expr st in
+    expect_punct st ":";
+    let f = parse_ternary st in
+    { desc = Ternary (c, t, f); pos = c.pos }
+  end
+  else c
+
+and parse_binop st level =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binop st (level + 1)) in
+    let rec loop () =
+      match peek st with
+      | Lexer.PUNCT p when List.mem_assoc p ops ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_binop st (level + 1) in
+        lhs := { desc = Binop (List.assoc p ops, !lhs, rhs); pos };
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    !lhs
+  end
+
+and parse_unary st =
+  let pos = peek_pos st in
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    { desc = Unop (Neg, parse_unary st); pos }
+  | Lexer.PUNCT "!" ->
+    advance st;
+    { desc = Unop (Lognot, parse_unary st); pos }
+  | Lexer.PUNCT "~" ->
+    advance st;
+    { desc = Unop (Bitnot, parse_unary st); pos }
+  | Lexer.PUNCT "(" when (match peek2 st with
+                          | Lexer.KW k -> ty_of_kw k <> None
+                          | _ -> false)
+                         && peek3 st = Lexer.PUNCT ")" ->
+    advance st;
+    let t = parse_ty st in
+    expect_punct st ")";
+    { desc = Cast (t, parse_unary st); pos }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let pos = peek_pos st in
+  match peek st with
+  | Lexer.INT_LIT v ->
+    advance st;
+    { desc = Num v; pos }
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      { desc = Call (name, args); pos }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      { desc = Index (name, idx); pos }
+    | _ -> { desc = Var name; pos })
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | t -> error_at pos "expected an expression, found %s" (Lexer.token_to_string t)
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+  end
+
+(* --- statements -------------------------------------------------------- *)
+
+let op_assign_table =
+  [
+    ("+=", Add); ("-=", Sub); ("*=", Mul); ("/=", Div); ("%=", Rem);
+    ("&=", Band); ("|=", Bor); ("^=", Bxor); ("<<=", Shl); (">>=", Shr);
+  ]
+
+let lvalue_of_expr e =
+  match e.desc with
+  | Var v -> Some (Lvar v)
+  | Index (v, i) -> Some (Lindex (v, i))
+  | _ -> None
+
+(* A "simple statement" (no trailing ';'): assignment, op-assignment,
+   increment/decrement, or a bare expression. *)
+let rec parse_simple st =
+  let pos = peek_pos st in
+  let e = parse_expr st in
+  match (lvalue_of_expr e, peek st) with
+  | Some lv, Lexer.PUNCT "=" ->
+    advance st;
+    let rhs = parse_expr st in
+    { sdesc = Assign (lv, rhs); spos = pos }
+  | Some lv, Lexer.PUNCT p when List.mem_assoc p op_assign_table ->
+    advance st;
+    let rhs = parse_expr st in
+    { sdesc = Op_assign (List.assoc p op_assign_table, lv, rhs); spos = pos }
+  | Some lv, Lexer.PUNCT "++" ->
+    advance st;
+    { sdesc = Op_assign (Add, lv, { desc = Num 1L; pos }); spos = pos }
+  | Some lv, Lexer.PUNCT "--" ->
+    advance st;
+    { sdesc = Op_assign (Sub, lv, { desc = Num 1L; pos }); spos = pos }
+  | _ -> { sdesc = Expr_stmt e; spos = pos }
+
+and parse_stmt st =
+  let pos = peek_pos st in
+  match peek st with
+  | Lexer.KW k when ty_of_kw k <> None ->
+    let t = parse_ty st in
+    let name = ident st in
+    if accept_punct st "[" then begin
+      let size =
+        match peek st with
+        | Lexer.INT_LIT v -> advance st; Int64.to_int v
+        | tok -> error_at (peek_pos st) "expected array size, found %s" (Lexer.token_to_string tok)
+      in
+      expect_punct st "]";
+      expect_punct st ";";
+      { sdesc = Decl_array (t, name, size); spos = pos }
+    end
+    else begin
+      let init = if accept_punct st "=" then Some (parse_expr st) else None in
+      expect_punct st ";";
+      { sdesc = Decl (t, name, init); spos = pos }
+    end
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block st in
+    let else_ =
+      if peek st = Lexer.KW "else" then begin
+        advance st;
+        parse_block st
+      end
+      else []
+    in
+    { sdesc = If (c, then_, else_); spos = pos }
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block st in
+    { sdesc = While (c, body); spos = pos }
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_block st in
+    expect st (Lexer.KW "while") "'while'";
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    { sdesc = Do_while (body, c); spos = pos }
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if peek st = Lexer.PUNCT ";" then None
+      else if (match peek st with Lexer.KW k -> ty_of_kw k <> None | _ -> false)
+      then begin
+        (* declaration initializer: for (int i = 0; ...) *)
+        let t = parse_ty st in
+        let name = ident st in
+        expect_punct st "=";
+        let e = parse_expr st in
+        Some { sdesc = Decl (t, name, Some e); spos = pos }
+      end
+      else Some (parse_simple st)
+    in
+    expect_punct st ";";
+    let cond = if peek st = Lexer.PUNCT ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    let step = if peek st = Lexer.PUNCT ")" then None else Some (parse_simple st) in
+    expect_punct st ")";
+    let body = parse_block st in
+    { sdesc = For (init, cond, step, body); spos = pos }
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    { sdesc = Break; spos = pos }
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    { sdesc = Continue; spos = pos }
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then { sdesc = Return None; spos = pos }
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      { sdesc = Return (Some e); spos = pos }
+    end
+  | Lexer.KW "emit" ->
+    advance st;
+    expect_punct st "(";
+    let e = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    { sdesc = Emit e; spos = pos }
+  | _ ->
+    let s = parse_simple st in
+    expect_punct st ";";
+    s
+
+and parse_block st =
+  if accept_punct st "{" then begin
+    let rec loop acc =
+      if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+    in
+    loop []
+  end
+  else [ parse_stmt st ]
+
+(* --- top level --------------------------------------------------------- *)
+
+let parse_param st =
+  let pty = parse_ty st in
+  let pointer = accept_punct st "*" in
+  let pname = ident st in
+  let brackets = accept_punct st "[" in
+  if brackets then expect_punct st "]";
+  { pty; pname; parray = pointer || brackets }
+
+let parse_params st =
+  if accept_punct st ")" then []
+  else begin
+    let rec loop acc =
+      let p = parse_param st in
+      if accept_punct st "," then loop (p :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (p :: acc)
+      end
+    in
+    loop []
+  end
+
+let parse_fun_tail st ~ret ~name ~fpos =
+  let params = parse_params st in
+  expect_punct st "{";
+  let rec loop acc =
+    if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  let body = loop [] in
+  { ret; fname = name; params; body; fpos }
+
+let parse_global_array st t name =
+  let size =
+    if peek st = Lexer.PUNCT "]" then None
+    else Some (Int64.to_int (int_lit st))
+  in
+  expect_punct st "]";
+  let init =
+    if accept_punct st "=" then begin
+      match peek st with
+      | Lexer.STRING_LIT s ->
+        advance st;
+        Some (Init_string s)
+      | Lexer.PUNCT "{" ->
+        advance st;
+        let rec loop acc =
+          let v = int_lit st in
+          if accept_punct st "," then loop (v :: acc)
+          else begin
+            expect_punct st "}";
+            List.rev (v :: acc)
+          end
+        in
+        Some (Init_list (loop []))
+      | tok ->
+        error_at (peek_pos st) "expected array initializer, found %s"
+          (Lexer.token_to_string tok)
+    end
+    else None
+  in
+  expect_punct st ";";
+  let size =
+    match (size, init) with
+    | Some s, _ -> s
+    | None, Some (Init_string s) -> String.length s + 1
+    | None, Some (Init_list l) -> List.length l
+    | None, None -> error_at (peek_pos st) "array %s needs a size" name
+  in
+  Garray (t, name, size, init)
+
+let parse_program st =
+  let globals = ref [] and funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "void" ->
+      let fpos = peek_pos st in
+      advance st;
+      let name = ident st in
+      expect_punct st "(";
+      funcs := parse_fun_tail st ~ret:None ~name ~fpos :: !funcs;
+      loop ()
+    | Lexer.KW k when ty_of_kw k <> None ->
+      let fpos = peek_pos st in
+      let t = parse_ty st in
+      let name = ident st in
+      (match peek st with
+      | Lexer.PUNCT "(" ->
+        advance st;
+        funcs := parse_fun_tail st ~ret:(Some t) ~name ~fpos :: !funcs
+      | Lexer.PUNCT "[" ->
+        advance st;
+        globals := parse_global_array st t name :: !globals
+      | _ ->
+        let init = if accept_punct st "=" then int_lit st else 0L in
+        expect_punct st ";";
+        globals := Gscalar (t, name, init) :: !globals);
+      loop ()
+    | tok ->
+      error_at (peek_pos st) "expected a declaration, found %s"
+        (Lexer.token_to_string tok)
+  in
+  loop ();
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src; i = 0 } in
+  parse_program st

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar summary (C subset):
+    - top level: global scalar/array declarations and function definitions;
+    - types: [char] (unsigned byte), [short], [int], [long], [void]
+      (return type only), one-dimensional arrays, array/pointer parameters
+      ([long v[]] or [long *v]);
+    - statements: declarations, assignments ([=], [op=], [++], [--]),
+      [if]/[else], [while], [do]/[while], [for], [break], [continue],
+      [return], [emit(e)], expression statements;
+    - expressions: C operator set with C precedence, [?:], casts, calls.
+
+    Assignments are statements, not expressions. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error}. *)

@@ -1,0 +1,209 @@
+open Ast
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type fsig = { fs_ret : Ast.ty option; fs_params : Ast.param list }
+
+type info = { fun_sigs : (string * fsig) list }
+
+(* What a name denotes inside a function body. *)
+type binding = Scalar of ty | Array of ty
+
+type env = {
+  fun_sigs : (string * fsig) list;
+  globals : (string * binding) list;
+  mutable scopes : (string * binding) list list;
+}
+
+let lookup env pos name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some b -> Some b
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some b -> b
+  | None -> (
+    match List.assoc_opt name env.globals with
+    | Some b -> b
+    | None -> err pos "undefined variable %s" name)
+
+let declare env pos name b =
+  match env.scopes with
+  | [] -> assert false
+  | scope :: rest ->
+    if List.mem_assoc name scope then
+      err pos "duplicate declaration of %s" name;
+    env.scopes <- ((name, b) :: scope) :: rest
+
+let rec check_expr env (e : expr) ~value_needed =
+  match e.desc with
+  | Num _ -> ()
+  | Var name -> (
+    match lookup env e.pos name with
+    | Scalar _ -> ()
+    | Array _ ->
+      (* Array names may only appear as call arguments (pointer decay);
+         the caller handles that case before recursing. *)
+      err e.pos "array %s used as a scalar" name)
+  | Index (name, idx) -> (
+    check_expr env idx ~value_needed:true;
+    match lookup env e.pos name with
+    | Array _ -> ()
+    | Scalar _ -> err e.pos "indexing non-array %s" name)
+  | Unop (_, a) -> check_expr env a ~value_needed:true
+  | Binop (_, a, b) ->
+    check_expr env a ~value_needed:true;
+    check_expr env b ~value_needed:true
+  | Ternary (c, t, f) ->
+    check_expr env c ~value_needed:true;
+    check_expr env t ~value_needed:true;
+    check_expr env f ~value_needed:true
+  | Cast (_, a) -> check_expr env a ~value_needed:true
+  | Call (name, args) -> (
+    match List.assoc_opt name env.fun_sigs with
+    | None -> err e.pos "call to undefined function %s" name
+    | Some fs ->
+      if List.length args <> List.length fs.fs_params then
+        err e.pos "%s expects %d argument(s), got %d" name
+          (List.length fs.fs_params) (List.length args);
+      if value_needed && fs.fs_ret = None then
+        err e.pos "void function %s used in an expression" name;
+      List.iter2
+        (fun (p : param) (a : expr) ->
+          match (p.parray, a.desc) with
+          | true, Var vn -> (
+            match lookup env a.pos vn with
+            | Array _ -> ()
+            | Scalar _ -> err a.pos "%s expects an array for %s" name p.pname)
+          | true, _ -> err a.pos "%s expects an array for %s" name p.pname
+          | false, _ -> check_expr env a ~value_needed:true)
+        fs.fs_params args)
+
+let check_lvalue env pos = function
+  | Lvar name -> (
+    match lookup env pos name with
+    | Scalar _ -> ()
+    | Array _ -> err pos "cannot assign to array %s" name)
+  | Lindex (name, idx) -> (
+    check_expr env idx ~value_needed:true;
+    match lookup env pos name with
+    | Array _ -> ()
+    | Scalar _ -> err pos "indexing non-array %s" name)
+
+let rec check_stmt env ~in_loop ~ret (s : stmt) =
+  match s.sdesc with
+  | Decl (t, name, init) ->
+    Option.iter (fun e -> check_expr env e ~value_needed:true) init;
+    declare env s.spos name (Scalar t)
+  | Decl_array (t, name, size) ->
+    if size <= 0 then err s.spos "array %s has non-positive size" name;
+    declare env s.spos name (Array t)
+  | Assign (lv, e) ->
+    check_lvalue env s.spos lv;
+    check_expr env e ~value_needed:true
+  | Op_assign (op, lv, e) ->
+    (match op with
+    | Andand | Oror | Eq | Neq | Lt | Le | Gt | Ge ->
+      err s.spos "operator %s cannot be used in op-assignment" (binop_name op)
+    | Add | Sub | Mul | Div | Rem | Band | Bor | Bxor | Shl | Shr -> ());
+    check_lvalue env s.spos lv;
+    check_expr env e ~value_needed:true
+  | If (c, then_, else_) ->
+    check_expr env c ~value_needed:true;
+    check_body env ~in_loop ~ret then_;
+    check_body env ~in_loop ~ret else_
+  | While (c, body) ->
+    check_expr env c ~value_needed:true;
+    check_body env ~in_loop:true ~ret body
+  | Do_while (body, c) ->
+    check_body env ~in_loop:true ~ret body;
+    check_expr env c ~value_needed:true
+  | For (init, cond, step, body) ->
+    env.scopes <- [] :: env.scopes;
+    Option.iter (check_stmt env ~in_loop ~ret) init;
+    Option.iter (fun e -> check_expr env e ~value_needed:true) cond;
+    check_body env ~in_loop:true ~ret body;
+    Option.iter (check_stmt env ~in_loop:true ~ret) step;
+    env.scopes <- List.tl env.scopes
+  | Break -> if not in_loop then err s.spos "break outside a loop"
+  | Continue -> if not in_loop then err s.spos "continue outside a loop"
+  | Return None ->
+    if ret <> None then err s.spos "return without a value in a non-void function"
+  | Return (Some e) ->
+    if ret = None then err s.spos "return with a value in a void function";
+    check_expr env e ~value_needed:true
+  | Expr_stmt e -> check_expr env e ~value_needed:false
+  | Emit e -> check_expr env e ~value_needed:true
+
+and check_body env ~in_loop ~ret body =
+  env.scopes <- [] :: env.scopes;
+  List.iter (check_stmt env ~in_loop ~ret) body;
+  env.scopes <- List.tl env.scopes
+
+let check_global seen = function
+  | Gscalar (_, name, _) | Garray (_, name, _, _) ->
+    if List.mem name !seen then
+      err { line = 0; col = 0 } "duplicate global %s" name;
+    seen := name :: !seen
+
+let check_global_init = function
+  | Gscalar _ -> ()
+  | Garray (_, name, size, init) -> (
+    if size <= 0 then
+      err { line = 0; col = 0 } "array %s has non-positive size" name;
+    match init with
+    | None -> ()
+    | Some (Init_list l) ->
+      if List.length l > size then
+        err { line = 0; col = 0 } "initializer of %s exceeds its size" name
+    | Some (Init_string s) ->
+      if String.length s + 1 > size then
+        err { line = 0; col = 0 } "string initializer of %s exceeds its size" name)
+
+let check (p : program) =
+  let seen = ref [] in
+  List.iter (check_global seen) p.globals;
+  List.iter check_global_init p.globals;
+  let fun_sigs =
+    List.map
+      (fun (f : fundef) -> (f.fname, { fs_ret = f.ret; fs_params = f.params }))
+      p.funcs
+  in
+  let fnames = List.map fst fun_sigs in
+  List.iter
+    (fun (f : fundef) ->
+      if List.length (List.filter (String.equal f.fname) fnames) > 1 then
+        err f.fpos "duplicate function %s" f.fname;
+      if List.mem f.fname !seen then
+        err f.fpos "function %s collides with a global" f.fname;
+      if List.length f.params > Ogc_isa.Reg.num_arg_regs then
+        err f.fpos "%s has more than %d parameters" f.fname
+          Ogc_isa.Reg.num_arg_regs)
+    p.funcs;
+  let globals =
+    List.map
+      (function
+        | Gscalar (t, name, _) -> (name, Scalar t)
+        | Garray (t, name, _, _) -> (name, Array t))
+      p.globals
+  in
+  List.iter
+    (fun (f : fundef) ->
+      let env = { fun_sigs; globals; scopes = [ [] ] } in
+      List.iter
+        (fun (pm : param) ->
+          declare env f.fpos pm.pname
+            (if pm.parray then Array pm.pty else Scalar pm.pty))
+        f.params;
+      check_body env ~in_loop:false ~ret:f.ret f.body)
+    p.funcs;
+  (match List.find_opt (fun (f : fundef) -> String.equal f.fname "main") p.funcs with
+  | None -> err { line = 0; col = 0 } "program has no main function"
+  | Some m ->
+    if m.params <> [] then err m.fpos "main must take no parameters");
+  { fun_sigs }

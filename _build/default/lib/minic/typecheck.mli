@@ -1,0 +1,15 @@
+(** Semantic checking for MiniC programs.
+
+    All values are integers, so "type" checking is mostly shape checking:
+    symbols resolve, arrays are used as arrays, arities match, [void]
+    functions yield no value, [break]/[continue] sit inside loops, and
+    global initializers fit their objects.  {!check} raises {!Error} on
+    the first violation. *)
+
+exception Error of string * Ast.pos
+
+type fsig = { fs_ret : Ast.ty option; fs_params : Ast.param list }
+
+type info = { fun_sigs : (string * fsig) list }
+
+val check : Ast.program -> info

@@ -1,0 +1,1 @@
+lib/workloads/w_m88ksim.ml: Printf

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Bytes List Ogc_ir Ogc_minic String W_compress W_gcc W_go W_ijpeg W_li W_m88ksim W_perl W_vortex

@@ -1,0 +1,108 @@
+(* SpecInt95 `compress` surrogate: LZSS-style compression of a synthetic
+   text buffer.  Dominated by byte loads, 3-byte hashing, match scanning
+   with chained hash buckets, and bit-packing of tokens — the byte-heavy
+   profile of the original. *)
+
+let name = "compress"
+let description = "LZSS compression of a synthetic text buffer"
+
+let source () =
+  Printf.sprintf
+    {|
+// compress: LZSS over a pseudo-random text with planted repetitions.
+// input_scale: 1 = train, 3 = ref (patched by the harness).
+long input_scale = 3;
+int seed = 12345;
+char text[12288];
+int head[4096];
+int prev[12288];
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void gen_text(int n) {
+  int i = 0;
+  while (i < n) {
+    if ((rnd() & 3) == 0 && i > 64) {
+      // plant a repetition of an earlier segment
+      int src = rnd() %% (i - 40);
+      int len = 8 + (rnd() & 31);
+      int j = 0;
+      while (j < len && i < n) {
+        text[i] = text[src + j];
+        i++;
+        j++;
+      }
+    } else {
+      text[i] = (char)(97 + rnd() %% 13);
+      i++;
+    }
+  }
+}
+
+int hash3(int pos) {
+  int h = text[pos] * 131 + text[pos + 1] * 17 + text[pos + 2];
+  return h & 4095;
+}
+
+int main() {
+  int n = 4000 * (int)input_scale;
+  long packed = 0;
+  long out_bytes = 0;
+  long literals = 0;
+  long matches = 0;
+  for (int round = 0; round < 1; round++) {
+    gen_text(n);
+    for (int i = 0; i < 4096; i++) head[i] = -1;
+    int pos = 0;
+    while (pos + 3 < n) {
+      int h = hash3(pos);
+      int first = head[h];
+      int cand = first;
+      int best_len = 0;
+      int best_dist = 0;
+      int tries = 8;
+      while (cand >= 0 && tries > 0 && pos - cand < 4096) {
+        int len = 0;
+        while (len < 18 && pos + len < n && text[cand + len] == text[pos + len])
+          len++;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = pos - cand;
+        }
+        cand = prev[cand];
+        tries--;
+      }
+      prev[pos] = first;
+      head[h] = pos;
+      if (best_len >= 3) {
+        matches++;
+        out_bytes += 2;
+        packed = packed * 7 + (best_dist << 5) + best_len;
+        // insert hash entries for the skipped positions
+        int k = 1;
+        while (k < best_len && pos + k + 3 < n) {
+          int hh = hash3(pos + k);
+          prev[pos + k] = head[hh];
+          head[hh] = pos + k;
+          k++;
+        }
+        pos += best_len;
+      } else {
+        literals++;
+        out_bytes += 1;
+        packed = packed * 3 + text[pos];
+        pos++;
+      }
+    }
+  }
+  emit(out_bytes);
+  emit(literals);
+  emit(matches);
+  emit(packed);
+  return 0;
+}
+|}
+

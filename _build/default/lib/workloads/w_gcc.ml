@@ -1,0 +1,96 @@
+(* SpecInt95 `gcc` surrogate: constant folding over randomly generated
+   expression DAGs.  Dominated by recursive tree walks and dispatch over
+   small operator tags — the branchy, pointer-chasing profile of a
+   compiler middle end.  Operator tags are heavily skewed (constants and
+   additions dominate), giving the value profiler realistic targets. *)
+
+let name = "gcc"
+let description = "constant folding over random expression DAGs"
+
+let source () =
+  Printf.sprintf
+    {|
+// gcc: build expression DAGs and constant-fold them bottom-up.
+long input_scale = 3;
+int seed = 987;
+int op[3000];    // 0=const 1=add 2=sub 3=mul 4=and 5=or 6=xor 7=shl 8=neg
+int lhs[3000];
+int rhs[3000];
+int val[3000];
+int folded[3000];
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void build(int n) {
+  for (int i = 0; i < n; i++) {
+    folded[i] = 0;
+    if (i < 4) {
+      op[i] = 0;
+      val[i] = rnd() & 1023;
+    } else {
+      int r = rnd() & 15;
+      // skewed operator mix: mostly consts and adds
+      if (r < 5) op[i] = 0;
+      else if (r < 10) op[i] = 1;
+      else if (r < 11) op[i] = 2;
+      else if (r < 12) op[i] = 3;
+      else if (r < 13) op[i] = 4;
+      else if (r < 14) op[i] = 5;
+      else if (r < 15) op[i] = 6;
+      else op[i] = 7;
+      if (op[i] == 0) val[i] = rnd() & 1023;
+      int span = 12;
+      if (i < 13) span = i - 1;
+      lhs[i] = i - 1 - rnd() %% span;
+      rhs[i] = i - 1 - rnd() %% span;
+    }
+  }
+}
+
+int fold(int n) {
+  if (folded[n]) return val[n];
+  folded[n] = 1;
+  if (op[n] == 0) return val[n];
+  int a = fold(lhs[n]);
+  int r = 0;
+  if (op[n] == 8) {
+    r = -a;
+  } else {
+    int b = fold(rhs[n]);
+    if (op[n] == 1) r = a + b;
+    else if (op[n] == 2) r = a - b;
+    else if (op[n] == 3) r = a * b;
+    else if (op[n] == 4) r = a & b;
+    else if (op[n] == 5) r = a | b;
+    else if (op[n] == 6) r = a ^ b;
+    else r = a << (b & 7);
+  }
+  op[n] = 0;
+  val[n] = r;
+  return r;
+}
+
+int main() {
+  int n = 1000 * (int)input_scale;
+  int rounds = 1 + (int)input_scale;
+  long acc = 0;
+  long consts = 0;
+  for (int round = 0; round < rounds; round++) {
+    build(n);
+    // fold every root-ish node, reusing memoized subtrees
+    for (int i = n - 1; i >= 0; i--) {
+      acc = acc * 3 + fold(i);
+    }
+    for (int i = 0; i < n; i++) {
+      if (op[i] == 0) consts++;
+    }
+  }
+  emit(acc);
+  emit(consts);
+  return 0;
+}
+|}
+

@@ -1,0 +1,123 @@
+(* SpecInt95 `go` surrogate: positional evaluation of 9x9 go boards.
+   Dominated by neighbourhood scans over small-valued board arrays,
+   influence propagation and chain liberty counting — the branch- and
+   byte-heavy profile of the original game engine. *)
+
+let name = "go"
+let description = "9x9 go board evaluation with influence propagation"
+
+let source () =
+  Printf.sprintf
+    {|
+// go: random positions, influence maps, liberty counts, pattern scores.
+long input_scale = 3;
+int seed = 555;
+char board[81];     // 0 empty, 1 black, 2 white
+short influence[81];
+char visited[81];
+char libmark[81];
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void setup_board() {
+  for (int i = 0; i < 81; i++) {
+    int r = rnd() & 7;
+    if (r < 3) board[i] = 0;
+    else if (r < 6) board[i] = 1;
+    else board[i] = 2;
+  }
+}
+
+// count liberties of the chain containing p (depth-first flood)
+int liberties(int p) {
+  int color = board[p];
+  for (int i = 0; i < 81; i++) {
+    visited[i] = 0;
+    libmark[i] = 0;
+  }
+  int stack[81];
+  int sp = 0;
+  int libs = 0;
+  stack[0] = p;
+  sp = 1;
+  visited[p] = 1;
+  while (sp > 0) {
+    sp--;
+    int q = stack[sp];
+    int row = q / 9;
+    int col = q - row * 9;
+    for (int d = 0; d < 4; d++) {
+      int nr = row;
+      int nc = col;
+      if (d == 0) nr = row - 1;
+      if (d == 1) nr = row + 1;
+      if (d == 2) nc = col - 1;
+      if (d == 3) nc = col + 1;
+      if (nr >= 0 && nr < 9 && nc >= 0 && nc < 9) {
+        int nq = nr * 9 + nc;
+        if (board[nq] == 0) {
+          if (!libmark[nq]) {
+            libmark[nq] = 1;
+            libs++;
+          }
+        } else if (board[nq] == color && !visited[nq]) {
+          visited[nq] = 1;
+          stack[sp] = nq;
+          sp++;
+        }
+      }
+    }
+  }
+  return libs;
+}
+
+int main() {
+  long score = 0;
+  long total_libs = 0;
+  int games = 12 * (int)input_scale;
+  for (int g = 0; g < games; g++) {
+    setup_board();
+    // influence propagation
+    for (int i = 0; i < 81; i++) {
+      if (board[i] == 1) influence[i] = 64;
+      else if (board[i] == 2) influence[i] = -64;
+      else influence[i] = 0;
+    }
+    for (int round = 0; round < 8; round++) {
+      for (int i = 0; i < 81; i++) {
+        int row = i / 9;
+        int col = i - row * 9;
+        int acc = influence[i] * 4;
+        int cnt = 4;
+        if (row > 0) { acc += influence[i - 9]; cnt++; }
+        if (row < 8) { acc += influence[i + 9]; cnt++; }
+        if (col > 0) { acc += influence[i - 1]; cnt++; }
+        if (col < 8) { acc += influence[i + 1]; cnt++; }
+        influence[i] = (short)(acc / cnt);
+      }
+    }
+    for (int i = 0; i < 81; i++) score += influence[i];
+    // liberties of a sample of stones
+    for (int s = 0; s < 12; s++) {
+      int p = rnd() %% 81;
+      if (board[p] != 0) total_libs += liberties(p);
+    }
+    // 3x3 pattern scoring
+    for (int row = 1; row < 8; row++) {
+      for (int col = 1; col < 8; col++) {
+        int p = row * 9 + col;
+        int pat = board[p] * 9 + board[p - 1] * 3 + board[p + 1]
+                + board[p - 9] * 27 + board[p + 9] * 81;
+        score = score * 2 + (pat & 63);
+      }
+    }
+  }
+  emit(score);
+  emit(total_libs);
+  return 0;
+}
+|}
+

@@ -1,0 +1,108 @@
+(* SpecInt95 `ijpeg` surrogate: fixed-point 8x8 forward DCT, quantization,
+   dequantization and error accumulation over a synthetic image.
+   Dominated by short/int multiply-accumulate with shifts — the
+   signal-processing profile of JPEG compression. *)
+
+let name = "ijpeg"
+let description = "fixed-point 8x8 DCT + quantization over an image"
+
+let source () =
+  Printf.sprintf
+    {|
+// ijpeg: per-block fixed-point DCT-ish transform and quantization.
+long input_scale = 3;
+int seed = 777;
+char image[9216];   // 96*96 pixels
+int block[64];
+int coef[64];
+int quant[64];
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void gen_image(int dim) {
+  // smooth gradient plus noise: mostly small AC coefficients
+  for (int y = 0; y < dim; y++) {
+    for (int x = 0; x < dim; x++) {
+      int v = ((x * 3 + y * 2) & 127) + (rnd() & 15);
+      image[y * 96 + x] = (char)(v & 255);
+    }
+  }
+}
+
+void init_quant() {
+  for (int i = 0; i < 64; i++) {
+    int row = i >> 3;
+    int col = i & 7;
+    quant[i] = 8 + ((row + col) << 1);
+  }
+}
+
+// 1-D integer transform of 8 values starting at [base] with stride
+// [stride]: butterfly-style adds and small-constant multiplies.
+void dct8(int base, int stride) {
+  int s0 = block[base];
+  int s1 = block[base + stride];
+  int s2 = block[base + stride * 2];
+  int s3 = block[base + stride * 3];
+  int s4 = block[base + stride * 4];
+  int s5 = block[base + stride * 5];
+  int s6 = block[base + stride * 6];
+  int s7 = block[base + stride * 7];
+  int a0 = s0 + s7;
+  int a1 = s1 + s6;
+  int a2 = s2 + s5;
+  int a3 = s3 + s4;
+  int b0 = s0 - s7;
+  int b1 = s1 - s6;
+  int b2 = s2 - s5;
+  int b3 = s3 - s4;
+  block[base] = a0 + a1 + a2 + a3;
+  block[base + stride * 4] = a0 - a1 - a2 + a3;
+  block[base + stride * 2] = ((a0 - a3) * 17 + (a1 - a2) * 7) >> 4;
+  block[base + stride * 6] = ((a0 - a3) * 7 - (a1 - a2) * 17) >> 4;
+  block[base + stride] = (b0 * 23 + b1 * 19 + b2 * 13 + b3 * 5) >> 5;
+  block[base + stride * 3] = (b0 * 19 - b1 * 5 - b2 * 23 - b3 * 13) >> 5;
+  block[base + stride * 5] = (b0 * 13 - b1 * 23 + b2 * 5 + b3 * 19) >> 5;
+  block[base + stride * 7] = (b0 * 5 - b1 * 13 + b2 * 19 - b3 * 23) >> 5;
+}
+
+int main() {
+  int dim = 32 * (int)input_scale;
+  long acc = 0;
+  long nonzero = 0;
+  init_quant();
+  for (int round = 0; round < 2; round++) {
+    gen_image(dim);
+    for (int by = 0; by + 8 <= dim; by += 8) {
+      for (int bx = 0; bx + 8 <= dim; bx += 8) {
+        // load block, level-shift by 128
+        for (int y = 0; y < 8; y++)
+          for (int x = 0; x < 8; x++)
+            block[y * 8 + x] = image[(by + y) * 96 + bx + x] - 128;
+        for (int r = 0; r < 8; r++) dct8(r * 8, 1);
+        for (int c = 0; c < 8; c++) dct8(c, 8);
+        // quantize / dequantize, count survivors
+        for (int i = 0; i < 64; i++) {
+          int q = block[i] / quant[i];
+          coef[i] = q * quant[i];
+          if (q != 0) nonzero++;
+          acc = acc * 3 + q;
+        }
+        // reconstruction error proxy
+        for (int i = 0; i < 64; i++) {
+          int e = block[i] - coef[i];
+          if (e < 0) e = -e;
+          acc += e;
+        }
+      }
+    }
+  }
+  emit(acc);
+  emit(nonzero);
+  return 0;
+}
+|}
+

@@ -1,0 +1,99 @@
+(* SpecInt95 `li` (xlisp) surrogate: a cons-cell list interpreter.
+   Dominated by tagged-cell allocation, recursive list traversal
+   (sum/map/filter/append/reverse) and small-tag dispatch — the
+   pointer-and-recursion profile of a lisp interpreter. *)
+
+let name = "li"
+let description = "cons-cell list interpreter (map/filter/fold/append)"
+
+let source () =
+  Printf.sprintf
+    {|
+// li: heap of cons cells as parallel arrays; NIL is -1.
+long input_scale = 3;
+int seed = 31415;
+int car_[8192];
+int cdr_[8192];
+int freep = 0;
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+int cons(int a, int d) {
+  int c = freep;
+  freep++;
+  car_[c] = a;
+  cdr_[c] = d;
+  return c;
+}
+
+int build_list(int n) {
+  int l = -1;
+  for (int i = 0; i < n; i++) {
+    l = cons(rnd() & 255, l);
+  }
+  return l;
+}
+
+long sum_list(int l) {
+  if (l < 0) return 0;
+  return car_[l] + sum_list(cdr_[l]);
+}
+
+int map_double(int l) {
+  if (l < 0) return -1;
+  return cons(car_[l] * 2, map_double(cdr_[l]));
+}
+
+int filter_even(int l) {
+  if (l < 0) return -1;
+  if ((car_[l] & 1) == 0) return cons(car_[l], filter_even(cdr_[l]));
+  return filter_even(cdr_[l]);
+}
+
+int append(int a, int b) {
+  if (a < 0) return b;
+  return cons(car_[a], append(cdr_[a], b));
+}
+
+int reverse(int l) {
+  int r = -1;
+  while (l >= 0) {
+    r = cons(car_[l], r);
+    l = cdr_[l];
+  }
+  return r;
+}
+
+int length(int l) {
+  int n = 0;
+  while (l >= 0) {
+    n++;
+    l = cdr_[l];
+  }
+  return n;
+}
+
+int main() {
+  long acc = 0;
+  int rounds = 4 + 4 * (int)input_scale;
+  int len = 200 * (int)input_scale;
+  for (int round = 0; round < rounds; round++) {
+    freep = 0;  // reset the heap each round (no GC, as in a fresh arena)
+    int a = build_list(len);
+    int b = map_double(a);
+    int c = filter_even(a);
+    int d = append(c, b);
+    int e = reverse(d);
+    acc += sum_list(b) - sum_list(a);
+    acc = acc * 7 + length(c) + length(e);
+    acc += sum_list(e) & 0xffff;
+  }
+  emit(acc);
+  emit(freep);
+  return 0;
+}
+|}
+

@@ -1,0 +1,97 @@
+(* SpecInt95 `m88ksim` surrogate: an instruction-set simulator for a tiny
+   RISC machine.  Dominated by field extraction (mask/shift), opcode
+   dispatch with a heavily skewed mix, and register/dmem array traffic —
+   the decode-loop profile of the original Motorola 88k simulator.  The
+   skewed opcode field is a natural value-range-specialization target. *)
+
+let name = "m88ksim"
+let description = "tiny-RISC instruction-set simulator (decode/dispatch loop)"
+
+let source () =
+  Printf.sprintf
+    {|
+// m88ksim: words are op(4) rd(4) rs1(4) rs2(4) imm(16).
+long input_scale = 3;
+int seed = 2468;
+long imem[2048];
+long regs_[16];
+long dmem[256];
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void gen_program(int n) {
+  for (int i = 0; i < n; i++) {
+    int r = rnd() & 15;
+    int op = 0;                 // skewed mix: half the stream is ADDI
+    if (r < 8) op = 0;          // addi
+    else if (r < 10) op = 1;    // add
+    else if (r < 11) op = 2;    // sub
+    else if (r < 12) op = 3;    // and
+    else if (r < 13) op = 4;    // shl
+    else if (r < 14) op = 5;    // load
+    else if (r < 15) op = 6;    // store
+    else op = 7;                // branch if zero (forward, short)
+    int rd = rnd() & 15;
+    int rs1 = rnd() & 15;
+    int rs2 = rnd() & 15;
+    int imm = rnd() & 0xffff;
+    if (op == 7) imm = 2 + (imm & 3);
+    imem[i] = (((((op << 4 | rd) << 4 | rs1) << 4) | rs2) << 16) | imm;
+  }
+}
+
+int main() {
+  int n = 2048;
+  gen_program(n);
+  for (int i = 0; i < 16; i++) regs_[i] = i * 3;
+  for (int i = 0; i < 256; i++) dmem[i] = i ^ 42;
+  long pc = 0;
+  long executed = 0;
+  long loads = 0;
+  long branches = 0;
+  int budget = 10000 * (int)input_scale;
+  while (budget > 0) {
+    budget--;
+    long w = imem[pc];
+    int op = (int)(w >> 28) & 15;
+    int rd = (int)(w >> 24) & 15;
+    int rs1 = (int)(w >> 20) & 15;
+    int rs2 = (int)(w >> 16) & 15;
+    int imm = (int)(w & 0xffff);
+    executed++;
+    if (op == 0) {
+      regs_[rd] = regs_[rs1] + imm;
+    } else if (op == 1) {
+      regs_[rd] = regs_[rs1] + regs_[rs2];
+    } else if (op == 2) {
+      regs_[rd] = regs_[rs1] - regs_[rs2];
+    } else if (op == 3) {
+      regs_[rd] = regs_[rs1] & regs_[rs2];
+    } else if (op == 4) {
+      regs_[rd] = regs_[rs1] << (imm & 7);
+    } else if (op == 5) {
+      regs_[rd] = dmem[(int)(regs_[rs1] + imm) & 255];
+      loads++;
+    } else if (op == 6) {
+      dmem[(int)(regs_[rs1] + imm) & 255] = regs_[rd];
+    } else {
+      branches++;
+      if (regs_[rs1] == 0) pc += imm;
+    }
+    pc++;
+    if (pc >= n) pc = 0;
+  }
+  long sum = 0;
+  for (int i = 0; i < 16; i++) sum = sum * 31 + regs_[i];
+  for (int i = 0; i < 256; i++) sum += dmem[i];
+  emit(executed);
+  emit(loads);
+  emit(branches);
+  emit(sum);
+  return 0;
+}
+|}
+

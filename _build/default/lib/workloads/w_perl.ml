@@ -1,0 +1,104 @@
+(* SpecInt95 `perl` surrogate: string hashing with chained associative
+   tables.  Dominated by byte-string scanning, 31x hash folding, chain
+   walks and byte-wise string comparison — the hash-table profile of the
+   perl interpreter's symbol handling. *)
+
+let name = "perl"
+let description = "string hash tables: insert/lookup/update with chains"
+
+let source () =
+  Printf.sprintf
+    {|
+// perl: key pool of variable-length byte strings + chained hash table.
+long input_scale = 3;
+int seed = 1357;
+char pool[19216];   // (max_keys + 1) * 16 bytes of key storage
+int koff[1201];
+int klen[1201];
+int kval[1201];
+int knext[1201];
+int heads[1024];
+int nkeys = 0;
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+// generate key [k] deterministically from its index
+int gen_key(int k, int slot) {
+  int len = 3 + ((k * 7) %% 10);
+  int off = slot * 16;
+  int state = k * 2654435761;
+  for (int i = 0; i < len; i++) {
+    state = state * 1103515245 + 12345;
+    pool[off + i] = (char)(97 + ((state >> 16) & 15));
+  }
+  koff[slot] = off;
+  klen[slot] = len;
+  return len;
+}
+
+int hash_key(int off, int len) {
+  int h = 5381;
+  for (int i = 0; i < len; i++) {
+    h = h * 31 + pool[off + i];
+  }
+  return h & 1023;
+}
+
+int keys_equal(int o1, int l1, int o2, int l2) {
+  if (l1 != l2) return 0;
+  for (int i = 0; i < l1; i++) {
+    if (pool[o1 + i] != pool[o2 + i]) return 0;
+  }
+  return 1;
+}
+
+// find slot of key stored at scratch slot [s]; -1 when absent
+int find(int s) {
+  int h = hash_key(koff[s], klen[s]);
+  int c = heads[h];
+  while (c >= 0) {
+    if (keys_equal(koff[c], klen[c], koff[s], klen[s])) return c;
+    c = knext[c];
+  }
+  return -1;
+}
+
+int main() {
+  int max_keys = 1200;
+  int ops = 2200 * (int)input_scale;
+  for (int i = 0; i < 1024; i++) heads[i] = -1;
+  long hits = 0;
+  long misses = 0;
+  long acc = 0;
+  int scratch = max_keys;  // one extra slot for probe keys
+  for (int t = 0; t < ops; t++) {
+    int kid = (rnd() * 31 + rnd()) %% (max_keys + max_keys / 4);
+    gen_key(kid, scratch);
+    int c = find(scratch);
+    if (c >= 0) {
+      hits++;
+      kval[c] += t & 1023;
+      acc = acc * 3 + kval[c];
+    } else if (nkeys < max_keys) {
+      // insert a copy of the scratch key
+      gen_key(kid, nkeys);
+      int h = hash_key(koff[nkeys], klen[nkeys]);
+      knext[nkeys] = heads[h];
+      heads[h] = nkeys;
+      kval[nkeys] = t;
+      nkeys++;
+    } else {
+      misses++;
+    }
+  }
+  emit(hits);
+  emit(misses);
+  emit(nkeys);
+  emit(acc);
+  return 0;
+}
+|}
+

@@ -1,0 +1,115 @@
+(* SpecInt95 `vortex` surrogate: an in-memory object database.
+   Dominated by binary search over a sorted id index, record field
+   updates, range scans grouped by a heavily skewed type tag, and
+   periodic integrity validation — the transaction-processing profile of
+   the original OODB.  The type tag (85%% one value) is a natural
+   specialization target. *)
+
+let name = "vortex"
+let description = "in-memory object database: transactions + validation"
+
+let source () =
+  Printf.sprintf
+    {|
+// vortex: parallel-array records with a sorted-id index.
+long input_scale = 3;
+int seed = 9876;
+long ids[1500];
+char typ[1500];    // 1..4, heavily skewed toward 1
+long bal[1500];
+short grp[1500];
+int nrec = 0;
+
+int rnd() {
+  seed = seed * 1103515245 + 12345;
+  return (seed >> 16) & 0x7fff;
+}
+
+void populate(int n) {
+  long id = 1000;
+  for (int i = 0; i < n; i++) {
+    id += 1 + (rnd() & 7);
+    ids[i] = id;
+    int r = rnd() & 31;
+    if (r < 27) typ[i] = 1;
+    else if (r < 29) typ[i] = 2;
+    else if (r < 31) typ[i] = 3;
+    else typ[i] = 4;
+    bal[i] = 100 + (rnd() & 1023);
+    grp[i] = (short)(rnd() & 63);
+  }
+  nrec = n;
+}
+
+// binary search over the sorted id column; -1 when absent
+int lookup(long id) {
+  int lo = 0;
+  int hi = nrec - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) >> 1;
+    if (ids[mid] == id) return mid;
+    if (ids[mid] < id) lo = mid + 1;
+    else hi = mid - 1;
+  }
+  return -1;
+}
+
+long validate() {
+  long sums[5];
+  for (int i = 0; i < 5; i++) sums[i] = 0;
+  for (int i = 0; i < nrec; i++) {
+    sums[typ[i]] += bal[i];
+  }
+  long v = 0;
+  for (int i = 1; i < 5; i++) v = v * 31 + sums[i];
+  return v;
+}
+
+int main() {
+  int n = 1500;
+  int transactions = 700 * (int)input_scale;
+  populate(n);
+  long maxid = ids[nrec - 1];
+  long found = 0;
+  long scanned = 0;
+  long acc = 0;
+  for (int t = 0; t < transactions; t++) {
+    int action = rnd() & 15;
+    if (action < 11) {
+      // point transaction: look up a (usually existing) id, update
+      long id = 1000 + rnd() %% (int)(maxid - 990);
+      int slot = lookup(id);
+      if (slot >= 0) {
+        found++;
+        int k = typ[slot];
+        if (k == 1) bal[slot] += 7;
+        else if (k == 2) bal[slot] -= 3;
+        else if (k == 3) bal[slot] += 11;
+        else bal[slot] = bal[slot] ^ 5;
+        acc = acc * 3 + bal[slot];
+      }
+    } else if (action < 15) {
+      // range scan of one group
+      int g = rnd() & 63;
+      long s = 0;
+      int step = 4 + (rnd() & 7);
+      for (int i = 0; i < nrec; i += step) {
+        if (grp[i] == g && typ[i] == 1) {
+          s += bal[i];
+          scanned++;
+        }
+      }
+      acc += s & 0xffff;
+    } else {
+      // periodic integrity validation (full table sweep)
+      if ((t & 7) == 0) acc = acc * 7 + validate();
+      else acc = acc * 7 + nrec;
+    }
+  }
+  emit(found);
+  emit(scanned);
+  emit(acc);
+  return 0;
+}
+|}
+

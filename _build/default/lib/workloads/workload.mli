@@ -1,0 +1,53 @@
+(** The benchmark suite: eight MiniC surrogates for SpecInt95.
+
+    The paper evaluates on SpecInt95 with reference inputs (and train
+    inputs for profiling).  The original programs and inputs are not
+    reproducible here, so each benchmark is a small MiniC program built
+    around the same dominant computation pattern as its namesake:
+
+    - [compress]: LZSS-style compression of a synthetic text buffer —
+      byte handling, hashing, match scanning;
+    - [gcc]: constant folding over randomly generated expression DAGs —
+      heavy branching over small operator tags;
+    - [go]: 9x9 board position evaluation — small-value board arrays,
+      neighbourhood scans, pattern scores;
+    - [ijpeg]: fixed-point 8x8 DCT, quantization and reconstruction over
+      an image — 16/32-bit multiply-accumulate;
+    - [li]: a cons-cell list interpreter — tagged cells, recursion;
+    - [m88ksim]: an instruction-set simulator — field extraction by
+      mask/shift, opcode dispatch with a skewed opcode mix;
+    - [perl]: string hashing with chained associative tables —
+      byte-string scanning and comparison;
+    - [vortex]: an in-memory object database — indexed records,
+      insert/lookup/update transactions over skewed type tags.
+
+    As with Spec, one binary serves both inputs: every program reads a
+    [input_scale] global (1 = train, 3 = reference) that {!set_scale}
+    patches in the compiled program's data image, so instruction
+    identities are stable between the profiling and evaluation runs.
+    All benchmarks are deterministic. *)
+
+type input = Train | Ref
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** MiniC source text *)
+}
+
+(** The eight benchmarks, in the paper's listing order. *)
+val all : t list
+
+val find : string -> t
+(** Raises [Not_found]. *)
+
+val scale : input -> int64
+
+(** [set_scale prog input] patches the [input_scale] global's initial
+    image.  Raises [Invalid_argument] when the program has none. *)
+val set_scale : Ogc_ir.Prog.t -> input -> unit
+
+(** [compile w input] parses, checks, compiles and scales the benchmark.
+    Every returned program is freshly built (safe to transform in
+    place). *)
+val compile : t -> input -> Ogc_ir.Prog.t

@@ -1,0 +1,178 @@
+(* Random MiniC program generation for differential testing.
+
+   Generated programs always terminate (loops have constant bounds, no
+   recursion, no while), never access memory out of bounds (indices are
+   masked to the array size), and emit values along the way, so two
+   binaries can be compared by output checksum.  Division and shifts are
+   total in the ISA, so any operand combination is fair game. *)
+
+let arr_len = 64
+
+(* Names available to expressions: scalar locals, global scalars, arrays.
+   [readonly] names (loop iterators) may be read but never assigned, so
+   generated loops always terminate. *)
+type env = {
+  scalars : string list;
+  globals : string list;
+  arrays : string list;  (* all of size [arr_len] *)
+  readonly : string list;
+}
+
+open QCheck.Gen
+
+let literal =
+  oneof
+    [
+      map string_of_int (int_range (-100) 100);
+      oneofl
+        [ "0"; "1"; "-1"; "127"; "128"; "255"; "256"; "32767"; "-32768";
+          "65535"; "0x7fffffff"; "65536"; "1000000007" ];
+    ]
+
+let rec expr env depth =
+  if depth <= 0 then
+    oneof
+      ((literal :: List.map (fun v -> return v) env.scalars)
+      @ List.map (fun v -> return v) env.readonly
+      @ List.map (fun g -> return g) env.globals)
+  else
+    let sub = expr env (depth - 1) in
+    let bin op = map2 (fun a b -> Printf.sprintf "(%s %s %s)" a op b) sub sub in
+    frequency
+      [
+        (3, sub);
+        (2, bin "+");
+        (2, bin "-");
+        (1, bin "*");
+        (1, bin "/");
+        (1, bin "%");
+        (1, bin "&");
+        (1, bin "|");
+        (1, bin "^");
+        (1, bin "<<");
+        (1, bin ">>");
+        (1, bin "<");
+        (1, bin "<=");
+        (1, bin "==");
+        (1, bin "!=");
+        (1, map (fun a -> Printf.sprintf "(- %s)" a) sub);  (* space avoids '--' *)
+        (1, map (fun a -> Printf.sprintf "(~%s)" a) sub);
+        (1, map (fun a -> Printf.sprintf "(!%s)" a) sub);
+        ( 1,
+          map2
+            (fun t a -> Printf.sprintf "((%s)%s)" t a)
+            (oneofl [ "char"; "short"; "int"; "long" ])
+            sub );
+        ( 1,
+          map3
+            (fun c a b -> Printf.sprintf "(%s ? %s : %s)" c a b)
+            sub sub sub );
+        ( 2,
+          match env.arrays with
+          | [] -> sub
+          | arrays ->
+            map2
+              (fun arr i -> Printf.sprintf "%s[(%s) & %d]" arr i (arr_len - 1))
+              (oneofl arrays) sub );
+      ]
+
+let rec stmt env depth =
+  let e = expr env 3 in
+  let assign_scalar =
+    match env.scalars with
+    | [] -> map (Printf.sprintf "emit(%s);") e
+    | vs ->
+      map2
+        (fun v rhs -> Printf.sprintf "%s = %s;" v rhs)
+        (oneofl vs) e
+  in
+  let assign_array =
+    match env.arrays with
+    | [] -> assign_scalar
+    | arrays ->
+      map3
+        (fun arr i rhs ->
+          Printf.sprintf "%s[(%s) & %d] = %s;" arr i (arr_len - 1) rhs)
+        (oneofl arrays) e e
+  in
+  let op_assign =
+    match env.scalars with
+    | [] -> assign_scalar
+    | vs ->
+      map3
+        (fun v op rhs -> Printf.sprintf "%s %s %s;" v op rhs)
+        (oneofl vs)
+        (oneofl [ "+="; "-="; "*="; "&="; "|="; "^="; ">>="; "<<=" ])
+        e
+  in
+  if depth <= 0 then
+    frequency
+      [ (3, assign_scalar); (2, assign_array); (2, op_assign);
+        (1, map (Printf.sprintf "emit(%s);") e) ]
+  else
+    let body n = block env (depth - 1) n in
+    frequency
+      [
+        (3, assign_scalar);
+        (2, assign_array);
+        (2, op_assign);
+        (1, map (Printf.sprintf "emit(%s);") e);
+        ( 2,
+          map3
+            (fun c t f -> Printf.sprintf "if (%s) {\n%s\n} else {\n%s\n}" c t f)
+            e (body 2) (body 2) );
+        ( 2,
+          let* bound = int_range 1 9 in
+          let* iv = oneofl [ "i0"; "i1"; "i2" ] in
+          let* b =
+            block { env with readonly = iv :: env.readonly } (depth - 1) 2
+          in
+          return
+            (Printf.sprintf "for (int %s = 0; %s < %d; %s++) {\n%s\n}" iv iv
+               bound iv b) );
+      ]
+
+and block env depth n =
+  let* stmts = list_repeat n (stmt env depth) in
+  return (String.concat "\n" stmts)
+
+let program =
+  let* nscalars = int_range 1 5 in
+  let* narrays = int_range 0 2 in
+  let* nglobals = int_range 0 2 in
+  let scalars = List.init nscalars (fun i -> Printf.sprintf "v%d" i) in
+  let arrays = List.init narrays (fun i -> Printf.sprintf "arr%d" i) in
+  let globals = List.init nglobals (fun i -> Printf.sprintf "g%d" i) in
+  let env = { scalars; globals; arrays; readonly = [] } in
+  let* tys =
+    list_repeat nscalars (oneofl [ "char"; "short"; "int"; "long" ])
+  in
+  let* atys = list_repeat narrays (oneofl [ "char"; "short"; "int"; "long" ]) in
+  let* inits = list_repeat nscalars literal in
+  let* body = block env 2 6 in
+  let* tail = block env 1 3 in
+  let decls =
+    List.concat
+      [
+        List.mapi
+          (fun i g -> Printf.sprintf "long %s = %d;" g (i * 37 + 5))
+          globals;
+        List.map2 (fun a t -> Printf.sprintf "%s %s[%d];" t a arr_len)
+          arrays atys;
+      ]
+  in
+  let local_decls =
+    List.map2
+      (fun (v, t) init -> Printf.sprintf "  %s %s = (%s)(%s);" t v t init)
+      (List.combine scalars tys) inits
+  in
+  return
+    (String.concat "\n"
+       (decls
+       @ [ "int main() {" ]
+       @ local_decls
+       @ [ body; tail ]
+       @ List.map (fun v -> Printf.sprintf "  emit(%s);" v) scalars
+       @ [ "  return 0;"; "}" ]))
+
+let arbitrary_program = QCheck.make ~print:(fun s -> s) program

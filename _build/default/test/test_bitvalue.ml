@@ -1,0 +1,220 @@
+(* Known-bits domain tests: representation laws, transfer soundness
+   (property-checked against the ISA evaluator), and the whole-function
+   analysis.  The comparison with intervals (the ablation bench) backs the
+   paper's design choice: for width assignment, word-level ranges capture
+   almost everything per-bit tracking does. *)
+
+open Ogc_isa
+module Bv = Ogc_core.Bitvalue
+
+let bv = Alcotest.testable Bv.pp Bv.equal
+
+let test_representation () =
+  Alcotest.(check (option int64)) "const" (Some 42L) (Bv.is_const (Bv.const 42L));
+  Alcotest.(check (option int64)) "top not const" None (Bv.is_const Bv.top);
+  Alcotest.(check bool) "top concretizes anything" true
+    (Bv.concretizes Bv.top (-12345L));
+  Alcotest.(check bool) "const concretizes itself" true
+    (Bv.concretizes (Bv.const 7L) 7L);
+  Alcotest.(check bool) "const rejects others" false
+    (Bv.concretizes (Bv.const 7L) 8L);
+  Alcotest.(check int) "const knows 64 bits" 64 (Bv.known_bits (Bv.const 0L));
+  Alcotest.(check int) "top knows none" 0 (Bv.known_bits Bv.top);
+  Alcotest.check bv "join of equal consts" (Bv.const 5L)
+    (Bv.join (Bv.const 5L) (Bv.const 5L));
+  Alcotest.(check bool) "join forgets differing bits" true
+    (Bv.concretizes (Bv.join (Bv.const 4L) (Bv.const 6L)) 6L);
+  Alcotest.check_raises "contradiction rejected"
+    (Invalid_argument "Bitvalue.make: contradictory bits") (fun () ->
+      ignore (Bv.make ~zeros:1L ~ones:1L))
+
+let test_width () =
+  let w v = Width.to_string (Bv.width v) in
+  Alcotest.(check string) "0" "8" (w (Bv.const 0L));
+  Alcotest.(check string) "127" "8" (w (Bv.const 127L));
+  Alcotest.(check string) "128" "16" (w (Bv.const 128L));
+  Alcotest.(check string) "-1" "8" (w (Bv.const (-1L)));
+  Alcotest.(check string) "-129" "16" (w (Bv.const (-129L)));
+  Alcotest.(check string) "top" "64" (w Bv.top);
+  (* bits 0..3 unknown, rest known zero: fits a byte *)
+  Alcotest.(check string) "nibble" "8"
+    (w (Bv.make ~zeros:(Int64.lognot 15L) ~ones:0L))
+
+let test_masking () =
+  let x = Bv.top in
+  let masked = Bv.forward_alu Instr.And Width.W64 x (Bv.const 0xFFL) in
+  Alcotest.(check bool) "and 0xFF clears high bits" true
+    (Bv.concretizes masked 255L && not (Bv.concretizes masked 256L));
+  Alcotest.(check string) "width after mask" "16"
+    (Width.to_string (Bv.width masked));
+  let msk = Bv.forward_msk Width.W8 Bv.top in
+  Alcotest.check bv "msk8 = and 0xFF" masked msk;
+  (* Alignment: known trailing zeros — the fact intervals cannot state. *)
+  let aligned = Bv.forward_alu Instr.And Width.W64 x (Bv.const (-8L)) in
+  Alcotest.(check bool) "multiple of 8" true
+    (Bv.concretizes aligned 16L && not (Bv.concretizes aligned 12L))
+
+let test_add_carry () =
+  (* 4-aligned + 1: the two low bits are known (01). *)
+  let aligned = Bv.forward_alu Instr.And Width.W64 Bv.top (Bv.const (-4L)) in
+  let plus1 = Bv.forward_alu Instr.Add Width.W64 aligned (Bv.const 1L) in
+  Alcotest.(check bool) "low bits known" true
+    (Bv.concretizes plus1 5L && not (Bv.concretizes plus1 4L)
+    && not (Bv.concretizes plus1 6L));
+  Alcotest.check bv "const add" (Bv.const 30L)
+    (Bv.forward_alu Instr.Add Width.W64 (Bv.const 13L) (Bv.const 17L))
+
+let test_mul_alignment () =
+  let by8 = Bv.forward_alu Instr.Mul Width.W64 Bv.top (Bv.const 8L) in
+  Alcotest.(check bool) "times 8 has 3 trailing zeros" true
+    (Bv.concretizes by8 24L && not (Bv.concretizes by8 12L))
+
+let test_shifts () =
+  let v = Bv.forward_msk Width.W8 Bv.top in
+  let l = Bv.forward_alu Instr.Sll Width.W64 v (Bv.const 4L) in
+  Alcotest.(check bool) "sll fills zeros" true
+    (Bv.concretizes l 0xFF0L && not (Bv.concretizes l 1L));
+  let r = Bv.forward_alu Instr.Srl Width.W64 (Bv.const (-1L)) (Bv.const 60L) in
+  Alcotest.check bv "srl of -1 by 60" (Bv.const 15L) r
+
+(* --- property: transfers over-approximate the evaluator --------------------- *)
+
+let all_alu_ops =
+  [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+    Instr.Or; Instr.Xor; Instr.Bic; Instr.Sll; Instr.Srl; Instr.Sra ]
+
+(* A bitvalue plus one of its concretizations: start from a value and
+   forget a random subset of bits. *)
+let gen_bvp =
+  QCheck.Gen.(
+    map2
+      (fun v forget ->
+        let zeros = Int64.logand (Int64.lognot v) (Int64.lognot forget) in
+        let ones = Int64.logand v (Int64.lognot forget) in
+        (Bv.make ~zeros ~ones, v))
+      ui64 ui64)
+
+let arb_bvp =
+  QCheck.make
+    ~print:(fun (b, v) -> Printf.sprintf "%s ∋ %Ld" (Bv.to_string b) v)
+    gen_bvp
+
+let prop_forward_alu_sound =
+  QCheck.Test.make ~name:"bit transfer is sound" ~count:20000
+    QCheck.(
+      triple
+        (make ~print:(fun _ -> "op,w")
+           Gen.(pair (oneofl all_alu_ops) (oneofl Width.all)))
+        arb_bvp arb_bvp)
+    (fun ((op, w), (ba, a), (bb, b)) ->
+      Bv.concretizes (Bv.forward_alu op w ba bb) (Instr.eval_alu op w a b))
+
+let prop_msk_sext_sound =
+  QCheck.Test.make ~name:"msk/sext transfers are sound" ~count:5000
+    QCheck.(pair (oneofl Width.all) arb_bvp)
+    (fun (w, (ba, a)) ->
+      Bv.concretizes (Bv.forward_msk w ba) (Width.truncate_unsigned a w)
+      && Bv.concretizes (Bv.forward_sext w ba) (Width.truncate a w))
+
+let prop_width_sound =
+  QCheck.Test.make ~name:"width covers every concretization" ~count:5000
+    arb_bvp
+    (fun (ba, a) -> Width.fits a (Bv.width ba))
+
+let prop_join_sound =
+  QCheck.Test.make ~name:"join keeps both sides" ~count:5000
+    QCheck.(pair arb_bvp arb_bvp)
+    (fun ((ba, a), (bb, b)) ->
+      let j = Bv.join ba bb in
+      Bv.concretizes j a && Bv.concretizes j b)
+
+(* --- whole-function analysis -------------------------------------------------- *)
+
+let test_analyze_program () =
+  let p = Ogc_minic.Minic.compile {|
+    long source = 123456;
+    int main() {
+      long x = source;
+      long masked = x & 0xFF;
+      long aligned = (x & ~7) + 4;
+      emit(masked + aligned);
+      return 0;
+    }
+  |} in
+  let res = Bv.analyze p in
+  (* Every runtime value must concretize its static bitvalue. *)
+  let bad = ref 0 in
+  let on_event = function
+    | Ogc_ir.Interp.E_ins { iid; result; op; _ } -> (
+      match (op, Bv.value_of res iid) with
+      | (Instr.Alu _ | Instr.Cmp _ | Instr.Msk _ | Instr.Sext _ | Instr.Li _),
+        Some v ->
+        if not (Bv.concretizes v result) then incr bad
+      | _ -> ())
+    | _ -> ()
+  in
+  ignore (Ogc_ir.Interp.run ~on_event p);
+  Alcotest.(check int) "all values concretize" 0 !bad;
+  (* The mask's result is known narrow. *)
+  let found = ref false in
+  Ogc_ir.Prog.iter_all_ins p (fun _ _ ins ->
+      match ins.Ogc_ir.Prog.op with
+      | Instr.Alu { op = Instr.And; src2 = Instr.Imm 255L; _ } -> (
+        found := true;
+        match Bv.width_of res ins.Ogc_ir.Prog.iid with
+        | Some w ->
+          Alcotest.(check string) "mask width" "16" (Width.to_string w)
+        | None -> Alcotest.fail "no width")
+      | _ -> ());
+  Alcotest.(check bool) "mask instruction found" true !found
+
+let prop_analyze_sound_random =
+  QCheck.Test.make ~name:"bit analysis sound on random programs" ~count:60
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Ogc_minic.Minic.compile src in
+      let res = Bv.analyze p in
+      let bad = ref None in
+      let on_event = function
+        | Ogc_ir.Interp.E_ins { iid; result; op; _ } -> (
+          match (op, Bv.value_of res iid) with
+          | ( (Instr.Alu _ | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _
+              | Instr.Sext _ | Instr.Li _ | Instr.Load _),
+              Some v ) ->
+            if (not (Bv.concretizes v result)) && !bad = None then
+              bad := Some (iid, op, result, v)
+          | _ -> ())
+        | _ -> ()
+      in
+      let cfg =
+        { Ogc_ir.Interp.default_config with max_steps = 2_000_000 }
+      in
+      ignore (Ogc_ir.Interp.run ~config:cfg ~on_event p);
+      match !bad with
+      | None -> true
+      | Some (iid, op, r, v) ->
+        QCheck.Test.fail_reportf "iid %d (%s): %Ld not in %s" iid
+          (Instr.to_string op) r (Bv.to_string v))
+
+let () =
+  Alcotest.run "bitvalue"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "representation" `Quick test_representation;
+          Alcotest.test_case "width" `Quick test_width;
+          Alcotest.test_case "masking" `Quick test_masking;
+          Alcotest.test_case "add carries" `Quick test_add_carry;
+          Alcotest.test_case "mul alignment" `Quick test_mul_alignment;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "program analysis" `Quick test_analyze_program;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_forward_alu_sound;
+            prop_msk_sext_sound;
+            prop_width_sound;
+            prop_join_sound;
+            prop_analyze_sound_random;
+          ] );
+    ]

@@ -1,0 +1,106 @@
+(* Tests for the hardware operand-gating support: significant-byte math
+   and gating policies. *)
+
+module Sigbytes = Ogc_gating.Sigbytes
+module Policy = Ogc_gating.Policy
+open Ogc_isa
+
+let test_sigbytes () =
+  Alcotest.(check int) "0" 1 (Sigbytes.significant_bytes 0L);
+  Alcotest.(check int) "1" 1 (Sigbytes.significant_bytes 1L);
+  Alcotest.(check int) "-1" 1 (Sigbytes.significant_bytes (-1L));
+  Alcotest.(check int) "127" 1 (Sigbytes.significant_bytes 127L);
+  Alcotest.(check int) "255 (zext)" 1 (Sigbytes.significant_bytes 255L);
+  Alcotest.(check int) "256" 2 (Sigbytes.significant_bytes 256L);
+  Alcotest.(check int) "-129" 2 (Sigbytes.significant_bytes (-129L));
+  Alcotest.(check int) "65535" 2 (Sigbytes.significant_bytes 65535L);
+  Alcotest.(check int) "2^32-1" 4 (Sigbytes.significant_bytes 0xFFFF_FFFFL);
+  Alcotest.(check int) "2^33" 5 (Sigbytes.significant_bytes 0x2_0000_0000L);
+  Alcotest.(check int) "min_int" 8 (Sigbytes.significant_bytes Int64.min_int)
+
+let test_size_class () =
+  Alcotest.(check int) "1" 1 (Sigbytes.size_class 1);
+  Alcotest.(check int) "2" 2 (Sigbytes.size_class 2);
+  Alcotest.(check int) "3" 5 (Sigbytes.size_class 3);
+  Alcotest.(check int) "5" 5 (Sigbytes.size_class 5);
+  Alcotest.(check int) "6" 8 (Sigbytes.size_class 6);
+  Alcotest.(check int) "8" 8 (Sigbytes.size_class 8)
+
+let test_policies () =
+  let v = 300L in
+  (* 2 significant bytes *)
+  Alcotest.(check int) "none" 8
+    (Policy.active_bytes Policy.No_gating ~width:Width.W8 ~value:v);
+  Alcotest.(check int) "software uses opcode width" 4
+    (Policy.active_bytes Policy.Software ~width:Width.W32 ~value:v);
+  Alcotest.(check int) "significance uses the value" 2
+    (Policy.active_bytes Policy.Hw_significance ~width:Width.W64 ~value:v);
+  Alcotest.(check int) "size rounds to {1,2,5,8}" 2
+    (Policy.active_bytes Policy.Hw_size ~width:Width.W64 ~value:v);
+  Alcotest.(check int) "size rounds 3 -> 5" 5
+    (Policy.active_bytes Policy.Hw_size ~width:Width.W64 ~value:0x10_0000L);
+  Alcotest.(check int) "cooperative takes the min" 2
+    (Policy.active_bytes Policy.Sw_plus_significance ~width:Width.W32 ~value:v);
+  Alcotest.(check int) "cooperative capped by opcode" 1
+    (Policy.active_bytes Policy.Sw_plus_size ~width:Width.W8 ~value:v)
+
+let test_tags () =
+  Alcotest.(check int) "none" 0 (Policy.tag_bits Policy.No_gating);
+  Alcotest.(check int) "software" 0 (Policy.tag_bits Policy.Software);
+  Alcotest.(check int) "significance" 7 (Policy.tag_bits Policy.Hw_significance);
+  Alcotest.(check int) "size" 2 (Policy.tag_bits Policy.Hw_size);
+  Alcotest.(check int) "cooperative" 2 (Policy.tag_bits Policy.Sw_plus_size);
+  Alcotest.(check bool) "sw binary needed" true
+    (Policy.uses_software_widths Policy.Sw_plus_size);
+  Alcotest.(check bool) "hw-only runs the baseline" false
+    (Policy.uses_software_widths Policy.Hw_size)
+
+let prop_sigbytes_roundtrip =
+  QCheck.Test.make ~name:"significant bytes reconstruct the value" ~count:5000
+    QCheck.int64 (fun v ->
+      let k = Sigbytes.significant_bytes v in
+      let shift = 64 - (8 * k) in
+      if k = 8 then true
+      else
+        let sext = Int64.shift_right (Int64.shift_left v shift) shift in
+        let zext = Int64.shift_right_logical (Int64.shift_left v shift) shift in
+        Int64.equal sext v || Int64.equal zext v)
+
+let prop_sigbytes_minimal =
+  QCheck.Test.make ~name:"significant bytes are minimal" ~count:5000
+    QCheck.int64 (fun v ->
+      let k = Sigbytes.significant_bytes v in
+      k = 1
+      ||
+      let k' = k - 1 in
+      let shift = 64 - (8 * k') in
+      let sext = Int64.shift_right (Int64.shift_left v shift) shift in
+      let zext = Int64.shift_right_logical (Int64.shift_left v shift) shift in
+      (not (Int64.equal sext v)) && not (Int64.equal zext v))
+
+let prop_policy_bounds =
+  QCheck.Test.make ~name:"active bytes in [1,8] and monotone vs none"
+    ~count:2000
+    QCheck.(pair int64 (oneofl Width.all))
+    (fun (v, w) ->
+      List.for_all
+        (fun p ->
+          let b = Policy.active_bytes p ~width:w ~value:v in
+          b >= 1 && b <= 8)
+        Policy.all)
+
+let () =
+  Alcotest.run "gating"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "significant bytes" `Quick test_sigbytes;
+          Alcotest.test_case "size classes" `Quick test_size_class;
+          Alcotest.test_case "policies" `Quick test_policies;
+          Alcotest.test_case "tags" `Quick test_tags;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sigbytes_roundtrip; prop_sigbytes_minimal; prop_policy_bounds ]
+      );
+    ]

@@ -1,0 +1,337 @@
+(* MiniC front-end tests: lexer, parser, semantic checks, and generated-code
+   semantics via the reference interpreter. *)
+
+module Minic = Ogc_minic.Minic
+module Lexer = Ogc_minic.Lexer
+module Interp = Ogc_ir.Interp
+
+let emitted src = (Interp.run (Minic.compile src)).Interp.emitted
+
+let check_emits name src expected =
+  Alcotest.(check (list int64)) name expected (emitted src)
+
+(* --- lexer ------------------------------------------------------------------ *)
+
+let toks src =
+  Array.to_list (Lexer.tokenize src)
+  |> List.map (fun (t, _) -> Lexer.token_to_string t)
+
+let test_lexer () =
+  Alcotest.(check (list string)) "hex" [ "31"; "<eof>" ] (toks "0x1f");
+  Alcotest.(check (list string)) "char lit" [ "97"; "<eof>" ] (toks "'a'");
+  Alcotest.(check (list string)) "escape" [ "10"; "<eof>" ] (toks "'\\n'");
+  Alcotest.(check (list string)) "comment" [ "x"; "<eof>" ]
+    (toks "x // trailing\n");
+  Alcotest.(check (list string)) "block comment" [ "a"; "b"; "<eof>" ]
+    (toks "a /* 1 \n 2 */ b");
+  Alcotest.(check (list string)) "greedy ops" [ "<<="; "<<"; "<"; "<eof>" ]
+    (toks "<<= << <");
+  Alcotest.(check (list string)) "string" [ "\"hi\\n\""; "<eof>" ]
+    (toks "\"hi\\n\"");
+  (match Lexer.tokenize "@" with
+  | exception Lexer.Error (_, pos) ->
+    Alcotest.(check int) "error line" 1 pos.Ogc_minic.Ast.line
+  | _ -> Alcotest.fail "expected a lexer error");
+  match Lexer.tokenize "/* open" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "unterminated comment"
+
+let test_lexer_positions () =
+  let t = Lexer.tokenize "a\n  b" in
+  let _, p = t.(1) in
+  Alcotest.(check int) "line" 2 p.Ogc_minic.Ast.line;
+  Alcotest.(check int) "col" 3 p.Ogc_minic.Ast.col
+
+(* --- parser ----------------------------------------------------------------- *)
+
+let expect_error src sub =
+  match Minic.parse src with
+  | exception Minic.Error msg ->
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+    in
+    Alcotest.(check bool) (src ^ " -> " ^ msg) true (go 0)
+  | _ -> Alcotest.fail ("expected an error for: " ^ src)
+
+let test_parser_errors () =
+  expect_error "int main() { return 0 }" "expected ';'";
+  expect_error "int main() { int = 3; }" "identifier";
+  expect_error "void main x" "'('";
+  expect_error "int main() { emit(1) }" "expected ';'";
+  expect_error "int a[];" "size"
+
+let test_precedence () =
+  check_emits "mul before add" "int main() { emit(2 + 3 * 4); return 0; }"
+    [ 14L ];
+  check_emits "shift vs add" "int main() { emit(1 << 2 + 1); return 0; }"
+    [ 8L ];
+  check_emits "cmp vs bitand"
+    "int main() { emit((3 & 1) == 1); return 0; }" [ 1L ];
+  check_emits "unary binds tight" "int main() { emit(-2 * 3); return 0; }"
+    [ -6L ];
+  check_emits "ternary right assoc"
+    "int main() { emit(0 ? 1 : 0 ? 2 : 3); return 0; }" [ 3L ];
+  check_emits "paren override" "int main() { emit((2 + 3) * 4); return 0; }"
+    [ 20L ]
+
+(* --- semantic checks ---------------------------------------------------------- *)
+
+let test_typecheck_errors () =
+  expect_error "int main() { return x; }" "undefined variable";
+  expect_error "int main() { return f(); }" "undefined function";
+  expect_error "int f(int a) { return a; } int main() { return f(); }"
+    "expects 1 argument";
+  expect_error "int a[3]; int main() { return a; }" "used as a scalar";
+  expect_error "int main() { int x = 0; return x[0]; }" "indexing non-array";
+  expect_error "int main() { break; return 0; }" "break outside";
+  expect_error "int main() { continue; return 0; }" "continue outside";
+  expect_error "void f() { return 3; } int main() { return 0; }"
+    "void function";
+  expect_error "int main() { int x = 0; int x = 1; return 0; }" "duplicate";
+  expect_error "int f() { return 0; }" "no main";
+  expect_error "int main(int x) { return 0; }" "main must take no parameters";
+  expect_error "void f() {} int main() { return f(); }"
+    "void function f used in an expression"
+
+(* --- code generation semantics ------------------------------------------------- *)
+
+let test_char_is_unsigned_byte () =
+  check_emits "char wraps to 0..255"
+    {| int main() {
+         char c = (char)200;
+         emit(c);          // 200, zero-extended
+         c = (char)(c + 100);
+         emit(c);          // 300 & 255 = 44
+         return 0;
+       } |}
+    [ 200L; 44L ]
+
+let test_short_sign_extends () =
+  check_emits "short is signed"
+    {| int main() {
+         short s = (short)40000;
+         emit(s);
+         return 0;
+       } |}
+    [ Int64.of_int (40000 - 65536) ]
+
+let test_int_wraps_32 () =
+  check_emits "int arithmetic wraps at 32 bits"
+    {| int main() {
+         int x = 2000000000;
+         emit(x + x);
+         long y = 2000000000;
+         emit(y + y);
+         return 0;
+       } |}
+    [ -294967296L; 4000000000L ]
+
+let test_promotions () =
+  check_emits "char + char promotes to int"
+    {| int main() {
+         char a = (char)200;
+         char b = (char)200;
+         emit(a + b);   // 400: no byte wrap
+         return 0;
+       } |}
+    [ 400L ]
+
+let test_short_circuit () =
+  check_emits "&&/|| do not evaluate the other side"
+    {| int a[4];
+       int main() {
+         int i = 100;
+         // safe: the guard prevents the wild index
+         if (i < 4 && a[i] == 0) emit(1);
+         else emit(2);
+         if (i >= 4 || a[i] == 0) emit(3);
+         return 0;
+       } |}
+    [ 2L; 3L ]
+
+let test_loops_and_break () =
+  check_emits "break/continue"
+    {| int main() {
+         long s = 0;
+         for (int i = 0; i < 10; i++) {
+           if (i == 3) continue;
+           if (i == 7) break;
+           s = s * 10 + i;
+         }
+         emit(s);
+         int j = 0;
+         do { j++; } while (j < 5);
+         emit(j);
+         while (j < 8) j++;
+         emit(j);
+         return 0;
+       } |}
+    [ 12456L; 5L; 8L ]
+
+let test_globals_and_strings () =
+  check_emits "globals with initializers"
+    {| long counter = 41;
+       int tab[4] = {10, 20, 30};
+       char msg[] = "AB";
+       int main() {
+         counter += 1;
+         emit(counter);
+         emit(tab[0] + tab[1] + tab[2] + tab[3]);
+         emit(msg[0]);
+         emit(msg[1]);
+         emit(msg[2]);   // NUL
+         return 0;
+       } |}
+    [ 42L; 60L; 65L; 66L; 0L ]
+
+let test_array_params () =
+  check_emits "arrays decay to pointers"
+    {| int sum(int v[], int n) {
+         int s = 0;
+         for (int i = 0; i < n; i++) s += v[i];
+         return s;
+       }
+       void fill(int *v, int n) {
+         for (int i = 0; i < n; i++) v[i] = i * i;
+       }
+       int scratch[8];
+       int main() {
+         fill(scratch, 8);
+         emit(sum(scratch, 8));
+         int local[4];
+         fill(local, 4);
+         emit(sum(local, 4));
+         return 0;
+       } |}
+    [ 140L; 14L ]
+
+let test_recursion_and_spill () =
+  (* More than six named locals forces stack homes; recursion exercises
+     the callee-save discipline. *)
+  check_emits "deep expression and spills"
+    {| int ack(int m, int n) {
+         if (m == 0) return n + 1;
+         if (n == 0) return ack(m - 1, 1);
+         return ack(m - 1, ack(m, n - 1));
+       }
+       int main() {
+         int a = 1; int b = 2; int c = 3; int d = 4;
+         int e = 5; int f = 6; int g = 7; int h = 8;
+         emit(a + b * c - d + e * f - g + h);
+         emit(ack(2, 3));
+         emit(a + b + c + d + e + f + g + h);  // homes survive the call
+         return 0;
+       } |}
+    [ 34L; 9L; 36L ]
+
+let test_cmov_vs_branchy_ternary () =
+  check_emits "ternary with call falls back to branches"
+    {| int inc(int x) { return x + 1; }
+       int main() {
+         int t = 5;
+         emit(t > 3 ? inc(10) : inc(20));
+         emit(t < 3 ? inc(10) : inc(20));
+         emit(t > 3 ? 1 : 2);   // cmov form
+         return 0;
+       } |}
+    [ 11L; 21L; 1L ]
+
+let test_division_semantics () =
+  check_emits "toward-zero division"
+    {| int main() {
+         emit(-7 / 2);
+         emit(-7 % 2);
+         emit(7 / -2);
+         emit(7 % -2);
+         emit(5 / 0);    // ISA: total division
+         emit(5 % 0);
+         return 0;
+       } |}
+    [ -3L; -1L; -3L; 1L; 0L; 0L ]
+
+let test_scoping () =
+  check_emits "block scoping and shadowing"
+    {| int main() {
+         int x = 1;
+         if (x) {
+           int x = 2;
+           emit(x);
+         }
+         emit(x);
+         for (int x = 9; x < 10; x++) emit(x);
+         emit(x);
+         return 0;
+       } |}
+    [ 2L; 1L; 9L; 1L ]
+
+let test_cmov_generated () =
+  (* Call-free ternaries lower to conditional moves. *)
+  let prog = Minic.compile "int main() { int t = 1; emit(t ? 3 : 4); return 0; }" in
+  let has_cmov = ref false in
+  Ogc_ir.Prog.iter_all_ins prog (fun _ _ ins ->
+      match ins.Ogc_ir.Prog.op with
+      | Ogc_isa.Instr.Cmov _ -> has_cmov := true
+      | _ -> ());
+  Alcotest.(check bool) "cmov emitted" true !has_cmov
+
+(* --- generated program robustness ----------------------------------------------- *)
+
+let prop_generated_compile_and_run =
+  QCheck.Test.make ~name:"random programs compile, validate and run"
+    ~count:300 Gen_minic.arbitrary_program (fun src ->
+      let prog =
+        try Minic.compile src
+        with Minic.Error msg -> QCheck.Test.fail_reportf "compile: %s" msg
+      in
+      match
+        Interp.run ~config:{ Interp.default_config with max_steps = 3_000_000 }
+          prog
+      with
+      | _ -> true
+      | exception Interp.Fault msg ->
+        QCheck.Test.fail_reportf "fault: %s" msg)
+
+let prop_generated_deterministic =
+  QCheck.Test.make ~name:"random programs are deterministic" ~count:50
+    Gen_minic.arbitrary_program (fun src ->
+      let p1 = Minic.compile src and p2 = Minic.compile src in
+      let cfg = { Interp.default_config with max_steps = 3_000_000 } in
+      Int64.equal
+        (Interp.run ~config:cfg p1).Interp.checksum
+        (Interp.run ~config:cfg p2).Interp.checksum)
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "precedence" `Quick test_precedence;
+        ] );
+      ("semantics", [ Alcotest.test_case "errors" `Quick test_typecheck_errors ]);
+      ( "codegen",
+        [
+          Alcotest.test_case "char unsigned" `Quick test_char_is_unsigned_byte;
+          Alcotest.test_case "short signed" `Quick test_short_sign_extends;
+          Alcotest.test_case "int wraps" `Quick test_int_wraps_32;
+          Alcotest.test_case "promotions" `Quick test_promotions;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "loops" `Quick test_loops_and_break;
+          Alcotest.test_case "globals" `Quick test_globals_and_strings;
+          Alcotest.test_case "array params" `Quick test_array_params;
+          Alcotest.test_case "recursion/spills" `Quick test_recursion_and_spill;
+          Alcotest.test_case "ternary" `Quick test_cmov_vs_branchy_ternary;
+          Alcotest.test_case "division" `Quick test_division_semantics;
+          Alcotest.test_case "scoping" `Quick test_scoping;
+          Alcotest.test_case "cmov generated" `Quick test_cmov_generated;
+        ] );
+      ( "random",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_compile_and_run; prop_generated_deterministic ] );
+    ]

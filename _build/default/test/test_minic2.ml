@@ -1,0 +1,183 @@
+(* Second MiniC battery: edge cases of the language and the code
+   generator — deep expressions near the temporary budget, call-heavy
+   argument evaluation, operator-assignment on array elements, string
+   escapes, and frame-size boundaries. *)
+
+module Minic = Ogc_minic.Minic
+module Interp = Ogc_ir.Interp
+
+let emitted src = (Interp.run (Minic.compile src)).Interp.emitted
+
+let check_emits name src expected =
+  Alcotest.(check (list int64)) name expected (emitted src)
+
+let test_deep_expression () =
+  (* A long right-leaning expression stresses the temporary pool without
+     exceeding it. *)
+  check_emits "deep nesting"
+    {| int main() {
+         emit(1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 + (9 + (10 + (11 + 12)))))))))));
+         emit(((((((1 + 2) * 3) - 4) | 5) ^ 6) << 2) >> 1);
+         return 0;
+       } |}
+    [ 78L; Int64.of_int ((((((1 + 2) * 3) - 4) lor 5) lxor 6) lsl 2 asr 1) ]
+
+let test_six_args () =
+  check_emits "all six argument registers"
+    {| long f(long a, long b, long c, long d, long e, long g) {
+         return a + b * 10 + c * 100 + d * 1000 + e * 10000 + g * 100000;
+       }
+       int main() {
+         emit(f(1, 2, 3, 4, 5, 6));
+         emit(f(f(1,0,0,0,0,0), 2, 3, 4, 5, 6));  // nested call in arg 0
+         return 0;
+       } |}
+    [ 654321L; 654321L ]
+
+let test_call_args_evaluation () =
+  (* Nested calls inside later arguments must not clobber earlier ones. *)
+  check_emits "argument clobber safety"
+    {| int bump(int x) { return x + 1; }
+       int sum3(int a, int b, int c) { return a * 100 + b * 10 + c; }
+       int main() {
+         emit(sum3(1, bump(1), bump(bump(1))));
+         return 0;
+       } |}
+    [ 123L ]
+
+let test_op_assign_array () =
+  check_emits "op-assign evaluates the index once semantics"
+    {| int a[8];
+       int k = 0;
+       int main() {
+         a[3] = 10;
+         a[3] += 5;
+         a[3] <<= 2;
+         a[3] ^= 3;
+         emit(a[3]);
+         return 0;
+       } |}
+    [ Int64.of_int (((10 + 5) lsl 2) lxor 3) ]
+
+let test_string_escapes () =
+  check_emits "escape sequences in strings"
+    {| char s[] = "a\n\t\\\"z";
+       int main() {
+         emit(s[0]); emit(s[1]); emit(s[2]); emit(s[3]); emit(s[4]); emit(s[5]);
+         emit(s[6]);   // NUL
+         return 0;
+       } |}
+    [ 97L; 10L; 9L; 92L; 34L; 122L; 0L ]
+
+let test_big_frame () =
+  (* A frame beyond the 15-bit immediate forces the Li/Sub prologue. *)
+  check_emits "large local array"
+    {| int main() {
+         long big[8192];
+         big[0] = 7;
+         big[8191] = 35;
+         emit(big[0] + big[8191]);
+         return 0;
+       } |}
+    [ 42L ]
+
+let test_char_comparisons () =
+  (* char is unsigned: 200 compares above 100. *)
+  check_emits "unsigned char ordering"
+    {| int main() {
+         char hi = (char)200;
+         char lo = (char)100;
+         emit(hi > lo);
+         emit(hi < lo);
+         emit((char)(lo - hi));   // wraps to 156
+         return 0;
+       } |}
+    [ 1L; 0L; 156L ]
+
+let test_do_while_once () =
+  check_emits "do-while executes at least once"
+    {| int main() {
+         int n = 0;
+         do { n++; } while (0);
+         emit(n);
+         return 0;
+       } |}
+    [ 1L ]
+
+let test_nested_loops_break () =
+  check_emits "break affects the innermost loop only"
+    {| int main() {
+         long s = 0;
+         for (int i = 0; i < 4; i++) {
+           for (int j = 0; j < 100; j++) {
+             if (j == 2) break;
+             s = s * 10 + j;
+           }
+           s += 100;
+         }
+         emit(s);
+         return 0;
+       } |}
+    [ (let s = ref 0 in
+       for _ = 0 to 3 do
+         for j = 0 to 1 do
+           s := (!s * 10) + j
+         done;
+         s := !s + 100
+       done;
+       Int64.of_int !s) ]
+
+let test_global_scalar_types () =
+  check_emits "global scalars of every width"
+    {| char  gc = 250;
+       short gs = -1234;
+       int   gi = 123456789;
+       long  gl = 1234567890123;
+       int main() {
+         emit(gc); emit(gs); emit(gi); emit(gl);
+         gc = (char)(gc + 10);   // wraps in memory
+         emit(gc);
+         return 0;
+       } |}
+    [ 250L; -1234L; 123456789L; 1234567890123L; 4L ]
+
+let test_shift_by_variable () =
+  check_emits "variable shift amounts"
+    {| int main() {
+         long one = 1;
+         for (int s = 0; s < 4; s++) emit(one << (s * 8));
+         emit(-256 >> 4);
+         return 0;
+       } |}
+    [ 1L; 256L; 65536L; 16777216L; -16L ]
+
+let test_comment_forms () =
+  check_emits "comments everywhere"
+    {| // leading comment
+       int main() { /* inline */ emit(/* here too */ 5); // trailing
+         return 0; /* and
+                      multi-line */
+       } |}
+    [ 5L ]
+
+let () =
+  Alcotest.run "minic2"
+    [
+      ( "edge cases",
+        [
+          Alcotest.test_case "deep expressions" `Quick test_deep_expression;
+          Alcotest.test_case "six arguments" `Quick test_six_args;
+          Alcotest.test_case "argument clobbering" `Quick
+            test_call_args_evaluation;
+          Alcotest.test_case "op-assign on arrays" `Quick test_op_assign_array;
+          Alcotest.test_case "string escapes" `Quick test_string_escapes;
+          Alcotest.test_case "big frames" `Quick test_big_frame;
+          Alcotest.test_case "unsigned char ordering" `Quick
+            test_char_comparisons;
+          Alcotest.test_case "do-while" `Quick test_do_while_once;
+          Alcotest.test_case "nested break" `Quick test_nested_loops_break;
+          Alcotest.test_case "global scalars" `Quick test_global_scalar_types;
+          Alcotest.test_case "variable shifts" `Quick test_shift_by_variable;
+          Alcotest.test_case "comments" `Quick test_comment_forms;
+        ] );
+    ]

@@ -1,0 +1,449 @@
+(* VRP tests: range precision on crafted programs, width assignment,
+   semantic preservation, and differential soundness on random programs
+   (every runtime value must lie inside its static range; re-encoding must
+   never change program output). *)
+
+open Ogc_isa
+module Minic = Ogc_minic.Minic
+module Interp = Ogc_ir.Interp
+module Prog = Ogc_ir.Prog
+module Vrp = Ogc_core.Vrp
+module Interval = Ogc_core.Interval
+
+let compile = Minic.compile
+
+(* Find the unique instruction satisfying a predicate. *)
+let find_ins prog pred =
+  let found = ref [] in
+  Prog.iter_all_ins prog (fun _ _ ins ->
+      if pred ins.Prog.op then found := ins :: !found);
+  match !found with
+  | [ i ] -> i
+  | l -> Alcotest.failf "expected exactly one match, found %d" (List.length l)
+
+let width_str = function Some w -> Width.to_string w | None -> "-"
+
+(* --- the paper's running example (§2.2.6) ------------------------------------ *)
+
+let test_paper_example () =
+  (* for (i = 0; i < 100; i++) a[i] = i;
+     The iterator must be bounded to <0,99> inside the loop, and its
+     scaled copy (i*4) to <0,396>. *)
+  let prog = compile {|
+    int a[100];
+    int main() {
+      for (int i = 0; i < 100; i++) a[i] = i;
+      return 0;
+    }
+  |} in
+  let res = Vrp.analyze prog in
+  let inc =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Add; src2 = Instr.Imm 1L; _ } -> true
+      | _ -> false)
+  in
+  (match Vrp.range_of res inc.Prog.iid with
+  | Some rng ->
+    Alcotest.(check string) "i++ yields <1,100>" "<1,100>"
+      (Interval.to_string rng)
+  | None -> Alcotest.fail "no range for the increment");
+  (* The address scale uses i << 2; the input i is <0,99>, so the shifted
+     value is <0,396>. *)
+  let scale =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Sll; src2 = Instr.Imm 2L; _ } -> true
+      | _ -> false)
+  in
+  match Vrp.range_of res scale.Prog.iid with
+  | Some rng ->
+    Alcotest.(check string) "i*4 yields <0,396>" "<0,396>"
+      (Interval.to_string rng)
+  | None -> Alcotest.fail "no range for the scale"
+
+let test_branch_refinement () =
+  (* Paper §2.2.4: inside `if (a <= 100)` the max is 100; in the else
+     branch the min is 101. *)
+  let prog = compile {|
+    int source = 500;
+    int main() {
+      long a = source;
+      if (a >= 0) {
+        if (a <= 100) emit(a + 1);
+        else emit(a + 2);
+      }
+      return 0;
+    }
+  |} in
+  let res = Vrp.analyze prog in
+  let add1 =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Add; src2 = Instr.Imm 1L; _ } -> true
+      | _ -> false)
+  and add2 =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Add; src2 = Instr.Imm 2L; _ } -> true
+      | _ -> false)
+  in
+  (match Vrp.input_ranges_of res add1.Prog.iid with
+  | Some (a, _) ->
+    Alcotest.(check string) "then-branch bound" "<0,100>" (Interval.to_string a)
+  | None -> Alcotest.fail "no inputs");
+  match Vrp.input_ranges_of res add2.Prog.iid with
+  | Some (a, _) ->
+    Alcotest.(check bool) "else-branch lower bound" true
+      (Int64.equal a.Interval.lo 101L)
+  | None -> Alcotest.fail "no inputs"
+
+let test_interprocedural () =
+  (* Constant arguments and return ranges flow across calls. *)
+  let prog = compile {|
+    int double_(int x) { return x + x; }
+    int main() {
+      emit(double_(20));
+      emit(double_(30));
+      return 0;
+    }
+  |} in
+  let res = Vrp.analyze prog in
+  match Vrp.return_range res "double_" with
+  | Some rng ->
+    Alcotest.(check bool) "return range covers 40..60, width 8" true
+      (Interval.contains rng 40L && Interval.contains rng 60L
+      && Width.equal (Interval.width rng) Width.W8)
+  | None -> Alcotest.fail "no summary"
+
+let test_recursive_conservative () =
+  let prog = compile {|
+    int f(int n) { if (n < 2) return n; return f(n - 1) + f(n - 2); }
+    int main() { emit(f(10)); return 0; }
+  |} in
+  let res = Vrp.analyze prog in
+  match Vrp.return_range res "f" with
+  | Some _ -> () (* any sound range is fine; just must not diverge *)
+  | None -> Alcotest.fail "no summary"
+
+let test_useful_mask () =
+  (* The intro example: only the low byte of the AND input chain is
+     needed, so the chain re-encodes at byte width. *)
+  let prog = compile {|
+    long source = 123456789;
+    int main() {
+      long x = source;
+      long y = x * 31 + 7;
+      emit(y & 0xFF);
+      return 0;
+    }
+  |} in
+  let res = Vrp.run prog in
+  let mul =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Mul; _ } -> true
+      | _ -> false)
+  in
+  (* The AND result range is [0,255], which needs 16 bits in two's
+     complement (§2.4: narrow values stay signed), so the chain narrows
+     to halfword. *)
+  Alcotest.(check string) "mul narrowed to the useful halfword" "16"
+    (width_str (Vrp.width_of res mul.Prog.iid));
+  (* The paper-literal mode must keep it wide. *)
+  let prog2 = compile {|
+    long source = 123456789;
+    int main() {
+      long x = source;
+      long y = x * 31 + 7;
+      emit(y & 0xFF);
+      return 0;
+    }
+  |} in
+  let res2 =
+    Vrp.run ~config:{ Vrp.default_config with useful_through_arith = false }
+      prog2
+  in
+  let mul2 =
+    find_ins prog2 (function
+      | Instr.Alu { op = Instr.Mul; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check string) "conservative mode keeps it wide" "64"
+    (width_str (Vrp.width_of res2 mul2.Prog.iid))
+
+let test_conventional_weaker () =
+  let src = {|
+    long source = 123456789;
+    int main() {
+      long x = source;
+      emit((x + 1) & 0xFF);
+      return 0;
+    }
+  |} in
+  let p1 = compile src and p2 = compile src in
+  let r1 = Vrp.run p1 in
+  let r2 = Vrp.run ~config:Vrp.conventional_config p2 in
+  let add p =
+    find_ins p (function
+      | Instr.Alu { op = Instr.Add; src2 = Instr.Imm 1L; _ } -> true
+      | _ -> false)
+  in
+  let w1 = Vrp.width_of r1 (add p1).Prog.iid in
+  let w2 = Vrp.width_of r2 (add p2).Prog.iid in
+  Alcotest.(check string) "useful narrows the add" "16" (width_str w1);
+  Alcotest.(check string) "conventional keeps it wide" "64" (width_str w2)
+
+let test_never_widens () =
+  (* Re-encoding may only narrow: every assigned width is at most the
+     original encoded width. *)
+  let src = {|
+    int main() {
+      int x = 2000000000;
+      int y = x + x;        // wraps at 32 bits
+      emit(y);
+      return 0;
+    }
+  |} in
+  let prog = compile src in
+  let originals = Hashtbl.create 64 in
+  Prog.iter_all_ins prog (fun _ _ ins ->
+      Hashtbl.replace originals ins.Prog.iid (Instr.width ins.Prog.op));
+  let before = Interp.run prog in
+  ignore (Vrp.run prog);
+  let after = Interp.run prog in
+  Alcotest.(check int64) "wrap semantics preserved" before.Interp.checksum
+    after.Interp.checksum;
+  Prog.iter_all_ins prog (fun _ _ ins ->
+      let orig = Hashtbl.find originals ins.Prog.iid in
+      Alcotest.(check bool) "width never widens" true
+        (Width.compare (Instr.width ins.Prog.op) orig <= 0))
+
+let test_assumptions () =
+  (* A VRS-style assumption narrows ranges from a block entry on.  The
+     add must live in a block of its own (after the defining load), the
+     way VRS guards split blocks at the specialized definition. *)
+  let prog = compile {|
+    long source = 77;
+    int main() {
+      long x = source;
+      if (x != 123456789) {
+        emit(x + 1);
+      }
+      return 0;
+    }
+  |} in
+  (* Find the label of the block holding the add. *)
+  let f = Prog.find_func prog "main" in
+  let add =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Add; src2 = Instr.Imm 1L; _ } -> true
+      | _ -> false)
+  in
+  let label = ref None in
+  Array.iter
+    (fun (b : Prog.block) ->
+      Array.iter
+        (fun (i : Prog.ins) -> if i.Prog.iid = add.Prog.iid then label := Some b.Prog.label)
+        b.Prog.body)
+    f.Prog.blocks;
+  (* x lives in a callee-saved home register; find which register the add
+     reads. *)
+  let reg =
+    match add.Prog.op with
+    | Instr.Alu { src1; _ } -> src1
+    | _ -> assert false
+  in
+  let assumption =
+    { Vrp.af = "main"; alabel = Option.get !label; areg = reg;
+      arange = Interval.v 0L 100L }
+  in
+  let res =
+    Vrp.analyze ~config:{ Vrp.default_config with assumptions = [ assumption ] }
+      prog
+  in
+  match Vrp.range_of res add.Prog.iid with
+  | Some rng ->
+    Alcotest.(check bool) "assumption narrowed the add" true
+      (Int64.compare rng.Interval.hi 101L <= 0)
+  | None -> Alcotest.fail "no range"
+
+(* --- the paper's syntactic trip-count analysis (§2.3) ------------------------- *)
+
+module Tripcount = Ogc_core.Tripcount
+
+let test_tripcount_for_loop () =
+  (* The paper's example: for (i=0; i<100; i++) — 100 iterations and an
+     iterator range of <0,99>. *)
+  let prog = compile {|
+    int a[100];
+    int main() {
+      for (int i = 0; i < 100; i++) a[i] = i;
+      return 0;
+    }
+  |} in
+  let f = Prog.find_func prog "main" in
+  match Tripcount.analyze f with
+  | [ lo ] ->
+    Alcotest.(check int) "trip count" 100 lo.Tripcount.trip_count;
+    Alcotest.(check string) "iterator range" "<0,99>"
+      (Interval.to_string lo.Tripcount.iterator_range);
+    Alcotest.(check int64) "init" 0L lo.Tripcount.init;
+    Alcotest.(check int64) "step" 1L lo.Tripcount.add
+  | l -> Alcotest.failf "expected one affine loop, found %d" (List.length l)
+
+let test_tripcount_downward_and_strided () =
+  let prog = compile {|
+    int main() {
+      long s = 0;
+      for (int i = 50; i > 8; i -= 3) s += i;
+      emit(s);
+      return 0;
+    }
+  |} in
+  let f = Prog.find_func prog "main" in
+  match Tripcount.analyze f with
+  | [ lo ] ->
+    (* 50, 47, ..., 11: 14 iterations; note the compare is i > 8, compiled
+       as 8 < i with operands swapped, so the analysis sees cmplt. *)
+    Alcotest.(check int) "trip count" 14 lo.Tripcount.trip_count
+  | l -> Alcotest.failf "expected one affine loop, found %d" (List.length l)
+
+let test_tripcount_rejects_data_dependent () =
+  (* §2.3: loops whose exit depends on data are not handled. *)
+  let prog = compile {|
+    int data[64];
+    int main() {
+      int i = 0;
+      while (data[i] == 0 && i < 63) i++;
+      emit(i);
+      return 0;
+    }
+  |} in
+  let f = Prog.find_func prog "main" in
+  (* The condition involves a load; at most the `i < 63` half could match,
+     but the loop has two exits and the header tests the load, so the
+     syntactic method must give nothing (or at least nothing wrong). *)
+  List.iter
+    (fun (lo : Tripcount.affine_loop) ->
+      Alcotest.(check bool) "any detected loop is sane" true
+        (lo.Tripcount.trip_count >= 0))
+    (Tripcount.analyze f)
+
+let test_tripcount_symbolic () =
+  (match Tripcount.trip_count ~init:0L ~mul:1L ~add:1L ~cmp:Ogc_isa.Instr.Clt
+           ~bound:100L () with
+  | Some (n, rng) ->
+    Alcotest.(check int) "count" 100 n;
+    Alcotest.(check string) "range" "<0,99>" (Interval.to_string rng)
+  | None -> Alcotest.fail "diverged");
+  (match Tripcount.trip_count ~init:1L ~mul:2L ~add:0L ~cmp:Ogc_isa.Instr.Clt
+           ~bound:1000L () with
+  | Some (n, _) -> Alcotest.(check int) "geometric" 10 n
+  | None -> Alcotest.fail "diverged");
+  (* Non-terminating recurrence: x = x (never reaches the bound). *)
+  match Tripcount.trip_count ~init:0L ~mul:1L ~add:0L ~cmp:Ogc_isa.Instr.Clt
+          ~bound:10L () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "should have hit the iteration cap"
+
+(* --- differential soundness on random programs -------------------------------- *)
+
+let interp_cfg = { Interp.default_config with max_steps = 2_000_000 }
+
+let prop_semantics_preserved =
+  QCheck.Test.make ~name:"VRP re-encoding preserves program output" ~count:200
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let before = Interp.run ~config:interp_cfg p in
+      ignore (Vrp.run p);
+      Ogc_ir.Validate.program p;
+      let after = Interp.run ~config:interp_cfg p in
+      if not (Int64.equal before.Interp.checksum after.Interp.checksum) then
+        QCheck.Test.fail_reportf "checksum changed: %Ld -> %Ld"
+          before.Interp.checksum after.Interp.checksum
+      else true)
+
+let prop_semantics_preserved_conservative =
+  QCheck.Test.make
+    ~name:"paper-literal VRP (no useful-through-arith) preserves output"
+    ~count:100 Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let before = Interp.run ~config:interp_cfg p in
+      ignore
+        (Vrp.run
+           ~config:{ Vrp.default_config with useful_through_arith = false }
+           p);
+      let after = Interp.run ~config:interp_cfg p in
+      Int64.equal before.Interp.checksum after.Interp.checksum)
+
+let prop_ranges_sound =
+  QCheck.Test.make ~name:"every runtime value lies in its static range"
+    ~count:120 Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let res = Vrp.analyze p in
+      let bad = ref None in
+      let on_event = function
+        | Interp.E_ins { iid; op; result; _ } -> (
+          (* Only single-destination value producers are recorded. *)
+          match op with
+          | Instr.Alu _ | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _
+          | Instr.Sext _ | Instr.Li _ | Instr.La _ | Instr.Load _ -> (
+            match Vrp.range_of res iid with
+            | Some rng when not (Interval.contains rng result) ->
+              if !bad = None then bad := Some (iid, op, result, rng)
+            | _ -> ())
+          | _ -> ())
+        | _ -> ()
+      in
+      ignore (Interp.run ~config:interp_cfg ~on_event p);
+      match !bad with
+      | None -> true
+      | Some (iid, op, v, rng) ->
+        QCheck.Test.fail_reportf "iid %d (%s): %Ld outside %s" iid
+          (Instr.to_string op) v (Interval.to_string rng))
+
+let prop_second_pass_monotone =
+  QCheck.Test.make ~name:"a second VRP pass never widens" ~count:60
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      ignore (Vrp.run p);
+      let first = Hashtbl.create 64 in
+      Prog.iter_all_ins p (fun _ _ ins ->
+          Hashtbl.replace first ins.Prog.iid (Instr.width ins.Prog.op));
+      ignore (Vrp.run p);
+      let ok = ref true in
+      Prog.iter_all_ins p (fun _ _ ins ->
+          let w1 = Hashtbl.find first ins.Prog.iid in
+          if Width.compare (Instr.width ins.Prog.op) w1 > 0 then ok := false);
+      !ok)
+
+let () =
+  Alcotest.run "vrp"
+    [
+      ( "precision",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "branch refinement" `Quick test_branch_refinement;
+          Alcotest.test_case "interprocedural" `Quick test_interprocedural;
+          Alcotest.test_case "recursion" `Quick test_recursive_conservative;
+          Alcotest.test_case "useful mask chain" `Quick test_useful_mask;
+          Alcotest.test_case "conventional weaker" `Quick test_conventional_weaker;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+        ] );
+      ( "tripcount",
+        [
+          Alcotest.test_case "paper for-loop" `Quick test_tripcount_for_loop;
+          Alcotest.test_case "downward strided" `Quick
+            test_tripcount_downward_and_strided;
+          Alcotest.test_case "data-dependent rejected" `Quick
+            test_tripcount_rejects_data_dependent;
+          Alcotest.test_case "symbolic recurrence" `Quick test_tripcount_symbolic;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "never widens + wrap" `Quick test_never_widens;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [
+              prop_semantics_preserved;
+              prop_semantics_preserved_conservative;
+              prop_ranges_sound;
+              prop_second_pass_monotone;
+            ] );
+    ]

@@ -1,0 +1,375 @@
+(* VRS tests: TNV profiling tables, constant propagation / DCE, and the
+   full specialization pipeline (guards, clones, semantics, reports). *)
+
+module Minic = Ogc_minic.Minic
+module Interp = Ogc_ir.Interp
+module Prog = Ogc_ir.Prog
+module Tnv = Ogc_core.Tnv
+module Vrp = Ogc_core.Vrp
+module Vrs = Ogc_core.Vrs
+module Constprop = Ogc_core.Constprop
+
+(* --- TNV tables (Calder-style value profiling) -------------------------------- *)
+
+let test_tnv_basic () =
+  let t = Tnv.create ~capacity:4 () in
+  Alcotest.(check int) "empty" 0 (Tnv.total t);
+  Alcotest.(check (list (pair int64 int))) "no entries" [] (Tnv.entries t);
+  for _ = 1 to 10 do Tnv.observe t 5L done;
+  for _ = 1 to 3 do Tnv.observe t 7L done;
+  Tnv.observe t 9L;
+  Alcotest.(check int) "total" 14 (Tnv.total t);
+  Alcotest.(check (pair int64 int)) "top value" (5L, 10)
+    (List.hd (Tnv.entries t))
+
+let test_tnv_capacity () =
+  let t = Tnv.create ~capacity:2 ~clean_interval:1000 () in
+  Tnv.observe t 1L;
+  Tnv.observe t 2L;
+  Tnv.observe t 3L;
+  (* full: 3 ignored *)
+  Alcotest.(check int) "table keeps capacity" 2 (List.length (Tnv.entries t));
+  Alcotest.(check int) "but counts all" 3 (Tnv.total t)
+
+let test_tnv_cleaning () =
+  (* After cleaning, new values can enter. *)
+  let t = Tnv.create ~capacity:2 ~clean_interval:4 () in
+  Tnv.observe t 1L;
+  Tnv.observe t 1L;
+  Tnv.observe t 2L;
+  Tnv.observe t 2L;
+  (* cleaning fires: keeps the top half (one entry) *)
+  Tnv.observe t 9L;
+  Alcotest.(check bool) "new value entered after cleaning" true
+    (List.mem_assoc 9L (Tnv.entries t))
+
+let test_tnv_ranges () =
+  let t = Tnv.create () in
+  for _ = 1 to 80 do Tnv.observe t 5L done;
+  for _ = 1 to 15 do Tnv.observe t 6L done;
+  for _ = 1 to 5 do Tnv.observe t 100L done;
+  let ranges = Tnv.candidate_ranges t in
+  Alcotest.(check bool) "first is the single top value" true
+    (match ranges with
+    | (5L, 5L, f) :: _ -> abs_float (f -. 0.8) < 1e-9
+    | _ -> false);
+  Alcotest.(check bool) "widest covers everything" true
+    (match List.rev ranges with
+    | (5L, 100L, f) :: _ -> abs_float (f -. 1.0) < 1e-9
+    | _ -> false);
+  Alcotest.(check int) "one prefix per distinct value" 3 (List.length ranges)
+
+(* --- constant propagation ------------------------------------------------------ *)
+
+let test_constprop_folds () =
+  let p = Minic.compile {|
+    int main() {
+      int a = 6;
+      int b = 7;
+      int c = a * b;       // foldable
+      int dead = a + 100;  // never used
+      emit(c);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let res = Vrp.analyze p in
+  let stats = Constprop.run res p in
+  Ogc_ir.Validate.program p;
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics kept" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check bool) "folded something" true (stats.Constprop.folded_to_const > 0);
+  Alcotest.(check bool) "removed dead code" true (stats.Constprop.removed > 0);
+  Alcotest.(check bool) "fewer dynamic instructions" true
+    (after.Interp.steps < before.Interp.steps)
+
+let test_constprop_branch_fold () =
+  let p = Minic.compile {|
+    int main() {
+      int a = 1;
+      if (a == 1) emit(10);
+      else emit(20);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let res = Vrp.analyze p in
+  let stats = Constprop.run res p in
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics kept" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check bool) "a branch folded" true (stats.Constprop.folded_branches > 0)
+
+let test_constprop_keeps_restores () =
+  (* Callee-saved restore loads look dead but must survive DCE. *)
+  let p = Minic.compile {|
+    long helper(long x) {
+      long a = x * 3;
+      return a + 1;
+    }
+    int main() {
+      long s = 0;
+      for (int i = 0; i < 5; i++) s += helper(i);
+      emit(s);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let res = Vrp.analyze p in
+  ignore (Constprop.run res p);
+  let after = Interp.run p in
+  Alcotest.(check int64) "callee-saved discipline intact"
+    before.Interp.checksum after.Interp.checksum
+
+(* --- VRS pipeline ---------------------------------------------------------------- *)
+
+(* A program with a heavily skewed load value and a hot dependent region:
+   the canonical specialization target. *)
+let skewed_src = {|
+    int data[2048];
+    int main() {
+      for (int i = 0; i < 2048; i++) {
+        data[i] = (i % 64 == 0) ? i : 5;
+      }
+      long acc = 0;
+      for (int r = 0; r < 12; r++) {
+        for (int i = 0; i < 2048; i++) {
+          int v = data[i];
+          acc += v * v + (v << 3) - (v & 15);
+        }
+      }
+      emit(acc);
+      return 0;
+    }
+  |}
+
+let test_vrs_specializes () =
+  let p = Minic.compile skewed_src in
+  let before = Interp.run p in
+  let rep = Vrs.run p in
+  Ogc_ir.Validate.program p;
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics preserved" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check bool) "at least one point specialized" true
+    (Vrs.specialized_count rep >= 1);
+  Alcotest.(check bool) "clones exist" true (rep.Vrs.static_cloned > 0);
+  Alcotest.(check bool) "guards exist" true
+    (Hashtbl.length rep.Vrs.guard_iids > 0
+     || Hashtbl.length rep.Vrs.guard_branch_iids > 0);
+  (* The specialized value is the planted 5. *)
+  Alcotest.(check bool) "specialized on the dominant value" true
+    (List.exists
+       (function
+         | _, Vrs.Specialized { lo; hi; freq; _ } ->
+           Int64.equal lo 5L && Int64.equal hi 5L && freq > 0.9
+         | _ -> false)
+       rep.Vrs.profiled)
+
+let test_vrs_expensive_guards_stop_specialization () =
+  let p = Minic.compile skewed_src in
+  let rep =
+    Vrs.run ~config:{ Vrs.default_config with test_cost_nj = 1000.0 } p
+  in
+  Alcotest.(check int) "nothing profitable at absurd cost" 0
+    (Vrs.specialized_count rep)
+
+let test_vrs_report_consistency () =
+  let p = Minic.compile skewed_src in
+  let rep = Vrs.run p in
+  (* Every clone block label refers to an existing block. *)
+  List.iter
+    (fun (fname, l) ->
+      let f = Prog.find_func p fname in
+      Alcotest.(check bool) "clone label valid" true
+        (Ogc_ir.Label.to_int l < Array.length f.Prog.blocks))
+    rep.Vrs.clone_blocks;
+  (* Assumptions point at clone entries. *)
+  List.iter
+    (fun (a : Vrp.assumption) ->
+      Alcotest.(check bool) "assumption targets a clone" true
+        (List.exists
+           (fun (fn, l) ->
+             String.equal fn a.Vrp.af && Ogc_ir.Label.equal l a.Vrp.alabel)
+           rep.Vrs.clone_blocks))
+    rep.Vrs.assumptions;
+  Alcotest.(check bool) "eliminated <= cloned" true
+    (rep.Vrs.static_eliminated <= rep.Vrs.static_cloned)
+
+let test_vrs_no_candidates_is_noop () =
+  (* A tiny program with nothing hot or wide: VRS must be a safe no-op. *)
+  let p = Minic.compile {|
+    int main() {
+      char c = (char)7;
+      emit(c + 1);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let rep = Vrs.run p in
+  let after = Interp.run p in
+  Alcotest.(check int64) "noop keeps semantics" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check int) "no specialization" 0 (Vrs.specialized_count rep)
+
+let test_vrs_zero_test_guard () =
+  (* A dominant zero value uses the single-instruction zero test
+     (paper §3.2: testing for zero needs one instruction). *)
+  let p = Minic.compile {|
+    long data[1024];
+    int main() {
+      for (int i = 0; i < 1024; i++) {
+        data[i] = (i % 128 == 0) ? 77777777 : 0;
+      }
+      long acc = 0;
+      for (int r = 0; r < 16; r++)
+        for (int i = 0; i < 1024; i++) {
+          long v = data[i];
+          acc += v * 3 + (v << 2);
+        }
+      emit(acc);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let rep = Vrs.run p in
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics" before.Interp.checksum after.Interp.checksum;
+  let specialized_on_zero =
+    List.exists
+      (function
+        | _, Vrs.Specialized { lo = 0L; hi = 0L; _ } -> true
+        | _ -> false)
+      rep.Vrs.profiled
+  in
+  if specialized_on_zero then
+    (* The zero guard adds no compare instructions, only a branch. *)
+    Alcotest.(check bool) "zero test uses bare branch" true
+      (Hashtbl.length rep.Vrs.guard_branch_iids > 0)
+
+(* --- cleanup passes ---------------------------------------------------------- *)
+
+module Cleanup = Ogc_core.Cleanup
+
+let test_cleanup_threads_jumps () =
+  (* The code generator produces jump-only step/join blocks; threading
+     must collapse chains without changing behaviour. *)
+  let p = Minic.compile {|
+    int main() {
+      long s = 0;
+      for (int i = 0; i < 50; i++) {
+        if (i & 1) { s += i; }
+      }
+      emit(s);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let st = Cleanup.run p in
+  Ogc_ir.Validate.program p;
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics kept" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check bool) "some jumps threaded" true (st.Cleanup.threaded > 0);
+  Alcotest.(check bool) "fewer dynamic instructions" true
+    (after.Interp.steps < before.Interp.steps)
+
+let test_cleanup_prunes_after_branch_fold () =
+  let p = Minic.compile {|
+    int main() {
+      int flag = 0;
+      if (flag) emit(111);
+      else emit(222);
+      return 0;
+    }
+  |} in
+  let before = Interp.run p in
+  let res = Vrp.analyze p in
+  ignore (Constprop.run res p);
+  (* branch folded; the 111 side is now unreachable *)
+  let st = Cleanup.run p in
+  Ogc_ir.Validate.program p;
+  let after = Interp.run p in
+  Alcotest.(check int64) "semantics" before.Interp.checksum after.Interp.checksum;
+  Alcotest.(check bool) "pruned the dead arm" true (st.Cleanup.pruned_blocks > 0)
+
+let test_cleanup_on_workloads () =
+  List.iter
+    (fun (w : Ogc_workloads.Workload.t) ->
+      let p = Ogc_workloads.Workload.compile w Ogc_workloads.Workload.Train in
+      let before = Interp.run p in
+      ignore (Cleanup.run p);
+      Ogc_ir.Validate.program p;
+      let after = Interp.run p in
+      Alcotest.(check int64)
+        (w.Ogc_workloads.Workload.name ^ ": cleanup semantics")
+        before.Interp.checksum after.Interp.checksum)
+    Ogc_workloads.Workload.all
+
+(* Regression: an aggressive cost setting on perl used to make DCE remove
+   the callee-saved restore loads of a VRS-split epilogue block. *)
+let test_vrs_aggressive_cost_on_perl () =
+  let w = Ogc_workloads.Workload.find "perl" in
+  let p = Ogc_workloads.Workload.compile w Ogc_workloads.Workload.Train in
+  let before = (Interp.run p).Interp.checksum in
+  let cfg = { Vrs.default_config with test_cost_nj = 0.9 } in
+  ignore (Vrs.run ~config:cfg p);
+  let after = (Interp.run p).Interp.checksum in
+  Alcotest.(check int64) "train output preserved" before after;
+  Ogc_workloads.Workload.set_scale p Ogc_workloads.Workload.Ref;
+  let ref_after = (Interp.run p).Interp.checksum in
+  let ref_expect =
+    (Interp.run
+       (Ogc_workloads.Workload.compile w Ogc_workloads.Workload.Ref))
+      .Interp.checksum
+  in
+  Alcotest.(check int64) "ref output preserved" ref_expect ref_after
+
+let test_vrs_constprop_ablation () =
+  let p = Minic.compile skewed_src in
+  let before = Interp.run p in
+  let rep = Vrs.run ~config:{ Vrs.default_config with constprop = false } p in
+  let after = Interp.run p in
+  Alcotest.(check int64) "no-constprop semantics" before.Interp.checksum
+    after.Interp.checksum;
+  Alcotest.(check int) "nothing eliminated without constprop" 0
+    rep.Vrs.static_eliminated
+
+let () =
+  Alcotest.run "vrs"
+    [
+      ( "tnv",
+        [
+          Alcotest.test_case "basics" `Quick test_tnv_basic;
+          Alcotest.test_case "capacity" `Quick test_tnv_capacity;
+          Alcotest.test_case "cleaning" `Quick test_tnv_cleaning;
+          Alcotest.test_case "candidate ranges" `Quick test_tnv_ranges;
+        ] );
+      ( "constprop",
+        [
+          Alcotest.test_case "folds and removes" `Quick test_constprop_folds;
+          Alcotest.test_case "branch folding" `Quick test_constprop_branch_fold;
+          Alcotest.test_case "keeps restores" `Quick test_constprop_keeps_restores;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "specializes skewed loads" `Quick test_vrs_specializes;
+          Alcotest.test_case "cost model can refuse" `Quick
+            test_vrs_expensive_guards_stop_specialization;
+          Alcotest.test_case "report consistency" `Quick test_vrs_report_consistency;
+          Alcotest.test_case "no-op safety" `Quick test_vrs_no_candidates_is_noop;
+          Alcotest.test_case "zero-test guard" `Quick test_vrs_zero_test_guard;
+          Alcotest.test_case "aggressive cost regression" `Slow
+            test_vrs_aggressive_cost_on_perl;
+          Alcotest.test_case "constprop ablation" `Quick
+            test_vrs_constprop_ablation;
+        ] );
+      ( "cleanup",
+        [
+          Alcotest.test_case "jump threading" `Quick test_cleanup_threads_jumps;
+          Alcotest.test_case "unreachable pruning" `Quick
+            test_cleanup_prunes_after_branch_fold;
+          Alcotest.test_case "workloads survive" `Slow test_cleanup_on_workloads;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Unit and property tests for Ogc_isa.Width. *)
+
+open Ogc_isa
+
+let check_w = Alcotest.testable (Fmt.of_to_string Width.to_string) Width.equal
+
+let test_bits () =
+  Alcotest.(check int) "W8" 8 (Width.bits Width.W8);
+  Alcotest.(check int) "W16" 16 (Width.bits Width.W16);
+  Alcotest.(check int) "W32" 32 (Width.bits Width.W32);
+  Alcotest.(check int) "W64" 64 (Width.bits Width.W64);
+  Alcotest.(check int) "bytes W32" 4 (Width.bytes Width.W32)
+
+let test_of_bytes () =
+  Alcotest.check check_w "1" Width.W8 (Width.of_bytes 1);
+  Alcotest.check check_w "2" Width.W16 (Width.of_bytes 2);
+  Alcotest.check check_w "3" Width.W32 (Width.of_bytes 3);
+  Alcotest.check check_w "4" Width.W32 (Width.of_bytes 4);
+  Alcotest.check check_w "5" Width.W64 (Width.of_bytes 5);
+  Alcotest.check check_w "8" Width.W64 (Width.of_bytes 8);
+  Alcotest.check_raises "0" (Invalid_argument "Width.of_bytes 0") (fun () ->
+      ignore (Width.of_bytes 0));
+  Alcotest.check_raises "9" (Invalid_argument "Width.of_bytes 9") (fun () ->
+      ignore (Width.of_bytes 9))
+
+let test_bounds () =
+  Alcotest.(check int64) "max W8" 127L (Width.max_value Width.W8);
+  Alcotest.(check int64) "min W8" (-128L) (Width.min_value Width.W8);
+  Alcotest.(check int64) "max W16" 32767L (Width.max_value Width.W16);
+  Alcotest.(check int64) "min W32" (-2147483648L) (Width.min_value Width.W32);
+  Alcotest.(check int64) "max W64" Int64.max_int (Width.max_value Width.W64)
+
+let test_needed () =
+  Alcotest.check check_w "0" Width.W8 (Width.needed 0L);
+  Alcotest.check check_w "127" Width.W8 (Width.needed 127L);
+  Alcotest.check check_w "128" Width.W16 (Width.needed 128L);
+  Alcotest.check check_w "-128" Width.W8 (Width.needed (-128L));
+  Alcotest.check check_w "-129" Width.W16 (Width.needed (-129L));
+  Alcotest.check check_w "255" Width.W16 (Width.needed 255L);
+  Alcotest.check check_w "65535" Width.W32 (Width.needed 65535L);
+  Alcotest.check check_w "2^31" Width.W64 (Width.needed 0x8000_0000L);
+  Alcotest.check check_w "min_int" Width.W64 (Width.needed Int64.min_int);
+  Alcotest.check check_w "range" Width.W16
+    (Width.needed_range (-129L) 5L)
+
+let test_truncate () =
+  Alcotest.(check int64) "trunc8 256" 0L (Width.truncate 256L Width.W8);
+  Alcotest.(check int64) "trunc8 255" (-1L) (Width.truncate 255L Width.W8);
+  Alcotest.(check int64) "trunc8 127" 127L (Width.truncate 127L Width.W8);
+  Alcotest.(check int64) "trunc16 -1" (-1L) (Width.truncate (-1L) Width.W16);
+  Alcotest.(check int64) "trunc64 id" Int64.min_int
+    (Width.truncate Int64.min_int Width.W64);
+  Alcotest.(check int64) "truncu8 255" 255L
+    (Width.truncate_unsigned 255L Width.W8);
+  Alcotest.(check int64) "truncu8 -1" 255L
+    (Width.truncate_unsigned (-1L) Width.W8);
+  Alcotest.(check int64) "truncu32 -1" 0xFFFF_FFFFL
+    (Width.truncate_unsigned (-1L) Width.W32)
+
+let test_order () =
+  Alcotest.check check_w "max" Width.W32 (Width.max Width.W8 Width.W32);
+  Alcotest.check check_w "min" Width.W8 (Width.min Width.W8 Width.W32);
+  Alcotest.(check bool) "compare" true (Width.compare Width.W8 Width.W64 < 0);
+  Alcotest.(check int) "all" 4 (List.length Width.all)
+
+let arbitrary_int64 =
+  QCheck.(
+    oneof
+      [ map Int64.of_int small_signed_int;
+        int64;
+        oneofl
+          [ 0L; 1L; -1L; 127L; 128L; -128L; -129L; 255L; 256L; 32767L;
+            32768L; -32768L; -32769L; 65535L; 0x7FFF_FFFFL; 0x8000_0000L;
+            Int64.neg 0x8000_0000L; Int64.max_int; Int64.min_int ] ])
+
+let prop_needed_fits =
+  QCheck.Test.make ~name:"needed width always fits" ~count:2000
+    arbitrary_int64 (fun v -> Width.fits v (Width.needed v))
+
+let prop_needed_minimal =
+  QCheck.Test.make ~name:"needed width is minimal" ~count:2000 arbitrary_int64
+    (fun v ->
+      match Width.needed v with
+      | Width.W8 -> true
+      | w ->
+        let narrower =
+          List.filter (fun x -> Width.compare x w < 0) Width.all
+        in
+        List.for_all (fun x -> not (Width.fits v x)) narrower)
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~name:"truncate is idempotent" ~count:2000
+    QCheck.(pair arbitrary_int64 (oneofl Width.all))
+    (fun (v, w) ->
+      let t = Width.truncate v w in
+      Int64.equal (Width.truncate t w) t)
+
+let prop_truncate_fits =
+  QCheck.Test.make ~name:"truncate lands in the signed range" ~count:2000
+    QCheck.(pair arbitrary_int64 (oneofl Width.all))
+    (fun (v, w) -> Width.fits (Width.truncate v w) w)
+
+let prop_truncate_fixpoint =
+  QCheck.Test.make ~name:"truncate is identity on fitting values" ~count:2000
+    QCheck.(pair arbitrary_int64 (oneofl Width.all))
+    (fun (v, w) ->
+      QCheck.assume (Width.fits v w);
+      Int64.equal (Width.truncate v w) v)
+
+let prop_truncate_unsigned_low_bits =
+  QCheck.Test.make ~name:"signed and unsigned truncation agree on low bits"
+    ~count:2000
+    QCheck.(pair arbitrary_int64 (oneofl Width.all))
+    (fun (v, w) ->
+      let mask =
+        if Width.equal w Width.W64 then -1L
+        else Int64.sub (Int64.shift_left 1L (Width.bits w)) 1L
+      in
+      Int64.equal
+        (Int64.logand (Width.truncate v w) mask)
+        (Int64.logand (Width.truncate_unsigned v w) mask))
+
+let () =
+  Alcotest.run "width"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bits" `Quick test_bits;
+          Alcotest.test_case "of_bytes" `Quick test_of_bytes;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "needed" `Quick test_needed;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "order" `Quick test_order;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_needed_fits;
+            prop_needed_minimal;
+            prop_truncate_idempotent;
+            prop_truncate_fits;
+            prop_truncate_fixpoint;
+            prop_truncate_unsigned_low_bits;
+          ] );
+    ]

