@@ -4,48 +4,171 @@
    (Tables 1-3, Figures 2-15) on the eight SpecInt95 surrogate workloads:
    all binary versions (baseline, conventional VRP, proposed VRP, VRS at
    the five specialization costs) are built and simulated on the Table 2
-   machine under every gating policy the experiment needs.
+   machine under every gating policy the experiment needs.  The grid is
+   sharded over a Domain pool (lib/exec) — see --jobs.
 
    Part 2 runs one Bechamel micro-benchmark per experiment, timing the
    analysis/simulation kernel that produces it (on small fixed inputs, so
    the numbers are stable).
 
-   Usage: dune exec bench/main.exe [-- --quick]
-   [--quick] uses train inputs and only the VRS-50 configuration. *)
+   Usage: dune exec bench/main.exe -- [OPTIONS]
+     --quick               train inputs and only the VRS-50 configuration
+     --jobs N              worker domains (0 = auto: OGC_JOBS or the
+                           machine's recommended domain count)
+     --json FILE           write the collection as machine-readable JSON
+     --baseline FILE       diff against a previous --json file and exit 3
+                           on regression (skips the micro-benchmarks)
+     --max-regression PCT  per-cell energy/IPC tolerance for --baseline
+                           (default 5.0)
+     --skip-micro          skip the ablations and micro-benchmarks *)
 
 module Results = Ogc_harness.Results
 module Experiments = Ogc_harness.Experiments
+module Json = Ogc_harness.Json
 module Minic = Ogc_minic.Minic
 module Interp = Ogc_ir.Interp
 module Vrp = Ogc_core.Vrp
 module Vrs = Ogc_core.Vrs
 module Policy = Ogc_gating.Policy
 
-let quick = Array.exists (String.equal "--quick") Sys.argv
+type options = {
+  quick : bool;
+  jobs : int option;
+  json_out : string option;
+  baseline : string option;
+  max_regression_pct : float;
+  skip_micro : bool;
+}
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--jobs N] [--json FILE] [--baseline FILE]\n\
+    \                [--max-regression PCT] [--skip-micro]";
+  exit 64
+
+let parse_options () =
+  let o =
+    ref
+      {
+        quick = false;
+        jobs = None;
+        json_out = None;
+        baseline = None;
+        max_regression_pct = 5.0;
+        skip_micro = false;
+      }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      o := { !o with quick = true };
+      go rest
+    | "--skip-micro" :: rest ->
+      o := { !o with skip_micro = true };
+      go rest
+    | "--jobs" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 ->
+        o := { !o with jobs = (if n = 0 then None else Some n) };
+        go rest
+      | _ -> usage ())
+    | "--json" :: v :: rest ->
+      o := { !o with json_out = Some v };
+      go rest
+    | "--baseline" :: v :: rest ->
+      o := { !o with baseline = Some v };
+      go rest
+    | "--max-regression" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some p when p >= 0.0 ->
+        o := { !o with max_regression_pct = p };
+        go rest
+      | _ -> usage ())
+    | arg :: _ ->
+      Printf.eprintf "unknown option %s\n" arg;
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  !o
+
+let opts = parse_options ()
+let quick = opts.quick
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
 
 (* --- part 1: the paper's evaluation ------------------------------------------ *)
 
 let () =
   Format.printf
     "Software-Controlled Operand-Gating (CGO 2004) — experiment reproduction@.";
-  Format.printf "mode: %s@.@."
+  let jobs = Ogc_exec.Pool.resolve_jobs opts.jobs in
+  Format.printf "mode: %s, %d job%s@.@."
     (if quick then "quick (train inputs, VRS-50 only)"
-     else "full (reference inputs, VRS 110/90/70/50/30)");
-  let t0 = Sys.time () in
-  let res =
-    Results.collect ~quick ~progress:(fun s -> Format.eprintf "[%s] %!" s) ()
+     else "full (reference inputs, VRS 110/90/70/50/30)")
+    jobs
+    (if jobs = 1 then "" else "s");
+  (* Load the baseline before the (expensive) collection so a bad path or
+     corrupt file fails in milliseconds, not after the whole run. *)
+  let baseline =
+    match opts.baseline with
+    | None -> None
+    | Some path ->
+      (try Some (path, Results.of_json (Json.of_string (read_file path))) with
+      | Sys_error msg ->
+        Format.eprintf "cannot read baseline: %s@." msg;
+        exit 66
+      | Json.Parse_error msg ->
+        Format.eprintf "bad baseline %s: %s@." path msg;
+        exit 65)
   in
+  let t0 = Unix.gettimeofday () in
+  let cpu0 = Sys.time () in
+  let res =
+    Results.collect ~quick ~jobs
+      ~progress:(fun s -> Format.eprintf "[%s] %!" s)
+      ()
+  in
+  let wall = Unix.gettimeofday () -. t0 in
   Format.eprintf "@.";
   Format.printf "%s" (Experiments.render_all res);
   Format.printf "%s"
     (Ogc_harness.Render.heading "Headline comparison with the paper");
   Format.printf "%s@."
     (Experiments.render_headline (Experiments.headline res));
-  Format.printf "(collection took %.0f s of CPU time)@.@." (Sys.time () -. t0)
+  Format.printf "(collection took %.1f s wall, %.0f s CPU, %d jobs)@.@." wall
+    (Sys.time () -. cpu0) jobs;
+  (match opts.json_out with
+  | None -> ()
+  | Some path ->
+    write_file path (Json.to_string (Results.to_json res));
+    Format.printf "wrote %s@.@." path);
+  match baseline with
+  | None -> ()
+  | Some (path, baseline) ->
+    let regs =
+      Results.compare_to_baseline ~baseline ~current:res
+        ~threshold:(opts.max_regression_pct /. 100.0)
+    in
+    Format.printf "%s"
+      (Ogc_harness.Render.heading
+         (Printf.sprintf "Regression check vs %s (tolerance %.1f%%)" path
+            opts.max_regression_pct));
+    Format.printf "%s@." (Results.render_regressions regs);
+    if regs <> [] then exit 3 else exit 0
 
 (* --- part 1b: ablations of the design choices DESIGN.md calls out ------------- *)
 
-let () =
+let () = if opts.skip_micro then () else begin
   Format.printf "%s"
     (Ogc_harness.Render.heading "Ablations (train inputs, two workloads)");
   let module W = Ogc_workloads.Workload in
@@ -276,6 +399,7 @@ let () =
     "(Word-level ranges dominate for width assignment — the paper's S5\n\
      rationale for ranges over per-bit tracking; per-bit wins are\n\
      alignment facts that rarely reduce width.)@."
+end
 
 (* --- part 2: Bechamel micro-benchmarks per experiment ------------------------- *)
 
@@ -386,7 +510,7 @@ let bench_tests =
           values);
   ]
 
-let () =
+let () = if opts.skip_micro then () else begin
   let open Bechamel in
   Format.printf "%s"
     (Ogc_harness.Render.heading "Bechamel micro-benchmarks (one per experiment)");
@@ -414,3 +538,4 @@ let () =
           | _ -> Format.printf "  %-28s (no estimate)@." name)
         analyzed)
     bench_tests
+end

@@ -378,11 +378,53 @@ let report_cmd =
          & info [ "experiment" ] ~docv:"ID"
              ~doc:"Render only this table/figure (e.g. fig8); repeatable.")
   in
-  let run quick only experiment =
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the collection grid; 0 means auto \
+                   ($(b,OGC_JOBS) or the machine's recommended domain \
+                   count).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Also write the collected results as machine-readable \
+                   JSON (the bench/CI interchange format).")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None
+         & info [ "baseline" ] ~docv:"FILE"
+             ~doc:"Compare against a previous $(b,--json) file and exit 3 \
+                   when any per-workload energy/IPC cell regressed beyond \
+                   the tolerance.")
+  in
+  let max_regression =
+    Arg.(value & opt float 5.0
+         & info [ "max-regression" ] ~docv:"PCT"
+             ~doc:"Regression tolerance for $(b,--baseline), in percent.")
+  in
+  let run quick only experiment jobs json_out baseline max_regression =
     wrap (fun () ->
         let only = if only = [] then None else Some only in
+        (* Read the baseline up front so a bad path/file fails before the
+           expensive collection, not after it. *)
+        let baseline =
+          match baseline with
+          | None -> None
+          | Some path ->
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let src = really_input_string ic n in
+            close_in ic;
+            (try
+               Some
+                 (path,
+                  Ogc_harness.Results.of_json (Ogc_harness.Json.of_string src))
+             with Ogc_harness.Json.Parse_error msg ->
+               Fmt.failwith "bad baseline %s: %s" path msg)
+        in
         let res =
-          Ogc_harness.Results.collect ~quick ?only
+          Ogc_harness.Results.collect ~quick ?only ~jobs
             ~progress:(fun s -> Fmt.epr "[%s] %!" s)
             ()
         in
@@ -400,12 +442,34 @@ let report_cmd =
         if experiment = [] then
           print_string
             (Ogc_harness.Experiments.render_headline
-               (Ogc_harness.Experiments.headline res)))
+               (Ogc_harness.Experiments.headline res));
+        (match json_out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out_bin path in
+          output_string oc
+            (Ogc_harness.Json.to_string (Ogc_harness.Results.to_json res));
+          close_out oc;
+          Fmt.epr "wrote %s@." path);
+        match baseline with
+        | None -> ()
+        | Some (path, base) ->
+          let regs =
+            Ogc_harness.Results.compare_to_baseline ~baseline:base
+              ~current:res ~threshold:(max_regression /. 100.0)
+          in
+          print_string
+            (Ogc_harness.Render.heading
+               (Printf.sprintf "Regression check vs %s (tolerance %.1f%%)"
+                  path max_regression));
+          print_string (Ogc_harness.Results.render_regressions regs);
+          if regs <> [] then exit 3)
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Regenerate the paper's tables and figures on the workload suite")
-    Term.(const run $ quick $ only $ experiment)
+    Term.(const run $ quick $ only $ experiment $ jobs $ json_out $ baseline
+          $ max_regression)
 
 (* --- workloads ----------------------------------------------------------------- *)
 

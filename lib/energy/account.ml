@@ -51,6 +51,11 @@ let charge_fixed t s n =
   let i = structure_index s in
   t.acc.(i) <- t.acc.(i) +. (float_of_int n *. t.table.((i * 8) + 7))
 
+let of_values ?(params = Energy_params.default) values =
+  let t = create params in
+  List.iter (fun (s, e) -> t.acc.(structure_index s) <- e) values;
+  t
+
 let energy_of t s = t.acc.(structure_index s)
 
 let total t = Array.fold_left ( +. ) 0.0 t.acc

@@ -12,6 +12,12 @@ val charge : t -> Energy_params.structure -> active_bytes:int -> tag_bits:int ->
     width, no tags). *)
 val charge_fixed : t -> Energy_params.structure -> int -> unit
 
+val of_values :
+  ?params:Energy_params.t -> (Energy_params.structure * float) list -> t
+(** An account holding the given per-structure totals, as if they had
+    been accumulated through {!charge}.  Used to rebuild accounts from
+    serialized results; [params] defaults to {!Energy_params.default}. *)
+
 val energy_of : t -> Energy_params.structure -> float
 (** Accumulated nJ in one structure. *)
 

@@ -1,0 +1,80 @@
+type stats = {
+  jobs : int;
+  wall_s : float;
+  task_s : float array;
+}
+
+let clamp_jobs n = if n < 1 then 1 else if n > 64 then 64 else n
+
+let jobs_from_env () =
+  match Sys.getenv_opt "OGC_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some n
+    | _ -> None)
+
+let default_jobs () =
+  match jobs_from_env () with
+  | Some n -> clamp_jobs n
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let resolve_jobs = function
+  | Some n when n >= 1 -> clamp_jobs n
+  | _ -> default_jobs ()
+
+(* One cell per task: set exactly once, by exactly one worker (tasks are
+   claimed through the atomic counter), then read only after every
+   worker has been joined — so plain mutable slots are race-free. *)
+type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let run_tasks ~jobs (tasks : (unit -> 'b) array) =
+  let n = Array.length tasks in
+  let results = Array.make n Pending in
+  let task_s = Array.make n 0.0 in
+  let next = Atomic.make 0 in
+  let worker () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add next 1 in
+      if i >= n then continue := false
+      else begin
+        let t0 = Unix.gettimeofday () in
+        (results.(i) <-
+           (match tasks.(i) () with
+           | v -> Done v
+           | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+        task_s.(i) <- Unix.gettimeofday () -. t0
+      end
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let jobs = clamp_jobs (min jobs (max 1 n)) in
+  if jobs = 1 then worker ()
+  else begin
+    (* The caller is one of the [jobs] workers. *)
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains
+  end;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* Lowest-index failure wins, for a deterministic error report. *)
+  Array.iter
+    (function
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | Pending | Done _ -> ())
+    results;
+  let values =
+    Array.map
+      (function Done v -> v | Pending | Failed _ -> assert false)
+      results
+  in
+  (values, { jobs; wall_s; task_s })
+
+let map_timed ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
+  let values, stats = run_tasks ~jobs tasks in
+  (Array.to_list values, stats)
+
+let map ?jobs f xs = fst (map_timed ?jobs f xs)

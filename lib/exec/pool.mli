@@ -1,0 +1,46 @@
+(** Fixed-size [Domain] worker pool for embarrassingly parallel task
+    lists.
+
+    The experiment harness shards its workload × binary-version × policy
+    grid over this pool.  Semantics are strictly deterministic: results
+    come back in submission order regardless of completion order, and a
+    task's exception is re-raised in the caller (the lowest-index failure
+    wins when several tasks fail), so parallel runs are observationally
+    identical to sequential ones.
+
+    Parallelism degree, in decreasing priority:
+
+    - the [?jobs] argument when given;
+    - the [OGC_JOBS] environment variable;
+    - [Domain.recommended_domain_count ()].
+
+    When the resolved degree is 1 (single-core machine, [OGC_JOBS=1]) no
+    domain is ever spawned and the pool degrades to a plain sequential
+    map. *)
+
+(** Instrumentation of one [map_timed] run. *)
+type stats = {
+  jobs : int;  (** worker count actually used *)
+  wall_s : float;  (** wall-clock of the whole map *)
+  task_s : float array;  (** per-task wall-clock, in submission order *)
+}
+
+val jobs_from_env : unit -> int option
+(** [OGC_JOBS] as a positive integer, or [None] when unset/unparsable. *)
+
+val default_jobs : unit -> int
+(** [OGC_JOBS], else [Domain.recommended_domain_count ()], clamped to
+    [1, 64]. *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs (Some n)] clamps [n]; [resolve_jobs None] is
+    [default_jobs ()].  [Some 0] (the CLI's "auto") behaves like
+    [None]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  Workers pull tasks from a shared
+    queue; the calling domain participates as a worker, so [jobs] is the
+    total number of domains running tasks. *)
+
+val map_timed : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list * stats
+(** [map] plus per-task and whole-run timing. *)

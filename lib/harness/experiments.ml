@@ -1,6 +1,5 @@
 open Ogc_isa
 module Ep = Ogc_energy.Energy_params
-module Vrs = Ogc_core.Vrs
 module Savings_table = Ogc_core.Savings_table
 
 type experiment = {
@@ -156,14 +155,9 @@ let fig3 (t : Results.t) =
 
 (* --- Figure 4 --------------------------------------------------------------- *)
 
-let outcome_counts (rep : Vrs.report) =
-  List.fold_left
-    (fun (s, d, n) (_, o) ->
-      match o with
-      | Vrs.Specialized _ -> (s + 1, d, n)
-      | Vrs.Dependent_on_other -> (s, d + 1, n)
-      | Vrs.No_benefit -> (s, d, n + 1))
-    (0, 0, 0) rep.profiled
+let outcome_counts (rep : Results.vrs_summary) =
+  (rep.Results.points_specialized, rep.Results.points_dependent,
+   rep.Results.points_no_benefit)
 
 let report50 (w : Results.wres) =
   match List.assoc_opt 50 w.vrs_reports with
@@ -203,8 +197,8 @@ let fig5 (t : Results.t) =
     List.map
       (fun (w : Results.wres) ->
         let rep = report50 w in
-        let cloned = max rep.static_cloned 0 in
-        let elim = rep.static_eliminated in
+        let cloned = max rep.Results.static_cloned 0 in
+        let elim = rep.Results.static_eliminated in
         let denom = float_of_int (max 1 cloned) in
         [ w.wname; string_of_int cloned;
           Render.pct (float_of_int (cloned - elim) /. denom);

@@ -7,12 +7,40 @@ module Vrs = Ogc_core.Vrs
 module Prog = Ogc_ir.Prog
 module Interp = Ogc_ir.Interp
 module Account = Ogc_energy.Account
+module Ep = Ogc_energy.Energy_params
+module Pool = Ogc_exec.Pool
 
 let vrs_costs = [ 110; 90; 70; 50; 30 ]
 
 (* One guard instruction costs roughly the pipeline energy of an extra
    instruction; the paper's nJ labels scale it. *)
 let test_cost_of_label l = float_of_int l *. 0.03
+
+type vrs_summary = {
+  points_specialized : int;
+  points_dependent : int;
+  points_no_benefit : int;
+  static_cloned : int;
+  static_eliminated : int;
+}
+
+let summarize_report (rep : Vrs.report) =
+  let s, d, n =
+    List.fold_left
+      (fun (s, d, n) (_, o) ->
+        match o with
+        | Vrs.Specialized _ -> (s + 1, d, n)
+        | Vrs.Dependent_on_other -> (s, d + 1, n)
+        | Vrs.No_benefit -> (s, d, n + 1))
+      (0, 0, 0) rep.Vrs.profiled
+  in
+  {
+    points_specialized = s;
+    points_dependent = d;
+    points_no_benefit = n;
+    static_cloned = rep.Vrs.static_cloned;
+    static_eliminated = rep.Vrs.static_eliminated;
+  }
 
 type wres = {
   wname : string;
@@ -27,7 +55,7 @@ type wres = {
   vrs : (int * Pipeline.stats) list;
   vrs50_sig : Pipeline.stats;
   vrs50_size : Pipeline.stats;
-  vrs_reports : (int * Vrs.report) list;
+  vrs_reports : (int * vrs_summary) list;
   vrs50_spec_frac : float;
   vrs50_guard_frac : float;
 }
@@ -73,14 +101,60 @@ let runtime_specialization (p : Prog.t) (rep : Vrs.report) eval_input =
   let total = float_of_int (max 1 out.steps) in
   (float_of_int !clone_instrs /. total, float_of_int !guard_instrs /. total)
 
-let collect ?(quick = false) ?only ?(progress = fun _ -> ()) () =
+(* --- parallel collection --------------------------------------------------- *)
+
+(* Per-workload output of the compile-and-baseline phase.  [pristine] is
+   the one compilation of the workload, shared read-only by the
+   binary-version tasks of the second phase (each starts from its own
+   {!Prog.copy}). *)
+type base_info = {
+  bw : Workload.t;
+  pristine : Prog.t;
+  ref_checksum : int64;
+  b_none : Pipeline.stats;
+  b_hwsig : Pipeline.stats;
+  b_hwsize : Pipeline.stats;
+  b_static : int;
+}
+
+type version = V_vrp | V_vrp_conv | V_vrs of int
+
+type vrs_cell = {
+  label : int;
+  stats : Pipeline.stats;
+  summary : vrs_summary;
+  anchor : (Pipeline.stats * Pipeline.stats * float * float) option;
+      (** +significance, +size, spec fraction, guard fraction — only for
+          the anchor (VRS-50) task *)
+}
+
+type version_result =
+  | R_vrp of Pipeline.stats * Pipeline.stats * Pipeline.stats
+      (** software, +significance, +size *)
+  | R_vrp_conv of Pipeline.stats
+  | R_vrs of vrs_cell
+
+let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
+  let jobs = Pool.resolve_jobs jobs in
   let eval_input = if quick then Workload.Train else Workload.Ref in
   let costs = if quick then [ 50 ] else vrs_costs in
+  let anchor_label = if List.mem 50 costs then 50 else List.hd costs in
   let sim = Pipeline.simulate in
+  (* The caller's progress callback is not required to be thread-safe;
+     serialize it. *)
+  let progress_mutex = Mutex.create () in
+  let progress s =
+    Mutex.lock progress_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock progress_mutex) (fun () ->
+        progress s)
+  in
   (* Every binary version gets the generic binary-optimizer cleanups,
-     baseline included — the paper's baseline is Alto-processed too. *)
-  let fresh w inp =
-    let p = Workload.compile w inp in
+     baseline included — the paper's baseline is Alto-processed too.
+     Compilation from MiniC happens once per workload; versions start
+     from a private copy of that pristine program. *)
+  let fresh_from pristine inp =
+    let p = Prog.copy pristine in
+    Workload.set_scale p inp;
     ignore (Ogc_core.Cleanup.run p);
     p
   in
@@ -94,86 +168,470 @@ let collect ?(quick = false) ?only ?(progress = fun _ -> ()) () =
     | Some names ->
       List.filter (fun (w : Workload.t) -> List.mem w.name names) Workload.all
   in
-  let workloads =
-    List.map
+  (* Phase 1: one task per workload — compile, reference run, baseline
+     binary under the three hardware-side policies. *)
+  let base_infos =
+    Pool.map ~jobs
       (fun (w : Workload.t) ->
         progress w.name;
-        (* Baseline binary. *)
-        let base = fresh w eval_input in
+        let pristine = Workload.compile w eval_input in
+        let base = fresh_from pristine eval_input in
         let reference = Interp.run base in
-        let base_none = sim ~policy:Policy.No_gating base in
-        let base_hwsig = sim ~policy:Policy.Hw_significance base in
-        let base_hwsize = sim ~policy:Policy.Hw_size base in
-        (* VRP binary (useful ranges). *)
-        let pvrp = fresh w eval_input in
-        ignore (Vrp.run pvrp);
-        tidy pvrp;
-        let vrp_sw = sim ~policy:Policy.Software pvrp in
-        check_checksum w.name reference.checksum vrp_sw "VRP";
-        let vrp_sig = sim ~policy:Policy.Sw_plus_significance pvrp in
-        let vrp_size = sim ~policy:Policy.Sw_plus_size pvrp in
-        (* Conventional VRP (no useful-range backward propagation). *)
-        let pconv = fresh w eval_input in
-        ignore (Vrp.run ~config:Vrp.conventional_config pconv);
-        tidy pconv;
-        let vrpconv_sw = sim ~policy:Policy.Software pconv in
-        check_checksum w.name reference.checksum vrpconv_sw "conventional VRP";
-        (* VRS at each specialization cost. *)
+        {
+          bw = w;
+          pristine;
+          ref_checksum = reference.Interp.checksum;
+          b_none = sim ~policy:Policy.No_gating base;
+          b_hwsig = sim ~policy:Policy.Hw_significance base;
+          b_hwsize = sim ~policy:Policy.Hw_size base;
+          b_static = Prog.num_static_ins base;
+        })
+      selected
+  in
+  (* Phase 2: one task per (workload, binary version) cell. *)
+  let versions = V_vrp :: V_vrp_conv :: List.map (fun l -> V_vrs l) costs in
+  let cells =
+    List.concat_map (fun bi -> List.map (fun v -> (bi, v)) versions) base_infos
+  in
+  let run_cell (bi, v) =
+    let wname = bi.bw.Workload.name in
+    match v with
+    | V_vrp ->
+      let p = fresh_from bi.pristine eval_input in
+      ignore (Vrp.run p);
+      tidy p;
+      let vrp_sw = sim ~policy:Policy.Software p in
+      check_checksum wname bi.ref_checksum vrp_sw "VRP";
+      let vrp_sig = sim ~policy:Policy.Sw_plus_significance p in
+      let vrp_size = sim ~policy:Policy.Sw_plus_size p in
+      R_vrp (vrp_sw, vrp_sig, vrp_size)
+    | V_vrp_conv ->
+      let p = fresh_from bi.pristine eval_input in
+      ignore (Vrp.run ~config:Vrp.conventional_config p);
+      tidy p;
+      let s = sim ~policy:Policy.Software p in
+      check_checksum wname bi.ref_checksum s "conventional VRP";
+      R_vrp_conv s
+    | V_vrs label ->
+      progress (Printf.sprintf "%s/vrs%d" wname label);
+      let p = fresh_from bi.pristine Workload.Train in
+      let cfg =
+        { Vrs.default_config with test_cost_nj = test_cost_of_label label }
+      in
+      let rep = Vrs.run ~config:cfg p in
+      tidy p;
+      Workload.set_scale p eval_input;
+      let stats = sim ~policy:Policy.Software p in
+      check_checksum wname bi.ref_checksum stats
+        (Printf.sprintf "VRS %d" label);
+      let anchor =
+        if label = anchor_label then begin
+          let vrs_sig = sim ~policy:Policy.Sw_plus_significance p in
+          let vrs_size = sim ~policy:Policy.Sw_plus_size p in
+          let spec_frac, guard_frac = runtime_specialization p rep eval_input in
+          Some (vrs_sig, vrs_size, spec_frac, guard_frac)
+        end
+        else None
+      in
+      R_vrs { label; stats; summary = summarize_report rep; anchor }
+  in
+  let cell_results = Pool.map ~jobs run_cell cells in
+  (* Reassemble in workload order: cells were emitted per workload, in
+     [versions] order, and the pool preserves submission order. *)
+  let nversions = List.length versions in
+  let workloads =
+    List.mapi
+      (fun i bi ->
+        let mine =
+          List.filteri
+            (fun j _ -> j >= i * nversions && j < (i + 1) * nversions)
+            cell_results
+        in
+        let vrp_sw, vrp_sig, vrp_size =
+          match List.nth mine 0 with
+          | R_vrp (a, b, c) -> (a, b, c)
+          | _ -> assert false
+        in
+        let vrpconv_sw =
+          match List.nth mine 1 with R_vrp_conv s -> s | _ -> assert false
+        in
         let vrs_runs =
-          List.map
-            (fun label ->
-              progress (Printf.sprintf "%s/vrs%d" w.name label);
-              let p = fresh w Workload.Train in
-              let cfg =
-                { Vrs.default_config with
-                  test_cost_nj = test_cost_of_label label }
-              in
-              let rep = Vrs.run ~config:cfg p in
-              tidy p;
-              Workload.set_scale p eval_input;
-              let stats = sim ~policy:Policy.Software p in
-              check_checksum w.name reference.checksum stats
-                (Printf.sprintf "VRS %d" label);
-              (label, p, rep, stats))
-            costs
+          List.filter_map
+            (function
+              | R_vrs r -> Some r
+              | R_vrp _ | R_vrp_conv _ -> None)
+            mine
         in
-        let find_vrs label =
-          match List.find_opt (fun (l, _, _, _) -> l = label) vrs_runs with
-          | Some r -> r
-          | None -> List.hd vrs_runs
-        in
-        let _, p50, rep50, _ = find_vrs 50 in
-        let vrs50_sig = sim ~policy:Policy.Sw_plus_significance p50 in
-        let vrs50_size = sim ~policy:Policy.Sw_plus_size p50 in
-        let spec_frac, guard_frac =
-          runtime_specialization p50 rep50 eval_input
-        in
-        let vrs_stats =
-          List.map (fun l -> (l, (fun (_, _, _, s) -> s) (find_vrs l))) costs
-        in
-        let vrs_reports =
-          List.map (fun l -> (l, (fun (_, _, r, _) -> r) (find_vrs l))) costs
+        let vrs50_sig, vrs50_size, spec_frac, guard_frac =
+          match
+            List.find_map (fun (r : _) ->
+                match r with
+                | { anchor = Some (a, b, c, d); _ } -> Some (a, b, c, d)
+                | _ -> None)
+              vrs_runs
+          with
+          | Some x -> x
+          | None -> assert false
         in
         {
-          wname = w.name;
-          static_instructions = Prog.num_static_ins base;
-          base_none;
-          base_hwsig;
-          base_hwsize;
+          wname = bi.bw.Workload.name;
+          static_instructions = bi.b_static;
+          base_none = bi.b_none;
+          base_hwsig = bi.b_hwsig;
+          base_hwsize = bi.b_hwsize;
           vrp_sw;
           vrpconv_sw;
           vrp_sig;
           vrp_size;
-          vrs = vrs_stats;
+          vrs = List.map (fun r -> (r.label, r.stats)) vrs_runs;
           vrs50_sig;
           vrs50_size;
-          vrs_reports;
+          vrs_reports = List.map (fun r -> (r.label, r.summary)) vrs_runs;
           vrs50_spec_frac = spec_frac;
           vrs50_guard_frac = guard_frac;
         })
-      selected
+      base_infos
   in
   { workloads; quick }
+
+(* --- serialization ---------------------------------------------------------- *)
+
+let all_iclasses =
+  [ Instr.C_add; Instr.C_sub; Instr.C_mul; Instr.C_and; Instr.C_or;
+    Instr.C_xor; Instr.C_shift; Instr.C_cmp; Instr.C_cmov; Instr.C_msk;
+    Instr.C_load; Instr.C_store; Instr.C_move; Instr.C_call; Instr.C_other ]
+
+let iclass_of_name n =
+  match
+    List.find_opt (fun c -> String.equal (Instr.iclass_name c) n) all_iclasses
+  with
+  | Some c -> c
+  | None -> raise (Json.Parse_error (Printf.sprintf "unknown iclass %S" n))
+
+let width_of_bits = function
+  | 8 -> Width.W8
+  | 16 -> Width.W16
+  | 32 -> Width.W32
+  | 64 -> Width.W64
+  | b -> raise (Json.Parse_error (Printf.sprintf "unknown width %d" b))
+
+let structure_of_name n =
+  match
+    List.find_opt (fun s -> String.equal (Ep.structure_name s) n)
+      Ep.all_structures
+  with
+  | Some s -> s
+  | None -> raise (Json.Parse_error (Printf.sprintf "unknown structure %S" n))
+
+let iclass_rank c =
+  let rec go i = function
+    | [] -> assert false
+    | c' :: tl -> if c = c' then i else go (i + 1) tl
+  in
+  go 0 all_iclasses
+
+let stats_to_json (s : Pipeline.stats) =
+  let class_width =
+    Hashtbl.fold (fun (ic, w) n acc -> ((ic, w), n) :: acc) s.class_width []
+    |> List.sort (fun ((c1, w1), _) ((c2, w2), _) ->
+           match Int.compare (iclass_rank c1) (iclass_rank c2) with
+           | 0 -> Int.compare (Width.bits w1) (Width.bits w2)
+           | c -> c)
+    |> List.map (fun ((ic, w), n) ->
+           Json.Obj
+             [ ("class", Json.Str (Instr.iclass_name ic));
+               ("width", Json.Int (Width.bits w));
+               ("n", Json.Int n) ])
+  in
+  let opcode_counts =
+    Hashtbl.fold (fun op n acc -> (op, n) :: acc) s.opcode_counts []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map (fun (op, n) -> Json.Arr [ Json.Int op; Json.Int n ])
+  in
+  let energy =
+    List.map
+      (fun (st, e) -> (Ep.structure_name st, Json.Float e))
+      (Account.by_structure s.energy)
+  in
+  Json.Obj
+    [
+      ("cycles", Json.Int s.cycles);
+      ("instructions", Json.Int s.instructions);
+      ("branches", Json.Int s.branches);
+      ("mispredictions", Json.Int s.mispredictions);
+      ("icache_misses", Json.Int s.icache_misses);
+      ("dcache_accesses", Json.Int s.dcache_accesses);
+      ("dcache_misses", Json.Int s.dcache_misses);
+      ("l2_misses", Json.Int s.l2_misses);
+      (* Derived, for external consumers (plots, CI dashboards); of_json
+         ignores both. *)
+      ("ipc", Json.Float (Pipeline.ipc s));
+      ("energy_nj", Json.Float (Account.total s.energy));
+      ("energy", Json.Obj energy);
+      ("class_width", Json.Arr class_width);
+      ("opcode_counts", Json.Arr opcode_counts);
+      ( "sigbyte_histogram",
+        Json.Arr
+          (Array.to_list (Array.map (fun n -> Json.Int n) s.sigbyte_histogram))
+      );
+      ("checksum", Json.Str (Int64.to_string s.checksum));
+    ]
+
+let stats_of_json j : Pipeline.stats =
+  let class_width = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace class_width
+        ( iclass_of_name (Json.get_string "class" e),
+          width_of_bits (Json.get_int "width" e) )
+        (Json.get_int "n" e))
+    (Json.get_list "class_width" j);
+  let opcode_counts = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Json.Arr [ Json.Int op; Json.Int n ] ->
+        Hashtbl.replace opcode_counts op n
+      | _ -> raise (Json.Parse_error "opcode_counts: expected [op, n] pairs"))
+    (Json.get_list "opcode_counts" j);
+  let energy =
+    match Json.member "energy" j with
+    | Json.Obj kvs ->
+      Account.of_values
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | Json.Float f -> (structure_of_name k, f)
+             | Json.Int i -> (structure_of_name k, float_of_int i)
+             | _ ->
+               raise
+                 (Json.Parse_error
+                    (Printf.sprintf "energy.%s: expected a number" k)))
+           kvs)
+    | _ -> raise (Json.Parse_error "energy: expected an object")
+  in
+  let sigbyte_histogram =
+    Json.get_list "sigbyte_histogram" j
+    |> List.map (function
+         | Json.Int n -> n
+         | _ -> raise (Json.Parse_error "sigbyte_histogram: expected ints"))
+    |> Array.of_list
+  in
+  let checksum =
+    match Int64.of_string_opt (Json.get_string "checksum" j) with
+    | Some c -> c
+    | None -> raise (Json.Parse_error "checksum: expected an int64 string")
+  in
+  {
+    cycles = Json.get_int "cycles" j;
+    instructions = Json.get_int "instructions" j;
+    branches = Json.get_int "branches" j;
+    mispredictions = Json.get_int "mispredictions" j;
+    icache_misses = Json.get_int "icache_misses" j;
+    dcache_accesses = Json.get_int "dcache_accesses" j;
+    dcache_misses = Json.get_int "dcache_misses" j;
+    l2_misses = Json.get_int "l2_misses" j;
+    energy;
+    class_width;
+    opcode_counts;
+    sigbyte_histogram;
+    checksum;
+  }
+
+let summary_to_json (s : vrs_summary) =
+  Json.Obj
+    [
+      ("specialized", Json.Int s.points_specialized);
+      ("dependent", Json.Int s.points_dependent);
+      ("no_benefit", Json.Int s.points_no_benefit);
+      ("static_cloned", Json.Int s.static_cloned);
+      ("static_eliminated", Json.Int s.static_eliminated);
+    ]
+
+let summary_of_json j =
+  {
+    points_specialized = Json.get_int "specialized" j;
+    points_dependent = Json.get_int "dependent" j;
+    points_no_benefit = Json.get_int "no_benefit" j;
+    static_cloned = Json.get_int "static_cloned" j;
+    static_eliminated = Json.get_int "static_eliminated" j;
+  }
+
+let wres_to_json (w : wres) =
+  Json.Obj
+    [
+      ("name", Json.Str w.wname);
+      ("static_instructions", Json.Int w.static_instructions);
+      ("base_none", stats_to_json w.base_none);
+      ("base_hwsig", stats_to_json w.base_hwsig);
+      ("base_hwsize", stats_to_json w.base_hwsize);
+      ("vrp_sw", stats_to_json w.vrp_sw);
+      ("vrpconv_sw", stats_to_json w.vrpconv_sw);
+      ("vrp_sig", stats_to_json w.vrp_sig);
+      ("vrp_size", stats_to_json w.vrp_size);
+      ( "vrs",
+        Json.Arr
+          (List.map
+             (fun (l, s) ->
+               Json.Obj [ ("label", Json.Int l); ("stats", stats_to_json s) ])
+             w.vrs) );
+      ("vrs50_sig", stats_to_json w.vrs50_sig);
+      ("vrs50_size", stats_to_json w.vrs50_size);
+      ( "vrs_reports",
+        Json.Arr
+          (List.map
+             (fun (l, s) ->
+               Json.Obj [ ("label", Json.Int l); ("report", summary_to_json s) ])
+             w.vrs_reports) );
+      ("vrs50_spec_frac", Json.Float w.vrs50_spec_frac);
+      ("vrs50_guard_frac", Json.Float w.vrs50_guard_frac);
+    ]
+
+let wres_of_json j =
+  let stats k = stats_of_json (Json.member k j) in
+  {
+    wname = Json.get_string "name" j;
+    static_instructions = Json.get_int "static_instructions" j;
+    base_none = stats "base_none";
+    base_hwsig = stats "base_hwsig";
+    base_hwsize = stats "base_hwsize";
+    vrp_sw = stats "vrp_sw";
+    vrpconv_sw = stats "vrpconv_sw";
+    vrp_sig = stats "vrp_sig";
+    vrp_size = stats "vrp_size";
+    vrs =
+      List.map
+        (fun e -> (Json.get_int "label" e, stats_of_json (Json.member "stats" e)))
+        (Json.get_list "vrs" j);
+    vrs50_sig = stats "vrs50_sig";
+    vrs50_size = stats "vrs50_size";
+    vrs_reports =
+      List.map
+        (fun e ->
+          (Json.get_int "label" e, summary_of_json (Json.member "report" e)))
+        (Json.get_list "vrs_reports" j);
+    vrs50_spec_frac = Json.get_float "vrs50_spec_frac" j;
+    vrs50_guard_frac = Json.get_float "vrs50_guard_frac" j;
+  }
+
+let format_name = "ogc-results"
+let format_version = 1
+
+let to_json t =
+  Json.Obj
+    [
+      ("format", Json.Str format_name);
+      ("version", Json.Int format_version);
+      ("quick", Json.Bool t.quick);
+      ("workloads", Json.Arr (List.map wres_to_json t.workloads));
+    ]
+
+let of_json j =
+  (match Json.member "format" j with
+  | Json.Str f when String.equal f format_name -> ()
+  | _ -> raise (Json.Parse_error "not an ogc-results file"));
+  (match Json.get_int "version" j with
+  | 1 -> ()
+  | v ->
+    raise
+      (Json.Parse_error (Printf.sprintf "unsupported results version %d" v)));
+  {
+    quick = Json.get_bool "quick" j;
+    workloads = List.map wres_of_json (Json.get_list "workloads" j);
+  }
+
+(* --- regression comparison --------------------------------------------------- *)
+
+type regression = {
+  r_workload : string;
+  r_config : string;
+  r_metric : string;
+  r_baseline : float;
+  r_current : float;
+  r_delta_frac : float;
+}
+
+let config_stats (w : wres) =
+  [
+    ("base_none", w.base_none);
+    ("base_hwsig", w.base_hwsig);
+    ("base_hwsize", w.base_hwsize);
+    ("vrp_sw", w.vrp_sw);
+    ("vrpconv_sw", w.vrpconv_sw);
+    ("vrp_sig", w.vrp_sig);
+    ("vrp_size", w.vrp_size);
+  ]
+  @ List.map (fun (l, s) -> (Printf.sprintf "vrs%d" l, s)) w.vrs
+  @ [ ("vrs50_sig", w.vrs50_sig); ("vrs50_size", w.vrs50_size) ]
+
+let compare_to_baseline ~baseline ~current ~threshold =
+  if baseline.quick <> current.quick then
+    [
+      {
+        r_workload = "*";
+        r_config = "mode";
+        r_metric = "quick";
+        r_baseline = (if baseline.quick then 1.0 else 0.0);
+        r_current = (if current.quick then 1.0 else 0.0);
+        r_delta_frac = 1.0;
+      };
+    ]
+  else
+    List.concat_map
+      (fun (cw : wres) ->
+        match
+          List.find_opt (fun (bw : wres) -> String.equal bw.wname cw.wname)
+            baseline.workloads
+        with
+        | None -> []
+        | Some bw ->
+          let bcfg = config_stats bw in
+          List.concat_map
+            (fun (cname, cs) ->
+              match List.assoc_opt cname bcfg with
+              | None -> []
+              | Some bs ->
+                let cell metric ~worse base cur =
+                  let delta = worse base cur in
+                  if delta > threshold then
+                    [
+                      {
+                        r_workload = cw.wname;
+                        r_config = cname;
+                        r_metric = metric;
+                        r_baseline = base;
+                        r_current = cur;
+                        r_delta_frac = delta;
+                      };
+                    ]
+                  else []
+                in
+                (* Energy is worse when it grows, IPC when it drops. *)
+                cell "energy_nj"
+                  ~worse:(fun b c -> if b <= 0.0 then 0.0 else (c -. b) /. b)
+                  (Account.total bs.Pipeline.energy)
+                  (Account.total cs.Pipeline.energy)
+                @ cell "ipc"
+                    ~worse:(fun b c -> if b <= 0.0 then 0.0 else (b -. c) /. b)
+                    (Pipeline.ipc bs) (Pipeline.ipc cs))
+            (config_stats cw))
+      current.workloads
+
+let render_regressions = function
+  | [] -> "no regressions\n"
+  | rs ->
+    Render.table
+      ~header:[ "Workload"; "Config"; "Metric"; "baseline"; "current"; "worse by" ]
+      (List.map
+         (fun r ->
+           [
+             r.r_workload;
+             r.r_config;
+             r.r_metric;
+             Printf.sprintf "%.4g" r.r_baseline;
+             Printf.sprintf "%.4g" r.r_current;
+             Render.pct r.r_delta_frac;
+           ])
+         rs)
 
 (* --- aggregation ---------------------------------------------------------- *)
 

@@ -14,6 +14,13 @@
     - an execution profile of the VRS-50 binary for the run-time
       specialized-instruction accounting of Figure 6.
 
+    The grid is embarrassingly parallel, and {!collect} shards it over an
+    {!Ogc_exec.Pool} of domains: each workload is compiled once and the
+    pristine program shared read-only; every binary-version task
+    transforms its own {!Ogc_ir.Prog.copy}.  Results are reassembled in
+    workload order, so the output is identical whatever the parallelism
+    degree.
+
     Semantic equality (output checksums) across every version and policy
     is asserted during collection — an optimized binary that changes the
     program's output is a hard error. *)
@@ -28,6 +35,19 @@ val vrs_costs : int list
     per-guard-instruction energy parameter. *)
 val test_cost_of_label : int -> float
 
+(** What Figures 4 and 5 need from a {!Ogc_core.Vrs.report}, in a form
+    that serializes: profiled-point outcome counts and the static clone
+    accounting. *)
+type vrs_summary = {
+  points_specialized : int;
+  points_dependent : int;
+  points_no_benefit : int;
+  static_cloned : int;
+  static_eliminated : int;
+}
+
+val summarize_report : Ogc_core.Vrs.report -> vrs_summary
+
 type wres = {
   wname : string;
   static_instructions : int;
@@ -41,7 +61,7 @@ type wres = {
   vrs : (int * Pipeline.stats) list;  (** by cost label, software gating *)
   vrs50_sig : Pipeline.stats;
   vrs50_size : Pipeline.stats;
-  vrs_reports : (int * Ogc_core.Vrs.report) list;
+  vrs_reports : (int * vrs_summary) list;
   vrs50_spec_frac : float;  (** run-time fraction executed inside clones *)
   vrs50_guard_frac : float;  (** run-time fraction of guard comparisons *)
 }
@@ -49,10 +69,58 @@ type wres = {
 type t = { workloads : wres list; quick : bool }
 
 val collect :
-  ?quick:bool -> ?only:string list -> ?progress:(string -> unit) -> unit -> t
+  ?quick:bool ->
+  ?only:string list ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  unit ->
+  t
 (** [quick] evaluates on the train input and keeps only the VRS-50
     configuration (duplicated across labels), for fast test runs; [only]
-    restricts collection to the named workloads. *)
+    restricts collection to the named workloads.  [jobs] is the domain
+    count ([Some 0] and [None] mean auto: [OGC_JOBS] or the machine's
+    recommended domain count; see {!Ogc_exec.Pool.resolve_jobs}).
+    [progress] may be invoked from worker domains, one call at a time. *)
+
+(** {1 Serialization}
+
+    A hand-rolled JSON form of a whole collection, stable enough to be
+    diffed across commits: object members are emitted in a fixed order,
+    numeric tables are sorted, and floats round-trip exactly.
+    [of_json (to_json t)] reconstructs [t] up to the energy-parameter
+    closures (rebuilt as {!Ogc_energy.Energy_params.default}), which the
+    renderers never consult. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> t
+(** Raises [Json.Parse_error] on a malformed or wrong-format tree. *)
+
+(** {1 Regression comparison}
+
+    CI calls this with the checked-in baseline JSON to guard the perf
+    trajectory: modelled energy must not grow and modelled IPC must not
+    drop by more than a threshold on any (workload, binary version)
+    cell. *)
+
+type regression = {
+  r_workload : string;
+  r_config : string;  (** e.g. "vrp_sw", "vrs50" *)
+  r_metric : string;  (** "energy_nj" or "ipc" *)
+  r_baseline : float;
+  r_current : float;
+  r_delta_frac : float;  (** fractional worsening, always >= 0 *)
+}
+
+val compare_to_baseline :
+  baseline:t -> current:t -> threshold:float -> regression list
+(** Cells worse than [baseline] by more than [threshold] (a fraction,
+    e.g. [0.05]): higher total energy or lower IPC.  Only workloads and
+    VRS labels present in both collections are compared; a [quick] /
+    full mode mismatch compares nothing and reports a single pseudo
+    regression on the ["mode"] cell so CI fails loudly instead of
+    vacuously passing. *)
+
+val render_regressions : regression list -> string
 
 (** {1 Aggregation helpers} *)
 

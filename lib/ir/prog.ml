@@ -50,6 +50,17 @@ let fresh_iid t =
   t.next_iid <- i + 1;
   i
 
+let copy t =
+  let copy_block b =
+    { b with body = Array.map (fun (i : ins) -> { i with op = i.op }) b.body }
+  in
+  {
+    funcs =
+      List.map (fun f -> { f with blocks = Array.map copy_block f.blocks }) t.funcs;
+    globals = List.map (fun g -> { g with init = Bytes.copy g.init }) t.globals;
+    next_iid = t.next_iid;
+  }
+
 let find_func t name = List.find (fun f -> String.equal f.fname name) t.funcs
 let find_func_opt t name =
   List.find_opt (fun f -> String.equal f.fname name) t.funcs

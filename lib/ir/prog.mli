@@ -55,6 +55,13 @@ val create : ?globals:global list -> func list -> t
 
 val fresh_iid : t -> int
 
+val copy : t -> t
+(** Deep copy: instruction ids, labels and global images are preserved,
+    and no mutable state is shared, so transforming the copy in place
+    never disturbs the original.  The experiment harness uses this to
+    compile each workload once and hand every binary-version task its own
+    private program. *)
+
 val find_func : t -> string -> func
 (** Raises [Not_found]. *)
 
