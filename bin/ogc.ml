@@ -471,6 +471,206 @@ let report_cmd =
     Term.(const run $ quick $ only $ experiment $ jobs $ json_out $ baseline
           $ max_regression)
 
+(* --- serve / submit ----------------------------------------------------------- *)
+
+module Server = Ogc_server.Server
+module Json = Ogc_json.Json
+
+let addr_term =
+  let socket =
+    Arg.(value & opt string "/tmp/ogc.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to serve on / connect to.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Serve on / connect to a TCP address instead of the Unix \
+                   socket.")
+  in
+  let combine socket tcp =
+    match tcp with
+    | None -> Server.Unix_sock socket
+    | Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+        let host = String.sub spec 0 i
+        and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some port -> Server.Tcp ((if host = "" then "127.0.0.1" else host), port)
+        | None -> Fmt.failwith "bad --tcp %S (expected HOST:PORT)" spec)
+      | None -> Fmt.failwith "bad --tcp %S (expected HOST:PORT)" spec)
+  in
+  Term.(const combine $ socket $ tcp)
+
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for the analysis pool (default: \
+                   $(b,OGC_JOBS) or the machine's recommended domain count).")
+  in
+  let queue_limit =
+    Arg.(value & opt int 64
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"In-flight analyses before the server replies \
+                   $(i,overloaded).")
+  in
+  let cache_size =
+    Arg.(value & opt int 256
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"In-memory analysis cache capacity, in entries.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persist cache entries to DIR so results survive restarts.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle messages.")
+  in
+  let run addr jobs queue_limit cache_size cache_dir quiet =
+    wrap (fun () ->
+        let cfg =
+          { Server.addr;
+            jobs;
+            queue_limit;
+            cache_capacity = cache_size;
+            cache_dir;
+            log = (if quiet then ignore else fun s -> Fmt.epr "%s@." s) }
+        in
+        let t =
+          try Server.create cfg
+          with Unix.Unix_error (e, fn, arg) ->
+            Fmt.failwith "cannot listen: %s %s: %s" fn arg
+              (Unix.error_message e)
+        in
+        Server.install_sigint t;
+        Server.run t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the optimization service (NDJSON over a socket)")
+    Term.(const run $ addr_term $ jobs $ queue_limit $ cache_size $ cache_dir
+          $ quiet)
+
+let submit_cmd =
+  let program =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"MiniC source file, .s save file, or workload name; \
+                   omitted for $(b,--stats) / $(b,--ping).")
+  in
+  let vrp = Arg.(value & flag & info [ "vrp" ] ~doc:"Request the VRP pass.") in
+  let vrs = Arg.(value & flag & info [ "vrs" ] ~doc:"Request the VRS pass.") in
+  let policy =
+    Arg.(value & opt (some string) None
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Gating policy (default: software gating when a pass runs).")
+  in
+  let cost =
+    Arg.(value & opt (some int) None
+         & info [ "cost" ] ~docv:"NJ" ~doc:"VRS cost label (30-110).")
+  in
+  let deadline =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline; an expired request is not run.")
+  in
+  let return_program =
+    Arg.(value & flag
+         & info [ "return-program" ]
+             ~doc:"Include the re-encoded program in the result.")
+  in
+  let id =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"ID" ~doc:"Opaque id echoed in the response.")
+  in
+  let stats =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Ask for the server's counters instead.")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Health-check the server.")
+  in
+  let raw =
+    Arg.(value & flag
+         & info [ "raw" ]
+             ~doc:"Print the raw response line instead of pretty JSON.")
+  in
+  let run addr program input vrp vrs policy cost deadline return_program id
+      stats ping raw =
+    wrap (fun () ->
+        let fields = ref [] in
+        let add k v = fields := (k, v) :: !fields in
+        (match (stats, ping, program) with
+        | true, _, _ -> add "op" (Json.Str "stats")
+        | false, true, _ -> add "op" (Json.Str "ping")
+        | false, false, None ->
+          Fmt.failwith "a PROGRAM is required unless --stats or --ping"
+        | false, false, Some spec ->
+          if Sys.file_exists spec then begin
+            let ic = open_in_bin spec in
+            let n = in_channel_length ic in
+            let src = really_input_string ic n in
+            close_in ic;
+            if Filename.check_suffix spec ".s" then add "asm" (Json.Str src)
+            else add "source" (Json.Str src)
+          end
+          else add "workload" (Json.Str spec);
+          (match (vrp, vrs) with
+          | true, true -> Fmt.failwith "--vrp and --vrs are mutually exclusive"
+          | true, false -> add "pass" (Json.Str "vrp")
+          | false, true -> add "pass" (Json.Str "vrs")
+          | false, false -> ());
+          add "input"
+            (Json.Str (match input with Workload.Train -> "train" | _ -> "ref"));
+          Option.iter (fun p -> add "policy" (Json.Str p)) policy;
+          Option.iter (fun c -> add "cost" (Json.Int c)) cost;
+          Option.iter (fun d -> add "deadline_ms" (Json.Int d)) deadline;
+          if return_program then add "return_program" (Json.Bool true));
+        Option.iter (fun i -> add "id" (Json.Str i)) id;
+        let request = Json.to_string ~indent:false (Json.Obj (List.rev !fields)) in
+        let fd =
+          let domain, sockaddr =
+            match addr with
+            | Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+            | Server.Tcp (host, port) ->
+              (Unix.PF_INET,
+               Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+          in
+          let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd sockaddr
+           with Unix.Unix_error (e, _, _) ->
+             Fmt.failwith "cannot reach the server: %s (is `ogc serve` up?)"
+               (Unix.error_message e));
+          fd
+        in
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        output_string oc request;
+        output_char oc '\n';
+        flush oc;
+        let line =
+          try input_line ic
+          with End_of_file -> Fmt.failwith "server closed the connection"
+        in
+        Unix.close fd;
+        if raw then print_endline line
+        else
+          print_endline (Json.to_string ~indent:true (Json.of_string line));
+        match Json.member "status" (Json.of_string line) with
+        | Json.Str "ok" -> ()
+        | Json.Str "overloaded" -> exit 4
+        | Json.Str "deadline_exceeded" -> exit 5
+        | _ -> exit 1)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit one request to a running optimization service")
+    Term.(const run $ addr_term $ program $ input_arg $ vrp $ vrs $ policy
+          $ cost $ deadline $ return_program $ id $ stats $ ping $ raw)
+
 (* --- workloads ----------------------------------------------------------------- *)
 
 let workloads_cmd =
@@ -486,7 +686,9 @@ let workloads_cmd =
 
 let () =
   let doc = "software-controlled operand gating (CGO 2004) toolchain" in
-  let info = Cmd.info "ogc" ~version:"1.0.0" ~doc in
+  (* The version is generated from dune-project's (version ...) stanza. *)
+  let info = Cmd.info "ogc" ~version:Ogc_server.Version.version ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; sim_cmd;
-                      trace_cmd; diff_cmd; report_cmd; workloads_cmd ]))
+                      trace_cmd; diff_cmd; report_cmd; workloads_cmd;
+                      serve_cmd; submit_cmd ]))

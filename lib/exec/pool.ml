@@ -23,58 +23,170 @@ let resolve_jobs = function
   | Some n when n >= 1 -> clamp_jobs n
   | _ -> default_jobs ()
 
-(* One cell per task: set exactly once, by exactly one worker (tasks are
-   claimed through the atomic counter), then read only after every
-   worker has been joined — so plain mutable slots are race-free. *)
-type 'b slot = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+(* --- the persistent pool -------------------------------------------------- *)
 
-let run_tasks ~jobs (tasks : (unit -> 'b) array) =
-  let n = Array.length tasks in
-  let results = Array.make n Pending in
-  let task_s = Array.make n 0.0 in
-  let next = Atomic.make 0 in
-  let worker () =
-    let continue = ref true in
-    while !continue do
-      let i = Atomic.fetch_and_add next 1 in
-      if i >= n then continue := false
-      else begin
-        let t0 = Unix.gettimeofday () in
-        (results.(i) <-
-           (match tasks.(i) () with
-           | v -> Done v
-           | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
-        task_s.(i) <- Unix.gettimeofday () -. t0
-      end
-    done
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;  (* workers sleep here waiting for work *)
+  progress : Condition.t;  (* awaiters sleep here; broadcast per completion *)
+  q : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  jobs : int;
+}
+
+(* A ticket's outcome is written exactly once, under the pool mutex, by
+   the worker that ran the task; [progress] is broadcast afterwards, so
+   awaiters never miss the transition. *)
+type 'a outcome = Pending | Done of 'a | Failed of exn * Printexc.raw_backtrace
+
+type 'a ticket = {
+  pool : t;
+  mutable outcome : 'a outcome;
+  mutable secs : float;
+}
+
+let worker p () =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock p.m;
+    while Queue.is_empty p.q && not p.closed do
+      Condition.wait p.nonempty p.m
+    done;
+    if Queue.is_empty p.q then begin
+      (* Closed, and the queue has drained: exit. *)
+      continue := false;
+      Mutex.unlock p.m
+    end
+    else begin
+      let task = Queue.pop p.q in
+      Mutex.unlock p.m;
+      task ()
+    end
+  done
+
+let create ?jobs () =
+  let jobs = resolve_jobs jobs in
+  let p =
+    { m = Mutex.create ();
+      nonempty = Condition.create ();
+      progress = Condition.create ();
+      q = Queue.create ();
+      closed = false;
+      domains = [||];
+      jobs }
   in
-  let t0 = Unix.gettimeofday () in
-  let jobs = clamp_jobs (min jobs (max 1 n)) in
-  if jobs = 1 then worker ()
-  else begin
-    (* The caller is one of the [jobs] workers. *)
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains
+  p.domains <- Array.init jobs (fun _ -> Domain.spawn (worker p));
+  p
+
+let size p = p.jobs
+
+let submit p f =
+  let tk = { pool = p; outcome = Pending; secs = 0.0 } in
+  let task () =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      match f () with
+      | v -> Done v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.lock p.m;
+    tk.outcome <- o;
+    tk.secs <- dt;
+    Condition.broadcast p.progress;
+    Mutex.unlock p.m
+  in
+  Mutex.lock p.m;
+  if p.closed then begin
+    Mutex.unlock p.m;
+    invalid_arg "Pool.submit: pool is shut down"
   end;
-  let wall_s = Unix.gettimeofday () -. t0 in
-  (* Lowest-index failure wins, for a deterministic error report. *)
+  Queue.push task p.q;
+  Condition.signal p.nonempty;
+  Mutex.unlock p.m;
+  tk
+
+(* Outcome and task time, blocking; does not re-raise. *)
+let wait_outcome tk =
+  let p = tk.pool in
+  let is_pending () =
+    match tk.outcome with Pending -> true | Done _ | Failed _ -> false
+  in
+  Mutex.lock p.m;
+  while is_pending () do
+    Condition.wait p.progress p.m
+  done;
+  let o = tk.outcome and secs = tk.secs in
+  Mutex.unlock p.m;
+  (o, secs)
+
+let await_timed tk =
+  match wait_outcome tk with
+  | Done v, secs -> (v, secs)
+  | Failed (e, bt), _ -> Printexc.raise_with_backtrace e bt
+  | Pending, _ -> assert false
+
+let await tk = fst (await_timed tk)
+
+let shutdown p =
+  Mutex.lock p.m;
+  if p.closed then Mutex.unlock p.m
+  else begin
+    p.closed <- true;
+    Condition.broadcast p.nonempty;
+    Mutex.unlock p.m;
+    Array.iter Domain.join p.domains;
+    p.domains <- [||]
+  end
+
+(* --- one-shot maps -------------------------------------------------------- *)
+
+(* Lowest-index failure wins, for a deterministic error report; every
+   task runs even when an earlier one failed. *)
+let raise_first_failure outcomes =
   Array.iter
     (function
       | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
       | Pending | Done _ -> ())
-    results;
+    outcomes
+
+let map_timed ?jobs f xs =
+  let n = List.length xs in
+  let jobs = clamp_jobs (min (resolve_jobs jobs) (max 1 n)) in
+  let t0 = Unix.gettimeofday () in
+  let outcomes, task_s =
+    if jobs = 1 then begin
+      (* Sequential fallback: no domain is ever spawned. *)
+      let outcomes = Array.make n Pending in
+      let task_s = Array.make n 0.0 in
+      List.iteri
+        (fun i x ->
+          let s0 = Unix.gettimeofday () in
+          (outcomes.(i) <-
+             (match f x with
+             | v -> Done v
+             | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
+          task_s.(i) <- Unix.gettimeofday () -. s0)
+        xs;
+      (outcomes, task_s)
+    end
+    else begin
+      let p = create ~jobs () in
+      let tickets = List.map (fun x -> submit p (fun () -> f x)) xs in
+      let pairs = List.map wait_outcome tickets in
+      shutdown p;
+      (Array.of_list (List.map fst pairs),
+       Array.of_list (List.map snd pairs))
+    end
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  raise_first_failure outcomes;
   let values =
     Array.map
       (function Done v -> v | Pending | Failed _ -> assert false)
-      results
+      outcomes
   in
-  (values, { jobs; wall_s; task_s })
-
-let map_timed ?jobs f xs =
-  let jobs = resolve_jobs jobs in
-  let tasks = Array.of_list (List.map (fun x () -> f x) xs) in
-  let values, stats = run_tasks ~jobs tasks in
-  (Array.to_list values, stats)
+  (Array.to_list values, { jobs; wall_s; task_s })
 
 let map ?jobs f xs = fst (map_timed ?jobs f xs)

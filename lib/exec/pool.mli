@@ -1,12 +1,20 @@
-(** Fixed-size [Domain] worker pool for embarrassingly parallel task
-    lists.
+(** Persistent [Domain] worker pool.
 
-    The experiment harness shards its workload × binary-version × policy
-    grid over this pool.  Semantics are strictly deterministic: results
-    come back in submission order regardless of completion order, and a
-    task's exception is re-raised in the caller (the lowest-index failure
-    wins when several tasks fail), so parallel runs are observationally
-    identical to sequential ones.
+    Two layers share one implementation:
+
+    - a {b persistent pool} ({!create} / {!submit} / {!await} /
+      {!shutdown}) for long-lived services: worker domains are spawned
+      once and reused across many submissions — the [ogc serve]
+      optimization daemon keeps one for its whole lifetime;
+    - {b one-shot maps} ({!map} / {!map_timed}) for embarrassingly
+      parallel task lists — the experiment harness shards its workload ×
+      binary-version × policy grid this way.
+
+    Semantics are strictly deterministic for the maps: results come back
+    in submission order regardless of completion order, and a task's
+    exception is re-raised in the caller only after every task has run
+    (the lowest-index failure wins when several tasks fail), so parallel
+    runs are observationally identical to sequential ones.
 
     Parallelism degree, in decreasing priority:
 
@@ -14,9 +22,9 @@
     - the [OGC_JOBS] environment variable;
     - [Domain.recommended_domain_count ()].
 
-    When the resolved degree is 1 (single-core machine, [OGC_JOBS=1]) no
-    domain is ever spawned and the pool degrades to a plain sequential
-    map. *)
+    When a map's resolved degree is 1 (single-core machine, [OGC_JOBS=1])
+    no domain is ever spawned and the map degrades to a plain sequential
+    loop.  A persistent pool always has at least one worker domain. *)
 
 (** Instrumentation of one [map_timed] run. *)
 type stats = {
@@ -37,10 +45,42 @@ val resolve_jobs : int option -> int
     [default_jobs ()].  [Some 0] (the CLI's "auto") behaves like
     [None]. *)
 
+(** {1 Persistent pools} *)
+
+type t
+(** A pool of worker domains pulling tasks from a shared FIFO queue. *)
+
+type 'a ticket
+(** A handle on one submitted task's eventual result. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn [resolve_jobs jobs] worker domains (at least 1).  The pool
+    lives until {!shutdown}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a ticket
+(** Enqueue a task.  Tasks start in FIFO order (completion order depends
+    on scheduling).  Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a ticket -> 'a
+(** Block until the task has run; return its value or re-raise its
+    exception (with the worker-side backtrace). *)
+
+val await_timed : 'a ticket -> 'a * float
+(** {!await} plus the task's wall-clock seconds. *)
+
+val shutdown : t -> unit
+(** Graceful drain: stop accepting work, let the queue empty, join every
+    worker domain.  Tasks already submitted all run to completion and
+    their tickets stay valid.  Idempotent. *)
+
+(** {1 One-shot maps} *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** Order-preserving parallel map.  Workers pull tasks from a shared
-    queue; the calling domain participates as a worker, so [jobs] is the
-    total number of domains running tasks. *)
+(** Order-preserving parallel map over a fresh pool (spawned and joined
+    inside the call; degree 1 runs inline without domains). *)
 
 val map_timed : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list * stats
 (** [map] plus per-task and whole-run timing. *)

@@ -154,6 +154,26 @@ let parse_instr line mnemonic rest : Instr.t =
                  dst = reg c }
   | _ -> err line "cannot parse instruction %s %s" mnemonic rest
 
+(* Terminators ("jump L1", "ret", "beq r2, L1, L2"); [None] when the
+   mnemonic is not a terminator. *)
+let parse_terminator_opt line mnemonic args =
+  match mnemonic with
+  | "jump" -> Some (Prog.Jump (parse_label line args))
+  | "ret" -> Some Prog.Return
+  | m
+    when String.length m > 1 && m.[0] = 'b'
+         && List.mem_assoc (String.sub m 1 (String.length m - 1)) conds -> (
+    let cond = List.assoc (String.sub m 1 (String.length m - 1)) conds in
+    match operands_of args with
+    | [ src; t; f ] ->
+      Some
+        (Prog.Branch
+           { cond; src = parse_reg line src;
+             if_true = parse_label line t;
+             if_false = parse_label line f })
+    | _ -> err line "bad branch")
+  | _ -> None
+
 (* The load mnemonic needs special splitting: "ld8u" has the width digits
    between stem and the signedness letter. *)
 let normalize_load m =
@@ -166,6 +186,30 @@ let normalize_load m =
     else None
   end
   else None
+
+(* --- single-instruction parsing (the Prog_json wire format) --------------- *)
+
+let split_mnemonic_args s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | Some j ->
+    (String.sub s 0 j, String.trim (String.sub s (j + 1) (String.length s - j - 1)))
+  | None -> (s, "")
+
+let instr_of_string s =
+  let mnemonic, args = split_mnemonic_args s in
+  let m =
+    match normalize_load mnemonic with Some (nm, _) -> nm | None -> mnemonic
+  in
+  parse_instr 0 m args
+
+let terminator_of_string s =
+  let mnemonic, args = split_mnemonic_args s in
+  match parse_terminator_opt 0 mnemonic args with
+  | Some t -> t
+  | None -> err 0 "cannot parse terminator %s" s
+
+let terminator_to_string t = Format.asprintf "%a" Prog.pp_terminator t
 
 type pending_term = { pt_iid : int; pt_term : Prog.terminator }
 
@@ -298,30 +342,14 @@ let parse text =
             | None -> (rest, "")
           in
           if !cur_label = None then err lineno "instruction outside a block";
-          match mnemonic with
-          | "jump" ->
-            cur_term :=
-              Some { pt_iid = iid; pt_term = Prog.Jump (parse_label lineno args) }
-          | "ret" -> cur_term := Some { pt_iid = iid; pt_term = Prog.Return }
-          | m when String.length m > 1 && m.[0] = 'b'
-                   && List.mem_assoc (String.sub m 1 (String.length m - 1)) conds
-            -> (
-            let cond = List.assoc (String.sub m 1 (String.length m - 1)) conds in
-            match operands_of args with
-            | [ src; t; f ] ->
-              cur_term :=
-                Some
-                  { pt_iid = iid;
-                    pt_term =
-                      Prog.Branch
-                        { cond; src = parse_reg lineno src;
-                          if_true = parse_label lineno t;
-                          if_false = parse_label lineno f } }
-            | _ -> err lineno "bad branch")
-          | m ->
+          match parse_terminator_opt lineno mnemonic args with
+          | Some t -> cur_term := Some { pt_iid = iid; pt_term = t }
+          | None ->
             if !cur_term <> None then err lineno "instruction after terminator";
             let m' =
-              match normalize_load m with Some (nm, _) -> nm | None -> m
+              match normalize_load mnemonic with
+              | Some (nm, _) -> nm
+              | None -> mnemonic
             in
             let op = parse_instr lineno m' args in
             cur_body := { Prog.iid; op } :: !cur_body)
@@ -330,3 +358,6 @@ let parse text =
     lines;
   flush_func (List.length lines);
   Prog.create ~globals:(List.rev !globals) (List.rev !funcs)
+
+(* Exported hex helpers (Prog_json reuses the globals image encoding). *)
+let bytes_of_hex s = bytes_of_hex 0 s

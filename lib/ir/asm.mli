@@ -29,3 +29,24 @@ val to_string : Prog.t -> string
 val parse : string -> Prog.t
 (** The result passes {!Validate.program} whenever the input came from
     {!output} of a valid program. *)
+
+(** {1 Single-item helpers}
+
+    Building blocks of the {!Prog_json} wire format, which stores each
+    instruction in its textual assembly form.  All raise {!Error} on
+    malformed input. *)
+
+val instr_of_string : string -> Ogc_isa.Instr.t
+(** Parse one body instruction, e.g. ["add32 r1, #5, r2"]; the inverse
+    of {!Ogc_isa.Instr.to_string}. *)
+
+val terminator_of_string : string -> Prog.terminator
+(** Parse one terminator, e.g. ["beq r2, L1, L2"], ["jump L3"],
+    ["ret"]. *)
+
+val terminator_to_string : Prog.terminator -> string
+
+val hex_of_bytes : Bytes.t -> string
+(** Lowercase hex image of a byte string (globals encoding). *)
+
+val bytes_of_hex : string -> Bytes.t

@@ -1,0 +1,85 @@
+module J = Ogc_json.Json
+
+let format_tag = "ogc.prog"
+let format_version = 1
+
+let fail fmt = Fmt.kstr (fun s -> raise (J.Parse_error s)) fmt
+
+(* --- encoding ------------------------------------------------------------- *)
+
+let ins_to_json (i : Prog.ins) =
+  J.Arr [ J.Int i.iid; J.Str (Ogc_isa.Instr.to_string i.op) ]
+
+let block_to_json (b : Prog.block) =
+  J.Obj
+    [ ("label", J.Int (Label.to_int b.label));
+      ("body", J.Arr (Array.to_list (Array.map ins_to_json b.body)));
+      ("term",
+       J.Arr [ J.Int b.term_iid; J.Str (Asm.terminator_to_string b.term) ]) ]
+
+let func_to_json (f : Prog.func) =
+  J.Obj
+    [ ("name", J.Str f.fname);
+      ("arity", J.Int f.arity);
+      ("frame", J.Int f.frame_size);
+      ("blocks", J.Arr (Array.to_list (Array.map block_to_json f.blocks))) ]
+
+let global_to_json (g : Prog.global) =
+  J.Obj
+    [ ("name", J.Str g.gname); ("init", J.Str (Asm.hex_of_bytes g.init)) ]
+
+let to_json (p : Prog.t) =
+  J.Obj
+    [ ("format", J.Str format_tag);
+      ("format_version", J.Int format_version);
+      ("globals", J.Arr (List.map global_to_json p.globals));
+      ("funcs", J.Arr (List.map func_to_json p.funcs)) ]
+
+(* --- decoding ------------------------------------------------------------- *)
+
+(* Asm syntax errors inside a JSON tree surface as [Parse_error], so a
+   malformed request fails uniformly whatever layer caught it. *)
+let asm_guard f = try f () with Asm.Error m -> raise (J.Parse_error m)
+
+let ins_of_json = function
+  | J.Arr [ J.Int iid; J.Str text ] ->
+    { Prog.iid; op = asm_guard (fun () -> Asm.instr_of_string text) }
+  | _ -> fail "instruction: expected [iid, \"text\"]"
+
+let block_of_json pos j =
+  let label = J.get_int "label" j in
+  if label <> pos then
+    fail "block %d: label L%d out of order (blocks must be in label order)"
+      pos label;
+  let body =
+    Array.of_list (List.map ins_of_json (J.get_list "body" j))
+  in
+  match J.member "term" j with
+  | J.Arr [ J.Int term_iid; J.Str text ] ->
+    { Prog.label = Label.of_int label; body;
+      term = asm_guard (fun () -> Asm.terminator_of_string text);
+      term_iid }
+  | _ -> fail "block %d: bad terminator (expected [iid, \"text\"])" pos
+
+let func_of_json j =
+  { Prog.fname = J.get_string "name" j;
+    arity = J.get_int "arity" j;
+    frame_size = J.get_int "frame" j;
+    blocks =
+      Array.of_list (List.mapi block_of_json (J.get_list "blocks" j)) }
+
+let global_of_json j =
+  { Prog.gname = J.get_string "name" j;
+    init = asm_guard (fun () -> Asm.bytes_of_hex (J.get_string "init" j)) }
+
+let of_json j =
+  (match J.member "format" j with
+  | J.Str t when String.equal t format_tag -> ()
+  | _ -> fail "not a %s object" format_tag);
+  (match J.member "format_version" j with
+  | J.Int v when v = format_version -> ()
+  | J.Int v -> fail "unsupported %s version %d" format_tag v
+  | _ -> fail "missing %s version" format_tag);
+  let globals = List.map global_of_json (J.get_list "globals" j) in
+  let funcs = List.map func_of_json (J.get_list "funcs" j) in
+  Prog.create ~globals funcs

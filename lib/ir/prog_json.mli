@@ -1,0 +1,31 @@
+(** JSON serialization of whole programs.
+
+    The structured counterpart of the {!Asm} save format: globals keep
+    their hex images, blocks keep their label order, and each
+    instruction is stored as an [[iid, "text"]] pair in the textual
+    assembly syntax, so instruction ids — and therefore analysis facts
+    and profiles keyed by them — survive a round trip exactly, like they
+    do through {!Asm}.
+
+    This is the program wire format of the [ogc serve] optimization
+    service (requests may carry a serialized program instead of MiniC
+    source; responses may return the re-encoded program) and the on-disk
+    form of its content-addressed analysis cache.
+
+    [of_json (to_json p)] is structurally identical to [p] (the
+    round-trip is property-tested in [test/test_server.ml]).  [of_json]
+    checks the [format]/[format_version] header and validates shapes,
+    but does not run {!Validate.program} — callers that accept untrusted
+    programs should. *)
+
+val format_tag : string
+(** ["ogc.prog"], the [format] header member. *)
+
+val format_version : int
+
+val to_json : Prog.t -> Ogc_json.Json.t
+
+val of_json : Ogc_json.Json.t -> Prog.t
+(** Raises {!Ogc_json.Json.Parse_error} on a malformed tree (including
+    assembly syntax errors inside instruction texts, re-raised uniformly
+    as [Parse_error]). *)

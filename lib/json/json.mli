@@ -1,0 +1,53 @@
+(** Minimal JSON tree, printer and parser (no external dependency).
+
+    Originally purpose-built for the machine-readable benchmark results;
+    now also the wire format of the [ogc serve] optimization service and
+    of the {!Ogc_ir.Prog_json} program serialization, which is why it
+    lives below every other library.  Printing is deterministic (object
+    members keep the given order, floats print with 17 significant digits
+    so doubles round-trip exactly), and [of_string] accepts exactly what
+    [to_string] emits plus ordinary interchange JSON (whitespace,
+    escapes, nested values).
+
+    Round-tripping is property-tested ([test/test_json.ml]): for every
+    string — control characters, high bytes, quotes — and every finite
+    float — [-0.], [1e308], subnormals, integer-valued doubles —
+    [of_string (to_string v)] reconstructs [v] exactly (bit-for-bit for
+    floats).  NaN and infinities print as [null], following the common
+    emitter convention. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a position-annotated message. *)
+
+val to_string : ?indent:bool -> t -> string
+(** [indent] (default [true]) pretty-prints with two-space indentation;
+    the compact form has no whitespace at all.  Both are deterministic. *)
+
+val of_string : string -> t
+
+(** {1 Accessors}
+
+    All raise [Parse_error] with the offending member name on a shape
+    mismatch, so a malformed results file fails with a usable message
+    rather than a [Match_failure]. *)
+
+val member : string -> t -> t
+(** Object member lookup; [Null] when absent. *)
+
+val get_int : string -> t -> int
+val get_float : string -> t -> float
+(** Accepts both [Int] and [Float] members (a float that prints without
+    a fractional part re-parses as an integer). *)
+
+val get_string : string -> t -> string
+val get_bool : string -> t -> bool
+val get_list : string -> t -> t list

@@ -1,0 +1,127 @@
+(* Content-addressed analysis cache: MD5 of the canonical request ->
+   serialized result payload.  Exact LRU: every hit restamps its entry
+   with a monotonic tick, and eviction removes the minimum stamp (an
+   O(capacity) scan — capacities are a few hundred entries, and each
+   miss it amortizes costs a full compile + analysis + simulation). *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  disk_hits : int;
+}
+
+type entry = { value : string; mutable stamp : int }
+
+type t = {
+  capacity : int;
+  dir : string option;
+  tbl : (string, entry) Hashtbl.t;
+  m : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable disk_hits : int;
+}
+
+let key_of_string s = Digest.to_hex (Digest.string s)
+
+let create ?(capacity = 256) ?dir () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | _ -> ());
+  { capacity = max 1 capacity;
+    dir;
+    tbl = Hashtbl.create 64;
+    m = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    disk_hits = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let path_of t key =
+  match t.dir with
+  | None -> None
+  | Some d -> Some (Filename.concat d (key ^ ".json"))
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+  end
+
+(* Atomic publish: a crashed writer never leaves a torn cache file. *)
+let write_file path value =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc value;
+  close_out oc;
+  Sys.rename tmp path
+
+let insert_locked t key value =
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.capacity then begin
+      let victim = ref None in
+      Hashtbl.iter
+        (fun k e ->
+          match !victim with
+          | Some (_, s) when s <= e.stamp -> ()
+          | _ -> victim := Some (k, e.stamp))
+        t.tbl;
+      match !victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.tbl k;
+        t.evictions <- t.evictions + 1
+      | None -> ()
+    end;
+    t.tick <- t.tick + 1;
+    Hashtbl.add t.tbl key { value; stamp = t.tick }
+  end
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.stamp <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None -> (
+        match Option.map read_file (path_of t key) with
+        | Some (Some value) ->
+          (* Disk hit: promote into the in-memory tier. *)
+          insert_locked t key value;
+          t.hits <- t.hits + 1;
+          t.disk_hits <- t.disk_hits + 1;
+          Some value
+        | _ ->
+          t.misses <- t.misses + 1;
+          None))
+
+let store t key value =
+  locked t (fun () ->
+      insert_locked t key value;
+      match path_of t key with
+      | Some path when not (Sys.file_exists path) -> write_file path value
+      | _ -> ())
+
+let stats t =
+  locked t (fun () ->
+      { entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        disk_hits = t.disk_hits })

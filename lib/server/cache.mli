@@ -1,0 +1,42 @@
+(** Content-addressed analysis cache.
+
+    Keys are MD5 digests of the canonical request (program payload +
+    options + analyzer version — see {!Protocol.cache_key}); values are
+    the serialized result payloads, byte-identical on every hit.  Two
+    tiers:
+
+    - an in-memory exact-LRU table bounded by [capacity];
+    - optionally, one file per entry under [dir] ([<digest>.json],
+      written atomically via rename), so a restarted server — or another
+      server sharing the directory — rehydrates results it has never
+      computed.  Disk lookups count as hits and promote the entry back
+      into memory.
+
+    All operations are thread-safe (one mutex; no I/O is performed while
+    other threads are blocked on an analysis). *)
+
+type t
+
+type stats = {
+  entries : int;  (** in-memory entries right now *)
+  capacity : int;
+  hits : int;  (** includes disk hits *)
+  misses : int;
+  evictions : int;  (** LRU evictions from the memory tier *)
+  disk_hits : int;
+}
+
+val key_of_string : string -> string
+(** MD5 hex digest of a canonical request string. *)
+
+val create : ?capacity:int -> ?dir:string -> unit -> t
+(** [capacity] defaults to 256 entries (clamped to at least 1).  [dir]
+    enables the persistent tier; it is created if missing. *)
+
+val find : t -> string -> string option
+(** Memory first, then disk; updates hit/miss counters and recency. *)
+
+val store : t -> string -> string -> unit
+(** Idempotent: re-storing an existing key keeps the first value. *)
+
+val stats : t -> stats

@@ -1,0 +1,32 @@
+(* Build-time script (not part of the library): prints a version.ml whose
+   [version] is the (version ...) field of dune-project, so the CLI,
+   every server response and every cache key carry the analyzer version
+   from a single source of truth. *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let version = ref "0.0.0+dev" in
+  let prefix = "(version " in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if
+         String.length line > String.length prefix
+         && String.sub line 0 (String.length prefix) = prefix
+       then begin
+         let rest =
+           String.sub line (String.length prefix)
+             (String.length line - String.length prefix)
+         in
+         let stop =
+           match String.index_opt rest ')' with
+           | Some i -> i
+           | None -> String.length rest
+         in
+         version := String.trim (String.sub rest 0 stop)
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Printf.printf "let version = %S\n" !version

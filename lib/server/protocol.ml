@@ -1,0 +1,253 @@
+module J = Ogc_json.Json
+module Prog = Ogc_ir.Prog
+module Workload = Ogc_workloads.Workload
+module Policy = Ogc_gating.Policy
+module Pipeline = Ogc_cpu.Pipeline
+module Account = Ogc_energy.Account
+module Results = Ogc_harness.Results
+
+let fail fmt = Fmt.kstr (fun s -> raise (J.Parse_error s)) fmt
+
+type payload =
+  | Source of string
+  | Asm_text of string
+  | Prog_tree of J.t
+  | Workload of string
+
+type pass = P_none | P_vrp | P_vrs
+
+type request = {
+  id : string option;
+  payload : payload;
+  input : Workload.input;
+  pass : pass;
+  policy : Policy.t;
+  cost : int;
+  deadline_ms : int option;
+  return_program : bool;
+}
+
+type op = Analyze of request | Stats | Ping
+
+(* --- request parsing ------------------------------------------------------ *)
+
+let pass_of_string = function
+  | "none" -> P_none
+  | "vrp" -> P_vrp
+  | "vrs" -> P_vrs
+  | s -> fail "unknown pass %S (expected none, vrp or vrs)" s
+
+let pass_name = function P_none -> "none" | P_vrp -> "vrp" | P_vrs -> "vrs"
+
+let policy_of_string s =
+  match List.find_opt (fun p -> String.equal (Policy.name p) s) Policy.all with
+  | Some p -> p
+  | None ->
+    fail "unknown policy %S (expected one of %s)" s
+      (String.concat ", " (List.map Policy.name Policy.all))
+
+let input_of_string = function
+  | "train" -> Workload.Train
+  | "ref" -> Workload.Ref
+  | s -> fail "unknown input %S (expected train or ref)" s
+
+let input_name = function Workload.Train -> "train" | Workload.Ref -> "ref"
+
+let opt_string k j =
+  match J.member k j with
+  | J.Null -> None
+  | J.Str s -> Some s
+  | _ -> fail "member %S: expected a string" k
+
+let opt_int k j =
+  match J.member k j with
+  | J.Null -> None
+  | J.Int i -> Some i
+  | _ -> fail "member %S: expected an integer" k
+
+let opt_bool ~default k j =
+  match J.member k j with
+  | J.Null -> default
+  | J.Bool b -> b
+  | _ -> fail "member %S: expected a boolean" k
+
+let request_of_json j =
+  let payload =
+    match
+      ( opt_string "source" j, opt_string "asm" j, J.member "prog" j,
+        opt_string "workload" j )
+    with
+    | Some s, None, J.Null, None -> Source s
+    | None, Some s, J.Null, None -> Asm_text s
+    | None, None, (J.Obj _ as p), None -> Prog_tree p
+    | None, None, J.Null, Some w -> Workload w
+    | None, None, J.Null, None ->
+      fail "request carries no program (source, asm, prog or workload)"
+    | _ -> fail "request carries more than one program payload"
+  in
+  let pass =
+    match opt_string "pass" j with
+    | None -> P_none
+    | Some s -> pass_of_string s
+  in
+  let policy =
+    match opt_string "policy" j with
+    | Some s -> policy_of_string s
+    | None -> ( match pass with P_none -> Policy.No_gating | _ -> Policy.Software)
+  in
+  { id = opt_string "id" j;
+    payload;
+    input =
+      (match opt_string "input" j with
+      | None -> Workload.Train
+      | Some s -> input_of_string s);
+    pass;
+    policy;
+    cost = Option.value ~default:50 (opt_int "cost" j);
+    deadline_ms = opt_int "deadline_ms" j;
+    return_program = opt_bool ~default:false "return_program" j }
+
+let op_of_json j =
+  match opt_string "op" j with
+  | None | Some "analyze" -> Analyze (request_of_json j)
+  | Some "stats" -> Stats
+  | Some "ping" -> Ping
+  | Some op -> fail "unknown op %S (expected analyze, stats or ping)" op
+
+(* --- cache key ------------------------------------------------------------ *)
+
+(* Canonical digest input: everything that can change the result payload
+   — program bytes, options, and the analyzer version (an upgraded
+   analyzer must never serve a stale artifact) — and nothing that cannot
+   (id, deadline). *)
+let cache_key req =
+  let kind, body =
+    match req.payload with
+    | Source s -> ("source", s)
+    | Asm_text s -> ("asm", s)
+    | Prog_tree p -> ("prog", J.to_string ~indent:false p)
+    | Workload w -> ("workload", w)
+  in
+  let canonical =
+    J.to_string ~indent:false
+      (J.Obj
+         [ ("analyzer", J.Str Version.version);
+           ("kind", J.Str kind);
+           ("body", J.Str body);
+           ("input", J.Str (input_name req.input));
+           ("pass", J.Str (pass_name req.pass));
+           ("policy", J.Str (Policy.name req.policy));
+           ("cost", J.Int req.cost);
+           ("return_program", J.Bool req.return_program) ])
+  in
+  Cache.key_of_string canonical
+
+(* --- the analysis --------------------------------------------------------- *)
+
+(* Scale the input_scale global when the program has one (benchmarks);
+   plain MiniC sources without it run as-is on both inputs. *)
+let set_scale_if p input =
+  if Prog.find_global p "input_scale" <> None then
+    Workload.set_scale p input
+
+let load req input =
+  match req.payload with
+  | Workload name -> (
+    match Workload.find name with
+    | w -> Workload.compile w input
+    | exception Not_found -> fail "unknown workload %S" name)
+  | Source src ->
+    let p =
+      try Ogc_minic.Minic.compile src
+      with Ogc_minic.Minic.Error m -> fail "MiniC: %s" m
+    in
+    set_scale_if p input;
+    p
+  | Asm_text s ->
+    let p = try Ogc_ir.Asm.parse s with Ogc_ir.Asm.Error m -> fail "asm: %s" m in
+    Ogc_ir.Validate.program p;
+    set_scale_if p input;
+    p
+  | Prog_tree j ->
+    let p = Ogc_ir.Prog_json.of_json j in
+    Ogc_ir.Validate.program p;
+    set_scale_if p input;
+    p
+
+(* Baseline (untransformed, ungated) and optimized programs, both at the
+   request's evaluation scale.  VRS mirrors the batch harness: profile
+   and specialize on the train input, evaluate on the requested one. *)
+let build req =
+  match req.pass with
+  | P_none | P_vrp ->
+    let p = load req req.input in
+    let base = Prog.copy p in
+    if req.pass = P_vrp then ignore (Ogc_core.Vrp.run p);
+    (base, p)
+  | P_vrs ->
+    let p = load req Workload.Train in
+    let config =
+      { Ogc_core.Vrs.default_config with
+        test_cost_nj = Results.test_cost_of_label req.cost }
+    in
+    ignore (Ogc_core.Vrs.run ~config p);
+    set_scale_if p req.input;
+    (load req req.input, p)
+
+let static_widths p =
+  let h = Hashtbl.create 8 in
+  Prog.iter_all_ins p (fun _ _ ins ->
+      let w = Ogc_isa.Instr.width ins.Prog.op in
+      Hashtbl.replace h w (1 + Option.value ~default:0 (Hashtbl.find_opt h w)));
+  List.map
+    (fun w ->
+      ( Ogc_isa.Width.to_string w,
+        J.Int (Option.value ~default:0 (Hashtbl.find_opt h w)) ))
+    Ogc_isa.Width.all
+
+let dynamic_widths stats =
+  List.map
+    (fun (w, frac) -> (Ogc_isa.Width.to_string w, J.Float frac))
+    (Results.width_distribution stats)
+
+let analyze req =
+  let base, p = build req in
+  let opt_stats = Pipeline.simulate ~policy:req.policy p in
+  let base_stats = Pipeline.simulate ~policy:Policy.No_gating base in
+  if not (Int64.equal opt_stats.Pipeline.checksum base_stats.Pipeline.checksum)
+  then
+    Fmt.failwith
+      "optimization changed the program's output (%Ld <> %Ld)"
+      opt_stats.Pipeline.checksum base_stats.Pipeline.checksum;
+  let energy = Account.total opt_stats.Pipeline.energy in
+  let base_energy = Account.total base_stats.Pipeline.energy in
+  let ipc = Pipeline.ipc opt_stats and base_ipc = Pipeline.ipc base_stats in
+  J.Obj
+    (List.concat
+       [ [ ("pass", J.Str (pass_name req.pass));
+           ("policy", J.Str (Policy.name req.policy));
+           ("input", J.Str (input_name req.input));
+           ("static_instructions", J.Int (Prog.num_static_ins p));
+           ("widths",
+            J.Obj
+              [ ("static", J.Obj (static_widths p));
+                ("dynamic", J.Obj (dynamic_widths opt_stats)) ]);
+           ("instructions", J.Int opt_stats.Pipeline.instructions);
+           ("cycles", J.Int opt_stats.Pipeline.cycles);
+           ("ipc", J.Float ipc);
+           ("baseline_ipc", J.Float base_ipc);
+           ("ipc_delta", J.Float (ipc -. base_ipc));
+           ("energy_nj", J.Float energy);
+           ("baseline_energy_nj", J.Float base_energy);
+           ("energy_saving",
+            J.Float (Account.savings ~baseline:base_energy ~improved:energy));
+           ("by_structure",
+            J.Obj
+              (List.map
+                 (fun (st, e) ->
+                   (Ogc_energy.Energy_params.structure_name st, J.Float e))
+                 (Account.by_structure opt_stats.Pipeline.energy)));
+           ("checksum", J.Str (Int64.to_string opt_stats.Pipeline.checksum)) ];
+         (if req.return_program then
+            [ ("program", Ogc_ir.Prog_json.to_json p) ]
+          else []) ])

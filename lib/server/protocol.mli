@@ -1,0 +1,63 @@
+(** Wire protocol of the optimization service.
+
+    Requests and responses are newline-delimited JSON objects (NDJSON):
+    one request per line, one response line per request, in order.  A
+    request carries a program in exactly one of four forms —
+
+    - ["source"]: MiniC source text;
+    - ["asm"]: the {!Ogc_ir.Asm} save format;
+    - ["prog"]: a {!Ogc_ir.Prog_json} object;
+    - ["workload"]: the name of a built-in benchmark —
+
+    plus options: ["pass"] (["none"]/["vrp"]/["vrs"], default none),
+    ["policy"] (a {!Ogc_gating.Policy.name}; defaults to software gating
+    when a pass runs, no gating otherwise), ["input"]
+    (["train"]/["ref"]), ["cost"] (the VRS cost label, default 50),
+    ["deadline_ms"], ["return_program"] (include the re-encoded program
+    in the result), ["id"] (opaque, echoed in the response), and ["op"]
+    (["analyze"] default, ["stats"], ["ping"]).
+
+    The result payload of an analysis contains the static and dynamic
+    width histograms of the optimized program, modelled energy / IPC and
+    their deltas against the untransformed ungated baseline, the
+    per-structure energy split, and the output checksum (asserted equal
+    to the baseline's — an optimization that changes program output is
+    an error, exactly as in the batch harness). *)
+
+type payload =
+  | Source of string
+  | Asm_text of string
+  | Prog_tree of Ogc_json.Json.t
+  | Workload of string
+
+type pass = P_none | P_vrp | P_vrs
+
+type request = {
+  id : string option;
+  payload : payload;
+  input : Ogc_workloads.Workload.input;
+  pass : pass;
+  policy : Ogc_gating.Policy.t;
+  cost : int;  (** VRS cost label (the paper's 30-110 sweep) *)
+  deadline_ms : int option;
+  return_program : bool;
+}
+
+type op = Analyze of request | Stats | Ping
+
+val op_of_json : Ogc_json.Json.t -> op
+(** Raises [Ogc_json.Json.Parse_error] on malformed requests. *)
+
+val pass_name : pass -> string
+val input_name : Ogc_workloads.Workload.input -> string
+
+val cache_key : request -> string
+(** Content address of a request: MD5 over a canonical rendering of the
+    program payload, every result-affecting option, and the analyzer
+    version — never over [id] or [deadline_ms].  Two requests with equal
+    keys receive byte-identical result payloads. *)
+
+val analyze : request -> Ogc_json.Json.t
+(** Run the requested pass and simulation; the cacheable result payload.
+    Raises [Parse_error] on bad programs and [Failure] when an
+    optimization changes the program's output. *)

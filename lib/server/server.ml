@@ -1,0 +1,320 @@
+module J = Ogc_json.Json
+module Pool = Ogc_exec.Pool
+
+exception Deadline_exceeded
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  jobs : int option;
+  queue_limit : int;
+  cache_capacity : int;
+  cache_dir : string option;
+  log : string -> unit;
+}
+
+let default_config addr =
+  { addr;
+    jobs = None;
+    queue_limit = 64;
+    cache_capacity = 256;
+    cache_dir = None;
+    log = ignore }
+
+let lat_window = 1024
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Pool.t;
+  cache : Cache.t;
+  pending : int Atomic.t;  (* analyses queued or running *)
+  stopping : bool Atomic.t;
+  started : float;
+  m : Mutex.t;  (* guards the mutable fields below *)
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  mutable requests : int;
+  mutable analyses : int;  (* cache misses actually computed *)
+  mutable errors : int;
+  mutable rejected : int;  (* overload replies *)
+  mutable expired : int;  (* deadline replies *)
+  latencies : float array;  (* ring of the last [lat_window] latencies, ms *)
+  mutable lat_n : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* --- socket setup --------------------------------------------------------- *)
+
+let sockaddr_of = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } ->
+          Fmt.failwith "cannot resolve %s" host
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found -> Fmt.failwith "cannot resolve %s" host)
+    in
+    Unix.ADDR_INET (ip, port)
+
+let create cfg =
+  let domain =
+    match cfg.addr with Unix_sock _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match cfg.addr with
+  | Unix_sock path ->
+    (* A stale socket file from a previous run would make bind fail. *)
+    if Sys.file_exists path then Unix.unlink path
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of cfg.addr);
+  Unix.listen fd 64;
+  { cfg;
+    listen_fd = fd;
+    pool = Pool.create ?jobs:cfg.jobs ();
+    cache = Cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+    pending = Atomic.make 0;
+    stopping = Atomic.make false;
+    started = Unix.gettimeofday ();
+    m = Mutex.create ();
+    conns = [];
+    threads = [];
+    requests = 0;
+    analyses = 0;
+    errors = 0;
+    rejected = 0;
+    expired = 0;
+    latencies = Array.make lat_window 0.0;
+    lat_n = 0 }
+
+(* --- stats ----------------------------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float (q *. float_of_int (n - 1) +. 0.5))
+
+let stats_json t =
+  let c = Cache.stats t.cache in
+  let lats, counters =
+    locked t (fun () ->
+        ( Array.sub t.latencies 0 (min t.lat_n lat_window),
+          (t.requests, t.analyses, t.errors, t.rejected, t.expired, t.lat_n) ))
+  in
+  let requests, analyses, errors, rejected, expired, lat_n = counters in
+  Array.sort compare lats;
+  let lookups = c.Cache.hits + c.Cache.misses in
+  J.Obj
+    [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+      ("requests", J.Int requests);
+      ("analyses", J.Int analyses);
+      ("errors", J.Int errors);
+      ("rejected", J.Int rejected);
+      ("expired", J.Int expired);
+      ("cache",
+       J.Obj
+         [ ("entries", J.Int c.Cache.entries);
+           ("capacity", J.Int c.Cache.capacity);
+           ("hits", J.Int c.Cache.hits);
+           ("misses", J.Int c.Cache.misses);
+           ("hit_rate",
+            J.Float
+              (if lookups = 0 then 0.0
+               else float_of_int c.Cache.hits /. float_of_int lookups));
+           ("evictions", J.Int c.Cache.evictions);
+           ("disk_hits", J.Int c.Cache.disk_hits) ]);
+      ("latency_ms",
+       J.Obj
+         [ ("count", J.Int lat_n);
+           ("p50", J.Float (percentile lats 0.50));
+           ("p95", J.Float (percentile lats 0.95)) ]);
+      ("pool",
+       J.Obj
+         [ ("jobs", J.Int (Pool.size t.pool));
+           ("pending", J.Int (Atomic.get t.pending));
+           ("queue_limit", J.Int t.cfg.queue_limit) ]) ]
+
+let record_latency t ms =
+  locked t (fun () ->
+      t.latencies.(t.lat_n mod lat_window) <- ms;
+      t.lat_n <- t.lat_n + 1)
+
+(* --- request handling ------------------------------------------------------ *)
+
+let envelope ?id ~status extra =
+  J.to_string ~indent:false
+    (J.Obj
+       (("version", J.Str Version.version)
+        :: (match id with Some s -> [ ("id", J.Str s) ] | None -> [])
+        @ (("status", J.Str status) :: extra)))
+
+let handle_analyze t ~t0 (req : Protocol.request) =
+  let id = req.Protocol.id in
+  let key = Protocol.cache_key req in
+  match Cache.find t.cache key with
+  | Some payload ->
+    record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+    envelope ?id ~status:"ok"
+      [ ("cache", J.Str "hit"); ("result", J.of_string payload) ]
+  | None ->
+    if Option.fold ~none:false ~some:(fun ms -> ms <= 0) req.Protocol.deadline_ms
+    then begin
+      locked t (fun () -> t.expired <- t.expired + 1);
+      envelope ?id ~status:"deadline_exceeded"
+        [ ("error", J.Str "deadline expired before the analysis started") ]
+    end
+    else if Atomic.fetch_and_add t.pending 1 >= t.cfg.queue_limit then begin
+      (* Bounded queue: shed load instead of accepting unbounded work. *)
+      Atomic.decr t.pending;
+      locked t (fun () -> t.rejected <- t.rejected + 1);
+      envelope ?id ~status:"overloaded"
+        [ ("error", J.Str "analysis queue is full, retry later");
+          ("queue_limit", J.Int t.cfg.queue_limit) ]
+    end
+    else begin
+      let deadline =
+        Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0))
+          req.Protocol.deadline_ms
+      in
+      let ticket =
+        Pool.submit t.pool (fun () ->
+            (match deadline with
+            | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
+            | _ -> ());
+            J.to_string ~indent:false (Protocol.analyze req))
+      in
+      let outcome =
+        match Pool.await ticket with
+        | payload -> Ok payload
+        | exception e -> Error e
+      in
+      Atomic.decr t.pending;
+      match outcome with
+      | Ok payload ->
+        Cache.store t.cache key payload;
+        record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+        locked t (fun () -> t.analyses <- t.analyses + 1);
+        envelope ?id ~status:"ok"
+          [ ("cache", J.Str "miss"); ("result", J.of_string payload) ]
+      | Error Deadline_exceeded ->
+        locked t (fun () -> t.expired <- t.expired + 1);
+        envelope ?id ~status:"deadline_exceeded"
+          [ ("error", J.Str "deadline expired before the analysis started") ]
+      | Error (J.Parse_error msg | Failure msg) ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        envelope ?id ~status:"error" [ ("error", J.Str msg) ]
+      | Error e ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        envelope ?id ~status:"error" [ ("error", J.Str (Printexc.to_string e)) ]
+    end
+
+let handle_line t line =
+  let t0 = Unix.gettimeofday () in
+  locked t (fun () -> t.requests <- t.requests + 1);
+  match J.of_string line with
+  | exception J.Parse_error msg ->
+    locked t (fun () -> t.errors <- t.errors + 1);
+    envelope ~status:"error" [ ("error", J.Str msg) ]
+  | j -> (
+    let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
+    match Protocol.op_of_json j with
+    | exception J.Parse_error msg ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      envelope ?id ~status:"error" [ ("error", J.Str msg) ]
+    | Protocol.Ping -> envelope ?id ~status:"ok" [ ("op", J.Str "ping") ]
+    | Protocol.Stats ->
+      envelope ?id ~status:"ok"
+        [ ("op", J.Str "stats"); ("result", stats_json t) ]
+    | Protocol.Analyze req -> handle_analyze t ~t0 req)
+
+(* --- connections ----------------------------------------------------------- *)
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | "" -> ()
+       | line ->
+         output_string oc (handle_line t (String.trim line));
+         output_char oc '\n';
+         flush oc
+       | exception (End_of_file | Sys_error _) -> continue := false
+     done
+   with _ -> ());
+  locked t (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- lifecycle ------------------------------------------------------------- *)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* Wake the accept loop with a throwaway connection; [run] does the
+       actual drain.  Async-signal-safe enough for a SIGINT handler: no
+       locks are taken. *)
+    try
+      let domain =
+        match t.cfg.addr with
+        | Unix_sock _ -> Unix.PF_UNIX
+        | Tcp _ -> Unix.PF_INET
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (sockaddr_of t.cfg.addr)
+       with Unix.Unix_error _ -> ());
+      Unix.close fd
+    with _ -> ()
+  end
+
+let install_sigint t =
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t))
+
+let run t =
+  t.cfg.log
+    (Printf.sprintf "ogc-serve %s: listening (%d worker domains, queue %d)"
+       Version.version (Pool.size t.pool) t.cfg.queue_limit);
+  let continue = ref true in
+  while !continue do
+    if Atomic.get t.stopping then continue := false
+    else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        if Atomic.get t.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          continue := false
+        end
+        else
+          locked t (fun () ->
+              t.conns <- fd :: t.conns;
+              t.threads <- Thread.create (handle_conn t) fd :: t.threads)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* Graceful drain: stop accepting, nudge idle connections to EOF (a
+     connection mid-request still writes its response first — its read
+     side only reports EOF on the next request), finish every in-flight
+     analysis, then retire the worker domains. *)
+  t.cfg.log "ogc-serve: draining";
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.addr with
+  | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  let conns, threads =
+    locked t (fun () -> (t.conns, t.threads))
+  in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join threads;
+  Pool.shutdown t.pool;
+  t.cfg.log "ogc-serve: stopped"

@@ -1,0 +1,62 @@
+(** The optimization service: a long-running daemon that accepts
+    newline-delimited JSON analysis requests (see {!Protocol}) over a
+    Unix-domain or TCP socket.
+
+    Architecture: the calling thread runs the accept loop; every
+    connection gets a systhread that parses request lines and writes one
+    response line per request, in order.  CPU-bound analyses are
+    submitted to a persistent {!Ogc_exec.Pool} of worker domains behind
+    a bounded admission queue — when more than [queue_limit] analyses
+    are in flight the server replies [{"status":"overloaded"}] instead
+    of queueing unboundedly.  Results are memoized in a
+    content-addressed {!Cache}, so a repeated request is answered from
+    the cache ([{"cache":"hit"}]) with a byte-identical result payload.
+
+    Shutdown is graceful: {!stop} (or SIGINT after {!install_sigint})
+    makes {!run} stop accepting, lets every in-flight request finish and
+    its response flush, then retires the connection threads and the
+    worker domains. *)
+
+type addr =
+  | Unix_sock of string  (** path of a Unix-domain socket *)
+  | Tcp of string * int  (** host, port *)
+
+type config = {
+  addr : addr;
+  jobs : int option;  (** worker domains; [None] = [Pool.default_jobs] *)
+  queue_limit : int;  (** in-flight analyses before shedding load *)
+  cache_capacity : int;  (** in-memory cache entries *)
+  cache_dir : string option;  (** persistent cache tier, if any *)
+  log : string -> unit;  (** lifecycle messages; [ignore] to silence *)
+}
+
+val default_config : addr -> config
+(** [jobs = None], [queue_limit = 64], [cache_capacity = 256], no
+    persistent cache, silent log. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen (unlinking a stale Unix socket file first), start
+    the worker pool.  Raises [Unix.Unix_error] when the address is
+    unavailable. *)
+
+val run : t -> unit
+(** Serve until {!stop}; returns after the graceful drain completes.
+    Call at most once. *)
+
+val stop : t -> unit
+(** Request shutdown; safe from a signal handler or another thread.
+    Idempotent.  [run] performs the drain and returns. *)
+
+val install_sigint : t -> unit
+(** Route SIGINT to {!stop} for a clean drain on Ctrl-C. *)
+
+val stats_json : t -> Ogc_json.Json.t
+(** The same counters the ["stats"] op reports: requests, cache
+    hit/miss/eviction counts, latency percentiles, pool utilization. *)
+
+val handle_line : t -> string -> string
+(** Process one request line and return the response line (without the
+    trailing newline).  Exposed for tests; [run] uses it for every
+    connection. *)

@@ -1,0 +1,6 @@
+(** Analyzer version, generated at build time from the [(version ...)]
+    field of [dune-project].  Stamped into [ogc --version], into every
+    server response, and into every cache key, so clients and cached
+    artifacts can detect analyzer-version skew. *)
+
+val version : string

@@ -1,0 +1,289 @@
+(* Optimization-service tests: cache determinism, deadline expiry,
+   bounded-queue rejection and the graceful SIGINT drain — all over a
+   real Unix-domain socket — plus Prog_json round-trip properties (the
+   wire form of programs the service ships). *)
+
+module J = Ogc_json.Json
+module Server = Ogc_server.Server
+module Cache = Ogc_server.Cache
+module Prog_json = Ogc_ir.Prog_json
+module Workload = Ogc_workloads.Workload
+
+let src =
+  "long input_scale = 3;\n\
+   int main() {\n\
+  \  int n = 40 * (int)input_scale;\n\
+  \  long s = 0;\n\
+  \  for (int i = 0; i < n; i++) s += (i & 255) * 3;\n\
+  \  emit(s);\n\
+  \  return 0;\n\
+   }\n"
+
+let analyze_req ?(pass = "vrp") ?deadline_ms () =
+  J.to_string ~indent:false
+    (J.Obj
+       ([ ("source", J.Str src); ("pass", J.Str pass) ]
+        @ match deadline_ms with
+          | None -> []
+          | Some ms -> [ ("deadline_ms", J.Int ms) ]))
+
+(* Socket paths must stay short (sun_path is ~100 bytes). *)
+let sock_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "/tmp/ogc-test-%d-%d.sock" (Unix.getpid ()) !n
+
+let with_server ?(queue_limit = 64) ?cache_dir f =
+  let path = sock_path () in
+  let cfg =
+    { (Server.default_config (Server.Unix_sock path)) with
+      jobs = Some 1;
+      queue_limit;
+      cache_dir }
+  in
+  let t = Server.create cfg in
+  let th = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Thread.join th;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path t)
+
+(* One connection, one request line, one response line. *)
+let request path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let resp = input_line ic in
+  Unix.close fd;
+  resp
+
+let field resp k =
+  match J.member k (J.of_string resp) with
+  | J.Str s -> s
+  | J.Null -> Alcotest.failf "response lacks %S: %s" k resp
+  | v -> J.to_string ~indent:false v
+
+let result_bytes resp =
+  J.to_string ~indent:false (J.member "result" (J.of_string resp))
+
+(* --- cache ----------------------------------------------------------------- *)
+
+let test_cache_hit_determinism () =
+  with_server (fun path t ->
+      let r1 = request path (analyze_req ()) in
+      Alcotest.(check string) "first is ok" "ok" (field r1 "status");
+      Alcotest.(check string) "first misses" "miss" (field r1 "cache");
+      let r2 = request path (analyze_req ()) in
+      Alcotest.(check string) "second is ok" "ok" (field r2 "status");
+      Alcotest.(check string) "second hits" "hit" (field r2 "cache");
+      Alcotest.(check string) "hit payload is byte-identical"
+        (result_bytes r1) (result_bytes r2);
+      (* A different option is a different content address. *)
+      let r3 = request path (analyze_req ~pass:"none" ()) in
+      Alcotest.(check string) "changed options miss" "miss" (field r3 "cache");
+      let stats = Server.stats_json t in
+      let cache = J.member "cache" stats in
+      Alcotest.(check int) "hits" 1 (J.get_int "hits" cache);
+      Alcotest.(check int) "misses" 2 (J.get_int "misses" cache))
+
+let test_cache_version_in_envelope () =
+  with_server (fun path _ ->
+      let r = request path {|{"op":"ping"}|} in
+      Alcotest.(check string) "status" "ok" (field r "status");
+      Alcotest.(check string) "version" Ogc_server.Version.version
+        (field r "version"))
+
+let test_cache_disk_persistence () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ogc-cache-%d" (Unix.getpid ())) in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Unix.rmdir dir
+      end)
+    (fun () ->
+      let first =
+        with_server ~cache_dir:dir (fun path _ ->
+            let r = request path (analyze_req ()) in
+            Alcotest.(check string) "fresh server misses" "miss"
+              (field r "cache");
+            result_bytes r)
+      in
+      (* A second server sharing the directory rehydrates the entry it
+         never computed. *)
+      with_server ~cache_dir:dir (fun path t ->
+          let r = request path (analyze_req ()) in
+          Alcotest.(check string) "restarted server hits" "hit"
+            (field r "cache");
+          Alcotest.(check string) "disk payload is byte-identical" first
+            (result_bytes r);
+          let cache = J.member "cache" (Server.stats_json t) in
+          Alcotest.(check int) "disk_hits" 1
+            (J.get_int "disk_hits" cache)))
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.store c "a" "1";
+  Cache.store c "b" "2";
+  ignore (Cache.find c "a");  (* refresh a; b is now LRU *)
+  Cache.store c "c" "3";
+  Alcotest.(check (option string)) "a survives" (Some "1") (Cache.find c "a");
+  Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+(* --- scheduler ------------------------------------------------------------- *)
+
+let test_deadline_expiry () =
+  with_server (fun path t ->
+      (* An already-expired deadline must not run the analysis at all. *)
+      let r = request path (analyze_req ~deadline_ms:0 ()) in
+      Alcotest.(check string) "status" "deadline_exceeded" (field r "status");
+      let stats = Server.stats_json t in
+      Alcotest.(check int) "expired counted" 1
+        (J.get_int "expired" stats);
+      Alcotest.(check int) "nothing analyzed" 0
+        (J.get_int "analyses" stats);
+      (* A generous deadline runs normally. *)
+      let r = request path (analyze_req ~deadline_ms:60_000 ()) in
+      Alcotest.(check string) "status" "ok" (field r "status"))
+
+let test_bounded_queue_rejection () =
+  with_server ~queue_limit:0 (fun path t ->
+      (* ping and stats are not admission-gated... *)
+      Alcotest.(check string) "ping ok" "ok"
+        (field (request path {|{"op":"ping"}|}) "status");
+      (* ...but with a zero-length queue every analysis is shed. *)
+      let r = request path (analyze_req ()) in
+      Alcotest.(check string) "overloaded" "overloaded" (field r "status");
+      Alcotest.(check int) "rejected counted" 1
+        (J.get_int "rejected" (Server.stats_json t)))
+
+let test_malformed_requests () =
+  with_server (fun path _ ->
+      Alcotest.(check string) "bad json" "error"
+        (field (request path "{nope") "status");
+      Alcotest.(check string) "no payload" "error"
+        (field (request path "{}") "status");
+      Alcotest.(check string) "two payloads" "error"
+        (field
+           (request path {|{"source":"int main(){return 0;}","workload":"compress"}|})
+           "status");
+      Alcotest.(check string) "bad minic" "error"
+        (field (request path {|{"source":"int main( {"}|}) "status");
+      (* id is echoed even on errors *)
+      let r = request path {|{"id":"req-7","pass":"bogus","source":"x"}|} in
+      Alcotest.(check string) "id echoed" "req-7" (field r "id"))
+
+(* --- drain ----------------------------------------------------------------- *)
+
+let test_stop_drains () =
+  let path = sock_path () in
+  let t =
+    Server.create
+      { (Server.default_config (Server.Unix_sock path)) with jobs = Some 1 }
+  in
+  let th = Thread.create Server.run t in
+  Alcotest.(check string) "server answers" "ok"
+    (field (request path (analyze_req ())) "status");
+  Server.stop t;
+  Thread.join th;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  (* a second stop is a harmless no-op *)
+  Server.stop t
+
+let test_sigint_drains () =
+  let path = sock_path () in
+  let t =
+    Server.create
+      { (Server.default_config (Server.Unix_sock path)) with jobs = Some 1 }
+  in
+  let th = Thread.create Server.run t in
+  let prev = Sys.signal Sys.sigint Sys.Signal_ignore in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint prev)
+    (fun () ->
+      Server.install_sigint t;
+      Alcotest.(check string) "server answers" "ok"
+        (field (request path {|{"op":"ping"}|}) "status");
+      Unix.kill (Unix.getpid ()) Sys.sigint;
+      (* Keep the main thread executing OCaml so the pending signal
+         action (which calls stop) runs promptly. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while Sys.file_exists path && Unix.gettimeofday () < deadline do
+        Thread.yield ()
+      done;
+      Thread.join th;
+      Alcotest.(check bool) "socket unlinked after SIGINT" false
+        (Sys.file_exists path))
+
+(* --- Prog_json round-trip --------------------------------------------------- *)
+
+let roundtrip_ok src =
+  match Ogc_minic.Minic.compile src with
+  | exception Ogc_minic.Minic.Error _ -> true  (* generator can overshoot *)
+  | p ->
+    let p' = Prog_json.of_json (Prog_json.to_json p) in
+    Ogc_ir.Validate.program p';
+    String.equal (Ogc_ir.Asm.to_string p) (Ogc_ir.Asm.to_string p')
+
+let prop_prog_json_roundtrip =
+  QCheck.Test.make ~name:"random MiniC programs round-trip through Prog_json"
+    ~count:150 Gen_minic.arbitrary_program roundtrip_ok
+
+let test_workloads_roundtrip () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = Workload.compile w Workload.Train in
+      let p' = Prog_json.of_json (Prog_json.to_json p) in
+      Ogc_ir.Validate.program p';
+      Alcotest.(check string) w.Workload.name
+        (Ogc_ir.Asm.to_string p) (Ogc_ir.Asm.to_string p'))
+    Workload.all
+
+let test_prog_json_rejects_garbage () =
+  List.iter
+    (fun j ->
+      match Prog_json.of_json (J.of_string j) with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted %s" j)
+    [ {|{}|};
+      {|{"format":"ogc.prog","version":999,"globals":[],"funcs":[]}|};
+      {|{"format":"not.prog","version":1,"globals":[],"funcs":[]}|};
+      {|{"format":"ogc.prog","version":1,"globals":[],"funcs":"x"}|} ]
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "server"
+    [ ("cache",
+       [ Alcotest.test_case "hit/miss determinism" `Quick
+           test_cache_hit_determinism;
+         Alcotest.test_case "version in envelope" `Quick
+           test_cache_version_in_envelope;
+         Alcotest.test_case "disk persistence" `Quick
+           test_cache_disk_persistence;
+         Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction ]);
+      ("scheduler",
+       [ Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+         Alcotest.test_case "bounded-queue rejection" `Quick
+           test_bounded_queue_rejection;
+         Alcotest.test_case "malformed requests" `Quick
+           test_malformed_requests ]);
+      ("drain",
+       [ Alcotest.test_case "stop drains cleanly" `Quick test_stop_drains;
+         Alcotest.test_case "SIGINT drains cleanly" `Quick
+           test_sigint_drains ]);
+      ("prog-json",
+       [ qt prop_prog_json_roundtrip;
+         Alcotest.test_case "workloads round-trip" `Quick
+           test_workloads_roundtrip;
+         Alcotest.test_case "garbage rejected" `Quick
+           test_prog_json_rejects_garbage ]) ]
