@@ -20,11 +20,13 @@
                            on regression (skips the micro-benchmarks)
      --max-regression PCT  per-cell energy/IPC tolerance for --baseline
                            (default 5.0)
+     --trace FILE          record phase spans during the collection and
+                           write a Chrome trace_event JSON (Perfetto)
      --skip-micro          skip the ablations and micro-benchmarks *)
 
 module Results = Ogc_harness.Results
 module Experiments = Ogc_harness.Experiments
-module Json = Ogc_harness.Json
+module Json = Ogc_json.Json
 module Minic = Ogc_minic.Minic
 module Interp = Ogc_ir.Interp
 module Vrp = Ogc_core.Vrp
@@ -37,13 +39,14 @@ type options = {
   json_out : string option;
   baseline : string option;
   max_regression_pct : float;
+  trace_out : string option;
   skip_micro : bool;
 }
 
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--jobs N] [--json FILE] [--baseline FILE]\n\
-    \                [--max-regression PCT] [--skip-micro]";
+    \                [--max-regression PCT] [--trace FILE] [--skip-micro]";
   exit 64
 
 let parse_options () =
@@ -55,6 +58,7 @@ let parse_options () =
         json_out = None;
         baseline = None;
         max_regression_pct = 5.0;
+        trace_out = None;
         skip_micro = false;
       }
   in
@@ -77,6 +81,9 @@ let parse_options () =
       go rest
     | "--baseline" :: v :: rest ->
       o := { !o with baseline = Some v };
+      go rest
+    | "--trace" :: v :: rest ->
+      o := { !o with trace_out = Some v };
       go rest
     | "--max-regression" :: v :: rest -> (
       match float_of_string_opt v with
@@ -131,15 +138,28 @@ let () =
         Format.eprintf "bad baseline %s: %s@." path msg;
         exit 65)
   in
+  if opts.trace_out <> None then begin
+    Ogc_obs.Metrics.set_enabled true;
+    Ogc_obs.Span.set_enabled true
+  end;
   let t0 = Unix.gettimeofday () in
   let cpu0 = Sys.time () in
-  let res =
-    Results.collect ~quick ~jobs
+  let res, phases =
+    Results.collect_timed ~quick ~jobs
       ~progress:(fun s -> Format.eprintf "[%s] %!" s)
       ()
   in
   let wall = Unix.gettimeofday () -. t0 in
   Format.eprintf "@.";
+  (match opts.trace_out with
+  | None -> ()
+  | Some path ->
+    Ogc_obs.Span.write path;
+    Ogc_obs.Span.set_enabled false;
+    Format.printf "wrote %s@." path);
+  Format.printf "phases:%s@.@."
+    (String.concat ""
+       (List.map (fun (n, s) -> Printf.sprintf " %s %.1fs" n s) phases));
   Format.printf "%s" (Experiments.render_all res);
   Format.printf "%s"
     (Ogc_harness.Render.heading "Headline comparison with the paper");
@@ -150,7 +170,19 @@ let () =
   (match opts.json_out with
   | None -> ()
   | Some path ->
-    write_file path (Json.to_string (Results.to_json res));
+    (* Per-phase timings ride along at the top level; Results.of_json
+       ignores unknown members, so --baseline keeps working. *)
+    let body =
+      match Results.to_json res with
+      | Json.Obj members ->
+        Json.Obj
+          (members
+           @ [ ("phases",
+                Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) phases))
+             ])
+      | j -> j
+    in
+    write_file path (Json.to_string body);
     Format.printf "wrote %s@.@." path);
   match baseline with
   | None -> ()

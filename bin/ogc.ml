@@ -19,6 +19,10 @@ module Workload = Ogc_workloads.Workload
 module Pipeline = Ogc_cpu.Pipeline
 module Policy = Ogc_gating.Policy
 module Account = Ogc_energy.Account
+module Json = Ogc_json.Json
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+module Log = Ogc_obs.Log
 
 (* --- program loading ---------------------------------------------------- *)
 
@@ -328,8 +332,43 @@ let trace_cmd =
     Arg.(value & opt int 0
          & info [ "skip" ] ~docv:"N" ~doc:"Events to skip before printing.")
   in
-  let run spec input count skip =
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Instead of printing interpreter events, run the whole \
+                   pipeline (parse, VRP, VRS, simulate, energy) under span \
+                   tracing and write a Chrome trace_event JSON file — open \
+                   it at $(b,https://ui.perfetto.dev) or \
+                   $(b,chrome://tracing).")
+  in
+  (* Phase tracing: every pipeline stage runs under an Obs.Span, and the
+     merged rings are exported as a Perfetto-loadable flame chart. *)
+  let run_phase_trace spec input path =
+    Metrics.set_enabled true;
+    Span.set_enabled true;
+    let p = Span.with_ ~name:"parse" (fun () -> load_program spec input) in
+    (* VRS mutates its program (and runs VRP internally), so give it its
+       own copy; the simulated binary is the VRP one. *)
+    let p_vrs = Prog.copy p in
+    ignore (Vrp.run p) (* records the "vrp" span *);
+    ignore (Vrs.run p_vrs) (* records "vrs" and its train/profile steps *);
+    let stats =
+      Pipeline.simulate ~policy:Policy.Software p (* records "simulate" *)
+    in
+    Span.with_ ~name:"energy" (fun () ->
+        let total = Account.total stats.Pipeline.energy in
+        let by = Account.by_structure stats.Pipeline.energy in
+        Format.printf "energy: %.0f nJ over %d cycles (%d structures)@."
+          total stats.Pipeline.cycles (List.length by));
+    Span.write path;
+    Span.set_enabled false;
+    Fmt.epr "wrote %s@." path
+  in
+  let run spec input count skip out =
     wrap (fun () ->
+        match out with
+        | Some path -> run_phase_trace spec input path
+        | None ->
         let p = load_program spec input in
         let seen = ref 0 in
         let exception Done in
@@ -358,8 +397,11 @@ let trace_cmd =
           skip)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print a window of the dynamic instruction trace")
-    Term.(const run $ program_arg $ input_arg $ count $ skip)
+    (Cmd.info "trace"
+       ~doc:"Print a window of the dynamic instruction trace, or \
+             ($(b,--out)) write a Chrome trace_event JSON of the whole \
+             pipeline's phase spans")
+    Term.(const run $ program_arg $ input_arg $ count $ skip $ out)
 
 (* --- report ------------------------------------------------------------------ *)
 
@@ -418,13 +460,12 @@ let report_cmd =
             close_in ic;
             (try
                Some
-                 (path,
-                  Ogc_harness.Results.of_json (Ogc_harness.Json.of_string src))
-             with Ogc_harness.Json.Parse_error msg ->
+                 (path, Ogc_harness.Results.of_json (Json.of_string src))
+             with Json.Parse_error msg ->
                Fmt.failwith "bad baseline %s: %s" path msg)
         in
-        let res =
-          Ogc_harness.Results.collect ~quick ?only ~jobs
+        let res, phases =
+          Ogc_harness.Results.collect_timed ~quick ?only ~jobs
             ~progress:(fun s -> Fmt.epr "[%s] %!" s)
             ()
         in
@@ -447,8 +488,19 @@ let report_cmd =
         | None -> ()
         | Some path ->
           let oc = open_out_bin path in
-          output_string oc
-            (Ogc_harness.Json.to_string (Ogc_harness.Results.to_json res));
+          (* Phase timings ride along at the top level; of_json ignores
+             unknown members, so old readers and --baseline still work. *)
+          let body =
+            match Ogc_harness.Results.to_json res with
+            | Json.Obj members ->
+              Json.Obj
+                (members
+                 @ [ ("phases",
+                      Json.Obj
+                        (List.map (fun (n, s) -> (n, Json.Float s)) phases)) ])
+            | j -> j
+          in
+          output_string oc (Json.to_string body);
           close_out oc;
           Fmt.epr "wrote %s@." path);
         match baseline with
@@ -474,7 +526,6 @@ let report_cmd =
 (* --- serve / submit ----------------------------------------------------------- *)
 
 module Server = Ogc_server.Server
-module Json = Ogc_json.Json
 
 let addr_term =
   let socket =
@@ -527,17 +578,35 @@ let serve_cmd =
              ~doc:"Persist cache entries to DIR so results survive restarts.")
   in
   let quiet =
-    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress lifecycle messages.")
+    Arg.(value & flag
+         & info [ "quiet" ]
+             ~doc:"Suppress lifecycle messages (same as \
+                   $(b,--log-level=error)).")
   in
-  let run addr jobs queue_limit cache_size cache_dir quiet =
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Structured-log threshold: $(b,debug), $(b,info), \
+                   $(b,warn) or $(b,error).  Logs are NDJSON on stderr.")
+  in
+  let run addr jobs queue_limit cache_size cache_dir quiet log_level =
     wrap (fun () ->
+        (match log_level with
+        | None -> ()
+        | Some s -> (
+          match Log.level_of_string s with
+          | Some l -> Log.set_level l
+          | None -> Fmt.failwith "bad --log-level %S" s));
+        if quiet then Log.set_level Log.Error;
+        (* The daemon is the metrics consumer: enable recording so the
+           `metrics` op and the extended `stats` op have data. *)
+        Metrics.set_enabled true;
         let cfg =
           { Server.addr;
             jobs;
             queue_limit;
             cache_capacity = cache_size;
-            cache_dir;
-            log = (if quiet then ignore else fun s -> Fmt.epr "%s@." s) }
+            cache_dir }
         in
         let t =
           try Server.create cfg
@@ -552,7 +621,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the optimization service (NDJSON over a socket)")
     Term.(const run $ addr_term $ jobs $ queue_limit $ cache_size $ cache_dir
-          $ quiet)
+          $ quiet $ log_level)
 
 let submit_cmd =
   let program =
@@ -593,22 +662,30 @@ let submit_cmd =
   let ping =
     Arg.(value & flag & info [ "ping" ] ~doc:"Health-check the server.")
   in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Fetch the server's metrics and print the Prometheus \
+                   text exposition ($(b,--raw) for the JSON envelope).")
+  in
   let raw =
     Arg.(value & flag
          & info [ "raw" ]
              ~doc:"Print the raw response line instead of pretty JSON.")
   in
   let run addr program input vrp vrs policy cost deadline return_program id
-      stats ping raw =
+      stats ping metrics raw =
     wrap (fun () ->
         let fields = ref [] in
         let add k v = fields := (k, v) :: !fields in
-        (match (stats, ping, program) with
-        | true, _, _ -> add "op" (Json.Str "stats")
-        | false, true, _ -> add "op" (Json.Str "ping")
-        | false, false, None ->
-          Fmt.failwith "a PROGRAM is required unless --stats or --ping"
-        | false, false, Some spec ->
+        (match (stats, ping, metrics, program) with
+        | true, _, _, _ -> add "op" (Json.Str "stats")
+        | false, true, _, _ -> add "op" (Json.Str "ping")
+        | false, false, true, _ -> add "op" (Json.Str "metrics")
+        | false, false, false, None ->
+          Fmt.failwith
+            "a PROGRAM is required unless --stats, --ping or --metrics"
+        | false, false, false, Some spec ->
           if Sys.file_exists spec then begin
             let ic = open_in_bin spec in
             let n = in_channel_length ic in
@@ -657,6 +734,13 @@ let submit_cmd =
         in
         Unix.close fd;
         if raw then print_endline line
+        else if metrics then
+          (* The exposition member is already text/plain; print it as-is
+             so the output pipes straight into promtool or grep. *)
+          (match Json.member "exposition" (Json.of_string line) with
+          | Json.Str text -> print_string text
+          | _ ->
+            print_endline (Json.to_string ~indent:true (Json.of_string line)))
         else
           print_endline (Json.to_string ~indent:true (Json.of_string line));
         match Json.member "status" (Json.of_string line) with
@@ -669,7 +753,8 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:"Submit one request to a running optimization service")
     Term.(const run $ addr_term $ program $ input_arg $ vrp $ vrs $ policy
-          $ cost $ deadline $ return_program $ id $ stats $ ping $ raw)
+          $ cost $ deadline $ return_program $ id $ stats $ ping $ metrics
+          $ raw)
 
 (* --- workloads ----------------------------------------------------------------- *)
 

@@ -1,5 +1,21 @@
 open Ogc_isa
 open Ogc_ir
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+
+(* Pass telemetry: fixpoint effort, pass wall time and the width mix the
+   re-encoder actually commits — the static face of the paper's Table 1. *)
+let m_fixpoint_iters = Metrics.counter "ogc_vrp_fixpoint_iterations_total"
+let m_runs = Metrics.counter "ogc_vrp_runs_total"
+let m_pass_seconds = Metrics.histogram "ogc_vrp_pass_seconds"
+
+let m_width_assign =
+  List.map
+    (fun w ->
+      ( w,
+        Metrics.counter "ogc_vrp_width_assignments_total"
+          ~labels:[ ("width", string_of_int (Width.bits w)) ] ))
+    [ Width.W8; Width.W16; Width.W32; Width.W64 ]
 
 type assumption = {
   af : string;
@@ -352,8 +368,10 @@ let analyze_func ctx (f : Prog.func) : Interval.t =
     state
   in
   (* Ascending phase with widening, starting from ⊥ everywhere. *)
+  let iters = ref 0 in
   let changed = ref true in
   while !changed do
+    incr iters;
     changed := false;
     List.iter
       (fun l ->
@@ -383,6 +401,7 @@ let analyze_func ctx (f : Prog.func) : Interval.t =
           end)
       (Cfg.reverse_postorder cfg)
   done;
+  Metrics.add m_fixpoint_iters (float_of_int !iters);
   (* Two descending (narrowing) sweeps; each recomputed state remains a
      sound over-approximation because it is derived from sound inputs. *)
   for _ = 1 to 2 do
@@ -665,6 +684,7 @@ let useful_width_of res iid = Hashtbl.find_opt res.reqs iid
 let width_of res iid = Hashtbl.find_opt res.widths iid
 
 let apply res (p : Prog.t) =
+  let obs = Metrics.enabled () in
   Prog.iter_all_ins p (fun _ _ ins ->
       match Hashtbl.find_opt res.widths ins.iid with
       | None -> ()
@@ -672,14 +692,21 @@ let apply res (p : Prog.t) =
         match ins.op with
         | Instr.Alu _ | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _ | Instr.Sext _
           ->
-          ins.op <- Instr.with_width ins.op w
+          ins.op <- Instr.with_width ins.op w;
+          if obs then Metrics.incr (List.assoc w m_width_assign)
         | Instr.Li _ | Instr.La _ | Instr.Load _ | Instr.Store _
         | Instr.Call _ | Instr.Emit _ -> ()))
 
 let run ?config p =
-  let res = analyze ?config p in
-  apply res p;
-  res
+  Span.with_ ~name:"vrp" (fun () ->
+      let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+      let res = analyze ?config p in
+      apply res p;
+      if t0 > 0.0 then begin
+        Metrics.incr m_runs;
+        Metrics.observe m_pass_seconds (Unix.gettimeofday () -. t0)
+      end;
+      res)
 
 let input_ranges_of res iid = Hashtbl.find_opt res.inputs iid
 

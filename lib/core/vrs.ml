@@ -1,5 +1,23 @@
 open Ogc_isa
 open Ogc_ir
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+
+(* Specialization telemetry: candidate disposition and pass wall time. *)
+let m_runs = Metrics.counter "ogc_vrs_runs_total"
+let m_pass_seconds = Metrics.histogram "ogc_vrs_pass_seconds"
+
+let m_cand_specialized =
+  Metrics.counter "ogc_vrs_candidates_total"
+    ~labels:[ ("outcome", "specialized") ]
+
+let m_cand_dependent =
+  Metrics.counter "ogc_vrs_candidates_total"
+    ~labels:[ ("outcome", "dependent_on_other") ]
+
+let m_cand_no_benefit =
+  Metrics.counter "ogc_vrs_candidates_total"
+    ~labels:[ ("outcome", "no_benefit") ]
 
 type config = {
   test_cost_nj : float;
@@ -396,15 +414,19 @@ let specialize_point (p : Prog.t) (f : Prog.func) report ~iid ~x ~lo ~hi =
 let guard_instr_count ~lo ~hi =
   if Int64.equal lo hi then (if Int64.equal lo 0L then 1 else 2) else 4
 
-let run ?(config = default_config) (p : Prog.t) =
+let run_inner config (p : Prog.t) =
   let table = Savings_table.default in
   (* Step 0: VRP pass; VRS builds on re-encoded code. *)
   let vrp1 = Vrp.run p in
   (* Step 1: training run for basic-block profiles. *)
   let counts : Interp.bb_counts = Hashtbl.create 64 in
-  let train1 = Interp.run ~config:config.train_config ~bb_counts:counts p in
   let cands =
-    select_candidates config ~table ~vrp:vrp1 p counts ~total_dyn:train1.steps
+    Span.with_ ~name:"vrs:train" (fun () ->
+        let train1 =
+          Interp.run ~config:config.train_config ~bb_counts:counts p
+        in
+        select_candidates config ~table ~vrp:vrp1 p counts
+          ~total_dyn:train1.steps)
   in
   (* Step 2: value-profile the candidates on the training input. *)
   let profiles = Hashtbl.create 64 in
@@ -415,7 +437,8 @@ let run ?(config = default_config) (p : Prog.t) =
       Hashtbl.replace profiles c.c_iid t;
       Hashtbl.replace samplers c.c_iid (Tnv.observe t))
     cands;
-  ignore (Interp.run ~config:config.train_config ~profile:samplers p);
+  Span.with_ ~name:"vrs:profile" (fun () ->
+      ignore (Interp.run ~config:config.train_config ~profile:samplers p));
   (* Step 3: cost/benefit and transformation, best candidates first. *)
   let report =
     {
@@ -435,6 +458,7 @@ let run ?(config = default_config) (p : Prog.t) =
   let assumptions = ref [] in
   let clone_blocks = ref [] in
   let static_cloned = ref 0 in
+  Span.with_ ~name:"vrs:specialize" (fun () ->
   List.iter
     (fun c ->
       if Hashtbl.mem consumed c.c_iid then
@@ -494,7 +518,7 @@ let run ?(config = default_config) (p : Prog.t) =
             outcomes :=
               (c.c_iid, Specialized { lo; hi; freq; benefit }) :: !outcomes)
       end)
-    cands;
+    cands);
   Validate.program p;
   (* Step 4: propagate the guard-established ranges and fold constants. *)
   let vrp_cfg = { Vrp.default_config with assumptions = !assumptions } in
@@ -522,3 +546,21 @@ let run ?(config = default_config) (p : Prog.t) =
     assumptions = !assumptions;
     final_vrp = vrp3;
   }
+
+let run ?(config = default_config) (p : Prog.t) =
+  Span.with_ ~name:"vrs" (fun () ->
+      let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+      let r = run_inner config p in
+      if t0 > 0.0 then begin
+        Metrics.incr m_runs;
+        Metrics.observe m_pass_seconds (Unix.gettimeofday () -. t0);
+        List.iter
+          (fun (_, o) ->
+            Metrics.incr
+              (match o with
+              | Specialized _ -> m_cand_specialized
+              | Dependent_on_other -> m_cand_dependent
+              | No_benefit -> m_cand_no_benefit))
+          r.profiled
+      end;
+      r)

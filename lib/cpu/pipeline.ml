@@ -3,6 +3,24 @@ open Ogc_ir
 module Ep = Ogc_energy.Energy_params
 module Account = Ogc_energy.Account
 module Policy = Ogc_gating.Policy
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+
+(* Timing-model telemetry: where each instruction's latency accrues.
+   Stage deltas accumulate in local refs during the simulated run and
+   flush to these counters once at the end, so the per-event cost when
+   metrics are enabled is four integer adds (and zero when disabled). *)
+let m_sim_runs = Metrics.counter "ogc_sim_runs_total"
+let m_sim_cycles = Metrics.counter "ogc_sim_cycles_total"
+let m_sim_instructions = Metrics.counter "ogc_sim_instructions_total"
+
+let m_stage_cycles =
+  List.map
+    (fun stage ->
+      ( stage,
+        Metrics.counter "ogc_sim_stage_cycles_total"
+          ~labels:[ ("stage", stage) ] ))
+    [ "frontend"; "schedule"; "execute"; "retire" ]
 
 type memory_mode = Tagged | Sign_extend
 
@@ -56,6 +74,25 @@ let ipc s =
 let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
     ?(interp_config = Interp.default_config) ?(memory_mode = Tagged) ~policy
     (p : Prog.t) =
+  Span.with_ ~name:"simulate"
+    ~args:[ ("policy", Ogc_json.Json.Str (Policy.name policy)) ]
+  @@ fun () ->
+  let obs = Metrics.enabled () in
+  let st_frontend = ref 0 in
+  let st_schedule = ref 0 in
+  let st_execute = ref 0 in
+  let st_retire = ref 0 in
+  (* Per-instruction cycle attribution: fetch→dispatch is front-end,
+     dispatch→issue is scheduling (operand/window wait), issue→complete
+     is execution, complete→commit is retirement. *)
+  let attribute ~f ~dc ~ic ~complete ~cc =
+    if obs then begin
+      st_frontend := !st_frontend + (dc - f);
+      st_schedule := !st_schedule + (ic - dc);
+      st_execute := !st_execute + (complete - ic);
+      st_retire := !st_retire + (cc - complete)
+    end
+  in
   let energy = Account.create params in
   let icache = Cache.create machine.icache in
   let dcache = Cache.create machine.dcache in
@@ -298,7 +335,8 @@ let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
         List.iter (fun r -> last_write.(Reg.to_int r) <- complete) defs;
         let k = Ogc_gating.Sigbytes.significant_bytes result in
         sighist.(k - 1) <- sighist.(k - 1) + 1);
-      ignore (commit complete);
+      let cc = commit complete in
+      attribute ~f ~dc ~ic ~complete ~cc;
       bump_class (Instr.iclass op) w;
       bump_opcode op
     | Interp.E_branch { iid; taken; value; reg } ->
@@ -329,7 +367,8 @@ let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
       else if taken && not (Cache.access btb (Int64.of_int pc)) then
         (* Right direction, unknown target: a short fetch bubble. *)
         fetch_head := !fetch_head + btb_bubble;
-      ignore (commit complete)
+      let cc = commit complete in
+      attribute ~f ~dc ~ic ~complete ~cc
     | Interp.E_jump { iid } ->
       let pc = iid * 4 in
       let f = fetch pc in
@@ -337,18 +376,37 @@ let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
       frontend_energy ();
       if not (Cache.access btb (Int64.of_int pc)) then
         fetch_head := !fetch_head + btb_bubble;
-      ignore (commit dc)
+      let cc = commit dc in
+      attribute ~f ~dc ~ic:dc ~complete:dc ~cc
     | Interp.E_return { iid } ->
       let pc = iid * 4 in
       let f = fetch pc in
       let dc = dispatch f in
       frontend_energy ();
       let ic = issue ~earliest:(dc + 1) ~fu:`Alu in
-      ignore (commit (ic + 1))
+      let complete = ic + 1 in
+      let cc = commit complete in
+      attribute ~f ~dc ~ic ~complete ~cc
   in
   let outcome = Interp.run ~config:interp_config ~on_event:on_ins p in
   let cycles = !last_commit + 1 in
   Account.charge_fixed energy Ep.Clock cycles;
+  if obs then begin
+    Metrics.incr m_sim_runs;
+    Metrics.add m_sim_cycles (float_of_int cycles);
+    Metrics.add m_sim_instructions (float_of_int !instructions);
+    List.iter
+      (fun (stage, c) ->
+        let v =
+          match stage with
+          | "frontend" -> !st_frontend
+          | "schedule" -> !st_schedule
+          | "execute" -> !st_execute
+          | _ -> !st_retire
+        in
+        Metrics.add c (float_of_int v))
+      m_stage_cycles
+  end;
   {
     cycles;
     instructions = !instructions;

@@ -4,6 +4,19 @@ type stats = {
   task_s : float array;
 }
 
+(* Pool telemetry (lib/obs).  The gauges update unconditionally so they
+   cannot drift if metrics are toggled between a submit and the matching
+   task start; counters and histograms are no-ops unless metrics are
+   enabled. *)
+module Metrics = Ogc_obs.Metrics
+
+let m_queue_depth = Metrics.gauge "ogc_pool_queue_depth"
+let m_busy = Metrics.gauge "ogc_pool_busy_workers"
+let m_workers = Metrics.gauge "ogc_pool_workers"
+let m_jobs_total = Metrics.counter "ogc_pool_jobs_total"
+let m_job_wait = Metrics.histogram "ogc_pool_job_wait_seconds"
+let m_job_run = Metrics.histogram "ogc_pool_job_run_seconds"
+
 let clamp_jobs n = if n < 1 then 1 else if n > 64 then 64 else n
 
 let jobs_from_env () =
@@ -77,20 +90,30 @@ let create ?jobs () =
       jobs }
   in
   p.domains <- Array.init jobs (fun _ -> Domain.spawn (worker p));
+  Metrics.gauge_add m_workers jobs;
   p
 
 let size p = p.jobs
 
 let submit p f =
   let tk = { pool = p; outcome = Pending; secs = 0.0 } in
+  let enqueued = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
   let task () =
+    Metrics.gauge_add m_queue_depth (-1);
+    Metrics.gauge_add m_busy 1;
     let t0 = Unix.gettimeofday () in
+    (* [enqueued = 0.] means metrics were off at submit time; skip the
+       wait sample rather than record a bogus epoch-relative delta. *)
+    if enqueued > 0.0 then Metrics.observe m_job_wait (t0 -. enqueued);
     let o =
       match f () with
       | v -> Done v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
     let dt = Unix.gettimeofday () -. t0 in
+    Metrics.observe m_job_run dt;
+    Metrics.incr m_jobs_total;
+    Metrics.gauge_add m_busy (-1);
     Mutex.lock p.m;
     tk.outcome <- o;
     tk.secs <- dt;
@@ -103,6 +126,7 @@ let submit p f =
     invalid_arg "Pool.submit: pool is shut down"
   end;
   Queue.push task p.q;
+  Metrics.gauge_add m_queue_depth 1;
   Condition.signal p.nonempty;
   Mutex.unlock p.m;
   tk
@@ -137,6 +161,7 @@ let shutdown p =
     Condition.broadcast p.nonempty;
     Mutex.unlock p.m;
     Array.iter Domain.join p.domains;
+    Metrics.gauge_add m_workers (-Array.length p.domains);
     p.domains <- [||]
   end
 
@@ -167,7 +192,9 @@ let map_timed ?jobs f xs =
              (match f x with
              | v -> Done v
              | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
-          task_s.(i) <- Unix.gettimeofday () -. s0)
+          task_s.(i) <- Unix.gettimeofday () -. s0;
+          Metrics.observe m_job_run task_s.(i);
+          Metrics.incr m_jobs_total)
         xs;
       (outcomes, task_s)
     end

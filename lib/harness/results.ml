@@ -9,6 +9,8 @@ module Interp = Ogc_ir.Interp
 module Account = Ogc_energy.Account
 module Ep = Ogc_energy.Energy_params
 module Pool = Ogc_exec.Pool
+module Json = Ogc_json.Json
+module Span = Ogc_obs.Span
 
 let vrs_costs = [ 110; 90; 70; 50; 30 ]
 
@@ -134,7 +136,7 @@ type version_result =
   | R_vrp_conv of Pipeline.stats
   | R_vrs of vrs_cell
 
-let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
+let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
   let jobs = Pool.resolve_jobs jobs in
   let eval_input = if quick then Workload.Train else Workload.Ref in
   let costs = if quick then [ 50 ] else vrs_costs in
@@ -170,7 +172,9 @@ let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
   in
   (* Phase 1: one task per workload — compile, reference run, baseline
      binary under the three hardware-side policies. *)
+  let ph1_t0 = Unix.gettimeofday () in
   let base_infos =
+    Span.with_ ~name:"collect:baselines" @@ fun () ->
     Pool.map ~jobs
       (fun (w : Workload.t) ->
         progress w.name;
@@ -188,6 +192,7 @@ let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
         })
       selected
   in
+  let ph1_s = Unix.gettimeofday () -. ph1_t0 in
   (* Phase 2: one task per (workload, binary version) cell. *)
   let versions = V_vrp :: V_vrp_conv :: List.map (fun l -> V_vrs l) costs in
   let cells =
@@ -235,7 +240,11 @@ let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
       in
       R_vrs { label; stats; summary = summarize_report rep; anchor }
   in
-  let cell_results = Pool.map ~jobs run_cell cells in
+  let ph2_t0 = Unix.gettimeofday () in
+  let cell_results =
+    Span.with_ ~name:"collect:versions" (fun () -> Pool.map ~jobs run_cell cells)
+  in
+  let ph2_s = Unix.gettimeofday () -. ph2_t0 in
   (* Reassemble in workload order: cells were emitted per workload, in
      [versions] order, and the pool preserves submission order. *)
   let nversions = List.length versions in
@@ -292,7 +301,10 @@ let collect ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
         })
       base_infos
   in
-  { workloads; quick }
+  ({ workloads; quick }, [ ("baselines", ph1_s); ("versions", ph2_s) ])
+
+let collect ?quick ?only ?progress ?jobs () =
+  fst (collect_timed ?quick ?only ?progress ?jobs ())
 
 (* --- serialization ---------------------------------------------------------- *)
 

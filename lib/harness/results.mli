@@ -82,6 +82,18 @@ val collect :
     recommended domain count; see {!Ogc_exec.Pool.resolve_jobs}).
     [progress] may be invoked from worker domains, one call at a time. *)
 
+val collect_timed :
+  ?quick:bool ->
+  ?only:string list ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  unit ->
+  t * (string * float) list
+(** {!collect} plus per-phase wall seconds, in phase order (currently
+    ["baselines"] — compile + reference run + hardware-gated baselines —
+    then ["versions"] — the (workload × binary version) grid).  The
+    phases also appear as {!Ogc_obs.Span} spans when tracing is on. *)
+
 (** {1 Serialization}
 
     A hand-rolled JSON form of a whole collection, stable enough to be
@@ -91,9 +103,10 @@ val collect :
     closures (rebuilt as {!Ogc_energy.Energy_params.default}), which the
     renderers never consult. *)
 
-val to_json : t -> Json.t
-val of_json : Json.t -> t
-(** Raises [Json.Parse_error] on a malformed or wrong-format tree. *)
+val to_json : t -> Ogc_json.Json.t
+val of_json : Ogc_json.Json.t -> t
+(** Raises [Ogc_json.Json.Parse_error] on a malformed or wrong-format
+    tree. *)
 
 (** {1 Regression comparison}
 

@@ -1,0 +1,56 @@
+module J = Ogc_json.Json
+
+type level = Debug | Info | Warn | Error
+
+let rank = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let threshold = Atomic.make (rank Info)
+let set_level l = Atomic.set threshold (rank l)
+
+let level () =
+  match Atomic.get threshold with
+  | 0 -> Debug
+  | 1 -> Info
+  | 2 -> Warn
+  | _ -> Error
+
+let sink_m = Mutex.create ()
+let sink = ref prerr_endline
+
+let set_sink f =
+  Mutex.lock sink_m;
+  sink := f;
+  Mutex.unlock sink_m
+
+let log lvl msg fields =
+  if rank lvl >= Atomic.get threshold then begin
+    let line =
+      J.to_string ~indent:false
+        (J.Obj
+           (("ts", J.Float (Unix.gettimeofday ()))
+            :: ("level", J.Str (level_name lvl))
+            :: ("msg", J.Str msg)
+            :: fields))
+    in
+    Mutex.lock sink_m;
+    (try !sink line with _ -> ());
+    Mutex.unlock sink_m
+  end
+
+let debug ?(fields = []) msg = log Debug msg fields
+let info ?(fields = []) msg = log Info msg fields
+let warn ?(fields = []) msg = log Warn msg fields
+let error ?(fields = []) msg = log Error msg fields

@@ -1,0 +1,29 @@
+(** Structured NDJSON logging: one compact JSON object per line with a
+    level threshold and a pluggable sink.
+
+    A line always carries ["ts"] (Unix seconds), ["level"] and ["msg"];
+    callers append arbitrary JSON fields, so log consumers never parse
+    free-form text.  The default sink writes to [stderr]; the sink runs
+    under a mutex, so lines from worker domains and connection threads
+    never interleave mid-line. *)
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level -> unit
+(** Threshold; default [Info]. Messages below it are dropped before any
+    formatting work. *)
+
+val level : unit -> level
+val level_of_string : string -> level option
+(** Case-insensitive ["debug"|"info"|"warn"|"error"]. *)
+
+val level_name : level -> string
+
+val set_sink : (string -> unit) -> unit
+(** Replace the sink (one complete NDJSON line per call, no trailing
+    newline). Default: [prerr_endline]. *)
+
+val debug : ?fields:(string * Ogc_json.Json.t) list -> string -> unit
+val info : ?fields:(string * Ogc_json.Json.t) list -> string -> unit
+val warn : ?fields:(string * Ogc_json.Json.t) list -> string -> unit
+val error : ?fields:(string * Ogc_json.Json.t) list -> string -> unit

@@ -1,0 +1,297 @@
+module J = Ogc_json.Json
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* Registration assigns every counter/histogram a fixed run of cells
+   ([slot .. slot+ncells-1]) inside a per-domain flat [float array] (the
+   shard).  The hot path is: atomic flag load, [Domain.DLS.get], array
+   add — no lock.  A shard is written only by threads of its own domain;
+   within a domain the read-modify-write is not atomic across systhread
+   preemption, which can drop a count under heavy thread interleaving —
+   an accepted monitoring-grade trade for a lock-free hot path.  Scrapes
+   read foreign shards without synchronisation; word-sized float loads
+   are untearable on every platform OCaml 5 targets. *)
+
+type kind = Kcounter | Kgauge of int Atomic.t | Khist of float array
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  slot : int; (* -1 for gauges: they live in their own atomic *)
+  ncells : int; (* counter: 1; histogram: buckets + overflow + sum *)
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+let reg_m = Mutex.create ()
+let metrics : metric list ref = ref [] (* newest first *)
+let next_slot = ref 0
+
+type shard = { mutable cells : float array }
+
+(* Shards of dead domains stay registered so their counts survive into
+   later scrapes (pool workers are short-lived relative to the scrape). *)
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+    Mutex.lock reg_m;
+    let s = { cells = Array.make (max 1 !next_slot) 0.0 } in
+    shards := s :: !shards;
+    Mutex.unlock reg_m;
+    s)
+
+(* Slow path: this shard predates a later registration.  Growing under
+   [reg_m] keeps capacity monotone; a concurrent scrape may read the old
+   array and miss the in-flight addition, which a later scrape sees. *)
+let grow s slot =
+  Mutex.lock reg_m;
+  if slot >= Array.length s.cells then begin
+    let bigger = Array.make (max (slot + 1) !next_slot) 0.0 in
+    Array.blit s.cells 0 bigger 0 (Array.length s.cells);
+    s.cells <- bigger
+  end;
+  Mutex.unlock reg_m
+
+let bump s slot v =
+  if slot >= Array.length s.cells then grow s slot;
+  s.cells.(slot) <- s.cells.(slot) +. v
+
+let register name labels kind ncells =
+  Mutex.lock reg_m;
+  let slot =
+    if ncells = 0 then -1
+    else begin
+      let s = !next_slot in
+      next_slot := s + ncells;
+      s
+    end
+  in
+  let m = { name; labels; kind; slot; ncells } in
+  metrics := m :: !metrics;
+  Mutex.unlock reg_m;
+  m
+
+let counter ?(labels = []) name = register name labels Kcounter 1
+let gauge ?(labels = []) name = register name labels (Kgauge (Atomic.make 0)) 0
+
+(* 100µs .. 100s: wide enough for both per-job pool latencies and whole
+   ref-input analysis requests. *)
+let default_buckets =
+  [| 1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 0.01; 0.025; 0.05; 0.1;
+     0.25; 0.5; 1.; 2.5; 5.; 10.; 30.; 100. |]
+
+let histogram ?(labels = []) ?(buckets = default_buckets) name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metrics.histogram: no buckets";
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Metrics.histogram: buckets must be strictly increasing"
+  done;
+  register name labels (Khist buckets) (n + 2)
+
+let add c v = if enabled () then bump (Domain.DLS.get shard_key) c.slot v
+let incr c = add c 1.0
+
+let gauge_set g v =
+  match g.kind with Kgauge a -> Atomic.set a v | Kcounter | Khist _ -> ()
+
+let gauge_add g d =
+  match g.kind with
+  | Kgauge a -> ignore (Atomic.fetch_and_add a d)
+  | Kcounter | Khist _ -> ()
+
+let observe h v =
+  if enabled () then begin
+    match h.kind with
+    | Khist buckets ->
+      let n = Array.length buckets in
+      let rec first_le i =
+        if i >= n then n (* overflow *)
+        else if v <= buckets.(i) then i
+        else first_le (i + 1)
+      in
+      let s = Domain.DLS.get shard_key in
+      bump s (h.slot + first_le 0) 1.0;
+      bump s (h.slot + n + 1) v
+    | Kcounter | Kgauge _ -> ()
+  end
+
+(* --- scrape side ---------------------------------------------------------- *)
+
+let all_shards () =
+  Mutex.lock reg_m;
+  let l = !shards in
+  Mutex.unlock reg_m;
+  l
+
+let merged_cells m =
+  let acc = Array.make (max 1 m.ncells) 0.0 in
+  List.iter
+    (fun s ->
+      let cells = s.cells in
+      for i = 0 to m.ncells - 1 do
+        let idx = m.slot + i in
+        if idx < Array.length cells then acc.(i) <- acc.(i) +. cells.(idx)
+      done)
+    (all_shards ());
+  acc
+
+let counter_value c = (merged_cells c).(0)
+
+let gauge_value g =
+  match g.kind with Kgauge a -> Atomic.get a | Kcounter | Khist _ -> 0
+
+let hist_buckets h =
+  match h.kind with Khist b -> b | Kcounter | Kgauge _ -> [||]
+
+let histogram_counts h =
+  let n = Array.length (hist_buckets h) in
+  let acc = merged_cells h in
+  (Array.sub acc 0 (n + 1), acc.(n + 1))
+
+let histogram_shards h =
+  let n = Array.length (hist_buckets h) in
+  List.filter_map
+    (fun s ->
+      let cells = s.cells in
+      if h.slot + n + 1 >= Array.length cells then None
+      else begin
+        let counts = Array.sub cells h.slot (n + 1) in
+        if Array.exists (fun c -> c <> 0.0) counts then Some counts else None
+      end)
+    (all_shards ())
+
+let fmt_le u =
+  if Float.is_integer u && Float.abs u < 1e15 then Printf.sprintf "%.1f" u
+  else Printf.sprintf "%g" u
+
+(* Running cumulative counts, [cum.(i) = Σ counts.(0..i)].  Precomputed
+   as data so the renderers below stay order-of-evaluation agnostic. *)
+let cumulative counts =
+  let cum = Array.make (Array.length counts) 0.0 in
+  let run = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      run := !run +. c;
+      cum.(i) <- !run)
+    counts;
+  cum
+
+let histogram_json h =
+  let buckets = hist_buckets h in
+  let counts, sum = histogram_counts h in
+  let n = Array.length buckets in
+  let cum = cumulative counts in
+  let bucket_json i le = J.Obj [ ("le", le); ("n", J.Float cum.(i)) ] in
+  let finite = List.init n (fun i -> bucket_json i (J.Float buckets.(i))) in
+  let inf = bucket_json n (J.Str "+Inf") in
+  J.Obj
+    [ ("count", J.Float cum.(n)); ("sum", J.Float sum);
+      ("buckets", J.Arr (finite @ [ inf ])) ]
+
+let registered () = List.rev !metrics
+
+let value_json m =
+  match m.kind with
+  | Kcounter -> J.Float (counter_value m)
+  | Kgauge a -> J.Int (Atomic.get a)
+  | Khist _ -> histogram_json m
+
+let snapshot () =
+  List.map (fun m -> (m.name, m.labels, value_json m)) (registered ())
+
+let fmt_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let labels_str = function
+  | [] -> ""
+  | ls ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+    ^ "}"
+
+let prometheus_lines m =
+  let base = m.labels in
+  match m.kind with
+  | Kcounter ->
+    [ Printf.sprintf "%s%s %s" m.name (labels_str base)
+        (fmt_num (counter_value m)) ]
+  | Kgauge a ->
+    [ Printf.sprintf "%s%s %d" m.name (labels_str base) (Atomic.get a) ]
+  | Khist buckets ->
+    let counts, sum = histogram_counts m in
+    let n = Array.length buckets in
+    let cum = cumulative counts in
+    let bucket i le =
+      Printf.sprintf "%s_bucket%s %s" m.name
+        (labels_str (base @ [ ("le", le) ]))
+        (fmt_num cum.(i))
+    in
+    List.init n (fun i -> bucket i (fmt_le buckets.(i)))
+    @ [ bucket n "+Inf";
+        Printf.sprintf "%s_sum%s %s" m.name (labels_str base) (fmt_num sum);
+        Printf.sprintf "%s_count%s %s" m.name (labels_str base)
+          (fmt_num cum.(n)) ]
+
+(* Prometheus requires all samples of one metric name to be contiguous;
+   group by name in first-registration order. *)
+let group_by_name ms =
+  let seen = Hashtbl.create 16 in
+  let names =
+    List.filter
+      (fun m ->
+        if Hashtbl.mem seen m.name then false
+        else begin
+          Hashtbl.add seen m.name ();
+          true
+        end)
+      ms
+  in
+  List.map
+    (fun first -> List.filter (fun m -> m.name = first.name) ms)
+    names
+
+let to_prometheus () =
+  let groups = group_by_name (registered ()) in
+  String.concat ""
+    (List.map
+       (fun group ->
+         String.concat ""
+           (List.map
+              (fun m ->
+                String.concat ""
+                  (List.map (fun l -> l ^ "\n") (prometheus_lines m)))
+              group))
+       groups)
+
+let kind_str = function
+  | Kcounter -> "counter"
+  | Kgauge _ -> "gauge"
+  | Khist _ -> "histogram"
+
+let to_json () =
+  J.Arr
+    (List.map
+       (fun m ->
+         J.Obj
+           [ ("name", J.Str m.name);
+             ("labels", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) m.labels));
+             ("type", J.Str (kind_str m.kind));
+             ("value", value_json m) ])
+       (registered ()))
+
+let reset () =
+  Mutex.lock reg_m;
+  List.iter (fun s -> Array.fill s.cells 0 (Array.length s.cells) 0.0) !shards;
+  List.iter
+    (fun m -> match m.kind with Kgauge a -> Atomic.set a 0 | _ -> ())
+    !metrics;
+  Mutex.unlock reg_m

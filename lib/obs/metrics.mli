@@ -1,0 +1,76 @@
+(** Process-wide metrics registry: counters, gauges and fixed-bucket
+    histograms, safe to update from any domain or thread.
+
+    Counters and histograms write into per-domain {e shards} — one flat
+    [float array] per domain, reached through [Domain.DLS] — so the hot
+    path takes no lock and never contends with other domains; shards are
+    merged only at scrape time ({!snapshot}, {!to_prometheus},
+    {!to_json}).  Shards outlive their domain, so work recorded inside a
+    short-lived {!Ogc_exec.Pool} worker still appears in a later scrape.
+    Gauges are single process-wide atomics (set/add semantics do not
+    shard meaningfully).
+
+    Everything is gated on {!set_enabled}: while disabled (the default)
+    [incr]/[add]/[observe] are a single atomic load and a branch, and
+    instrumented code must not change behaviour in any other way.
+    Gauges update unconditionally — they are cheap and must not drift
+    when the flag flips between a paired increment and decrement.
+
+    Metric and label names follow the Prometheus conventions
+    ([ogc_<subsystem>_<unit>_total] etc.); registration normally happens
+    in module initializers, before any domain is spawned. *)
+
+type counter
+type gauge
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : ?labels:(string * string) list -> string -> counter
+(** Monotonically increasing value.  Same [name] with different [labels]
+    registers a distinct time series (exported adjacently). *)
+
+val gauge : ?labels:(string * string) list -> string -> gauge
+(** Instantaneous integer level (queue depth, busy workers, bytes). *)
+
+val histogram :
+  ?labels:(string * string) list -> ?buckets:float array -> string ->
+  histogram
+(** Fixed upper-bound buckets (strictly increasing; an implicit [+Inf]
+    overflow bucket is always appended).  Default buckets suit
+    second-denominated latencies from 100µs to ~100s. *)
+
+val incr : counter -> unit
+val add : counter -> float -> unit
+val gauge_set : gauge -> int -> unit
+val gauge_add : gauge -> int -> unit
+val observe : histogram -> float -> unit
+
+val counter_value : counter -> float
+val gauge_value : gauge -> int
+val histogram_counts : histogram -> float array * float
+(** Merged per-bucket counts (finite buckets then the overflow bucket)
+    and the sum of observations. *)
+
+val histogram_shards : histogram -> float array list
+(** Per-shard bucket counts, one array per domain shard that has
+    recorded anything — for tests asserting merge = Σ shards. *)
+
+val histogram_json : histogram -> Ogc_json.Json.t
+(** [{ "count": n; "sum": s; "buckets": [{"le": u, "n": c}; ...] }] with
+    cumulative counts and a final [le = "+Inf"] bucket. *)
+
+val snapshot : unit -> (string * (string * string) list * Ogc_json.Json.t) list
+(** Every registered series as [(name, labels, value-json)], in
+    registration order, shards merged. *)
+
+val to_prometheus : unit -> string
+(** Text exposition: one [name{label="v"} value] line per sample;
+    histograms expand to [_bucket{le=...}] (cumulative, ending in
+    [+Inf]), [_sum] and [_count]. *)
+
+val to_json : unit -> Ogc_json.Json.t
+
+val reset : unit -> unit
+(** Zero every shard and gauge (tests only). *)

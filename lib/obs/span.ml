@@ -1,0 +1,138 @@
+module J = Ogc_json.Json
+
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0.0 (* trace clock origin, set on enable *)
+
+let set_enabled b =
+  if b then Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set enabled_flag b
+
+let enabled () = Atomic.get enabled_flag
+let now_us () = (Unix.gettimeofday () -. Atomic.get epoch) *. 1e6
+
+type ev = {
+  ph : char; (* 'B' | 'E' | 'i' *)
+  ename : string;
+  ts : float; (* µs since enable *)
+  eargs : (string * J.t) list;
+}
+
+let dummy = { ph = ' '; ename = ""; ts = 0.0; eargs = [] }
+let capacity = 1 lsl 15
+
+(* One ring per thread: [Thread.id] is unique across all domains, so a
+   ring has a single writer and appends contend only with an export
+   snapshotting that same ring. *)
+type ring = {
+  rm : Mutex.t;
+  buf : ev array;
+  mutable total : int; (* events ever written; index = total mod capacity *)
+  rtid : int;
+  rdid : int; (* domain at ring creation, for the track name *)
+}
+
+let rings : (int, ring) Hashtbl.t = Hashtbl.create 16
+let rings_m = Mutex.create ()
+
+let ring_for_current () =
+  let tid = Thread.id (Thread.self ()) in
+  Mutex.lock rings_m;
+  let r =
+    match Hashtbl.find_opt rings tid with
+    | Some r -> r
+    | None ->
+      let r =
+        { rm = Mutex.create ();
+          buf = Array.make capacity dummy;
+          total = 0;
+          rtid = tid;
+          rdid = (Domain.self () :> int) }
+      in
+      Hashtbl.add rings tid r;
+      r
+  in
+  Mutex.unlock rings_m;
+  r
+
+let emit r ph ename eargs =
+  let ts = now_us () in
+  Mutex.lock r.rm;
+  r.buf.(r.total mod capacity) <- { ph; ename; ts; eargs };
+  r.total <- r.total + 1;
+  Mutex.unlock r.rm
+
+let with_ ?(args = []) ~name f =
+  if not (enabled ()) then f ()
+  else begin
+    let r = ring_for_current () in
+    emit r 'B' name args;
+    Fun.protect ~finally:(fun () -> emit r 'E' name []) f
+  end
+
+let instant ?(args = []) name =
+  if enabled () then emit (ring_for_current ()) 'i' name args
+
+(* --- export --------------------------------------------------------------- *)
+
+let ring_events r =
+  Mutex.lock r.rm;
+  let total = r.total in
+  let n = min total capacity in
+  let first = total - n in
+  let evs = List.init n (fun i -> r.buf.((first + i) mod capacity)) in
+  Mutex.unlock r.rm;
+  evs
+
+let event_json tid e =
+  let base =
+    [ ("name", J.Str e.ename);
+      ("ph", J.Str (String.make 1 e.ph));
+      ("ts", J.Float e.ts);
+      ("pid", J.Int 1);
+      ("tid", J.Int tid);
+      ("cat", J.Str "ogc") ]
+  in
+  let scope = if e.ph = 'i' then [ ("s", J.Str "t") ] else [] in
+  let args =
+    match e.eargs with [] -> [] | a -> [ ("args", J.Obj a) ]
+  in
+  J.Obj (base @ scope @ args)
+
+let thread_meta r =
+  J.Obj
+    [ ("name", J.Str "thread_name");
+      ("ph", J.Str "M");
+      ("pid", J.Int 1);
+      ("tid", J.Int r.rtid);
+      ("args",
+       J.Obj
+         [ ("name",
+            J.Str (Printf.sprintf "domain %d / thread %d" r.rdid r.rtid)) ]) ]
+
+let export () =
+  Mutex.lock rings_m;
+  let rs = Hashtbl.fold (fun _ r acc -> r :: acc) rings [] in
+  Mutex.unlock rings_m;
+  let rs = List.sort (fun a b -> compare a.rtid b.rtid) rs in
+  let metas = List.map thread_meta rs in
+  let evs =
+    List.concat_map (fun r -> List.map (event_json r.rtid) (ring_events r)) rs
+  in
+  let ts_of = function J.Obj kvs -> J.get_float "ts" (J.Obj kvs) | _ -> 0.0 in
+  let evs = List.stable_sort (fun a b -> compare (ts_of a) (ts_of b)) evs in
+  J.Obj
+    [ ("traceEvents", J.Arr (metas @ evs));
+      ("displayTimeUnit", J.Str "ms") ]
+
+let write path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string ~indent:false (export ()));
+      output_char oc '\n')
+
+let reset () =
+  Mutex.lock rings_m;
+  Hashtbl.reset rings;
+  Mutex.unlock rings_m

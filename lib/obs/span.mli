@@ -1,0 +1,41 @@
+(** Span-based phase tracing in the Chrome [trace_event] format.
+
+    [with_ ~name f] records a begin event, runs [f], and records the
+    matching end event (also on exception), into a per-thread ring
+    buffer — so tracing inside {!Ogc_exec.Pool} workers, server
+    connection threads and the main thread never contends beyond a
+    per-ring mutex held for one array write.  {!export}/{!write} merge
+    every ring into a single [{"traceEvents": [...]}] JSON document that
+    {{:https://ui.perfetto.dev}Perfetto} and [chrome://tracing] load
+    directly: each thread renders as a track, spans nest into a flame
+    chart.
+
+    Disabled by default: [with_] is then an atomic load, a branch and a
+    tail call of [f].  Timestamps are microseconds relative to the
+    moment tracing was last enabled. *)
+
+val set_enabled : bool -> unit
+(** Enabling (re)starts the trace clock; it does not clear events
+    already recorded ({!reset} does). *)
+
+val enabled : unit -> bool
+
+val with_ : ?args:(string * Ogc_json.Json.t) list -> name:string ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a [B]/[E] event pair.  [args] lands on the
+    begin event and shows in the Perfetto detail pane. *)
+
+val instant : ?args:(string * Ogc_json.Json.t) list -> string -> unit
+(** A zero-duration marker ([ph = "i"], thread scope). *)
+
+val export : unit -> Ogc_json.Json.t
+(** [{"traceEvents": [...]; "displayTimeUnit": "ms"}] — thread-name
+    metadata first, then every recorded event in timestamp order.  Rings
+    hold the most recent 32768 events per thread; older events are
+    overwritten and silently absent. *)
+
+val write : string -> unit
+(** Compact {!export} to a file. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (tests only). *)

@@ -4,6 +4,19 @@
    O(capacity) scan — capacities are a few hundred entries, and each
    miss it amortizes costs a full compile + analysis + simulation). *)
 
+module Metrics = Ogc_obs.Metrics
+
+let m_hits_mem =
+  Metrics.counter "ogc_cache_hits_total" ~labels:[ ("tier", "memory") ]
+
+let m_hits_disk =
+  Metrics.counter "ogc_cache_hits_total" ~labels:[ ("tier", "disk") ]
+
+let m_misses = Metrics.counter "ogc_cache_misses_total"
+let m_evictions = Metrics.counter "ogc_cache_evictions_total"
+let m_entries = Metrics.gauge "ogc_cache_entries"
+let m_bytes = Metrics.gauge "ogc_cache_bytes"
+
 type stats = {
   entries : int;
   capacity : int;
@@ -11,6 +24,9 @@ type stats = {
   misses : int;
   evictions : int;
   disk_hits : int;
+  mem_bytes : int;
+  disk_entries : int;
+  disk_bytes : int;
 }
 
 type entry = { value : string; mutable stamp : int }
@@ -25,6 +41,7 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable disk_hits : int;
+  mutable mem_bytes : int;  (* Σ String.length over in-memory values *)
 }
 
 let key_of_string s = Digest.to_hex (Digest.string s)
@@ -41,7 +58,8 @@ let create ?(capacity = 256) ?dir () =
     hits = 0;
     misses = 0;
     evictions = 0;
-    disk_hits = 0 }
+    disk_hits = 0;
+    mem_bytes = 0 }
 
 let locked t f =
   Mutex.lock t.m;
@@ -82,12 +100,19 @@ let insert_locked t key value =
         t.tbl;
       match !victim with
       | Some (k, _) ->
+        (match Hashtbl.find_opt t.tbl k with
+        | Some e -> t.mem_bytes <- t.mem_bytes - String.length e.value
+        | None -> ());
         Hashtbl.remove t.tbl k;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        Metrics.incr m_evictions
       | None -> ()
     end;
     t.tick <- t.tick + 1;
-    Hashtbl.add t.tbl key { value; stamp = t.tick }
+    Hashtbl.add t.tbl key { value; stamp = t.tick };
+    t.mem_bytes <- t.mem_bytes + String.length value;
+    Metrics.gauge_set m_entries (Hashtbl.length t.tbl);
+    Metrics.gauge_set m_bytes t.mem_bytes
   end
 
 let find t key =
@@ -97,6 +122,7 @@ let find t key =
         t.tick <- t.tick + 1;
         e.stamp <- t.tick;
         t.hits <- t.hits + 1;
+        Metrics.incr m_hits_mem;
         Some e.value
       | None -> (
         match Option.map read_file (path_of t key) with
@@ -105,9 +131,11 @@ let find t key =
           insert_locked t key value;
           t.hits <- t.hits + 1;
           t.disk_hits <- t.disk_hits + 1;
+          Metrics.incr m_hits_disk;
           Some value
         | _ ->
           t.misses <- t.misses + 1;
+          Metrics.incr m_misses;
           None))
 
 let store t key value =
@@ -117,11 +145,35 @@ let store t key value =
       | Some path when not (Sys.file_exists path) -> write_file path value
       | _ -> ())
 
+(* Disk-tier footprint: one stat per entry file.  Not under the cache
+   mutex — a concurrent store may add a file mid-scan, which only skews
+   a monitoring number. *)
+let disk_usage t =
+  match t.dir with
+  | None -> (0, 0)
+  | Some d ->
+    (try
+       Array.fold_left
+         (fun (n, bytes) name ->
+           if Filename.check_suffix name ".json" then begin
+             match Unix.stat (Filename.concat d name) with
+             | { Unix.st_kind = Unix.S_REG; st_size; _ } ->
+               (n + 1, bytes + st_size)
+             | _ | (exception Unix.Unix_error _) -> (n, bytes)
+           end
+           else (n, bytes))
+         (0, 0) (Sys.readdir d)
+     with Sys_error _ -> (0, 0))
+
 let stats t =
+  let disk_entries, disk_bytes = disk_usage t in
   locked t (fun () ->
       { entries = Hashtbl.length t.tbl;
         capacity = t.capacity;
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
-        disk_hits = t.disk_hits })
+        disk_hits = t.disk_hits;
+        mem_bytes = t.mem_bytes;
+        disk_entries;
+        disk_bytes })

@@ -24,6 +24,9 @@ type stats = {
   misses : int;
   evictions : int;  (** LRU evictions from the memory tier *)
   disk_hits : int;
+  mem_bytes : int;  (** Σ payload bytes held in the memory tier *)
+  disk_entries : int;  (** entry files currently under [dir] *)
+  disk_bytes : int;  (** Σ file sizes under [dir] (0 without a dir) *)
 }
 
 val key_of_string : string -> string

@@ -5,6 +5,7 @@ module Policy = Ogc_gating.Policy
 module Pipeline = Ogc_cpu.Pipeline
 module Account = Ogc_energy.Account
 module Results = Ogc_harness.Results
+module Span = Ogc_obs.Span
 
 let fail fmt = Fmt.kstr (fun s -> raise (J.Parse_error s)) fmt
 
@@ -27,7 +28,7 @@ type request = {
   return_program : bool;
 }
 
-type op = Analyze of request | Stats | Ping
+type op = Analyze of request | Stats | Ping | Metrics
 
 (* --- request parsing ------------------------------------------------------ *)
 
@@ -112,7 +113,9 @@ let op_of_json j =
   | None | Some "analyze" -> Analyze (request_of_json j)
   | Some "stats" -> Stats
   | Some "ping" -> Ping
-  | Some op -> fail "unknown op %S (expected analyze, stats or ping)" op
+  | Some "metrics" -> Metrics
+  | Some op ->
+    fail "unknown op %S (expected analyze, stats, ping or metrics)" op
 
 (* --- cache key ------------------------------------------------------------ *)
 
@@ -211,7 +214,13 @@ let dynamic_widths stats =
     (Results.width_distribution stats)
 
 let analyze req =
-  let base, p = build req in
+  (* The spans must never influence the payload: with tracing on or off
+     the same request yields byte-identical JSON (tested). *)
+  let base, p =
+    Span.with_ ~name:"build"
+      ~args:[ ("pass", J.Str (pass_name req.pass)) ]
+      (fun () -> build req)
+  in
   let opt_stats = Pipeline.simulate ~policy:req.policy p in
   let base_stats = Pipeline.simulate ~policy:Policy.No_gating base in
   if not (Int64.equal opt_stats.Pipeline.checksum base_stats.Pipeline.checksum)
@@ -219,6 +228,7 @@ let analyze req =
     Fmt.failwith
       "optimization changed the program's output (%Ld <> %Ld)"
       opt_stats.Pipeline.checksum base_stats.Pipeline.checksum;
+  Span.with_ ~name:"energy" @@ fun () ->
   let energy = Account.total opt_stats.Pipeline.energy in
   let base_energy = Account.total base_stats.Pipeline.energy in
   let ipc = Pipeline.ipc opt_stats and base_ipc = Pipeline.ipc base_stats in

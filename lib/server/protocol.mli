@@ -15,7 +15,7 @@
     (["train"]/["ref"]), ["cost"] (the VRS cost label, default 50),
     ["deadline_ms"], ["return_program"] (include the re-encoded program
     in the result), ["id"] (opaque, echoed in the response), and ["op"]
-    (["analyze"] default, ["stats"], ["ping"]).
+    (["analyze"] default, ["stats"], ["ping"], ["metrics"]).
 
     The result payload of an analysis contains the static and dynamic
     width histograms of the optimized program, modelled energy / IPC and
@@ -43,7 +43,7 @@ type request = {
   return_program : bool;
 }
 
-type op = Analyze of request | Stats | Ping
+type op = Analyze of request | Stats | Ping | Metrics
 
 val op_of_json : Ogc_json.Json.t -> op
 (** Raises [Ogc_json.Json.Parse_error] on malformed requests. *)

@@ -1,7 +1,28 @@
 module J = Ogc_json.Json
 module Pool = Ogc_exec.Pool
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+module Log = Ogc_obs.Log
 
 exception Deadline_exceeded
+
+(* Per-op request counters and latency histograms; "invalid" covers
+   lines that never parsed far enough to name an op. *)
+let known_ops = [ "analyze"; "stats"; "ping"; "metrics"; "invalid" ]
+
+let m_requests =
+  List.map
+    (fun o ->
+      (o, Metrics.counter "ogc_server_requests_total" ~labels:[ ("op", o) ]))
+    known_ops
+
+let m_latency =
+  List.map
+    (fun o ->
+      ( o,
+        Metrics.histogram "ogc_server_request_seconds" ~labels:[ ("op", o) ]
+      ))
+    known_ops
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -11,7 +32,6 @@ type config = {
   queue_limit : int;
   cache_capacity : int;
   cache_dir : string option;
-  log : string -> unit;
 }
 
 let default_config addr =
@@ -19,8 +39,11 @@ let default_config addr =
     jobs = None;
     queue_limit = 64;
     cache_capacity = 256;
-    cache_dir = None;
-    log = ignore }
+    cache_dir = None }
+
+let addr_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
 let lat_window = 1024
 
@@ -129,12 +152,19 @@ let stats_json t =
               (if lookups = 0 then 0.0
                else float_of_int c.Cache.hits /. float_of_int lookups));
            ("evictions", J.Int c.Cache.evictions);
-           ("disk_hits", J.Int c.Cache.disk_hits) ]);
+           ("disk_hits", J.Int c.Cache.disk_hits);
+           ("mem_bytes", J.Int c.Cache.mem_bytes);
+           ("disk_entries", J.Int c.Cache.disk_entries);
+           ("disk_bytes", J.Int c.Cache.disk_bytes) ]);
       ("latency_ms",
        J.Obj
          [ ("count", J.Int lat_n);
            ("p50", J.Float (percentile lats 0.50));
            ("p95", J.Float (percentile lats 0.95)) ]);
+      (* Per-op second-denominated histograms from the metrics registry;
+         all-zero until metrics are enabled. *)
+      ("latency_by_op",
+       J.Obj (List.map (fun (o, h) -> (o, Metrics.histogram_json h)) m_latency));
       ("pool",
        J.Obj
          [ ("jobs", J.Int (Pool.size t.pool));
@@ -158,7 +188,7 @@ let envelope ?id ~status extra =
 let handle_analyze t ~t0 (req : Protocol.request) =
   let id = req.Protocol.id in
   let key = Protocol.cache_key req in
-  match Cache.find t.cache key with
+  match Span.with_ ~name:"cache_lookup" (fun () -> Cache.find t.cache key) with
   | Some payload ->
     record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
     envelope ?id ~status:"ok"
@@ -188,7 +218,13 @@ let handle_analyze t ~t0 (req : Protocol.request) =
             (match deadline with
             | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
             | _ -> ());
-            J.to_string ~indent:false (Protocol.analyze req))
+            (* Runs on a worker domain: this span (and the build/
+               simulate/energy spans below it) lands on that domain's
+               track, with the queue wait visible as the gap from the
+               connection thread's enclosing request span. *)
+            Span.with_ ~name:"analyze"
+              ~args:[ ("pass", J.Str (Protocol.pass_name req.Protocol.pass)) ]
+              (fun () -> J.to_string ~indent:false (Protocol.analyze req)))
       in
       let outcome =
         match Pool.await ticket with
@@ -218,21 +254,47 @@ let handle_analyze t ~t0 (req : Protocol.request) =
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
   locked t (fun () -> t.requests <- t.requests + 1);
-  match J.of_string line with
-  | exception J.Parse_error msg ->
-    locked t (fun () -> t.errors <- t.errors + 1);
-    envelope ~status:"error" [ ("error", J.Str msg) ]
-  | j -> (
-    let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
-    match Protocol.op_of_json j with
+  let op_name, response =
+    match J.of_string line with
     | exception J.Parse_error msg ->
       locked t (fun () -> t.errors <- t.errors + 1);
-      envelope ?id ~status:"error" [ ("error", J.Str msg) ]
-    | Protocol.Ping -> envelope ?id ~status:"ok" [ ("op", J.Str "ping") ]
-    | Protocol.Stats ->
-      envelope ?id ~status:"ok"
-        [ ("op", J.Str "stats"); ("result", stats_json t) ]
-    | Protocol.Analyze req -> handle_analyze t ~t0 req)
+      ("invalid", envelope ~status:"error" [ ("error", J.Str msg) ])
+    | j -> (
+      let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
+      match Protocol.op_of_json j with
+      | exception J.Parse_error msg ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        ("invalid", envelope ?id ~status:"error" [ ("error", J.Str msg) ])
+      | Protocol.Ping ->
+        ("ping", envelope ?id ~status:"ok" [ ("op", J.Str "ping") ])
+      | Protocol.Stats ->
+        ( "stats",
+          envelope ?id ~status:"ok"
+            [ ("op", J.Str "stats"); ("result", stats_json t) ] )
+      | Protocol.Metrics ->
+        ( "metrics",
+          envelope ?id ~status:"ok"
+            [ ("op", J.Str "metrics");
+              ("exposition", J.Str (Metrics.to_prometheus ()));
+              ("result", Metrics.to_json ()) ] )
+      | Protocol.Analyze req ->
+        ( "analyze",
+          Span.with_ ~name:"request"
+            ~args:[ ("op", J.Str "analyze") ]
+            (fun () -> handle_analyze t ~t0 req) ))
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  if Metrics.enabled () then begin
+    (match List.assoc_opt op_name m_requests with
+    | Some c -> Metrics.incr c
+    | None -> ());
+    match List.assoc_opt op_name m_latency with
+    | Some h -> Metrics.observe h dt
+    | None -> ()
+  end;
+  Log.debug "request"
+    ~fields:[ ("op", J.Str op_name); ("seconds", J.Float dt) ];
+  response
 
 (* --- connections ----------------------------------------------------------- *)
 
@@ -279,9 +341,12 @@ let install_sigint t =
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t))
 
 let run t =
-  t.cfg.log
-    (Printf.sprintf "ogc-serve %s: listening (%d worker domains, queue %d)"
-       Version.version (Pool.size t.pool) t.cfg.queue_limit);
+  Log.info "ogc-serve: listening"
+    ~fields:
+      [ ("version", J.Str Version.version);
+        ("addr", J.Str (addr_string t.cfg.addr));
+        ("jobs", J.Int (Pool.size t.pool));
+        ("queue_limit", J.Int t.cfg.queue_limit) ];
   let continue = ref true in
   while !continue do
     if Atomic.get t.stopping then continue := false
@@ -302,7 +367,8 @@ let run t =
      connection mid-request still writes its response first — its read
      side only reports EOF on the next request), finish every in-flight
      analysis, then retire the worker domains. *)
-  t.cfg.log "ogc-serve: draining";
+  Log.info "ogc-serve: draining"
+    ~fields:[ ("pending", J.Int (Atomic.get t.pending)) ];
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (match t.cfg.addr with
   | Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
@@ -317,4 +383,7 @@ let run t =
     conns;
   List.iter Thread.join threads;
   Pool.shutdown t.pool;
-  t.cfg.log "ogc-serve: stopped"
+  Log.info "ogc-serve: stopped"
+    ~fields:
+      [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+        ("requests", J.Int (locked t (fun () -> t.requests))) ]

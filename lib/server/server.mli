@@ -27,12 +27,13 @@ type config = {
   queue_limit : int;  (** in-flight analyses before shedding load *)
   cache_capacity : int;  (** in-memory cache entries *)
   cache_dir : string option;  (** persistent cache tier, if any *)
-  log : string -> unit;  (** lifecycle messages; [ignore] to silence *)
 }
 
 val default_config : addr -> config
 (** [jobs = None], [queue_limit = 64], [cache_capacity = 256], no
-    persistent cache, silent log. *)
+    persistent cache.  Lifecycle events go through {!Ogc_obs.Log}
+    (structured NDJSON on stderr by default; raise the level to [Error]
+    to silence them). *)
 
 type t
 
@@ -54,7 +55,9 @@ val install_sigint : t -> unit
 
 val stats_json : t -> Ogc_json.Json.t
 (** The same counters the ["stats"] op reports: requests, cache
-    hit/miss/eviction counts, latency percentiles, pool utilization. *)
+    hit/miss/eviction counts and byte footprint (both tiers), latency
+    percentiles plus per-op latency histograms (from {!Ogc_obs.Metrics};
+    all-zero unless metrics are enabled), pool utilization. *)
 
 val handle_line : t -> string -> string
 (** Process one request line and return the response line (without the

@@ -1,9 +1,9 @@
 #!/bin/sh
-# Non-blocking formatting check: reports drift via `dune build @fmt` when
-# an ocamlformat matching .ocamlformat's pinned version is available, and
+# Formatting check: reports drift via `dune build @fmt` when an
+# ocamlformat matching .ocamlformat's pinned version is available, and
 # skips (successfully) otherwise, so machines without the formatter are
-# never broken by it.  CI runs this with continue-on-error as a second
-# safety net.
+# never broken by it.  In CI the formatter is always installed, so the
+# fmt job genuinely gates merges.
 set -u
 
 if ! command -v ocamlformat >/dev/null 2>&1; then

@@ -1,0 +1,320 @@
+(* Observability tests: the sharded metrics registry (merge = Σ shards
+   under real multi-domain recording), the Prometheus exposition format,
+   trace-event export well-formedness, structured logging, and the
+   determinism contract — an `analyze` result is byte-identical whether
+   or not tracing/metrics are recording. *)
+
+module J = Ogc_json.Json
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+module Log = Ogc_obs.Log
+module Protocol = Ogc_server.Protocol
+
+(* Registration happens once, at module init, like production code. *)
+let m_hist =
+  Metrics.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] "test_obs_hist"
+
+let m_ctr = Metrics.counter "test_obs_events_total"
+let m_g = Metrics.gauge "test_obs_level"
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) f
+
+(* --- gating ---------------------------------------------------------------- *)
+
+let test_disabled_is_noop () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  Metrics.incr m_ctr;
+  Metrics.observe m_hist 1.5;
+  Alcotest.(check (float 0.0)) "counter untouched" 0.0
+    (Metrics.counter_value m_ctr);
+  let counts, sum = Metrics.histogram_counts m_hist in
+  Alcotest.(check (float 0.0)) "hist sum untouched" 0.0 sum;
+  Alcotest.(check (float 0.0)) "hist counts untouched" 0.0
+    (Array.fold_left ( +. ) 0.0 counts);
+  (* Gauges track levels regardless of the flag, so paired add/sub pairs
+     never drift across an enable/disable flip. *)
+  Metrics.gauge_add m_g 3;
+  Metrics.gauge_add m_g (-1);
+  Alcotest.(check int) "gauge live while disabled" 2 (Metrics.gauge_value m_g)
+
+(* --- merge = Σ shards under multi-domain recording ------------------------- *)
+
+(* Split [xs] into [n] round-robin chunks. *)
+let chunks n xs =
+  let buckets = Array.make n [] in
+  List.iteri (fun i x -> buckets.(i mod n) <- x :: buckets.(i mod n)) xs;
+  Array.to_list buckets
+
+let record_across_domains jobs obs =
+  with_metrics (fun () ->
+      (match chunks jobs obs with
+      | [] -> ()
+      | main :: rest ->
+        let ds =
+          List.map
+            (fun chunk ->
+              Domain.spawn (fun () ->
+                  List.iter (fun v -> Metrics.observe m_hist v) chunk))
+            rest
+        in
+        (* The main domain records too: its shard must merge with the
+           workers'. *)
+        List.iter (fun v -> Metrics.observe m_hist v) main;
+        List.iter Domain.join ds);
+      let merged, sum = Metrics.histogram_counts m_hist in
+      let shards = Metrics.histogram_shards m_hist in
+      (merged, sum, shards))
+
+let prop_merge_is_shard_sum jobs =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "histogram merge = sum of shards (jobs %d)" jobs)
+    ~count:(if jobs >= 8 then 10 else 25)
+    QCheck.(list_of_size Gen.(0 -- 200) (map float_of_int (0 -- 12)))
+    (fun obs ->
+      let merged, sum, shards = record_across_domains jobs obs in
+      let total = Array.fold_left ( +. ) 0.0 merged in
+      (* Every observation landed in exactly one merged bucket... *)
+      total = float_of_int (List.length obs)
+      && sum = List.fold_left ( +. ) 0.0 obs
+      (* ... and the merged view is exactly the element-wise shard sum. *)
+      && Array.for_all
+           (fun ok -> ok)
+           (Array.mapi
+              (fun i m ->
+                m
+                = List.fold_left (fun acc s -> acc +. s.(i)) 0.0 shards)
+              merged))
+
+(* --- Prometheus exposition ------------------------------------------------- *)
+
+let name_ok s =
+  s <> ""
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+               | _ -> false)
+       s
+
+(* One sample line: name, optional {labels}, a space, a float value. *)
+let line_ok line =
+  match String.rindex_opt line ' ' with
+  | None -> false
+  | Some sp ->
+    let head = String.sub line 0 sp in
+    let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+    Float.is_finite (float_of_string value)
+    && (match String.index_opt head '{' with
+       | None -> name_ok head
+       | Some lb ->
+         String.length head > 0
+         && head.[String.length head - 1] = '}'
+         && name_ok (String.sub head 0 lb))
+
+let test_exposition_format () =
+  with_metrics (fun () ->
+      Metrics.incr m_ctr;
+      Metrics.gauge_set m_g 7;
+      List.iter (Metrics.observe m_hist) [ 0.5; 3.0; 100.0 ];
+      let text = Metrics.to_prometheus () in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      Alcotest.(check bool) "has lines" true (lines <> []);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) (Printf.sprintf "line %S well-formed" l) true
+            (line_ok l))
+        lines;
+      let has sub =
+        List.exists
+          (fun l -> String.length l >= String.length sub
+                    && String.sub l 0 (String.length sub) = sub)
+          lines
+      in
+      Alcotest.(check bool) "counter present" true (has "test_obs_events_total");
+      Alcotest.(check bool) "+Inf bucket present" true
+        (List.exists
+           (fun l ->
+             has "test_obs_hist_bucket"
+             && String.length l > 0
+             &&
+             match String.index_opt l '{' with
+             | Some _ -> true
+             | None -> false)
+           lines);
+      (* Histogram buckets are cumulative and end at the total count. *)
+      let counts, _ = Metrics.histogram_counts m_hist in
+      Alcotest.(check (float 0.0)) "3 observations" 3.0
+        (Array.fold_left ( +. ) 0.0 counts);
+      let value_of prefix =
+        match
+          List.find_opt
+            (fun l ->
+              String.length l > String.length prefix
+              && String.sub l 0 (String.length prefix) = prefix)
+            lines
+        with
+        | Some l ->
+          float_of_string
+            (String.sub l
+               (String.rindex l ' ' + 1)
+               (String.length l - String.rindex l ' ' - 1))
+        | None -> Alcotest.failf "no %s line" prefix
+      in
+      (* The +Inf bucket and _count both equal the total — this is the
+         regression test for cumulative rendering. *)
+      Alcotest.(check (float 0.0)) "+Inf bucket = total" 3.0
+        (value_of "test_obs_hist_bucket{le=\"+Inf\"}");
+      Alcotest.(check (float 0.0)) "_count = total" 3.0
+        (value_of "test_obs_hist_count");
+      (* 0.5 <= 1.0: the first bucket already holds one observation. *)
+      Alcotest.(check (float 0.0)) "first bucket cumulative" 1.0
+        (value_of "test_obs_hist_bucket{le=\"1.0\"}"))
+
+(* --- trace export ---------------------------------------------------------- *)
+
+let test_trace_export () =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) @@ fun () ->
+  Span.with_ ~name:"outer" (fun () ->
+      Span.with_ ~name:"inner" ~args:[ ("k", J.Int 1) ] (fun () -> ());
+      Span.instant "tick");
+  (try Span.with_ ~name:"raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let doc = Span.export () in
+  let events =
+    match J.member "traceEvents" doc with
+    | J.Arr evs -> evs
+    | _ -> Alcotest.fail "traceEvents is not an array"
+  in
+  let phases =
+    List.filter_map
+      (fun e ->
+        match (J.member "ph" e, J.member "name" e) with
+        | J.Str ph, J.Str name -> Some (ph, name)
+        | _ -> None)
+      events
+  in
+  let count ph = List.length (List.filter (fun (p, _) -> p = ph) phases) in
+  (* 3 with_ calls: begins and ends balance even across the exception. *)
+  Alcotest.(check int) "begin events" 3 (count "B");
+  Alcotest.(check int) "end events" 3 (count "E");
+  Alcotest.(check int) "instant events" 1 (count "i");
+  Alcotest.(check bool) "thread metadata" true (count "M" >= 1);
+  (* Timestamps are sorted, so viewers never reorder. *)
+  let ts =
+    List.filter_map
+      (fun e ->
+        match (J.member "ph" e, J.member "ts" e) with
+        | J.Str "M", _ -> None
+        | _, J.Int t -> Some t
+        | _, J.Float t -> Some (int_of_float t)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "timestamps sorted" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length ts - 1) ts)
+       (List.tl ts));
+  Span.reset ()
+
+(* --- structured logs ------------------------------------------------------- *)
+
+let test_log_lines () =
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  Fun.protect ~finally:(fun () ->
+      Log.set_sink prerr_endline;
+      Log.set_level Log.Info)
+  @@ fun () ->
+  Log.set_level Log.Info;
+  Log.debug "dropped below threshold";
+  Log.info "hello" ~fields:[ ("n", J.Int 3); ("who", J.Str "obs") ];
+  Log.error "bad";
+  Alcotest.(check int) "threshold drops debug" 2 (List.length !lines);
+  List.iter
+    (fun line ->
+      let j = J.of_string line in
+      (match J.member "ts" j with
+      | J.Float _ | J.Int _ -> ()
+      | _ -> Alcotest.fail "no ts");
+      (match J.member "level" j with
+      | J.Str ("info" | "error") -> ()
+      | _ -> Alcotest.fail "bad level");
+      match J.member "msg" j with
+      | J.Str _ -> ()
+      | _ -> Alcotest.fail "no msg")
+    !lines;
+  match List.rev !lines with
+  | [ info; _ ] ->
+    Alcotest.(check bool) "fields serialized" true
+      (J.member "who" (J.of_string info) = J.Str "obs")
+  | _ -> Alcotest.fail "expected two lines"
+
+(* --- determinism: analyze is byte-identical with tracing on/off ------------ *)
+
+let src =
+  "long input_scale = 1;\n\
+   int main() {\n\
+  \  int n = 30 * (int)input_scale;\n\
+  \  long s = 0;\n\
+  \  for (int i = 0; i < n; i++) s += (i & 63) * 5;\n\
+  \  emit(s);\n\
+  \  return 0;\n\
+   }\n"
+
+let req pass =
+  {
+    Protocol.id = None;
+    payload = Protocol.Source src;
+    input = Ogc_workloads.Workload.Train;
+    pass;
+    policy = Ogc_gating.Policy.Software;
+    cost = 50;
+    deadline_ms = None;
+    return_program = true;
+  }
+
+let test_analyze_identical_with_tracing () =
+  List.iter
+    (fun pass ->
+      Metrics.reset ();
+      Span.reset ();
+      Metrics.set_enabled false;
+      Span.set_enabled false;
+      let off = J.to_string (Protocol.analyze (req pass)) in
+      Metrics.set_enabled true;
+      Span.set_enabled true;
+      let on = J.to_string (Protocol.analyze (req pass)) in
+      Metrics.set_enabled false;
+      Span.set_enabled false;
+      let off2 = J.to_string (Protocol.analyze (req pass)) in
+      Span.reset ();
+      Alcotest.(check string)
+        (Printf.sprintf "pass %s: on = off" (Protocol.pass_name pass))
+        off on;
+      Alcotest.(check string)
+        (Printf.sprintf "pass %s: off again = off" (Protocol.pass_name pass))
+        off off2)
+    [ Protocol.P_vrp; Protocol.P_vrs ]
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ("gating", [ Alcotest.test_case "disabled is no-op" `Quick
+                     test_disabled_is_noop ]);
+      ( "shards",
+        List.map (fun j -> q (prop_merge_is_shard_sum j)) [ 1; 2; 8 ] );
+      ( "exposition",
+        [ Alcotest.test_case "format" `Quick test_exposition_format ] );
+      ("trace", [ Alcotest.test_case "export" `Quick test_trace_export ]);
+      ("log", [ Alcotest.test_case "ndjson lines" `Quick test_log_lines ]);
+      ( "determinism",
+        [ Alcotest.test_case "analyze byte-identical" `Quick
+            test_analyze_identical_with_tracing ] );
+    ]

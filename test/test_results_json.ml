@@ -3,7 +3,7 @@
 
 module Results = Ogc_harness.Results
 module Experiments = Ogc_harness.Experiments
-module Json = Ogc_harness.Json
+module Json = Ogc_json.Json
 module Account = Ogc_energy.Account
 module Pipeline = Ogc_cpu.Pipeline
 

@@ -9,6 +9,10 @@ module Cache = Ogc_server.Cache
 module Prog_json = Ogc_ir.Prog_json
 module Workload = Ogc_workloads.Workload
 
+(* Server lifecycle events are structured logs now; keep test output
+   clean. *)
+let () = Ogc_obs.Log.set_level Ogc_obs.Log.Error
+
 let src =
   "long input_scale = 3;\n\
    int main() {\n\
