@@ -5,6 +5,8 @@
      run        execute a program in the reference interpreter
      vrp        run value range propagation and report widths
      vrs        run value range specialization and report what happened
+     analyze    run a named pass chain (see `ogc passes`)
+     passes     list the registered analysis passes
      sim        simulate on the Table 2 machine with a gating policy
      report     regenerate the paper's tables and figures
      workloads  list the benchmark suite *)
@@ -756,6 +758,94 @@ let submit_cmd =
           $ cost $ deadline $ return_program $ id $ stats $ ping $ metrics
           $ raw)
 
+(* --- analyze / passes ------------------------------------------------------ *)
+
+module Pass = Ogc_pass.Pass
+
+let analyze_cmd =
+  let chain_arg =
+    Arg.(value & opt string "cleanup,vrp,encode-widths"
+         & info [ "passes" ] ~docv:"CHAIN"
+             ~doc:"Comma-separated pass chain; each pass takes colon-joined \
+                   $(i,key=value) options, e.g. \
+                   $(b,cleanup,vrp,vrs:cost=50).  $(b,ogc passes) lists the \
+                   registry.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the result as JSON (deterministic: no timings).")
+  in
+  let run spec input chain json out =
+    wrap (fun () ->
+        let p = load_program spec input in
+        let st, steps = Pass.run chain p in
+        let p = st.Pass.prog in
+        Ogc_ir.Validate.program p;
+        let final = Interp.run p in
+        maybe_save out p;
+        if json then
+          (* Deterministic by construction: pass summaries, program
+             facts and the output checksum — never wall times. *)
+          print_endline
+            (Json.to_string ~indent:true
+               (Json.Obj
+                  [ ("passes",
+                     Json.Arr
+                       (List.map
+                          (fun (s : Pass.step) ->
+                            Json.Obj
+                              [ ("pass", Json.Str s.Pass.t_pass);
+                                ("config", s.Pass.t_config);
+                                ("summary", Json.Str s.Pass.t_summary) ])
+                          steps));
+                    ("static_instructions",
+                     Json.Int (Prog.num_static_ins p));
+                    ("dynamic_instructions", Json.Int final.Interp.steps);
+                    ("checksum",
+                     Json.Str (Int64.to_string final.Interp.checksum)) ]))
+        else begin
+          List.iter
+            (fun (s : Pass.step) ->
+              match s.Pass.t_config with
+              | Json.Obj [] ->
+                Format.printf "%-14s %s@." s.Pass.t_pass s.Pass.t_summary
+              | cfg ->
+                Format.printf "%-14s %s  %s@." s.Pass.t_pass
+                  (Json.to_string ~indent:false cfg)
+                  s.Pass.t_summary)
+            steps;
+          Format.printf "static instructions: %d@." (Prog.num_static_ins p);
+          Format.printf "dynamic instructions: %d@." final.Interp.steps;
+          Format.printf "checksum: %Ld@." final.Interp.checksum
+        end)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run a named pass chain over a program and report what it did")
+    Term.(const run $ program_arg $ input_arg $ chain_arg $ json_flag
+          $ save_arg)
+
+let passes_cmd =
+  let run () =
+    List.iter
+      (fun (p : Pass.t) ->
+        (match p.Pass.defaults with
+        | [] -> Format.printf "%-14s %s@." p.Pass.name p.Pass.doc
+        | ds ->
+          Format.printf "%-14s %s@." p.Pass.name p.Pass.doc;
+          List.iter
+            (fun (k, d) ->
+              Format.printf "%-14s   :%s=%s (default)@." "" k
+                (Json.to_string ~indent:false d))
+            ds))
+      Pass.registry
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"List the registered analysis passes and their options")
+    Term.(const run $ const ())
+
 (* --- workloads ----------------------------------------------------------------- *)
 
 let workloads_cmd =
@@ -774,6 +864,6 @@ let () =
   (* The version is generated from dune-project's (version ...) stanza. *)
   let info = Cmd.info "ogc" ~version:Ogc_server.Version.version ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; sim_cmd;
-                      trace_cmd; diff_cmd; report_cmd; workloads_cmd;
-                      serve_cmd; submit_cmd ]))
+                    [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; analyze_cmd;
+                      passes_cmd; sim_cmd; trace_cmd; diff_cmd; report_cmd;
+                      workloads_cmd; serve_cmd; submit_cmd ]))

@@ -164,7 +164,7 @@ type candidate = {
   c_fname : string;
   c_dst : Reg.t;
   c_count : int;
-  c_prelim : float;
+  c_sav : float;  (* best-case savings estimate, guard cost excluded *)
 }
 
 let eligible_dst (ins : Prog.ins) =
@@ -175,7 +175,11 @@ let eligible_dst (ins : Prog.ins) =
   | Instr.Cmp _ | Instr.Cmov _ | Instr.Msk _ | Instr.Sext _ | Instr.Li _
   | Instr.La _ | Instr.Store _ | Instr.Emit _ -> None
 
-let select_candidates config ~table ~vrp (p : Prog.t) counts ~total_dyn =
+(* The cost-independent master list: every hot, wide definition with a
+   positive best-case savings estimate.  The per-configuration guard-cost
+   screening and ranking happen in {!select_for}, so one master list (and
+   one set of value profiles) serves a whole guard-cost sweep. *)
+let master_candidates config ~table ~vrp (p : Prog.t) counts ~total_dyn =
   let cands = ref [] in
   List.iter
     (fun (f : Prog.func) ->
@@ -210,23 +214,30 @@ let select_candidates config ~table ~vrp (p : Prog.t) counts ~total_dyn =
                 estimate_savings ~table ~vrp ~ud ~ins_ops ~inst_count
                   ~iid:ins.iid ~new_width:Width.W8 ~single:true
               in
-              let min_cost =
-                float_of_int count *. config.test_cost_nj
-              in
-              if sav -. min_cost > 0.0 then
+              if sav > 0.0 then
                 cands :=
                   {
                     c_iid = ins.iid;
                     c_fname = f.fname;
                     c_dst = dst;
                     c_count = count;
-                    c_prelim = sav -. min_cost;
+                    c_sav = sav;
                   }
                   :: !cands
             end))
     p.funcs;
+  !cands
+
+(* Guard-cost screening at a concrete configuration: drop candidates whose
+   best case cannot pay for the cheapest guard, rank by the margin, keep
+   the profiling budget.  [List.sort] is stable and the master list keeps
+   its construction order, so this yields byte-for-byte the candidate
+   order a from-scratch screening at this cost would. *)
+let select_for config master =
+  let prelim c = c.c_sav -. (float_of_int c.c_count *. config.test_cost_nj) in
+  let screened = List.filter (fun c -> prelim c > 0.0) master in
   let sorted =
-    List.sort (fun a b -> Float.compare b.c_prelim a.c_prelim) !cands
+    List.sort (fun a b -> Float.compare (prelim b) (prelim a)) screened
   in
   List.filteri (fun i _ -> i < config.max_candidates) sorted
 
@@ -414,21 +425,47 @@ let specialize_point (p : Prog.t) (f : Prog.func) report ~iid ~x ~lo ~hi =
 let guard_instr_count ~lo ~hi =
   if Int64.equal lo hi then (if Int64.equal lo 0L then 1 else 2) else 4
 
-let run_inner config (p : Prog.t) =
+(* The expensive, guard-cost-independent front half of the pipeline: the
+   initial VRP pass, the basic-block-profiling training run, the master
+   candidate list, and the value-profiling training run.  One [analysis]
+   serves every guard-cost configuration of the same program state
+   ({!specialize} below), which is what makes the harness's 5-point cost
+   sweep compute VRP and the two interpreter runs once per workload. *)
+type analysis = {
+  a_vrp : Vrp.result;
+  a_counts : Interp.bb_counts;
+  a_master : candidate list;
+  a_profiles : (int, Tnv.t) Hashtbl.t;
+}
+
+let profiled_points a = List.length a.a_master
+
+(* One guard instruction costs roughly the pipeline energy of an extra
+   instruction; the paper's nJ labels (the Figure 8 sweep) scale it. *)
+let cost_of_label l = float_of_int l *. 0.03
+
+let analyze_inner config ?vrp ?bb (p : Prog.t) =
   let table = Savings_table.default in
-  (* Step 0: VRP pass; VRS builds on re-encoded code. *)
-  let vrp1 = Vrp.run p in
-  (* Step 1: training run for basic-block profiles. *)
-  let counts : Interp.bb_counts = Hashtbl.create 64 in
-  let cands =
-    Span.with_ ~name:"vrs:train" (fun () ->
-        let train1 =
-          Interp.run ~config:config.train_config ~bb_counts:counts p
-        in
-        select_candidates config ~table ~vrp:vrp1 p counts
-          ~total_dyn:train1.steps)
+  (* Step 0: VRP pass; VRS builds on re-encoded code.  A caller that
+     already ran it (the pass manager) hands the result in. *)
+  let vrp1 = match vrp with Some r -> r | None -> Vrp.run p in
+  (* Step 1: training run for basic-block profiles (shareable too). *)
+  let counts, total_dyn =
+    match bb with
+    | Some (counts, total) -> (counts, total)
+    | None ->
+      let counts : Interp.bb_counts = Hashtbl.create 64 in
+      let train1 =
+        Span.with_ ~name:"vrs:train" (fun () ->
+            Interp.run ~config:config.train_config ~bb_counts:counts p)
+      in
+      (counts, train1.Interp.steps)
   in
-  (* Step 2: value-profile the candidates on the training input. *)
+  let master = master_candidates config ~table ~vrp:vrp1 p counts ~total_dyn in
+  (* Step 2: value-profile every master candidate on the training input.
+     Each TNV table only sees its own instruction's values, so profiling
+     the (cost-independent) superset leaves per-candidate profiles
+     identical to profiling any screened subset. *)
   let profiles = Hashtbl.create 64 in
   let samplers = Hashtbl.create 64 in
   List.iter
@@ -436,9 +473,17 @@ let run_inner config (p : Prog.t) =
       let t = Tnv.create ~capacity:config.tnv_capacity () in
       Hashtbl.replace profiles c.c_iid t;
       Hashtbl.replace samplers c.c_iid (Tnv.observe t))
-    cands;
+    master;
   Span.with_ ~name:"vrs:profile" (fun () ->
       ignore (Interp.run ~config:config.train_config ~profile:samplers p));
+  { a_vrp = vrp1; a_counts = counts; a_master = master; a_profiles = profiles }
+
+let specialize_inner config (a : analysis) (p : Prog.t) =
+  let table = Savings_table.default in
+  let vrp1 = a.a_vrp in
+  let counts = a.a_counts in
+  let profiles = a.a_profiles in
+  let cands = select_for config a.a_master in
   (* Step 3: cost/benefit and transformation, best candidates first. *)
   let report =
     {
@@ -537,30 +582,41 @@ let run_inner config (p : Prog.t) =
   (* Step 5: final width assignment on the cleaned program. *)
   let vrp3 = Vrp.run ~config:vrp_cfg p in
   Validate.program p;
-  {
-    report with
-    profiled = List.rev !outcomes;
-    clone_blocks = !clone_blocks;
-    static_cloned = !static_cloned;
-    static_eliminated = eliminated_in_clones;
-    assumptions = !assumptions;
-    final_vrp = vrp3;
-  }
+  let r =
+    {
+      report with
+      profiled = List.rev !outcomes;
+      clone_blocks = !clone_blocks;
+      static_cloned = !static_cloned;
+      static_eliminated = eliminated_in_clones;
+      assumptions = !assumptions;
+      final_vrp = vrp3;
+    }
+  in
+  if Metrics.enabled () then
+    List.iter
+      (fun (_, o) ->
+        Metrics.incr
+          (match o with
+          | Specialized _ -> m_cand_specialized
+          | Dependent_on_other -> m_cand_dependent
+          | No_benefit -> m_cand_no_benefit))
+      r.profiled;
+  r
+
+let analyze ?(config = default_config) ?vrp ?bb (p : Prog.t) =
+  Span.with_ ~name:"vrs:analyze" (fun () -> analyze_inner config ?vrp ?bb p)
+
+let specialize ?(config = default_config) a (p : Prog.t) =
+  specialize_inner config a p
 
 let run ?(config = default_config) (p : Prog.t) =
   Span.with_ ~name:"vrs" (fun () ->
       let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
-      let r = run_inner config p in
+      let a = analyze_inner config p in
+      let r = specialize_inner config a p in
       if t0 > 0.0 then begin
         Metrics.incr m_runs;
-        Metrics.observe m_pass_seconds (Unix.gettimeofday () -. t0);
-        List.iter
-          (fun (_, o) ->
-            Metrics.incr
-              (match o with
-              | Specialized _ -> m_cand_specialized
-              | Dependent_on_other -> m_cand_dependent
-              | No_benefit -> m_cand_no_benefit))
-          r.profiled
+        Metrics.observe m_pass_seconds (Unix.gettimeofday () -. t0)
       end;
       r)

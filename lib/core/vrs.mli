@@ -69,6 +69,45 @@ type report = {
 
 val specialized_count : report -> int
 
+(** [cost_of_label l] maps a paper cost label (e.g. 50, the Figure 8
+    30-110 nJ sweep) to the model's per-guard-instruction energy
+    parameter [test_cost_nj]. *)
+val cost_of_label : int -> float
+
+(** The guard-cost-independent front half of the pipeline: the initial
+    VRP result, the training basic-block profile, the candidate master
+    list (screened at zero guard cost) and the TNV value profiles.  One
+    analysis can be {!specialize}d repeatedly — typically once per guard
+    cost of a sweep — against copies of the program state it was
+    computed on. *)
+type analysis
+
+(** Number of profiled candidate points in the master list. *)
+val profiled_points : analysis -> int
+
+(** [analyze ?config ?vrp ?bb prog] runs the front half on [prog].
+    [vrp] hands in an already-computed-and-applied initial VRP result
+    (the analysis is then pure); without it, [Vrp.run] re-encodes [prog]
+    in place first.  [bb] hands in training basic-block counts plus the
+    run's dynamic instruction total, saving the first interpreter run.
+    Only [hot_fraction], [tnv_capacity] and [train_config] of [config]
+    are consulted — the analysis is independent of the guard cost. *)
+val analyze :
+  ?config:config ->
+  ?vrp:Vrp.result ->
+  ?bb:Interp.bb_counts * int ->
+  Prog.t ->
+  analysis
+
+(** [specialize ?config analysis prog] applies the back half — guard-cost
+    screening, cost/benefit, cloning, the assumption-carrying VRP passes
+    and constant propagation — to [prog] in place.  [prog] must be in
+    the exact state [analysis] was computed on (the same program, or a
+    {!Ogc_ir.Prog.copy} of it: instruction ids and labels key every
+    profile).  [specialize config (analyze config p) p] is byte-for-byte
+    [run config p]. *)
+val specialize : ?config:config -> analysis -> Prog.t -> report
+
 (** [run ?config prog] applies the whole VRS pipeline to [prog] in place
     (including the embedded VRP passes and constant propagation) and
     reports what happened.  [prog] must be freshly compiled (not already

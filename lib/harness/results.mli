@@ -21,6 +21,16 @@
     workload order, so the output is identical whatever the parallelism
     degree.
 
+    Each binary version is expressed as an {!Ogc_pass.Pass} chain run
+    against a per-workload artifact store.  A dedicated analyses phase
+    warms the store with the guard-cost-independent front of the VRS
+    pipeline (cleanup, VRP, width encoding, the training basic-block
+    profile and the TNV value profiles) on the train input, so the
+    five-cost sweep computes the VRP fixpoint once and runs the two
+    training interpreter passes once per workload instead of once per
+    cost point.  Store hits restore byte-identical program snapshots, so
+    collections are identical with or without a warm store.
+
     Semantic equality (output checksums) across every version and policy
     is asserted during collection — an optimized binary that changes the
     program's output is a hard error. *)
@@ -91,8 +101,10 @@ val collect_timed :
   t * (string * float) list
 (** {!collect} plus per-phase wall seconds, in phase order (currently
     ["baselines"] — compile + reference run + hardware-gated baselines —
-    then ["versions"] — the (workload × binary version) grid).  The
-    phases also appear as {!Ogc_obs.Span} spans when tracing is on. *)
+    then ["analyses"] — per-workload warm-up of the shared VRS analysis
+    front in the pass-artifact store — then ["versions"] — the
+    (workload × binary version) grid of pass chains).  The phases also
+    appear as {!Ogc_obs.Span} spans when tracing is on. *)
 
 (** {1 Serialization}
 

@@ -6,6 +6,7 @@ module Pipeline = Ogc_cpu.Pipeline
 module Account = Ogc_energy.Account
 module Results = Ogc_harness.Results
 module Span = Ogc_obs.Span
+module Pass = Ogc_pass.Pass
 
 let fail fmt = Fmt.kstr (fun s -> raise (J.Parse_error s)) fmt
 
@@ -179,21 +180,30 @@ let load req input =
 
 (* Baseline (untransformed, ungated) and optimized programs, both at the
    request's evaluation scale.  VRS mirrors the batch harness: profile
-   and specialize on the train input, evaluate on the requested one. *)
-let build req =
+   and specialize on the train input, evaluate on the requested one.
+   Transformations run as {!Ogc_pass.Pass} chains; with a [store]
+   attached, requests sharing a program and differing only downstream
+   (e.g. two VRS costs) reuse the common prefix artifacts — the VRP
+   fixpoint and the training/value profiles — instead of recomputing
+   them. *)
+let build ?store req =
   match req.pass with
-  | P_none | P_vrp ->
+  | P_none ->
+    let p = load req req.input in
+    (Prog.copy p, p)
+  | P_vrp ->
     let p = load req req.input in
     let base = Prog.copy p in
-    if req.pass = P_vrp then ignore (Ogc_core.Vrp.run p);
-    (base, p)
+    let st, _ = Pass.run ?store "vrp,encode-widths" p in
+    (base, st.Pass.prog)
   | P_vrs ->
     let p = load req Workload.Train in
-    let config =
-      { Ogc_core.Vrs.default_config with
-        test_cost_nj = Results.test_cost_of_label req.cost }
+    let chain =
+      Printf.sprintf "vrp,encode-widths,bb-profile,value-profile,vrs:cost=%d"
+        req.cost
     in
-    ignore (Ogc_core.Vrs.run ~config p);
+    let st, _ = Pass.run ?store chain p in
+    let p = st.Pass.prog in
     set_scale_if p req.input;
     (load req req.input, p)
 
@@ -213,13 +223,14 @@ let dynamic_widths stats =
     (fun (w, frac) -> (Ogc_isa.Width.to_string w, J.Float frac))
     (Results.width_distribution stats)
 
-let analyze req =
-  (* The spans must never influence the payload: with tracing on or off
-     the same request yields byte-identical JSON (tested). *)
+let analyze ?store req =
+  (* The spans must never influence the payload: with tracing on or off,
+     with a cold or warm store, the same request yields byte-identical
+     JSON (tested). *)
   let base, p =
     Span.with_ ~name:"build"
       ~args:[ ("pass", J.Str (pass_name req.pass)) ]
-      (fun () -> build req)
+      (fun () -> build ?store req)
   in
   let opt_stats = Pipeline.simulate ~policy:req.policy p in
   let base_stats = Pipeline.simulate ~policy:Policy.No_gating base in

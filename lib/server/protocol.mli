@@ -57,7 +57,12 @@ val cache_key : request -> string
     version — never over [id] or [deadline_ms].  Two requests with equal
     keys receive byte-identical result payloads. *)
 
-val analyze : request -> Ogc_json.Json.t
-(** Run the requested pass and simulation; the cacheable result payload.
-    Raises [Parse_error] on bad programs and [Failure] when an
-    optimization changes the program's output. *)
+val analyze : ?store:Ogc_pass.Pass.Store.t -> request -> Ogc_json.Json.t
+(** Run the requested pass chain and simulation; the cacheable result
+    payload.  [store] is an {!Ogc_pass.Pass.Store} of intermediate
+    artifacts: requests sharing a program and a chain prefix (e.g. two
+    VRS requests differing only in [cost]) then reuse the VRP fixpoint
+    and the training/value profiles instead of recomputing them — with
+    byte-identical results, warm or cold.  Raises [Parse_error] on bad
+    programs and [Failure] when an optimization changes the program's
+    output. *)

@@ -52,6 +52,10 @@ type t = {
   listen_fd : Unix.file_descr;
   pool : Pool.t;
   cache : Cache.t;
+  passes : Ogc_pass.Pass.Store.t;
+      (* per-pass artifact tier under the whole-result cache: a request
+         that misses [cache] still reuses the chain-prefix artifacts
+         (VRP fixpoint, training profiles) computed by earlier requests *)
   pending : int Atomic.t;  (* analyses queued or running *)
   stopping : bool Atomic.t;
   started : float;
@@ -103,6 +107,7 @@ let create cfg =
     listen_fd = fd;
     pool = Pool.create ?jobs:cfg.jobs ();
     cache = Cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+    passes = Ogc_pass.Pass.Store.create ~capacity:cfg.cache_capacity ();
     pending = Atomic.make 0;
     stopping = Atomic.make false;
     started = Unix.gettimeofday ();
@@ -156,6 +161,15 @@ let stats_json t =
            ("mem_bytes", J.Int c.Cache.mem_bytes);
            ("disk_entries", J.Int c.Cache.disk_entries);
            ("disk_bytes", J.Int c.Cache.disk_bytes) ]);
+      ("passes",
+       J.Obj
+         [ ("artifacts", J.Int (Ogc_pass.Pass.Store.entries t.passes));
+           ("by_pass",
+            J.Obj
+              (List.map
+                 (fun (n, h, m) ->
+                   (n, J.Obj [ ("hits", J.Int h); ("misses", J.Int m) ]))
+                 (Ogc_pass.Pass.Store.pass_stats t.passes))) ]);
       ("latency_ms",
        J.Obj
          [ ("count", J.Int lat_n);
@@ -224,7 +238,9 @@ let handle_analyze t ~t0 (req : Protocol.request) =
                connection thread's enclosing request span. *)
             Span.with_ ~name:"analyze"
               ~args:[ ("pass", J.Str (Protocol.pass_name req.Protocol.pass)) ]
-              (fun () -> J.to_string ~indent:false (Protocol.analyze req)))
+              (fun () ->
+                J.to_string ~indent:false
+                  (Protocol.analyze ~store:t.passes req)))
       in
       let outcome =
         match Pool.await ticket with

@@ -11,6 +11,13 @@
     of queueing unboundedly.  Results are memoized in a
     content-addressed {!Cache}, so a repeated request is answered from
     the cache ([{"cache":"hit"}]) with a byte-identical result payload.
+    Under the whole-result cache sits a per-pass artifact tier (an
+    {!Ogc_pass.Pass.Store} shared by the worker domains): a request
+    that misses the result cache but shares a chain prefix with an
+    earlier one — say the same program at a different VRS cost — reuses
+    the stored VRP fixpoint and training/value profiles instead of
+    recomputing them ([stats] reports per-pass hit/miss counts under
+    ["passes"]).
 
     Shutdown is graceful: {!stop} (or SIGINT after {!install_sigint})
     makes {!run} stop accepting, lets every in-flight request finish and
@@ -55,9 +62,10 @@ val install_sigint : t -> unit
 
 val stats_json : t -> Ogc_json.Json.t
 (** The same counters the ["stats"] op reports: requests, cache
-    hit/miss/eviction counts and byte footprint (both tiers), latency
-    percentiles plus per-op latency histograms (from {!Ogc_obs.Metrics};
-    all-zero unless metrics are enabled), pool utilization. *)
+    hit/miss/eviction counts and byte footprint (both tiers), per-pass
+    artifact-store hit/miss counts (["passes"]), latency percentiles
+    plus per-op latency histograms (from {!Ogc_obs.Metrics}; all-zero
+    unless metrics are enabled), pool utilization. *)
 
 val handle_line : t -> string -> string
 (** Process one request line and return the response line (without the

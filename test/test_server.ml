@@ -23,10 +23,11 @@ let src =
   \  return 0;\n\
    }\n"
 
-let analyze_req ?(pass = "vrp") ?deadline_ms () =
+let analyze_req ?(pass = "vrp") ?cost ?deadline_ms () =
   J.to_string ~indent:false
     (J.Obj
        ([ ("source", J.Str src); ("pass", J.Str pass) ]
+        @ (match cost with None -> [] | Some c -> [ ("cost", J.Int c) ])
         @ match deadline_ms with
           | None -> []
           | Some ms -> [ ("deadline_ms", J.Int ms) ]))
@@ -144,6 +145,42 @@ let test_cache_lru_eviction () =
   Alcotest.(check (option string)) "b evicted" None (Cache.find c "b");
   Alcotest.(check (option string)) "c present" (Some "3") (Cache.find c "c");
   Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions
+
+let test_per_pass_artifact_reuse () =
+  with_server (fun path t ->
+      let r1 = request path (analyze_req ~pass:"vrs" ~cost:50 ()) in
+      Alcotest.(check string) "first ok" "ok" (field r1 "status");
+      Alcotest.(check string) "first misses result cache" "miss"
+        (field r1 "cache");
+      (* Changing only the VRS cost is a different result address, but
+         the guard-cost-independent chain prefix — VRP fixpoint, bb
+         profile, value profiles — is served from the pass store. *)
+      let r2 = request path (analyze_req ~pass:"vrs" ~cost:70 ()) in
+      Alcotest.(check string) "second ok" "ok" (field r2 "status");
+      Alcotest.(check string) "cost change misses result cache" "miss"
+        (field r2 "cache");
+      let by_pass =
+        J.member "by_pass" (J.member "passes" (Server.stats_json t))
+      in
+      let hits p = J.get_int "hits" (J.member p by_pass) in
+      List.iter
+        (fun p -> Alcotest.(check int) (p ^ " artifact reused") 1 (hits p))
+        [ "vrp"; "encode-widths"; "bb-profile"; "value-profile" ];
+      Alcotest.(check int) "vrs artifact is cost-specific" 0 (hits "vrs");
+      (* A warm store must not change a single byte of the payload:
+         recompute the same request cold, with no store at all. *)
+      let req =
+        match
+          Ogc_server.Protocol.op_of_json
+            (J.of_string (analyze_req ~pass:"vrs" ~cost:70 ()))
+        with
+        | Ogc_server.Protocol.Analyze r -> r
+        | _ -> Alcotest.fail "not an analyze op"
+      in
+      let cold =
+        J.to_string ~indent:false (Ogc_server.Protocol.analyze req)
+      in
+      Alcotest.(check string) "warm store = cold run" cold (result_bytes r2))
 
 (* --- scheduler ------------------------------------------------------------- *)
 
@@ -274,7 +311,9 @@ let () =
            test_cache_version_in_envelope;
          Alcotest.test_case "disk persistence" `Quick
            test_cache_disk_persistence;
-         Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction ]);
+         Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+         Alcotest.test_case "per-pass artifact reuse" `Quick
+           test_per_pass_artifact_reuse ]);
       ("scheduler",
        [ Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
          Alcotest.test_case "bounded-queue rejection" `Quick

@@ -1,0 +1,89 @@
+(* Semantic preservation of the standalone transformation passes on
+   generated MiniC programs, mirroring test_vrp's
+   prop_semantics_preserved: Cleanup alone, and Constprop alone (over a
+   pure VRP analysis, no width re-encoding), must leave the interpreter
+   output byte-for-byte unchanged. *)
+
+module Minic = Ogc_minic.Minic
+module Interp = Ogc_ir.Interp
+module Prog = Ogc_ir.Prog
+module Vrp = Ogc_core.Vrp
+module Cleanup = Ogc_core.Cleanup
+module Constprop = Ogc_core.Constprop
+
+let interp_cfg = { Interp.default_config with max_steps = 2_000_000 }
+
+let emissions (out : Interp.outcome) =
+  (out.Interp.checksum, out.Interp.emitted)
+
+let check_preserved what before after =
+  let bc, be = emissions before and ac, ae = emissions after in
+  if not (Int64.equal bc ac) then
+    QCheck.Test.fail_reportf "%s changed the checksum: %Ld -> %Ld" what bc ac
+  else if be <> ae then
+    QCheck.Test.fail_reportf "%s changed the emitted values" what
+  else true
+
+let prop_cleanup_preserves =
+  QCheck.Test.make ~name:"Cleanup alone preserves program output" ~count:200
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let before = Interp.run ~config:interp_cfg p in
+      ignore (Cleanup.run p);
+      Ogc_ir.Validate.program p;
+      check_preserved "cleanup" before (Interp.run ~config:interp_cfg p))
+
+let prop_cleanup_idempotent =
+  QCheck.Test.make ~name:"a second Cleanup finds nothing" ~count:100
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      ignore (Cleanup.run p);
+      let s = Cleanup.run p in
+      if
+        s.Cleanup.threaded <> 0
+        || s.Cleanup.branches_unified <> 0
+        || s.Cleanup.pruned_blocks <> 0
+        || s.Cleanup.pruned_instructions <> 0
+      then
+        QCheck.Test.fail_reportf
+          "second pass still found work: %d threaded, %d unified, %d blocks"
+          s.Cleanup.threaded s.Cleanup.branches_unified s.Cleanup.pruned_blocks
+      else true)
+
+let prop_constprop_preserves =
+  QCheck.Test.make
+    ~name:"Constprop alone (pure VRP analysis) preserves program output"
+    ~count:200 Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let before = Interp.run ~config:interp_cfg p in
+      (* Vrp.analyze computes ranges without touching the program, so
+         every change below is Constprop's alone. *)
+      let res = Vrp.analyze p in
+      ignore (Constprop.run res p);
+      Ogc_ir.Validate.program p;
+      check_preserved "constprop" before (Interp.run ~config:interp_cfg p))
+
+let prop_cleanup_then_constprop_preserves =
+  QCheck.Test.make ~name:"Cleanup then Constprop preserves program output"
+    ~count:100 Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let before = Interp.run ~config:interp_cfg p in
+      ignore (Cleanup.run p);
+      let res = Vrp.analyze p in
+      ignore (Constprop.run res p);
+      Ogc_ir.Validate.program p;
+      check_preserved "cleanup+constprop" before
+        (Interp.run ~config:interp_cfg p))
+
+let () =
+  Alcotest.run "transforms"
+    [
+      ( "semantics",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_cleanup_preserves;
+            prop_cleanup_idempotent;
+            prop_constprop_preserves;
+            prop_cleanup_then_constprop_preserves;
+          ] );
+    ]

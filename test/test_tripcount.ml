@@ -1,0 +1,193 @@
+(* Dedicated unit tests for the §2.3 affine trip-count analysis: the
+   symbolic recurrence evaluator on up- and down-counting x = ax + b
+   loops (both compare spellings, signed and unsigned), and the
+   syntactic loop recognizer on compiled MiniC — including the fallback
+   to "no claim" (⊤ for VRP's purposes) on non-affine loops. *)
+
+open Ogc_isa
+module Minic = Ogc_minic.Minic
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+module Interval = Ogc_core.Interval
+module Tripcount = Ogc_core.Tripcount
+
+let tc ?iter_on_left ~init ~mul ~add ~cmp ~bound () =
+  Tripcount.trip_count ?iter_on_left ~init ~mul ~add ~cmp ~bound ()
+
+let check_tc what expected_count expected_range = function
+  | Some (n, rng) ->
+    Alcotest.(check int) (what ^ ": count") expected_count n;
+    Alcotest.(check string) (what ^ ": range") expected_range
+      (Interval.to_string rng)
+  | None -> Alcotest.failf "%s: diverged" what
+
+(* --- the symbolic evaluator ----------------------------------------------- *)
+
+let test_up_counting () =
+  (* The paper's running example: i = 0; i < 100; i++. *)
+  check_tc "i<100" 100 "<0,99>"
+    (tc ~init:0L ~mul:1L ~add:1L ~cmp:Instr.Clt ~bound:100L ());
+  (* Inclusive bound buys one more iteration and one more value. *)
+  check_tc "i<=100" 101 "<0,100>"
+    (tc ~init:0L ~mul:1L ~add:1L ~cmp:Instr.Cle ~bound:100L ());
+  (* Strided: 3, 10, ..., 94. *)
+  check_tc "i<100 step 7" 14 "<3,94>"
+    (tc ~init:3L ~mul:1L ~add:7L ~cmp:Instr.Clt ~bound:100L ())
+
+let test_down_counting () =
+  (* i = 50; i > 8; i -= 3 — the code generator spells i > 8 as 8 < i,
+     so the iterator sits on the right of the compare. *)
+  check_tc "50 down to >8 step 3" 14 "<11,50>"
+    (tc ~iter_on_left:false ~init:50L ~mul:1L ~add:(-3L) ~cmp:Instr.Clt
+       ~bound:8L ());
+  check_tc "10 down to >=0" 11 "<0,10>"
+    (tc ~iter_on_left:false ~init:10L ~mul:1L ~add:(-1L) ~cmp:Instr.Cle
+       ~bound:0L ())
+
+let test_multiplicative () =
+  (* x = 2x: 1, 2, 4, ..., 512 — ten doublings below 1000. *)
+  check_tc "x*=2" 10 "<1,512>"
+    (tc ~init:1L ~mul:2L ~add:0L ~cmp:Instr.Clt ~bound:1000L ());
+  (* x = 3x + 1: 1, 4, 13, 40, 121. *)
+  check_tc "x=3x+1" 5 "<1,121>"
+    (tc ~init:1L ~mul:3L ~add:1L ~cmp:Instr.Clt ~bound:200L ())
+
+let test_unsigned_compare () =
+  check_tc "unsigned below" 7 "<0,6>"
+    (tc ~init:0L ~mul:1L ~add:1L ~cmp:Instr.Cult ~bound:7L ());
+  (* A negative value is huge unsigned, so the loop exits immediately:
+     zero body executions once the continuation test first fails. *)
+  match tc ~init:(-1L) ~mul:1L ~add:1L ~cmp:Instr.Cult ~bound:7L () with
+  | Some (0, _) -> ()
+  | Some (n, _) -> Alcotest.failf "expected 0 iterations, got %d" n
+  | None -> Alcotest.fail "diverged"
+
+let test_divergent_capped () =
+  (* x = x never reaches the bound; the evaluator must give up (None)
+     rather than loop, and the caller then falls back to widening (⊤). *)
+  (match tc ~init:0L ~mul:1L ~add:0L ~cmp:Instr.Clt ~bound:10L () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "x = x should hit the cap");
+  (* Equality exit that is stepped over: 0, 2, 4, ... never equals 9. *)
+  match tc ~init:0L ~mul:1L ~add:2L ~cmp:Instr.Ceq ~bound:9L () with
+  | None -> ()
+  | Some (n, _) ->
+    (* An Ceq continuation test fails immediately (0 <> 9): also fine. *)
+    Alcotest.(check int) "eq-continue fails at once" 0 n
+
+(* --- the syntactic recognizer on compiled programs ------------------------ *)
+
+let one_loop what prog =
+  let f = Prog.find_func prog "main" in
+  match Tripcount.analyze f with
+  | [ lo ] -> lo
+  | l -> Alcotest.failf "%s: expected one affine loop, found %d" what
+           (List.length l)
+
+let test_recognize_up () =
+  let prog = Minic.compile {|
+    int a[64];
+    int main() {
+      for (int i = 0; i < 64; i++) a[i] = 2 * i;
+      emit(a[63]);
+      return 0;
+    }
+  |} in
+  let lo = one_loop "up-counting" prog in
+  Alcotest.(check int) "trips" 64 lo.Tripcount.trip_count;
+  Alcotest.(check int64) "init" 0L lo.Tripcount.init;
+  Alcotest.(check int64) "mul" 1L lo.Tripcount.mul;
+  Alcotest.(check int64) "add" 1L lo.Tripcount.add;
+  Alcotest.(check string) "range" "<0,63>"
+    (Interval.to_string lo.Tripcount.iterator_range)
+
+let test_recognize_down () =
+  let prog = Minic.compile {|
+    int main() {
+      long s = 0;
+      for (int i = 200; i >= 5; i -= 5) s += i;
+      emit(s);
+      return 0;
+    }
+  |} in
+  let lo = one_loop "down-counting" prog in
+  Alcotest.(check int) "trips" 40 lo.Tripcount.trip_count;
+  Alcotest.(check string) "range" "<5,200>"
+    (Interval.to_string lo.Tripcount.iterator_range)
+
+let test_nonaffine_rejected () =
+  (* x = x*x is not x = ax + b: §2.3 makes no claim, so the recognizer
+     must return nothing for this loop (the top-range fallback). *)
+  let prog = Minic.compile {|
+    int main() {
+      int x = 2;
+      while (x < 10000) x = x * x;
+      emit(x);
+      return 0;
+    }
+  |} in
+  let f = Prog.find_func prog "main" in
+  Alcotest.(check int) "non-affine update rejected" 0
+    (List.length (Tripcount.analyze f))
+
+let test_data_dependent_rejected () =
+  (* The exit compares against a loaded value, not a constant. *)
+  let prog = Minic.compile {|
+    int lim[1];
+    int main() {
+      lim[0] = 17;
+      int i = 0;
+      while (i < lim[0]) i = i + 1;
+      emit(i);
+      return 0;
+    }
+  |} in
+  let f = Prog.find_func prog "main" in
+  Alcotest.(check int) "data-dependent bound rejected" 0
+    (List.length (Tripcount.analyze f))
+
+let test_recognizer_matches_execution () =
+  (* The claimed trip count must equal the number of times the body
+     actually runs; count body executions by emitting per iteration. *)
+  let prog = Minic.compile {|
+    int main() {
+      for (int i = 3; i < 50; i += 4) emit(i);
+      return 0;
+    }
+  |} in
+  let lo = one_loop "emit loop" prog in
+  let out = Interp.run prog in
+  Alcotest.(check int) "trip count = executed iterations"
+    (List.length out.Interp.emitted) lo.Tripcount.trip_count;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "emitted %Ld inside claimed range" v)
+        true
+        (Interval.contains lo.Tripcount.iterator_range v))
+    out.Interp.emitted
+
+let () =
+  Alcotest.run "tripcount"
+    [
+      ( "symbolic",
+        [
+          Alcotest.test_case "up-counting" `Quick test_up_counting;
+          Alcotest.test_case "down-counting" `Quick test_down_counting;
+          Alcotest.test_case "multiplicative" `Quick test_multiplicative;
+          Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+          Alcotest.test_case "divergence capped" `Quick test_divergent_capped;
+        ] );
+      ( "recognizer",
+        [
+          Alcotest.test_case "up-counting for loop" `Quick test_recognize_up;
+          Alcotest.test_case "down-counting for loop" `Quick
+            test_recognize_down;
+          Alcotest.test_case "non-affine rejected" `Quick
+            test_nonaffine_rejected;
+          Alcotest.test_case "data-dependent rejected" `Quick
+            test_data_dependent_rejected;
+          Alcotest.test_case "matches execution" `Quick
+            test_recognizer_matches_execution;
+        ] );
+    ]
