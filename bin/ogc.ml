@@ -782,8 +782,10 @@ let analyze_cmd =
         let st, steps = Pass.run chain p in
         let p = st.Pass.prog in
         Ogc_ir.Validate.program p;
-        let final = Interp.run p in
+        (* Save before the final run: a transformed program that faults
+           is exactly the one worth inspecting on disk. *)
         maybe_save out p;
+        let final = Interp.run p in
         if json then
           (* Deterministic by construction: pass summaries, program
              facts and the output checksum — never wall times. *)
@@ -859,11 +861,119 @@ let workloads_cmd =
     (Cmd.info "workloads" ~doc:"List the SpecInt95 surrogate benchmarks")
     Term.(const run $ const ())
 
+(* --- fuzz -------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed.  The same seed generates the same \
+                   programs, the same pass chains and the same verdicts, \
+                   whatever the parallelism.")
+  in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"Number of programs to generate and check.")
+  in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains; 0 means auto ($(b,OGC_JOBS) or the \
+                   machine's recommended domain count).")
+  in
+  let shrink =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"Minimize every failing program with the delta-debugging \
+                   shrinker before writing it out.")
+  in
+  let inject =
+    Arg.(value & flag
+         & info [ "inject-bug" ]
+             ~doc:"Self-test: also check a deliberately miscompiling \
+                   width-narrowing transform.  The campaign is expected to \
+                   fail; use with $(b,--shrink) to watch the oracle and \
+                   shrinker work.")
+  in
+  let corpus =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Directory failing (minimized) programs are written to in \
+                   the assembly save format, with a provenance comment; \
+                   committed files are replayed by the corpus regression \
+                   test.")
+  in
+  let slug s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> c
+        | _ -> '-')
+      s
+  in
+  let write_failure dir seed (f : Ogc_fuzz.Fuzz.failure) =
+    let p = match f.Ogc_fuzz.Fuzz.f_min with Some p -> p | None -> f.f_prog in
+    let asm = Ogc_ir.Asm.to_string p in
+    let header =
+      Printf.sprintf
+        "# ogc fuzz counterexample: seed %d, program %d, chain %s\n# %s\n# reproduce: ogc fuzz --seed %d -n %d --shrink%s\n"
+        seed f.f_index f.f_chain f.f_detail seed (f.f_index + 1)
+        (match f.f_source with
+        | Ogc_fuzz.Fuzz.Minic _ -> ""
+        | Ogc_fuzz.Fuzz.Ir -> " (raw IR program)")
+    in
+    let digest = String.sub (Digest.to_hex (Digest.string asm)) 0 12 in
+    let name = Printf.sprintf "ce_%s_%s.s" (slug f.f_chain) digest in
+    let path = Filename.concat dir name in
+    let oc = open_out_bin path in
+    output_string oc header;
+    output_string oc asm;
+    close_out oc;
+    path
+  in
+  let run seed count jobs shrink inject corpus =
+    wrap (fun () ->
+        let jobs = if jobs = 0 then None else Some jobs in
+        let s = Ogc_fuzz.Fuzz.run ?jobs ~inject ~shrink ~seed ~count () in
+        Format.printf
+          "fuzz: seed %d: %d programs (%d minic, %d ir, %d skipped), %d \
+           chain checks, %d diffs@."
+          s.Ogc_fuzz.Fuzz.s_seed s.s_count s.s_minic s.s_ir s.s_skipped
+          s.s_chains
+          (List.length s.s_failures);
+        List.iter
+          (fun (i, msg) ->
+            Format.printf "generator error at program %d: %s@." i msg)
+          s.s_gen_errors;
+        if s.s_failures <> [] then begin
+          if not (Sys.file_exists corpus) then Sys.mkdir corpus 0o755;
+          List.iter
+            (fun (f : Ogc_fuzz.Fuzz.failure) ->
+              let path = write_failure corpus seed f in
+              let size =
+                Prog.num_static_ins
+                  (match f.f_min with Some p -> p | None -> f.f_prog)
+              in
+              Format.printf "FAIL program %d [%s]: %s@."
+                f.Ogc_fuzz.Fuzz.f_index f.f_chain f.f_detail;
+              Format.printf "  %s (%d instructions%s)@." path size
+                (if f.f_min = None then "" else ", minimized"))
+            s.s_failures
+        end;
+        if s.s_failures <> [] || s.s_gen_errors <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random programs through every \
+             optimization chain against the reference interpreter")
+    Term.(const run $ seed $ count $ jobs $ shrink $ inject $ corpus)
+
 let () =
   let doc = "software-controlled operand gating (CGO 2004) toolchain" in
   (* The version is generated from dune-project's (version ...) stanza. *)
   let info = Cmd.info "ogc" ~version:Ogc_server.Version.version ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; analyze_cmd;
-                      passes_cmd; sim_cmd; trace_cmd; diff_cmd; report_cmd;
-                      workloads_cmd; serve_cmd; submit_cmd ]))
+                      passes_cmd; sim_cmd; trace_cmd; diff_cmd; fuzz_cmd;
+                      report_cmd; workloads_cmd; serve_cmd; submit_cmd ]))

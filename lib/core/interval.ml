@@ -38,6 +38,9 @@ let meet a b =
 
 let width i = Width.needed_range i.lo i.hi
 
+let width_unsigned i =
+  if Int64.compare i.lo 0L < 0 then Width.W64 else Width.needed_unsigned i.hi
+
 (* --- checked int64 arithmetic ------------------------------------------- *)
 
 let add_ovf a b =

@@ -50,6 +50,11 @@ val width : t -> Width.t
 (** Narrowest two's-complement width whose signed range covers the
     interval. *)
 
+val width_unsigned : t -> Width.t
+(** Narrowest width [w] with the interval inside [\[0, 2^(bits w) - 1\]]
+    — every member recoverable from its low [w] bits by
+    {e zero}-extension; [W64] when the interval admits negatives. *)
+
 (** {1 Forward transfer functions}
 
     Each takes the operation width and the input intervals, in instruction

@@ -237,19 +237,28 @@ let edge_refinements (b : Prog.block) ~taken =
       | None -> []
       | Some i -> (
         match body.(i).op with
-        | Instr.Cmp { op; width; src1; src2; _ } ->
+        | Instr.Cmp { op; width; src1; src2; dst } ->
+          (* Refinement reads {e both} operand ranges from the block's
+             out-state (each side's new range is computed against the
+             other's), so it is only valid when neither operand is
+             redefined between the compare and the exit — including by
+             the compare itself, whose [dst] aliases an operand in the
+             [x == k] guards VRS emits ([cmpeq x, r27, r27]): there the
+             out-state of [r27] is the 0/1 compare result, not the
+             comparand. *)
           let redefined r =
             let rec go j =
               j < n && (defines r body.(j) || go (j + 1))
             in
-            go (i + 1)
+            Reg.equal dst r || go (i + 1)
           in
-          let ok_src1 = not (redefined src1) in
-          let ok_src2 =
-            match src2 with Instr.Reg r -> not (redefined r) | Instr.Imm _ -> true
+          let ok =
+            (not (redefined src1))
+            && (match src2 with
+               | Instr.Reg r -> not (redefined r)
+               | Instr.Imm _ -> true)
           in
-          if ok_src1 || ok_src2 then [ (op, width, src1, src2, ok_src1, ok_src2) ]
-          else []
+          if ok then [ (op, width, src1, src2, true, true) ] else []
         | _ -> [])
     in
     [ `Cond (cond, src, taken) ]
@@ -452,8 +461,20 @@ let sound_width_of_def res ins_tbl (ud : Usedef.t) di =
     in
     if is_call && not (Reg.equal d.Usedef.dreg Reg.ret) then Width.W64
     else
+      (* A re-encoded instruction delivers the low [w] bits of its
+         result and extends them to the full register; the def's value
+         is intact only when that extension recovers it.  Every narrow
+         op sign-extends except [Msk], which zero-extends, so a [Msk]
+         def is bounded by the unsigned width of its range: narrowing
+         [msk64 r, r] of a negative value to its (signed) 16-bit width
+         would flip it positive. *)
+      let width_of =
+        match Hashtbl.find_opt ins_tbl iid with
+        | Some (Instr.Msk _) -> Interval.width_unsigned
+        | Some _ | None -> Interval.width
+      in
       match Hashtbl.find_opt res.ranges iid with
-      | Some rng -> Interval.width rng
+      | Some rng -> width_of rng
       | None -> Width.W64)
 
 let demand config ~req_out ~(op : Instr.t) ~(r : Reg.t) =

@@ -1,0 +1,187 @@
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+module Pool = Ogc_exec.Pool
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+
+type source = Minic of string | Ir
+
+type failure = {
+  f_index : int;
+  f_source : source;
+  f_chain : string;
+  f_detail : string;
+  f_prog : Prog.t;
+  f_min : Prog.t option;
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_minic : int;
+  s_ir : int;
+  s_skipped : int;
+  s_chains : int;
+  s_failures : failure list;
+  s_gen_errors : (int * string) list;
+}
+
+let transforms_for ~inject ~seed ~index =
+  let rng = Random.State.make [| seed; index; 1 |] in
+  let random =
+    List.init 2 (fun _ -> Oracle.of_chain (Oracle.random_chain rng))
+  in
+  Oracle.default_transforms @ random
+  @ if inject then [ Oracle.injected_width_bug ] else []
+
+let generate ~seed ~index =
+  let rng = Random.State.make [| seed; index; 0 |] in
+  if index mod 3 = 2 then (Ir, Gen_ir.program rng)
+  else
+    let src = Gen_minic.program rng in
+    (Minic src, Ogc_minic.Minic.compile src)
+
+(* Per-program verdict, computed in a pool worker.  Workers only
+   compute; counters and the summary fold run on the caller's domain so
+   the result is independent of scheduling. *)
+type verdict =
+  | V_gen_error of string
+  | V_skipped of source
+  | V_checked of {
+      source : source;
+      chains : int;
+      prog : Prog.t;
+      diffs : Oracle.diff list;
+    }
+
+let check_one ~config ~inject ~seed index =
+  match generate ~seed ~index with
+  | exception Ogc_minic.Minic.Error msg -> V_gen_error msg
+  | source, prog -> (
+    let transforms = transforms_for ~inject ~seed ~index in
+    match Oracle.check ~config ~transforms prog with
+    | Oracle.Skipped _ -> V_skipped source
+    | Oracle.Checked diffs ->
+      V_checked { source; chains = List.length transforms; prog; diffs })
+
+(* Diffs of the same kind for the purpose of "still the same failure"
+   during shrinking: a semantic divergence must stay a semantic
+   divergence, a well-formedness violation a violation, a crash a
+   crash. *)
+let category (d : Oracle.diff) =
+  if String.starts_with ~prefix:"transform raised" d.Oracle.d_detail then `Crash
+  else if
+    String.starts_with ~prefix:"validator" d.Oracle.d_detail
+    || String.starts_with ~prefix:"welldef" d.Oracle.d_detail
+  then `Invalid
+  else `Semantic
+
+let shrink_failure ?(config = Oracle.interp_config) ~seed f =
+  let transforms = transforms_for ~inject:true ~seed ~index:f.f_index in
+  match
+    List.find_opt
+      (fun (t : Oracle.transform) -> String.equal t.Oracle.t_name f.f_chain)
+      transforms
+  with
+  | None -> f
+  | Some t ->
+    let want = category { Oracle.d_chain = f.f_chain; d_detail = f.f_detail } in
+    (* Candidates must stay structurally valid AND convention-conforming:
+       otherwise the reducer drifts into programs that read clobbered
+       registers, where every pass is fair game and the "failure" it
+       preserves stops meaning anything. *)
+    let keep q =
+      match Ogc_ir.Validate.program q with
+      | exception _ -> false
+      | () -> (
+        Ogc_ir.Welldef.check q = None
+        &&
+        match Oracle.check ~config ~transforms:[ t ] q with
+        | Oracle.Checked (d :: _) -> category d = want
+        | _ -> false)
+    in
+    let minimized =
+      Span.with_ ~name:"fuzz:shrink" (fun () -> Shrink.minimize ~keep f.f_prog)
+    in
+    { f with f_min = Some minimized }
+
+let run ?jobs ?(inject = false) ?(shrink = false)
+    ?(config = Oracle.interp_config) ~seed ~count () =
+  let programs_total = Metrics.counter "ogc_fuzz_programs_total" in
+  let chains_total = Metrics.counter "ogc_fuzz_chains_total" in
+  let diffs_total = Metrics.counter "ogc_fuzz_diffs_total" in
+  let skipped_total = Metrics.counter "ogc_fuzz_skipped_total" in
+  let verdicts =
+    Span.with_ ~name:"fuzz:campaign" (fun () ->
+        Pool.map ?jobs
+          (check_one ~config ~inject ~seed)
+          (List.init count (fun i -> i)))
+  in
+  let summary =
+    List.fold_left
+      (fun (i, acc) verdict ->
+        Metrics.incr programs_total;
+        let src_counts source =
+          match source with
+          | Minic _ -> { acc with s_minic = acc.s_minic + 1 }
+          | Ir -> { acc with s_ir = acc.s_ir + 1 }
+        in
+        let acc =
+          match verdict with
+          | V_gen_error msg ->
+            { acc with s_gen_errors = (i, msg) :: acc.s_gen_errors }
+          | V_skipped source ->
+            Metrics.incr skipped_total;
+            let acc = src_counts source in
+            { acc with s_skipped = acc.s_skipped + 1 }
+          | V_checked { source; chains; prog; diffs } ->
+            Metrics.add chains_total (float_of_int chains);
+            let acc = src_counts source in
+            let failures =
+              List.map
+                (fun (d : Oracle.diff) ->
+                  Metrics.incr diffs_total;
+                  {
+                    f_index = i;
+                    f_source = source;
+                    f_chain = d.Oracle.d_chain;
+                    f_detail = d.Oracle.d_detail;
+                    f_prog = prog;
+                    f_min = None;
+                  })
+                diffs
+            in
+            {
+              acc with
+              s_chains = acc.s_chains + chains;
+              s_failures = List.rev_append failures acc.s_failures;
+            }
+        in
+        (i + 1, acc))
+      ( 0,
+        {
+          s_seed = seed;
+          s_count = count;
+          s_minic = 0;
+          s_ir = 0;
+          s_skipped = 0;
+          s_chains = 0;
+          s_failures = [];
+          s_gen_errors = [];
+        } )
+      verdicts
+    |> snd
+  in
+  let summary =
+    {
+      summary with
+      s_failures = List.rev summary.s_failures;
+      s_gen_errors = List.rev summary.s_gen_errors;
+    }
+  in
+  if shrink then
+    {
+      summary with
+      s_failures = List.map (shrink_failure ~config ~seed) summary.s_failures;
+    }
+  else summary

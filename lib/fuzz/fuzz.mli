@@ -1,0 +1,72 @@
+(** Seeded differential fuzzing campaigns ([ogc fuzz]).
+
+    A campaign of [count] programs is fully determined by [seed]: program
+    [i] is generated from [Random.State.make [| seed; i; 0 |]] (two out
+    of three through the MiniC front end, one of three as raw IR) and
+    checked against {!Oracle.default_transforms} plus two random chains
+    drawn from [Random.State.make [| seed; i; 1 |]].  Workers run on a
+    {!Ogc_exec.Pool}; results are folded in submission order, so the
+    summary is identical whatever the parallelism.
+
+    Metrics ([ogc_fuzz_programs_total], [ogc_fuzz_chains_total],
+    [ogc_fuzz_diffs_total], [ogc_fuzz_skipped_total]) and spans
+    ([fuzz:campaign], [fuzz:shrink]) are recorded when
+    {!Ogc_obs.Metrics}/{!Ogc_obs.Span} are enabled. *)
+
+open Ogc_ir
+
+(** How a checked program came to be. *)
+type source =
+  | Minic of string  (** original MiniC source text *)
+  | Ir  (** generated directly as IR *)
+
+(** One oracle disagreement, with everything needed to replay it. *)
+type failure = {
+  f_index : int;  (** program index within the campaign *)
+  f_source : source;
+  f_chain : string;  (** transform name that disagreed *)
+  f_detail : string;
+  f_prog : Prog.t;  (** the checked program (compiled form) *)
+  f_min : Prog.t option;  (** minimized reproducer, when shrinking ran *)
+}
+
+type summary = {
+  s_seed : int;
+  s_count : int;
+  s_minic : int;  (** programs generated through the front end *)
+  s_ir : int;  (** programs generated as raw IR *)
+  s_skipped : int;  (** baseline faulted; nothing to compare *)
+  s_chains : int;  (** transform checks performed *)
+  s_failures : failure list;  (** campaign order, then transform order *)
+  s_gen_errors : (int * string) list;
+      (** program index -> generator/front-end error (always a bug) *)
+}
+
+val transforms_for : inject:bool -> seed:int -> index:int -> Oracle.transform list
+(** The exact transform list program [index] of campaign [seed] is
+    checked against; [inject] appends {!Oracle.injected_width_bug}. *)
+
+val generate : seed:int -> index:int -> source * Prog.t
+(** The exact program at [index] of campaign [seed].  Raises
+    {!Ogc_minic.Minic.Error} if the front end rejects a generated
+    source (a generator bug). *)
+
+val shrink_failure :
+  ?config:Interp.config -> seed:int -> failure -> failure
+(** Minimize [f_prog] with {!Shrink.minimize}, keeping candidates on
+    which [f_chain] still produces a diff of the same kind; fills
+    [f_min]. *)
+
+val run :
+  ?jobs:int ->
+  ?inject:bool ->
+  ?shrink:bool ->
+  ?config:Interp.config ->
+  seed:int ->
+  count:int ->
+  unit ->
+  summary
+(** Run a campaign.  [jobs] defaults to {!Ogc_exec.Pool.default_jobs}
+    (the [OGC_JOBS] environment variable or the domain count); [inject]
+    (default false) adds the known-bad transform; [shrink] (default
+    false) minimizes every failure after the campaign. *)

@@ -1,0 +1,277 @@
+(* Random raw-IR program generation.
+
+   The MiniC generator only produces what the code generator produces;
+   this one drives {!Ogc_ir.Builder} directly so the differential oracle
+   also sees programs no front end would emit: odd width mixes, masks
+   and sign-extensions feeding each other, conditional moves, stores
+   narrower than their loads, and values that wrap at every width.
+
+   Register discipline (so every program is valid and analyzable):
+   - r1..r6   general temporaries (read/write)
+   - r7       address register, written only by [La] right before use
+   - r8       compare scratch feeding structured branches
+   - r9..r12  accumulators, emitted at the end of [main]
+   - r13,r14  loop iterators, one per nesting level, never written by
+              generated body operations (loops always terminate)
+   - r27/r28  never touched (reserved for the binary optimizer's guards)
+
+   All randomness flows through the caller's [Random.State.t]
+   ([QCheck.Gen.t] is exactly that function type), so programs are
+   reproducible from a seed alone. *)
+
+open Ogc_isa
+module Prog = Ogc_ir.Prog
+module Builder = Ogc_ir.Builder
+module Gen = QCheck.Gen
+
+let temps = List.map Reg.of_int [ 1; 2; 3; 4; 5; 6 ]
+let addr_reg = Reg.of_int 7
+let cmp_reg = Reg.of_int 8
+let accs = List.map Reg.of_int [ 9; 10; 11; 12 ]
+let iter_regs = [| Reg.of_int 13; Reg.of_int 14 |]
+let buf_name = "gbuf"
+let buf_len = 512  (* bytes; offsets stay in [0, buf_len - 8] *)
+
+let interesting =
+  [ 0L; 1L; -1L; 2L; -2L; 127L; -128L; 128L; 255L; 256L; 32767L; -32768L;
+    65535L; 65536L; 0x7fffffffL; 0x80000000L; -2147483648L; 1000000007L;
+    0x123456789L; Int64.max_int; Int64.min_int ]
+
+let value st =
+  match Gen.int_range 0 3 st with
+  | 0 -> Gen.oneofl interesting st
+  | 1 -> Int64.of_int (Gen.int_range (-100) 100 st)
+  | 2 -> Int64.of_int (Gen.int_range (-70000) 70000 st)
+  | _ -> Gen.(map Int64.of_int (int_bound 0x3fffffff)) st
+
+let width = Gen.oneofl Width.all
+
+let alu_op =
+  Gen.oneofl
+    [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div; Instr.Rem; Instr.And;
+      Instr.Or; Instr.Xor; Instr.Bic; Instr.Sll; Instr.Srl; Instr.Sra ]
+
+let cmp_op =
+  Gen.oneofl [ Instr.Ceq; Instr.Clt; Instr.Cle; Instr.Cult; Instr.Cule ]
+
+let cond =
+  Gen.oneofl [ Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge ]
+
+let pick l st = Gen.oneofl l st
+
+(* One straight-line value-producing operation reading [rs], writing one
+   of [ws]. *)
+let operation rs ws st =
+  let src () = pick rs st in
+  let dst = pick ws st in
+  let operand ~shift =
+    if Gen.bool st then Instr.Reg (src ())
+    else if shift then Instr.Imm (Int64.of_int (Gen.int_range 0 63 st))
+    else Instr.Imm (Int64.of_int (Gen.int_range (-128) 127 st))
+  in
+  match Gen.int_range 0 9 st with
+  | 0 | 1 | 2 | 3 ->
+    let op = alu_op st in
+    let shift = match op with
+      | Instr.Sll | Instr.Srl | Instr.Sra -> true
+      | _ -> false
+    in
+    Instr.Alu { op; width = width st; src1 = src (); src2 = operand ~shift; dst }
+  | 4 | 5 ->
+    Instr.Cmp
+      { op = cmp_op st; width = width st; src1 = src ();
+        src2 = operand ~shift:false; dst }
+  | 6 ->
+    Instr.Cmov
+      { cond = cond st; width = width st; test = src ();
+        src = operand ~shift:false; dst }
+  | 7 -> Instr.Msk { width = width st; src = src (); dst }
+  | 8 -> Instr.Sext { width = width st; src = src (); dst }
+  | _ -> Instr.Li { dst; imm = value st }
+
+(* --- leaf helpers ---------------------------------------------------------- *)
+
+let helper ~fresh_iid name st =
+  let arity = Gen.int_range 1 2 st in
+  let b = Builder.create ~fresh_iid ~fname:name ~arity in
+  let entry = Builder.new_block b in
+  Builder.switch_to b entry;
+  let args = List.init arity Reg.arg in
+  let htemps = List.map Reg.of_int [ 1; 2; 3 ] in
+  let rs = args @ htemps in
+  (* Scratch registers are caller-saved and hold nothing on entry. *)
+  List.iter
+    (fun r -> ignore (Builder.ins b (Instr.Li { dst = r; imm = value st })))
+    htemps;
+  let n = Gen.int_range 3 8 st in
+  for _ = 1 to n do
+    ignore (Builder.ins b (operation rs htemps st))
+  done;
+  (* The return value reads whatever the body left behind. *)
+  ignore
+    (Builder.ins b
+       (Instr.Alu
+          { op = Instr.Add; width = Width.W64; src1 = pick rs st;
+            src2 = Instr.Imm 0L; dst = Reg.ret }));
+  Builder.terminate b Prog.Return;
+  Builder.finish b ~frame_size:0
+
+(* --- main ------------------------------------------------------------------ *)
+
+(* [segments] appends a run of program segments to the builder's current
+   block and leaves a block open for the caller to extend or terminate.
+   [iters] counts the loop-iterator registers already in scope. *)
+let rec segments b ~helpers ~iters ~depth n st =
+  let in_scope = Array.to_list (Array.sub iter_regs 0 iters) in
+  let rs = temps @ accs @ in_scope in
+  let ws = temps @ accs in
+  for _ = 1 to n do
+    match Gen.int_range 0 12 st with
+    | 0 | 1 | 2 | 3 ->
+      let k = Gen.int_range 1 5 st in
+      for _ = 1 to k do
+        ignore (Builder.ins b (operation rs ws st))
+      done
+    | 4 | 5 when depth > 0 && iters < Array.length iter_regs ->
+      (* Affine loop: iter = 0; do body while ((iter += step) < bound). *)
+      let iter = iter_regs.(iters) in
+      let step = Int64.of_int (Gen.int_range 1 3 st) in
+      let bound = Int64.of_int (Gen.int_range 1 24 st) in
+      ignore (Builder.ins b (Instr.Li { dst = iter; imm = 0L }));
+      let header = Builder.new_block b in
+      Builder.terminate b (Prog.Jump header);
+      Builder.switch_to b header;
+      segments b ~helpers ~iters:(iters + 1) ~depth:(depth - 1)
+        (Gen.int_range 1 2 st) st;
+      ignore
+        (Builder.ins b
+           (Instr.Alu
+              { op = Instr.Add; width = Width.W64; src1 = iter;
+                src2 = Instr.Imm step; dst = iter }));
+      ignore
+        (Builder.ins b
+           (Instr.Cmp
+              { op = Instr.Clt; width = Width.W64; src1 = iter;
+                src2 = Instr.Imm bound; dst = cmp_reg }));
+      let exit_ = Builder.new_block b in
+      Builder.terminate b
+        (Prog.Branch
+           { cond = Instr.Ne; src = cmp_reg; if_true = header;
+             if_false = exit_ });
+      Builder.switch_to b exit_
+    | 6 | 7 when depth > 0 ->
+      (* Two-way split on a fresh comparison, rejoining immediately. *)
+      ignore
+        (Builder.ins b
+           (Instr.Cmp
+              { op = cmp_op st; width = width st; src1 = pick rs st;
+                src2 = Instr.Imm (Int64.of_int (Gen.int_range (-4) 4 st));
+                dst = cmp_reg }));
+      let then_b = Builder.new_block b in
+      let else_b = Builder.new_block b in
+      Builder.terminate b
+        (Prog.Branch
+           { cond = cond st; src = cmp_reg; if_true = then_b;
+             if_false = else_b });
+      let join = ref None in
+      List.iter
+        (fun blk ->
+          Builder.switch_to b blk;
+          segments b ~helpers ~iters ~depth:(depth - 1)
+            (Gen.int_range 1 2 st) st;
+          let j =
+            match !join with
+            | Some j -> j
+            | None ->
+              let j = Builder.new_block b in
+              join := Some j;
+              j
+          in
+          Builder.terminate b (Prog.Jump j))
+        [ then_b; else_b ];
+      Builder.switch_to b (Option.get !join)
+    | 8 | 9 ->
+      (* Memory traffic on the shared buffer, all four widths. *)
+      ignore (Builder.ins b (Instr.La { dst = addr_reg; symbol = buf_name }));
+      let w = width st in
+      let off () =
+        Int64.of_int (Gen.int_range 0 ((buf_len - 8) / 8) st * 8)
+      in
+      ignore
+        (Builder.ins b
+           (Instr.Store
+              { width = w; base = addr_reg; offset = off (); src = pick rs st }));
+      if Gen.bool st then
+        ignore
+          (Builder.ins b
+             (Instr.Load
+                { width = width st; signed = Gen.bool st; base = addr_reg;
+                  offset = off (); dst = pick ws st }))
+    | 10 | 11 when helpers <> [] ->
+      (* Call a leaf helper and bank its return value. *)
+      let fname, arity = pick helpers st in
+      for i = 0 to arity - 1 do
+        ignore
+          (Builder.ins b
+             (Instr.Alu
+                { op = Instr.Add; width = Width.W64; src1 = pick rs st;
+                  src2 = Instr.Imm 0L; dst = Reg.arg i }))
+      done;
+      ignore (Builder.ins b (Instr.Call { callee = fname }));
+      ignore
+        (Builder.ins b
+           (Instr.Alu
+              { op = Instr.Add; width = Width.W64; src1 = Reg.ret;
+                src2 = Instr.Imm 0L; dst = pick accs st }));
+      (* The call clobbered the caller-saved temps; re-seed them so
+         later reads stay within the calling-convention contract
+         ({!Ogc_ir.Welldef}). *)
+      List.iter
+        (fun r ->
+          ignore (Builder.ins b (Instr.Li { dst = r; imm = value st })))
+        temps
+    | _ -> ignore (Builder.ins b (Instr.Emit { src = pick rs st }))
+  done
+
+let program st =
+  let counter = ref 0 in
+  let fresh_iid () =
+    let i = !counter in
+    incr counter;
+    i
+  in
+  let nhelpers = Gen.int_range 0 2 st in
+  let helpers_f =
+    List.init nhelpers (fun i ->
+        helper ~fresh_iid (Printf.sprintf "leaf%d" i) st)
+  in
+  let helpers =
+    List.map (fun (f : Prog.func) -> (f.Prog.fname, f.Prog.arity)) helpers_f
+  in
+  let b = Builder.create ~fresh_iid ~fname:"main" ~arity:0 in
+  let entry = Builder.new_block b in
+  Builder.switch_to b entry;
+  (* Seed every working register so reads are never of indeterminate
+     state and VRP starts from concrete ranges. *)
+  List.iter
+    (fun r -> ignore (Builder.ins b (Instr.Li { dst = r; imm = value st })))
+    (temps @ accs);
+  segments b ~helpers ~iters:0 ~depth:2 (Gen.int_range 3 7 st) st;
+  List.iter
+    (fun r -> ignore (Builder.ins b (Instr.Emit { src = r })))
+    accs;
+  (* [Return] reads the result register (main's exit status). *)
+  ignore (Builder.ins b (Instr.Li { dst = Reg.ret; imm = 0L }));
+  Builder.terminate b Prog.Return;
+  let main = Builder.finish b ~frame_size:0 in
+  let init = Bytes.init buf_len (fun _ -> Char.chr (Gen.int_bound 255 st)) in
+  let p =
+    Prog.create
+      ~globals:[ { Prog.gname = buf_name; init } ]
+      (helpers_f @ [ main ])
+  in
+  Ogc_ir.Validate.program p;
+  Ogc_ir.Welldef.program p;
+  p
+
+let arbitrary_program = QCheck.make ~print:Ogc_ir.Asm.to_string program

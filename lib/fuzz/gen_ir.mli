@@ -1,0 +1,22 @@
+(** Seeded random generation of raw IR programs.
+
+    Complements {!Gen_minic}: instead of going through the MiniC front
+    end (which only emits the idioms the code generator knows), programs
+    are built directly with {!Ogc_ir.Builder}, exercising the corners
+    the optimizer must survive — narrow-width ALU ops at every width,
+    [Msk]/[Sext] masks, [Cmov], loops with affine trip counts, calls
+    into leaf helpers, and byte/halfword/word/doubleword memory traffic
+    on a shared global buffer.
+
+    Every generated program passes {!Ogc_ir.Validate.program}, starts at
+    [main], terminates (loops count a dedicated iterator register up to
+    a constant bound), keeps memory accesses inside the global buffer,
+    and never touches the optimizer's scratch registers (r27/r28), so
+    VRS guard insertion stays sound. *)
+
+val program : Ogc_ir.Prog.t QCheck.Gen.t
+(** A fresh, validated program; same random state, same program. *)
+
+val arbitrary_program : Ogc_ir.Prog.t QCheck.arbitrary
+(** {!program} packaged for [QCheck.Test.make] (prints the assembly save
+    format on failure). *)

@@ -4,18 +4,25 @@
    recursion, no while), never access memory out of bounds (indices are
    masked to the array size), and emit values along the way, so two
    binaries can be compared by output checksum.  Division and shifts are
-   total in the ISA, so any operand combination is fair game. *)
+   total in the ISA, so any operand combination is fair game.
+
+   Helper functions exercise the interprocedural half of VRP (argument
+   and return-range propagation) and give VRS call-crossing regions to
+   specialize: each helper is call-free (so the call graph is acyclic by
+   construction) and pure up to its parameters and the global scalars. *)
 
 let arr_len = 64
 
-(* Names available to expressions: scalar locals, global scalars, arrays.
-   [readonly] names (loop iterators) may be read but never assigned, so
-   generated loops always terminate. *)
+(* Names available to expressions: scalar locals, global scalars, arrays,
+   and callable helper functions with their arity.  [readonly] names
+   (loop iterators) may be read but never assigned, so generated loops
+   always terminate. *)
 type env = {
   scalars : string list;
   globals : string list;
   arrays : string list;  (* all of size [arr_len] *)
   readonly : string list;
+  funs : (string * int) list;  (* helpers callable from here *)
 }
 
 open QCheck.Gen
@@ -39,42 +46,52 @@ let rec expr env depth =
     let sub = expr env (depth - 1) in
     let bin op = map2 (fun a b -> Printf.sprintf "(%s %s %s)" a op b) sub sub in
     frequency
-      [
-        (3, sub);
-        (2, bin "+");
-        (2, bin "-");
-        (1, bin "*");
-        (1, bin "/");
-        (1, bin "%");
-        (1, bin "&");
-        (1, bin "|");
-        (1, bin "^");
-        (1, bin "<<");
-        (1, bin ">>");
-        (1, bin "<");
-        (1, bin "<=");
-        (1, bin "==");
-        (1, bin "!=");
-        (1, map (fun a -> Printf.sprintf "(- %s)" a) sub);  (* space avoids '--' *)
-        (1, map (fun a -> Printf.sprintf "(~%s)" a) sub);
-        (1, map (fun a -> Printf.sprintf "(!%s)" a) sub);
-        ( 1,
-          map2
-            (fun t a -> Printf.sprintf "((%s)%s)" t a)
-            (oneofl [ "char"; "short"; "int"; "long" ])
-            sub );
-        ( 1,
-          map3
-            (fun c a b -> Printf.sprintf "(%s ? %s : %s)" c a b)
-            sub sub sub );
-        ( 2,
-          match env.arrays with
-          | [] -> sub
-          | arrays ->
-            map2
-              (fun arr i -> Printf.sprintf "%s[(%s) & %d]" arr i (arr_len - 1))
-              (oneofl arrays) sub );
-      ]
+      ([
+         (3, sub);
+         (2, bin "+");
+         (2, bin "-");
+         (1, bin "*");
+         (1, bin "/");
+         (1, bin "%");
+         (1, bin "&");
+         (1, bin "|");
+         (1, bin "^");
+         (1, bin "<<");
+         (1, bin ">>");
+         (1, bin "<");
+         (1, bin "<=");
+         (1, bin "==");
+         (1, bin "!=");
+         (1, map (fun a -> Printf.sprintf "(- %s)" a) sub);  (* space avoids '--' *)
+         (1, map (fun a -> Printf.sprintf "(~%s)" a) sub);
+         (1, map (fun a -> Printf.sprintf "(!%s)" a) sub);
+         ( 1,
+           map2
+             (fun t a -> Printf.sprintf "((%s)%s)" t a)
+             (oneofl [ "char"; "short"; "int"; "long" ])
+             sub );
+         ( 1,
+           map3
+             (fun c a b -> Printf.sprintf "(%s ? %s : %s)" c a b)
+             sub sub sub );
+         ( 2,
+           match env.arrays with
+           | [] -> sub
+           | arrays ->
+             map2
+               (fun arr i -> Printf.sprintf "%s[(%s) & %d]" arr i (arr_len - 1))
+               (oneofl arrays) sub );
+       ]
+      @
+      match env.funs with
+      | [] -> []
+      | funs ->
+        [
+          ( 2,
+            let* name, arity = oneofl funs in
+            let* args = list_repeat arity sub in
+            return (Printf.sprintf "%s(%s)" name (String.concat ", " args)) );
+        ])
 
 let rec stmt env depth =
   let e = expr env 3 in
@@ -136,14 +153,43 @@ and block env depth n =
   let* stmts = list_repeat n (stmt env depth) in
   return (String.concat "\n" stmts)
 
+(* A call-free helper: parameters and one local are its mutable scalars,
+   globals are readable, and the body ends in a [return].  Emitting from
+   helpers is deliberately avoided so a helper's observable effect is its
+   return value (plus any global it writes through [main]'s statements —
+   helpers never assign globals here). *)
+let helper globals name =
+  let* arity = int_range 1 2 in
+  let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
+  let* ptys = list_repeat arity (oneofl [ "short"; "int"; "long" ]) in
+  let* linit = literal in
+  let env =
+    { scalars = "t" :: params; globals; arrays = []; readonly = []; funs = [] }
+  in
+  let* body = block env 1 3 in
+  let* ret = expr env 3 in
+  return
+    ( Printf.sprintf "long %s(%s) {\n  long t = %s;\n%s\n  return %s;\n}" name
+        (String.concat ", "
+           (List.map2 (fun t p -> t ^ " " ^ p) ptys params))
+        linit body ret,
+      (name, arity) )
+
 let program =
   let* nscalars = int_range 1 5 in
   let* narrays = int_range 0 2 in
   let* nglobals = int_range 0 2 in
+  let* nfuns = int_range 0 2 in
   let scalars = List.init nscalars (fun i -> Printf.sprintf "v%d" i) in
   let arrays = List.init narrays (fun i -> Printf.sprintf "arr%d" i) in
   let globals = List.init nglobals (fun i -> Printf.sprintf "g%d" i) in
-  let env = { scalars; globals; arrays; readonly = [] } in
+  let* helpers =
+    List.init nfuns (fun i -> Printf.sprintf "h%d" i)
+    |> List.map (helper globals)
+    |> flatten_l
+  in
+  let funs = List.map snd helpers in
+  let env = { scalars; globals; arrays; readonly = []; funs } in
   let* tys =
     list_repeat nscalars (oneofl [ "char"; "short"; "int"; "long" ])
   in
@@ -169,6 +215,7 @@ let program =
   return
     (String.concat "\n"
        (decls
+       @ List.map fst helpers
        @ [ "int main() {" ]
        @ local_decls
        @ [ body; tail ]

@@ -1,0 +1,23 @@
+(** Seeded random MiniC program generation.
+
+    The single source of random source-level programs for the test suite
+    and the differential fuzzer ([ogc fuzz]).  Generated programs always
+    terminate (loops have constant bounds, no recursion), never access
+    memory out of bounds (indices are masked to the array size), and emit
+    values along the way, so two binary versions can be compared by
+    output checksum.  Everything is driven by the caller's
+    [Random.State.t], so the same state yields the same program on every
+    run and machine. *)
+
+val arr_len : int
+(** Length of every generated array. *)
+
+val program : string QCheck.Gen.t
+(** A complete well-typed MiniC compilation unit: global scalars and
+    arrays, zero or more call-free helper functions, and a [main] that
+    mixes assignments, array traffic, [if]/[for] nests and calls into
+    the helpers. *)
+
+val arbitrary_program : string QCheck.arbitrary
+(** {!program} packaged for [QCheck.Test.make] (prints the source on
+    failure). *)

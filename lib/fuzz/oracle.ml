@@ -1,0 +1,132 @@
+open Ogc_isa
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+module Validate = Ogc_ir.Validate
+module Welldef = Ogc_ir.Welldef
+module Pass = Ogc_pass.Pass
+module Gen = QCheck.Gen
+
+type transform = { t_name : string; t_apply : Prog.t -> Prog.t }
+
+let of_chain spec =
+  (* Parse now so a malformed spec fails at construction, not on the
+     first program. *)
+  let chain = Pass.parse_chain spec in
+  {
+    t_name = spec;
+    t_apply =
+      (fun p ->
+        let state, _steps = Pass.run_chain chain p in
+        state.Pass.prog);
+  }
+
+let default_transforms =
+  List.map of_chain
+    [
+      "cleanup";
+      "vrp,encode-widths";
+      "vrp:variant=conventional,encode-widths";
+      "cleanup,vrp,encode-widths,constprop";
+      "cleanup,vrp,encode-widths,bb-profile,value-profile,vrs:cost=30";
+      "vrs:cost=50";
+      "vrs:cost=110:constprop=false";
+    ]
+
+let chain_pool =
+  [
+    "cleanup";
+    "vrp";
+    "vrp:variant=conventional";
+    "encode-widths";
+    "constprop";
+    "bb-profile";
+    "value-profile";
+    "vrs:cost=30";
+    "vrs:cost=70";
+    "vrs:cost=110";
+    "vrs:cost=50:constprop=false";
+  ]
+
+let random_chain st =
+  let n = Gen.int_range 1 4 st in
+  String.concat "," (List.init n (fun _ -> Gen.oneofl chain_pool st))
+
+let step_down = function
+  | Width.W64 -> Width.W32
+  | Width.W32 -> Width.W16
+  | Width.W16 -> Width.W8
+  | Width.W8 -> Width.W8
+
+let injected_width_bug =
+  {
+    t_name = "vrp,encode-widths[over-narrow]";
+    t_apply =
+      (fun p ->
+        ignore (Ogc_core.Vrp.run p);
+        Prog.iter_all_ins p (fun _ _ ins ->
+            match ins.Prog.op with
+            | Instr.Alu
+                {
+                  op = Instr.Add | Instr.Sub | Instr.Mul | Instr.And
+                     | Instr.Or | Instr.Xor;
+                  width;
+                  _;
+                } ->
+              ins.Prog.op <- Instr.with_width ins.Prog.op (step_down width)
+            | _ -> ());
+        p);
+  }
+
+type diff = { d_chain : string; d_detail : string }
+type result = Skipped of string | Checked of diff list
+
+let interp_config = { Interp.default_config with max_steps = 2_000_000 }
+
+let check ?(config = interp_config) ~transforms p =
+  match Interp.run ~config p with
+  | exception Interp.Fault msg -> Skipped msg
+  | base ->
+    (* Only conforming inputs can hold their transforms to conformance:
+       shrinking or hand-editing can produce programs that already read
+       clobbered registers, and no pass can be blamed for preserving
+       that. *)
+    let base_welldef = Welldef.check p = None in
+    let check_one t =
+      let q = Prog.copy p in
+      match t.t_apply q with
+      | exception e ->
+        Some
+          { d_chain = t.t_name;
+            d_detail = "transform raised: " ^ Printexc.to_string e }
+      | q -> (
+        match Validate.program q with
+        | exception Validate.Invalid msg ->
+          Some { d_chain = t.t_name; d_detail = "validator: " ^ msg }
+        | () -> (
+          match if base_welldef then Welldef.check q else None with
+          | Some msg ->
+            Some { d_chain = t.t_name; d_detail = "welldef: " ^ msg }
+          | None -> (
+            match Interp.run ~config q with
+            | exception Interp.Fault msg ->
+              Some
+                { d_chain = t.t_name; d_detail = "introduced fault: " ^ msg }
+            | out ->
+              if not (Int64.equal out.Interp.checksum base.Interp.checksum)
+              then
+                Some
+                  {
+                    d_chain = t.t_name;
+                    d_detail =
+                      Printf.sprintf "checksum %Ld, baseline %Ld"
+                        out.Interp.checksum base.Interp.checksum;
+                  }
+              else if out.Interp.emitted <> base.Interp.emitted then
+                Some
+                  {
+                    d_chain = t.t_name;
+                    d_detail = "emitted stream diverged from baseline";
+                  }
+              else None)))
+    in
+    Checked (List.filter_map check_one transforms)

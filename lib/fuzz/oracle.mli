@@ -1,0 +1,61 @@
+(** The differential oracle: every optimization chain must be invisible.
+
+    The paper's safety claim is that VRP re-encoding and VRS
+    specialization are semantics-preserving (§3, §4): every narrowed
+    width and every guarded clone must produce bit-identical observable
+    behaviour.  The oracle checks exactly that, program by program: run
+    the reference interpreter on the pristine program, then run every
+    transform on a private copy and require
+
+    - structural well-formedness ({!Ogc_ir.Validate.program});
+    - calling-convention conformance ({!Ogc_ir.Welldef}): when the
+      input program reads only defined registers, so must the
+      transformed one (a transform introducing a read of a clobbered
+      register is a miscompile even when the output happens to match);
+    - an identical observable outcome: [emit] checksum and emitted
+      stream, with faults never introduced. *)
+
+open Ogc_ir
+
+(** A named program transformation under test.  [t_apply] receives a
+    private copy of the program and returns the transformed program
+    (usually the same value, mutated in place). *)
+type transform = { t_name : string; t_apply : Prog.t -> Prog.t }
+
+val of_chain : string -> transform
+(** A {!Ogc_pass.Pass} chain spec, e.g. ["cleanup,vrp,encode-widths"].
+    Raises [Failure] on malformed specs (at construction time). *)
+
+val default_transforms : transform list
+(** The standing gate: cleanup alone, VRP (default and conventional)
+    with re-encoding, constprop, and the full VRS pipeline at the
+    paper's 30/50/110 guard costs. *)
+
+val chain_pool : string list
+(** Pass specs {!random_chain} draws from. *)
+
+val random_chain : Random.State.t -> string
+(** A random 1-4 element chain over {!chain_pool}; same state, same
+    chain. *)
+
+val injected_width_bug : transform
+(** A deliberately buggy transform — VRP re-encoding followed by an
+    extra, unjustified one-step narrowing of every ALU add/sub/mul/
+    logical instruction — used to prove the oracle catches real
+    width-narrowing miscompiles and to exercise the shrinker. *)
+
+(** One disagreement between the baseline and a transform. *)
+type diff = { d_chain : string; d_detail : string }
+
+type result =
+  | Skipped of string
+      (** the {e baseline} faulted (step budget, bad memory); nothing
+          can be compared *)
+  | Checked of diff list  (** empty means every transform agreed *)
+
+val interp_config : Interp.config
+(** Default execution budget for fuzzing: 2M dynamic instructions. *)
+
+val check : ?config:Interp.config -> transforms:transform list -> Prog.t -> result
+(** [check ~transforms p] never mutates [p]; transforms run on copies.
+    Diffs come back in [transforms] order, at most one per transform. *)

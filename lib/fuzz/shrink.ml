@@ -1,0 +1,228 @@
+module Prog = Ogc_ir.Prog
+
+(* The current best candidate, replaced whenever [keep] accepts a
+   smaller program. *)
+type state = { keep : Prog.t -> bool; mutable best : Prog.t; mutable changed : bool }
+
+let try_candidate st q =
+  let ok = try st.keep q with _ -> false in
+  if ok then begin
+    st.best <- q;
+    st.changed <- true
+  end;
+  ok
+
+(* --- reductions ----------------------------------------------------------- *)
+
+let drop_functions st =
+  let names =
+    List.filter_map
+      (fun (f : Prog.func) ->
+        if String.equal f.Prog.fname "main" then None else Some f.Prog.fname)
+      st.best.Prog.funcs
+  in
+  List.iter
+    (fun name ->
+      let q = Prog.copy st.best in
+      if List.length q.Prog.funcs > 1 then begin
+        q.Prog.funcs <-
+          List.filter
+            (fun (f : Prog.func) -> not (String.equal f.Prog.fname name))
+            q.Prog.funcs;
+        ignore (try_candidate st q)
+      end)
+    names
+
+let drop_globals st =
+  let names = List.map (fun (g : Prog.global) -> g.Prog.gname) st.best.Prog.globals in
+  List.iter
+    (fun name ->
+      let p = st.best in
+      let globals =
+        List.filter
+          (fun (g : Prog.global) -> not (String.equal g.Prog.gname name))
+          p.Prog.globals
+      in
+      if List.length globals < List.length p.Prog.globals then
+        let q = Prog.copy { p with Prog.globals } in
+        ignore (try_candidate st q))
+    names
+
+(* ddmin over one block's body: remove windows of [size] instructions,
+   halving [size] until single instructions have been tried. *)
+let shrink_block_bodies st =
+  let nfuncs () = List.length st.best.Prog.funcs in
+  let func fi = List.nth st.best.Prog.funcs fi in
+  let fi = ref 0 in
+  while !fi < nfuncs () do
+    let bi = ref 0 in
+    while !bi < Array.length (func !fi).Prog.blocks do
+      let len () = Array.length (func !fi).Prog.blocks.(!bi).Prog.body in
+      let size = ref (max 1 (len ())) in
+      while !size >= 1 do
+        let start = ref 0 in
+        while !start + !size <= len () do
+          let q = Prog.copy st.best in
+          let b = (List.nth q.Prog.funcs !fi).Prog.blocks.(!bi) in
+          b.Prog.body <-
+            Array.append
+              (Array.sub b.Prog.body 0 !start)
+              (Array.sub b.Prog.body (!start + !size)
+                 (Array.length b.Prog.body - !start - !size));
+          (* On success the window now holds fresh content; retry it. *)
+          if not (try_candidate st q) then start := !start + !size
+        done;
+        size := !size / 2
+      done;
+      incr bi
+    done;
+    incr fi
+  done
+
+let simplify_terminators st =
+  let nfuncs () = List.length st.best.Prog.funcs in
+  let fi = ref 0 in
+  while !fi < nfuncs () do
+    let bi = ref 0 in
+    while !bi < Array.length (List.nth st.best.Prog.funcs !fi).Prog.blocks do
+      let candidates =
+        match (List.nth st.best.Prog.funcs !fi).Prog.blocks.(!bi).Prog.term with
+        | Prog.Branch { if_true; if_false; _ } ->
+          [ Prog.Jump if_true; Prog.Jump if_false; Prog.Return ]
+        | Prog.Jump _ -> [ Prog.Return ]
+        | Prog.Return -> []
+      in
+      List.iter
+        (fun term ->
+          let q = Prog.copy st.best in
+          let b = (List.nth q.Prog.funcs !fi).Prog.blocks.(!bi) in
+          if b.Prog.term <> term then begin
+            b.Prog.term <- term;
+            ignore (try_candidate st q)
+          end)
+        candidates;
+      incr bi
+    done;
+    incr fi
+  done
+
+(* Labels are positional, so the cleanup pass only empties unreachable
+   blocks (threading jumps around them); it never removes them. *)
+let cleanup st =
+  let q = Prog.copy st.best in
+  match Ogc_core.Cleanup.run q with
+  | _ -> if Prog.num_static_ins q < Prog.num_static_ins st.best then
+      ignore (try_candidate st q)
+  | exception _ -> ()
+
+(* Physically delete unreachable blocks, renumbering every label — the
+   one structural edit optimization passes never do (they must keep
+   labels stable for profiles and analysis facts; a reducer has no such
+   obligation). *)
+let drop_unreachable_blocks st =
+  let q = Prog.copy st.best in
+  let shrunk = ref false in
+  List.iter
+    (fun (f : Prog.func) ->
+      let cfg = Ogc_ir.Cfg.of_func f in
+      let n = Array.length f.Prog.blocks in
+      let keep =
+        Array.init n (fun i ->
+            Ogc_ir.Cfg.is_reachable cfg (Ogc_ir.Label.of_int i))
+      in
+      if Array.exists not keep then begin
+        shrunk := true;
+        let remap = Array.make n (-1) in
+        let next = ref 0 in
+        Array.iteri
+          (fun i k ->
+            if k then begin
+              remap.(i) <- !next;
+              incr next
+            end)
+          keep;
+        let relabel l = Ogc_ir.Label.of_int remap.(Ogc_ir.Label.to_int l) in
+        let reterm = function
+          | Prog.Jump l -> Prog.Jump (relabel l)
+          | Prog.Branch b ->
+            Prog.Branch
+              { b with if_true = relabel b.if_true; if_false = relabel b.if_false }
+          | Prog.Return -> Prog.Return
+        in
+        f.Prog.blocks <-
+          Array.of_list
+            (List.filter_map
+               (fun (b : Prog.block) ->
+                 if keep.(Ogc_ir.Label.to_int b.Prog.label) then
+                   Some
+                     {
+                       b with
+                       Prog.label = relabel b.Prog.label;
+                       term = reterm b.Prog.term;
+                     }
+                 else None)
+               (Array.to_list f.Prog.blocks))
+      end)
+    q.Prog.funcs;
+  if !shrunk then ignore (try_candidate st q)
+
+(* Merge a block into its unique Jump successor when that successor has
+   no other predecessor: saves the jump terminator, and the emptied
+   successor becomes unreachable for [drop_unreachable_blocks]. *)
+let merge_straightline st =
+  let nfuncs () = List.length st.best.Prog.funcs in
+  let fi = ref 0 in
+  while !fi < nfuncs () do
+    let bi = ref 0 in
+    while !bi < Array.length (List.nth st.best.Prog.funcs !fi).Prog.blocks do
+      let f = List.nth st.best.Prog.funcs !fi in
+      (match f.Prog.blocks.(!bi).Prog.term with
+      | Prog.Jump l when Ogc_ir.Label.to_int l <> !bi ->
+        let li = Ogc_ir.Label.to_int l in
+        let preds_of_l =
+          Array.fold_left
+            (fun acc (b : Prog.block) ->
+              match b.Prog.term with
+              | Prog.Jump m when Ogc_ir.Label.equal m l -> acc + 1
+              | Prog.Branch { if_true; if_false; _ } ->
+                acc
+                + (if Ogc_ir.Label.equal if_true l then 1 else 0)
+                + if Ogc_ir.Label.equal if_false l then 1 else 0
+              | Prog.Jump _ | Prog.Return -> acc)
+            0 f.Prog.blocks
+        in
+        if preds_of_l = 1 then begin
+          let q = Prog.copy st.best in
+          let qf = List.nth q.Prog.funcs !fi in
+          let b = qf.Prog.blocks.(!bi) in
+          let succ = qf.Prog.blocks.(li) in
+          b.Prog.body <- Array.append b.Prog.body succ.Prog.body;
+          b.Prog.term <- succ.Prog.term;
+          succ.Prog.body <- [||];
+          ignore (try_candidate st q)
+        end
+      | Prog.Jump _ | Prog.Branch _ | Prog.Return -> ());
+      incr bi
+    done;
+    incr fi
+  done
+
+let minimize ?(max_rounds = 30) ~keep p =
+  if not (keep p) then
+    invalid_arg "Shrink.minimize: predicate does not hold on the input";
+  let st = { keep; best = Prog.copy p; changed = true } in
+  let rounds = ref 0 in
+  while st.changed && !rounds < max_rounds do
+    st.changed <- false;
+    incr rounds;
+    drop_functions st;
+    cleanup st;
+    drop_unreachable_blocks st;
+    shrink_block_bodies st;
+    simplify_terminators st;
+    merge_straightline st;
+    drop_globals st;
+    cleanup st;
+    drop_unreachable_blocks st
+  done;
+  st.best

@@ -1,0 +1,25 @@
+(** Delta-debugging minimizer for failing programs.
+
+    Given a program and a predicate that re-checks the failure of
+    interest (usually "this transform still disagrees with the
+    baseline"), repeatedly applies structure-preserving reductions and
+    keeps every candidate the predicate accepts:
+
+    - dropping whole helper functions and unused globals;
+    - removing chunks of block bodies, ddmin-style (halving chunk
+      sizes down to single instructions);
+    - simplifying terminators (branch to jump, jump to return);
+    - running the [cleanup] pass to prune unreachable blocks (block
+      removal must go through a pass because labels are positional).
+
+    Candidates are always fresh deep copies; the input program is never
+    mutated.  The process is deterministic: same program and predicate,
+    same minimized result. *)
+
+val minimize :
+  ?max_rounds:int -> keep:(Ogc_ir.Prog.t -> bool) -> Ogc_ir.Prog.t -> Ogc_ir.Prog.t
+(** [minimize ~keep p] requires [keep p = true] and returns a (possibly
+    equal) program on which [keep] still holds, at a local minimum of
+    the reductions above.  [keep] must not mutate its argument and
+    should treat invalid or faulting candidates as [false].
+    [max_rounds] (default 30) bounds the outer fixpoint. *)

@@ -272,6 +272,7 @@ let parse text =
       let lineno = idx + 1 in
       let line = String.trim raw in
       if String.length line = 0 then ()
+      else if line.[0] = '#' then () (* comment: fuzz corpus provenance &c. *)
       else if String.length line > 7 && String.sub line 0 7 = "global " then begin
         (* global NAME[SIZE] = HEX *)
         match String.index_opt line '[' with

@@ -21,7 +21,9 @@
     v} *)
 
 exception Error of string
-(** Parse failure, with a line number in the message. *)
+(** Parse failure, with a line number in the message.  Lines whose first
+    non-blank character is [#] are comments and are ignored (the fuzzer
+    stamps corpus files with provenance headers). *)
 
 val output : Format.formatter -> Prog.t -> unit
 val to_string : Prog.t -> string

@@ -1,0 +1,99 @@
+open Ogc_isa
+
+exception Violation of string
+
+(* Register sets as 32-bit masks; bit i is register i. *)
+let bit r = 1 lsl Reg.to_int r
+let mem set r = set land bit r <> 0
+let add set r = set lor bit r
+let universe = (1 lsl 32) - 1
+
+let caller_saved_mask =
+  List.fold_left add 0 Reg.caller_saved
+
+let entry_defined (f : Prog.func) =
+  let base = List.fold_left add 0 (Reg.zero :: Reg.sp :: Reg.callee_saved) in
+  let rec args set i =
+    if i >= f.Prog.arity then set else args (add set (Reg.arg i)) (i + 1)
+  in
+  args base 0
+
+let fail f (b : Prog.block) iid what r =
+  raise
+    (Violation
+       (Printf.sprintf "%s/L%d: %s [%d] reads %s before definition"
+          f.Prog.fname
+          (Label.to_int b.Prog.label)
+          what iid (Reg.to_string r)))
+
+(* Effect of one instruction: check its reads, then update the defined
+   set.  A call requires only the argument registers its callee
+   declares, then havocs the caller-saved file and produces a result. *)
+let step p f b defined (ins : Prog.ins) =
+  let require what r = if not (mem defined r) then fail f b ins.Prog.iid what r in
+  match ins.Prog.op with
+  | Instr.Call { callee } ->
+    let arity =
+      match Prog.find_func_opt p callee with
+      | Some g -> g.Prog.arity
+      | None -> 0
+    in
+    for i = 0 to arity - 1 do
+      require "call" (Reg.arg i)
+    done;
+    add (defined land lnot caller_saved_mask) Reg.ret
+  | op ->
+    List.iter (require (Instr.to_string op)) (Instr.uses op);
+    List.fold_left add defined (Instr.defs op)
+
+let block_out p f defined (b : Prog.block) =
+  Array.fold_left (step p f b) defined b.Prog.body
+
+let func p (f : Prog.func) =
+  let cfg = Cfg.of_func f in
+  let n = Array.length f.Prog.blocks in
+  let entry_i = Label.to_int (Cfg.entry cfg) in
+  let inset = Array.make n universe in
+  inset.(entry_i) <- entry_defined f;
+  (* Must-defined forward fixpoint (sets only shrink from [universe]).
+     The entry block additionally meets the function's initial state, a
+     virtual edge that matters when the entry is also a loop header. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        let i = Label.to_int l in
+        let in_ =
+          List.fold_left
+            (fun acc pl ->
+              let p_i = Label.to_int pl in
+              acc land block_out p f inset.(p_i) f.Prog.blocks.(p_i))
+            universe (Cfg.preds cfg l)
+        in
+        let in_ = if i = entry_i then in_ land entry_defined f else in_ in
+        if in_ <> inset.(i) then begin
+          inset.(i) <- in_;
+          changed := true
+        end)
+      (Cfg.reverse_postorder cfg)
+  done;
+  (* Check pass: replay each reachable block from its fixpoint entry
+     state; the folds above only computed, they could not fail because
+     unreached states start at [universe]... so re-run with checks. *)
+  Array.iter
+    (fun (b : Prog.block) ->
+      let l = b.Prog.label in
+      if Cfg.is_reachable cfg l then begin
+        let out = block_out p f inset.(Label.to_int l) b in
+        Reg.Set.iter
+          (fun r ->
+            if not (mem out r) then fail f b b.Prog.term_iid "terminator" r)
+          (Liveness.term_uses b.Prog.term)
+      end)
+    f.Prog.blocks
+
+let program (p : Prog.t) = List.iter (func p) p.Prog.funcs
+
+let check p =
+  match program p with () -> None | exception Violation msg -> Some msg

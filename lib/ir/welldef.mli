@@ -1,0 +1,38 @@
+(** Definite-assignment conformance: every read reads a defined value.
+
+    The optimizer stack assumes the standard calling convention
+    throughout: {!Ogc_isa.Instr.defs} reports a call as clobbering every
+    caller-saved register, liveness kills them accordingly, and dead-code
+    elimination will happily delete a definition whose only readers sit
+    on the far side of a call.  Those assumptions are only sound for
+    programs that honour the convention — a program reading a
+    caller-saved register it did not redefine after a call is reading a
+    value the contract says is garbage, even though the reference
+    interpreter (which models an actual machine) executes it
+    deterministically.
+
+    This module checks the contract by forward must-be-defined dataflow
+    over each function: at entry, [zero], [sp], the callee-saved
+    registers and the declared argument registers are defined; an
+    instruction defines its destinations; a call erases every
+    caller-saved register and defines [Reg.ret]; a block's entry state is
+    the intersection over its predecessors.  Any instruction or
+    terminator reading a register outside the defined set is a violation
+    (note [Cmov] reads its destination: the old value survives when the
+    move does not fire).  Unreachable blocks are ignored.
+
+    The differential fuzzer requires generated and minimized programs to
+    conform, and its oracle requires every optimization chain to preserve
+    conformance. *)
+
+exception Violation of string
+
+val func : Prog.t -> Prog.func -> unit
+(** Raises {!Violation} describing the first offending read.  The
+    program supplies callee arities (a call only requires the argument
+    registers its callee declares). *)
+
+val program : Prog.t -> unit
+
+val check : Prog.t -> string option
+(** [check p] is [None] when [p] conforms, or [Some message]. *)

@@ -41,6 +41,13 @@ let needed v =
 
 let needed_range lo hi = max (needed lo) (needed hi)
 
+let needed_unsigned v =
+  if v < 0L then W64
+  else if v <= 0xFFL then W8
+  else if v <= 0xFFFFL then W16
+  else if v <= 0xFFFF_FFFFL then W32
+  else W64
+
 let truncate v = function
   | W64 -> v
   | w ->

@@ -46,6 +46,11 @@ val needed : int64 -> t
 (** [needed_range lo hi] is the narrowest width containing both bounds. *)
 val needed_range : int64 -> int64 -> t
 
+(** [needed_unsigned v] is the narrowest width [w] with
+    [v] in [\[0, 2^(bits w) - 1\]]: the narrowest width from which [v] is
+    recoverable by {e zero}-extension.  [W64] for negative [v]. *)
+val needed_unsigned : int64 -> t
+
 (** [truncate v w] keeps the low [bits w] bits of [v] and sign-extends the
     result back to 64 bits.  [truncate v W64 = v]. *)
 val truncate : int64 -> t -> int64

@@ -1,0 +1,74 @@
+# Found by `ogc fuzz --seed 42 -n 60` (program 59, chain vrp,encode-widths).
+# VRP seeded the useful width of every def from the signed interval width;
+# a msk def ZERO-extends when narrowed, so [30] msk64 of r10 = -29712
+# (signed width W16) was re-encoded msk16, flipping the emitted value to
+# 35824.  Fixed by bounding msk defs with Interval.width_unsigned.
+# See vrp_msk_zero_extend_min.s for the 5-instruction distillation.
+
+global gbuf[512] = 2f6c75d7fca8234ef8135893d86ad1da2290786ae79a2d28f4eb3c54fe80cc0f8ca58410d4426070d5daf97f2d60f9e444835456607e3fce14438d206ec39124248915967500884f1aace148f499bd4d830955225ee51bc6ca0908b112afa6d36cf53adb2a671c295dc3b1105a02723ac9a07e962e5c4dadcc190842b856af8f08344ca1a5e9a01e100ce1444e4ecb25077701396c4d69bfa5ebb26190ef1ad4abd0ccd018c1710794fa6da55ce9e7dbcac130f2d72269c3b5bcf2aa774ce0932b3506ec02ac794013368bc4efd239d2dc7db745f01ec79b8081656c92b46db53148022ce913c155668bae3f2676c4d590196b7e13fe9a3fe3e041a721fdab494e467ce9612cf960523da0ca285c26289d5803802fe12175c6cc55a30510f42e5edde041da324f9c8ece3f06812e4d6a5719b73e754a59015c8f381dcd5159c0eadc8f342e1703fad783c152d892ed91685f92785191ef31321f6f52e27bae1343b8f05173e9a6e3041d5efc67fc9b8670c33f665a9204a549bdf7e6387d8e675eef6e94cae602b5f129035539504ee6986e3937e14e49ded56430d9c03ce8b0aaa3ddd542e7af1ffd888c1be299b75fd4ef0091f0df256f869088d72e9283a86841492d321993c6249e21b0673e422bef4ebe61a249b5e3e1b3659c0fb69dbeab6665bb2672582df936de79da189f6f937a54284b0249e168dbdb12522dd270
+
+func leaf0(1) frame=0
+L0:
+  [   0] li #854038758, r1
+  [   1] li #-20721, r2
+  [   2] li #30680, r3
+  [   3] sext64 r2, r2
+  [   4] sext32 r1, r2
+  [   5] msk8 r1, r1
+  [   6] sext8 r2, r3
+  [   7] msk32 r1, r2
+  [   8] bic16 r1, #-4, r2
+  [   9] div r1, r1, r1
+  [  10] add r1, #0, r0
+  [  11] ret
+
+func main(0) frame=0
+L0:
+  [  12] li #9873, r1
+  [  13] li #-2147483648, r2
+  [  14] li #710728225, r3
+  [  15] li #14529, r4
+  [  16] li #122039619, r5
+  [  17] li #61, r6
+  [  18] li #24, r9
+  [  19] li #-29712, r10
+  [  20] li #255, r11
+  [  21] li #49989, r12
+  [  22] cmple16 r10, #4, r8
+  [  23] ble r8, L1, L2
+L1:
+  [  24] la @gbuf, r7
+  [  25] st16 r6, 336(r7)
+  [  26] jump L3
+L2:
+  [  27] sub32 r6, #97, r3
+  [  28] jump L3
+L3:
+  [  29] li #-62, r2
+  [  30] msk64 r10, r10
+  [  31] sll16 r10, r5, r3
+  [  32] li #0, r13
+  [  33] jump L4
+L4:
+  [  34] cmpeq8 r10, #-2, r8
+  [  35] beq r8, L5, L6
+L5:
+  [  36] emit r6
+  [  37] la @gbuf, r7
+  [  38] st8 r5, 96(r7)
+  [  39] jump L7
+L6:
+  [  40] add16 r4, r4, r4
+  [  41] cmpule32 r11, r4, r9
+  [  42] jump L7
+L7:
+  [  43] add r13, #2, r13
+  [  44] cmplt r13, #10, r8
+  [  45] bne r8, L4, L8
+L8:
+  [  46] emit r9
+  [  47] emit r10
+  [  48] emit r11
+  [  49] emit r12
+  [  50] li #0, r0
+  [  51] ret

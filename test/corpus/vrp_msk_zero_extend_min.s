@@ -1,0 +1,14 @@
+# Minimal distillation of vrp_msk_zero_extend.s: VRP seeded the useful
+# width of a msk def from the signed interval width, but a narrowed msk
+# ZERO-extends.  [-29712] fits W16 signed, so msk64 was re-encoded as
+# msk16 and the emitted value flipped to 35824 (= -29712 + 2^16).
+# Sound narrowing for msk must use the unsigned width of the result.
+# replay: every registered chain must leave the emitted stream intact
+
+func main(0) frame=0
+L0:
+  [   0] li #-29712, r10
+  [   1] msk64 r10, r10
+  [   2] emit r10
+  [   3] li #0, r0
+  [   4] ret

@@ -1,0 +1,34 @@
+# Found by `ogc fuzz --seed 42 -n 60` (program 0, minimized; chain
+# cleanup,vrp,encode-widths,bb-profile,value-profile,vrs:cost=30).
+# VRS guards compare with their own destination (`cmpeq x, r27, r27`),
+# and VRP's branch-edge refinement read the comparand's range from the
+# block OUT-state, i.e. the 0/1 compare result instead of the comparand.
+# In a clone-of-clone (no assumption attached) that mis-refined the
+# specialized value to [1,1]; constprop folded the loop's accumulator
+# update to `li #1` and the loop never terminated.  Fixed by refusing
+# cmp edge refinement when either operand is redefined at or after the
+# compare, including by the compare itself.
+
+func main(0) frame=208
+L0:
+  [ 308] jump L1
+L1:
+  [  90] cmplt32 r14, #9, r4
+  [  91] bne r4, L2, L4
+L2:
+  [  92] xor r13, #-1, r4
+  [  93] li #65536, r3
+  [  94] sub32 r9, r3, r1
+  [  95] sub r4, r1, r3
+  [ 113] jump L3
+L3:
+  [ 115] or r3, #0, r14
+  [ 116] jump L1
+L4:
+  [ 132] jump L5
+L5:
+  [ 237] cmplt32 r4, #7, r2
+  [ 238] jump L6
+L6:
+  [ 298] or r2, #0, r0
+  [ 299] ret

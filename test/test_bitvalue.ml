@@ -6,6 +6,7 @@
 
 open Ogc_isa
 module Bv = Ogc_core.Bitvalue
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 let bv = Alcotest.testable Bv.pp Bv.equal
 

@@ -1,0 +1,42 @@
+(* Replay the regression corpus: every minimized counterexample in
+   test/corpus/ must run every standing oracle chain without a diff.
+   Each file was once a miscompile (or an injected-bug witness); a diff
+   here means a fixed bug has come back. *)
+
+module Asm = Ogc_ir.Asm
+module Oracle = Ogc_fuzz.Oracle
+
+let corpus_files () =
+  Sys.readdir "corpus" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".s")
+  |> List.sort String.compare
+  |> List.map (Filename.concat "corpus")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let replay path () =
+  let p = Asm.parse (read_file path) in
+  Ogc_ir.Validate.program p;
+  match Oracle.check ~transforms:Oracle.default_transforms p with
+  | Oracle.Skipped msg ->
+    Alcotest.failf "%s: baseline faulted (%s); corpus entries must run"
+      path msg
+  | Oracle.Checked [] -> ()
+  | Oracle.Checked (d :: _) ->
+    Alcotest.failf "%s: chain %s diverged: %s" path d.Oracle.d_chain
+      d.Oracle.d_detail
+
+let () =
+  let files = corpus_files () in
+  if files = [] then failwith "corpus is empty; expected test/corpus/*.s";
+  Alcotest.run "corpus"
+    [
+      ( "replay",
+        List.map
+          (fun f -> Alcotest.test_case f `Quick (replay f))
+          files );
+    ]

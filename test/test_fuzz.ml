@@ -1,0 +1,81 @@
+(* The fuzzing subsystem itself: campaign determinism (same seed, same
+   verdicts, independent of worker count), a clean bill on main for a
+   small campaign, and the self-test loop — the injected width bug must
+   be caught and the shrinker must reduce its witness to a handful of
+   instructions. *)
+
+module Fuzz = Ogc_fuzz.Fuzz
+module Oracle = Ogc_fuzz.Oracle
+module Gen_ir = Ogc_fuzz.Gen_ir
+module Prog = Ogc_ir.Prog
+module Asm = Ogc_ir.Asm
+
+let fingerprint (s : Fuzz.summary) =
+  ( (s.Fuzz.s_minic, s.s_ir, s.s_skipped, s.s_chains),
+    List.map
+      (fun (f : Fuzz.failure) -> (f.Fuzz.f_index, f.f_chain, f.f_detail))
+      s.Fuzz.s_failures,
+    s.Fuzz.s_gen_errors )
+
+let test_deterministic_across_jobs () =
+  let a = Fuzz.run ~jobs:1 ~seed:11 ~count:9 () in
+  let b = Fuzz.run ~jobs:2 ~seed:11 ~count:9 () in
+  if fingerprint a <> fingerprint b then
+    Alcotest.fail "same seed, different verdicts under jobs=1 vs jobs=2"
+
+let test_main_is_clean () =
+  let s = Fuzz.run ~jobs:2 ~seed:7 ~count:12 () in
+  (match s.Fuzz.s_gen_errors with
+  | [] -> ()
+  | (i, msg) :: _ -> Alcotest.failf "program %d failed to generate: %s" i msg);
+  match s.Fuzz.s_failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "program %d, chain %s: %s" f.Fuzz.f_index f.f_chain
+      f.f_detail
+
+let test_injected_bug_caught_and_shrunk () =
+  let s = Fuzz.run ~jobs:1 ~inject:true ~shrink:true ~seed:5 ~count:1 () in
+  match s.Fuzz.s_failures with
+  | [] -> Alcotest.fail "the injected width bug went undetected"
+  | fs ->
+    List.iter
+      (fun (f : Fuzz.failure) ->
+        Alcotest.(check string)
+          "only the buggy transform may diff" Oracle.injected_width_bug.t_name
+          f.Fuzz.f_chain;
+        match f.Fuzz.f_min with
+        | None -> Alcotest.fail "shrinking was requested but not performed"
+        | Some q ->
+          let n = Prog.num_static_ins q in
+          if n > 10 then
+            Alcotest.failf
+              "shrinker left %d instructions; want a <=10-instruction \
+               counterexample"
+              n)
+      fs
+
+(* Raw-IR generation round-trips through the assembly syntax (the
+   corpus depends on this: counterexamples are stored as .s files). *)
+let prop_gen_ir_roundtrips =
+  QCheck.Test.make ~name:"generated raw IR round-trips through Asm" ~count:30
+    Gen_ir.arbitrary_program (fun p ->
+      let q = Asm.parse (Asm.to_string p) in
+      Ogc_ir.Validate.program q;
+      Ogc_ir.Welldef.program q;
+      Prog.num_static_ins q = Prog.num_static_ins p)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "deterministic across jobs" `Quick
+            test_deterministic_across_jobs;
+          Alcotest.test_case "main has no diffs" `Quick test_main_is_clean;
+          Alcotest.test_case "injected bug caught and shrunk" `Quick
+            test_injected_bug_caught_and_shrunk;
+        ] );
+      ( "generator",
+        [ QCheck_alcotest.to_alcotest prop_gen_ir_roundtrips ] );
+    ]

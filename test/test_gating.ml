@@ -78,6 +78,61 @@ let prop_sigbytes_minimal =
       let zext = Int64.shift_right_logical (Int64.shift_left v shift) shift in
       (not (Int64.equal sext v)) && not (Int64.equal zext v))
 
+(* The software policy's byte-width tags must agree with the energy
+   accounting in Savings_table: re-encoding to a width with fewer active
+   bytes never costs energy, the table is antisymmetric with a zero
+   diagonal, and the paper's Table 1 layout exposes exactly the same
+   numbers. *)
+module Savings_table = Ogc_core.Savings_table
+
+let width_pair = QCheck.(pair (oneofl Width.all) (oneofl Width.all))
+
+let prop_savings_diag_and_antisym =
+  QCheck.Test.make
+    ~name:"savings: zero diagonal, widen = -narrow" ~count:100 width_pair
+    (fun (a, b) ->
+      let t = Savings_table.default in
+      let s_ab = Savings_table.saving t ~from_:a ~to_:b in
+      let s_ba = Savings_table.saving t ~from_:b ~to_:a in
+      if Width.equal a b then Float.equal s_ab 0.0
+      else Float.equal s_ab (-.s_ba))
+
+let prop_savings_match_tags =
+  QCheck.Test.make
+    ~name:"fewer software-tagged bytes never costs energy" ~count:100
+    QCheck.(pair width_pair int64)
+    (fun ((from_, to_), v) ->
+      let t = Savings_table.default in
+      let active w = Policy.active_bytes Policy.Software ~width:w ~value:v in
+      let s = Savings_table.saving t ~from_ ~to_ in
+      if active to_ < active from_ then s >= 0.0
+      else if active to_ > active from_ then s <= 0.0
+      else Float.equal s 0.0)
+
+let prop_matrix_is_saving =
+  QCheck.Test.make ~name:"Table 1 matrix equals saving" ~count:20
+    QCheck.unit (fun () ->
+      let t = Savings_table.default in
+      List.for_all
+        (fun (to_, row) ->
+          List.for_all
+            (fun (from_, cell) ->
+              Float.equal cell (Savings_table.saving t ~from_ ~to_))
+            row)
+        (Savings_table.matrix t))
+
+let prop_software_tags_cover_value =
+  QCheck.Test.make
+    ~name:"software width tags cover the significant bytes" ~count:2000
+    QCheck.(pair int64 (oneofl Width.all))
+    (fun (v, w) ->
+      (* When the value is recoverable from width [w] (the invariant VRP
+         maintains for every software width tag), gating to the tag must
+         keep every significant byte active. *)
+      QCheck.assume (Int64.equal (Width.truncate v w) v);
+      Sigbytes.significant_bytes v
+      <= Policy.active_bytes Policy.Software ~width:w ~value:v)
+
 let prop_policy_bounds =
   QCheck.Test.make ~name:"active bytes in [1,8] and monotone vs none"
     ~count:2000
@@ -103,4 +158,12 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_sigbytes_roundtrip; prop_sigbytes_minimal; prop_policy_bounds ]
       );
+      ( "savings",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_savings_diag_and_antisym;
+            prop_savings_match_tags;
+            prop_matrix_is_saving;
+            prop_software_tags_cover_value;
+          ] );
     ]

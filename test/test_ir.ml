@@ -3,6 +3,7 @@
 
 open Ogc_isa
 open Ogc_ir
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 let lbl = Alcotest.testable Label.pp Label.equal
 let r n = Reg.of_int n

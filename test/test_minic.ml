@@ -4,6 +4,7 @@
 module Minic = Ogc_minic.Minic
 module Lexer = Ogc_minic.Lexer
 module Interp = Ogc_ir.Interp
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 let emitted src = (Interp.run (Minic.compile src)).Interp.emitted
 

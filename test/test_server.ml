@@ -8,6 +8,7 @@ module Server = Ogc_server.Server
 module Cache = Ogc_server.Cache
 module Prog_json = Ogc_ir.Prog_json
 module Workload = Ogc_workloads.Workload
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 (* Server lifecycle events are structured logs now; keep test output
    clean. *)

@@ -10,6 +10,7 @@ module Prog = Ogc_ir.Prog
 module Vrp = Ogc_core.Vrp
 module Cleanup = Ogc_core.Cleanup
 module Constprop = Ogc_core.Constprop
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 let interp_cfg = { Interp.default_config with max_steps = 2_000_000 }
 

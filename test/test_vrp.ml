@@ -9,6 +9,7 @@ module Interp = Ogc_ir.Interp
 module Prog = Ogc_ir.Prog
 module Vrp = Ogc_core.Vrp
 module Interval = Ogc_core.Interval
+module Gen_minic = Ogc_fuzz.Gen_minic
 
 let compile = Minic.compile
 
@@ -166,6 +167,147 @@ let test_useful_mask () =
   in
   Alcotest.(check string) "conservative mode keeps it wide" "64"
     (width_str (Vrp.width_of res2 mul2.Prog.iid))
+
+(* --- masks and logical ops: useful widths, fuzz regressions --------------- *)
+
+let parse_ir = Ogc_ir.Asm.parse
+
+let outcome p =
+  let out = Interp.run p in
+  (out.Interp.checksum, out.Interp.emitted)
+
+let test_msk_negative_stays_wide () =
+  (* ogc fuzz seed 42, program 59 (test/corpus/vrp_msk_zero_extend.s):
+     a narrowed msk ZERO-extends, so a negative value is only
+     recoverable at full width.  -29712 fits W16 signed, and that signed
+     fit used to re-encode msk64 as msk16, flipping the emitted value to
+     35824. *)
+  let prog = parse_ir {|
+func main(0) frame=0
+L0:
+  [   0] li #-29712, r10
+  [   1] msk64 r10, r10
+  [   2] emit r10
+  [   3] li #0, r0
+  [   4] ret
+|} in
+  let before = outcome (Prog.copy prog) in
+  let res = Vrp.run prog in
+  let msk = find_ins prog (function Instr.Msk _ -> true | _ -> false) in
+  Alcotest.(check string) "msk64 of a negative value stays 64" "64"
+    (width_str (Vrp.width_of res msk.Prog.iid));
+  Alcotest.(check bool) "output preserved" true (outcome prog = before)
+
+let test_msk_unsigned_narrows () =
+  (* The flip side: a msk result that fits [0, 255] re-encodes at byte
+     width even though 200 needs a signed halfword — zero-extension is
+     exactly what msk does. *)
+  let prog = parse_ir {|
+func main(0) frame=0
+L0:
+  [   0] li #200, r10
+  [   1] msk64 r10, r10
+  [   2] emit r10
+  [   3] li #0, r0
+  [   4] ret
+|} in
+  let before = outcome (Prog.copy prog) in
+  let res = Vrp.run prog in
+  let msk = find_ins prog (function Instr.Msk _ -> true | _ -> false) in
+  Alcotest.(check string) "msk64 of 200 narrows to 8" "8"
+    (width_str (Vrp.width_of res msk.Prog.iid));
+  Alcotest.(check bool) "output preserved" true (outcome prog = before)
+
+let test_demand_through_msk () =
+  (* A msk8 consumer demands only the low byte of its source, so the
+     producing chain narrows to byte width even though its value is
+     wide. *)
+  let prog = parse_ir {|
+func main(0) frame=0
+L0:
+  [   0] li #123456789, r1
+  [   1] or r1, #0, r2
+  [   2] msk8 r2, r3
+  [   3] emit r3
+  [   4] li #0, r0
+  [   5] ret
+|} in
+  let before = outcome (Prog.copy prog) in
+  let res = Vrp.run prog in
+  let orr =
+    find_ins prog (function
+      | Instr.Alu { op = Instr.Or; _ } -> true
+      | _ -> false)
+  in
+  Alcotest.(check string) "or feeding msk8 narrows to 8" "8"
+    (width_str (Vrp.width_of res orr.Prog.iid));
+  Alcotest.(check bool) "output preserved" true (outcome prog = before)
+
+let test_demand_through_logical_chain () =
+  (* Backward demand flows through bic and xor: the and-with-255 at the
+     end only exposes a [0,255] result (signed halfword), so the whole
+     chain re-encodes at halfword. *)
+  let prog = parse_ir {|
+func main(0) frame=0
+L0:
+  [   0] li #987654321, r1
+  [   1] xor r1, #85, r2
+  [   2] bic r2, #15, r3
+  [   3] and r3, #255, r4
+  [   4] emit r4
+  [   5] li #0, r0
+  [   6] ret
+|} in
+  let before = outcome (Prog.copy prog) in
+  let res = Vrp.run prog in
+  let width_of_op pred =
+    width_str (Vrp.width_of res (find_ins prog pred).Prog.iid)
+  in
+  Alcotest.(check string) "xor narrows to the useful halfword" "16"
+    (width_of_op (function
+      | Instr.Alu { op = Instr.Xor; _ } -> true
+      | _ -> false));
+  Alcotest.(check string) "bic narrows to the useful halfword" "16"
+    (width_of_op (function
+      | Instr.Alu { op = Instr.Bic; _ } -> true
+      | _ -> false));
+  Alcotest.(check bool) "output preserved" true (outcome prog = before)
+
+let test_cmp_self_clobber_no_refinement () =
+  (* ogc fuzz seed 42, program 0 (test/corpus/vrs_guard_edge_refinement.s):
+     VRS guards compare against their own destination (cmpeq r3, r27,
+     r27).  Edge refinement must not read the comparand's range from the
+     block out-state — after the compare it holds the 0/1 result, and
+     the refined r3 became [1,1] on the taken edge, which constprop then
+     folded into the program. *)
+  let prog = parse_ir {|
+func main(0) frame=0
+L0:
+  [   0] add r9, #65535, r3
+  [   1] li #65535, r27
+  [   2] cmpeq r3, r27, r27
+  [   3] bne r27, L1, L2
+L1:
+  [   4] or r3, #0, r1
+  [   5] emit r1
+  [   6] jump L2
+L2:
+  [   7] li #0, r0
+  [   8] ret
+|} in
+  let before = outcome (Prog.copy prog) in
+  let res = Vrp.run prog in
+  ignore (Ogc_core.Constprop.run res prog);
+  let def_r1 =
+    find_ins prog (fun op ->
+        List.exists (Reg.equal (Reg.of_int 1)) (Instr.defs op))
+  in
+  (match def_r1.Prog.op with
+  | Instr.Alu { op = Instr.Or; _ } -> ()
+  | op ->
+    Alcotest.failf "the or was folded from a bogus refinement: %s"
+      (Instr.to_string op));
+  Alcotest.(check bool) "output preserved" true (outcome prog = before)
 
 let test_conventional_weaker () =
   let src = {|
@@ -425,6 +567,18 @@ let () =
           Alcotest.test_case "useful mask chain" `Quick test_useful_mask;
           Alcotest.test_case "conventional weaker" `Quick test_conventional_weaker;
           Alcotest.test_case "assumptions" `Quick test_assumptions;
+        ] );
+      ( "masks",
+        [
+          Alcotest.test_case "msk of negative stays wide" `Quick
+            test_msk_negative_stays_wide;
+          Alcotest.test_case "msk of unsigned narrows" `Quick
+            test_msk_unsigned_narrows;
+          Alcotest.test_case "demand through msk" `Quick test_demand_through_msk;
+          Alcotest.test_case "demand through logical chain" `Quick
+            test_demand_through_logical_chain;
+          Alcotest.test_case "cmp self-clobber refinement" `Quick
+            test_cmp_self_clobber_no_refinement;
         ] );
       ( "tripcount",
         [
