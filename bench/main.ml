@@ -19,7 +19,10 @@
      --baseline FILE       diff against a previous --json file and exit 3
                            on regression (skips the micro-benchmarks)
      --max-regression PCT  per-cell energy/IPC tolerance for --baseline
-                           (default 5.0)
+                           (default 5.0); also gates analyze visit counts
+     --max-time-regression PCT
+                           analyze wall-time tolerance for --baseline
+                           (default 200.0 — timings are noisy)
      --trace FILE          record phase spans during the collection and
                            write a Chrome trace_event JSON (Perfetto)
      --skip-micro          skip the ablations and micro-benchmarks *)
@@ -39,6 +42,7 @@ type options = {
   json_out : string option;
   baseline : string option;
   max_regression_pct : float;
+  max_time_regression_pct : float;
   trace_out : string option;
   skip_micro : bool;
 }
@@ -46,7 +50,8 @@ type options = {
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--jobs N] [--json FILE] [--baseline FILE]\n\
-    \                [--max-regression PCT] [--trace FILE] [--skip-micro]";
+    \                [--max-regression PCT] [--max-time-regression PCT]\n\
+    \                [--trace FILE] [--skip-micro]";
   exit 64
 
 let parse_options () =
@@ -58,6 +63,7 @@ let parse_options () =
         json_out = None;
         baseline = None;
         max_regression_pct = 5.0;
+        max_time_regression_pct = 200.0;
         trace_out = None;
         skip_micro = false;
       }
@@ -89,6 +95,12 @@ let parse_options () =
       match float_of_string_opt v with
       | Some p when p >= 0.0 ->
         o := { !o with max_regression_pct = p };
+        go rest
+      | _ -> usage ())
+    | "--max-time-regression" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some p when p >= 0.0 ->
+        o := { !o with max_time_regression_pct = p };
         go rest
       | _ -> usage ())
     | arg :: _ ->
@@ -160,6 +172,32 @@ let () =
   Format.printf "phases:%s@.@."
     (String.concat ""
        (List.map (fun (n, s) -> Printf.sprintf " %s %.1fs" n s) phases));
+  (* Analyze-throughput microbench (the CI-gated series). *)
+  if res.Results.analyze <> [] then begin
+    Format.printf "%s"
+      (Ogc_harness.Render.heading
+         "Analyze throughput (dense VRP fixpoint, train inputs)");
+    Format.printf "%s@."
+      (Ogc_harness.Render.table
+         ~header:
+           [ "Workload"; "analyze ms"; "naive ms"; "speedup"; "visits";
+             "rounds"; "defs" ]
+         (List.map
+            (fun (name, ab) ->
+              [
+                name;
+                Printf.sprintf "%.2f" (ab.Results.ab_seconds *. 1e3);
+                Printf.sprintf "%.2f" (ab.Results.ab_naive_seconds *. 1e3);
+                (if ab.Results.ab_seconds > 0.0 then
+                   Printf.sprintf "%.1fx"
+                     (ab.Results.ab_naive_seconds /. ab.Results.ab_seconds)
+                 else "-");
+                string_of_int ab.Results.ab_visits;
+                string_of_int ab.Results.ab_rounds;
+                string_of_int ab.Results.ab_defs;
+              ])
+            res.Results.analyze))
+  end;
   Format.printf "%s" (Experiments.render_all res);
   Format.printf "%s"
     (Ogc_harness.Render.heading "Headline comparison with the paper");
@@ -188,7 +226,9 @@ let () =
   | None -> ()
   | Some (path, baseline) ->
     let regs =
-      Results.compare_to_baseline ~baseline ~current:res
+      Results.compare_to_baseline
+        ~time_tolerance:(opts.max_time_regression_pct /. 100.0) ~baseline
+        ~current:res
         ~threshold:(opts.max_regression_pct /. 100.0)
     in
     Format.printf "%s"

@@ -509,8 +509,9 @@ let report_cmd =
         | None -> ()
         | Some (path, base) ->
           let regs =
-            Ogc_harness.Results.compare_to_baseline ~baseline:base
-              ~current:res ~threshold:(max_regression /. 100.0)
+            Ogc_harness.Results.compare_to_baseline ~time_tolerance:0.5
+              ~baseline:base ~current:res
+              ~threshold:(max_regression /. 100.0)
           in
           print_string
             (Ogc_harness.Render.heading

@@ -110,33 +110,73 @@ let abs_bound i =
   if Int64.equal i.lo Int64.min_int then None
   else Some (max (Int64.abs i.lo) (Int64.abs i.hi))
 
+(* The ISA's division is total and trap-free: x/0 = 0, and min_int / -1
+   wraps (to min_int for Div, 0 for Rem) — see Instr.eval_alu.  The
+   int64 corner evaluations below must never hit the host's trapping
+   min_int / -1. *)
+let sdiv x y =
+  if Int64.equal x Int64.min_int && Int64.equal y (-1L) then Int64.min_int
+  else Int64.div x y
+
+(* Four-corner evaluation over the sign-split divisor range.  x/y is
+   monotone in x for a fixed-sign y and monotone in y away from zero, so
+   on each zero-free divisor subrange the extrema are at the corners.
+   The one non-monotone point is the min_int / -1 wrap: when the
+   dividend may be min_int and the (negative) divisor subrange reaches
+   -1, that subrange contributes the full width-w range instead.  For
+   sub-64-bit widths [fit] catches the corresponding 2^(w-1) overflow. *)
 let forward_div w a b =
   let a = clamp w a and b = clamp w b in
-  let with_zero r = if contains b 0L then join r (const 0L) else r in
-  match is_const b with
-  | Some 0L -> const 0L (* x / 0 = 0 in this ISA *)
-  | Some c when Int64.compare c 0L > 0 ->
-    (* Division by a positive constant is monotone. *)
-    with_zero { lo = Int64.div a.lo c; hi = Int64.div a.hi c }
-  | Some c when Int64.compare c (-1L) < 0 && not (Int64.equal a.lo Int64.min_int)
-    -> { lo = Int64.div a.hi c; hi = Int64.div a.lo c }
-  | _ -> (
-    match abs_bound a with
-    | Some m ->
-      (* |x / y| <= |x| whenever |y| >= 1; x / 0 = 0 also qualifies. *)
-      { lo = Int64.neg m; hi = m }
-    | None -> full w)
+  let acc = ref None in
+  let add lo hi =
+    acc := Some (match !acc with None -> { lo; hi } | Some r -> join r { lo; hi })
+  in
+  let corners y_lo y_hi =
+    let c1 = sdiv a.lo y_lo and c2 = sdiv a.lo y_hi in
+    let c3 = sdiv a.hi y_lo and c4 = sdiv a.hi y_hi in
+    add (min4 c1 c2 c3 c4) (max4 c1 c2 c3 c4)
+  in
+  let bp_lo = if Int64.compare b.lo 1L > 0 then b.lo else 1L in
+  if Int64.compare bp_lo b.hi <= 0 then corners bp_lo b.hi;
+  if contains b 0L then add 0L 0L;
+  let bn_hi = if Int64.compare b.hi (-1L) < 0 then b.hi else -1L in
+  if Int64.compare b.lo bn_hi <= 0 then
+    if Int64.equal a.lo Int64.min_int && Int64.equal bn_hi (-1L) then
+      add (full w).lo (full w).hi
+    else corners b.lo bn_hi;
+  match !acc with
+  | None -> const 0L (* unreachable: b is non-empty *)
+  | Some r -> fit w (Some r.lo, Some r.hi)
 
 let forward_rem w a b =
   let a = clamp w a and b = clamp w b in
-  match abs_bound b with
-  | None -> clamp w a |> fun _ -> full w
-  | Some 0L -> const 0L
-  | Some k ->
-    let k1 = Int64.sub k 1L in
-    let lo = if Int64.compare a.lo 0L >= 0 then 0L else max a.lo (Int64.neg k1) in
-    let hi = if Int64.compare a.hi 0L <= 0 then 0L else min a.hi k1 in
-    { lo; hi }
+  let same_quotient c =
+    (* x rem c = x - (x/c)*c is exact and monotone in x while the
+       truncated quotient stays constant over the dividend range. *)
+    let q = sdiv a.lo c in
+    if Int64.equal q (sdiv a.hi c) then begin
+      let base = Int64.mul q c in
+      Some { lo = Int64.sub a.lo base; hi = Int64.sub a.hi base }
+    end
+    else None
+  in
+  let by_magnitude () =
+    match abs_bound b with
+    | None -> full w
+    | Some 0L -> const 0L
+    | Some k ->
+      let k1 = Int64.sub k 1L in
+      let lo = if Int64.compare a.lo 0L >= 0 then 0L else max a.lo (Int64.neg k1) in
+      let hi = if Int64.compare a.hi 0L <= 0 then 0L else min a.hi k1 in
+      { lo; hi }
+  in
+  match is_const b with
+  | Some 0L -> const 0L (* x rem 0 = 0 in this ISA *)
+  | Some c when Int64.equal c 1L || Int64.equal c (-1L) -> const 0L
+  | Some c when not (Int64.equal a.lo Int64.min_int) || Int64.compare c 0L > 0
+    -> (
+    match same_quotient c with Some r -> r | None -> by_magnitude ())
+  | _ -> by_magnitude ()
 
 (* Smallest [2^k - 1] covering a non-negative value. *)
 let pow2_mask_above x =

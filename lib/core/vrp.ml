@@ -2,10 +2,14 @@ open Ogc_isa
 open Ogc_ir
 module Metrics = Ogc_obs.Metrics
 module Span = Ogc_obs.Span
+module Pool = Ogc_exec.Pool
 
 (* Pass telemetry: fixpoint effort, pass wall time and the width mix the
-   re-encoder actually commits — the static face of the paper's Table 1. *)
+   re-encoder actually commits — the static face of the paper's Table 1.
+   [iterations] counts worklist rounds (sweeps), [visits] counts block
+   processings with a non-⊥ input. *)
 let m_fixpoint_iters = Metrics.counter "ogc_vrp_fixpoint_iterations_total"
+let m_fixpoint_visits = Metrics.counter "ogc_vrp_fixpoint_visits_total"
 let m_runs = Metrics.counter "ogc_vrp_runs_total"
 let m_pass_seconds = Metrics.histogram "ogc_vrp_pass_seconds"
 
@@ -51,15 +55,24 @@ let default_config =
 
 let conventional_config = { default_config with useful = false }
 
+type engine = Dense | Naive
+type fixpoint_stats = { visits : int; rounds : int }
 type summary = { mutable s_args : Interval.t array; mutable s_ret : Interval.t }
 
+(* Analysis facts are dense: one slot per program [iid].  Instruction ids
+   are program-unique and below [Prog.next_iid], so lookups are a bounds
+   check and an array read, and per-function parallel writers touch
+   disjoint indices. *)
 type result = {
-  ranges : (int, Interval.t) Hashtbl.t;
-  inputs : (int, Interval.t * Interval.t) Hashtbl.t;
-  reqs : (int, Width.t) Hashtbl.t;
-  widths : (int, Width.t) Hashtbl.t;
+  ranges : Interval.t option array;
+  inputs : (Interval.t * Interval.t) option array;
+  reqs : Width.t option array;
+  widths : Width.t option array;
   summaries : (string, summary) Hashtbl.t;
+  mutable stats : fixpoint_stats;
 }
+
+let get arr iid = if iid >= 0 && iid < Array.length arr then arr.(iid) else None
 
 (* --- flow states: one interval per architectural register ---------------- *)
 
@@ -80,9 +93,13 @@ let state_equal a b =
   let rec go i = i >= nregs || (Interval.equal a.(i) b.(i) && go (i + 1)) in
   go 0
 
-let state_join a b =
-  Array.init nregs (fun i ->
-      if i = zero_i then Interval.const 0L else Interval.join a.(i) b.(i))
+(* Every state in the engine keeps [zero] pinned to the constant 0 (the
+   constructors below establish it; transfers, refinements and widening
+   never write it), so in-place joins can skip the slot. *)
+let state_join_into dst src =
+  for i = 0 to nregs - 1 do
+    if i <> zero_i then dst.(i) <- Interval.join dst.(i) src.(i)
+  done
 
 (* Directional threshold widening: an unstable bound jumps to the next
    width landmark, so compares at narrower operation widths can still
@@ -97,30 +114,38 @@ let widen_hi n =
 let widen_lo n =
   List.find (fun l -> Int64.compare l n <= 0) lo_landmarks
 
-let widen_state ~old ~next =
-  Array.init nregs (fun i ->
-      if i = zero_i then Interval.const 0L
-      else
-        let o = (old.(i) : Interval.t) and n = (next.(i) : Interval.t) in
-        let lo =
-          if Int64.compare n.Interval.lo o.Interval.lo < 0 then
-            widen_lo n.Interval.lo
-          else o.Interval.lo
-        in
-        let hi =
-          if Int64.compare n.Interval.hi o.Interval.hi > 0 then
-            widen_hi n.Interval.hi
-          else o.Interval.hi
-        in
-        Interval.v lo hi)
+(* [nxt] holds the join of [old] and the fresh input; rewrite it to the
+   widened state in place. *)
+let widen_into ~old nxt =
+  for i = 0 to nregs - 1 do
+    if i <> zero_i then begin
+      let o = (old.(i) : Interval.t) and n = (nxt.(i) : Interval.t) in
+      let lo =
+        if Int64.compare n.Interval.lo o.Interval.lo < 0 then
+          widen_lo n.Interval.lo
+        else o.Interval.lo
+      in
+      let hi =
+        if Int64.compare n.Interval.hi o.Interval.hi > 0 then
+          widen_hi n.Interval.hi
+        else o.Interval.hi
+      in
+      if
+        not (Int64.equal lo n.Interval.lo && Int64.equal hi n.Interval.hi)
+      then nxt.(i) <- Interval.v lo hi
+    end
+  done
 
 (* --- per-function analysis ------------------------------------------------ *)
 
 type fctx = {
-  cfg : Cfg.t;
-  gaddr : (string * int64) list;
-  summaries : (string, summary) Hashtbl.t;
-  prog : Prog.t;
+  gaddr : (string, int64) Hashtbl.t;
+  (* Return summary visible for a callee at this point of the schedule. *)
+  ret_of : string -> Interval.t;
+  (* This function's own argument-register ranges (length = arity). *)
+  args_of : Interval.t array;
+  (* Functions by name (callee arity lookup at [Call] transfers). *)
+  func_of : (string, Prog.func) Hashtbl.t;
   config : config;
   (* When collecting: join actual argument ranges into callee accumulators. *)
   arg_acc : (string, Interval.t array) Hashtbl.t option;
@@ -134,15 +159,17 @@ let operand_range state = function
 
 let set state r v = if Reg.to_int r <> zero_i then state.(Reg.to_int r) <- v
 
+(* Top-level (closure-free) recording helper for the transfer hot loop. *)
+let record_def_at record iid rng a b =
+  match record with
+  | Some res ->
+    res.ranges.(iid) <- Some rng;
+    res.inputs.(iid) <- Some (a, b)
+  | None -> ()
+
 (* Transfer one instruction over a mutable state copy. *)
 let transfer ctx state (ins : Prog.ins) =
-  let record_def rng a b =
-    match ctx.record with
-    | Some res ->
-      Hashtbl.replace res.ranges ins.iid rng;
-      Hashtbl.replace res.inputs ins.iid (a, b)
-    | None -> ()
-  in
+  let record_def rng a b = record_def_at ctx.record ins.iid rng a b in
   match ins.op with
   | Instr.Alu { op; width; src1; src2; dst } ->
     let a = state.(Reg.to_int src1) and b = operand_range state src2 in
@@ -175,7 +202,7 @@ let transfer ctx state (ins : Prog.ins) =
     set state dst r
   | Instr.La { dst; symbol } ->
     let r =
-      match List.assoc_opt symbol ctx.gaddr with
+      match Hashtbl.find_opt ctx.gaddr symbol with
       | Some a -> Interval.const a
       | None -> sp_range
     in
@@ -191,17 +218,15 @@ let transfer ctx state (ins : Prog.ins) =
     record_def Interval.top a s
   | Instr.Call { callee } ->
     (* Collect actual argument ranges for interprocedural propagation. *)
-    (match (ctx.arg_acc, Prog.find_func_opt ctx.prog callee) with
+    (match (ctx.arg_acc, Hashtbl.find_opt ctx.func_of callee) with
     | Some acc, Some cf ->
       let cur =
         match Hashtbl.find_opt acc callee with
         | Some a -> a
         | None ->
           let a =
-            Array.init cf.arity (fun _ -> Interval.v Int64.max_int Int64.max_int)
+            Array.init cf.arity (fun i -> state.(Reg.to_int (Reg.arg i)))
           in
-          (* seeded empty-ish: replaced below on first join *)
-          Array.iteri (fun i _ -> a.(i) <- state.(Reg.to_int (Reg.arg i))) a;
           Hashtbl.replace acc callee a;
           a
       in
@@ -209,11 +234,7 @@ let transfer ctx state (ins : Prog.ins) =
         (fun i r -> cur.(i) <- Interval.join r state.(Reg.to_int (Reg.arg i)))
         cur
     | _ -> ());
-    let ret_range =
-      match Hashtbl.find_opt ctx.summaries callee with
-      | Some s -> s.s_ret
-      | None -> Interval.top
-    in
+    let ret_range = ctx.ret_of callee in
     List.iter (fun r -> set state r Interval.top) Reg.caller_saved;
     set state Reg.ret ret_range;
     record_def ret_range Interval.top Interval.top
@@ -264,7 +285,7 @@ let edge_refinements (b : Prog.block) ~taken =
     [ `Cond (cond, src, taken) ]
     @ List.map (fun c -> `Cmp (c, cond, src, taken)) cmp_refine
 
-(* Apply edge refinements to a state copy; [None] means the edge is
+(* Apply edge refinements to a state copy; [false] means the edge is
    infeasible. *)
 let apply_refinements state refs =
   let infeasible = ref false in
@@ -301,152 +322,366 @@ let apply_refinements state refs =
     refs;
   not !infeasible
 
+(* --- per-function plan ----------------------------------------------------- *)
+
+(* Everything about a function's control flow that the fixpoint needs but
+   that never changes across interprocedural rounds: the CFG, the reverse
+   postorder and its inverse (the worklist priority), predecessor edges
+   with their refinements already extracted from the branch/compare
+   pattern (the old engine re-derived them on every input recomputation
+   of every sweep), deduplicated successors for worklist pushes, block
+   assumptions, and whether the CFG has any cycle at all.  Plans are
+   immutable and shared across parallel tasks. *)
+type edge = {
+  e_pred : int;
+  e_apply : Interval.t array -> bool;  (* refine in place; false = infeasible *)
+}
+
+type plan = {
+  pf : Prog.func;
+  nb : int;
+  rpo : int array;  (* worklist priority -> block index *)
+  prio : int array;  (* block index -> worklist priority *)
+  pedges : edge array array;  (* per block, in [Cfg.preds] order *)
+  psuccs : int array array;  (* per block, deduplicated *)
+  passume : assumption list array;
+  cyclic : bool;
+  pcfg : Cfg.t;
+}
+
+let make_plan config (f : Prog.func) =
+  let cfg = Cfg.of_func f in
+  let nb = Array.length f.blocks in
+  let rpo = Array.of_list (List.map Label.to_int (Cfg.reverse_postorder cfg)) in
+  let prio = Array.make (max nb 1) 0 in
+  Array.iteri (fun pos bi -> prio.(bi) <- pos) rpo;
+  let pedges =
+    Array.init nb (fun bi ->
+        let l = Label.of_int bi in
+        Cfg.preds cfg l
+        |> List.map (fun p ->
+               let pi = Label.to_int p in
+               let pb = f.blocks.(pi) in
+               let taken =
+                 match pb.term with
+                 | Prog.Branch { if_true; _ } when Label.equal if_true l -> true
+                 | Prog.Branch _ | Prog.Jump _ | Prog.Return -> false
+               in
+               (* A branch with identical targets contributes both edges;
+                  using [taken] for the true side is sound because the
+                  join of the two refinements over-approximates either. *)
+               let refs = edge_refinements pb ~taken in
+               { e_pred = pi; e_apply = (fun s -> apply_refinements s refs) })
+        |> Array.of_list)
+  in
+  let psuccs =
+    Array.init nb (fun bi ->
+        Cfg.succs cfg (Label.of_int bi)
+        |> List.map Label.to_int
+        |> List.sort_uniq Int.compare
+        |> Array.of_list)
+  in
+  let passume =
+    Array.init nb (fun bi ->
+        List.filter
+          (fun a ->
+            String.equal a.af f.fname && Label.equal a.alabel (Label.of_int bi))
+          config.assumptions)
+  in
+  let scc = Scc.of_cfg cfg in
+  { pf = f; nb; rpo; prio; pedges; psuccs; passume;
+    cyclic = Scc.has_cycle scc; pcfg = cfg }
+
+(* Minimal binary min-heap over worklist priorities. *)
+module Heap = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create cap = { a = Array.make (max cap 1) 0; n = 0 }
+  let is_empty h = h.n = 0
+
+  let push h x =
+    if h.n = Array.length h.a then begin
+      let a' = Array.make (2 * h.n) 0 in
+      Array.blit h.a 0 a' 0 h.n;
+      h.a <- a'
+    end;
+    h.a.(h.n) <- x;
+    h.n <- h.n + 1;
+    let i = ref (h.n - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      h.a.(p) > h.a.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let t = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- t;
+      i := p
+    done
+
+  let pop h =
+    let r = h.a.(0) in
+    h.n <- h.n - 1;
+    h.a.(0) <- h.a.(h.n);
+    let i = ref 0 and continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and rg = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.n && h.a.(l) < h.a.(!s) then s := l;
+      if rg < h.n && h.a.(rg) < h.a.(!s) then s := rg;
+      if !s = !i then continue := false
+      else begin
+        let t = h.a.(!s) in
+        h.a.(!s) <- h.a.(!i);
+        h.a.(!i) <- t;
+        i := !s
+      end
+    done;
+    r
+end
+
 (* Analyze one function to a fixpoint; returns the join of the return-value
-   ranges over all return sites. *)
-let analyze_func ctx (f : Prog.func) : Interval.t =
-  let cfg = ctx.cfg in
-  let n = Array.length f.blocks in
-  let entry_state () =
+   ranges over all return sites, plus (visits, rounds) effort counters.
+
+   Flow states live in preallocated per-block buffers ([nb] × [nregs]
+   interval arrays); block processing blits and transfers in place, so the
+   steady state allocates nothing per step.
+
+   The [Dense] engine is a priority worklist with a round barrier, built
+   to be {e sweep-equivalent} to the [Naive] reference (one full
+   reverse-postorder pass per round): within a round pops ascend in
+   priority (= RPO position), a changed block schedules forward successors
+   into the current round and back-edge successors into the next, and the
+   widening trigger compares rounds since the block first left ⊥ — exactly
+   the visit count the naive engine accumulates, since it revisits every
+   reached block once per sweep.  Blocks whose inputs did not change are
+   simply never scheduled; processing them would be the identity (widening
+   included: widening an unchanged join keeps both bounds).  Reverse
+   postorder is a topological order of the SCC condensation (see {!Scc}),
+   so acyclic regions converge in a single visit and a fully acyclic
+   function finishes in one round with no narrowing needed. *)
+let analyze_func ctx plan ~engine : Interval.t * int * int =
+  let f = plan.pf in
+  let nb = plan.nb in
+  let ins_s = Array.init nb (fun _ -> state_top ()) in
+  let out_s = Array.init nb (fun _ -> state_top ()) in
+  (* [reached.(bi)] — the block's in-state has left ⊥. *)
+  let reached = Array.make nb false in
+  let fresh = state_top () and tmp = state_top () and nxt = state_top () in
+  let entry =
     let s = state_top () in
     s.(sp_i) <- sp_range;
-    (match Hashtbl.find_opt ctx.summaries f.fname with
-    | Some sum ->
-      Array.iteri (fun i r -> s.(Reg.to_int (Reg.arg i)) <- r) sum.s_args
-    | None -> ());
+    Array.iteri (fun i r -> s.(Reg.to_int (Reg.arg i)) <- r) ctx.args_of;
     s
   in
-  (* [None] is ⊥: not yet reached by the analysis. *)
-  let in_states : Interval.t array option array = Array.make n None in
-  let out_states : Interval.t array option array = Array.make n None in
-  let visits = Array.make n 0 in
-  let assumptions_for l =
-    List.filter
-      (fun a -> String.equal a.af f.fname && Label.equal a.alabel l)
-      ctx.config.assumptions
-  in
-  (* Fresh input state of block [bi]: join of refined predecessor outputs;
-     [None] (⊥) when no predecessor has been reached yet. *)
+  (* Fresh input state of block [bi], into [fresh]: join of refined
+     predecessor outputs; [false] (⊥) when no predecessor is reached. *)
   let compute_in bi =
-    let l = Label.of_int bi in
-    let preds = Cfg.preds cfg l in
-    let contributions =
-      List.filter_map
-        (fun p ->
-          match out_states.(Label.to_int p) with
-          | None -> None (* predecessor not reached yet *)
-          | Some out ->
-            let pb = f.blocks.(Label.to_int p) in
-            let taken =
-              match pb.term with
-              | Prog.Branch { if_true; _ } when Label.equal if_true l -> true
-              | Prog.Branch _ | Prog.Jump _ | Prog.Return -> false
-            in
-            (* A branch with identical targets contributes both edges;
-               using [taken] for the true side is sound because the join
-               of the two refinements over-approximates either. *)
-            let s = Array.copy out in
-            if apply_refinements s (edge_refinements pb ~taken) then Some s
-            else None)
-        preds
-    in
-    let base =
-      if bi = 0 then
-        Some
-          (List.fold_left state_join (entry_state ()) contributions)
-      else
-        match contributions with
-        | [] -> None
-        | c :: cs -> Some (List.fold_left state_join c cs)
-    in
-    Option.map
-      (fun base ->
-        List.iter
-          (fun a ->
-            let i = Reg.to_int a.areg in
-            if i <> zero_i then
-              match Interval.meet base.(i) a.arange with
-              | Some m -> base.(i) <- m
-              | None -> base.(i) <- a.arange)
-          (assumptions_for l);
-        base)
-      base
+    let started = ref false in
+    if bi = 0 then begin
+      Array.blit entry 0 fresh 0 nregs;
+      started := true
+    end;
+    let edges = plan.pedges.(bi) in
+    for k = 0 to Array.length edges - 1 do
+      let e = edges.(k) in
+      if reached.(e.e_pred) then begin
+        Array.blit out_s.(e.e_pred) 0 tmp 0 nregs;
+        if e.e_apply tmp then
+          if !started then state_join_into fresh tmp
+          else begin
+            Array.blit tmp 0 fresh 0 nregs;
+            started := true
+          end
+      end
+    done;
+    !started
+    && begin
+         List.iter
+           (fun a ->
+             let i = Reg.to_int a.areg in
+             if i <> zero_i then
+               match Interval.meet fresh.(i) a.arange with
+               | Some m -> fresh.(i) <- m
+               | None -> fresh.(i) <- a.arange)
+           plan.passume.(bi);
+         true
+       end
   in
   let transfer_block bi state =
-    let b = f.blocks.(bi) in
-    Array.iter (transfer ctx state) b.body;
-    state
+    let body = f.blocks.(bi).body in
+    for k = 0 to Array.length body - 1 do
+      transfer ctx state body.(k)
+    done
   in
-  (* Ascending phase with widening, starting from ⊥ everywhere. *)
-  let iters = ref 0 in
-  let changed = ref true in
-  while !changed do
-    incr iters;
-    changed := false;
-    List.iter
-      (fun l ->
-        let bi = Label.to_int l in
-        match compute_in bi with
-        | None -> ()
-        | Some fresh ->
-          let next =
-            match in_states.(bi) with
-            | None -> fresh
-            | Some old ->
-              let joined = state_join old fresh in
-              if visits.(bi) > ctx.config.widen_after then
-                widen_state ~old ~next:joined
-              else joined
-          in
-          visits.(bi) <- visits.(bi) + 1;
-          let stale =
-            match in_states.(bi) with
-            | None -> true
-            | Some old -> not (state_equal next old)
-          in
-          if stale then begin
-            in_states.(bi) <- Some next;
-            out_states.(bi) <- Some (transfer_block bi (Array.copy next));
-            changed := true
+  (* One block processing: recompute the input, join/widen against the
+     previous in-state, and on change re-run the block transfer. *)
+  let process ~widen bi =
+    if not (compute_in bi) then `Bot
+    else begin
+      let cur = ins_s.(bi) in
+      let next =
+        if reached.(bi) then begin
+          for i = 0 to nregs - 1 do
+            nxt.(i) <-
+              (if i = zero_i then cur.(i) else Interval.join cur.(i) fresh.(i))
+          done;
+          if widen then widen_into ~old:cur nxt;
+          nxt
+        end
+        else fresh
+      in
+      if (not reached.(bi)) || not (state_equal next cur) then begin
+        Array.blit next 0 cur 0 nregs;
+        reached.(bi) <- true;
+        Array.blit cur 0 out_s.(bi) 0 nregs;
+        transfer_block bi out_s.(bi);
+        `Changed
+      end
+      else `Unchanged
+    end
+  in
+  let visits = ref 0 and rounds = ref 0 in
+  let wa = ctx.config.widen_after in
+  (match engine with
+  | Naive ->
+    (* Reference engine: full reverse-postorder sweeps until no in-state
+       changes; widening after [widen_after] visits of a reached block. *)
+    let vcount = Array.make nb 0 in
+    let changed = ref true in
+    while !changed do
+      incr rounds;
+      changed := false;
+      Array.iter
+        (fun bi ->
+          match process ~widen:(vcount.(bi) > wa) bi with
+          | `Bot -> ()
+          | `Unchanged ->
+            vcount.(bi) <- vcount.(bi) + 1;
+            incr visits
+          | `Changed ->
+            vcount.(bi) <- vcount.(bi) + 1;
+            incr visits;
+            changed := true)
+        plan.rpo
+    done
+  | Dense ->
+    let heap = Heap.create nb in
+    let in_heap = Array.make nb false in
+    let next_flag = Array.make nb false in
+    let next_round = ref [] in
+    (* Round of a block's first non-⊥ processing; -1 until reached. *)
+    let first_round = Array.make nb (-1) in
+    for p = 0 to nb - 1 do
+      Heap.push heap p;
+      in_heap.(plan.rpo.(p)) <- true
+    done;
+    while not (Heap.is_empty heap) do
+      incr rounds;
+      while not (Heap.is_empty heap) do
+        let p = Heap.pop heap in
+        let bi = plan.rpo.(p) in
+        in_heap.(bi) <- false;
+        let widen =
+          first_round.(bi) >= 0 && !rounds - first_round.(bi) > wa
+        in
+        match process ~widen bi with
+        | `Bot -> ()
+        | `Unchanged ->
+          incr visits;
+          if first_round.(bi) < 0 then first_round.(bi) <- !rounds
+        | `Changed ->
+          incr visits;
+          if first_round.(bi) < 0 then first_round.(bi) <- !rounds;
+          let succs = plan.psuccs.(bi) in
+          for k = 0 to Array.length succs - 1 do
+            let s = succs.(k) in
+            let sp = plan.prio.(s) in
+            if sp > p then begin
+              if not in_heap.(s) then begin
+                Heap.push heap sp;
+                in_heap.(s) <- true
+              end
+            end
+            else if not next_flag.(s) then begin
+              next_flag.(s) <- true;
+              next_round := s :: !next_round
+            end
+          done
+      done;
+      List.iter
+        (fun s ->
+          next_flag.(s) <- false;
+          if not in_heap.(s) then begin
+            Heap.push heap plan.prio.(s);
+            in_heap.(s) <- true
           end)
-      (Cfg.reverse_postorder cfg)
-  done;
-  Metrics.add m_fixpoint_iters (float_of_int !iters);
+        !next_round;
+      next_round := []
+    done);
   (* Two descending (narrowing) sweeps; each recomputed state remains a
-     sound over-approximation because it is derived from sound inputs. *)
-  for _ = 1 to 2 do
-    List.iter
-      (fun l ->
-        let bi = Label.to_int l in
-        match compute_in bi with
-        | None -> ()
-        | Some fresh ->
-          in_states.(bi) <- Some fresh;
-          out_states.(bi) <- Some (transfer_block bi (Array.copy fresh)))
-      (Cfg.reverse_postorder cfg)
-  done;
-  (* Final recorded sweep: re-run the transfer so the record callback sees
-     the stabilized input states, and collect the return range.  Blocks
-     never reached (⊥) are recorded conservatively from ⊤ so that dead
-     code keeps sound (wide) widths. *)
+     sound over-approximation because it is derived from sound inputs.
+     An acyclic CFG never widened and is already at the exact fixpoint,
+     so the sweeps are skipped (they would recompute identical states).
+     A block whose recomputed input turns infeasible keeps its previous
+     (sound) states. *)
+  if plan.cyclic then
+    for _ = 1 to 2 do
+      Array.iter
+        (fun bi ->
+          if compute_in bi then begin
+            Array.blit fresh 0 ins_s.(bi) 0 nregs;
+            Array.blit fresh 0 out_s.(bi) 0 nregs;
+            transfer_block bi out_s.(bi)
+          end)
+        plan.rpo
+    done;
+  (* Final sweep: collect the return range, and re-run transfers where
+     they still have something to say.  Blocks never reached (⊥) are
+     processed conservatively from ⊤ so that dead code keeps sound
+     (wide) widths — and so their call sites contribute the same ⊤
+     argument joins in every engine and round.  For reached blocks,
+     [out_s] already holds the transfer of the stabilized input, so the
+     re-run is needed only when recording (the record callback must see
+     the stabilized states); without recording it would recompute
+     identical states and re-join identical call arguments — a no-op. *)
+  let recording = ctx.record <> None in
   let ret = ref None in
   Array.iteri
     (fun bi (b : Prog.block) ->
-      let start =
-        match in_states.(bi) with Some s -> Array.copy s | None -> state_top ()
+      let ret_range =
+        if reached.(bi) then
+          if recording then begin
+            Array.blit ins_s.(bi) 0 tmp 0 nregs;
+            transfer_block bi tmp;
+            tmp.(Reg.to_int Reg.ret)
+          end
+          else out_s.(bi).(Reg.to_int Reg.ret)
+        else begin
+          Array.fill tmp 0 nregs Interval.top;
+          tmp.(zero_i) <- Interval.const 0L;
+          transfer_block bi tmp;
+          tmp.(Reg.to_int Reg.ret)
+        end
       in
-      let reached = in_states.(bi) <> None in
-      let s = transfer_block bi start in
       match b.term with
-      | Prog.Return when reached ->
-        let r = s.(Reg.to_int Reg.ret) in
-        ret := Some (match !ret with None -> r | Some acc -> Interval.join acc r)
+      | Prog.Return when reached.(bi) ->
+        ret :=
+          Some
+            (match !ret with
+            | None -> ret_range
+            | Some acc -> Interval.join acc ret_range)
       | Prog.Return | Prog.Jump _ | Prog.Branch _ -> ())
     f.blocks;
-  Option.value ~default:Interval.top !ret
+  (Option.value ~default:Interval.top !ret, !visits, !rounds)
 
 (* --- useful-width (demand) analysis -------------------------------------- *)
 
-let sound_width_of_def res ins_tbl (ud : Usedef.t) di =
+(* [ops.(iid)] is the body instruction with that id, [None] for
+   terminators (whose uses always demand the full value). *)
+let sound_width_of_def res (ops : Instr.t option array) (ud : Usedef.t) di =
   let d = Usedef.def ud di in
   match d.Usedef.site with
   | Usedef.Entry -> Width.W64
@@ -454,11 +689,8 @@ let sound_width_of_def res ins_tbl (ud : Usedef.t) di =
     (* Calls define every caller-saved register; only the return value's
        range is known.  All other defs have a single destination whose
        range was recorded under the instruction id. *)
-    let is_call =
-      match Hashtbl.find_opt ins_tbl iid with
-      | Some (Instr.Call _) -> true
-      | Some _ | None -> false
-    in
+    let opv = if iid < Array.length ops then ops.(iid) else None in
+    let is_call = match opv with Some (Instr.Call _) -> true | _ -> false in
     if is_call && not (Reg.equal d.Usedef.dreg Reg.ret) then Width.W64
     else
       (* A re-encoded instruction delivers the low [w] bits of its
@@ -469,11 +701,11 @@ let sound_width_of_def res ins_tbl (ud : Usedef.t) di =
          [msk64 r, r] of a negative value to its (signed) 16-bit width
          would flip it positive. *)
       let width_of =
-        match Hashtbl.find_opt ins_tbl iid with
+        match opv with
         | Some (Instr.Msk _) -> Interval.width_unsigned
         | Some _ | None -> Interval.width
       in
-      match Hashtbl.find_opt res.ranges iid with
+      match get res.ranges iid with
       | Some rng -> width_of rng
       | None -> Width.W64)
 
@@ -520,12 +752,11 @@ let demand config ~req_out ~(op : Instr.t) ~(r : Reg.t) =
   | Instr.Emit _ -> add Width.W64);
   match !roles with [] -> Width.W64 | w :: ws -> List.fold_left Width.max w ws
 
-let useful_pass config res (f : Prog.func) cfg =
+let useful_pass config res (f : Prog.func) cfg ops =
   let ud = Usedef.compute f cfg in
   let nd = Usedef.num_defs ud in
-  let ins_tbl = Hashtbl.create 256 in
-  Prog.iter_ins f (fun _ ins -> Hashtbl.replace ins_tbl ins.iid ins.op);
-  let req = Array.init nd (fun di -> sound_width_of_def res ins_tbl ud di) in
+  let op_of iid = if iid < Array.length ops then ops.(iid) else None in
+  let req = Array.init nd (fun di -> sound_width_of_def res ops ud di) in
   (* Useful width of the output of instruction [iid]: max over the reqs of
      the defs it makes (a Call makes many; they are all W64 anyway). *)
   let req_out_of iid =
@@ -534,38 +765,83 @@ let useful_pass config res (f : Prog.func) cfg =
     | ds -> List.fold_left (fun acc d -> Width.max acc req.(d)) Width.W8 ds
   in
   if config.useful then begin
-    let changed = ref true in
-    let guard = ref 0 in
-    while !changed && !guard < 64 do
-      changed := false;
-      incr guard;
-      for di = 0 to nd - 1 do
-        let d = Usedef.def ud di in
-        let uses = Usedef.uses_of_def ud di in
-        let dem =
-          List.fold_left
-            (fun acc (use_iid, r) ->
-              match Hashtbl.find_opt ins_tbl use_iid with
-              | Some op ->
-                Width.max acc (demand config ~req_out:(req_out_of use_iid) ~op ~r)
-              | None -> Width.W64 (* terminator use: full value *))
-            Width.W8 uses
-        in
-        (* Dead defs (no uses) demand nothing — except the stack pointer
-           and the return-value register, which are live across the
-           function boundary (the caller observes their full value). *)
-        let dem =
-          if Reg.equal d.Usedef.dreg Reg.sp || Reg.equal d.Usedef.dreg Reg.ret
-          then Width.W64
-          else if uses = [] then Width.W8
-          else dem
-        in
-        let nw = Width.min req.(di) dem in
-        if not (Width.equal nw req.(di)) then begin
-          req.(di) <- nw;
-          changed := true
-        end
-      done
+    (* Demand propagation to the greatest fixpoint below the sound
+       initialization.  [req] only ever shrinks, so a change-driven
+       worklist converges to the same unique fixpoint the full sweeps
+       did, touching each def once plus once per upstream shrink instead
+       of the whole function per sweep.  [req_out] caches each consumer
+       instruction's output demand (the sweeps refolded it per use per
+       sweep); when a def shrinks, the cache entry for its instruction is
+       refreshed and — only if it moved — the defs feeding that
+       instruction are requeued. *)
+    let req_out : (int, Width.t) Hashtbl.t = Hashtbl.create 64 in
+    let req_out_cached iid =
+      match Hashtbl.find_opt req_out iid with
+      | Some w -> w
+      | None ->
+        let w = req_out_of iid in
+        Hashtbl.replace req_out iid w;
+        w
+    in
+    let in_queue = Array.make nd false in
+    let queue = Queue.create () in
+    let enqueue di =
+      if not in_queue.(di) then begin
+        in_queue.(di) <- true;
+        Queue.add di queue
+      end
+    in
+    let refresh_site di =
+      match (Usedef.def ud di).Usedef.site with
+      | Usedef.Entry -> ()
+      | Usedef.At iid -> (
+        match Hashtbl.find_opt req_out iid with
+        | None -> () (* never consulted: next lookup recomputes *)
+        | Some old ->
+          let nw = req_out_of iid in
+          if not (Width.equal old nw) then begin
+            Hashtbl.replace req_out iid nw;
+            match op_of iid with
+            | None -> ()
+            | Some op ->
+              List.iter
+                (fun r ->
+                  List.iter enqueue
+                    (Usedef.reaching_uses ud ~use_iid:iid ~reg:r))
+                (Instr.uses op)
+          end)
+    in
+    for di = 0 to nd - 1 do
+      enqueue di
+    done;
+    while not (Queue.is_empty queue) do
+      let di = Queue.pop queue in
+      in_queue.(di) <- false;
+      let d = Usedef.def ud di in
+      let uses = Usedef.uses_of_def ud di in
+      let dem =
+        List.fold_left
+          (fun acc (use_iid, r) ->
+            match op_of use_iid with
+            | Some op ->
+              Width.max acc (demand config ~req_out:(req_out_cached use_iid) ~op ~r)
+            | None -> Width.W64 (* terminator use: full value *))
+          Width.W8 uses
+      in
+      (* Dead defs (no uses) demand nothing — except the stack pointer
+         and the return-value register, which are live across the
+         function boundary (the caller observes their full value). *)
+      let dem =
+        if Reg.equal d.Usedef.dreg Reg.sp || Reg.equal d.Usedef.dreg Reg.ret
+        then Width.W64
+        else if uses = [] then Width.W8
+        else dem
+      in
+      let nw = Width.min req.(di) dem in
+      if not (Width.equal nw req.(di)) then begin
+        req.(di) <- nw;
+        refresh_site di
+      end
     done
   end;
   (* Publish per-instruction useful widths. *)
@@ -574,21 +850,21 @@ let useful_pass config res (f : Prog.func) cfg =
       | [] -> ()
       | ds ->
         let w = List.fold_left (fun acc d -> Width.max acc req.(d)) Width.W8 ds in
-        Hashtbl.replace res.reqs ins.iid w)
+        res.reqs.(ins.iid) <- Some w)
 
 (* --- width assignment ------------------------------------------------------ *)
 
 let assign_widths res (f : Prog.func) =
   Prog.iter_ins f (fun _ ins ->
-      let rng iid = Hashtbl.find_opt res.ranges iid in
+      let rng iid = get res.ranges iid in
       let req iid =
-        match Hashtbl.find_opt res.reqs iid with Some w -> w | None -> Width.W64
+        match get res.reqs iid with Some w -> w | None -> Width.W64
       in
       let sound iid =
         match rng iid with Some r -> Interval.width r | None -> Width.W64
       in
       let ins_rngs iid =
-        match Hashtbl.find_opt res.inputs iid with
+        match get res.inputs iid with
         | Some (a, b) -> (Interval.width a, Interval.width b)
         | None -> (Width.W64, Width.W64)
       in
@@ -621,19 +897,40 @@ let assign_widths res (f : Prog.func) =
         | Instr.Call _ | Instr.Emit _ -> None
       in
       match w with
-      | Some w -> Hashtbl.replace res.widths ins.iid w
+      | Some w -> res.widths.(ins.iid) <- Some w
       | None -> ())
 
 (* --- driver ---------------------------------------------------------------- *)
 
-let analyze ?(config = default_config) (p : Prog.t) : result =
+(* Interprocedural schedule.  Within one summary-refinement round the
+   summaries are frozen (return and argument summaries are only mutated
+   between rounds), so the per-function analyses are independent and run
+   under [Pool.map]; each task joins call-site argument ranges into its
+   own private accumulator and the driver merges them with the (fully
+   commutative and associative) interval join, so the result is identical
+   at any [--jobs].
+
+   The final recorded pass of the old sequential engine updated each
+   function's return summary immediately, so a later function saw the
+   {e final} returns of every earlier one.  To parallelize without
+   changing a single bit of output, functions are levelized over the
+   "calls an earlier-indexed function" relation: within a level no
+   function's result can influence another's, and each task resolves a
+   callee's return from the finals of earlier levels when the callee has
+   a smaller index, else from the round-fixpoint snapshot — exactly the
+   view the sequential schedule provides. *)
+let analyze ?(config = default_config) ?(engine = Dense) ?jobs (p : Prog.t) :
+    result =
+  let jobs = match jobs with None -> 1 | Some n -> Pool.resolve_jobs (Some n) in
+  let n_iid = max p.next_iid 1 in
   let res =
     {
-      ranges = Hashtbl.create 4096;
-      inputs = Hashtbl.create 4096;
-      reqs = Hashtbl.create 4096;
-      widths = Hashtbl.create 4096;
+      ranges = Array.make n_iid None;
+      inputs = Array.make n_iid None;
+      reqs = Array.make n_iid None;
+      widths = Array.make n_iid None;
       summaries = Hashtbl.create 16;
+      stats = { visits = 0; rounds = 0 };
     }
   in
   List.iter
@@ -641,40 +938,61 @@ let analyze ?(config = default_config) (p : Prog.t) : result =
       Hashtbl.replace res.summaries f.fname
         { s_args = Array.make f.arity Interval.top; s_ret = Interval.top })
     p.funcs;
-  let gaddr = Interp.global_addresses p in
-  let cfgs = Hashtbl.create 16 in
-  let cfg_of (f : Prog.func) =
-    match Hashtbl.find_opt cfgs f.fname with
-    | Some c -> c
-    | None ->
-      let c = Cfg.of_func f in
-      Hashtbl.replace cfgs f.fname c;
-      c
-  in
-  let mk_ctx ?arg_acc ?record (f : Prog.func) =
-    { cfg = cfg_of f; gaddr; summaries = res.summaries; prog = p; config;
-      arg_acc; record }
-  in
+  let gaddr : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (s, a) -> Hashtbl.replace gaddr s a) (Interp.global_addresses p);
+  let func_of : (string, Prog.func) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (f : Prog.func) -> Hashtbl.replace func_of f.fname f) p.funcs;
+  let funcs = Array.of_list p.funcs in
+  let nf = Array.length funcs in
+  let plans = Array.of_list (Pool.map ~jobs (make_plan config) p.funcs) in
   let cg = Callgraph.compute p in
+  let add_stats v r =
+    res.stats <- { visits = res.stats.visits + v; rounds = res.stats.rounds + r }
+  in
+  let args_of (f : Prog.func) =
+    match Hashtbl.find_opt res.summaries f.fname with
+    | Some s -> s.s_args
+    | None -> Array.make f.arity Interval.top
+  in
+  let summary_ret name =
+    match Hashtbl.find_opt res.summaries name with
+    | Some s -> s.s_ret
+    | None -> Interval.top
+  in
+  let indices = List.init nf Fun.id in
   for _round = 1 to config.interproc_rounds do
     (* One sweep: recompute every return summary and collect call-site
-       argument ranges with the current summaries. *)
-    let acc = Hashtbl.create 16 in
-    let new_rets = Hashtbl.create 16 in
+       argument ranges with the current (frozen) summaries. *)
+    let tasks =
+      Pool.map ~jobs
+        (fun i ->
+          let f = funcs.(i) in
+          let acc = Hashtbl.create 8 in
+          let ctx =
+            { gaddr; ret_of = summary_ret; args_of = args_of f; func_of;
+              config; arg_acc = Some acc; record = None }
+          in
+          let ret, v, r = analyze_func ctx plans.(i) ~engine in
+          (f.fname, ret, acc, v, r))
+        indices
+    in
     List.iter
-      (fun fname ->
-        match Prog.find_func_opt p fname with
-        | None -> ()
-        | Some f ->
-          let ret = analyze_func (mk_ctx ~arg_acc:acc f) f in
-          Hashtbl.replace new_rets fname ret)
-      (Callgraph.bottom_up cg);
-    Hashtbl.iter
-      (fun fname ret ->
+      (fun (fname, ret, _, v, r) ->
+        add_stats v r;
         match Hashtbl.find_opt res.summaries fname with
         | Some s -> s.s_ret <- ret
         | None -> ())
-      new_rets;
+      tasks;
+    let merged = Hashtbl.create 16 in
+    List.iter
+      (fun (_, _, acc, _, _) ->
+        Hashtbl.iter
+          (fun callee a ->
+            match Hashtbl.find_opt merged callee with
+            | None -> Hashtbl.replace merged callee (Array.copy a)
+            | Some m -> Array.iteri (fun i r -> m.(i) <- Interval.join m.(i) r) a)
+          acc)
+      tasks;
     List.iter
       (fun (f : Prog.func) ->
         match Hashtbl.find_opt res.summaries f.fname with
@@ -683,31 +1001,82 @@ let analyze ?(config = default_config) (p : Prog.t) : result =
           if Callgraph.is_recursive cg f.fname then
             s.s_args <- Array.make f.arity Interval.top
           else (
-            match Hashtbl.find_opt acc f.fname with
+            match Hashtbl.find_opt merged f.fname with
             | Some a -> s.s_args <- a
             | None -> () (* never called: keep ⊤ *)))
       p.funcs
   done;
-  (* Final recorded pass, then demand and width assignment per function. *)
-  List.iter
-    (fun (f : Prog.func) ->
-      let ret = analyze_func (mk_ctx ~record:res f) f in
-      (match Hashtbl.find_opt res.summaries f.fname with
-      | Some s -> s.s_ret <- ret
-      | None -> ());
-      useful_pass config res f (cfg_of f);
-      assign_widths res f)
-    p.funcs;
+  (* Final recorded pass, then demand and width assignment per function,
+     levelized so the sequential summary-visibility order is preserved. *)
+  let ops : Instr.t option array = Array.make n_iid None in
+  Prog.iter_all_ins p (fun _ _ ins -> ops.(ins.iid) <- Some ins.op);
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i (f : Prog.func) -> Hashtbl.replace index_of f.fname i) funcs;
+  let level = Array.make (max nf 1) 0 in
+  Array.iteri
+    (fun i (f : Prog.func) ->
+      List.iter
+        (fun callee ->
+          match Hashtbl.find_opt index_of callee with
+          | Some j when j < i -> level.(i) <- max level.(i) (level.(j) + 1)
+          | Some _ | None -> ())
+        (Callgraph.callees cg f.fname))
+    funcs;
+  let snapshot_ret = Array.map (fun (f : Prog.func) -> summary_ret f.fname) funcs in
+  let finals : Interval.t option array = Array.make (max nf 1) None in
+  let max_level = Array.fold_left max 0 level in
+  let by_level = Array.make (max_level + 1) [] in
+  for i = nf - 1 downto 0 do
+    by_level.(level.(i)) <- i :: by_level.(level.(i))
+  done;
+  for lv = 0 to max_level do
+    let results =
+      Pool.map ~jobs
+        (fun i ->
+          let f = funcs.(i) in
+          let ret_of name =
+            match Hashtbl.find_opt index_of name with
+            | Some j when j < i -> (
+              match finals.(j) with Some r -> r | None -> snapshot_ret.(j))
+            | Some j -> snapshot_ret.(j)
+            | None -> Interval.top
+          in
+          let ctx =
+            { gaddr; ret_of; args_of = args_of f; func_of; config;
+              arg_acc = None; record = Some res }
+          in
+          let ret, v, r = analyze_func ctx plans.(i) ~engine in
+          useful_pass config res f plans.(i).pcfg ops;
+          assign_widths res f;
+          (i, ret, v, r))
+        by_level.(lv)
+    in
+    List.iter (fun (i, ret, v, r) -> finals.(i) <- Some ret; add_stats v r) results
+  done;
+  Array.iteri
+    (fun i (f : Prog.func) ->
+      match (Hashtbl.find_opt res.summaries f.fname, finals.(i)) with
+      | Some s, Some ret -> s.s_ret <- ret
+      | _ -> ())
+    funcs;
+  Metrics.add m_fixpoint_iters (float_of_int res.stats.rounds);
+  Metrics.add m_fixpoint_visits (float_of_int res.stats.visits);
   res
 
-let range_of res iid = Hashtbl.find_opt res.ranges iid
-let useful_width_of res iid = Hashtbl.find_opt res.reqs iid
-let width_of res iid = Hashtbl.find_opt res.widths iid
+let range_of res iid = get res.ranges iid
+let useful_width_of res iid = get res.reqs iid
+let width_of res iid = get res.widths iid
+let fixpoint_stats res = res.stats
+
+let defs_analyzed res =
+  Array.fold_left
+    (fun n o -> match o with Some _ -> n + 1 | None -> n)
+    0 res.ranges
 
 let apply res (p : Prog.t) =
   let obs = Metrics.enabled () in
   Prog.iter_all_ins p (fun _ _ ins ->
-      match Hashtbl.find_opt res.widths ins.iid with
+      match get res.widths ins.iid with
       | None -> ()
       | Some w -> (
         match ins.op with
@@ -718,10 +1087,10 @@ let apply res (p : Prog.t) =
         | Instr.Li _ | Instr.La _ | Instr.Load _ | Instr.Store _
         | Instr.Call _ | Instr.Emit _ -> ()))
 
-let run ?config p =
+let run ?config ?jobs p =
   Span.with_ ~name:"vrp" (fun () ->
       let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
-      let res = analyze ?config p in
+      let res = analyze ?config ?jobs p in
       apply res p;
       if t0 > 0.0 then begin
         Metrics.incr m_runs;
@@ -729,19 +1098,26 @@ let run ?config p =
       end;
       res)
 
-let input_ranges_of res iid = Hashtbl.find_opt res.inputs iid
+let input_ranges_of res iid = get res.inputs iid
 
 let return_range (res : result) fname =
   Option.map (fun s -> s.s_ret) (Hashtbl.find_opt res.summaries fname)
 
 let pp_summary ppf res =
+  let widths_assigned =
+    Array.fold_left
+      (fun n o -> match o with Some _ -> n + 1 | None -> n)
+      0 res.widths
+  in
   Format.fprintf ppf "defs analyzed: %d; widths assigned: %d@\n"
-    (Hashtbl.length res.ranges) (Hashtbl.length res.widths);
+    (defs_analyzed res) widths_assigned;
   let counts = Hashtbl.create 4 in
-  Hashtbl.iter
-    (fun _ w ->
-      let c = Option.value ~default:0 (Hashtbl.find_opt counts w) in
-      Hashtbl.replace counts w (c + 1))
+  Array.iter
+    (function
+      | Some w ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt counts w) in
+        Hashtbl.replace counts w (c + 1)
+      | None -> ())
     res.widths;
   List.iter
     (fun w ->

@@ -65,8 +65,25 @@ val conventional_config : config
 
 type result
 
-(** [analyze ?config prog] runs the analysis; [prog] is not modified. *)
-val analyze : ?config:config -> Prog.t -> result
+(** Fixpoint iteration strategy.  [Dense] (the default) is a priority
+    worklist over int-indexed per-block state buffers, ordered by reverse
+    postorder — a topological order of the SCC condensation — with a round
+    barrier that makes it sweep-equivalent to [Naive]; acyclic regions
+    converge in one visit.  [Naive] is the retained reference engine: full
+    reverse-postorder sweeps until quiescence.  Both produce bit-identical
+    results; the property tests check it. *)
+type engine = Dense | Naive
+
+(** Fixpoint effort: [visits] counts block processings with a non-⊥ input
+    during ascending iteration, [rounds] counts worklist rounds (sweeps),
+    summed over every function and interprocedural round. *)
+type fixpoint_stats = { visits : int; rounds : int }
+
+(** [analyze ?config ?engine ?jobs prog] runs the analysis; [prog] is not
+    modified.  [jobs] parallelizes the per-function analyses over domains
+    (default 1; [0] means auto); results are identical at any value. *)
+val analyze :
+  ?config:config -> ?engine:engine -> ?jobs:int -> Prog.t -> result
 
 (** [range_of result iid] is the interval of the value produced by
     instruction [iid] ([None] for instructions producing no value or
@@ -85,8 +102,8 @@ val width_of : result -> int -> Width.t option
     checks checksum equality on every workload). *)
 val apply : result -> Prog.t -> unit
 
-(** [run ?config prog] = [analyze] + [apply]; returns the result. *)
-val run : ?config:config -> Prog.t -> result
+(** [run ?config ?jobs prog] = [analyze] + [apply]; returns the result. *)
+val run : ?config:config -> ?jobs:int -> Prog.t -> result
 
 (** {1 Introspection for tests and reports} *)
 
@@ -96,5 +113,11 @@ val input_ranges_of : result -> int -> (Interval.t * Interval.t) option
 
 val return_range : result -> string -> Interval.t option
 (** Summarized return-value range of a function. *)
+
+val fixpoint_stats : result -> fixpoint_stats
+(** Iteration effort of the analysis that produced [result]. *)
+
+val defs_analyzed : result -> int
+(** Number of instructions with a recorded range. *)
 
 val pp_summary : Format.formatter -> result -> unit

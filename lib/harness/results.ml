@@ -60,7 +60,23 @@ type wres = {
   vrs50_guard_frac : float;
 }
 
-type t = { workloads : wres list; quick : bool }
+(* One workload's analyze-throughput microbench: wall time of the dense
+   [Vrp.analyze] (best of 5), the retained naive reference for the
+   speedup column (one repetition — it is the slow one), and the dense
+   engine's deterministic effort counters, which CI gates exactly. *)
+type analyze_bench = {
+  ab_seconds : float;
+  ab_naive_seconds : float;
+  ab_visits : int;
+  ab_rounds : int;
+  ab_defs : int;
+}
+
+type t = {
+  workloads : wres list;
+  analyze : (string * analyze_bench) list;
+  quick : bool;
+}
 
 exception Semantics_changed of string
 
@@ -273,6 +289,43 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
     Span.with_ ~name:"collect:versions" (fun () -> Pool.map ~jobs run_cell cells)
   in
   let ph3_s = Unix.gettimeofday () -. ph3_t0 in
+  (* Phase 4: analyze-throughput microbench, one [Vrp.analyze] per
+     workload on the cleaned train-scaled program.  Runs sequentially —
+     the numbers feed the CI regression gate, and co-scheduling them with
+     other tasks would put domain contention into the timings. *)
+  let ph4_t0 = Unix.gettimeofday () in
+  let analyze =
+    Span.with_ ~name:"collect:analyze-bench" @@ fun () ->
+    List.map
+      (fun bi ->
+        progress (bi.bw.Workload.name ^ "/analyze-bench");
+        let st, _ = Pass.run "cleanup" (scaled_copy bi.pristine Workload.Train) in
+        let p = st.Pass.prog in
+        let best = ref infinity in
+        let last = ref None in
+        for _ = 1 to 5 do
+          let t0 = Unix.gettimeofday () in
+          let r = Vrp.analyze p in
+          let dt = Unix.gettimeofday () -. t0 in
+          if dt < !best then best := dt;
+          last := Some r
+        done;
+        let r = match !last with Some r -> r | None -> assert false in
+        let t0 = Unix.gettimeofday () in
+        ignore (Vrp.analyze ~engine:Vrp.Naive p);
+        let naive_s = Unix.gettimeofday () -. t0 in
+        let st = Vrp.fixpoint_stats r in
+        ( bi.bw.Workload.name,
+          {
+            ab_seconds = !best;
+            ab_naive_seconds = naive_s;
+            ab_visits = st.Vrp.visits;
+            ab_rounds = st.Vrp.rounds;
+            ab_defs = Vrp.defs_analyzed r;
+          } ))
+      base_infos
+  in
+  let ph4_s = Unix.gettimeofday () -. ph4_t0 in
   (* Reassemble in workload order: cells were emitted per workload, in
      [versions] order, and the pool preserves submission order. *)
   let nversions = List.length versions in
@@ -329,8 +382,9 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
         })
       base_infos
   in
-  ( { workloads; quick },
-    [ ("baselines", ph1_s); ("analyses", ph_an_s); ("versions", ph3_s) ] )
+  ( { workloads; analyze; quick },
+    [ ("baselines", ph1_s); ("analyses", ph_an_s); ("versions", ph3_s);
+      ("analyze-bench", ph4_s) ] )
 
 let collect ?quick ?only ?progress ?jobs () =
   fst (collect_timed ?quick ?only ?progress ?jobs ())
@@ -554,6 +608,27 @@ let wres_of_json j =
     vrs50_guard_frac = Json.get_float "vrs50_guard_frac" j;
   }
 
+let analyze_to_json (name, ab) =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("seconds", Json.Float ab.ab_seconds);
+      ("naive_seconds", Json.Float ab.ab_naive_seconds);
+      ("visits", Json.Int ab.ab_visits);
+      ("rounds", Json.Int ab.ab_rounds);
+      ("defs", Json.Int ab.ab_defs);
+    ]
+
+let analyze_of_json j =
+  ( Json.get_string "name" j,
+    {
+      ab_seconds = Json.get_float "seconds" j;
+      ab_naive_seconds = Json.get_float "naive_seconds" j;
+      ab_visits = Json.get_int "visits" j;
+      ab_rounds = Json.get_int "rounds" j;
+      ab_defs = Json.get_int "defs" j;
+    } )
+
 let format_name = "ogc-results"
 let format_version = 1
 
@@ -564,6 +639,7 @@ let to_json t =
       ("version", Json.Int format_version);
       ("quick", Json.Bool t.quick);
       ("workloads", Json.Arr (List.map wres_to_json t.workloads));
+      ("analyze", Json.Arr (List.map analyze_to_json t.analyze));
     ]
 
 let of_json j =
@@ -578,6 +654,11 @@ let of_json j =
   {
     quick = Json.get_bool "quick" j;
     workloads = List.map wres_of_json (Json.get_list "workloads" j);
+    (* Absent in files written before the analyze-throughput series. *)
+    analyze =
+      (match Json.member "analyze" j with
+      | Json.Null -> []
+      | _ -> List.map analyze_of_json (Json.get_list "analyze" j));
   }
 
 (* --- regression comparison --------------------------------------------------- *)
@@ -604,7 +685,7 @@ let config_stats (w : wres) =
   @ List.map (fun (l, s) -> (Printf.sprintf "vrs%d" l, s)) w.vrs
   @ [ ("vrs50_sig", w.vrs50_sig); ("vrs50_size", w.vrs50_size) ]
 
-let compare_to_baseline ~baseline ~current ~threshold =
+let compare_to_baseline ~time_tolerance ~baseline ~current ~threshold =
   if baseline.quick <> current.quick then
     [
       {
@@ -656,6 +737,34 @@ let compare_to_baseline ~baseline ~current ~threshold =
                     (Pipeline.ipc bs) (Pipeline.ipc cs))
             (config_stats cw))
       current.workloads
+    @ (* Analyze-throughput series: visit counts are deterministic and
+         gated at the strict threshold; wall time is noisy and gets its
+         own (looser) tolerance. *)
+    List.concat_map
+      (fun (name, ca) ->
+        match List.assoc_opt name baseline.analyze with
+        | None -> []
+        | Some ba ->
+          let cell metric tol base cur =
+            let delta = if base <= 0.0 then 0.0 else (cur -. base) /. base in
+            if delta > tol then
+              [
+                {
+                  r_workload = name;
+                  r_config = "analyze";
+                  r_metric = metric;
+                  r_baseline = base;
+                  r_current = cur;
+                  r_delta_frac = delta;
+                };
+              ]
+            else []
+          in
+          cell "analyze_visits" threshold
+            (float_of_int ba.ab_visits)
+            (float_of_int ca.ab_visits)
+          @ cell "analyze_seconds" time_tolerance ba.ab_seconds ca.ab_seconds)
+      current.analyze
 
 let render_regressions = function
   | [] -> "no regressions\n"

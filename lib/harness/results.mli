@@ -76,7 +76,23 @@ type wres = {
   vrs50_guard_frac : float;  (** run-time fraction of guard comparisons *)
 }
 
-type t = { workloads : wres list; quick : bool }
+(** One workload's analyze-throughput microbench (sequential, train
+    input, after cleanup): dense {!Ogc_core.Vrp.analyze} wall seconds
+    (best of 5), the retained naive reference engine's seconds (one
+    repetition), and the dense engine's deterministic effort counters. *)
+type analyze_bench = {
+  ab_seconds : float;
+  ab_naive_seconds : float;
+  ab_visits : int;
+  ab_rounds : int;
+  ab_defs : int;
+}
+
+type t = {
+  workloads : wres list;
+  analyze : (string * analyze_bench) list;  (** by workload name *)
+  quick : bool;
+}
 
 val collect :
   ?quick:bool ->
@@ -103,8 +119,10 @@ val collect_timed :
     ["baselines"] — compile + reference run + hardware-gated baselines —
     then ["analyses"] — per-workload warm-up of the shared VRS analysis
     front in the pass-artifact store — then ["versions"] — the
-    (workload × binary version) grid of pass chains).  The phases also
-    appear as {!Ogc_obs.Span} spans when tracing is on. *)
+    (workload × binary version) grid of pass chains — then
+    ["analyze-bench"] — the sequential analyze-throughput microbench).
+    The phases also appear as {!Ogc_obs.Span} spans when tracing is
+    on. *)
 
 (** {1 Serialization}
 
@@ -137,13 +155,17 @@ type regression = {
 }
 
 val compare_to_baseline :
+  time_tolerance:float ->
   baseline:t -> current:t -> threshold:float -> regression list
 (** Cells worse than [baseline] by more than [threshold] (a fraction,
     e.g. [0.05]): higher total energy or lower IPC.  Only workloads and
     VRS labels present in both collections are compared; a [quick] /
     full mode mismatch compares nothing and reports a single pseudo
     regression on the ["mode"] cell so CI fails loudly instead of
-    vacuously passing. *)
+    vacuously passing.  The analyze-throughput series is also gated:
+    fixpoint visit counts (deterministic) against [threshold], analyze
+    wall seconds (noisy) against [time_tolerance] ([0.5] means 50%
+    slower than baseline fails). *)
 
 val render_regressions : regression list -> string
 

@@ -1,6 +1,9 @@
+(* 32 bits per word: index arithmetic is a shift and a mask, where a
+   63-bit packing would need genuine division on every bit access —
+   measurably slower in the dataflow inner loops that bang on these. *)
 type t = { words : int array; nbits : int }
 
-let create nbits = { words = Array.make ((nbits + 62) / 63) 0; nbits }
+let create nbits = { words = Array.make ((nbits + 31) / 32) 0; nbits }
 let copy t = { t with words = Array.copy t.words }
 let length t = t.nbits
 
@@ -9,15 +12,20 @@ let check t i =
 
 let set t i =
   check t i;
-  t.words.(i / 63) <- t.words.(i / 63) lor (1 lsl (i mod 63))
+  t.words.(i lsr 5) <- t.words.(i lsr 5) lor (1 lsl (i land 31))
 
 let clear t i =
   check t i;
-  t.words.(i / 63) <- t.words.(i / 63) land lnot (1 lsl (i mod 63))
+  t.words.(i lsr 5) <- t.words.(i lsr 5) land lnot (1 lsl (i land 31))
 
 let mem t i =
   check t i;
-  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+  t.words.(i lsr 5) land (1 lsl (i land 31)) <> 0
+
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy_into ~into src =
+  Array.blit src.words 0 into.words 0 (Array.length src.words)
 
 let union_into ~into src =
   let changed = ref false in
@@ -37,16 +45,24 @@ let diff_into ~into src =
 let equal a b = a.nbits = b.nbits && a.words = b.words
 
 let iter t k =
-  for i = 0 to t.nbits - 1 do
-    if mem t i then k i
-  done
+  (* Word-skipping ascending walk: whole-zero words cost one test, and
+     set bits are peeled low-to-high, so sparse sets cost their
+     population rather than their capacity. *)
+  Array.iteri
+    (fun wi word ->
+      let w = ref word in
+      while !w <> 0 do
+        let bit = !w land - !w in
+        let rec log2 b acc = if b = 1 then acc else log2 (b lsr 1) (acc + 1) in
+        k ((wi lsl 5) + log2 bit 0);
+        w := !w land lnot bit
+      done)
+    t.words
 
 let elements t =
   let acc = ref [] in
-  for i = t.nbits - 1 downto 0 do
-    if mem t i then acc := i :: !acc
-  done;
-  !acc
+  iter t (fun i -> acc := i :: !acc);
+  List.rev !acc
 
 let cardinal t =
   let n = ref 0 in

@@ -11,6 +11,13 @@ val set : t -> int -> unit
 val clear : t -> int -> unit
 val mem : t -> int -> bool
 
+val reset : t -> unit
+(** Clear every bit, in place. *)
+
+(** [copy_into ~into src] overwrites [into] with [src]'s bits.  The two
+    sets must have the same capacity. *)
+val copy_into : into:t -> t -> unit
+
 (** [union_into ~into src] ors [src] into [into]; returns [true] when
     [into] changed. *)
 val union_into : into:t -> t -> bool

@@ -1,0 +1,83 @@
+(* Iterative Tarjan (explicit call stack, so deep CFGs cannot overflow
+   the OCaml stack).  Tarjan pops components in reverse topological
+   order of the condensation; ids are flipped afterwards so that
+   [comp u < comp v] along every inter-component edge [u -> v]. *)
+
+type t = { comp_of : int array; ncomps : int; cyclic : bool array }
+
+let compute ~n ~succs =
+  let index = Array.make (max n 1) (-1) in
+  let lowlink = Array.make (max n 1) 0 in
+  let on_stack = Array.make (max n 1) false in
+  let stack = Array.make (max n 1) 0 in
+  let sp = ref 0 in
+  let comp_of = Array.make (max n 1) (-1) in
+  let next = ref 0 in
+  let ncomps = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      index.(root) <- !next;
+      lowlink.(root) <- !next;
+      incr next;
+      stack.(!sp) <- root;
+      incr sp;
+      on_stack.(root) <- true;
+      let call = ref [ (root, ref (succs root)) ] in
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: tl -> (
+          match !rest with
+          | w :: ws ->
+            rest := ws;
+            if index.(w) < 0 then begin
+              index.(w) <- !next;
+              lowlink.(w) <- !next;
+              incr next;
+              stack.(!sp) <- w;
+              incr sp;
+              on_stack.(w) <- true;
+              call := (w, ref (succs w)) :: !call
+            end
+            else if on_stack.(w) then
+              lowlink.(v) <- min lowlink.(v) index.(w)
+          | [] ->
+            if lowlink.(v) = index.(v) then begin
+              let cid = !ncomps in
+              incr ncomps;
+              let continue = ref true in
+              while !continue do
+                decr sp;
+                let w = stack.(!sp) in
+                on_stack.(w) <- false;
+                comp_of.(w) <- cid;
+                if w = v then continue := false
+              done
+            end;
+            call := tl;
+            (match tl with
+            | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+            | [] -> ()))
+      done
+    end
+  done;
+  let nc = !ncomps in
+  let comp_topo = Array.map (fun c -> if c < 0 then 0 else nc - 1 - c) comp_of in
+  let size = Array.make (max nc 1) 0 in
+  for v = 0 to n - 1 do
+    size.(comp_topo.(v)) <- size.(comp_topo.(v)) + 1
+  done;
+  let cyclic = Array.make (max n 1) false in
+  for v = 0 to n - 1 do
+    cyclic.(v) <- size.(comp_topo.(v)) > 1 || List.exists (Int.equal v) (succs v)
+  done;
+  { comp_of = comp_topo; ncomps = nc; cyclic }
+
+let of_cfg cfg =
+  compute ~n:(Cfg.num_blocks cfg) ~succs:(fun v ->
+      List.map Label.to_int (Cfg.succs cfg (Label.of_int v)))
+
+let count t = t.ncomps
+let comp t v = t.comp_of.(v)
+let in_cycle t v = t.cyclic.(v)
+let has_cycle t = Array.exists Fun.id t.cyclic

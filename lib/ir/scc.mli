@@ -1,0 +1,33 @@
+(** Strongly connected components of a {!Cfg.t} (or any small integer
+    digraph), with the condensation in topological order.
+
+    The VRP fixpoint engine drives its worklist in reverse postorder,
+    which is a topological order of the SCC condensation: for any CFG
+    edge [u -> v], [rpo(v) < rpo(u)] only when [u] and [v] belong to the
+    same component (a DFS back edge).  This module is how the engine
+    decides whether a function has any cycle at all (acyclic functions
+    converge in one worklist round and need no narrowing sweeps), and how
+    the tests check the ordering claim. *)
+
+type t
+
+(** [compute ~n ~succs] over nodes [0 .. n-1].  [succs] may repeat
+    targets; self-loops are allowed. *)
+val compute : n:int -> succs:(int -> int list) -> t
+
+val of_cfg : Cfg.t -> t
+
+(** Number of components. *)
+val count : t -> int
+
+(** [comp t v] is the component id of node [v].  Ids are a topological
+    order of the condensation: every edge [u -> v] with
+    [comp u <> comp v] has [comp u < comp v]. *)
+val comp : t -> int -> int
+
+(** [in_cycle t v] — [v] belongs to a component of size >= 2, or has a
+    self-loop. *)
+val in_cycle : t -> int -> bool
+
+(** Any node on a cycle? *)
+val has_cycle : t -> bool

@@ -35,96 +35,126 @@ let compute (f : Prog.func) cfg =
       List.iter (fun r -> ignore (add_def r (At ins.iid))) (Instr.defs ins.op));
   let defs = Array.of_list (List.rev !defs) in
   let nd = Array.length defs in
-  (* Per-register def index lists, for kill sets. *)
-  let defs_of_reg = Array.make 32 [] in
-  Array.iteri
-    (fun i d -> defs_of_reg.(Reg.to_int d.dreg) <- i :: defs_of_reg.(Reg.to_int d.dreg))
-    defs;
-  (* 2. Block-level gen/kill. *)
+  (* Per-register masks over all defs of that register, for kill sets. *)
+  let reg_mask = Array.init 32 (fun _ -> Bitset.create nd) in
+  Array.iteri (fun i d -> Bitset.set reg_mask.(Reg.to_int d.dreg) i) defs;
+  (* 2. Block-level gen/kill.  A block kills every def of each register
+     it writes except its own last one, which it generates — so one pass
+     finds the last def per register and the sets are assembled from the
+     per-register masks word-wise, instead of touching every same-register
+     def once per defining instruction. *)
   let n = Array.length f.blocks in
   let gen = Array.init n (fun _ -> Bitset.create nd) in
   let kill = Array.init n (fun _ -> Bitset.create nd) in
   let ins_defs iid = Option.value ~default:[] (Hashtbl.find_opt defs_of_ins iid) in
+  let last_def = Array.make 32 (-1) in
   Array.iteri
     (fun bi (b : Prog.block) ->
+      let regs = ref [] in
       Array.iter
         (fun (ins : Prog.ins) ->
           List.iter
             (fun di ->
               let r = Reg.to_int defs.(di).dreg in
-              List.iter
-                (fun other ->
-                  if other <> di then begin
-                    Bitset.set kill.(bi) other;
-                    Bitset.clear gen.(bi) other
-                  end)
-                defs_of_reg.(r);
-              Bitset.set gen.(bi) di;
-              Bitset.clear kill.(bi) di)
+              if last_def.(r) < 0 then regs := r :: !regs;
+              last_def.(r) <- di)
             (ins_defs ins.iid))
-        b.body)
+        b.body;
+      List.iter
+        (fun r ->
+          ignore (Bitset.union_into ~into:kill.(bi) reg_mask.(r));
+          Bitset.clear kill.(bi) last_def.(r);
+          Bitset.set gen.(bi) last_def.(r);
+          last_def.(r) <- -1)
+        !regs)
     f.blocks;
-  (* 3. Iterate to fixpoint: in[b] = U out[p]; out[b] = gen + (in - kill). *)
+  (* 3. Iterate to fixpoint: in[b] = U out[p]; out[b] = gen + (in - kill).
+     Out-sets start at their first Kleene approximation (gen, plus the
+     entry pseudo-defs flowing through block 0) and every recomputation
+     works in one scratch set, so the sweeps allocate nothing; a block
+     whose in-set is unchanged is skipped outright (its out-set is a pure
+     function of it).  Starting above bottom but below the fixpoint
+     converges to the same least fixpoint as the from-empty iteration. *)
   let inb = Array.init n (fun _ -> Bitset.create nd) in
   let outb = Array.init n (fun _ -> Bitset.create nd) in
   (* Entry block starts with the entry pseudo-defs. *)
   let entry_bits = Bitset.create nd in
   Array.iter (fun di -> if di >= 0 then Bitset.set entry_bits di) entry_def;
+  let scratch = Bitset.create nd in
+  for bi = 0 to n - 1 do
+    Bitset.reset scratch;
+    if bi = 0 then ignore (Bitset.union_into ~into:scratch entry_bits);
+    Bitset.copy_into ~into:inb.(bi) scratch;
+    Bitset.diff_into ~into:scratch kill.(bi);
+    ignore (Bitset.union_into ~into:scratch gen.(bi));
+    Bitset.copy_into ~into:outb.(bi) scratch
+  done;
+  let rpo = Cfg.reverse_postorder cfg in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
       (fun l ->
         let bi = Label.to_int l in
-        let i = Bitset.create nd in
-        if bi = 0 then ignore (Bitset.union_into ~into:i entry_bits);
+        Bitset.reset scratch;
+        if bi = 0 then ignore (Bitset.union_into ~into:scratch entry_bits);
         List.iter
-          (fun p -> ignore (Bitset.union_into ~into:i outb.(Label.to_int p)))
+          (fun p ->
+            ignore (Bitset.union_into ~into:scratch outb.(Label.to_int p)))
           (Cfg.preds cfg l);
-        let o = Bitset.copy i in
-        Bitset.diff_into ~into:o kill.(bi);
-        ignore (Bitset.union_into ~into:o gen.(bi));
-        if not (Bitset.equal i inb.(bi) && Bitset.equal o outb.(bi)) then begin
-          inb.(bi) <- i;
-          outb.(bi) <- o;
-          changed := true
+        if not (Bitset.equal scratch inb.(bi)) then begin
+          Bitset.copy_into ~into:inb.(bi) scratch;
+          Bitset.diff_into ~into:scratch kill.(bi);
+          ignore (Bitset.union_into ~into:scratch gen.(bi));
+          if not (Bitset.equal scratch outb.(bi)) then begin
+            Bitset.copy_into ~into:outb.(bi) scratch;
+            changed := true
+          end
         end)
-      (Cfg.reverse_postorder cfg)
+      rpo
   done;
-  (* 4. Walk each block to record per-use reaching defs. *)
+  (* 4. Walk each block to record per-use reaching defs.  The reaching
+     set is kept bucketed by register (ascending def index, matching the
+     bitset enumeration order), so a use reads its defs off directly
+     instead of filtering an enumeration of every live def; a definition
+     of [r] collapses [r]'s bucket to itself, which is exactly the
+     gen/kill update. *)
   let use_defs = Hashtbl.create 1024 in
-  let def_uses = Hashtbl.create 1024 in
-  let record_use cur use_iid r =
-    let ds =
-      List.filter (fun di -> Reg.equal defs.(di).dreg r) (Bitset.elements cur)
-    in
+  let def_uses_acc = Array.make nd [] in
+  let cur_by_reg = Array.make 32 [] in
+  let record_use use_iid r =
+    let ds = cur_by_reg.(Reg.to_int r) in
     Hashtbl.replace use_defs (use_iid, Reg.to_int r) ds;
     List.iter
-      (fun di ->
-        let prev = Option.value ~default:[] (Hashtbl.find_opt def_uses di) in
-        Hashtbl.replace def_uses di ((use_iid, r) :: prev))
+      (fun di -> def_uses_acc.(di) <- (use_iid, r) :: def_uses_acc.(di))
       ds
   in
+  let bucket_rev = Array.make 32 [] in
   Array.iteri
     (fun bi (b : Prog.block) ->
-      let cur = Bitset.copy inb.(bi) in
+      Array.fill bucket_rev 0 32 [];
+      Bitset.iter inb.(bi) (fun di ->
+          let r = Reg.to_int defs.(di).dreg in
+          bucket_rev.(r) <- di :: bucket_rev.(r));
+      for r = 0 to 31 do
+        cur_by_reg.(r) <- List.rev bucket_rev.(r)
+      done;
       Array.iter
         (fun (ins : Prog.ins) ->
-          List.iter (record_use cur ins.iid) (Instr.uses ins.op);
+          List.iter (record_use ins.iid) (Instr.uses ins.op);
           List.iter
-            (fun di ->
-              let r = Reg.to_int defs.(di).dreg in
-              List.iter
-                (fun other -> if other <> di then Bitset.clear cur other)
-                defs_of_reg.(r);
-              Bitset.set cur di)
+            (fun di -> cur_by_reg.(Reg.to_int defs.(di).dreg) <- [ di ])
             (ins_defs ins.iid))
         b.body;
       match b.term with
-      | Prog.Branch { src; _ } -> record_use cur b.term_iid src
-      | Prog.Return -> record_use cur b.term_iid Reg.ret
+      | Prog.Branch { src; _ } -> record_use b.term_iid src
+      | Prog.Return -> record_use b.term_iid Reg.ret
       | Prog.Jump _ -> ())
     f.blocks;
+  let def_uses = Hashtbl.create 1024 in
+  Array.iteri
+    (fun di l -> if l <> [] then Hashtbl.replace def_uses di l)
+    def_uses_acc;
   { defs; defs_of_ins; use_defs; def_uses }
 
 let num_defs t = Array.length t.defs

@@ -133,7 +133,7 @@ let vrp_pass =
     name = "vrp";
     doc = "value range propagation fixpoint (pure analysis; encode-widths \
            applies it)";
-    defaults = [ ("variant", J.Str "default") ];
+    defaults = [ ("variant", J.Str "default"); ("jobs", J.Int 1) ];
     exec =
       (fun cfg st ->
         let config =
@@ -142,7 +142,7 @@ let vrp_pass =
           | "conventional" -> Vrp.conventional_config
           | v -> Fmt.failwith "vrp: unknown variant %S" v
         in
-        st.vrp <- Some (Vrp.analyze ~config st.prog);
+        st.vrp <- Some (Vrp.analyze ~config ~jobs:(cfg_int "jobs" cfg) st.prog);
         st.encoded <- false;
         st.profile <- None;
         Printf.sprintf "%s fixpoint over %d instructions"

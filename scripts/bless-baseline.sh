@@ -1,0 +1,29 @@
+#!/bin/sh
+# Re-bless the CI performance baseline (bench/baseline.json).
+#
+# Run this when a change *intentionally* moves a gated metric: modelled
+# energy/IPC of a (workload, binary version) cell, the VRP fixpoint
+# visit counts, or analyze wall time.  The collection runs with exactly
+# the flags CI's regression-diff step uses, so the blessed file and the
+# gate always compare like with like (quick mode, micro benches
+# skipped).  After blessing, the self-diff below must come back clean —
+# visit counts are deterministic, and wall times compare against
+# themselves — so a dirty diff here means collection itself is
+# non-deterministic, which is a bug worth reporting, not blessing.
+#
+# Review `git diff bench/baseline.json` before committing: energy/IPC
+# and visit-count deltas should all be explained by the change you are
+# blessing.  See TESTING.md ("Re-blessing the performance baseline").
+set -eu
+cd "$(dirname "$0")/.."
+
+dune exec bench/main.exe -- \
+  --quick --jobs 0 --skip-micro --json bench/baseline.json
+
+echo "bless-baseline: verifying the fresh baseline self-diffs clean"
+dune exec bench/main.exe -- \
+  --quick --jobs 0 --skip-micro \
+  --baseline bench/baseline.json --max-regression 5.0 \
+  --max-time-regression 200.0
+
+echo "bless-baseline: done — review 'git diff bench/baseline.json'"

@@ -48,7 +48,12 @@ let test_division_corners () =
   (* Magnitude bound: |x/y| <= |x|. *)
   let r = I.forward_alu Instr.Div Width.W64 (I.v (-100L) 50L) (I.v 3L 9L) in
   Alcotest.(check bool) "magnitude bound" true
-    (Int64.compare r.I.lo (-100L) >= 0 && Int64.compare r.I.hi 100L <= 0)
+    (Int64.compare r.I.lo (-100L) >= 0 && Int64.compare r.I.hi 100L <= 0);
+  (* Four-corner bounds are exact on strictly positive operand ranges. *)
+  Alcotest.check iv "positive / positive" (I.v 25L 100L)
+    (I.forward_alu Instr.Div Width.W64 (I.v 100L 200L) (I.v 2L 4L));
+  Alcotest.check iv "positive / negative" (I.v (-100L) (-25L))
+    (I.forward_alu Instr.Div Width.W64 (I.v 100L 200L) (I.v (-4L) (-2L)))
 
 let test_rem_corners () =
   Alcotest.check iv "rem by [1,1]" (I.const 0L)
@@ -56,7 +61,11 @@ let test_rem_corners () =
   Alcotest.check iv "rem negative dividend" (I.v (-6L) 0L)
     (I.forward_alu Instr.Rem Width.W64 (I.v (-100L) 0L) (I.const 7L));
   Alcotest.check iv "rem mixed dividend" (I.v (-6L) 6L)
-    (I.forward_alu Instr.Rem Width.W64 (I.v (-100L) 100L) (I.const 7L))
+    (I.forward_alu Instr.Rem Width.W64 (I.v (-100L) 100L) (I.const 7L));
+  (* Same-quotient window: every dividend in [8,12] shares quotient 1 by
+     7, so the remainder tracks the dividend exactly. *)
+  Alcotest.check iv "same-quotient rem" (I.v 1L 5L)
+    (I.forward_alu Instr.Rem Width.W64 (I.v 8L 12L) (I.const 7L))
 
 let test_shift_amounts () =
   (* Amounts partially out of [0,63] defeat prediction. *)

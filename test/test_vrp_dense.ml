@@ -1,0 +1,175 @@
+(* Dense fixpoint engine vs the retained naive reference.
+
+   The dense worklist engine is sweep-equivalent by construction: its
+   round barrier makes it visit exactly the blocks a full
+   reverse-postorder sweep would find changed, so every externally
+   observable analysis fact — per-instruction ranges, useful widths,
+   assigned widths, per-function return summaries, and the re-encoded
+   program itself — must be byte-identical to the naive engine's, on any
+   program, at any [--jobs].  These properties pin that contract down on
+   generated MiniC and raw-IR programs, and check the SCC-ordering fact
+   the priority worklist relies on. *)
+
+open Ogc_isa
+module Label = Ogc_ir.Label
+module Prog = Ogc_ir.Prog
+module Cfg = Ogc_ir.Cfg
+module Scc = Ogc_ir.Scc
+module Asm = Ogc_ir.Asm
+module Interp = Ogc_ir.Interp
+module Minic = Ogc_minic.Minic
+module Vrp = Ogc_core.Vrp
+module Interval = Ogc_core.Interval
+module Gen_minic = Ogc_fuzz.Gen_minic
+module Gen_ir = Ogc_fuzz.Gen_ir
+
+let interp_cfg = { Interp.default_config with max_steps = 2_000_000 }
+
+let max_iid p =
+  let m = ref 0 in
+  Prog.iter_all_ins p (fun _ _ ins ->
+      if ins.Prog.iid > !m then m := ins.Prog.iid);
+  !m
+
+let str_of_range = function
+  | None -> "-"
+  | Some rng -> Interval.to_string rng
+
+let str_of_width = function None -> "-" | Some w -> Width.to_string w
+
+(* Every externally observable fact of [ra] and [rb] must agree on [p];
+   [what] names the two engines in the failure message. *)
+let same_results ~what p ra rb =
+  let n = max_iid p in
+  for iid = 0 to n do
+    let a = str_of_range (Vrp.range_of ra iid)
+    and b = str_of_range (Vrp.range_of rb iid) in
+    if a <> b then
+      QCheck.Test.fail_reportf "%s: range of iid %d: %s vs %s" what iid a b;
+    let a = str_of_width (Vrp.useful_width_of ra iid)
+    and b = str_of_width (Vrp.useful_width_of rb iid) in
+    if a <> b then
+      QCheck.Test.fail_reportf "%s: useful width of iid %d: %s vs %s" what iid
+        a b;
+    let a = str_of_width (Vrp.width_of ra iid)
+    and b = str_of_width (Vrp.width_of rb iid) in
+    if a <> b then
+      QCheck.Test.fail_reportf "%s: width of iid %d: %s vs %s" what iid a b
+  done;
+  List.iter
+    (fun (f : Prog.func) ->
+      let a = str_of_range (Vrp.return_range ra f.fname)
+      and b = str_of_range (Vrp.return_range rb f.fname) in
+      if a <> b then
+        QCheck.Test.fail_reportf "%s: return range of %s: %s vs %s" what
+          f.fname a b)
+    p.Prog.funcs;
+  true
+
+(* Dense and naive must also re-encode identically and preserve output. *)
+let same_reencoding p =
+  let pd = Prog.copy p and pn = Prog.copy p in
+  let rd = Vrp.analyze ~engine:Vrp.Dense pd in
+  let rn = Vrp.analyze ~engine:Vrp.Naive pn in
+  Vrp.apply rd pd;
+  Vrp.apply rn pn;
+  let ad = Asm.to_string pd and an = Asm.to_string pn in
+  if ad <> an then
+    QCheck.Test.fail_reportf "re-encoded programs differ:\n%s\n----\n%s" ad an;
+  let cd = (Interp.run ~config:interp_cfg pd).Interp.checksum in
+  let cn = (Interp.run ~config:interp_cfg pn).Interp.checksum in
+  if not (Int64.equal cd cn) then
+    QCheck.Test.fail_reportf "re-encoded checksums differ: %Ld vs %Ld" cd cn;
+  true
+
+let prop_dense_eq_naive_minic =
+  QCheck.Test.make ~name:"dense == naive on generated MiniC" ~count:60
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let rd = Vrp.analyze ~engine:Vrp.Dense p in
+      let rn = Vrp.analyze ~engine:Vrp.Naive p in
+      same_results ~what:"dense vs naive (minic)" p rd rn
+      && same_reencoding p)
+
+let prop_dense_eq_naive_ir =
+  QCheck.Test.make ~name:"dense == naive on generated raw IR" ~count:60
+    Gen_ir.arbitrary_program (fun p ->
+      let rd = Vrp.analyze ~engine:Vrp.Dense p in
+      let rn = Vrp.analyze ~engine:Vrp.Naive p in
+      same_results ~what:"dense vs naive (ir)" p rd rn && same_reencoding p)
+
+let prop_jobs_identical =
+  QCheck.Test.make ~name:"dense identical at --jobs 1/2/8" ~count:30
+    Gen_minic.arbitrary_program (fun src ->
+      let p = Minic.compile src in
+      let r1 = Vrp.analyze ~engine:Vrp.Dense ~jobs:1 p in
+      let r2 = Vrp.analyze ~engine:Vrp.Dense ~jobs:2 p in
+      let r8 = Vrp.analyze ~engine:Vrp.Dense ~jobs:8 p in
+      same_results ~what:"jobs 1 vs 2" p r1 r2
+      && same_results ~what:"jobs 1 vs 8" p r1 r8)
+
+(* Reverse postorder is a topological order of the SCC condensation:
+   cross-component CFG edges always step to a strictly later component. *)
+let prop_scc_topological =
+  QCheck.Test.make ~name:"SCC ids topological over CFG edges" ~count:60
+    Gen_ir.arbitrary_program (fun p ->
+      List.iter
+        (fun (f : Prog.func) ->
+          let cfg = Cfg.of_func f in
+          let scc = Scc.of_cfg cfg in
+          for bi = 0 to Array.length f.blocks - 1 do
+            let l = Label.of_int bi in
+            if Cfg.is_reachable cfg l then
+              List.iter
+                (fun s ->
+                  let cu = Scc.comp scc bi
+                  and cv = Scc.comp scc (Label.to_int s) in
+                  if cu <> cv && cu >= cv then
+                    QCheck.Test.fail_reportf
+                      "%s: edge b%d -> b%d goes backwards in comp rank \
+                       (%d -> %d)"
+                      f.fname bi (Label.to_int s) cu cv)
+                (Cfg.succs cfg l)
+          done)
+        p.Prog.funcs;
+      true)
+
+(* Hand-built digraph: two 2-cycles bridged by an acyclic spine. *)
+let test_scc_basic () =
+  let succs = function
+    | 0 -> [ 1 ]
+    | 1 -> [ 2; 0 ] (* {0,1} cycle *)
+    | 2 -> [ 3 ]
+    | 3 -> [ 4; 3 ] (* self-loop *)
+    | 4 -> [ 5 ]
+    | 5 -> [ 4 ] (* {4,5} would cycle, but 5 -> 4 makes it so *)
+    | _ -> []
+  in
+  let t = Scc.compute ~n:6 ~succs in
+  Alcotest.(check int) "component count" 4 (Scc.count t);
+  Alcotest.(check bool) "0 and 1 share" true (Scc.comp t 0 = Scc.comp t 1);
+  Alcotest.(check bool) "4 and 5 share" true (Scc.comp t 4 = Scc.comp t 5);
+  Alcotest.(check bool) "0 in cycle" true (Scc.in_cycle t 0);
+  Alcotest.(check bool) "3 self-loop in cycle" true (Scc.in_cycle t 3);
+  Alcotest.(check bool) "2 not in cycle" false (Scc.in_cycle t 2);
+  Alcotest.(check bool) "has cycle" true (Scc.has_cycle t);
+  Alcotest.(check bool) "topological" true
+    (Scc.comp t 0 < Scc.comp t 2
+    && Scc.comp t 2 < Scc.comp t 3
+    && Scc.comp t 3 < Scc.comp t 4);
+  let dag = Scc.compute ~n:3 ~succs:(function 0 -> [ 1; 2 ] | 1 -> [ 2 ] | _ -> []) in
+  Alcotest.(check bool) "dag has no cycle" false (Scc.has_cycle dag)
+
+let () =
+  Alcotest.run "vrp_dense"
+    [
+      ("scc", [ Alcotest.test_case "basic digraph" `Quick test_scc_basic ]);
+      ( "equivalence",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_dense_eq_naive_minic;
+            prop_dense_eq_naive_ir;
+            prop_jobs_identical;
+            prop_scc_topological;
+          ] );
+    ]
