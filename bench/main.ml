@@ -125,6 +125,79 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+(* --- part 0: serve-fleet smoke bench ------------------------------------------ *)
+
+(* Three in-process shards behind the consistent-hash router, a loadgen
+   burst with one shard killed halfway through.  The gated series is the
+   completion counts (failed must stay zero through the kill) and the
+   client-observed latency percentiles.  Sized to a few seconds; the
+   request count is fixed so baseline runs stay comparable. *)
+let run_fleet_bench () =
+  let module Server = Ogc_server.Server in
+  let module Router = Ogc_fleet.Router in
+  let module Loadgen = Ogc_fleet.Loadgen in
+  let sock i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ogc-bench-%d-%d.sock" (Unix.getpid ()) i)
+  in
+  let shards =
+    List.init 3 (fun i ->
+        let path = sock i in
+        if Sys.file_exists path then Sys.remove path;
+        let cfg =
+          { (Server.default_config (Server.Unix_sock path)) with
+            jobs = Some 1 }
+        in
+        let t = Server.create cfg in
+        (Printf.sprintf "s%d" i, path, t, Thread.create Server.run t))
+  in
+  Server.link_stores (List.map (fun (_, _, t, _) -> t) shards);
+  let rpath = sock 99 in
+  if Sys.file_exists rpath then Sys.remove rpath;
+  let targets =
+    List.map
+      (fun (n, p, _, _) -> { Router.t_name = n; t_addr = Server.Unix_sock p })
+      shards
+  in
+  let router =
+    Router.create (Router.default_config ~addr:(Server.Unix_sock rpath)
+                     ~shards:targets)
+  in
+  let rth = Thread.create Router.run router in
+  let requests = 240 in
+  let lcfg =
+    { (Loadgen.default_config ~addr:(Server.Unix_sock rpath)) with
+      requests;
+      clients = 3;
+      retries = 8 }
+  in
+  let victim = match shards with (_, _, t, _) :: _ -> t | [] -> assert false in
+  let report =
+    Fun.protect
+      ~finally:(fun () ->
+        Router.stop router;
+        Thread.join rth;
+        List.iter
+          (fun (_, p, t, th) ->
+            Server.stop t;
+            Thread.join th;
+            if Sys.file_exists p then Sys.remove p)
+          shards;
+        if Sys.file_exists rpath then Sys.remove rpath)
+      (fun () ->
+        Loadgen.run ~kill:(requests / 2, fun () -> Server.stop victim) lcfg)
+  in
+  {
+    Results.fb_shards = 3;
+    fb_requests = report.Loadgen.total;
+    fb_failed = report.Loadgen.failed;
+    fb_hedged = Json.get_int "hedged" (Router.stats_json router);
+    fb_p50_ms = report.Loadgen.p50_ms;
+    fb_p95_ms = report.Loadgen.p95_ms;
+    fb_p99_ms = report.Loadgen.p99_ms;
+  }
+
 (* --- part 1: the paper's evaluation ------------------------------------------ *)
 
 let () =
@@ -172,6 +245,19 @@ let () =
   Format.printf "phases:%s@.@."
     (String.concat ""
        (List.map (fun (n, s) -> Printf.sprintf " %s %.1fs" n s) phases));
+  (* Serve-fleet smoke: router + 3 shards, one killed mid-run. *)
+  let res =
+    let fb = run_fleet_bench () in
+    Format.printf "%s"
+      (Ogc_harness.Render.heading
+         "Serve fleet (3 shards, hashed router, one shard killed mid-run)");
+    Format.printf
+      "requests %d, failed %d, hedged %d, p50 %.2f ms, p95 %.2f ms, p99 \
+       %.2f ms@.@."
+      fb.Results.fb_requests fb.Results.fb_failed fb.Results.fb_hedged
+      fb.Results.fb_p50_ms fb.Results.fb_p95_ms fb.Results.fb_p99_ms;
+    { res with Results.fleet = Some fb }
+  in
   (* Analyze-throughput microbench (the CI-gated series). *)
   if res.Results.analyze <> [] then begin
     Format.printf "%s"

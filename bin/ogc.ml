@@ -580,6 +580,13 @@ let serve_cmd =
          & info [ "cache-dir" ] ~docv:"DIR"
              ~doc:"Persist cache entries to DIR so results survive restarts.")
   in
+  let shard_id =
+    Arg.(value & opt (some string) None
+         & info [ "shard-id" ] ~docv:"ID"
+             ~doc:"Run as fleet shard ID: namespaces $(b,--cache-dir) as \
+                   $(i,DIR/shard-ID) so co-located shards never share \
+                   cache files, and tags the $(i,stats) op.")
+  in
   let quiet =
     Arg.(value & flag
          & info [ "quiet" ]
@@ -592,7 +599,7 @@ let serve_cmd =
              ~doc:"Structured-log threshold: $(b,debug), $(b,info), \
                    $(b,warn) or $(b,error).  Logs are NDJSON on stderr.")
   in
-  let run addr jobs queue_limit cache_size cache_dir quiet log_level =
+  let run addr jobs queue_limit cache_size cache_dir shard_id quiet log_level =
     wrap (fun () ->
         (match log_level with
         | None -> ()
@@ -609,7 +616,8 @@ let serve_cmd =
             jobs;
             queue_limit;
             cache_capacity = cache_size;
-            cache_dir }
+            cache_dir;
+            shard_id }
         in
         let t =
           try Server.create cfg
@@ -624,7 +632,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the optimization service (NDJSON over a socket)")
     Term.(const run $ addr_term $ jobs $ queue_limit $ cache_size $ cache_dir
-          $ quiet $ log_level)
+          $ shard_id $ quiet $ log_level)
 
 let submit_cmd =
   let program =
@@ -676,10 +684,23 @@ let submit_cmd =
          & info [ "raw" ]
              ~doc:"Print the raw response line instead of pretty JSON.")
   in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failed connection up to N times with jittered \
+                   exponential backoff (for racing a server that is \
+                   still starting).")
+  in
+  let connect_timeout =
+    Arg.(value & opt int 2000
+         & info [ "connect-timeout-ms" ] ~docv:"MS"
+             ~doc:"Give up on an unresponsive connect after MS \
+                   milliseconds (per attempt).")
+  in
   let run addr program input vrp vrs policy cost deadline return_program id
-      stats ping metrics raw =
+      stats ping metrics raw retries connect_timeout =
     wrap (fun () ->
-        let fields = ref [] in
+        let fields = ref [ ("proto", Json.Int Ogc_server.Protocol.proto_version) ] in
         let add k v = fields := (k, v) :: !fields in
         (match (stats, ping, metrics, program) with
         | true, _, _, _ -> add "op" (Json.Str "stats")
@@ -711,7 +732,7 @@ let submit_cmd =
           if return_program then add "return_program" (Json.Bool true));
         Option.iter (fun i -> add "id" (Json.Str i)) id;
         let request = Json.to_string ~indent:false (Json.Obj (List.rev !fields)) in
-        let fd =
+        let connect_once () =
           let domain, sockaddr =
             match addr with
             | Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -720,12 +741,48 @@ let submit_cmd =
                Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
           in
           let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd sockaddr
-           with Unix.Unix_error (e, _, _) ->
-             Fmt.failwith "cannot reach the server: %s (is `ogc serve` up?)"
-               (Unix.error_message e));
-          fd
+          try
+            Unix.set_nonblock fd;
+            (try Unix.connect fd sockaddr with
+            | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+              match
+                Unix.select [] [ fd ] []
+                  (float_of_int connect_timeout /. 1000.0)
+              with
+              | _, [ _ ], _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> ()
+                | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+              | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+            Unix.clear_nonblock fd;
+            fd
+          with e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e
         in
+        (* Jittered exponential backoff over connect failures: a fleet
+           smoke test may race its shards' startup, and N synchronized
+           clients must not retry in lockstep. *)
+        let rs = Random.State.make_self_init () in
+        let rec connect_retry attempt =
+          match connect_once () with
+          | fd -> fd
+          | exception Unix.Unix_error (e, _, _) when attempt < retries ->
+            let d =
+              0.05 *. (2.0 ** float_of_int attempt)
+              *. (0.5 +. Random.State.float rs 1.0)
+            in
+            Log.debug "submit: retrying connect"
+              ~fields:
+                [ ("error", Json.Str (Unix.error_message e));
+                  ("delay_s", Json.Float d) ];
+            Unix.sleepf (Float.min 2.0 d);
+            connect_retry (attempt + 1)
+          | exception Unix.Unix_error (e, _, _) ->
+            Fmt.failwith "cannot reach the server: %s (is `ogc serve` up?)"
+              (Unix.error_message e)
+        in
+        let fd = connect_retry 0 in
         let oc = Unix.out_channel_of_descr fd in
         let ic = Unix.in_channel_of_descr fd in
         output_string oc request;
@@ -757,7 +814,258 @@ let submit_cmd =
        ~doc:"Submit one request to a running optimization service")
     Term.(const run $ addr_term $ program $ input_arg $ vrp $ vrs $ policy
           $ cost $ deadline $ return_program $ id $ stats $ ping $ metrics
-          $ raw)
+          $ raw $ retries $ connect_timeout)
+
+(* --- router / loadgen ------------------------------------------------------ *)
+
+module Router = Ogc_fleet.Router
+module Loadgen = Ogc_fleet.Loadgen
+
+(* A shard spec is [NAME=ADDR] (or bare [ADDR], auto-named by position);
+   ADDR is a Unix socket path, or HOST:PORT when the suffix parses as a
+   port and the string has no '/'. *)
+let parse_shard idx spec =
+  let name, addr_spec =
+    match String.index_opt spec '=' with
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+    | None -> (Printf.sprintf "shard%d" idx, spec)
+  in
+  let addr =
+    if String.contains addr_spec '/' then Server.Unix_sock addr_spec
+    else
+      match String.rindex_opt addr_spec ':' with
+      | Some i -> (
+        let host = String.sub addr_spec 0 i
+        and port =
+          String.sub addr_spec (i + 1) (String.length addr_spec - i - 1)
+        in
+        match int_of_string_opt port with
+        | Some port ->
+          Server.Tcp ((if host = "" then "127.0.0.1" else host), port)
+        | None -> Server.Unix_sock addr_spec)
+      | None -> Server.Unix_sock addr_spec
+  in
+  { Router.t_name = name; t_addr = addr }
+
+let router_cmd =
+  let shards =
+    Arg.(value & opt_all string []
+         & info [ "shard" ] ~docv:"[NAME=]ADDR"
+             ~doc:"A shard server to route to (repeatable): a Unix \
+                   socket path or HOST:PORT, optionally prefixed \
+                   $(i,NAME=).  At least one is required.")
+  in
+  let replicas =
+    Arg.(value & opt int 2
+         & info [ "replicas" ] ~docv:"R"
+             ~doc:"Copies of a promoted hot result, primary included.")
+  in
+  let promote_after =
+    Arg.(value & opt int 3
+         & info [ "promote-after" ] ~docv:"N"
+             ~doc:"Result-key hits before replication kicks in.")
+  in
+  let hedge_ms =
+    Arg.(value & opt (some float) None
+         & info [ "hedge-ms" ] ~docv:"MS"
+             ~doc:"Fixed hedge threshold (default: adaptive, ~2x a \
+                   recent p95).")
+  in
+  let pool_size =
+    Arg.(value & opt int 8
+         & info [ "pool-size" ] ~docv:"N"
+             ~doc:"Connections kept per shard.")
+  in
+  let max_waiters =
+    Arg.(value & opt int 64
+         & info [ "max-waiters" ] ~docv:"N"
+             ~doc:"Requests queued per shard pool before failing over \
+                   (backpressure).")
+  in
+  let request_timeout =
+    Arg.(value & opt int 30_000
+         & info [ "request-timeout-ms" ] ~docv:"MS"
+             ~doc:"Overall per-request budget across hedges and \
+                   failovers.")
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "quiet" ]
+             ~doc:"Suppress lifecycle messages (same as \
+                   $(b,--log-level=error)).")
+  in
+  let log_level =
+    Arg.(value & opt (some string) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Structured-log threshold: $(b,debug), $(b,info), \
+                   $(b,warn) or $(b,error).")
+  in
+  let run addr shards replicas promote_after hedge_ms pool_size max_waiters
+      request_timeout quiet log_level =
+    wrap (fun () ->
+        (match log_level with
+        | None -> ()
+        | Some s -> (
+          match Log.level_of_string s with
+          | Some l -> Log.set_level l
+          | None -> Fmt.failwith "bad --log-level %S" s));
+        if quiet then Log.set_level Log.Error;
+        if shards = [] then Fmt.failwith "at least one --shard is required";
+        Metrics.set_enabled true;
+        let targets = List.mapi parse_shard shards in
+        let cfg =
+          { (Router.default_config ~addr ~shards:targets) with
+            replicas;
+            promote_after;
+            hedge_ms;
+            pool_size;
+            max_waiters;
+            request_timeout_ms = request_timeout }
+        in
+        let t =
+          try Router.create cfg
+          with Unix.Unix_error (e, fn, arg) ->
+            Fmt.failwith "cannot listen: %s %s: %s" fn arg
+              (Unix.error_message e)
+        in
+        Router.install_sigint t;
+        Router.run t)
+  in
+  Cmd.v
+    (Cmd.info "router"
+       ~doc:"Route requests across a fleet of serve shards \
+             (consistent hashing, hedging, hot-key replication)")
+    Term.(const run $ addr_term $ shards $ replicas $ promote_after
+          $ hedge_ms $ pool_size $ max_waiters $ request_timeout $ quiet
+          $ log_level)
+
+let loadgen_cmd =
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Submissions to replay.")
+  in
+  let clients =
+    Arg.(value & opt int 4
+         & info [ "clients" ] ~docv:"N"
+             ~doc:"Parallel connections (worker domains).")
+  in
+  let warm_ratio =
+    Arg.(value & opt float 0.5
+         & info [ "warm-ratio" ] ~docv:"F"
+             ~doc:"Probability a submission replays an earlier one \
+                   byte-for-byte (result-cache hits).")
+  in
+  let no_cost_sweep =
+    Arg.(value & flag
+         & info [ "no-cost-sweep" ]
+             ~doc:"Disable the VRS cost sweep over the shared program \
+                   set (on by default; it exercises chain-prefix \
+                   artifact reuse).")
+  in
+  let workloads =
+    Arg.(value & opt_all string []
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Mix this benchmark workload into the cold stream \
+                   (repeatable).")
+  in
+  let programs =
+    Arg.(value & opt int 6
+         & info [ "programs" ] ~docv:"N"
+             ~doc:"Distinct synthetic MiniC programs in the stream.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Stream seed.") in
+  let retries =
+    Arg.(value & opt int 5
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Attempts per submission before counting it failed.")
+  in
+  let kill_after =
+    Arg.(value & opt (some int) None
+         & info [ "kill-after" ] ~docv:"N"
+             ~doc:"Fault injection: after N completed submissions, kill \
+                   $(b,--kill-pid).")
+  in
+  let kill_pid =
+    Arg.(value & opt (some int) None
+         & info [ "kill-pid" ] ~docv:"PID"
+             ~doc:"Process to SIGTERM when $(b,--kill-after) trips \
+                   (a shard, to exercise hedging/failover).")
+  in
+  let max_p50 =
+    Arg.(value & opt (some float) None
+         & info [ "max-p50-ms" ] ~docv:"MS"
+             ~doc:"Latency gate: exit 3 if p50 exceeds MS.")
+  in
+  let max_p95 =
+    Arg.(value & opt (some float) None
+         & info [ "max-p95-ms" ] ~docv:"MS"
+             ~doc:"Latency gate: exit 3 if p95 exceeds MS.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  let run addr requests clients warm_ratio no_cost_sweep workloads programs
+      seed retries kill_after kill_pid max_p50 max_p95 json =
+    wrap (fun () ->
+        let cfg =
+          { (Loadgen.default_config ~addr) with
+            requests;
+            clients;
+            warm_ratio;
+            cost_sweep = not no_cost_sweep;
+            workloads;
+            programs;
+            seed;
+            retries }
+        in
+        let kill =
+          match (kill_after, kill_pid) with
+          | Some n, Some pid ->
+            Some
+              ( n,
+                fun () ->
+                  Log.info "loadgen: killing shard"
+                    ~fields:[ ("pid", Json.Int pid); ("after", Json.Int n) ];
+                  try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()
+              )
+          | Some _, None -> Fmt.failwith "--kill-after needs --kill-pid"
+          | None, Some _ -> Fmt.failwith "--kill-pid needs --kill-after"
+          | None, None -> None
+        in
+        let r = Loadgen.run ?kill cfg in
+        if json then
+          print_endline
+            (Json.to_string ~indent:true (Loadgen.report_json r))
+        else begin
+          Fmt.pr "requests   %d (ok %d, failed %d, retried %d)@."
+            r.Loadgen.total r.Loadgen.ok r.Loadgen.failed r.Loadgen.retried;
+          Fmt.pr "cache hits %d@." r.Loadgen.cache_hits;
+          Fmt.pr "wall       %.2fs (%.0f req/s)@." r.Loadgen.wall_s
+            r.Loadgen.throughput_rps;
+          Fmt.pr "latency    p50 %.1fms  p95 %.1fms  p99 %.1fms@."
+            r.Loadgen.p50_ms r.Loadgen.p95_ms r.Loadgen.p99_ms
+        end;
+        if r.Loadgen.failed > 0 then exit 2;
+        let gate name limit actual =
+          match limit with
+          | Some l when actual > l ->
+            Fmt.epr "loadgen: %s %.1fms exceeds the %.1fms gate@." name
+              actual l;
+            exit 3
+          | _ -> ()
+        in
+        gate "p50" max_p50 r.Loadgen.p50_ms;
+        gate "p95" max_p95 r.Loadgen.p95_ms)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay a deterministic synthetic submission stream against \
+             a server or fleet, with latency gates and fault injection")
+    Term.(const run $ addr_term $ requests $ clients $ warm_ratio
+          $ no_cost_sweep $ workloads $ programs $ seed $ retries
+          $ kill_after $ kill_pid $ max_p50 $ max_p95 $ json)
 
 (* --- analyze / passes ------------------------------------------------------ *)
 
@@ -977,4 +1285,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
                     [ compile_cmd; run_cmd; vrp_cmd; vrs_cmd; analyze_cmd;
                       passes_cmd; sim_cmd; trace_cmd; diff_cmd; fuzz_cmd;
-                      report_cmd; workloads_cmd; serve_cmd; submit_cmd ]))
+                      report_cmd; workloads_cmd; serve_cmd; submit_cmd;
+                      router_cmd; loadgen_cmd ]))

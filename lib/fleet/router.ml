@@ -1,0 +1,711 @@
+module J = Ogc_json.Json
+module Server = Ogc_server.Server
+module Protocol = Ogc_server.Protocol
+module Version = Ogc_server.Version
+module Metrics = Ogc_obs.Metrics
+module Log = Ogc_obs.Log
+
+type target = { t_name : string; t_addr : Server.addr }
+
+type config = {
+  addr : Server.addr;
+  shards : target list;
+  vnodes : int;
+  pool_size : int;
+  max_waiters : int;
+  replicas : int;
+  promote_after : int;
+  hedge_ms : float option;
+  connect_timeout_ms : int;
+  request_timeout_ms : int;
+}
+
+let default_config ~addr ~shards =
+  { addr;
+    shards;
+    vnodes = 128;
+    pool_size = 8;
+    max_waiters = 64;
+    replicas = 2;
+    promote_after = 3;
+    hedge_ms = None;
+    connect_timeout_ms = 1000;
+    request_timeout_ms = 30_000 }
+
+let sockaddr_of = function
+  | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  | Server.Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> Fmt.failwith "cannot resolve %s" host
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found -> Fmt.failwith "cannot resolve %s" host)
+    in
+    Unix.ADDR_INET (ip, port)
+
+(* --- bounded per-shard connection pools ------------------------------------ *)
+
+exception Backpressure
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+module Conns = struct
+  type t = {
+    addr : Server.addr;
+    size : int;
+    max_waiters : int;
+    connect_timeout_ms : int;
+    m : Mutex.t;
+    cond : Condition.t;
+    mutable idle : conn list;
+    mutable live : int;  (* connections opened and not yet destroyed *)
+    mutable waiters : int;
+  }
+
+  let create ~size ~max_waiters ~connect_timeout_ms addr =
+    { addr;
+      size = max 1 size;
+      max_waiters = max 0 max_waiters;
+      connect_timeout_ms;
+      m = Mutex.create ();
+      cond = Condition.create ();
+      idle = [];
+      live = 0;
+      waiters = 0 }
+
+  (* Non-blocking connect bounded by the configured timeout, so a dead
+     TCP shard costs milliseconds, not a kernel-default SYN retry. *)
+  let connect t =
+    let domain =
+      match t.addr with
+      | Server.Unix_sock _ -> Unix.PF_UNIX
+      | Server.Tcp _ -> Unix.PF_INET
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    try
+      Unix.set_nonblock fd;
+      (try Unix.connect fd (sockaddr_of t.addr) with
+      | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+        let dt = float_of_int t.connect_timeout_ms /. 1000.0 in
+        match Unix.select [] [ fd ] [] dt with
+        | _, [ _ ], _ -> (
+          match Unix.getsockopt_error fd with
+          | None -> ()
+          | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+        | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))));
+      Unix.clear_nonblock fd;
+      { fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd }
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+  let acquire t =
+    Mutex.lock t.m;
+    let rec get () =
+      match t.idle with
+      | c :: rest ->
+        t.idle <- rest;
+        Mutex.unlock t.m;
+        c
+      | [] ->
+        if t.live < t.size then begin
+          t.live <- t.live + 1;
+          Mutex.unlock t.m;
+          (* Connect outside the lock; a slow handshake must not block
+             other acquires that could use an idle connection. *)
+          try connect t
+          with e ->
+            Mutex.lock t.m;
+            t.live <- t.live - 1;
+            Condition.signal t.cond;
+            Mutex.unlock t.m;
+            raise e
+        end
+        else if t.waiters >= t.max_waiters then begin
+          Mutex.unlock t.m;
+          raise Backpressure
+        end
+        else begin
+          t.waiters <- t.waiters + 1;
+          Condition.wait t.cond t.m;
+          t.waiters <- t.waiters - 1;
+          get ()
+        end
+    in
+    get ()
+
+  let release t c =
+    Mutex.lock t.m;
+    t.idle <- c :: t.idle;
+    Condition.signal t.cond;
+    Mutex.unlock t.m
+
+  (* For connections in an unknown protocol state (I/O error mid
+     request): never return them to the pool. *)
+  let destroy t c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.m;
+    t.live <- t.live - 1;
+    Condition.signal t.cond;
+    Mutex.unlock t.m
+
+  let close_idle t =
+    Mutex.lock t.m;
+    let idle = t.idle in
+    t.idle <- [];
+    t.live <- t.live - List.length idle;
+    Mutex.unlock t.m;
+    List.iter
+      (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      idle
+end
+
+(* --- the router ------------------------------------------------------------ *)
+
+type shard = {
+  name : string;
+  s_addr : Server.addr;
+  s_conns : Conns.t;
+  mutable down_until : float;  (* cooldown after a failure; 0 = healthy *)
+  m_requests : Metrics.counter;
+  m_hedges : Metrics.counter;
+  m_failovers : Metrics.counter;
+  m_puts : Metrics.counter;
+  m_seconds : Metrics.histogram;
+}
+
+let lat_window = 1024
+let down_cooldown = 1.0 (* seconds a failed shard is deprioritized *)
+
+type t = {
+  cfg : config;
+  ring : Ring.t;
+  shard_tbl : (string * shard) list;  (* ring name -> shard *)
+  listen_fd : Unix.file_descr;
+  stopping : bool Atomic.t;
+  started : float;
+  m : Mutex.t;  (* guards the mutable fields below *)
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  mutable requests : int;
+  mutable routed : int;
+  mutable hedged : int;
+  mutable hedge_wins : int;
+  mutable failovers : int;
+  mutable errors : int;
+  mutable unavailable : int;
+  mutable promotions : int;
+  hits : (string, int) Hashtbl.t;  (* result key -> request count *)
+  promoted : (string, unit) Hashtbl.t;
+  latencies : float array;  (* ring of recent request latencies, ms *)
+  mutable lat_n : int;
+  mutable hedge_threshold : float;  (* seconds *)
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let shard_of t name = List.assoc name t.shard_tbl
+
+let create cfg =
+  if cfg.shards = [] then invalid_arg "Router.create: no shards";
+  let names = List.map (fun s -> s.t_name) cfg.shards in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid_arg "Router.create: duplicate shard names";
+  let ring = Ring.create ~vnodes:cfg.vnodes names in
+  let shard_tbl =
+    List.map
+      (fun s ->
+        ( s.t_name,
+          { name = s.t_name;
+            s_addr = s.t_addr;
+            s_conns =
+              Conns.create ~size:cfg.pool_size ~max_waiters:cfg.max_waiters
+                ~connect_timeout_ms:cfg.connect_timeout_ms s.t_addr;
+            down_until = 0.0;
+            m_requests =
+              Metrics.counter "ogc_router_shard_requests_total"
+                ~labels:[ ("shard", s.t_name) ];
+            m_hedges =
+              Metrics.counter "ogc_router_shard_hedges_total"
+                ~labels:[ ("shard", s.t_name) ];
+            m_failovers =
+              Metrics.counter "ogc_router_shard_failovers_total"
+                ~labels:[ ("shard", s.t_name) ];
+            m_puts =
+              Metrics.counter "ogc_router_shard_replica_puts_total"
+                ~labels:[ ("shard", s.t_name) ];
+            m_seconds =
+              Metrics.histogram "ogc_router_shard_seconds"
+                ~labels:[ ("shard", s.t_name) ] } ))
+      cfg.shards
+  in
+  let domain =
+    match cfg.addr with
+    | Server.Unix_sock _ -> Unix.PF_UNIX
+    | Server.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match cfg.addr with
+  | Server.Unix_sock path -> if Sys.file_exists path then Unix.unlink path
+  | Server.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of cfg.addr);
+  Unix.listen fd 64;
+  { cfg;
+    ring;
+    shard_tbl;
+    listen_fd = fd;
+    stopping = Atomic.make false;
+    started = Unix.gettimeofday ();
+    m = Mutex.create ();
+    conns = [];
+    threads = [];
+    requests = 0;
+    routed = 0;
+    hedged = 0;
+    hedge_wins = 0;
+    failovers = 0;
+    errors = 0;
+    unavailable = 0;
+    promotions = 0;
+    hits = Hashtbl.create 256;
+    promoted = Hashtbl.create 64;
+    latencies = Array.make lat_window 0.0;
+    lat_n = 0;
+    hedge_threshold = 0.025 }
+
+(* --- adaptive hedge threshold ---------------------------------------------- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+
+(* Hedge at ~2x a recent p95: rare stragglers trigger a second copy,
+   the common case never pays for one.  Clamped so a pathological
+   window can neither hedge every request nor disable hedging. *)
+let recompute_threshold t =
+  match t.cfg.hedge_ms with
+  | Some ms -> t.hedge_threshold <- ms /. 1000.0
+  | None ->
+    let lats = Array.sub t.latencies 0 (min t.lat_n lat_window) in
+    Array.sort compare lats;
+    let p95_s = percentile lats 0.95 /. 1000.0 in
+    let budget = float_of_int t.cfg.request_timeout_ms /. 1000.0 in
+    t.hedge_threshold <- Float.min (budget /. 4.0) (Float.max 0.002 (2.0 *. p95_s))
+
+let record_latency t ms =
+  locked t (fun () ->
+      t.latencies.(t.lat_n mod lat_window) <- ms;
+      t.lat_n <- t.lat_n + 1;
+      if t.lat_n mod 64 = 0 then recompute_threshold t)
+
+(* --- candidate selection --------------------------------------------------- *)
+
+(* Ring successors of the route key, healthy shards first (ring order
+   preserved within each class — if everything is down we still try, in
+   order).  Promoted hot keys rotate their entry point across the first
+   [replicas] successors so a popular analysis front is spread over its
+   whole replica set instead of hammering the primary. *)
+let candidates t rkey ~hits ~promoted =
+  let names = Ring.successors t.ring rkey (List.length t.cfg.shards) in
+  let names =
+    if promoted && t.cfg.replicas > 1 then begin
+      let r = min t.cfg.replicas (List.length names) in
+      let rec split n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (n - 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
+      in
+      let replicas, rest = split r [] names in
+      let k = hits mod r in
+      let rot = List.filteri (fun i _ -> i >= k) replicas
+                @ List.filteri (fun i _ -> i < k) replicas in
+      rot @ rest
+    end
+    else names
+  in
+  let now = Unix.gettimeofday () in
+  let shards = List.map (shard_of t) names in
+  let up, down = List.partition (fun s -> s.down_until <= now) shards in
+  up @ down
+
+(* --- request forwarding ---------------------------------------------------- *)
+
+let envelope ?id ~status extra =
+  J.to_string ~indent:false
+    (J.Obj
+       (("version", J.Str Version.version)
+        :: (match id with Some s -> [ ("id", J.Str s) ] | None -> [])
+        @ (("status", J.Str status) :: extra)))
+
+(* Outcome cell shared between the request thread and its attempts.
+   First response wins; [launched]/[errored] let the request thread
+   distinguish "still computing" from "every attempt failed". *)
+type cell = {
+  cm : Mutex.t;
+  mutable response : (int * string) option;  (* attempt index, line *)
+  mutable launched : int;
+  mutable errored : int;
+}
+
+(* One attempt = one shard round trip on a pooled connection, run on its
+   own thread so the request thread can hedge past it.  An abandoned
+   attempt still reads its response line before releasing the
+   connection — returning a connection with an unread response would
+   desync every later request on it. *)
+let launch_attempt cell idx sh line =
+  Mutex.lock cell.cm;
+  cell.launched <- cell.launched + 1;
+  Mutex.unlock cell.cm;
+  let body () =
+    let record_error () =
+      sh.down_until <- Unix.gettimeofday () +. down_cooldown;
+      Mutex.lock cell.cm;
+      cell.errored <- cell.errored + 1;
+      Mutex.unlock cell.cm
+    in
+    match Conns.acquire sh.s_conns with
+    | exception _ -> record_error ()
+    | c -> (
+      if Metrics.enabled () then Metrics.incr sh.m_requests;
+      let t0 = Unix.gettimeofday () in
+      match
+        output_string c.oc line;
+        output_char c.oc '\n';
+        flush c.oc;
+        input_line c.ic
+      with
+      | resp ->
+        Conns.release sh.s_conns c;
+        if Metrics.enabled () then
+          Metrics.observe sh.m_seconds (Unix.gettimeofday () -. t0);
+        sh.down_until <- 0.0;
+        Mutex.lock cell.cm;
+        if cell.response = None then cell.response <- Some (idx, resp);
+        Mutex.unlock cell.cm
+      | exception _ ->
+        Conns.destroy sh.s_conns c;
+        record_error ())
+  in
+  ignore (Thread.create body ())
+
+(* Forward [line] along [cands], hedging once past a straggler and
+   failing over past errors, until a response, exhaustion, or the
+   request budget runs out. *)
+let forward t ~t0 ~id ~hedge line cands =
+  let cell =
+    { cm = Mutex.create (); response = None; launched = 0; errored = 0 }
+  in
+  let deadline = t0 +. (float_of_int t.cfg.request_timeout_ms /. 1000.0) in
+  let remaining = ref cands in
+  let attempt_no = ref 0 in
+  let launch why =
+    match !remaining with
+    | [] -> false
+    | sh :: rest ->
+      remaining := rest;
+      (match why with
+      | `Primary -> ()
+      | `Hedge ->
+        locked t (fun () -> t.hedged <- t.hedged + 1);
+        if Metrics.enabled () then Metrics.incr sh.m_hedges
+      | `Failover ->
+        locked t (fun () -> t.failovers <- t.failovers + 1);
+        if Metrics.enabled () then Metrics.incr sh.m_failovers);
+      launch_attempt cell !attempt_no sh line;
+      incr attempt_no;
+      true
+  in
+  ignore (launch `Primary);
+  let hedge_at = ref (t0 +. t.hedge_threshold) in
+  let give_up () =
+    locked t (fun () ->
+        t.unavailable <- t.unavailable + 1;
+        t.errors <- t.errors + 1);
+    envelope ?id ~status:"unavailable"
+      [ ("error", J.Str "no shard answered within the request budget") ]
+  in
+  let rec wait () =
+    let response, launched, errored =
+      Mutex.lock cell.cm;
+      let r = (cell.response, cell.launched, cell.errored) in
+      Mutex.unlock cell.cm;
+      r
+    in
+    match response with
+    | Some (idx, resp) ->
+      if idx > 0 then locked t (fun () -> t.hedge_wins <- t.hedge_wins + 1);
+      resp
+    | None ->
+      let now = Unix.gettimeofday () in
+      if errored >= launched then
+        (* Every launched attempt failed: fail over immediately. *)
+        if launch `Failover then begin
+          hedge_at := now +. t.hedge_threshold;
+          wait ()
+        end
+        else give_up ()
+      else if now >= deadline then give_up ()
+      else begin
+        if hedge && now >= !hedge_at && launched - errored = 1 then begin
+          (* One hedge per in-flight attempt; a straggler past the
+             threshold gets exactly one shadow copy. *)
+          ignore (launch `Hedge);
+          hedge_at := deadline
+        end;
+        (* OCaml's Condition has no timed wait; a sub-millisecond poll
+           keeps hedge latency overhead invisible next to an analysis. *)
+        Thread.delay 0.0005;
+        wait ()
+      end
+  in
+  wait ()
+
+(* --- hot-key promotion ----------------------------------------------------- *)
+
+let hits_cap = 8192
+
+let bump_hits t key =
+  locked t (fun () ->
+      if Hashtbl.length t.hits >= hits_cap then Hashtbl.reset t.hits;
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.hits key) in
+      Hashtbl.replace t.hits key n;
+      (n, Hashtbl.mem t.promoted key))
+
+(* Push a hot result to the replica shards, off the request path.  A
+   failed put is dropped: replication is a latency optimization, the
+   primary still owns the result. *)
+let replicate t ckey rkey result =
+  let line =
+    J.to_string ~indent:false
+      (J.Obj
+         [ ("proto", J.Int Protocol.proto_version);
+           ("op", J.Str "put");
+           ("key", J.Str ckey);
+           ("result", result) ])
+  in
+  let targets =
+    match Ring.successors t.ring rkey t.cfg.replicas with
+    | [] -> []
+    | _primary :: replicas -> replicas
+  in
+  List.iter
+    (fun name ->
+      let sh = shard_of t name in
+      match Conns.acquire sh.s_conns with
+      | exception _ -> ()
+      | c -> (
+        match
+          output_string c.oc line;
+          output_char c.oc '\n';
+          flush c.oc;
+          input_line c.ic
+        with
+        | _ ->
+          Conns.release sh.s_conns c;
+          if Metrics.enabled () then Metrics.incr sh.m_puts
+        | exception _ -> Conns.destroy sh.s_conns c))
+    targets
+
+let maybe_promote t ckey rkey ~hits resp =
+  if
+    t.cfg.replicas > 1 && hits >= t.cfg.promote_after
+    && not (locked t (fun () -> Hashtbl.mem t.promoted ckey))
+  then begin
+    match J.of_string resp with
+    | exception J.Parse_error _ -> ()
+    | j -> (
+      match (J.member "status" j, J.member "result" j) with
+      | J.Str "ok", (J.Obj _ as result) ->
+        locked t (fun () ->
+            Hashtbl.replace t.promoted ckey ();
+            t.promotions <- t.promotions + 1);
+        ignore (Thread.create (fun () -> replicate t ckey rkey result) ())
+      | _ -> ())
+  end
+
+(* --- request handling ------------------------------------------------------ *)
+
+let stats_json t =
+  let counters, lats, threshold =
+    locked t (fun () ->
+        ( ( t.requests,
+            t.routed,
+            t.hedged,
+            t.hedge_wins,
+            t.failovers,
+            t.errors,
+            t.unavailable,
+            t.promotions,
+            t.lat_n ),
+          Array.sub t.latencies 0 (min t.lat_n lat_window),
+          t.hedge_threshold ))
+  in
+  let requests, routed, hedged, hedge_wins, failovers, errors, unavailable,
+      promotions, lat_n =
+    counters
+  in
+  Array.sort compare lats;
+  let now = Unix.gettimeofday () in
+  J.Obj
+    [ ("role", J.Str "router");
+      ("uptime_s", J.Float (now -. t.started));
+      ("requests", J.Int requests);
+      ("routed", J.Int routed);
+      ("hedged", J.Int hedged);
+      ("hedge_wins", J.Int hedge_wins);
+      ("failovers", J.Int failovers);
+      ("errors", J.Int errors);
+      ("unavailable", J.Int unavailable);
+      ("promotions", J.Int promotions);
+      ("hedge_threshold_ms", J.Float (threshold *. 1000.0));
+      ("latency_ms",
+       J.Obj
+         [ ("count", J.Int lat_n);
+           ("p50", J.Float (percentile lats 0.50));
+           ("p95", J.Float (percentile lats 0.95)) ]);
+      ("shards",
+       J.Arr
+         (List.map
+            (fun (_, sh) ->
+              J.Obj
+                [ ("name", J.Str sh.name);
+                  ("addr", J.Str (Server.addr_string sh.s_addr));
+                  ("down", J.Bool (sh.down_until > now)) ])
+            t.shard_tbl)) ]
+
+let handle_line t line =
+  let t0 = Unix.gettimeofday () in
+  locked t (fun () -> t.requests <- t.requests + 1);
+  let response =
+    match J.of_string line with
+    | exception J.Parse_error msg ->
+      locked t (fun () -> t.errors <- t.errors + 1);
+      envelope ~status:"error" [ ("error", J.Str msg) ]
+    | j -> (
+      let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
+      match Protocol.op_of_json j with
+      | exception J.Parse_error msg ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        envelope ?id ~status:"error" [ ("error", J.Str msg) ]
+      | exception Protocol.Version_mismatch got ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        envelope ?id ~status:"unsupported_protocol"
+          [ ("error", J.Str "protocol version mismatch");
+            ("expected", J.Int Protocol.proto_version);
+            ("got", J.Int got) ]
+      | Protocol.Ping -> envelope ?id ~status:"ok" [ ("op", J.Str "ping") ]
+      | Protocol.Stats ->
+        envelope ?id ~status:"ok"
+          [ ("op", J.Str "stats"); ("result", stats_json t) ]
+      | Protocol.Metrics ->
+        envelope ?id ~status:"ok"
+          [ ("op", J.Str "metrics");
+            ("exposition", J.Str (Metrics.to_prometheus ()));
+            ("result", Metrics.to_json ()) ]
+      | Protocol.Fetch key | Protocol.Put (key, _) ->
+        (* Replication ops address a single owner; no hedging. *)
+        locked t (fun () -> t.routed <- t.routed + 1);
+        let cands = candidates t key ~hits:0 ~promoted:false in
+        forward t ~t0 ~id ~hedge:false line cands
+      | Protocol.Analyze req ->
+        locked t (fun () -> t.routed <- t.routed + 1);
+        let rkey = Protocol.route_key req in
+        let ckey = Protocol.cache_key req in
+        let hits, already_promoted = bump_hits t ckey in
+        let cands = candidates t rkey ~hits ~promoted:already_promoted in
+        let resp = forward t ~t0 ~id ~hedge:true line cands in
+        maybe_promote t ckey rkey ~hits resp;
+        record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+        resp)
+  in
+  response
+
+(* --- lifecycle (mirrors Server) -------------------------------------------- *)
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let continue = ref true in
+     while !continue do
+       match input_line ic with
+       | "" -> ()
+       | line ->
+         output_string oc (handle_line t (String.trim line));
+         output_char oc '\n';
+         flush oc
+       | exception (End_of_file | Sys_error _) -> continue := false
+     done
+   with _ -> ());
+  locked t (fun () -> t.conns <- List.filter (fun c -> c != fd) t.conns);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    try
+      let domain =
+        match t.cfg.addr with
+        | Server.Unix_sock _ -> Unix.PF_UNIX
+        | Server.Tcp _ -> Unix.PF_INET
+      in
+      let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (sockaddr_of t.cfg.addr)
+       with Unix.Unix_error _ -> ());
+      Unix.close fd
+    with _ -> ()
+  end
+
+let install_sigint t =
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t))
+
+let run t =
+  (* Shard connections can die mid-write (a killed shard, a dropped
+     client); that must surface as EPIPE, not kill the router. *)
+  Server.ignore_sigpipe ();
+  Log.info "ogc-router: listening"
+    ~fields:
+      [ ("version", J.Str Version.version);
+        ("addr", J.Str (Server.addr_string t.cfg.addr));
+        ("shards",
+         J.Arr (List.map (fun (n, _) -> J.Str n) t.shard_tbl));
+        ("replicas", J.Int t.cfg.replicas) ];
+  let continue = ref true in
+  while !continue do
+    if Atomic.get t.stopping then continue := false
+    else
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        if Atomic.get t.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          continue := false
+        end
+        else
+          locked t (fun () ->
+              t.conns <- fd :: t.conns;
+              t.threads <- Thread.create (handle_conn t) fd :: t.threads)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Log.info "ogc-router: draining" ~fields:[];
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.addr with
+  | Server.Unix_sock path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Server.Tcp _ -> ());
+  let conns, threads = locked t (fun () -> (t.conns, t.threads)) in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join threads;
+  List.iter (fun (_, sh) -> Conns.close_idle sh.s_conns) t.shard_tbl;
+  Log.info "ogc-router: stopped"
+    ~fields:
+      [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+        ("requests", J.Int (locked t (fun () -> t.requests))) ]

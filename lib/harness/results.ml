@@ -72,9 +72,24 @@ type analyze_bench = {
   ab_defs : int;
 }
 
+(* One serve-fleet loadgen run (router + sharded servers, one shard
+   killed mid-run): completion counts and client-observed latency
+   percentiles.  [fb_failed] is gated exactly — the fleet criterion is
+   zero failed submissions even through the kill. *)
+type fleet_bench = {
+  fb_shards : int;
+  fb_requests : int;
+  fb_failed : int;
+  fb_hedged : int;
+  fb_p50_ms : float;
+  fb_p95_ms : float;
+  fb_p99_ms : float;
+}
+
 type t = {
   workloads : wres list;
   analyze : (string * analyze_bench) list;
+  fleet : fleet_bench option;
   quick : bool;
 }
 
@@ -382,7 +397,7 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
         })
       base_infos
   in
-  ( { workloads; analyze; quick },
+  ( { workloads; analyze; fleet = None; quick },
     [ ("baselines", ph1_s); ("analyses", ph_an_s); ("versions", ph3_s);
       ("analyze-bench", ph4_s) ] )
 
@@ -608,6 +623,29 @@ let wres_of_json j =
     vrs50_guard_frac = Json.get_float "vrs50_guard_frac" j;
   }
 
+let fleet_to_json fb =
+  Json.Obj
+    [
+      ("shards", Json.Int fb.fb_shards);
+      ("requests", Json.Int fb.fb_requests);
+      ("failed", Json.Int fb.fb_failed);
+      ("hedged", Json.Int fb.fb_hedged);
+      ("p50_ms", Json.Float fb.fb_p50_ms);
+      ("p95_ms", Json.Float fb.fb_p95_ms);
+      ("p99_ms", Json.Float fb.fb_p99_ms);
+    ]
+
+let fleet_of_json j =
+  {
+    fb_shards = Json.get_int "shards" j;
+    fb_requests = Json.get_int "requests" j;
+    fb_failed = Json.get_int "failed" j;
+    fb_hedged = Json.get_int "hedged" j;
+    fb_p50_ms = Json.get_float "p50_ms" j;
+    fb_p95_ms = Json.get_float "p95_ms" j;
+    fb_p99_ms = Json.get_float "p99_ms" j;
+  }
+
 let analyze_to_json (name, ab) =
   Json.Obj
     [
@@ -634,13 +672,17 @@ let format_version = 1
 
 let to_json t =
   Json.Obj
-    [
-      ("format", Json.Str format_name);
-      ("version", Json.Int format_version);
-      ("quick", Json.Bool t.quick);
-      ("workloads", Json.Arr (List.map wres_to_json t.workloads));
-      ("analyze", Json.Arr (List.map analyze_to_json t.analyze));
-    ]
+    ([
+       ("format", Json.Str format_name);
+       ("version", Json.Int format_version);
+       ("quick", Json.Bool t.quick);
+       ("workloads", Json.Arr (List.map wres_to_json t.workloads));
+       ("analyze", Json.Arr (List.map analyze_to_json t.analyze));
+     ]
+    @
+    match t.fleet with
+    | None -> []
+    | Some fb -> [ ("fleet", fleet_to_json fb) ])
 
 let of_json j =
   (match Json.member "format" j with
@@ -659,6 +701,12 @@ let of_json j =
       (match Json.member "analyze" j with
       | Json.Null -> []
       | _ -> List.map analyze_of_json (Json.get_list "analyze" j));
+    (* Absent in files written before the fleet series, and in runs
+       that skipped the fleet bench. *)
+    fleet =
+      (match Json.member "fleet" j with
+      | Json.Null -> None
+      | fj -> Some (fleet_of_json fj));
   }
 
 (* --- regression comparison --------------------------------------------------- *)
@@ -765,6 +813,43 @@ let compare_to_baseline ~time_tolerance ~baseline ~current ~threshold =
             (float_of_int ca.ab_visits)
           @ cell "analyze_seconds" time_tolerance ba.ab_seconds ca.ab_seconds)
       current.analyze
+    @ (* Fleet series: failed submissions are gated exactly (any failed
+         request regresses the zero-failure criterion); client-observed
+         latency percentiles are wall time and get the loose tolerance.
+         Only comparable runs (same shard and request counts) compare. *)
+    (match (baseline.fleet, current.fleet) with
+    | Some bf, Some cf
+      when bf.fb_shards = cf.fb_shards && bf.fb_requests = cf.fb_requests ->
+      let cell metric tol base cur =
+        let delta = if base <= 0.0 then 0.0 else (cur -. base) /. base in
+        if delta > tol then
+          [
+            {
+              r_workload = "*";
+              r_config = "fleet";
+              r_metric = metric;
+              r_baseline = base;
+              r_current = cur;
+              r_delta_frac = delta;
+            };
+          ]
+        else []
+      in
+      (if cf.fb_failed > bf.fb_failed then
+         [
+           {
+             r_workload = "*";
+             r_config = "fleet";
+             r_metric = "failed";
+             r_baseline = float_of_int bf.fb_failed;
+             r_current = float_of_int cf.fb_failed;
+             r_delta_frac = 1.0;
+           };
+         ]
+       else [])
+      @ cell "fleet_p50_ms" time_tolerance bf.fb_p50_ms cf.fb_p50_ms
+      @ cell "fleet_p95_ms" time_tolerance bf.fb_p95_ms cf.fb_p95_ms
+    | _ -> [])
 
 let render_regressions = function
   | [] -> "no regressions\n"

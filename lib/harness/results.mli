@@ -88,9 +88,26 @@ type analyze_bench = {
   ab_defs : int;
 }
 
+(** One serve-fleet loadgen run (router in front of sharded [ogc serve]
+    instances, one shard killed mid-run): completion counts and the
+    client-observed latency percentiles from the loadgen histogram.
+    [fb_failed] is the number of submissions that exhausted their retry
+    budget — the fleet-smoke criterion is that it stays zero even
+    through the shard kill. *)
+type fleet_bench = {
+  fb_shards : int;
+  fb_requests : int;
+  fb_failed : int;
+  fb_hedged : int;  (** requests that got a hedged second copy *)
+  fb_p50_ms : float;
+  fb_p95_ms : float;
+  fb_p99_ms : float;
+}
+
 type t = {
   workloads : wres list;
   analyze : (string * analyze_bench) list;  (** by workload name *)
+  fleet : fleet_bench option;  (** populated by the bench driver *)
   quick : bool;
 }
 
@@ -165,7 +182,10 @@ val compare_to_baseline :
     vacuously passing.  The analyze-throughput series is also gated:
     fixpoint visit counts (deterministic) against [threshold], analyze
     wall seconds (noisy) against [time_tolerance] ([0.5] means 50%
-    slower than baseline fails). *)
+    slower than baseline fails).  The fleet series, when both
+    collections carry comparable runs (same shard and request counts),
+    gates failed submissions exactly — any increase regresses — and the
+    p50/p95 latencies against [time_tolerance]. *)
 
 val render_regressions : regression list -> string
 

@@ -138,6 +138,18 @@ let find t key =
           Metrics.incr m_misses;
           None))
 
+(* Replication probes (is this result here?) must not distort the LRU
+   order or the hit/miss telemetry the serve loop's accounting relies
+   on, so [peek] bypasses both. *)
+let peek t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e -> Some e.value
+      | None -> (
+        match Option.map read_file (path_of t key) with
+        | Some (Some value) -> Some value
+        | _ -> None))
+
 let store t key value =
   locked t (fun () ->
       insert_locked t key value;

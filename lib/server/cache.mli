@@ -39,6 +39,12 @@ val create : ?capacity:int -> ?dir:string -> unit -> t
 val find : t -> string -> string option
 (** Memory first, then disk; updates hit/miss counters and recency. *)
 
+val peek : t -> string -> string option
+(** Memory first, then disk, but with no side effects: no counter
+    updates, no recency restamp, no disk-to-memory promotion.  Used by
+    replication probes, which must not distort the serve loop's cache
+    accounting. *)
+
 val store : t -> string -> string -> unit
 (** Idempotent: re-storing an existing key keeps the first value. *)
 

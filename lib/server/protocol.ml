@@ -29,7 +29,29 @@ type request = {
   return_program : bool;
 }
 
-type op = Analyze of request | Stats | Ping | Metrics
+type op =
+  | Analyze of request
+  | Stats
+  | Ping
+  | Metrics
+  | Fetch of string
+  | Put of string * J.t
+
+(* --- protocol version ----------------------------------------------------- *)
+
+let proto_version = 1
+
+exception Version_mismatch of int
+
+(* A ["proto"] member must match ours exactly; its absence means a
+   legacy client and is accepted (version 0 of the protocol had no
+   handshake, so rejecting absence would break every deployed client
+   while adding no safety). *)
+let check_proto j =
+  match J.member "proto" j with
+  | J.Null -> ()
+  | J.Int v -> if v <> proto_version then raise (Version_mismatch v)
+  | _ -> fail "member \"proto\": expected an integer"
 
 (* --- request parsing ------------------------------------------------------ *)
 
@@ -109,14 +131,33 @@ let request_of_json j =
     deadline_ms = opt_int "deadline_ms" j;
     return_program = opt_bool ~default:false "return_program" j }
 
+(* Replication keys travel between shards; insist on the exact shape a
+   {!cache_key} has (32 lowercase hex characters) so a confused client
+   can never address arbitrary strings into a shard's cache. *)
+let key_arg j =
+  match opt_string "key" j with
+  | None -> fail "member \"key\": required"
+  | Some k ->
+    let hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') in
+    if String.length k = 32 && String.for_all hex k then k
+    else fail "member \"key\": expected 32 lowercase hex characters"
+
 let op_of_json j =
+  check_proto j;
   match opt_string "op" j with
   | None | Some "analyze" -> Analyze (request_of_json j)
   | Some "stats" -> Stats
   | Some "ping" -> Ping
   | Some "metrics" -> Metrics
+  | Some "fetch" -> Fetch (key_arg j)
+  | Some "put" -> (
+    match J.member "result" j with
+    | J.Null -> fail "member \"result\": required"
+    | r -> Put (key_arg j, r))
   | Some op ->
-    fail "unknown op %S (expected analyze, stats, ping or metrics)" op
+    fail
+      "unknown op %S (expected analyze, stats, ping, metrics, fetch or put)"
+      op
 
 (* --- cache key ------------------------------------------------------------ *)
 
@@ -124,14 +165,15 @@ let op_of_json j =
    — program bytes, options, and the analyzer version (an upgraded
    analyzer must never serve a stale artifact) — and nothing that cannot
    (id, deadline). *)
+let payload_kind req =
+  match req.payload with
+  | Source s -> ("source", s)
+  | Asm_text s -> ("asm", s)
+  | Prog_tree p -> ("prog", J.to_string ~indent:false p)
+  | Workload w -> ("workload", w)
+
 let cache_key req =
-  let kind, body =
-    match req.payload with
-    | Source s -> ("source", s)
-    | Asm_text s -> ("asm", s)
-    | Prog_tree p -> ("prog", J.to_string ~indent:false p)
-    | Workload w -> ("workload", w)
-  in
+  let kind, body = payload_kind req in
   let canonical =
     J.to_string ~indent:false
       (J.Obj
@@ -143,6 +185,22 @@ let cache_key req =
            ("policy", J.Str (Policy.name req.policy));
            ("cost", J.Int req.cost);
            ("return_program", J.Bool req.return_program) ])
+  in
+  Cache.key_of_string canonical
+
+(* Routing deliberately hashes only the program identity, not the
+   options: every variant of one program (the VRS cost sweep, policy
+   flips, train/ref) lands on the same primary shard, whose Pass.Store
+   then serves the shared chain-prefix artifacts — the whole point of
+   content-addressed sharding. *)
+let route_key req =
+  let kind, body = payload_kind req in
+  let canonical =
+    J.to_string ~indent:false
+      (J.Obj
+         [ ("analyzer", J.Str Version.version);
+           ("kind", J.Str kind);
+           ("body", J.Str body) ])
   in
   Cache.key_of_string canonical
 

@@ -43,10 +43,31 @@ type request = {
   return_program : bool;
 }
 
-type op = Analyze of request | Stats | Ping | Metrics
+type op =
+  | Analyze of request
+  | Stats
+  | Ping
+  | Metrics
+  | Fetch of string  (** replication: read a cached result by key *)
+  | Put of string * Ogc_json.Json.t
+      (** replication: install a result under its key *)
+
+val proto_version : int
+(** Version of this wire protocol (carried as the ["proto"] request
+    member). *)
+
+exception Version_mismatch of int
+(** A request declared a ["proto"] other than {!proto_version} (the
+    payload is the client's version).  Servers answer with a structured
+    ["unsupported_protocol"] error instead of attempting to parse the
+    rest of the request. *)
 
 val op_of_json : Ogc_json.Json.t -> op
-(** Raises [Ogc_json.Json.Parse_error] on malformed requests. *)
+(** Raises [Ogc_json.Json.Parse_error] on malformed requests and
+    {!Version_mismatch} on a protocol version conflict.  An absent
+    ["proto"] member denotes a pre-handshake client and is accepted.
+    [fetch]/[put] keys must be 32 lowercase hex characters (the
+    {!cache_key} shape). *)
 
 val pass_name : pass -> string
 val input_name : Ogc_workloads.Workload.input -> string
@@ -56,6 +77,13 @@ val cache_key : request -> string
     program payload, every result-affecting option, and the analyzer
     version — never over [id] or [deadline_ms].  Two requests with equal
     keys receive byte-identical result payloads. *)
+
+val route_key : request -> string
+(** Shard-placement address: MD5 over the program payload and analyzer
+    version {e only}.  All option variants of one program (the VRS cost
+    sweep, policy or input flips) share a route key, so a router sending
+    equal route keys to one shard concentrates that program's
+    chain-prefix artifacts in a single warm {!Ogc_pass.Pass.Store}. *)
 
 val analyze : ?store:Ogc_pass.Pass.Store.t -> request -> Ogc_json.Json.t
 (** Run the requested pass chain and simulation; the cacheable result

@@ -8,7 +8,8 @@ exception Deadline_exceeded
 
 (* Per-op request counters and latency histograms; "invalid" covers
    lines that never parsed far enough to name an op. *)
-let known_ops = [ "analyze"; "stats"; "ping"; "metrics"; "invalid" ]
+let known_ops =
+  [ "analyze"; "stats"; "ping"; "metrics"; "fetch"; "put"; "invalid" ]
 
 let m_requests =
   List.map
@@ -32,6 +33,7 @@ type config = {
   queue_limit : int;
   cache_capacity : int;
   cache_dir : string option;
+  shard_id : string option;
 }
 
 let default_config addr =
@@ -39,7 +41,8 @@ let default_config addr =
     jobs = None;
     queue_limit = 64;
     cache_capacity = 256;
-    cache_dir = None }
+    cache_dir = None;
+    shard_id = None }
 
 let addr_string = function
   | Unix_sock path -> path
@@ -67,6 +70,9 @@ type t = {
   mutable errors : int;
   mutable rejected : int;  (* overload replies *)
   mutable expired : int;  (* deadline replies *)
+  mutable fetches : int;  (* replication fetch ops served *)
+  mutable fetch_hits : int;  (* ... that found the key *)
+  mutable puts : int;  (* replication put ops accepted *)
   latencies : float array;  (* ring of the last [lat_window] latencies, ms *)
   mutable lat_n : int;
 }
@@ -103,10 +109,19 @@ let create cfg =
   | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
   Unix.bind fd (sockaddr_of cfg.addr);
   Unix.listen fd 64;
+  (* Co-located shards sharing a cache_dir get disjoint subdirectories,
+     so their atomic tmp+rename writes can never collide on one path. *)
+  let cache_dir =
+    match (cfg.cache_dir, cfg.shard_id) with
+    | Some d, Some id ->
+      if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+      Some (Filename.concat d ("shard-" ^ id))
+    | d, _ -> d
+  in
   { cfg;
     listen_fd = fd;
     pool = Pool.create ?jobs:cfg.jobs ();
-    cache = Cache.create ~capacity:cfg.cache_capacity ?dir:cfg.cache_dir ();
+    cache = Cache.create ~capacity:cfg.cache_capacity ?dir:cache_dir ();
     passes = Ogc_pass.Pass.Store.create ~capacity:cfg.cache_capacity ();
     pending = Atomic.make 0;
     stopping = Atomic.make false;
@@ -119,8 +134,25 @@ let create cfg =
     errors = 0;
     rejected = 0;
     expired = 0;
+    fetches = 0;
+    fetch_hits = 0;
+    puts = 0;
     latencies = Array.make lat_window 0.0;
     lat_n = 0 }
+
+(* Co-located in-process shards: wire every shard's pass store to peek
+   at its siblings' on a local miss, so a chain-prefix artifact computed
+   on any shard is visible fleet-wide.  [peek] never takes a sibling's
+   find path, so the consultation cannot recurse or deadlock. *)
+let link_stores ts =
+  List.iter
+    (fun t ->
+      let siblings = List.filter (fun s -> s != t) ts in
+      Ogc_pass.Pass.Store.set_fallback t.passes (fun ~pass key ->
+          List.find_map
+            (fun s -> Ogc_pass.Pass.Store.peek s.passes ~pass key)
+            siblings))
+    ts
 
 (* --- stats ----------------------------------------------------------------- *)
 
@@ -131,16 +163,21 @@ let percentile sorted q =
 
 let stats_json t =
   let c = Cache.stats t.cache in
-  let lats, counters =
+  let lats, counters, repl =
     locked t (fun () ->
         ( Array.sub t.latencies 0 (min t.lat_n lat_window),
-          (t.requests, t.analyses, t.errors, t.rejected, t.expired, t.lat_n) ))
+          (t.requests, t.analyses, t.errors, t.rejected, t.expired, t.lat_n),
+          (t.fetches, t.fetch_hits, t.puts) ))
   in
   let requests, analyses, errors, rejected, expired, lat_n = counters in
+  let fetches, fetch_hits, puts = repl in
   Array.sort compare lats;
   let lookups = c.Cache.hits + c.Cache.misses in
   J.Obj
-    [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+    ((match t.cfg.shard_id with
+     | Some id -> [ ("shard_id", J.Str id) ]
+     | None -> [])
+    @ [ ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
       ("requests", J.Int requests);
       ("analyses", J.Int analyses);
       ("errors", J.Int errors);
@@ -166,10 +203,24 @@ let stats_json t =
          [ ("artifacts", J.Int (Ogc_pass.Pass.Store.entries t.passes));
            ("by_pass",
             J.Obj
-              (List.map
+              (let replicas =
+                 Ogc_pass.Pass.Store.replica_stats t.passes
+               in
+               List.map
                  (fun (n, h, m) ->
-                   (n, J.Obj [ ("hits", J.Int h); ("misses", J.Int m) ]))
+                   ( n,
+                     J.Obj
+                       ([ ("hits", J.Int h); ("misses", J.Int m) ]
+                       @
+                       match List.assoc_opt n replicas with
+                       | Some r -> [ ("replica", J.Int r) ]
+                       | None -> []) ))
                  (Ogc_pass.Pass.Store.pass_stats t.passes))) ]);
+      ("replication",
+       J.Obj
+         [ ("fetches", J.Int fetches);
+           ("fetch_hits", J.Int fetch_hits);
+           ("puts", J.Int puts) ]);
       ("latency_ms",
        J.Obj
          [ ("count", J.Int lat_n);
@@ -183,7 +234,7 @@ let stats_json t =
        J.Obj
          [ ("jobs", J.Int (Pool.size t.pool));
            ("pending", J.Int (Atomic.get t.pending));
-           ("queue_limit", J.Int t.cfg.queue_limit) ]) ]
+           ("queue_limit", J.Int t.cfg.queue_limit) ]) ])
 
 let record_latency t ms =
   locked t (fun () ->
@@ -281,6 +332,13 @@ let handle_line t line =
       | exception J.Parse_error msg ->
         locked t (fun () -> t.errors <- t.errors + 1);
         ("invalid", envelope ?id ~status:"error" [ ("error", J.Str msg) ])
+      | exception Protocol.Version_mismatch got ->
+        locked t (fun () -> t.errors <- t.errors + 1);
+        ( "invalid",
+          envelope ?id ~status:"unsupported_protocol"
+            [ ("error", J.Str "protocol version mismatch");
+              ("expected", J.Int Protocol.proto_version);
+              ("got", J.Int got) ] )
       | Protocol.Ping ->
         ("ping", envelope ?id ~status:"ok" [ ("op", J.Str "ping") ])
       | Protocol.Stats ->
@@ -293,6 +351,24 @@ let handle_line t line =
             [ ("op", J.Str "metrics");
               ("exposition", J.Str (Metrics.to_prometheus ()));
               ("result", Metrics.to_json ()) ] )
+      | Protocol.Fetch key -> (
+        locked t (fun () -> t.fetches <- t.fetches + 1);
+        match Cache.peek t.cache key with
+        | Some payload ->
+          locked t (fun () -> t.fetch_hits <- t.fetch_hits + 1);
+          ( "fetch",
+            envelope ?id ~status:"ok"
+              [ ("op", J.Str "fetch");
+                ("found", J.Bool true);
+                ("result", J.of_string payload) ] )
+        | None ->
+          ( "fetch",
+            envelope ?id ~status:"ok"
+              [ ("op", J.Str "fetch"); ("found", J.Bool false) ] ))
+      | Protocol.Put (key, result) ->
+        Cache.store t.cache key (J.to_string ~indent:false result);
+        locked t (fun () -> t.puts <- t.puts + 1);
+        ("put", envelope ?id ~status:"ok" [ ("op", J.Str "put") ])
       | Protocol.Analyze req ->
         ( "analyze",
           Span.with_ ~name:"request"
@@ -356,7 +432,14 @@ let stop t =
 let install_sigint t =
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t))
 
+(* A peer that disconnects mid-write must surface as EPIPE on the
+   offending call, not kill the whole process. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
 let run t =
+  ignore_sigpipe ();
   Log.info "ogc-serve: listening"
     ~fields:
       [ ("version", J.Str Version.version);

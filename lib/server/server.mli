@@ -34,7 +34,14 @@ type config = {
   queue_limit : int;  (** in-flight analyses before shedding load *)
   cache_capacity : int;  (** in-memory cache entries *)
   cache_dir : string option;  (** persistent cache tier, if any *)
+  shard_id : string option;
+      (** fleet shard name; namespaces [cache_dir] as
+          [cache_dir/shard-<id>] so co-located shards never race on one
+          atomic-write path, and is echoed in [stats] *)
 }
+
+val addr_string : addr -> string
+(** Human-readable form: the socket path, or [host:port]. *)
 
 val default_config : addr -> config
 (** [jobs = None], [queue_limit = 64], [cache_capacity = 256], no
@@ -48,6 +55,19 @@ val create : config -> t
 (** Bind and listen (unlinking a stale Unix socket file first), start
     the worker pool.  Raises [Unix.Unix_error] when the address is
     unavailable. *)
+
+val link_stores : t list -> unit
+(** Wire the pass stores of co-located in-process shards together: on a
+    local artifact miss each shard peeks at its siblings (read-only, no
+    recursion) and installs what it finds, counted as a replica hit in
+    [stats].  Used by in-process fleets (tests, bench); separate shard
+    processes share artifacts through result replication instead. *)
+
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (no-op where the signal does not exist)
+    so a peer disconnecting mid-write surfaces as [EPIPE] on the
+    offending call instead of killing the process.  [run] calls this;
+    exposed for other long-lived socket loops (the fleet router). *)
 
 val run : t -> unit
 (** Serve until {!stop}; returns after the graceful drain completes.

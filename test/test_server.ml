@@ -226,6 +226,92 @@ let test_malformed_requests () =
       let r = request path {|{"id":"req-7","pass":"bogus","source":"x"}|} in
       Alcotest.(check string) "id echoed" "req-7" (field r "id"))
 
+(* --- protocol handshake ----------------------------------------------------- *)
+
+let test_protocol_version () =
+  with_server (fun path _ ->
+      (* The current version and the legacy no-handshake form both pass. *)
+      let ok =
+        Printf.sprintf {|{"proto":%d,"op":"ping"}|}
+          Ogc_server.Protocol.proto_version
+      in
+      Alcotest.(check string) "current proto ok" "ok"
+        (field (request path ok) "status");
+      Alcotest.(check string) "absent proto ok (legacy client)" "ok"
+        (field (request path {|{"op":"ping"}|}) "status");
+      (* A mismatch is a structured rejection, not undefined behavior —
+         and the id still echoes so the client can match it up. *)
+      let r = request path {|{"proto":999,"id":"v9","op":"ping"}|} in
+      Alcotest.(check string) "mismatch rejected" "unsupported_protocol"
+        (field r "status");
+      Alcotest.(check string) "expected version reported"
+        (string_of_int Ogc_server.Protocol.proto_version)
+        (field r "expected");
+      Alcotest.(check string) "client version echoed" "999" (field r "got");
+      Alcotest.(check string) "id echoed" "v9" (field r "id");
+      (* A non-integer proto is a plain parse error. *)
+      Alcotest.(check string) "garbage proto" "error"
+        (field (request path {|{"proto":"x","op":"ping"}|}) "status"))
+
+(* --- shard namespacing ------------------------------------------------------ *)
+
+let test_shard_cache_namespacing () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ogc-shardns-%d" (Unix.getpid ()))
+  in
+  let rm_rf d =
+    if Sys.file_exists d then begin
+      Array.iter
+        (fun f ->
+          let p = Filename.concat d f in
+          if Sys.is_directory p then begin
+            Array.iter (fun g -> Sys.remove (Filename.concat p g))
+              (Sys.readdir p);
+            Unix.rmdir p
+          end
+          else Sys.remove p)
+        (Sys.readdir d);
+      Unix.rmdir d
+    end
+  in
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let with_shard id f =
+        let path = sock_path () in
+        let cfg =
+          { (Server.default_config (Server.Unix_sock path)) with
+            jobs = Some 1;
+            cache_dir = Some dir;
+            shard_id = Some id }
+        in
+        let t = Server.create cfg in
+        let th = Thread.create Server.run t in
+        Fun.protect
+          ~finally:(fun () ->
+            Server.stop t;
+            Thread.join th;
+            if Sys.file_exists path then Sys.remove path)
+          (fun () -> f path t)
+      in
+      (* Two co-located shards share [dir] but write disjoint subtrees,
+         so one shard's entries are invisible to the other. *)
+      with_shard "a" (fun path t ->
+          Alcotest.(check string) "shard a computes" "miss"
+            (field (request path (analyze_req ())) "cache");
+          Alcotest.(check string) "shard id in stats" "a"
+            (field
+               (J.to_string ~indent:false (Server.stats_json t))
+               "shard_id"));
+      Alcotest.(check bool) "shard-a subdir exists" true
+        (Sys.file_exists (Filename.concat dir "shard-a"));
+      with_shard "b" (fun path _ ->
+          Alcotest.(check string) "shard b does not see a's entry" "miss"
+            (field (request path (analyze_req ())) "cache"));
+      with_shard "a" (fun path _ ->
+          Alcotest.(check string) "restarted shard a rehydrates" "hit"
+            (field (request path (analyze_req ())) "cache")))
+
 (* --- drain ----------------------------------------------------------------- *)
 
 let test_stop_drains () =
@@ -321,6 +407,10 @@ let () =
            test_bounded_queue_rejection;
          Alcotest.test_case "malformed requests" `Quick
            test_malformed_requests ]);
+      ("protocol",
+       [ Alcotest.test_case "version handshake" `Quick test_protocol_version;
+         Alcotest.test_case "shard cache namespacing" `Quick
+           test_shard_cache_namespacing ]);
       ("drain",
        [ Alcotest.test_case "stop drains cleanly" `Quick test_stop_drains;
          Alcotest.test_case "SIGINT drains cleanly" `Quick
