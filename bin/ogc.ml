@@ -325,6 +325,21 @@ let diff_cmd =
 
 (* --- trace ------------------------------------------------------------------- *)
 
+(* ADDR is a Unix socket path, or HOST:PORT when the suffix parses as a
+   port and the string has no '/' (same grammar as router --shard). *)
+let parse_addr spec =
+  if String.contains spec '/' then Ogc_server.Server.Unix_sock spec
+  else
+    match String.rindex_opt spec ':' with
+    | Some i -> (
+      let host = String.sub spec 0 i
+      and port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some port ->
+        Ogc_server.Server.Tcp ((if host = "" then "127.0.0.1" else host), port)
+      | None -> Ogc_server.Server.Unix_sock spec)
+    | None -> Ogc_server.Server.Unix_sock spec
+
 let trace_cmd =
   let count =
     Arg.(value & opt int 40
@@ -342,6 +357,17 @@ let trace_cmd =
                    tracing and write a Chrome trace_event JSON file — open \
                    it at $(b,https://ui.perfetto.dev) or \
                    $(b,chrome://tracing).")
+  in
+  let fleet =
+    Arg.(value & opt (some string) None
+         & info [ "fleet" ] ~docv:"ADDR"
+             ~doc:"Pull the span rings of a running fleet through its \
+                   router's $(i,trace) op (ADDR is the router's Unix \
+                   socket path or HOST:PORT; a single $(b,ogc serve) \
+                   address also works) and merge router + every shard \
+                   into one Perfetto document, written to $(b,--out) or \
+                   stdout.  The processes must be running with \
+                   $(b,--trace).")
   in
   (* Phase tracing: every pipeline stage runs under an Obs.Span, and the
      merged rings are exported as a Perfetto-loadable flame chart. *)
@@ -366,8 +392,82 @@ let trace_cmd =
     Span.set_enabled false;
     Fmt.epr "wrote %s@." path
   in
-  let run spec input count skip out =
+  (* Fleet tracing: one [trace] op against the router returns its own
+     rings and every reachable shard's; merge them into one document
+     with a process track each.  A single serve answers with its bare
+     export document — treated as a one-process fleet. *)
+  let run_fleet_trace spec out =
+    let domain, sockaddr =
+      match parse_addr spec with
+      | Ogc_server.Server.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | Ogc_server.Server.Tcp (host, port) ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    (try Unix.connect fd sockaddr
+     with Unix.Unix_error (e, _, _) ->
+       Fmt.failwith "cannot reach %s: %s (is the router up?)" spec
+         (Unix.error_message e));
+    let oc = Unix.out_channel_of_descr fd in
+    let ic = Unix.in_channel_of_descr fd in
+    output_string oc
+      (Json.to_string ~indent:false
+         (Json.Obj
+            [ ("proto", Json.Int Ogc_server.Protocol.proto_version);
+              ("op", Json.Str "trace") ]));
+    output_char oc '\n';
+    flush oc;
+    let line =
+      try input_line ic
+      with End_of_file -> Fmt.failwith "server closed the connection"
+    in
+    let j = Json.of_string line in
+    (match Json.member "status" j with
+    | Json.Str "ok" -> ()
+    | _ -> Fmt.failwith "trace op failed: %s" line);
+    let result = Json.member "result" j in
+    let procs =
+      match Json.member "processes" result with
+      | Json.Arr ps ->
+        List.filter_map
+          (fun p ->
+            match (Json.member "name" p, Json.member "trace" p) with
+            | Json.Str n, (Json.Obj _ as t) -> Some (n, t)
+            | _ -> None)
+          ps
+      | _ -> (
+        match result with
+        | Json.Obj _ ->
+          let name =
+            match Json.member "process" j with Json.Str n -> n | _ -> "serve"
+          in
+          [ (name, result) ]
+        | _ -> Fmt.failwith "malformed trace response: %s" line)
+    in
+    let merged = Span.merge_processes procs in
+    match out with
+    | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Json.to_string merged);
+      close_out oc;
+      Fmt.epr "wrote %s (%d processes)@." path (List.length procs)
+    | None -> print_endline (Json.to_string merged)
+  in
+  let program_opt =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM"
+             ~doc:"MiniC source file, .s save file, or workload name; \
+                   omitted with $(b,--fleet).")
+  in
+  let run spec input count skip out fleet =
     wrap (fun () ->
+        match (fleet, spec) with
+        | Some addr, _ -> run_fleet_trace addr out
+        | None, None -> Fmt.failwith "a PROGRAM is required unless --fleet"
+        | None, Some spec -> (
         match out with
         | Some path -> run_phase_trace spec input path
         | None ->
@@ -396,14 +496,15 @@ let trace_cmd =
         in
         (try ignore (Interp.run ~on_event p) with Done -> ());
         Format.printf "(%d events shown from #%d)@." (min count (!seen - skip))
-          skip)
+          skip))
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Print a window of the dynamic instruction trace, or \
+       ~doc:"Print a window of the dynamic instruction trace, \
              ($(b,--out)) write a Chrome trace_event JSON of the whole \
-             pipeline's phase spans")
-    Term.(const run $ program_arg $ input_arg $ count $ skip $ out)
+             pipeline's phase spans, or ($(b,--fleet)) pull and merge a \
+             running fleet's distributed trace")
+    Term.(const run $ program_opt $ input_arg $ count $ skip $ out $ fleet)
 
 (* --- report ------------------------------------------------------------------ *)
 
@@ -599,7 +700,28 @@ let serve_cmd =
              ~doc:"Structured-log threshold: $(b,debug), $(b,info), \
                    $(b,warn) or $(b,error).  Logs are NDJSON on stderr.")
   in
-  let run addr jobs queue_limit cache_size cache_dir shard_id quiet log_level =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record request and pass spans; the $(i,trace) op \
+                   returns them (see $(b,ogc trace --fleet)).")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Auto-capture: log the flight record (plus the local \
+                   span slice of its trace) of any request slower than \
+                   MS.")
+  in
+  let inject_slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "inject-slow-ms" ] ~docv:"MS"
+             ~doc:"Fault injection: delay every analyze by MS, making \
+                   this a deliberately slow shard (hedging and \
+                   slow-capture smoke tests).")
+  in
+  let run addr jobs queue_limit cache_size cache_dir shard_id quiet log_level
+      trace slow_ms inject_slow_ms =
     wrap (fun () ->
         (match log_level with
         | None -> ()
@@ -611,13 +733,16 @@ let serve_cmd =
         (* The daemon is the metrics consumer: enable recording so the
            `metrics` op and the extended `stats` op have data. *)
         Metrics.set_enabled true;
+        if trace then Span.set_enabled true;
         let cfg =
           { Server.addr;
             jobs;
             queue_limit;
             cache_capacity = cache_size;
             cache_dir;
-            shard_id }
+            shard_id;
+            slow_ms;
+            inject_slow_ms }
         in
         let t =
           try Server.create cfg
@@ -632,7 +757,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the optimization service (NDJSON over a socket)")
     Term.(const run $ addr_term $ jobs $ queue_limit $ cache_size $ cache_dir
-          $ shard_id $ quiet $ log_level)
+          $ shard_id $ quiet $ log_level $ trace $ slow_ms $ inject_slow_ms)
 
 let submit_cmd =
   let program =
@@ -666,6 +791,14 @@ let submit_cmd =
     Arg.(value & opt (some string) None
          & info [ "id" ] ~docv:"ID" ~doc:"Opaque id echoed in the response.")
   in
+  let trace_id =
+    Arg.(value & opt (some string) None
+         & info [ "trace-id" ] ~docv:"ID"
+             ~doc:"Distributed-trace id to stamp on the request; a \
+                   tracing fleet nests its spans under it ($(b,ogc trace \
+                   --fleet) collects them).  Never affects routing or \
+                   caching.")
+  in
   let stats =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Ask for the server's counters instead.")
@@ -698,7 +831,7 @@ let submit_cmd =
                    milliseconds (per attempt).")
   in
   let run addr program input vrp vrs policy cost deadline return_program id
-      stats ping metrics raw retries connect_timeout =
+      trace_id stats ping metrics raw retries connect_timeout =
     wrap (fun () ->
         let fields = ref [ ("proto", Json.Int Ogc_server.Protocol.proto_version) ] in
         let add k v = fields := (k, v) :: !fields in
@@ -731,6 +864,7 @@ let submit_cmd =
           Option.iter (fun d -> add "deadline_ms" (Json.Int d)) deadline;
           if return_program then add "return_program" (Json.Bool true));
         Option.iter (fun i -> add "id" (Json.Str i)) id;
+        Option.iter (fun tr -> add "trace_id" (Json.Str tr)) trace_id;
         let request = Json.to_string ~indent:false (Json.Obj (List.rev !fields)) in
         let connect_once () =
           let domain, sockaddr =
@@ -813,8 +947,8 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:"Submit one request to a running optimization service")
     Term.(const run $ addr_term $ program $ input_arg $ vrp $ vrs $ policy
-          $ cost $ deadline $ return_program $ id $ stats $ ping $ metrics
-          $ raw $ retries $ connect_timeout)
+          $ cost $ deadline $ return_program $ id $ trace_id $ stats $ ping
+          $ metrics $ raw $ retries $ connect_timeout)
 
 (* --- router / loadgen ------------------------------------------------------ *)
 
@@ -902,8 +1036,22 @@ let router_cmd =
              ~doc:"Structured-log threshold: $(b,debug), $(b,info), \
                    $(b,warn) or $(b,error).")
   in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Record router spans and stamp forwarded requests with \
+                   trace context; the $(i,trace) op then assembles the \
+                   whole fleet's trace (see $(b,ogc trace --fleet)).")
+  in
+  let slow_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Auto-capture: log the flight record (plus the local \
+                   span slice of its trace) of any request slower than \
+                   MS.")
+  in
   let run addr shards replicas promote_after hedge_ms pool_size max_waiters
-      request_timeout quiet log_level =
+      request_timeout quiet log_level trace slow_ms =
     wrap (fun () ->
         (match log_level with
         | None -> ()
@@ -914,6 +1062,10 @@ let router_cmd =
         if quiet then Log.set_level Log.Error;
         if shards = [] then Fmt.failwith "at least one --shard is required";
         Metrics.set_enabled true;
+        if trace then Span.set_enabled true;
+        (match slow_ms with
+        | Some _ -> Ogc_obs.Flight.set_slow_ms slow_ms
+        | None -> ());
         let targets = List.mapi parse_shard shards in
         let cfg =
           { (Router.default_config ~addr ~shards:targets) with
@@ -939,7 +1091,7 @@ let router_cmd =
              (consistent hashing, hedging, hot-key replication)")
     Term.(const run $ addr_term $ shards $ replicas $ promote_after
           $ hedge_ms $ pool_size $ max_waiters $ request_timeout $ quiet
-          $ log_level)
+          $ log_level $ trace $ slow_ms)
 
 let loadgen_cmd =
   let requests =
@@ -1006,8 +1158,15 @@ let loadgen_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
   in
+  let trace_sample =
+    Arg.(value & opt int 0
+         & info [ "trace-sample" ] ~docv:"N"
+             ~doc:"Stamp every Nth submission with a deterministic \
+                   trace id (0 = never); a fleet running with \
+                   $(b,--trace) records their distributed spans.")
+  in
   let run addr requests clients warm_ratio no_cost_sweep workloads programs
-      seed retries kill_after kill_pid max_p50 max_p95 json =
+      seed retries kill_after kill_pid max_p50 max_p95 json trace_sample =
     wrap (fun () ->
         let cfg =
           { (Loadgen.default_config ~addr) with
@@ -1018,7 +1177,8 @@ let loadgen_cmd =
             workloads;
             programs;
             seed;
-            retries }
+            retries;
+            trace_sample }
         in
         let kill =
           match (kill_after, kill_pid) with
@@ -1065,7 +1225,7 @@ let loadgen_cmd =
              a server or fleet, with latency gates and fault injection")
     Term.(const run $ addr_term $ requests $ clients $ warm_ratio
           $ no_cost_sweep $ workloads $ programs $ seed $ retries
-          $ kill_after $ kill_pid $ max_p50 $ max_p95 $ json)
+          $ kill_after $ kill_pid $ max_p50 $ max_p95 $ json $ trace_sample)
 
 (* --- analyze / passes ------------------------------------------------------ *)
 

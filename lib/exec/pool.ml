@@ -9,6 +9,7 @@ type stats = {
    task start; counters and histograms are no-ops unless metrics are
    enabled. *)
 module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
 
 let m_queue_depth = Metrics.gauge "ogc_pool_queue_depth"
 let m_busy = Metrics.gauge "ogc_pool_busy_workers"
@@ -95,7 +96,27 @@ let create ?jobs () =
 
 let size p = p.jobs
 
+(* Distributed-trace handoff: capture the submitter's ambient context
+   and reinstall it around the task on the worker, with a flow edge
+   from the submitting span to the worker-side execution, so pass-chain
+   spans nest under the request that triggered them even though they
+   run on a pool domain. *)
+let carry_trace f =
+  if not (Span.enabled ()) then f
+  else
+    match Span.current () with
+    | None -> f
+    | Some ctx ->
+      let flow = Span.local_flow_id () in
+      Span.flow_out ~id:flow;
+      fun () ->
+        Span.with_context (Some ctx) (fun () ->
+            Span.with_ ~name:"pool:task" (fun () ->
+                Span.flow_in ~id:flow;
+                f ()))
+
 let submit p f =
+  let f = carry_trace f in
   let tk = { pool = p; outcome = Pending; secs = 0.0 } in
   let enqueued = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
   let task () =

@@ -62,7 +62,12 @@ val size : t -> int
 
 val submit : t -> (unit -> 'a) -> 'a ticket
 (** Enqueue a task.  Tasks start in FIFO order (completion order depends
-    on scheduling).  Raises [Invalid_argument] after {!shutdown}. *)
+    on scheduling).  Raises [Invalid_argument] after {!shutdown}.
+
+    When span tracing is enabled and the submitting thread carries an
+    ambient {!Ogc_obs.Span.ctx}, the task runs under that context inside
+    a [pool:task] span connected to the submit site by a flow event, so
+    worker-side spans nest under the triggering request in traces. *)
 
 val await : 'a ticket -> 'a
 (** Block until the task has run; return its value or re-raise its

@@ -16,6 +16,7 @@ type config = {
   retries : int;
   connect_timeout_ms : int;
   backoff_ms : int;
+  trace_sample : int;
 }
 
 let default_config ~addr =
@@ -29,7 +30,8 @@ let default_config ~addr =
     seed = 42;
     retries = 5;
     connect_timeout_ms = 1000;
-    backoff_ms = 50 }
+    backoff_ms = 50;
+    trace_sample = 0 }
 
 type report = {
   total : int;
@@ -114,6 +116,22 @@ let request_line cfg i =
   in
   gen i
 
+(* Every [trace_sample]-th submission carries a deterministic trace id (a
+   digest of the seed and index).  Trace members are excluded from cache
+   and route keys by construction, so sampling never perturbs placement
+   or hit rates — a traced replay of a warm line still hits. *)
+let traced_line cfg i line =
+  if cfg.trace_sample <= 0 || i mod cfg.trace_sample <> 0 then line
+  else
+    match J.of_string line with
+    | J.Obj ms ->
+      let tr =
+        Digest.to_hex
+          (Digest.string (Printf.sprintf "loadgen/%d/%d" cfg.seed i))
+      in
+      J.to_string ~indent:false (J.Obj (ms @ [ ("trace_id", J.Str tr) ]))
+    | _ | (exception J.Parse_error _) -> line
+
 (* --- latency histogram ----------------------------------------------------- *)
 
 (* Finer than the default second-denominated buckets: fleet round trips
@@ -126,30 +144,8 @@ let lat_buckets =
 
 let m_lat = Metrics.histogram "ogc_loadgen_seconds" ~buckets:lat_buckets
 
-(* Percentile by linear interpolation inside the bucket where the
-   cumulative count crosses the target; observations past the last
-   finite bound report that bound (a floor, never an overestimate). *)
 let percentile_of_counts ~before ~after q =
-  let d = Array.mapi (fun i a -> a -. before.(i)) after in
-  let total = Array.fold_left ( +. ) 0.0 d in
-  if total <= 0.0 then 0.0
-  else begin
-    let target = q *. total in
-    let n_finite = Array.length lat_buckets in
-    let rec go i cum =
-      if i >= Array.length d then lat_buckets.(n_finite - 1)
-      else if cum +. d.(i) >= target then
-        if i >= n_finite then lat_buckets.(n_finite - 1)
-        else begin
-          let lo = if i = 0 then 0.0 else lat_buckets.(i - 1) in
-          let hi = lat_buckets.(i) in
-          let frac = if d.(i) <= 0.0 then 1.0 else (target -. cum) /. d.(i) in
-          lo +. (frac *. (hi -. lo))
-        end
-      else go (i + 1) (cum +. d.(i))
-    in
-    go 0 0.0
-  end
+  Metrics.percentile_of_counts ~buckets:lat_buckets ~before ~after q
 
 (* --- client side ----------------------------------------------------------- *)
 
@@ -267,7 +263,7 @@ let client cfg ~completed ~kill c_idx =
   in
   let i = ref c_idx in
   while !i < cfg.requests do
-    let line = request_line cfg !i in
+    let line = traced_line cfg !i (request_line cfg !i) in
     let t0 = Unix.gettimeofday () in
     let ok = submit line in
     Metrics.observe m_lat (Unix.gettimeofday () -. t0);

@@ -38,12 +38,16 @@ type config = {
   retries : int;  (** attempts per submission before counting it failed *)
   connect_timeout_ms : int;
   backoff_ms : int;  (** base of the jittered exponential backoff *)
+  trace_sample : int;
+      (** stamp every [n]th submission with a deterministic ["trace_id"]
+          (0 = never).  Trace members are excluded from cache and route
+          keys, so sampling never changes placement or hit rates. *)
 }
 
 val default_config : addr:Ogc_server.Server.addr -> config
 (** 200 requests, 4 clients, [warm_ratio = 0.5], cost sweep on, no
     workloads, 6 programs, [seed = 42], 5 retries, 1s connect timeout,
-    50ms backoff base. *)
+    50ms backoff base, no trace sampling. *)
 
 type report = {
   total : int;

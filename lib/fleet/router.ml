@@ -4,6 +4,8 @@ module Protocol = Ogc_server.Protocol
 module Version = Ogc_server.Version
 module Metrics = Ogc_obs.Metrics
 module Log = Ogc_obs.Log
+module Span = Ogc_obs.Span
+module Flight = Ogc_obs.Flight
 
 type target = { t_name : string; t_addr : Server.addr }
 
@@ -281,10 +283,7 @@ let create cfg =
 
 (* --- adaptive hedge threshold ---------------------------------------------- *)
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+let percentile = Metrics.percentile_sorted
 
 (* Hedge at ~2x a recent p95: rare stragglers trigger a second copy,
    the common case never pays for one.  Clamped so a pathological
@@ -354,16 +353,34 @@ type cell = {
   mutable errored : int;
 }
 
+(* Rewrite a request's trace members for one shard attempt: each attempt
+   is its own child span, so each carries its own [parent_span]. *)
+let with_trace_members j ~trace ~parent =
+  match j with
+  | J.Obj kvs ->
+    let kvs =
+      List.filter (fun (k, _) -> k <> "trace_id" && k <> "parent_span") kvs
+    in
+    J.Obj (kvs @ [ ("trace_id", J.Str trace); ("parent_span", J.Int parent) ])
+  | j -> j
+
 (* One attempt = one shard round trip on a pooled connection, run on its
    own thread so the request thread can hedge past it.  An abandoned
    attempt still reads its response line before releasing the
    connection — returning a connection with an unread response would
-   desync every later request on it. *)
-let launch_attempt cell idx sh line =
+   desync every later request on it.
+
+   [traced] carries the parsed request and the router-side trace context
+   (captured inside the router's request span): the attempt then opens a
+   child span on its own thread, stamps the wire request with its own
+   span id as [parent_span], and emits the flow-out half of the
+   cross-process arrow — the shard computes the same flow id from the
+   wire members alone. *)
+let launch_attempt cell idx sh ~traced line why =
   Mutex.lock cell.cm;
   cell.launched <- cell.launched + 1;
   Mutex.unlock cell.cm;
-  let body () =
+  let roundtrip line =
     let record_error () =
       sh.down_until <- Unix.gettimeofday () +. down_cooldown;
       Mutex.lock cell.cm;
@@ -393,32 +410,62 @@ let launch_attempt cell idx sh line =
         Conns.destroy sh.s_conns c;
         record_error ())
   in
+  let body () =
+    match traced with
+    | None -> roundtrip line
+    | Some (j, ctx) ->
+      Span.with_context (Some ctx) (fun () ->
+          Span.with_ ~name:"attempt"
+            ~args:[ ("shard", J.Str sh.name); ("why", J.Str why) ]
+            (fun () ->
+              (* Inside [with_] the ambient parent is this attempt span's
+                 own id — exactly what the shard must nest under. *)
+              let asid =
+                match Span.current () with
+                | Some c -> c.Span.parent
+                | None -> 0
+              in
+              let trace = ctx.Span.trace in
+              Span.flow_out ~id:(Span.wire_flow_id ~trace ~parent:asid);
+              roundtrip
+                (J.to_string ~indent:false
+                   (with_trace_members j ~trace ~parent:asid))))
+  in
   ignore (Thread.create body ())
 
 (* Forward [line] along [cands], hedging once past a straggler and
    failing over past errors, until a response, exhaustion, or the
-   request budget runs out. *)
-let forward t ~t0 ~id ~hedge line cands =
+   request budget runs out.  Returns the response line and whether a
+   hedge was launched (for the flight record). *)
+let forward t ~t0 ~id ~hedge ?traced line cands =
   let cell =
     { cm = Mutex.create (); response = None; launched = 0; errored = 0 }
   in
   let deadline = t0 +. (float_of_int t.cfg.request_timeout_ms /. 1000.0) in
   let remaining = ref cands in
   let attempt_no = ref 0 in
+  let did_hedge = ref false in
   let launch why =
     match !remaining with
     | [] -> false
     | sh :: rest ->
       remaining := rest;
+      let why_name =
+        match why with
+        | `Primary -> "primary"
+        | `Hedge -> "hedge"
+        | `Failover -> "failover"
+      in
       (match why with
       | `Primary -> ()
       | `Hedge ->
+        did_hedge := true;
         locked t (fun () -> t.hedged <- t.hedged + 1);
         if Metrics.enabled () then Metrics.incr sh.m_hedges
       | `Failover ->
         locked t (fun () -> t.failovers <- t.failovers + 1);
         if Metrics.enabled () then Metrics.incr sh.m_failovers);
-      launch_attempt cell !attempt_no sh line;
+      launch_attempt cell !attempt_no sh ~traced line why_name;
       incr attempt_no;
       true
   in
@@ -465,7 +512,8 @@ let forward t ~t0 ~id ~hedge line cands =
         wait ()
       end
   in
-  wait ()
+  let resp = wait () in
+  (resp, !did_hedge)
 
 (* --- hot-key promotion ----------------------------------------------------- *)
 
@@ -530,7 +578,85 @@ let maybe_promote t ckey rkey ~hits resp =
       | _ -> ())
   end
 
+(* --- fleet trace assembly --------------------------------------------------- *)
+
+(* Pull one shard's span rings over its own protocol ([op = "trace"]).
+   A dead or pre-trace shard is skipped — a fleet trace with a hole
+   beats no trace during the exact incidents traces are for. *)
+let pull_shard_trace sh =
+  match Conns.acquire sh.s_conns with
+  | exception _ -> None
+  | c -> (
+    let req =
+      J.to_string ~indent:false
+        (J.Obj
+           [ ("proto", J.Int Protocol.proto_version); ("op", J.Str "trace") ])
+    in
+    match
+      output_string c.oc req;
+      output_char c.oc '\n';
+      flush c.oc;
+      input_line c.ic
+    with
+    | exception _ ->
+      Conns.destroy sh.s_conns c;
+      None
+    | resp -> (
+      Conns.release sh.s_conns c;
+      match J.of_string resp with
+      | exception J.Parse_error _ -> None
+      | j -> (
+        match (J.member "status" j, J.member "result" j) with
+        | J.Str "ok", (J.Obj _ as doc) ->
+          (* Label the track with the router's name for the shard — the
+             fleet-topology name the operator configured — rather than
+             the shard's self-reported one. *)
+          Some (sh.name, doc)
+        | _ -> None)))
+
+(* Every process's rings, router first: the payload [ogc trace --fleet]
+   merges with {!Ogc_obs.Span.merge_processes}. *)
+let fleet_trace_json t =
+  let shards = List.filter_map (fun (_, sh) -> pull_shard_trace sh) t.shard_tbl in
+  J.Obj
+    [ ("processes",
+       J.Arr
+         (List.map
+            (fun (name, doc) ->
+              J.Obj [ ("name", J.Str name); ("trace", doc) ])
+            (("router", Span.export ()) :: shards))) ]
+
 (* --- request handling ------------------------------------------------------ *)
+
+(* Router-minted trace ids: unique across restarts and co-located
+   processes without any coordination. *)
+let mint_trace =
+  let counter = Atomic.make 0 in
+  fun () ->
+    Digest.to_hex
+      (Digest.string
+         (Printf.sprintf "%d/%d/%.6f" (Unix.getpid ())
+            (Atomic.fetch_and_add counter 1)
+            (Unix.gettimeofday ())))
+
+(* The response status without a full JSON parse: the envelope always
+   renders ["status"] early, and the flight record must not make the
+   router reparse every forwarded response. *)
+let status_of_line line =
+  let marker = "\"status\":\"" in
+  let mlen = String.length marker in
+  let llen = String.length line in
+  let rec find i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> "unknown"
+  | Some start -> (
+    match String.index_from_opt line start '"' with
+    | Some stop -> String.sub line start (stop - start)
+    | None -> "unknown")
 
 let stats_json t =
   let counters, lats, threshold =
@@ -583,6 +709,9 @@ let stats_json t =
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
   locked t (fun () -> t.requests <- t.requests + 1);
+  (* Flight-record facts filled in as the request progresses. *)
+  let fl_id = ref None and fl_trace = ref None and fl_key = ref "" in
+  let fl_hedged = ref false and fl_op = ref "invalid" in
   let response =
     match J.of_string line with
     | exception J.Parse_error msg ->
@@ -590,6 +719,7 @@ let handle_line t line =
       envelope ~status:"error" [ ("error", J.Str msg) ]
     | j -> (
       let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
+      fl_id := id;
       match Protocol.op_of_json j with
       | exception J.Parse_error msg ->
         locked t (fun () -> t.errors <- t.errors + 1);
@@ -600,31 +730,100 @@ let handle_line t line =
           [ ("error", J.Str "protocol version mismatch");
             ("expected", J.Int Protocol.proto_version);
             ("got", J.Int got) ]
-      | Protocol.Ping -> envelope ?id ~status:"ok" [ ("op", J.Str "ping") ]
+      | Protocol.Ping ->
+        fl_op := "ping";
+        envelope ?id ~status:"ok" [ ("op", J.Str "ping") ]
       | Protocol.Stats ->
+        fl_op := "stats";
         envelope ?id ~status:"ok"
           [ ("op", J.Str "stats"); ("result", stats_json t) ]
       | Protocol.Metrics ->
+        fl_op := "metrics";
         envelope ?id ~status:"ok"
           [ ("op", J.Str "metrics");
             ("exposition", J.Str (Metrics.to_prometheus ()));
             ("result", Metrics.to_json ()) ]
+      | Protocol.Trace ->
+        fl_op := "trace";
+        envelope ?id ~status:"ok"
+          [ ("op", J.Str "trace");
+            ("process", J.Str "router");
+            ("result", fleet_trace_json t) ]
+      | Protocol.Flight ->
+        fl_op := "flight";
+        envelope ?id ~status:"ok"
+          [ ("op", J.Str "flight"); ("result", Flight.to_json_all ()) ]
       | Protocol.Fetch key | Protocol.Put (key, _) ->
         (* Replication ops address a single owner; no hedging. *)
+        fl_op := (match J.member "op" j with J.Str s -> s | _ -> "fetch");
+        fl_key := key;
         locked t (fun () -> t.routed <- t.routed + 1);
         let cands = candidates t key ~hits:0 ~promoted:false in
-        forward t ~t0 ~id ~hedge:false line cands
+        fst (forward t ~t0 ~id ~hedge:false line cands)
       | Protocol.Analyze req ->
+        fl_op := "analyze";
         locked t (fun () -> t.routed <- t.routed + 1);
         let rkey = Protocol.route_key req in
         let ckey = Protocol.cache_key req in
+        fl_key := rkey;
         let hits, already_promoted = bump_hits t ckey in
         let cands = candidates t rkey ~hits ~promoted:already_promoted in
-        let resp = forward t ~t0 ~id ~hedge:true line cands in
+        let serve ~traced () =
+          let resp, hedged = forward t ~t0 ~id ~hedge:true ?traced line cands in
+          fl_hedged := hedged;
+          resp
+        in
+        let resp =
+          if not (Span.enabled ()) then begin
+            (* Tracing off: the wire request is forwarded untouched (a
+               client-supplied trace id still reaches the shards). *)
+            fl_trace := req.Protocol.trace_id;
+            serve ~traced:None ()
+          end
+          else begin
+            (* Adopt the client's trace id or mint one, open the router
+               request span under it, and hand the inner context (whose
+               parent is that span) to every attempt. *)
+            let trace =
+              match req.Protocol.trace_id with
+              | Some tr -> tr
+              | None -> mint_trace ()
+            in
+            fl_trace := Some trace;
+            let outer =
+              { Span.trace;
+                parent = Option.value ~default:0 req.Protocol.parent_span }
+            in
+            Span.with_context (Some outer) (fun () ->
+                Span.with_ ~name:"request"
+                  ~args:[ ("op", J.Str "analyze") ]
+                  (fun () ->
+                    (match req.Protocol.parent_span with
+                    | Some parent ->
+                      Span.flow_in ~id:(Span.wire_flow_id ~trace ~parent)
+                    | None -> ());
+                    let traced =
+                      Option.map (fun c -> (j, c)) (Span.current ())
+                    in
+                    serve ~traced ()))
+          end
+        in
         maybe_promote t ckey rkey ~hits resp;
         record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
         resp)
   in
+  Flight.record
+    { Flight.f_id = !fl_id;
+      f_trace = !fl_trace;
+      f_key = !fl_key;
+      f_shard = "router";
+      f_op = !fl_op;
+      f_queue_ms = 0.0;
+      f_hedged = !fl_hedged;
+      f_cache = "";
+      f_outcome = status_of_line response;
+      f_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      f_ts = t0 };
   response
 
 (* --- lifecycle (mirrors Server) -------------------------------------------- *)
@@ -669,6 +868,7 @@ let run t =
   (* Shard connections can die mid-write (a killed shard, a dropped
      client); that must surface as EPIPE, not kill the router. *)
   Server.ignore_sigpipe ();
+  Server.install_sigusr1 ();
   Log.info "ogc-router: listening"
     ~fields:
       [ ("version", J.Str Version.version);

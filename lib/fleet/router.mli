@@ -37,9 +37,26 @@
     A hedged or failed-over request for a promoted key is then a result
     cache hit on the replica instead of a recompute.
 
-    Local ops ([ping], [stats], [metrics]) are answered by the router
-    itself; [stats] reports routing counters and per-shard health rather
-    than proxying a single shard. *)
+    Local ops ([ping], [stats], [metrics], [flight]) are answered by the
+    router itself; [stats] reports routing counters and per-shard health
+    rather than proxying a single shard.
+
+    {b Tracing.}  When {!Ogc_obs.Span} collection is on, every analyze
+    gets a trace id (the client's ["trace_id"] if it sent one, a minted
+    one otherwise) and a router-side request span; each shard attempt —
+    primary, hedge, or failover — opens its own child span and stamps
+    the forwarded request with ["trace_id"]/["parent_span"], emitting a
+    flow event the shard's request span resolves on the far side.  The
+    [trace] op pulls the router's span rings {e and} every reachable
+    shard's (via their own [trace] op) into one
+    [{"processes":[{"name",..,"trace",..}]}] document — [ogc trace
+    --fleet] merges it into a single Perfetto trace.  Tracing off (the
+    default), request lines are forwarded byte-identically.
+
+    {b Flight recorder.}  Every request — including local ops and parse
+    errors — leaves one bounded-ring {!Ogc_obs.Flight} record (id, trace
+    id, route key, op, hedged flag, outcome, duration); the [flight] op
+    returns the ring, and SIGUSR1 dumps it as NDJSON on stderr. *)
 
 type target = { t_name : string; t_addr : Ogc_server.Server.addr }
 

@@ -288,6 +288,41 @@ let to_json () =
              ("value", value_json m) ])
        (registered ()))
 
+(* --- percentiles ---------------------------------------------------------- *)
+
+(* Nearest-rank on a sorted sample window (server/router stats). *)
+let percentile_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+
+(* Percentile by linear interpolation inside the histogram bucket where
+   the cumulative count crosses the target; observations past the last
+   finite bound report that bound (a floor, never an overestimate).
+   [before]/[after] are {!histogram_counts} snapshots bracketing the
+   interval of interest. *)
+let percentile_of_counts ~buckets ~before ~after q =
+  let d = Array.mapi (fun i a -> a -. before.(i)) after in
+  let total = Array.fold_left ( +. ) 0.0 d in
+  if total <= 0.0 then 0.0
+  else begin
+    let target = q *. total in
+    let n_finite = Array.length buckets in
+    let rec go i cum =
+      if i >= Array.length d then buckets.(n_finite - 1)
+      else if cum +. d.(i) >= target then
+        if i >= n_finite then buckets.(n_finite - 1)
+        else begin
+          let lo = if i = 0 then 0.0 else buckets.(i - 1) in
+          let hi = buckets.(i) in
+          let frac = if d.(i) <= 0.0 then 1.0 else (target -. cum) /. d.(i) in
+          lo +. (frac *. (hi -. lo))
+        end
+      else go (i + 1) (cum +. d.(i))
+    in
+    go 0 0.0
+  end
+
 let reset () =
   Mutex.lock reg_m;
   List.iter (fun s -> Array.fill s.cells 0 (Array.length s.cells) 0.0) !shards;

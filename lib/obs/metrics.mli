@@ -72,5 +72,19 @@ val to_prometheus : unit -> string
 
 val to_json : unit -> Ogc_json.Json.t
 
+val percentile_sorted : float array -> float -> float
+(** [percentile_sorted sorted q] — nearest-rank percentile of an
+    ascending sample window; [0.0] when empty.  The shared
+    implementation behind the server's and router's [stats] p50/p95. *)
+
+val percentile_of_counts :
+  buckets:float array -> before:float array -> after:float array ->
+  float -> float
+(** Percentile from two {!histogram_counts} snapshots bracketing an
+    interval, linearly interpolated inside the bucket where the
+    cumulative delta crosses [q]·total.  Observations past the last
+    finite bound report that bound (a floor, never an overestimate);
+    [0.0] when the interval recorded nothing. *)
+
 val reset : unit -> unit
 (** Zero every shard and gauge (tests only). *)

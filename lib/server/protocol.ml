@@ -27,6 +27,8 @@ type request = {
   cost : int;
   deadline_ms : int option;
   return_program : bool;
+  trace_id : string option;
+  parent_span : int option;
 }
 
 type op =
@@ -36,6 +38,8 @@ type op =
   | Metrics
   | Fetch of string
   | Put of string * J.t
+  | Trace
+  | Flight
 
 (* --- protocol version ----------------------------------------------------- *)
 
@@ -129,7 +133,13 @@ let request_of_json j =
     policy;
     cost = Option.value ~default:50 (opt_int "cost" j);
     deadline_ms = opt_int "deadline_ms" j;
-    return_program = opt_bool ~default:false "return_program" j }
+    return_program = opt_bool ~default:false "return_program" j;
+    (* Trace context, version-gated like ["proto"]: optional members an
+       older peer simply never sends.  Deliberately absent from
+       {!cache_key} and {!route_key} — tracing a request must not change
+       where it lands or whether it hits. *)
+    trace_id = opt_string "trace_id" j;
+    parent_span = opt_int "parent_span" j }
 
 (* Replication keys travel between shards; insist on the exact shape a
    {!cache_key} has (32 lowercase hex characters) so a confused client
@@ -154,9 +164,12 @@ let op_of_json j =
     match J.member "result" j with
     | J.Null -> fail "member \"result\": required"
     | r -> Put (key_arg j, r))
+  | Some "trace" -> Trace
+  | Some "flight" -> Flight
   | Some op ->
     fail
-      "unknown op %S (expected analyze, stats, ping, metrics, fetch or put)"
+      "unknown op %S (expected analyze, stats, ping, metrics, fetch, put, \
+       trace or flight)"
       op
 
 (* --- cache key ------------------------------------------------------------ *)

@@ -14,8 +14,10 @@
     when a pass runs, no gating otherwise), ["input"]
     (["train"]/["ref"]), ["cost"] (the VRS cost label, default 50),
     ["deadline_ms"], ["return_program"] (include the re-encoded program
-    in the result), ["id"] (opaque, echoed in the response), and ["op"]
-    (["analyze"] default, ["stats"], ["ping"], ["metrics"]).
+    in the result), ["id"] (opaque, echoed in the response),
+    ["trace_id"]/["parent_span"] (distributed-trace context), and ["op"]
+    (["analyze"] default, ["stats"], ["ping"], ["metrics"], ["trace"],
+    ["flight"]).
 
     The result payload of an analysis contains the static and dynamic
     width histograms of the optimized program, modelled energy / IPC and
@@ -41,6 +43,12 @@ type request = {
   cost : int;  (** VRS cost label (the paper's 30-110 sweep) *)
   deadline_ms : int option;
   return_program : bool;
+  trace_id : string option;
+      (** distributed-trace id; optional and version-gated like
+          ["proto"], excluded from {!cache_key} and {!route_key} *)
+  parent_span : int option;
+      (** span id of the caller-side span this request should nest
+          under (the router's per-attempt span) *)
 }
 
 type op =
@@ -51,6 +59,8 @@ type op =
   | Fetch of string  (** replication: read a cached result by key *)
   | Put of string * Ogc_json.Json.t
       (** replication: install a result under its key *)
+  | Trace  (** return this process's span rings ({!Ogc_obs.Span.export}) *)
+  | Flight  (** return the flight-recorder ring ({!Ogc_obs.Flight}) *)
 
 val proto_version : int
 (** Version of this wire protocol (carried as the ["proto"] request

@@ -3,13 +3,15 @@ module Pool = Ogc_exec.Pool
 module Metrics = Ogc_obs.Metrics
 module Span = Ogc_obs.Span
 module Log = Ogc_obs.Log
+module Flight = Ogc_obs.Flight
 
 exception Deadline_exceeded
 
 (* Per-op request counters and latency histograms; "invalid" covers
    lines that never parsed far enough to name an op. *)
 let known_ops =
-  [ "analyze"; "stats"; "ping"; "metrics"; "fetch"; "put"; "invalid" ]
+  [ "analyze"; "stats"; "ping"; "metrics"; "fetch"; "put"; "trace"; "flight";
+    "invalid" ]
 
 let m_requests =
   List.map
@@ -34,6 +36,8 @@ type config = {
   cache_capacity : int;
   cache_dir : string option;
   shard_id : string option;
+  slow_ms : float option; (* flight-recorder slow-request threshold *)
+  inject_slow_ms : float option; (* fault injection: delay every analyze *)
 }
 
 let default_config addr =
@@ -42,7 +46,9 @@ let default_config addr =
     queue_limit = 64;
     cache_capacity = 256;
     cache_dir = None;
-    shard_id = None }
+    shard_id = None;
+    slow_ms = None;
+    inject_slow_ms = None }
 
 let addr_string = function
   | Unix_sock path -> path
@@ -109,6 +115,9 @@ let create cfg =
   | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
   Unix.bind fd (sockaddr_of cfg.addr);
   Unix.listen fd 64;
+  (match cfg.slow_ms with
+  | Some _ -> Flight.set_slow_ms cfg.slow_ms
+  | None -> ());
   (* Co-located shards sharing a cache_dir get disjoint subdirectories,
      so their atomic tmp+rename writes can never collide on one path. *)
   let cache_dir =
@@ -156,10 +165,7 @@ let link_stores ts =
 
 (* --- stats ----------------------------------------------------------------- *)
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(int_of_float (q *. float_of_int (n - 1) +. 0.5))
+let percentile = Metrics.percentile_sorted
 
 let stats_json t =
   let c = Cache.stats t.cache in
@@ -250,26 +256,47 @@ let envelope ?id ~status extra =
         :: (match id with Some s -> [ ("id", J.Str s) ] | None -> [])
         @ (("status", J.Str status) :: extra)))
 
-let handle_analyze t ~t0 (req : Protocol.request) =
+(* Per-request facts the flight recorder wants but only the handler
+   knows; filled in as the request progresses, written once at the end
+   of [handle_line]. *)
+type flight_info = {
+  mutable fi_id : string option;
+  mutable fi_trace : string option;
+  mutable fi_key : string;
+  mutable fi_queue_ms : float;
+  mutable fi_cache : string;
+  mutable fi_status : string;
+}
+
+let handle_analyze t ~t0 ~fi (req : Protocol.request) =
+  (match t.cfg.inject_slow_ms with
+  | Some ms when ms > 0.0 -> Thread.delay (ms /. 1000.0)
+  | _ -> ());
   let id = req.Protocol.id in
   let key = Protocol.cache_key req in
+  fi.fi_key <- Protocol.route_key req;
+  let fail status =
+    fi.fi_status <- status;
+    envelope ?id ~status
+  in
   match Span.with_ ~name:"cache_lookup" (fun () -> Cache.find t.cache key) with
   | Some payload ->
     record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+    fi.fi_cache <- "hit";
     envelope ?id ~status:"ok"
       [ ("cache", J.Str "hit"); ("result", J.of_string payload) ]
   | None ->
     if Option.fold ~none:false ~some:(fun ms -> ms <= 0) req.Protocol.deadline_ms
     then begin
       locked t (fun () -> t.expired <- t.expired + 1);
-      envelope ?id ~status:"deadline_exceeded"
+      fail "deadline_exceeded"
         [ ("error", J.Str "deadline expired before the analysis started") ]
     end
     else if Atomic.fetch_and_add t.pending 1 >= t.cfg.queue_limit then begin
       (* Bounded queue: shed load instead of accepting unbounded work. *)
       Atomic.decr t.pending;
       locked t (fun () -> t.rejected <- t.rejected + 1);
-      envelope ?id ~status:"overloaded"
+      fail "overloaded"
         [ ("error", J.Str "analysis queue is full, retry later");
           ("queue_limit", J.Int t.cfg.queue_limit) ]
     end
@@ -278,8 +305,10 @@ let handle_analyze t ~t0 (req : Protocol.request) =
         Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0))
           req.Protocol.deadline_ms
       in
+      let submitted = Unix.gettimeofday () in
       let ticket =
         Pool.submit t.pool (fun () ->
+            fi.fi_queue_ms <- (Unix.gettimeofday () -. submitted) *. 1000.0;
             (match deadline with
             | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
             | _ -> ());
@@ -304,36 +333,49 @@ let handle_analyze t ~t0 (req : Protocol.request) =
         Cache.store t.cache key payload;
         record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
         locked t (fun () -> t.analyses <- t.analyses + 1);
+        fi.fi_cache <- "miss";
         envelope ?id ~status:"ok"
           [ ("cache", J.Str "miss"); ("result", J.of_string payload) ]
       | Error Deadline_exceeded ->
         locked t (fun () -> t.expired <- t.expired + 1);
-        envelope ?id ~status:"deadline_exceeded"
+        fail "deadline_exceeded"
           [ ("error", J.Str "deadline expired before the analysis started") ]
       | Error (J.Parse_error msg | Failure msg) ->
         locked t (fun () -> t.errors <- t.errors + 1);
-        envelope ?id ~status:"error" [ ("error", J.Str msg) ]
+        fail "error" [ ("error", J.Str msg) ]
       | Error e ->
         locked t (fun () -> t.errors <- t.errors + 1);
-        envelope ?id ~status:"error" [ ("error", J.Str (Printexc.to_string e)) ]
+        fail "error" [ ("error", J.Str (Printexc.to_string e)) ]
     end
+
+let shard_name t =
+  match t.cfg.shard_id with Some i -> "shard-" ^ i | None -> "serve"
 
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
   locked t (fun () -> t.requests <- t.requests + 1);
+  let fi =
+    { fi_id = None; fi_trace = None; fi_key = ""; fi_queue_ms = 0.0;
+      fi_cache = ""; fi_status = "ok" }
+  in
+  let err status = fi.fi_status <- status in
   let op_name, response =
     match J.of_string line with
     | exception J.Parse_error msg ->
       locked t (fun () -> t.errors <- t.errors + 1);
+      err "error";
       ("invalid", envelope ~status:"error" [ ("error", J.Str msg) ])
     | j -> (
       let id = match J.member "id" j with J.Str s -> Some s | _ -> None in
+      fi.fi_id <- id;
       match Protocol.op_of_json j with
       | exception J.Parse_error msg ->
         locked t (fun () -> t.errors <- t.errors + 1);
+        err "error";
         ("invalid", envelope ?id ~status:"error" [ ("error", J.Str msg) ])
       | exception Protocol.Version_mismatch got ->
         locked t (fun () -> t.errors <- t.errors + 1);
+        err "unsupported_protocol";
         ( "invalid",
           envelope ?id ~status:"unsupported_protocol"
             [ ("error", J.Str "protocol version mismatch");
@@ -351,6 +393,16 @@ let handle_line t line =
             [ ("op", J.Str "metrics");
               ("exposition", J.Str (Metrics.to_prometheus ()));
               ("result", Metrics.to_json ()) ] )
+      | Protocol.Trace ->
+        ( "trace",
+          envelope ?id ~status:"ok"
+            [ ("op", J.Str "trace");
+              ("process", J.Str (shard_name t));
+              ("result", Span.export ()) ] )
+      | Protocol.Flight ->
+        ( "flight",
+          envelope ?id ~status:"ok"
+            [ ("op", J.Str "flight"); ("result", Flight.to_json_all ()) ] )
       | Protocol.Fetch key -> (
         locked t (fun () -> t.fetches <- t.fetches + 1);
         match Cache.peek t.cache key with
@@ -370,12 +422,48 @@ let handle_line t line =
         locked t (fun () -> t.puts <- t.puts + 1);
         ("put", envelope ?id ~status:"ok" [ ("op", J.Str "put") ])
       | Protocol.Analyze req ->
-        ( "analyze",
+        fi.fi_trace <- req.Protocol.trace_id;
+        (* Install the wire trace context around the request span: the
+           span then records trace_id/parent_span and reparents the
+           ambient context for everything underneath, and the flow-in
+           event closes the arrow from the caller's flow-out — both ends
+           derive the same id from wire data alone. *)
+        let ctx =
+          match req.Protocol.trace_id with
+          | Some tr when Span.enabled () ->
+            Some
+              { Span.trace = tr;
+                parent = Option.value ~default:0 req.Protocol.parent_span }
+          | _ -> None
+        in
+        let serve () =
           Span.with_ ~name:"request"
             ~args:[ ("op", J.Str "analyze") ]
-            (fun () -> handle_analyze t ~t0 req) ))
+            (fun () ->
+              (match (ctx, req.Protocol.parent_span) with
+              | Some c, Some parent ->
+                Span.flow_in ~id:(Span.wire_flow_id ~trace:c.Span.trace ~parent)
+              | _ -> ());
+              handle_analyze t ~t0 ~fi req)
+        in
+        ( "analyze",
+          match ctx with
+          | None -> serve ()
+          | Some _ -> Span.with_context ctx serve ))
   in
   let dt = Unix.gettimeofday () -. t0 in
+  Flight.record
+    { Flight.f_id = fi.fi_id;
+      f_trace = fi.fi_trace;
+      f_key = fi.fi_key;
+      f_shard = shard_name t;
+      f_op = op_name;
+      f_queue_ms = fi.fi_queue_ms;
+      f_hedged = false;
+      f_cache = fi.fi_cache;
+      f_outcome = fi.fi_status;
+      f_ms = dt *. 1000.0;
+      f_ts = t0 };
   if Metrics.enabled () then begin
     (match List.assoc_opt op_name m_requests with
     | Some c -> Metrics.incr c
@@ -432,6 +520,18 @@ let stop t =
 let install_sigint t =
   Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t))
 
+(* SIGUSR1 dumps the flight recorder as NDJSON to stderr: the incident
+   tool for "what were the last few thousand requests?" without
+   restarting or reconfiguring anything. *)
+let install_sigusr1 () =
+  try
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           Flight.dump stderr;
+           flush stderr))
+  with Invalid_argument _ -> ()
+
 (* A peer that disconnects mid-write must surface as EPIPE on the
    offending call, not kill the whole process. *)
 let ignore_sigpipe () =
@@ -440,6 +540,7 @@ let ignore_sigpipe () =
 
 let run t =
   ignore_sigpipe ();
+  install_sigusr1 ();
   Log.info "ogc-serve: listening"
     ~fields:
       [ ("version", J.Str Version.version);

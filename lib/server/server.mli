@@ -38,6 +38,13 @@ type config = {
       (** fleet shard name; namespaces [cache_dir] as
           [cache_dir/shard-<id>] so co-located shards never race on one
           atomic-write path, and is echoed in [stats] *)
+  slow_ms : float option;
+      (** requests slower than this auto-capture their
+          {!Ogc_obs.Flight} record (plus the local span slice of their
+          trace) into the structured log; [None] disables *)
+  inject_slow_ms : float option;
+      (** fault injection: delay every analyze by this much, to make a
+          deliberately slow shard for hedging/auto-capture smoke tests *)
 }
 
 val addr_string : addr -> string
@@ -79,6 +86,11 @@ val stop : t -> unit
 
 val install_sigint : t -> unit
 (** Route SIGINT to {!stop} for a clean drain on Ctrl-C. *)
+
+val install_sigusr1 : unit -> unit
+(** Route SIGUSR1 to an {!Ogc_obs.Flight} NDJSON dump on stderr (no-op
+    where the signal does not exist).  [run] calls this; exposed for the
+    fleet router. *)
 
 val stats_json : t -> Ogc_json.Json.t
 (** The same counters the ["stats"] op reports: requests, cache

@@ -404,6 +404,248 @@ let test_router_replicates_hot_keys () =
       in
       poll ())
 
+(* --- distributed tracing (the acceptance criterion) -------------------------- *)
+
+module Span = Ogc_obs.Span
+module Flight = Ogc_obs.Flight
+
+(* A hedged request against a deliberately slowed primary must leave one
+   connected trace: the router's request span, both shard attempts, the
+   winning shard's request span, its pool-worker execution and the
+   nested pass spans, all under the client's trace id, with every
+   flow-finish resolving to a flow-start.  Shards here are in-process
+   threads, so the whole fleet shares one ring set and [Span.export]
+   sees all sides at once. *)
+let test_hedged_request_one_connected_trace () =
+  Span.reset ();
+  Flight.reset ();
+  Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Span.reset ();
+      Flight.reset ())
+  @@ fun () ->
+  let slow_path, stop_slow = start_slow_shard 2.0 in
+  Fun.protect ~finally:stop_slow @@ fun () ->
+  let live = start_shard "live" in
+  Fun.protect ~finally:(fun () -> stop_shard live) @@ fun () ->
+  let rpath = sock_path () in
+  let targets =
+    [ { Router.t_name = "slow"; t_addr = Server.Unix_sock slow_path };
+      { Router.t_name = "live"; t_addr = Server.Unix_sock live.sp_path } ]
+  in
+  let cfg =
+    { (Router.default_config ~addr:(Server.Unix_sock rpath) ~shards:targets)
+      with hedge_ms = Some 25.0 }
+  in
+  let r = Router.create cfg in
+  let rth = Thread.create Router.run r in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop r;
+      Thread.join rth;
+      if Sys.file_exists rpath then Sys.remove rpath)
+  @@ fun () ->
+  let ring = Ring.create ~vnodes:cfg.Router.vnodes [ "slow"; "live" ] in
+  let src = src_with_primary ring "slow" in
+  let trace = "t-accept" in
+  let line =
+    J.to_string ~indent:false
+      (J.Obj
+         [ ("proto", J.Int Protocol.proto_version);
+           ("source", J.Str src);
+           ("pass", J.Str "vrp");
+           ("trace_id", J.Str trace) ])
+  in
+  let resp = request rpath line in
+  Alcotest.(check string) "hedged traced request ok" "ok"
+    (field resp "status");
+  Alcotest.(check string) "live shard won" Ogc_server.Version.version
+    (field resp "version");
+  let events =
+    match J.member "traceEvents" (Span.export ()) with
+    | J.Arr evs -> evs
+    | _ -> Alcotest.fail "no traceEvents"
+  in
+  let begins_of_trace =
+    List.filter_map
+      (fun e ->
+        match (J.member "ph" e, J.member "name" e, J.member "args" e) with
+        | J.Str "B", J.Str name, args
+          when J.member "trace_id" args = J.Str trace ->
+          Some (name, args)
+        | _ -> None)
+      events
+  in
+  let count name =
+    List.length (List.filter (fun (n, _) -> n = name) begins_of_trace)
+  in
+  (* Router request span, both attempts (primary to the straggler, the
+     winning hedge), the live shard's request span, its pool-worker
+     execution and the nested pass chain — all one trace id. *)
+  Alcotest.(check bool) "router and shard request spans" true
+    (count "request" >= 2);
+  Alcotest.(check int) "both shard attempts traced" 2 (count "attempt");
+  Alcotest.(check bool) "pool-worker execution traced" true
+    (count "pool:task" >= 1);
+  Alcotest.(check bool) "analyze traced" true (count "analyze" >= 1);
+  Alcotest.(check bool) "nested pass spans traced" true
+    (List.exists
+       (fun (n, _) ->
+         String.length n > 5 && String.sub n 0 5 = "pass:")
+       begins_of_trace);
+  (* Attempt spans nest under the router's request span. *)
+  let request_sids =
+    List.filter_map
+      (fun (n, args) ->
+        if n = "request" then
+          match J.member "span_id" args with J.Int i -> Some i | _ -> None
+        else None)
+      begins_of_trace
+  in
+  List.iter
+    (fun (n, args) ->
+      if n = "attempt" then
+        match J.member "parent_span" args with
+        | J.Int p ->
+          Alcotest.(check bool) "attempt nests under a request span" true
+            (List.mem p request_sids)
+        | _ -> Alcotest.fail "attempt span lacks parent_span")
+    begins_of_trace;
+  (* Flow events connect the processes: every finish resolves to a
+     start (the straggler's start may dangle — its canned shard emits
+     nothing — but nothing resolves from nowhere). *)
+  let flow_ids ph =
+    List.filter_map
+      (fun e ->
+        if J.member "ph" e = J.Str ph then
+          match J.member "id" e with J.Int i -> Some i | _ -> None
+        else None)
+      events
+  in
+  let outs = flow_ids "s" and ins = flow_ids "f" in
+  Alcotest.(check bool) "winner's wire flow resolved" true
+    (ins <> [] && List.for_all (fun i -> List.mem i outs) ins);
+  (* The router's flight record ties the planes together. *)
+  let fr =
+    List.find_opt
+      (fun fr ->
+        fr.Flight.f_shard = "router" && fr.Flight.f_trace = Some trace)
+      (Flight.snapshot ())
+  in
+  (match fr with
+  | Some fr ->
+    Alcotest.(check string) "flight op" "analyze" fr.Flight.f_op;
+    Alcotest.(check bool) "flight marks the hedge" true fr.Flight.f_hedged;
+    Alcotest.(check string) "flight outcome" "ok" fr.Flight.f_outcome
+  | None -> Alcotest.fail "no router flight record for the trace");
+  (* The trace op assembles router + reachable shards into one document
+     ogc trace --fleet can merge. *)
+  let tresp = request rpath {|{"proto":1,"op":"trace"}|} in
+  Alcotest.(check string) "trace op ok" "ok" (field tresp "status");
+  let procs =
+    match J.member "processes" (J.member "result" (J.of_string tresp)) with
+    | J.Arr ps ->
+      List.filter_map
+        (fun p ->
+          match (J.member "name" p, J.member "trace" p) with
+          | J.Str n, t -> Some (n, t)
+          | _ -> None)
+        ps
+    | _ -> Alcotest.fail "trace op returned no processes"
+  in
+  Alcotest.(check bool) "router heads the process list" true
+    (match procs with ("router", _) :: _ -> true | _ -> false);
+  Alcotest.(check bool) "live shard's rings included" true
+    (List.mem_assoc "live" procs);
+  (match J.member "traceEvents" (Span.merge_processes procs) with
+  | J.Arr evs ->
+    Alcotest.(check bool) "merged document has events" true (evs <> [])
+  | _ -> Alcotest.fail "merge produced no traceEvents");
+  (* And the flight op returns the ring. *)
+  let fresp = request rpath {|{"proto":1,"op":"flight"}|} in
+  Alcotest.(check string) "flight op ok" "ok" (field fresp "status");
+  match J.member "total" (J.member "result" (J.of_string fresp)) with
+  | J.Int n -> Alcotest.(check bool) "flight ring populated" true (n >= 1)
+  | _ -> Alcotest.fail "flight op returned no total"
+
+(* Tracing off (the default), the router forwards the client's request
+   line byte-for-byte — the wire traffic is identical to the seed's. *)
+let test_untraced_wire_bytes_unchanged () =
+  Alcotest.(check bool) "spans disabled" false (Span.enabled ());
+  let captured = ref [] in
+  let cap_m = Mutex.create () in
+  let path, stop =
+    let path = sock_path () in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    if Sys.file_exists path then Unix.unlink path;
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 4;
+    let stopping = Atomic.make false in
+    let th =
+      Thread.create
+        (fun () ->
+          while not (Atomic.get stopping) do
+            match Unix.accept fd with
+            | c, _ ->
+              if Atomic.get stopping then (
+                try Unix.close c with Unix.Unix_error _ -> ())
+              else
+                ignore
+                  (Thread.create
+                     (fun () ->
+                       let ic = Unix.in_channel_of_descr c in
+                       let oc = Unix.out_channel_of_descr c in
+                       (try
+                          while true do
+                            let l = input_line ic in
+                            Mutex.lock cap_m;
+                            captured := l :: !captured;
+                            Mutex.unlock cap_m;
+                            output_string oc
+                              {|{"version":"echo","status":"ok","result":{}}|};
+                            output_char oc '\n';
+                            flush oc
+                          done
+                        with _ -> ());
+                       try Unix.close c with Unix.Unix_error _ -> ())
+                     ())
+            | exception Unix.Unix_error _ -> ()
+          done)
+        ()
+    in
+    ( path,
+      fun () ->
+        if not (Atomic.exchange stopping true) then begin
+          (let w = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+           (try Unix.connect w (Unix.ADDR_UNIX path)
+            with Unix.Unix_error _ -> ());
+           try Unix.close w with Unix.Unix_error _ -> ());
+          Thread.join th;
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if Sys.file_exists path then Sys.remove path
+        end )
+  in
+  Fun.protect ~finally:stop @@ fun () ->
+  let rpath = sock_path () in
+  let cfg =
+    Router.default_config ~addr:(Server.Unix_sock rpath)
+      ~shards:[ { Router.t_name = "echo"; t_addr = Server.Unix_sock path } ]
+  in
+  let r = Router.create cfg in
+  let rth = Thread.create Router.run r in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop r;
+      Thread.join rth;
+      if Sys.file_exists rpath then Sys.remove rpath)
+  @@ fun () ->
+  let line = analyze_line (src_of 5) in
+  ignore (request rpath line);
+  Alcotest.(check (list string)) "forwarded byte-identically" [ line ]
+    !captured
+
 (* --- loadgen ----------------------------------------------------------------- *)
 
 let test_loadgen_stream_is_deterministic () =
@@ -483,6 +725,11 @@ let () =
            test_router_fails_over_dead_shard;
          Alcotest.test_case "replicates hot keys" `Quick
            test_router_replicates_hot_keys ]);
+      ("tracing",
+       [ Alcotest.test_case "untraced wire bytes unchanged" `Quick
+           test_untraced_wire_bytes_unchanged;
+         Alcotest.test_case "hedged request leaves one connected trace"
+           `Quick test_hedged_request_one_connected_trace ]);
       ("loadgen",
        [ Alcotest.test_case "deterministic stream" `Quick
            test_loadgen_stream_is_deterministic;

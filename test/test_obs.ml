@@ -222,6 +222,224 @@ let test_trace_export () =
        (List.tl ts));
   Span.reset ()
 
+(* --- span ids, context, drop accounting ------------------------------------ *)
+
+let span_ids_of doc =
+  let events =
+    match J.member "traceEvents" doc with J.Arr evs -> evs | _ -> []
+  in
+  List.filter_map
+    (fun e ->
+      match (J.member "ph" e, J.member "args" e) with
+      | J.Str "B", args -> (
+        match J.member "span_id" args with J.Int i -> Some (e, i) | _ -> None)
+      | _ -> None)
+    events
+
+let test_span_ids_and_context () =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false; Span.reset ())
+  @@ fun () ->
+  Span.with_context (Some { Span.trace = "t-ctx"; parent = 7 }) (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner" (fun () -> ())));
+  let spans = span_ids_of (Span.export ()) in
+  let ids = List.map snd spans in
+  Alcotest.(check int) "two spans" 2 (List.length ids);
+  Alcotest.(check bool) "span ids unique" true
+    (List.length (List.sort_uniq compare ids) = List.length ids);
+  let arg_of name k =
+    match
+      List.find_opt
+        (fun (e, _) -> J.member "name" e = J.Str name)
+        spans
+    with
+    | Some (e, _) -> J.member k (J.member "args" e)
+    | None -> Alcotest.failf "no span %s" name
+  in
+  Alcotest.(check bool) "outer carries trace id" true
+    (arg_of "outer" "trace_id" = J.Str "t-ctx");
+  Alcotest.(check bool) "outer nests under ambient parent" true
+    (arg_of "outer" "parent_span" = J.Int 7);
+  (* The inner span's parent is the outer span's own id: with_ rebinds
+     the ambient parent for its children. *)
+  let outer_sid = arg_of "outer" "span_id" in
+  Alcotest.(check bool) "inner nests under outer" true
+    (arg_of "inner" "parent_span" = outer_sid)
+
+let test_span_drop_accounting () =
+  Span.reset ();
+  with_metrics @@ fun () ->
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false; Span.reset ())
+  @@ fun () ->
+  let cap = 1 lsl 15 in
+  (* 2 events per span: overflow one thread's ring deterministically. *)
+  let spans = (cap / 2) + 500 in
+  for _ = 1 to spans do
+    Span.with_ ~name:"spin" (fun () -> ())
+  done;
+  let dropped = Span.dropped_events () in
+  Alcotest.(check int) "dropped = total - capacity" ((2 * spans) - cap) dropped;
+  (match J.member "dropped_events" (Span.export ()) with
+  | J.Int n -> Alcotest.(check int) "export reports drops" dropped n
+  | _ -> Alcotest.fail "no dropped_events member");
+  let expo = Metrics.to_prometheus () in
+  Alcotest.(check bool) "drop counter exported" true
+    (List.exists
+       (fun l ->
+         String.length l > 22
+         && String.sub l 0 22 = "ogc_span_dropped_total"
+         && float_of_string
+              (String.sub l
+                 (String.rindex l ' ' + 1)
+                 (String.length l - String.rindex l ' ' - 1))
+            = float_of_int dropped)
+       (String.split_on_char '\n' expo))
+
+(* --- merged fleet traces are well-formed ------------------------------------ *)
+
+(* Build per-process export documents with the real recorder (reset
+   between "processes"), cross-linked by wire flow ids, then merge. *)
+let build_fleet_docs ~procs ~flows =
+  let trace = "t-merge" in
+  List.init procs (fun pi ->
+      Span.reset ();
+      Span.set_enabled true;
+      Span.with_context (Some { Span.trace; parent = 0 }) (fun () ->
+          for f = 1 to flows do
+            let id = Span.wire_flow_id ~trace ~parent:f in
+            Span.with_ ~name:(Printf.sprintf "edge%d" f) (fun () ->
+                (* process 0 starts every flow; process 1 finishes it. *)
+                if pi = 0 then Span.flow_out ~id
+                else if pi = 1 then Span.flow_in ~id)
+          done);
+      let doc = Span.export () in
+      Span.set_enabled false;
+      Span.reset ();
+      (Printf.sprintf "proc%d" pi, doc))
+
+let prop_merged_fleet_well_formed =
+  QCheck.Test.make ~name:"merged fleet traces well-formed" ~count:30
+    QCheck.(pair (1 -- 4) (0 -- 8))
+    (fun (procs, flows) ->
+      let merged = Span.merge_processes (build_fleet_docs ~procs ~flows) in
+      let events =
+        match J.member "traceEvents" merged with J.Arr e -> e | _ -> []
+      in
+      let pid_of e = match J.member "pid" e with J.Int p -> p | _ -> -1 in
+      (* Every process got its own pid track with a name. *)
+      let named_pids =
+        List.filter_map
+          (fun e ->
+            match (J.member "ph" e, J.member "name" e) with
+            | J.Str "M", J.Str "process_name" -> Some (pid_of e)
+            | _ -> None)
+          events
+        |> List.sort_uniq compare
+      in
+      let flow_ids ph =
+        List.filter_map
+          (fun e ->
+            if J.member "ph" e = J.Str ph then
+              match J.member "id" e with J.Int i -> Some i | _ -> None
+            else None)
+          events
+        |> List.sort_uniq compare
+      in
+      let outs = flow_ids "s" and ins = flow_ids "f" in
+      let span_ids =
+        List.filter_map
+          (fun e ->
+            if J.member "ph" e = J.Str "B" then
+              match J.member "span_id" (J.member "args" e) with
+              | J.Int i -> Some (pid_of e, i)
+              | _ -> None
+            else None)
+          events
+      in
+      named_pids = List.init procs (fun i -> i + 1)
+      (* Per-process span ids never collide after the merge. *)
+      && List.length (List.sort_uniq compare span_ids)
+         = List.length span_ids
+      (* Each flow start resolves to a finish in the other process (and
+         none dangle), whenever both endpoints exist. *)
+      && (if procs >= 2 then outs = ins && List.length outs = flows
+          else ins = []))
+
+(* --- flight recorder -------------------------------------------------------- *)
+
+module Flight = Ogc_obs.Flight
+
+let flight_rec i =
+  { Flight.f_id = Some (Printf.sprintf "r%d" i);
+    f_trace = None;
+    f_key = "";
+    f_shard = "test";
+    f_op = "analyze";
+    f_queue_ms = 0.0;
+    f_hedged = false;
+    f_cache = "";
+    f_outcome = "ok";
+    f_ms = float_of_int i;
+    f_ts = 0.0 }
+
+let test_flight_ring_bounds () =
+  Flight.reset ();
+  Fun.protect ~finally:Flight.reset @@ fun () ->
+  let n = Flight.capacity + 100 in
+  for i = 0 to n - 1 do
+    Flight.record (flight_rec i)
+  done;
+  let snap = Flight.snapshot () in
+  Alcotest.(check int) "ring bounded" Flight.capacity (List.length snap);
+  Alcotest.(check int) "total counts everything" n (Flight.total ());
+  Alcotest.(check int) "dropped = overflow" 100 (Flight.dropped ());
+  (* Oldest first, and exactly the newest [capacity] records retained. *)
+  (match snap with
+  | first :: _ ->
+    Alcotest.(check (float 0.0)) "oldest retained" 100.0 first.Flight.f_ms
+  | [] -> Alcotest.fail "empty snapshot");
+  (match List.rev snap with
+  | last :: _ ->
+    Alcotest.(check (float 0.0)) "newest retained"
+      (float_of_int (n - 1)) last.Flight.f_ms
+  | [] -> Alcotest.fail "empty snapshot");
+  Alcotest.(check bool) "ordering monotone" true
+    (let ms = List.map (fun r -> r.Flight.f_ms) snap in
+     List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length ms - 1) ms)
+       (List.tl ms));
+  match Flight.to_json_all () with
+  | J.Obj _ as j ->
+    Alcotest.(check bool) "payload totals" true
+      (J.member "total" j = J.Int n && J.member "dropped" j = J.Int 100)
+  | _ -> Alcotest.fail "bad flight payload"
+
+let test_flight_slow_capture () =
+  Flight.reset ();
+  let lines = ref [] in
+  Log.set_sink (fun l -> lines := l :: !lines);
+  Fun.protect ~finally:(fun () ->
+      Log.set_sink prerr_endline;
+      Flight.reset ())
+  @@ fun () ->
+  Flight.set_slow_ms (Some 5.0);
+  Flight.record (flight_rec 3);
+  Alcotest.(check int) "fast request not captured" 0 (List.length !lines);
+  Flight.record { (flight_rec 50) with f_trace = Some "t-slow" };
+  match !lines with
+  | [ line ] ->
+    let j = J.of_string line in
+    Alcotest.(check bool) "slow_request line" true
+      (J.member "msg" j = J.Str "slow_request");
+    Alcotest.(check bool) "carries trace id" true
+      (J.member "trace_id" j = J.Str "t-slow");
+    Alcotest.(check bool) "carries duration" true
+      (J.member "ms" j = J.Float 50.0)
+  | l -> Alcotest.failf "expected one capture, got %d" (List.length l)
+
 (* --- structured logs ------------------------------------------------------- *)
 
 let test_log_lines () =
@@ -277,6 +495,8 @@ let req pass =
     cost = 50;
     deadline_ms = None;
     return_program = true;
+    trace_id = None;
+    parent_span = None;
   }
 
 let test_analyze_identical_with_tracing () =
@@ -290,6 +510,12 @@ let test_analyze_identical_with_tracing () =
       Metrics.set_enabled true;
       Span.set_enabled true;
       let on = J.to_string (Protocol.analyze (req pass)) in
+      (* A live trace context changes what the spans record, never the
+         payload. *)
+      let ctx = J.to_string
+          (Span.with_context (Some { Span.trace = "t-det"; parent = 9 })
+             (fun () -> Protocol.analyze (req pass)))
+      in
       Metrics.set_enabled false;
       Span.set_enabled false;
       let off2 = J.to_string (Protocol.analyze (req pass)) in
@@ -297,6 +523,9 @@ let test_analyze_identical_with_tracing () =
       Alcotest.(check string)
         (Printf.sprintf "pass %s: on = off" (Protocol.pass_name pass))
         off on;
+      Alcotest.(check string)
+        (Printf.sprintf "pass %s: traced ctx = off" (Protocol.pass_name pass))
+        off ctx;
       Alcotest.(check string)
         (Printf.sprintf "pass %s: off again = off" (Protocol.pass_name pass))
         off off2)
@@ -313,6 +542,17 @@ let () =
       ( "exposition",
         [ Alcotest.test_case "format" `Quick test_exposition_format ] );
       ("trace", [ Alcotest.test_case "export" `Quick test_trace_export ]);
+      ( "spans",
+        [ Alcotest.test_case "ids and ambient context" `Quick
+            test_span_ids_and_context;
+          Alcotest.test_case "drop accounting" `Quick
+            test_span_drop_accounting;
+          q prop_merged_fleet_well_formed ] );
+      ( "flight",
+        [ Alcotest.test_case "ring bounds and ordering" `Quick
+            test_flight_ring_bounds;
+          Alcotest.test_case "slow-request auto-capture" `Quick
+            test_flight_slow_capture ] );
       ("log", [ Alcotest.test_case "ndjson lines" `Quick test_log_lines ]);
       ( "determinism",
         [ Alcotest.test_case "analyze byte-identical" `Quick
