@@ -258,6 +258,33 @@ let () =
       fb.Results.fb_p50_ms fb.Results.fb_p95_ms fb.Results.fb_p99_ms;
     { res with Results.fleet = Some fb }
   in
+  (* Spill area and traffic: width-aware slots vs naive 8-byte slots
+     (static), plus the bytes actually moved by spill code in the
+     ungated baseline run (dynamic, the CI-gated series). *)
+  Format.printf "%s"
+    (Ogc_harness.Render.heading
+       "Register-allocator spill slots (width-aware vs naive 8-byte)");
+  Format.printf "%s@."
+    (Ogc_harness.Render.table
+       ~header:[ "Workload"; "slot bytes"; "naive bytes"; "saved"; "traffic B" ]
+       (List.map
+          (fun (w : Results.wres) ->
+            [
+              w.Results.wname;
+              string_of_int w.Results.spill_slots_bytes;
+              string_of_int w.Results.spill_slots_naive_bytes;
+              (if w.Results.spill_slots_naive_bytes > 0 then
+                 Printf.sprintf "%.0f%%"
+                   (100.0
+                   *. (1.0
+                      -. float_of_int w.Results.spill_slots_bytes
+                         /. float_of_int w.Results.spill_slots_naive_bytes))
+               else "-");
+              Printf.sprintf "%.0f"
+                (Ogc_energy.Account.spill_traffic
+                   w.Results.base_none.Ogc_cpu.Pipeline.energy);
+            ])
+          res.Results.workloads));
   (* Analyze-throughput microbench (the CI-gated series). *)
   if res.Results.analyze <> [] then begin
     Format.printf "%s"

@@ -18,6 +18,7 @@ module Interp = Ogc_ir.Interp
 module Vrp = Ogc_core.Vrp
 module Vrs = Ogc_core.Vrs
 module Workload = Ogc_workloads.Workload
+module Regalloc = Ogc_regalloc.Regalloc
 module Pipeline = Ogc_cpu.Pipeline
 module Policy = Ogc_gating.Policy
 module Account = Ogc_energy.Account
@@ -28,7 +29,10 @@ module Log = Ogc_obs.Log
 
 (* --- program loading ---------------------------------------------------- *)
 
-let load_program spec input =
+(* Loads a program and, when the spec goes through the MiniC compiler,
+   the register allocator's report.  A .s file holds already-allocated
+   code, so it has no report. *)
+let load_program_with_alloc spec input =
   if Sys.file_exists spec then begin
     let ic = open_in_bin spec in
     let n = in_channel_length ic in
@@ -38,16 +42,22 @@ let load_program spec input =
     if Filename.check_suffix spec ".s" then begin
       let p = try Ogc_ir.Asm.parse src with Ogc_ir.Asm.Error m -> failwith m in
       Ogc_ir.Validate.program p;
-      p
+      (p, None)
     end
-    else Minic.compile src
+    else
+      let p, info = Minic.compile_with_info src in
+      (p, Some info)
   end
   else
     match Workload.find spec with
-    | w -> Workload.compile w input
+    | w ->
+      let p, info = Workload.compile_with_alloc w input in
+      (p, Some info)
     | exception Not_found ->
       Fmt.failwith
         "%s is neither a file nor a workload (try `ogc workloads`)" spec
+
+let load_program spec input = fst (load_program_with_alloc spec input)
 
 let save_arg =
   Arg.(value & opt (some string) None
@@ -1245,9 +1255,26 @@ let analyze_cmd =
          & info [ "json" ]
              ~doc:"Emit the result as JSON (deterministic: no timings).")
   in
-  let run spec input chain json out =
+  let dump_alloc_flag =
+    Arg.(value & flag
+         & info [ "dump-alloc" ]
+             ~doc:"Print the register allocator's report — coloring rounds, \
+                   spill slots with their width-aware sizes, callee-saved \
+                   use — before running the chain.  MiniC sources and \
+                   workloads only: a $(b,.s) file holds already-allocated \
+                   code.  With $(b,--json) the report goes to stderr.")
+  in
+  let run spec input chain json dump_alloc out =
     wrap (fun () ->
-        let p = load_program spec input in
+        let p, alloc = load_program_with_alloc spec input in
+        if dump_alloc then begin
+          let ppf = if json then Format.err_formatter else Format.std_formatter in
+          match alloc with
+          | Some info -> Format.fprintf ppf "%a@." Regalloc.pp_info info
+          | None ->
+            Format.fprintf ppf
+              "no allocation report: %s is a saved .s program@." spec
+        end;
         let st, steps = Pass.run chain p in
         let p = st.Pass.prog in
         Ogc_ir.Validate.program p;
@@ -1295,7 +1322,7 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:"Run a named pass chain over a program and report what it did")
     Term.(const run $ program_arg $ input_arg $ chain_arg $ json_flag
-          $ save_arg)
+          $ dump_alloc_flag $ save_arg)
 
 let passes_cmd =
   let run () =
@@ -1365,6 +1392,13 @@ let fuzz_cmd =
                    fail; use with $(b,--shrink) to watch the oracle and \
                    shrinker work.")
   in
+  let pressure =
+    Arg.(value & flag
+         & info [ "pressure" ]
+             ~doc:"Generate high-register-pressure MiniC programs (many \
+                   live locals, deep call chains), so every program \
+                   exercises the register allocator's spill paths.")
+  in
   let corpus =
     Arg.(value & opt string "test/corpus"
          & info [ "corpus" ] ~docv:"DIR"
@@ -1401,10 +1435,12 @@ let fuzz_cmd =
     close_out oc;
     path
   in
-  let run seed count jobs shrink inject corpus =
+  let run seed count jobs shrink inject pressure corpus =
     wrap (fun () ->
         let jobs = if jobs = 0 then None else Some jobs in
-        let s = Ogc_fuzz.Fuzz.run ?jobs ~inject ~shrink ~seed ~count () in
+        let s =
+          Ogc_fuzz.Fuzz.run ?jobs ~inject ~shrink ~pressure ~seed ~count ()
+        in
         Format.printf
           "fuzz: seed %d: %d programs (%d minic, %d ir, %d skipped), %d \
            chain checks, %d diffs@."
@@ -1436,7 +1472,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Differential fuzzing: random programs through every \
              optimization chain against the reference interpreter")
-    Term.(const run $ seed $ count $ jobs $ shrink $ inject $ corpus)
+    Term.(const run $ seed $ count $ jobs $ shrink $ inject $ pressure
+          $ corpus)
 
 let () =
   let doc = "software-controlled operand gating (CGO 2004) toolchain" in

@@ -98,17 +98,19 @@ let is_pure = function
    boundaries and never removable; neither are the epilogue loads that
    restore callee-saved registers from the callee-save area — they have no
    in-function uses but implement the calling convention.  The check is
-   structural (a 64-bit load of a callee-saved register from the
-   callee-save slots), not positional: VRS may split the epilogue block,
-   leaving the restores in a block that no longer ends in Return.  Other
-   defs of callee-saved registers are removable because the code generator
-   always restores every callee-saved register it allocates. *)
+   structural (a 64-bit sp-relative load of a callee-saved register), not
+   positional: VRS may split the epilogue block, leaving the restores in a
+   block that no longer ends in Return, and the register allocator places
+   the callee-save area above a frame's spill slots, so no fixed offset
+   window identifies it.  The conservatism costs at most a dead spill
+   reload whose slot was colored callee-saved.  Other defs of callee-saved
+   registers are removable because the allocator always restores every
+   callee-saved register it uses. *)
 let is_restore_load (ins : Prog.ins) =
   match ins.op with
   | Instr.Load { base; offset; width = Width.W64; dst; _ } ->
     Reg.equal base Reg.sp
     && Int64.compare offset 0L >= 0
-    && Int64.compare offset 48L < 0
     && List.exists (Reg.equal dst) Reg.callee_saved
   | _ -> false
 

@@ -36,26 +36,30 @@ let trip_count ?(iter_on_left = true) ~init ~mul ~add ~cmp ~bound () =
   if holds init then go init 0 init init
   else Some (0, Interval.v init init)
 
-(* The last definition of [r] in a block, searched backwards. *)
-let last_def_of (b : Prog.block) r =
+(* The last definition of [r] among the first [limit] instructions of a
+   block, searched backwards, with its index.  After register
+   allocation distinct values share registers, so pattern lookups must
+   stay strictly below the instruction that consumed the value. *)
+let last_def_below (b : Prog.block) r ~limit =
   let rec go i =
     if i < 0 then None
     else if List.exists (Reg.equal r) (Instr.defs b.body.(i).Prog.op) then
-      Some b.body.(i).Prog.op
+      Some (i, b.body.(i).Prog.op)
     else go (i - 1)
   in
-  go (Array.length b.body - 1)
+  go (min limit (Array.length b.body) - 1)
 
 (* Resolve the common "through a move" shape: [v] was produced either
    directly by [pattern] or by [or t, #0 -> v] with [t] produced by
    [pattern] earlier in the same block. *)
-let rec def_through_moves (b : Prog.block) r depth =
+let rec def_through_moves ?(limit = max_int) (b : Prog.block) r depth =
   if depth > 4 then None
   else
-    match last_def_of b r with
-    | Some (Instr.Alu { op = Instr.Or; src1; src2 = Instr.Imm 0L; _ }) ->
-      def_through_moves b src1 (depth + 1)
-    | d -> d
+    match last_def_below b r ~limit with
+    | Some (i, Instr.Alu { op = Instr.Or; src1; src2 = Instr.Imm 0L; _ }) ->
+      def_through_moves ~limit:i b src1 (depth + 1)
+    | Some (_, d) -> Some d
+    | None -> None
 
 let analyze (f : Prog.func) =
   let cfg = Cfg.of_func f in
@@ -71,14 +75,15 @@ let analyze (f : Prog.func) =
         (* The canonical `for` shape: continue into the body while the
            header compare holds. *)
         let header_cmp =
-          match last_def_of header_block src with
-          | Some (Instr.Cmp { op = cmp; src1 = iterator; src2 = Instr.Imm bound; _ })
+          match last_def_below header_block src ~limit:max_int with
+          | Some (_, Instr.Cmp { op = cmp; src1 = iterator; src2 = Instr.Imm bound; _ })
             -> Some (cmp, iterator, bound, true)
-          | Some (Instr.Cmp { op = cmp; src1 = lhs; src2 = Instr.Reg iterator; _ })
+          | Some (ci, Instr.Cmp { op = cmp; src1 = lhs; src2 = Instr.Reg iterator; _ })
             -> (
             (* x > bound compiles as bound < x: the bound constant arrives
-               in a register through a Li. *)
-            match def_through_moves header_block lhs 0 with
+               in a register through a Li (possibly sharing the compare's
+               destination register post-allocation, hence the limit). *)
+            match def_through_moves ~limit:ci header_block lhs 0 with
             | Some (Instr.Li { imm = bound; _ }) ->
               Some (cmp, iterator, bound, false)
             | _ -> None)

@@ -74,9 +74,10 @@ type result = {
 
 let get arr iid = if iid >= 0 && iid < Array.length arr then arr.(iid) else None
 
-(* --- flow states: one interval per architectural register ---------------- *)
+(* --- flow states: one interval per register ------------------------------ *)
 
-let nregs = 32
+(* Pre-allocation programs carry virtual registers above the architectural
+   32, so the state size is per-function: [1 + Prog.max_reg_of_func f]. *)
 let zero_i = Reg.to_int Reg.zero
 let sp_i = Reg.to_int Reg.sp
 
@@ -84,12 +85,13 @@ let sp_range =
   Interval.v Interp.virtual_base
     (Int64.add Interp.virtual_base 0x1_0000_0000L)
 
-let state_top () =
+let state_top nregs =
   let s = Array.make nregs Interval.top in
   s.(zero_i) <- Interval.const 0L;
   s
 
 let state_equal a b =
+  let nregs = Array.length a in
   let rec go i = i >= nregs || (Interval.equal a.(i) b.(i) && go (i + 1)) in
   go 0
 
@@ -97,7 +99,7 @@ let state_equal a b =
    constructors below establish it; transfers, refinements and widening
    never write it), so in-place joins can skip the slot. *)
 let state_join_into dst src =
-  for i = 0 to nregs - 1 do
+  for i = 0 to Array.length dst - 1 do
     if i <> zero_i then dst.(i) <- Interval.join dst.(i) src.(i)
   done
 
@@ -117,7 +119,7 @@ let widen_lo n =
 (* [nxt] holds the join of [old] and the fresh input; rewrite it to the
    widened state in place. *)
 let widen_into ~old nxt =
-  for i = 0 to nregs - 1 do
+  for i = 0 to Array.length nxt - 1 do
     if i <> zero_i then begin
       let o = (old.(i) : Interval.t) and n = (nxt.(i) : Interval.t) in
       let lo =
@@ -252,34 +254,69 @@ let edge_refinements (b : Prog.block) ~taken =
     let body = b.body in
     let n = Array.length body in
     let defines r (ins : Prog.ins) = List.exists (Reg.equal r) (Instr.defs ins.op) in
-    let rec last_def i = if i < 0 then None else if defines src body.(i) then Some i else last_def (i - 1) in
+    let rec last_def r i =
+      if i < 0 then None
+      else if defines r body.(i) then Some i
+      else last_def r (i - 1)
+    in
     let cmp_refine =
-      match last_def (n - 1) with
+      match last_def src (n - 1) with
       | None -> []
       | Some i -> (
         match body.(i).op with
         | Instr.Cmp { op; width; src1; src2; dst } ->
-          (* Refinement reads {e both} operand ranges from the block's
+          (* Refinement reads the operand ranges from the block's
              out-state (each side's new range is computed against the
-             other's), so it is only valid when neither operand is
-             redefined between the compare and the exit — including by
-             the compare itself, whose [dst] aliases an operand in the
-             [x == k] guards VRS emits ([cmpeq x, r27, r27]): there the
-             out-state of [r27] is the 0/1 compare result, not the
-             comparand. *)
+             other's), so an operand participates only while its exit
+             range is still its range at the compare: not redefined
+             between the compare and the exit — including by the compare
+             itself, whose [dst] aliases an operand both in the [x == k]
+             guards VRS emits ([cmpeq x, r27, r27]) and routinely after
+             register allocation, where the compare result reuses an
+             operand's register.  A clobbered operand can still provide
+             {e context} for refining the other side when it was loaded
+             as a constant below the compare ([li #k] feeds most bound
+             checks): the constant is carried as an immediate. *)
           let redefined r =
             let rec go j =
               j < n && (defines r body.(j) || go (j + 1))
             in
             Reg.equal dst r || go (i + 1)
           in
-          let ok =
-            (not (redefined src1))
-            && (match src2 with
-               | Instr.Reg r -> not (redefined r)
-               | Instr.Imm _ -> true)
+          let rec const_below r j depth =
+            if depth > 4 then None
+            else
+              match last_def r (j - 1) with
+              | None -> None
+              | Some k -> (
+                match body.(k).op with
+                | Instr.Li { imm; _ } -> Some imm
+                | Instr.Alu
+                    { op = Instr.Or; src1 = m; src2 = Instr.Imm 0L; _ } ->
+                  const_below m k (depth + 1)
+                | _ -> None)
           in
-          if ok then [ (op, width, src1, src2, true, true) ] else []
+          let context r =
+            if not (redefined r) then Some (Instr.Reg r)
+            else
+              Option.map (fun c -> Instr.Imm c) (const_below r i 0)
+          in
+          let lhs_ctx = context src1 in
+          let rhs_ctx =
+            match src2 with Instr.Imm _ -> Some src2 | Instr.Reg r -> context r
+          in
+          let ref1 = (not (redefined src1)) && rhs_ctx <> None in
+          let ref2 =
+            (match src2 with
+            | Instr.Reg r -> not (redefined r)
+            | Instr.Imm _ -> false)
+            && lhs_ctx <> None
+          in
+          if ref1 || ref2 then
+            let lhs_read = Option.value lhs_ctx ~default:(Instr.Reg src1) in
+            let rhs_read = Option.value rhs_ctx ~default:src2 in
+            [ (op, width, lhs_read, rhs_read, ref1, ref2) ]
+          else []
         | _ -> [])
     in
     [ `Cond (cond, src, taken) ]
@@ -297,7 +334,7 @@ let apply_refinements state refs =
         match Interval.refine_cond cond state.(i) ~taken with
         | Some rng -> if i <> zero_i then state.(i) <- rng
         | None -> infeasible := true)
-      | `Cmp ((op, width, src1, src2, ok1, ok2), cond, src, taken) -> (
+      | `Cmp ((op, width, lhs_op, rhs_op, ref1, ref2), cond, src, taken) -> (
         (* The branch tests the compare result against zero; determine
            whether the compare held on this edge. *)
         match Interval.refine_cond cond state.(Reg.to_int src) ~taken with
@@ -306,14 +343,16 @@ let apply_refinements state refs =
           match Interval.is_const rng with
           | Some c ->
             let holds = not (Int64.equal c 0L) in
-            let lhs = state.(Reg.to_int src1) in
-            let rhs = operand_range state src2 in
-            if ok1 then (
+            let lhs = operand_range state lhs_op in
+            let rhs = operand_range state rhs_op in
+            (match lhs_op with
+            | Instr.Reg r1 when ref1 -> (
               match Interval.refine_cmp_lhs op width ~lhs ~rhs ~holds with
-              | Some l -> if Reg.to_int src1 <> zero_i then state.(Reg.to_int src1) <- l
-              | None -> infeasible := true);
-            (match src2 with
-            | Instr.Reg r2 when ok2 -> (
+              | Some l -> if Reg.to_int r1 <> zero_i then state.(Reg.to_int r1) <- l
+              | None -> infeasible := true)
+            | Instr.Reg _ | Instr.Imm _ -> ());
+            (match rhs_op with
+            | Instr.Reg r2 when ref2 -> (
               match Interval.refine_cmp_rhs op width ~lhs ~rhs ~holds with
               | Some rr -> if Reg.to_int r2 <> zero_i then state.(Reg.to_int r2) <- rr
               | None -> infeasible := true)
@@ -340,6 +379,7 @@ type edge = {
 type plan = {
   pf : Prog.func;
   nb : int;
+  pnregs : int;  (* state size: 1 + the function's highest register index *)
   rpo : int array;  (* worklist priority -> block index *)
   prio : int array;  (* block index -> worklist priority *)
   pedges : edge array array;  (* per block, in [Cfg.preds] order *)
@@ -389,8 +429,8 @@ let make_plan config (f : Prog.func) =
           config.assumptions)
   in
   let scc = Scc.of_cfg cfg in
-  { pf = f; nb; rpo; prio; pedges; psuccs; passume;
-    cyclic = Scc.has_cycle scc; pcfg = cfg }
+  { pf = f; nb; pnregs = 1 + Prog.max_reg_of_func f; rpo; prio; pedges;
+    psuccs; passume; cyclic = Scc.has_cycle scc; pcfg = cfg }
 
 (* Minimal binary min-heap over worklist priorities. *)
 module Heap = struct
@@ -465,13 +505,16 @@ end
 let analyze_func ctx plan ~engine : Interval.t * int * int =
   let f = plan.pf in
   let nb = plan.nb in
-  let ins_s = Array.init nb (fun _ -> state_top ()) in
-  let out_s = Array.init nb (fun _ -> state_top ()) in
+  let nregs = plan.pnregs in
+  let ins_s = Array.init nb (fun _ -> state_top nregs) in
+  let out_s = Array.init nb (fun _ -> state_top nregs) in
   (* [reached.(bi)] — the block's in-state has left ⊥. *)
   let reached = Array.make nb false in
-  let fresh = state_top () and tmp = state_top () and nxt = state_top () in
+  let fresh = state_top nregs
+  and tmp = state_top nregs
+  and nxt = state_top nregs in
   let entry =
-    let s = state_top () in
+    let s = state_top nregs in
     s.(sp_i) <- sp_range;
     Array.iteri (fun i r -> s.(Reg.to_int (Reg.arg i)) <- r) ctx.args_of;
     s
@@ -829,11 +872,14 @@ let useful_pass config res (f : Prog.func) cfg ops =
           Width.W8 uses
       in
       (* Dead defs (no uses) demand nothing — except the stack pointer
-         and the return-value register, which are live across the
-         function boundary (the caller observes their full value). *)
+         which is live across the function boundary (the caller observes
+         its full value).  The return register needs no such pin: every
+         [Return] records a terminator use of it, so exactly the defs
+         that reach the caller demand the full width — pinning every def
+         of r0 would defeat narrowing now that the allocator hands it
+         out as an ordinary color. *)
       let dem =
-        if Reg.equal d.Usedef.dreg Reg.sp || Reg.equal d.Usedef.dreg Reg.ret
-        then Width.W64
+        if Reg.equal d.Usedef.dreg Reg.sp then Width.W64
         else if uses = [] then Width.W8
         else dem
       in

@@ -72,8 +72,8 @@ let ipc s =
   else float_of_int s.instructions /. float_of_int s.cycles
 
 let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
-    ?(interp_config = Interp.default_config) ?(memory_mode = Tagged) ~policy
-    (p : Prog.t) =
+    ?(interp_config = Interp.default_config) ?(memory_mode = Tagged)
+    ?(spill_bytes_of = fun _ -> None) ~policy (p : Prog.t) =
   Span.with_ ~name:"simulate"
     ~args:[ ("policy", Ogc_json.Json.Str (Policy.name policy)) ]
   @@ fun () ->
@@ -312,6 +312,15 @@ let simulate ?(machine = Machine_config.default) ?(params = Ep.default)
           match memory_mode with
           | Tagged -> active w data
           | Sign_extend -> 8 (* values widen at the cache boundary *)
+        in
+        (* Spill loads/stores move exactly the slot width the allocator
+           proved sufficient, whatever the policy would charge. *)
+        let mem_bytes =
+          match spill_bytes_of iid with
+          | Some b ->
+            Account.charge_spill energy b;
+            min mem_bytes b
+          | None -> mem_bytes
         in
         Account.charge energy Ep.Lsq ~active_bytes:mem_bytes ~tag_bits:mem_tags;
         Account.charge energy Ep.Dcache1 ~active_bytes:mem_bytes

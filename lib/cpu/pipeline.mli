@@ -52,10 +52,19 @@ val simulate :
   ?params:Ogc_energy.Energy_params.t ->
   ?interp_config:Interp.config ->
   ?memory_mode:memory_mode ->
+  ?spill_bytes_of:(int -> int option) ->
   policy:Ogc_gating.Policy.t ->
   Prog.t ->
   stats
-(** [memory_mode] defaults to [Tagged]. *)
+(** [memory_mode] defaults to [Tagged].
+
+    [spill_bytes_of iid] identifies register-allocator spill
+    loads/stores by instruction id and returns their slot width in
+    bytes.  A spill access moves exactly that many bytes regardless of
+    policy (the allocator proved the value fits), and its bytes are
+    additionally recorded in the account's
+    {!Ogc_energy.Account.spill_traffic} counter.  Defaults to
+    [fun _ -> None] (no instruction is a spill). *)
 
 (** [ipc stats] = instructions / cycles. *)
 val ipc : stats -> float

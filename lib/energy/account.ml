@@ -21,6 +21,10 @@ type t = {
   (* Precomputed per-access energies: [table.(structure * 8 + bytes - 1)]
      at zero tag bits; tags add [tag_bit_nj] per bit. *)
   table : float array;
+  mutable spill : float;
+      (* Bytes moved by register-allocator spill loads/stores; a traffic
+         counter, not an energy term — the accesses themselves are
+         charged to Lsq/Dcache1 like any other memory op. *)
 }
 
 let nstructures = List.length Energy_params.all_structures
@@ -35,7 +39,7 @@ let create p =
           Energy_params.access_energy p s ~active_bytes:bytes ~tag_bits:0
       done)
     Energy_params.all_structures;
-  { p; acc = Array.make nstructures 0.0; table }
+  { p; acc = Array.make nstructures 0.0; table; spill = 0.0 }
 
 let params t = t.p
 
@@ -51,9 +55,13 @@ let charge_fixed t s n =
   let i = structure_index s in
   t.acc.(i) <- t.acc.(i) +. (float_of_int n *. t.table.((i * 8) + 7))
 
-let of_values ?(params = Energy_params.default) values =
+let charge_spill t bytes = t.spill <- t.spill +. float_of_int bytes
+let spill_traffic t = t.spill
+
+let of_values ?(params = Energy_params.default) ?(spill = 0.0) values =
   let t = create params in
   List.iter (fun (s, e) -> t.acc.(structure_index s) <- e) values;
+  t.spill <- spill;
   t
 
 let energy_of t s = t.acc.(structure_index s)

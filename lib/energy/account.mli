@@ -12,11 +12,25 @@ val charge : t -> Energy_params.structure -> active_bytes:int -> tag_bits:int ->
     width, no tags). *)
 val charge_fixed : t -> Energy_params.structure -> int -> unit
 
+(** [charge_spill t bytes] records one register-allocator spill access
+    moving [bytes] bytes.  A traffic counter, not an energy term: the
+    access itself is still charged to the memory structures through
+    {!charge}. *)
+val charge_spill : t -> int -> unit
+
+val spill_traffic : t -> float
+(** Total bytes moved by spill loads/stores recorded with
+    {!charge_spill}. *)
+
 val of_values :
-  ?params:Energy_params.t -> (Energy_params.structure * float) list -> t
+  ?params:Energy_params.t ->
+  ?spill:float ->
+  (Energy_params.structure * float) list ->
+  t
 (** An account holding the given per-structure totals, as if they had
     been accumulated through {!charge}.  Used to rebuild accounts from
-    serialized results; [params] defaults to {!Energy_params.default}. *)
+    serialized results; [params] defaults to {!Energy_params.default}
+    and [spill] (bytes, see {!spill_traffic}) to 0. *)
 
 val energy_of : t -> Energy_params.structure -> float
 (** Accumulated nJ in one structure. *)

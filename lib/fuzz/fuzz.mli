@@ -46,10 +46,12 @@ val transforms_for : inject:bool -> seed:int -> index:int -> Oracle.transform li
 (** The exact transform list program [index] of campaign [seed] is
     checked against; [inject] appends {!Oracle.injected_width_bug}. *)
 
-val generate : seed:int -> index:int -> source * Prog.t
-(** The exact program at [index] of campaign [seed].  Raises
-    {!Ogc_minic.Minic.Error} if the front end rejects a generated
-    source (a generator bug). *)
+val generate : ?pressure:bool -> seed:int -> index:int -> unit -> source * Prog.t
+(** The exact program at [index] of campaign [seed].  [pressure]
+    (default false) swaps the MiniC generator for
+    {!Gen_minic.pressure_program} (raw-IR indices are unaffected).
+    Raises {!Ogc_minic.Minic.Error} if the front end rejects a
+    generated source (a generator bug). *)
 
 val shrink_failure :
   ?config:Interp.config -> seed:int -> failure -> failure
@@ -61,6 +63,7 @@ val run :
   ?jobs:int ->
   ?inject:bool ->
   ?shrink:bool ->
+  ?pressure:bool ->
   ?config:Interp.config ->
   seed:int ->
   count:int ->
@@ -69,4 +72,6 @@ val run :
 (** Run a campaign.  [jobs] defaults to {!Ogc_exec.Pool.default_jobs}
     (the [OGC_JOBS] environment variable or the domain count); [inject]
     (default false) adds the known-bad transform; [shrink] (default
-    false) minimizes every failure after the campaign. *)
+    false) minimizes every failure after the campaign; [pressure]
+    (default false) generates high-register-pressure MiniC programs so
+    every campaign exercises the allocator's spill paths. *)

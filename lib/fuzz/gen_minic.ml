@@ -153,19 +153,20 @@ and block env depth n =
   let* stmts = list_repeat n (stmt env depth) in
   return (String.concat "\n" stmts)
 
-(* A call-free helper: parameters and one local are its mutable scalars,
-   globals are readable, and the body ends in a [return].  Emitting from
-   helpers is deliberately avoided so a helper's observable effect is its
-   return value (plus any global it writes through [main]'s statements —
-   helpers never assign globals here). *)
-let helper globals name =
-  let* arity = int_range 1 2 in
+(* A helper: parameters and one local are its mutable scalars, globals
+   are readable, and the body ends in a [return].  Emitting from helpers
+   is deliberately avoided so a helper's observable effect is its return
+   value (plus any global it writes through [main]'s statements —
+   helpers never assign globals here).  [funs] lists the helpers this
+   one may call: always earlier-numbered ones only, so the call graph
+   stays acyclic and every program terminates.  The default build keeps
+   helpers call-free ([funs = []]); the pressure build chains them. *)
+let helper ?(funs = []) ?(max_arity = 2) globals name =
+  let* arity = int_range 1 max_arity in
   let params = List.init arity (fun i -> Printf.sprintf "p%d" i) in
   let* ptys = list_repeat arity (oneofl [ "short"; "int"; "long" ]) in
   let* linit = literal in
-  let env =
-    { scalars = "t" :: params; globals; arrays = []; readonly = []; funs = [] }
-  in
+  let env = { scalars = "t" :: params; globals; arrays = []; readonly = []; funs } in
   let* body = block env 1 3 in
   let* ret = expr env 3 in
   return
@@ -175,18 +176,36 @@ let helper globals name =
         linit body ret,
       (name, arity) )
 
-let program =
-  let* nscalars = int_range 1 5 in
+(* [~pressure] turns up register pressure: many scalar locals (all of
+   them emitted at the end of [main], so every one is live across the
+   whole body, calls included) and a deep chain of helpers where [h_i]
+   may call [h_0..h_{i-1}].  Values live across a call can only survive
+   in the few callee-saved registers, so the register allocator must
+   spill; the defaults generate small programs that mostly color
+   cleanly. *)
+let program_gen ~pressure =
+  let* nscalars = if pressure then int_range 18 30 else int_range 1 5 in
   let* narrays = int_range 0 2 in
   let* nglobals = int_range 0 2 in
-  let* nfuns = int_range 0 2 in
+  let* nfuns = if pressure then int_range 3 5 else int_range 0 2 in
   let scalars = List.init nscalars (fun i -> Printf.sprintf "v%d" i) in
   let arrays = List.init narrays (fun i -> Printf.sprintf "arr%d" i) in
   let globals = List.init nglobals (fun i -> Printf.sprintf "g%d" i) in
   let* helpers =
-    List.init nfuns (fun i -> Printf.sprintf "h%d" i)
-    |> List.map (helper globals)
-    |> flatten_l
+    if pressure then
+      let rec build i acc funs =
+        if i >= nfuns then return (List.rev acc)
+        else
+          let* h =
+            helper ~funs ~max_arity:3 globals (Printf.sprintf "h%d" i)
+          in
+          build (i + 1) (h :: acc) (funs @ [ snd h ])
+      in
+      build 0 [] []
+    else
+      List.init nfuns (fun i -> Printf.sprintf "h%d" i)
+      |> List.map (helper globals)
+      |> flatten_l
   in
   let funs = List.map snd helpers in
   let env = { scalars; globals; arrays; readonly = []; funs } in
@@ -222,4 +241,9 @@ let program =
        @ List.map (fun v -> Printf.sprintf "  emit(%s);" v) scalars
        @ [ "  return 0;"; "}" ]))
 
+let program = program_gen ~pressure:false
+let pressure_program = program_gen ~pressure:true
 let arbitrary_program = QCheck.make ~print:(fun s -> s) program
+
+let arbitrary_pressure_program =
+  QCheck.make ~print:(fun s -> s) pressure_program

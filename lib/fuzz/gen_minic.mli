@@ -18,6 +18,16 @@ val program : string QCheck.Gen.t
     mixes assignments, array traffic, [if]/[for] nests and calls into
     the helpers. *)
 
+val pressure_program : string QCheck.Gen.t
+(** Like {!program} with the register-pressure knob on: many scalar
+    locals, all kept live across the whole of [main] (every one is
+    emitted at the end), and a deep acyclic chain of helpers calling
+    helpers.  Exercises the allocator's spilling paths; the same
+    termination and memory-safety guarantees hold. *)
+
 val arbitrary_program : string QCheck.arbitrary
 (** {!program} packaged for [QCheck.Test.make] (prints the source on
     failure). *)
+
+val arbitrary_pressure_program : string QCheck.arbitrary
+(** {!pressure_program}, likewise packaged. *)

@@ -9,6 +9,7 @@ module Interp = Ogc_ir.Interp
 module Account = Ogc_energy.Account
 module Ep = Ogc_energy.Energy_params
 module Pool = Ogc_exec.Pool
+module Regalloc = Ogc_regalloc.Regalloc
 module Json = Ogc_json.Json
 module Span = Ogc_obs.Span
 module Pass = Ogc_pass.Pass
@@ -45,6 +46,10 @@ let summarize_report (rep : Vrs.report) =
 type wres = {
   wname : string;
   static_instructions : int;
+  spill_slots_bytes : int;
+      (** width-aware spill-slot bytes the allocator laid out *)
+  spill_slots_naive_bytes : int;
+      (** the same slots at a uniform 8 bytes each *)
   base_none : Pipeline.stats;
   base_hwsig : Pipeline.stats;
   base_hwsize : Pipeline.stats;
@@ -149,6 +154,12 @@ type base_info = {
   b_hwsig : Pipeline.stats;
   b_hwsize : Pipeline.stats;
   b_static : int;
+  b_spill_slots : int;  (** width-aware spill-slot bytes, whole program *)
+  b_spill_naive : int;  (** the same slots at a uniform 8 bytes *)
+  b_spill_fn : int -> int option;
+      (** iid → spill slot bytes, for {!Pipeline.simulate}'s
+          [spill_bytes_of]; valid on every binary version because passes
+          preserve instruction ids *)
 }
 
 type version = V_vrp | V_vrp_conv | V_vrs of int
@@ -216,7 +227,8 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
     Pool.map ~jobs
       (fun (w : Workload.t) ->
         progress w.name;
-        let pristine = Workload.compile w eval_input in
+        let pristine, alloc = Workload.compile_with_alloc w eval_input in
+        let spill_fn iid = Hashtbl.find_opt alloc.Regalloc.spill_ops iid in
         let store = Pass.Store.create () in
         let base = scaled_copy pristine eval_input in
         let st, _ = Pass.run ~store "cleanup" base in
@@ -227,10 +239,14 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
           pristine;
           store;
           ref_checksum = reference.Interp.checksum;
-          b_none = sim ~policy:Policy.No_gating base;
-          b_hwsig = sim ~policy:Policy.Hw_significance base;
-          b_hwsize = sim ~policy:Policy.Hw_size base;
+          b_none = sim ~spill_bytes_of:spill_fn ~policy:Policy.No_gating base;
+          b_hwsig =
+            sim ~spill_bytes_of:spill_fn ~policy:Policy.Hw_significance base;
+          b_hwsize = sim ~spill_bytes_of:spill_fn ~policy:Policy.Hw_size base;
           b_static = Prog.num_static_ins base;
+          b_spill_slots = Regalloc.spill_slots_bytes alloc;
+          b_spill_naive = Regalloc.spill_slots_naive_bytes alloc;
+          b_spill_fn = spill_fn;
         })
       selected
   in
@@ -255,6 +271,7 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
   in
   let run_cell (bi, v) =
     let wname = bi.bw.Workload.name in
+    let sim ~policy p = sim ~spill_bytes_of:bi.b_spill_fn ~policy p in
     match v with
     | V_vrp ->
       let st =
@@ -381,6 +398,8 @@ let collect_timed ?(quick = false) ?only ?(progress = fun _ -> ()) ?jobs () =
         {
           wname = bi.bw.Workload.name;
           static_instructions = bi.b_static;
+          spill_slots_bytes = bi.b_spill_slots;
+          spill_slots_naive_bytes = bi.b_spill_naive;
           base_none = bi.b_none;
           base_hwsig = bi.b_hwsig;
           base_hwsize = bi.b_hwsize;
@@ -477,6 +496,7 @@ let stats_to_json (s : Pipeline.stats) =
          ignores both. *)
       ("ipc", Json.Float (Pipeline.ipc s));
       ("energy_nj", Json.Float (Account.total s.energy));
+      ("spill_traffic", Json.Float (Account.spill_traffic s.energy));
       ("energy", Json.Obj energy);
       ("class_width", Json.Arr class_width);
       ("opcode_counts", Json.Arr opcode_counts);
@@ -503,10 +523,18 @@ let stats_of_json j : Pipeline.stats =
         Hashtbl.replace opcode_counts op n
       | _ -> raise (Json.Parse_error "opcode_counts: expected [op, n] pairs"))
     (Json.get_list "opcode_counts" j);
+  (* Absent in files written before the spill-traffic series. *)
+  let spill =
+    match Json.member "spill_traffic" j with
+    | Json.Null -> 0.0
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | _ -> raise (Json.Parse_error "spill_traffic: expected a number")
+  in
   let energy =
     match Json.member "energy" j with
     | Json.Obj kvs ->
-      Account.of_values
+      Account.of_values ~spill
         (List.map
            (fun (k, v) ->
              match v with
@@ -571,6 +599,8 @@ let wres_to_json (w : wres) =
     [
       ("name", Json.Str w.wname);
       ("static_instructions", Json.Int w.static_instructions);
+      ("spill_slots_bytes", Json.Int w.spill_slots_bytes);
+      ("spill_slots_naive_bytes", Json.Int w.spill_slots_naive_bytes);
       ("base_none", stats_to_json w.base_none);
       ("base_hwsig", stats_to_json w.base_hwsig);
       ("base_hwsize", stats_to_json w.base_hwsize);
@@ -598,9 +628,18 @@ let wres_to_json (w : wres) =
 
 let wres_of_json j =
   let stats k = stats_of_json (Json.member k j) in
+  (* Absent in files written before the spill-slot series. *)
+  let opt_int k =
+    match Json.member k j with
+    | Json.Null -> 0
+    | Json.Int i -> i
+    | _ -> raise (Json.Parse_error (Printf.sprintf "%s: expected an int" k))
+  in
   {
     wname = Json.get_string "name" j;
     static_instructions = Json.get_int "static_instructions" j;
+    spill_slots_bytes = opt_int "spill_slots_bytes";
+    spill_slots_naive_bytes = opt_int "spill_slots_naive_bytes";
     base_none = stats "base_none";
     base_hwsig = stats "base_hwsig";
     base_hwsize = stats "base_hwsize";
@@ -754,6 +793,53 @@ let compare_to_baseline ~time_tolerance ~baseline ~current ~threshold =
         with
         | None -> []
         | Some bw ->
+          let spill_cell metric base cur =
+            (* Growth gate; appearing where there was none (base 0) is
+               flagged outright. *)
+            let delta =
+              if base <= 0.0 then if cur > 0.0 then 1.0 else 0.0
+              else (cur -. base) /. base
+            in
+            if delta > threshold then
+              [
+                {
+                  r_workload = cw.wname;
+                  r_config = "spill";
+                  r_metric = metric;
+                  r_baseline = base;
+                  r_current = cur;
+                  r_delta_frac = delta;
+                };
+              ]
+            else []
+          in
+          spill_cell "spill_slots_bytes"
+            (float_of_int bw.spill_slots_bytes)
+            (float_of_int cw.spill_slots_bytes)
+          @ spill_cell "spill_traffic"
+              (Account.spill_traffic bw.base_none.Pipeline.energy)
+              (Account.spill_traffic cw.base_none.Pipeline.energy)
+          @ (* The width-aware win itself is gated: once a workload's
+               slots are provably narrower than naive 8-byte slots, a
+               change that loses that property regresses, whatever the
+               byte totals do. *)
+          (if
+             bw.spill_slots_bytes < bw.spill_slots_naive_bytes
+             && cw.spill_slots_naive_bytes > 0
+             && cw.spill_slots_bytes >= cw.spill_slots_naive_bytes
+           then
+             [
+               {
+                 r_workload = cw.wname;
+                 r_config = "spill";
+                 r_metric = "spill_width_win";
+                 r_baseline = float_of_int bw.spill_slots_bytes;
+                 r_current = float_of_int cw.spill_slots_bytes;
+                 r_delta_frac = 1.0;
+               };
+             ]
+           else [])
+          @
           let bcfg = config_stats bw in
           List.concat_map
             (fun (cname, cs) ->

@@ -61,6 +61,13 @@ val summarize_report : Ogc_core.Vrs.report -> vrs_summary
 type wres = {
   wname : string;
   static_instructions : int;
+  spill_slots_bytes : int;
+      (** width-aware spill-slot bytes the allocator laid out across the
+          program; 0 when nothing spilled *)
+  spill_slots_naive_bytes : int;
+      (** what the same slots would occupy at a uniform 8 bytes each;
+          the dynamic counterpart is
+          [Ogc_energy.Account.spill_traffic base_none.energy] *)
   base_none : Pipeline.stats;
   base_hwsig : Pipeline.stats;
   base_hwsize : Pipeline.stats;
@@ -164,8 +171,10 @@ val of_json : Ogc_json.Json.t -> t
 
 type regression = {
   r_workload : string;
-  r_config : string;  (** e.g. "vrp_sw", "vrs50" *)
-  r_metric : string;  (** "energy_nj" or "ipc" *)
+  r_config : string;  (** e.g. "vrp_sw", "vrs50", "spill" *)
+  r_metric : string;
+      (** "energy_nj", "ipc", or a spill metric ("spill_slots_bytes",
+          "spill_traffic", "spill_width_win") *)
   r_baseline : float;
   r_current : float;
   r_delta_frac : float;  (** fractional worsening, always >= 0 *)
@@ -182,7 +191,12 @@ val compare_to_baseline :
     vacuously passing.  The analyze-throughput series is also gated:
     fixpoint visit counts (deterministic) against [threshold], analyze
     wall seconds (noisy) against [time_tolerance] ([0.5] means 50%
-    slower than baseline fails).  The fleet series, when both
+    slower than baseline fails).  The spill series gates growth of
+    static width-aware slot bytes and of baseline spill traffic per
+    workload against [threshold] (spilling appearing where the baseline
+    had none is flagged outright), and additionally regresses when a
+    workload whose baseline slots were strictly narrower than naive
+    8-byte slots loses that property.  The fleet series, when both
     collections carry comparable runs (same shard and request counts),
     gates failed submissions exactly — any increase regresses — and the
     p50/p95 latencies against [time_tolerance]. *)

@@ -66,7 +66,7 @@ let run ?(config = default_config) ?on_event ?bb_counts ?profile (p : Prog.t) =
         fault "global %s does not fit in memory" g.gname;
       Bytes.blit g.init 0 mem a (Bytes.length g.init))
     p.globals;
-  let regs = Array.make 32 0L in
+  let regs = Array.make (1 + Prog.max_reg p) 0L in
   regs.(Reg.to_int Reg.sp) <-
     Int64.add virtual_base (Int64.of_int (config.mem_size - 64));
   let zero = Reg.to_int Reg.zero in

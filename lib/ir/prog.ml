@@ -41,6 +41,23 @@ let max_iid_of_func f =
       Array.fold_left (fun acc ins -> max acc ins.iid) acc b.body)
     0 f.blocks
 
+let max_reg_of_func f =
+  let m = ref (Reg.num_arch - 1) in
+  let see r = if Reg.to_int r > !m then m := Reg.to_int r in
+  Array.iter
+    (fun b ->
+      Array.iter
+        (fun ins ->
+          List.iter see (Instr.defs ins.op);
+          List.iter see (Instr.uses ins.op))
+        b.body;
+      match b.term with Branch { src; _ } -> see src | Jump _ | Return -> ())
+    f.blocks;
+  !m
+
+let max_reg t =
+  List.fold_left (fun a f -> max a (max_reg_of_func f)) (Reg.num_arch - 1) t.funcs
+
 let create ?(globals = []) funcs =
   let next = 1 + List.fold_left (fun a f -> max a (max_iid_of_func f)) 0 funcs in
   { funcs; globals; next_iid = next }

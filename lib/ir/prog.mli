@@ -53,6 +53,14 @@ type t = {
 val create : ?globals:global list -> func list -> t
 (** Numbers [next_iid] past every id already present. *)
 
+val max_reg_of_func : func -> int
+(** Highest register index named by any instruction or terminator of the
+    function, at least [Reg.num_arch - 1].  Exceeds [Reg.num_arch - 1]
+    only for pre-allocation programs that still use virtual registers. *)
+
+val max_reg : t -> int
+(** [max_reg_of_func] over every function; sizes dynamic register files. *)
+
 val fresh_iid : t -> int
 
 val copy : t -> t

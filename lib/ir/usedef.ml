@@ -13,6 +13,7 @@ type t = {
 }
 
 let compute (f : Prog.func) cfg =
+  let nregs = 1 + Prog.max_reg_of_func f in
   (* 1. Enumerate definitions. *)
   let defs = ref [] and ndefs = ref 0 in
   let defs_of_ins = Hashtbl.create 256 in
@@ -27,7 +28,7 @@ let compute (f : Prog.func) cfg =
     | Entry -> ());
     idx
   in
-  let entry_def = Array.make 32 (-1) in
+  let entry_def = Array.make nregs (-1) in
   List.iter
     (fun r -> entry_def.(Reg.to_int r) <- add_def r Entry)
     Reg.all;
@@ -36,7 +37,7 @@ let compute (f : Prog.func) cfg =
   let defs = Array.of_list (List.rev !defs) in
   let nd = Array.length defs in
   (* Per-register masks over all defs of that register, for kill sets. *)
-  let reg_mask = Array.init 32 (fun _ -> Bitset.create nd) in
+  let reg_mask = Array.init nregs (fun _ -> Bitset.create nd) in
   Array.iteri (fun i d -> Bitset.set reg_mask.(Reg.to_int d.dreg) i) defs;
   (* 2. Block-level gen/kill.  A block kills every def of each register
      it writes except its own last one, which it generates — so one pass
@@ -47,7 +48,7 @@ let compute (f : Prog.func) cfg =
   let gen = Array.init n (fun _ -> Bitset.create nd) in
   let kill = Array.init n (fun _ -> Bitset.create nd) in
   let ins_defs iid = Option.value ~default:[] (Hashtbl.find_opt defs_of_ins iid) in
-  let last_def = Array.make 32 (-1) in
+  let last_def = Array.make nregs (-1) in
   Array.iteri
     (fun bi (b : Prog.block) ->
       let regs = ref [] in
@@ -121,7 +122,7 @@ let compute (f : Prog.func) cfg =
      gen/kill update. *)
   let use_defs = Hashtbl.create 1024 in
   let def_uses_acc = Array.make nd [] in
-  let cur_by_reg = Array.make 32 [] in
+  let cur_by_reg = Array.make nregs [] in
   let record_use use_iid r =
     let ds = cur_by_reg.(Reg.to_int r) in
     Hashtbl.replace use_defs (use_iid, Reg.to_int r) ds;
@@ -129,14 +130,14 @@ let compute (f : Prog.func) cfg =
       (fun di -> def_uses_acc.(di) <- (use_iid, r) :: def_uses_acc.(di))
       ds
   in
-  let bucket_rev = Array.make 32 [] in
+  let bucket_rev = Array.make nregs [] in
   Array.iteri
     (fun bi (b : Prog.block) ->
-      Array.fill bucket_rev 0 32 [];
+      Array.fill bucket_rev 0 nregs [];
       Bitset.iter inb.(bi) (fun di ->
           let r = Reg.to_int defs.(di).dreg in
           bucket_rev.(r) <- di :: bucket_rev.(r));
-      for r = 0 to 31 do
+      for r = 0 to nregs - 1 do
         cur_by_reg.(r) <- List.rev bucket_rev.(r)
       done;
       Array.iter

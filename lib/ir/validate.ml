@@ -9,12 +9,17 @@ let check_label (f : Prog.func) l =
   if i < 0 || i >= Array.length f.blocks then
     fail "%s: label L%d out of range" f.fname i
 
-let func (p : Prog.t) (f : Prog.func) =
+let func ?(allow_virtual = false) (p : Prog.t) (f : Prog.func) =
   if f.arity < 0 || f.arity > Reg.num_arg_regs then
     fail "%s: arity %d out of range" f.fname f.arity;
   if f.frame_size < 0 || f.frame_size mod 8 <> 0 then
     fail "%s: bad frame size %d" f.fname f.frame_size;
   if Array.length f.blocks = 0 then fail "%s: no blocks" f.fname;
+  let check_reg iid r =
+    if (not allow_virtual) && Reg.is_virtual r then
+      fail "%s: instruction %d uses virtual register %s" f.fname iid
+        (Reg.to_string r)
+  in
   Array.iteri
     (fun i (b : Prog.block) ->
       if Label.to_int b.label <> i then
@@ -22,6 +27,8 @@ let func (p : Prog.t) (f : Prog.func) =
           (Label.to_int b.label);
       Array.iter
         (fun (ins : Prog.ins) ->
+          List.iter (check_reg ins.iid) (Instr.defs ins.op);
+          List.iter (check_reg ins.iid) (Instr.uses ins.op);
           match ins.op with
           | Instr.Call { callee } ->
             if Prog.find_func_opt p callee = None then
@@ -38,13 +45,14 @@ let func (p : Prog.t) (f : Prog.func) =
         b.body;
       match b.term with
       | Prog.Jump l -> check_label f l
-      | Prog.Branch { if_true; if_false; _ } ->
+      | Prog.Branch { src; if_true; if_false; _ } ->
+        check_reg b.term_iid src;
         check_label f if_true;
         check_label f if_false
       | Prog.Return -> ())
     f.blocks
 
-let program (p : Prog.t) =
+let program ?allow_virtual (p : Prog.t) =
   let seen = Hashtbl.create 1024 in
   let check_iid where iid =
     if Hashtbl.mem seen iid then fail "%s: duplicate instruction id %d" where iid;
@@ -52,7 +60,7 @@ let program (p : Prog.t) =
   in
   List.iter
     (fun (f : Prog.func) ->
-      func p f;
+      func ?allow_virtual p f;
       Array.iter
         (fun (b : Prog.block) ->
           Array.iter (fun (ins : Prog.ins) -> check_iid f.fname ins.iid) b.body;

@@ -5,10 +5,11 @@
 
 exception Invalid of string
 
-val func : Prog.t -> Prog.func -> unit
-val program : Prog.t -> unit
+val func : ?allow_virtual:bool -> Prog.t -> Prog.func -> unit
+val program : ?allow_virtual:bool -> Prog.t -> unit
 (** Checks: labels in range and consistent with block positions; branch
     targets exist; instruction ids unique program-wide; calls name defined
     functions or known intrinsics; arity within register-argument limits;
     [Reg.zero] never used as a destination of a meaningful def; frame sizes
-    non-negative and 8-byte aligned. *)
+    non-negative and 8-byte aligned; no virtual registers remain unless
+    [allow_virtual] is set (pre-allocation programs only). *)

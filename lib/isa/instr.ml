@@ -53,6 +53,22 @@ let uses = function
   | Call _ -> List.init Reg.num_arg_regs Reg.arg
   | Emit { src } -> [ src ]
 
+let map_operand f = function Reg r -> Reg (f r) | Imm _ as o -> o
+
+let map_regs f = function
+  | Alu r -> Alu { r with src1 = f r.src1; src2 = map_operand f r.src2; dst = f r.dst }
+  | Cmp r -> Cmp { r with src1 = f r.src1; src2 = map_operand f r.src2; dst = f r.dst }
+  | Cmov r ->
+    Cmov { r with test = f r.test; src = map_operand f r.src; dst = f r.dst }
+  | Msk r -> Msk { r with src = f r.src; dst = f r.dst }
+  | Sext r -> Sext { r with src = f r.src; dst = f r.dst }
+  | Li r -> Li { r with dst = f r.dst }
+  | La r -> La { r with dst = f r.dst }
+  | Load r -> Load { r with base = f r.base; dst = f r.dst }
+  | Store r -> Store { r with base = f r.base; src = f r.src }
+  | Call _ as i -> i
+  | Emit r -> Emit { src = f r.src }
+
 let is_call = function Call _ -> true | _ -> false
 
 let is_mem = function

@@ -69,6 +69,12 @@ val uses : t -> Reg.t list
 (** Registers read ([Call] reports all argument registers; the interpreter
     and analyses refine this with per-call arity). *)
 
+val map_regs : (Reg.t -> Reg.t) -> t -> t
+(** Apply a substitution to every register field.  [Call] carries no
+    explicit register fields, so its implicit argument/clobber sets are
+    unaffected — the register allocator relies on this when rewriting
+    virtual registers to their assigned colors. *)
+
 val is_call : t -> bool
 val is_mem : t -> bool
 

@@ -1,9 +1,16 @@
 type t = int
 
+let num_arch = 32
+
 let of_int i =
   if i < 0 || i > 31 then Fmt.invalid_arg "Reg.of_int %d" i else i
 
 let to_int r = r
+
+let vreg i =
+  if i < 0 then Fmt.invalid_arg "Reg.vreg %d" i else num_arch + i
+
+let is_virtual r = r >= num_arch
 let equal (a : t) (b : t) = a = b
 let compare = Int.compare
 let hash (r : t) = r
@@ -35,6 +42,7 @@ let allocatable = List.filter (fun r -> r <> sp && r <> zero) all
 let to_string r =
   if r = zero then "zero"
   else if r = sp then "sp"
+  else if r >= num_arch then Printf.sprintf "t%d" (r - num_arch)
   else Printf.sprintf "r%d" r
 
 let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -15,6 +15,19 @@ type t = private int
 val of_int : int -> t
 (** Raises [Invalid_argument] outside [0, 31]. *)
 
+val num_arch : int
+(** Number of architectural registers (32). *)
+
+val vreg : int -> t
+(** [vreg i] is the [i]-th {e virtual} register (temporary), numbered
+    from [num_arch] upward.  Virtual registers exist only between code
+    generation and register allocation: the allocator maps every one of
+    them to an architectural register or a spill slot, and
+    {!Ogc_ir.Validate.program} rejects them unless explicitly allowed. *)
+
+val is_virtual : t -> bool
+(** True for registers created by {!vreg}. *)
+
 val to_int : t -> int
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -4,32 +4,19 @@ module Prog = Ogc_ir.Prog
 module Builder = Ogc_ir.Builder
 module Label = Ogc_ir.Label
 
-(* --- frame layout constants -------------------------------------------
+(* The code generator targets an infinite supply of virtual registers
+   ([Reg.vreg]): every expression value gets a fresh temporary and every
+   named scalar a dedicated one.  Register assignment, spilling, callee-
+   saved save/restore and final frame sizing all happen later, in
+   [Ogc_regalloc].  The only frame layout decided here is the local
+   array area, at sp-relative offsets [0, frame_size); the matching
+   [sub sp]/[add sp] pair is emitted in the exact shape the allocator's
+   frame finalization recognizes and re-sizes. *)
 
-   sp-relative, sp fixed after the prologue:
-     [0,   48)   callee-saved register save area (6 x 8)
-     [48,  184)  temp spill area used around calls (17 x 8)
-     [184, ...)  scalar spill slots, then local arrays                    *)
-
-let callee_save_base = 0
-let temp_save_base = 48
-let dynamic_base = 184
-
-(* Caller-saved registers usable as expression temporaries.  r27 and r28
-   are deliberately never allocated: the binary optimizer (VRS) uses them
-   as guard scratch registers, the way Alto would claim registers proven
-   free by liveness analysis. *)
-let temp_regs =
-  List.filter
-    (fun r ->
-      let i = Reg.to_int r in
-      (i >= 1 && i <= 8) || i = 15 || (i >= 22 && i <= 26) || i = 29)
-    Reg.all
-
-let temp_save_slot r =
-  let i = Reg.to_int r in
-  let idx = if i <= 8 then i - 1 else if i = 15 then 8 else 9 + (i - 22) in
-  temp_save_base + (8 * idx)
+(* r28 never carries a program value (the binary optimizer reserves
+   r27/r28 as guard scratch), so it is free as assembler scratch for
+   frame adjustments too large for an immediate. *)
+let scratch = Reg.of_int 28
 
 let width_of_ty = function
   | Tchar -> Width.W8
@@ -46,8 +33,7 @@ let promote a b =
 let fits_imm v = v >= -32768L && v <= 32767L
 
 type loc =
-  | Home_reg of Reg.t
-  | Home_slot of int
+  | Temp of Reg.t  (** named scalar (or pointer parameter) in a virtual reg *)
   | Glob_scalar of string
   | Glob_array of string
   | Frame_array of int
@@ -60,12 +46,9 @@ type cg = {
   b : Builder.t;
   prog_funs : (string * fundef) list;
   globals : (string * binding) list;
+  fresh_temp : unit -> Reg.t;  (* program-wide counter, like iids *)
   mutable scopes : (string * binding) list list;
-  mutable free_temps : Reg.t list;
-  mutable active_temps : Reg.t list;  (* owned, allocated, not yet released *)
-  mutable free_homes : Reg.t list;  (* callee-saved not yet assigned *)
-  mutable used_homes : Reg.t list;
-  mutable next_slot : int;
+  mutable next_slot : int;  (* array-area high-water mark *)
   mutable loops : loop_ctx list;
   exit_label : Label.t;
   ret_ty : ty option;
@@ -74,20 +57,7 @@ type cg = {
 exception Codegen_bug of string
 
 let bug fmt = Fmt.kstr (fun s -> raise (Codegen_bug s)) fmt
-
-let alloc_temp cg =
-  match cg.free_temps with
-  | [] -> bug "expression too deep: out of temporaries"
-  | r :: rest ->
-    cg.free_temps <- rest;
-    cg.active_temps <- r :: cg.active_temps;
-    r
-
-let release cg ~owned r =
-  if owned then begin
-    cg.active_temps <- List.filter (fun x -> not (Reg.equal x r)) cg.active_temps;
-    cg.free_temps <- r :: cg.free_temps
-  end
+let alloc_temp cg = cg.fresh_temp ()
 
 let lookup cg name =
   let rec in_scopes = function
@@ -109,18 +79,6 @@ let declare cg name b =
   | [] -> bug "no scope"
   | scope :: rest -> cg.scopes <- ((name, b) :: scope) :: rest
 
-let alloc_home cg =
-  match cg.free_homes with
-  | r :: rest ->
-    cg.free_homes <- rest;
-    if not (List.exists (Reg.equal r) cg.used_homes) then
-      cg.used_homes <- r :: cg.used_homes;
-    Home_reg r
-  | [] ->
-    let s = cg.next_slot in
-    cg.next_slot <- s + 8;
-    Home_slot s
-
 let alloc_array cg ~bytes =
   let s = cg.next_slot in
   cg.next_slot <- s + ((bytes + 7) / 8 * 8);
@@ -130,7 +88,8 @@ let alloc_array cg ~bytes =
 
 let emit cg i = ignore (Builder.ins cg.b i)
 
-(* Register move, encoded as the Alpha BIS idiom. *)
+(* Register move, encoded as the Alpha BIS idiom; the allocator's
+   coalescer recognizes exactly this shape. *)
 let move cg ~src ~dst =
   if not (Reg.equal src dst) then
     emit cg (Instr.Alu { op = Instr.Or; width = Width.W64; src1 = src;
@@ -168,9 +127,10 @@ let li cg ~dst v = emit cg (Instr.Li { dst; imm = v })
 
 (* --- expressions --------------------------------------------------------
 
-   [gen_expr] returns [(reg, ty, owned)]: the 64-bit canonical value of the
-   expression, its MiniC type, and whether the register is a temporary the
-   caller must release (home registers are borrowed, not owned). *)
+   [gen_expr] returns [(reg, ty)]: the 64-bit canonical value of the
+   expression and its MiniC type.  The register is either a fresh
+   temporary or the dedicated temporary of a named scalar; callers only
+   ever read it, so no copying discipline is needed. *)
 
 let shift_of_size = function 1 -> 0 | 2 -> 1 | 4 -> 2 | 8 -> 3 | _ -> assert false
 
@@ -189,59 +149,48 @@ let rec contains_call (e : expr) =
   | Ternary (a, b, c) -> contains_call a || contains_call b || contains_call c
   | Call _ -> true
 
-let rec gen_expr cg (e : expr) : Reg.t * ty * bool =
+let rec gen_expr cg (e : expr) : Reg.t * ty =
   match e.desc with
   | Num v ->
     let t = alloc_temp cg in
     li cg ~dst:t v;
-    (t, ty_of_num v, true)
+    (t, ty_of_num v)
   | Var name -> (
     let b = lookup cg name in
     match b.loc with
-    | Home_reg r -> (r, b.bty, false)
-    | Home_slot off ->
-      let t = alloc_temp cg in
-      if b.is_ptr then
-        emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
-                              offset = Int64.of_int off; dst = t })
-      else load_ty cg ~ty:b.bty ~base:Reg.sp ~offset:(Int64.of_int off) ~dst:t;
-      (t, (if b.is_ptr then Tlong else b.bty), true)
+    | Temp r -> (r, b.bty)
     | Glob_scalar g ->
       let t = alloc_temp cg in
       emit cg (Instr.La { dst = t; symbol = g });
       load_ty cg ~ty:b.bty ~base:t ~offset:0L ~dst:t;
-      (t, b.bty, true)
+      (t, b.bty)
     | Glob_array _ | Frame_array _ -> bug "array %s read as scalar" name)
   | Index (name, idx) ->
     let b = lookup cg name in
     let addr, off = gen_element_addr cg b idx in
     let t = alloc_temp cg in
     load_ty cg ~ty:b.bty ~base:addr ~offset:off ~dst:t;
-    release cg ~owned:true addr;
-    (t, b.bty, true)
+    (t, b.bty)
   | Unop (Neg, a) ->
-    let ra, ta, own = gen_expr cg a in
+    let ra, ta = gen_expr cg a in
     let pt = promote ta Tint in
     let t = alloc_temp cg in
     emit cg (Instr.Alu { op = Instr.Sub; width = width_of_ty pt;
                          src1 = Reg.zero; src2 = Instr.Reg ra; dst = t });
-    release cg ~owned:own ra;
-    (t, pt, true)
+    (t, pt)
   | Unop (Lognot, a) ->
-    let ra, ta, own = gen_expr cg a in
+    let ra, ta = gen_expr cg a in
     let t = alloc_temp cg in
     emit cg (Instr.Cmp { op = Instr.Ceq; width = width_of_ty (promote ta Tint);
                          src1 = ra; src2 = Instr.Imm 0L; dst = t });
-    release cg ~owned:own ra;
-    (t, Tint, true)
+    (t, Tint)
   | Unop (Bitnot, a) ->
-    let ra, ta, own = gen_expr cg a in
+    let ra, ta = gen_expr cg a in
     let pt = promote ta Tint in
     let t = alloc_temp cg in
     emit cg (Instr.Alu { op = Instr.Xor; width = width_of_ty pt; src1 = ra;
                          src2 = Instr.Imm (-1L); dst = t });
-    release cg ~owned:own ra;
-    (t, pt, true)
+    (t, pt)
   | Binop ((Andand | Oror), _, _) ->
     (* Value context: materialize 0/1 through the branching lowering. *)
     gen_bool_value cg e
@@ -251,13 +200,12 @@ let rec gen_expr cg (e : expr) : Reg.t * ty * bool =
     else gen_ternary_cmov cg c t f
   | Call (name, args) -> gen_call cg name args
   | Cast (ty_to, a) ->
-    let ra, ta, own = gen_expr cg a in
+    let ra, ta = gen_expr cg a in
     let t = alloc_temp cg in
     normalize cg ~ty_from:ta ~ty_to ~src:ra ~dst:t;
-    release cg ~owned:own ra;
-    (t, ty_to, true)
+    (t, ty_to)
 
-(* Element address for [b.(idx)]: returns an owned register plus a constant
+(* Element address for [b.(idx)]: returns a register plus a constant
    byte offset folded into the eventual load/store. *)
 and gen_element_addr cg (b : binding) idx : Reg.t * int64 =
   let elem = size_of_ty b.bty in
@@ -268,10 +216,9 @@ and gen_element_addr cg (b : binding) idx : Reg.t * int64 =
                            src2 = Instr.Imm (Int64.of_int (shift_of_size elem));
                            dst })
   in
-  let ri, _, own = gen_expr cg idx in
+  let ri, _ = gen_expr cg idx in
   let t = alloc_temp cg in
   scale ri t;
-  release cg ~owned:own ri;
   match b.loc with
   | Frame_array off ->
     emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
@@ -282,25 +229,16 @@ and gen_element_addr cg (b : binding) idx : Reg.t * int64 =
     emit cg (Instr.La { dst = ta; symbol = g });
     emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
                          src2 = Instr.Reg ta; dst = t });
-    release cg ~owned:true ta;
     (t, 0L)
-  | Home_reg r when b.is_ptr ->
+  | Temp r when b.is_ptr ->
     emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
                          src2 = Instr.Reg r; dst = t });
     (t, 0L)
-  | Home_slot off when b.is_ptr ->
-    let tp = alloc_temp cg in
-    emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
-                          offset = Int64.of_int off; dst = tp });
-    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = t;
-                         src2 = Instr.Reg tp; dst = t });
-    release cg ~owned:true tp;
-    (t, 0L)
-  | Home_reg _ | Home_slot _ | Glob_scalar _ -> bug "indexing a scalar"
+  | Temp _ | Glob_scalar _ -> bug "indexing a scalar"
 
-and gen_binop cg op a b : Reg.t * ty * bool =
+and gen_binop cg op a b : Reg.t * ty =
   let alu aop =
-    let ra, ta, own_a = gen_expr cg a in
+    let ra, ta = gen_expr cg a in
     (* Immediate operand folding for the common [x op const] shape. *)
     match b.desc with
     | Num v when fits_imm v && not (Reg.equal ra Reg.zero) ->
@@ -309,43 +247,36 @@ and gen_binop cg op a b : Reg.t * ty * bool =
       let t = alloc_temp cg in
       emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = ra;
                            src2 = Instr.Imm v; dst = t });
-      release cg ~owned:own_a ra;
-      (t, pt, true)
+      (t, pt)
     | _ ->
-      let rb, tb, own_b = gen_expr cg b in
+      let rb, tb = gen_expr cg b in
       let pt = promote (promote ta tb) Tint in
       let t = alloc_temp cg in
       emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = ra;
                            src2 = Instr.Reg rb; dst = t });
-      release cg ~owned:own_b rb;
-      release cg ~owned:own_a ra;
-      (t, pt, true)
+      (t, pt)
   in
   let cmp cop ~swap ~negate =
     let x, y = if swap then (b, a) else (a, b) in
-    let rx, tx, own_x = gen_expr cg x in
-    let finish src2 ty2 release_y =
+    let rx, tx = gen_expr cg x in
+    let finish src2 ty2 =
       let pt = promote (promote tx ty2) Tint in
       let t = alloc_temp cg in
       emit cg (Instr.Cmp { op = cop; width = width_of_ty pt; src1 = rx; src2;
                            dst = t });
-      release_y ();
-      release cg ~owned:own_x rx;
       if negate then begin
         let t2 = alloc_temp cg in
         emit cg (Instr.Alu { op = Instr.Xor; width = Width.W32; src1 = t;
                              src2 = Instr.Imm 1L; dst = t2 });
-        release cg ~owned:true t;
-        (t2, Tint, true)
+        (t2, Tint)
       end
-      else (t, Tint, true)
+      else (t, Tint)
     in
     match y.desc with
-    | Num v when fits_imm v ->
-      finish (Instr.Imm v) (ty_of_num v) (fun () -> ())
+    | Num v when fits_imm v -> finish (Instr.Imm v) (ty_of_num v)
     | _ ->
-      let ry, ty_y, own_y = gen_expr cg y in
-      finish (Instr.Reg ry) ty_y (fun () -> release cg ~owned:own_y ry)
+      let ry, ty_y = gen_expr cg y in
+      finish (Instr.Reg ry) ty_y
   in
   match op with
   | Add -> alu Instr.Add
@@ -366,40 +297,35 @@ and gen_binop cg op a b : Reg.t * ty * bool =
   | Ge -> cmp Instr.Cle ~swap:true ~negate:false
   | Andand | Oror -> bug "short-circuit operator in gen_binop"
 
-and gen_ternary_cmov cg c t f : Reg.t * ty * bool =
-  let rc, _, own_c = gen_expr cg c in
-  let rt, tt, own_t = gen_expr cg t in
-  let rf, tf, own_f = gen_expr cg f in
+and gen_ternary_cmov cg c t f : Reg.t * ty =
+  let rc, _ = gen_expr cg c in
+  let rt, tt = gen_expr cg t in
+  let rf, tf = gen_expr cg f in
   let pt = promote (promote tt tf) Tint in
   let dst = alloc_temp cg in
   move cg ~src:rf ~dst;
   emit cg (Instr.Cmov { cond = Instr.Ne; width = width_of_ty pt; test = rc;
                         src = Instr.Reg rt; dst });
-  release cg ~owned:own_f rf;
-  release cg ~owned:own_t rt;
-  release cg ~owned:own_c rc;
-  (dst, pt, true)
+  (dst, pt)
 
-and gen_ternary_branchy cg c t f : Reg.t * ty * bool =
+and gen_ternary_branchy cg c t f : Reg.t * ty =
   let dst = alloc_temp cg in
   let then_l = Builder.new_block cg.b in
   let else_l = Builder.new_block cg.b in
   let join_l = Builder.new_block cg.b in
   gen_cond cg c ~if_true:then_l ~if_false:else_l;
   Builder.switch_to cg.b then_l;
-  let rt, tt, own_t = gen_expr cg t in
+  let rt, tt = gen_expr cg t in
   move cg ~src:rt ~dst;
-  release cg ~owned:own_t rt;
   Builder.terminate cg.b (Prog.Jump join_l);
   Builder.switch_to cg.b else_l;
-  let rf, tf, own_f = gen_expr cg f in
+  let rf, tf = gen_expr cg f in
   move cg ~src:rf ~dst;
-  release cg ~owned:own_f rf;
   Builder.terminate cg.b (Prog.Jump join_l);
   Builder.switch_to cg.b join_l;
-  (dst, promote (promote tt tf) Tint, true)
+  (dst, promote (promote tt tf) Tint)
 
-and gen_bool_value cg (e : expr) : Reg.t * ty * bool =
+and gen_bool_value cg (e : expr) : Reg.t * ty =
   let dst = alloc_temp cg in
   let true_l = Builder.new_block cg.b in
   let false_l = Builder.new_block cg.b in
@@ -412,7 +338,7 @@ and gen_bool_value cg (e : expr) : Reg.t * ty * bool =
   li cg ~dst 0L;
   Builder.terminate cg.b (Prog.Jump join_l);
   Builder.switch_to cg.b join_l;
-  (dst, Tint, true)
+  (dst, Tint)
 
 (* Lower [e] as a branch condition, terminating the current block. *)
 and gen_cond cg (e : expr) ~if_true ~if_false =
@@ -429,18 +355,20 @@ and gen_cond cg (e : expr) ~if_true ~if_false =
     gen_cond cg b ~if_true ~if_false
   | Unop (Lognot, a) -> gen_cond cg a ~if_true:if_false ~if_false:if_true
   | _ ->
-    let r, _, own = gen_expr cg e in
-    release cg ~owned:own r;
+    let r, _ = gen_expr cg e in
     Builder.terminate cg.b
       (Prog.Branch { cond = Instr.Ne; src = r; if_true; if_false })
 
-and gen_call cg name args : Reg.t * ty * bool =
+and gen_call cg name args : Reg.t * ty =
   let f =
     match List.assoc_opt name cg.prog_funs with
     | Some f -> f
     | None -> bug "call to unknown function %s" name
   in
-  (* Evaluate the arguments into temporaries first. *)
+  (* Evaluate the arguments into temporaries first; only then move them
+     into the argument registers, so a nested call cannot clobber an
+     already-placed argument.  Temporaries live across the call are the
+     allocator's problem (callee-saved color or spill slot). *)
   let arg_vals =
     List.map2
       (fun (p : param) (a : expr) ->
@@ -456,119 +384,83 @@ and gen_call cg name args : Reg.t * ty * bool =
               emit cg (Instr.Alu { op = Instr.Add; width = Width.W64;
                                    src1 = Reg.sp;
                                    src2 = Instr.Imm (Int64.of_int off); dst = t })
-            | Home_reg r when bnd.is_ptr -> move cg ~src:r ~dst:t
-            | Home_slot off when bnd.is_ptr ->
-              emit cg (Instr.Load { width = Width.W64; signed = true;
-                                    base = Reg.sp; offset = Int64.of_int off;
-                                    dst = t })
-            | Home_reg _ | Home_slot _ | Glob_scalar _ ->
-              bug "passing scalar %s as array" vn);
-            (t, true))
+            | Temp r when bnd.is_ptr -> move cg ~src:r ~dst:t
+            | Temp _ | Glob_scalar _ -> bug "passing scalar %s as array" vn);
+            t)
           | _ -> bug "array argument must be a variable"
         end
         else begin
-          let r, ta, own = gen_expr cg a in
+          let r, ta = gen_expr cg a in
           (* Narrow the value to the parameter type at the call boundary. *)
           if ta <> p.pty && width_of_ty p.pty < width_of_ty ta then begin
             let t = alloc_temp cg in
             normalize cg ~ty_from:ta ~ty_to:p.pty ~src:r ~dst:t;
-            release cg ~owned:own r;
-            (t, true)
+            t
           end
-          else (r, own)
+          else r
         end)
       f.params args
   in
-  (* Move them into the argument registers, then free the temporaries. *)
-  List.iteri
-    (fun i (r, _) -> move cg ~src:r ~dst:(Reg.arg i))
-    arg_vals;
-  List.iter (fun (r, own) -> release cg ~owned:own r) arg_vals;
-  (* Save the live temporaries across the call. *)
-  let live = cg.active_temps in
-  List.iter
-    (fun r ->
-      emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
-                             offset = Int64.of_int (temp_save_slot r); src = r }))
-    live;
+  List.iteri (fun i r -> move cg ~src:r ~dst:(Reg.arg i)) arg_vals;
   emit cg (Instr.Call { callee = name });
-  List.iter
-    (fun r ->
-      emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
-                            offset = Int64.of_int (temp_save_slot r); dst = r }))
-    live;
   match f.ret with
   | None ->
     (* void call in statement position: hand back the zero register *)
-    (Reg.zero, Tint, false)
+    (Reg.zero, Tint)
   | Some rt ->
     let t = alloc_temp cg in
     move cg ~src:Reg.ret ~dst:t;
-    (t, rt, true)
+    (t, rt)
 
 (* --- statements --------------------------------------------------------- *)
 
-let assign_to_binding cg (b : binding) ~rhs ~rhs_ty ~rhs_owned =
+let assign_to_binding cg (b : binding) ~rhs ~rhs_ty =
   match b.loc with
-  | Home_reg dst ->
-    normalize cg ~ty_from:rhs_ty ~ty_to:b.bty ~src:rhs ~dst;
-    release cg ~owned:rhs_owned rhs
-  | Home_slot off ->
-    store_ty cg ~ty:b.bty ~base:Reg.sp ~offset:(Int64.of_int off) ~src:rhs;
-    release cg ~owned:rhs_owned rhs
+  | Temp dst -> normalize cg ~ty_from:rhs_ty ~ty_to:b.bty ~src:rhs ~dst
   | Glob_scalar g ->
     let ta = alloc_temp cg in
     emit cg (Instr.La { dst = ta; symbol = g });
-    store_ty cg ~ty:b.bty ~base:ta ~offset:0L ~src:rhs;
-    release cg ~owned:true ta;
-    release cg ~owned:rhs_owned rhs
+    store_ty cg ~ty:b.bty ~base:ta ~offset:0L ~src:rhs
   | Glob_array _ | Frame_array _ -> bug "assignment to array"
 
 let rec gen_stmt cg (s : stmt) =
   match s.sdesc with
   | Decl (t, name, init) ->
-    let loc = alloc_home cg in
-    let b = { bty = t; loc; is_ptr = false } in
+    let b = { bty = t; loc = Temp (alloc_temp cg); is_ptr = false } in
     declare cg name b;
-    let rhs, rhs_ty, own =
+    let rhs, rhs_ty =
       match init with
       | Some e -> gen_expr cg e
       | None ->
         let r = alloc_temp cg in
         li cg ~dst:r 0L;
-        (r, t, true)
+        (r, t)
     in
-    assign_to_binding cg b ~rhs ~rhs_ty:rhs_ty ~rhs_owned:own
+    assign_to_binding cg b ~rhs ~rhs_ty
   | Decl_array (t, name, size) ->
     let loc = alloc_array cg ~bytes:(size * size_of_ty t) in
     declare cg name { bty = t; loc; is_ptr = false }
   | Assign (Lvar name, e) ->
     let b = lookup cg name in
-    let rhs, rhs_ty, own = gen_expr cg e in
-    assign_to_binding cg b ~rhs ~rhs_ty ~rhs_owned:own
+    let rhs, rhs_ty = gen_expr cg e in
+    assign_to_binding cg b ~rhs ~rhs_ty
   | Assign (Lindex (name, idx), e) ->
     let b = lookup cg name in
     let addr, off = gen_element_addr cg b idx in
-    let rhs, _, own = gen_expr cg e in
-    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs;
-    release cg ~owned:own rhs;
-    release cg ~owned:true addr
+    let rhs, _ = gen_expr cg e in
+    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs
   | Op_assign (op, Lvar name, e) ->
     let b = lookup cg name in
-    let cur, cur_ty, own_cur = gen_expr cg { desc = Var name; pos = s.spos } in
-    let rhs, rhs_ty, own = gen_apply cg op cur cur_ty e in
-    release cg ~owned:own_cur cur;
-    assign_to_binding cg b ~rhs ~rhs_ty ~rhs_owned:own
+    let cur, cur_ty = gen_expr cg { desc = Var name; pos = s.spos } in
+    let rhs, rhs_ty = gen_apply cg op cur cur_ty e in
+    assign_to_binding cg b ~rhs ~rhs_ty
   | Op_assign (op, Lindex (name, idx), e) ->
     let b = lookup cg name in
     let addr, off = gen_element_addr cg b idx in
     let cur = alloc_temp cg in
     load_ty cg ~ty:b.bty ~base:addr ~offset:off ~dst:cur;
-    let rhs, _, own = gen_apply cg op cur b.bty e in
-    release cg ~owned:true cur;
-    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs;
-    release cg ~owned:own rhs;
-    release cg ~owned:true addr
+    let rhs, _ = gen_apply cg op cur b.bty e in
+    store_ty cg ~ty:b.bty ~base:addr ~offset:off ~src:rhs
   | If (c, then_, else_) ->
     let then_l = Builder.new_block cg.b in
     let join_l = Builder.new_block cg.b in
@@ -648,25 +540,22 @@ let rec gen_stmt cg (s : stmt) =
   | Return e ->
     (match e with
     | Some e ->
-      let r, ty_r, own = gen_expr cg e in
+      let r, ty_r = gen_expr cg e in
       (match cg.ret_ty with
       | Some rt when rt <> ty_r && width_of_ty rt < width_of_ty ty_r ->
         normalize cg ~ty_from:ty_r ~ty_to:rt ~src:r ~dst:Reg.ret
-      | _ -> move cg ~src:r ~dst:Reg.ret);
-      release cg ~owned:own r
+      | _ -> move cg ~src:r ~dst:Reg.ret)
     | None -> ());
     Builder.terminate cg.b (Prog.Jump cg.exit_label);
     let dead = Builder.new_block cg.b in
     Builder.switch_to cg.b dead
-  | Expr_stmt e ->
-    let r, _, own = gen_expr cg e in
-    release cg ~owned:own r
+  | Expr_stmt e -> ignore (gen_expr cg e)
   | Emit e ->
-    let r, _, own = gen_expr cg e in
-    emit cg (Instr.Emit { src = r });
-    release cg ~owned:own r
+    let r, _ = gen_expr cg e in
+    emit cg (Instr.Emit { src = r })
+
 (* [cur op= e]: compute [cur op e]; reuses the binop machinery. *)
-and gen_apply cg op cur cur_ty (e : expr) : Reg.t * ty * bool =
+and gen_apply cg op cur cur_ty (e : expr) : Reg.t * ty =
   let aop =
     match op with
     | Add -> Instr.Add
@@ -687,15 +576,14 @@ and gen_apply cg op cur cur_ty (e : expr) : Reg.t * ty * bool =
     let t = alloc_temp cg in
     emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = cur;
                          src2 = Instr.Imm v; dst = t });
-    (t, pt, true)
+    (t, pt)
   | _ ->
-    let rb, tb, own_b = gen_expr cg e in
+    let rb, tb = gen_expr cg e in
     let pt = promote (promote cur_ty tb) Tint in
     let t = alloc_temp cg in
     emit cg (Instr.Alu { op = aop; width = width_of_ty pt; src1 = cur;
                          src2 = Instr.Reg rb; dst = t });
-    release cg ~owned:own_b rb;
-    (t, pt, true)
+    (t, pt)
 
 and gen_body cg body =
   cg.scopes <- [] :: cg.scopes;
@@ -704,7 +592,8 @@ and gen_body cg body =
 
 (* --- functions and globals ---------------------------------------------- *)
 
-let gen_fun ~fresh_iid ~prog_funs ~globals (f : fundef) : Prog.func =
+let gen_fun ~fresh_iid ~fresh_temp ~prog_funs ~globals (f : fundef) : Prog.func
+    =
   let b = Builder.create ~fresh_iid ~fname:f.fname ~arity:(List.length f.params) in
   let entry_l = Builder.new_block b in
   let exit_l = Builder.new_block b in
@@ -714,81 +603,58 @@ let gen_fun ~fresh_iid ~prog_funs ~globals (f : fundef) : Prog.func =
       b;
       prog_funs;
       globals;
+      fresh_temp;
       scopes = [ [] ];
-      free_temps = temp_regs;
-      active_temps = [];
-      free_homes = Reg.callee_saved;
-      used_homes = [];
-      next_slot = dynamic_base;
+      next_slot = 0;
       loops = [];
       exit_label = exit_l;
       ret_ty = f.ret;
     }
   in
-  (* Parameters: bind each to a fresh home; the prologue (emitted last)
+  (* Parameters: a dedicated temporary each; the prologue (emitted last)
      copies the incoming argument registers there. *)
-  let param_homes =
+  let param_temps =
     List.map
       (fun (p : param) ->
-        let loc = alloc_home cg in
-        declare cg p.pname
-          { bty = p.pty; loc; is_ptr = p.parray };
-        loc)
+        let t = alloc_temp cg in
+        declare cg p.pname { bty = p.pty; loc = Temp t; is_ptr = p.parray };
+        t)
       f.params
   in
   Builder.switch_to cg.b body_l;
   gen_body cg f.body;
   (* Fall off the end: return (r0 unspecified for non-void, as in C). *)
   Builder.terminate cg.b (Prog.Jump exit_l);
+  (* The frame holds only local arrays; the allocator later grows it to
+     cover spill slots and callee-saved save slots, rewriting the
+     [sub sp]/[add sp] pair emitted here. *)
   let frame_size = (cg.next_slot + 15) / 16 * 16 in
   (* Prologue. *)
   Builder.switch_to cg.b entry_l;
-  if frame_size <= 32767 then
-    emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
-                         src2 = Instr.Imm (Int64.of_int frame_size);
-                         dst = Reg.sp })
-  else begin
-    let t = List.hd temp_regs in
-    li cg ~dst:t (Int64.of_int frame_size);
-    emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
-                         src2 = Instr.Reg t; dst = Reg.sp })
-  end;
-  List.iteri
-    (fun i r ->
-      if List.exists (Reg.equal r) cg.used_homes then
-        emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
-                               offset = Int64.of_int (callee_save_base + (8 * i));
-                               src = r }))
-    Reg.callee_saved;
-  List.iteri
-    (fun i loc ->
-      match loc with
-      | Home_reg r -> move cg ~src:(Reg.arg i) ~dst:r
-      | Home_slot off ->
-        emit cg (Instr.Store { width = Width.W64; base = Reg.sp;
-                               offset = Int64.of_int off; src = Reg.arg i })
-      | Glob_scalar _ | Glob_array _ | Frame_array _ -> assert false)
-    param_homes;
+  if frame_size > 0 then
+    if frame_size <= 32767 then
+      emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
+                           src2 = Instr.Imm (Int64.of_int frame_size);
+                           dst = Reg.sp })
+    else begin
+      li cg ~dst:scratch (Int64.of_int frame_size);
+      emit cg (Instr.Alu { op = Instr.Sub; width = Width.W64; src1 = Reg.sp;
+                           src2 = Instr.Reg scratch; dst = Reg.sp })
+    end;
+  List.iteri (fun i t -> move cg ~src:(Reg.arg i) ~dst:t) param_temps;
   Builder.terminate cg.b (Prog.Jump body_l);
   (* Epilogue. *)
   Builder.switch_to cg.b exit_l;
-  List.iteri
-    (fun i r ->
-      if List.exists (Reg.equal r) cg.used_homes then
-        emit cg (Instr.Load { width = Width.W64; signed = true; base = Reg.sp;
-                              offset = Int64.of_int (callee_save_base + (8 * i));
-                              dst = r }))
-    Reg.callee_saved;
-  if frame_size <= 32767 then
-    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
-                         src2 = Instr.Imm (Int64.of_int frame_size);
-                         dst = Reg.sp })
-  else begin
-    let t = List.hd temp_regs in
-    li cg ~dst:t (Int64.of_int frame_size);
-    emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
-                         src2 = Instr.Reg t; dst = Reg.sp })
-  end;
+  if frame_size > 0 then
+    if frame_size <= 32767 then
+      emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
+                           src2 = Instr.Imm (Int64.of_int frame_size);
+                           dst = Reg.sp })
+    else begin
+      li cg ~dst:scratch (Int64.of_int frame_size);
+      emit cg (Instr.Alu { op = Instr.Add; width = Width.W64; src1 = Reg.sp;
+                           src2 = Instr.Reg scratch; dst = Reg.sp })
+    end;
   Builder.terminate cg.b Prog.Return;
   Builder.finish cg.b ~frame_size
 
@@ -828,6 +694,16 @@ let gen_program (p : program) : Prog.t =
     incr counter;
     !counter
   in
+  (* Temporaries are numbered program-wide, like instruction ids: with a
+     flat register file, a pre-allocation program then interprets
+     correctly as long as no function recurses, which the differential
+     tests rely on. *)
+  let tcounter = ref 0 in
+  let fresh_temp () =
+    let i = !tcounter in
+    incr tcounter;
+    Reg.vreg i
+  in
   let prog_funs = List.map (fun (f : fundef) -> (f.fname, f)) p.funcs in
   let globals =
     List.map
@@ -838,6 +714,8 @@ let gen_program (p : program) : Prog.t =
           (name, { bty = t; loc = Glob_array name; is_ptr = false }))
       p.globals
   in
-  let funcs = List.map (gen_fun ~fresh_iid ~prog_funs ~globals) p.funcs in
+  let funcs =
+    List.map (gen_fun ~fresh_iid ~fresh_temp ~prog_funs ~globals) p.funcs
+  in
   let gimages = List.map global_image p.globals in
   Prog.create ~globals:gimages funcs

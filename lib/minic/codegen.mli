@@ -8,18 +8,25 @@
       address arithmetic is always [W64];
     - [char] is an unsigned byte: byte loads are zero-extending and
       assignments to [char] lvalues mask with [Msk W8];
-    - named scalars live in callee-saved registers (spilling to stack
-      slots when more than six are live in a function), arrays live in the
-      frame or in global data, register moves are encoded as [Or r, #0]
-      (the Alpha BIS idiom);
+    - every expression value and every named scalar gets its own {e
+      virtual} register ([Ogc_isa.Reg.vreg]); arrays live in the frame or
+      in global data; register moves are encoded as [Or r, #0] (the Alpha
+      BIS idiom) so the allocator's coalescer can remove them;
+    - arguments are moved into the argument registers explicitly and
+      results out of [r0]; nothing is saved around calls — call-crossing
+      lifetimes are the register allocator's job ([Ogc_regalloc]);
     - short-circuit [&&]/[||] lower to branches; [?:] lowers to [Cmov]
       when both arms are call-free.
 
-    Width re-encoding is left entirely to VRP/VRS, as in the paper. *)
+    The emitted frame covers only local arrays; the allocator later
+    re-sizes it for spill slots and callee-saved saves.  Width
+    re-encoding is left entirely to VRP/VRS, as in the paper. *)
 
 exception Codegen_bug of string
 (** Internal invariant violation; indicates a bug, not a user error. *)
 
 val gen_program : Ast.program -> Ogc_ir.Prog.t
 (** Assumes {!Typecheck.check} succeeded.  The result passes
-    {!Ogc_ir.Validate.program}. *)
+    {!Ogc_ir.Validate.program} with [~allow_virtual:true]; run
+    [Ogc_regalloc.Regalloc.program] to obtain an executable program over
+    architectural registers only. *)

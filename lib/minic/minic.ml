@@ -13,13 +13,40 @@ let parse src =
   | Parser.Error (msg, pos) -> wrap_pos "syntax error" msg pos
   | Typecheck.Error (msg, pos) -> wrap_pos "semantic error" msg pos
 
-let compile src =
+let lower src =
   let ast = parse src in
   try
     let prog = Codegen.gen_program ast in
-    Ogc_ir.Validate.program prog;
+    Ogc_ir.Validate.program ~allow_virtual:true prog;
     prog
   with
   | Codegen.Codegen_bug msg -> raise (Error ("code generator bug: " ^ msg))
   | Ogc_ir.Validate.Invalid msg ->
     raise (Error ("generated invalid code: " ^ msg))
+
+let compile_with_info src =
+  let prog = lower src in
+  try
+    (* The width oracle runs VRP on the pre-allocation program so spill
+       slots can be sized from proven value ranges; it is forced only if
+       some function actually spills. *)
+    let vrp = lazy (Ogc_core.Vrp.analyze ~jobs:1 prog) in
+    let width_of iid =
+      match Ogc_core.Vrp.range_of (Lazy.force vrp) iid with
+      | Some r -> Ogc_core.Interval.width r
+      | None -> Ogc_isa.Width.W64
+    in
+    let info = Ogc_regalloc.Regalloc.program ~width_of prog in
+    Ogc_ir.Validate.program prog;
+    (prog, info)
+  with
+  | Ogc_regalloc.Regalloc.Bound_exceeded { fname; iterations } ->
+    raise
+      (Error
+         (Printf.sprintf
+            "register allocation diverged in %s: %d spill iterations" fname
+            iterations))
+  | Ogc_ir.Validate.Invalid msg ->
+    raise (Error ("allocated invalid code: " ^ msg))
+
+let compile src = fst (compile_with_info src)

@@ -7,6 +7,17 @@ exception Error of string
 val parse : string -> Ast.program
 (** Parse and semantically check; raises {!Error}. *)
 
+val lower : string -> Ogc_ir.Prog.t
+(** Parse, check and generate code over virtual registers; the result
+    passes {!Ogc_ir.Validate.program} with [~allow_virtual:true] but is
+    not yet register-allocated.  Raises {!Error}. *)
+
+val compile_with_info : string -> Ogc_ir.Prog.t * Ogc_regalloc.Regalloc.info
+(** {!lower}, then graph-coloring register allocation with width-aware
+    spill slots (VRP-backed, run lazily on the pre-allocation program),
+    then validation.  Returns the executable program together with the
+    allocation summary (spill slots, spill-op instruction ids, iteration
+    counts).  Raises {!Error}. *)
+
 val compile : string -> Ogc_ir.Prog.t
-(** Parse, check, generate code and validate the result;
-    raises {!Error}. *)
+(** [fst (compile_with_info src)]. *)

@@ -1,0 +1,842 @@
+open Ogc_isa
+open Ogc_ir
+
+exception Bound_exceeded of { fname : string; iterations : int }
+
+type slot = { sreg : Reg.t; soffset : int; sbytes : int }
+
+type func_alloc = {
+  fa_name : string;
+  fa_slots : slot list;
+  fa_spill_area : int;
+  fa_callee_saved : Reg.t list;
+  fa_iterations : int;
+}
+
+type info = { fallocs : func_alloc list; spill_ops : (int, int) Hashtbl.t }
+
+(* r27/r28 are reserved as guard scratch for the version-selection code
+   VRS inserts after allocation; the code generator also borrows r28 to
+   materialize stack adjustments too large for an immediate. *)
+let reserved = [ 27; 28 ]
+
+(* Caller-saved registers first, so temporaries not live across a call
+   avoid the callee-saved file and its save/restore traffic. *)
+let palette =
+  List.filter
+    (fun r -> not (List.mem (Reg.to_int r) reserved))
+    Reg.caller_saved
+  @ Reg.callee_saved
+
+let num_colors = List.length palette
+let palette_ints = Array.of_list (List.map Reg.to_int palette)
+
+(* [sp] and [zero] never constrain a color choice and must never be
+   coalesced into; together with the reserved scratch they stay outside
+   the graph entirely. *)
+let transparent r =
+  Reg.equal r Reg.sp || Reg.equal r Reg.zero
+  || List.mem (Reg.to_int r) reserved
+
+(* The move idiom the code generator emits: [or src, #0, dst] at W64. *)
+let move_of = function
+  | Instr.Alu
+      { op = Instr.Or; width = Width.W64; src1; src2 = Instr.Imm 0L; dst } ->
+    Some (src1, dst)
+  | _ -> None
+
+(* --- one build/color round (iterated register coalescing) ---------------- *)
+
+(* Node states.  Each non-precolored node is on exactly the worklist its
+   state names, so the worklists themselves can be plain lists with
+   stale entries filtered on pop. *)
+let st_precolored = 0
+
+let st_simp = 2
+and st_freeze = 3
+and st_spill = 4
+and st_spilled = 5
+and st_coalesced = 6
+and st_stacked = 7
+and st_colored = 8
+
+type mv = { ms : int; md : int; mutable mstate : int }
+
+let m_worklist = 0
+and m_active = 1
+and m_coalesced = 2
+and m_constrained = 3
+and m_frozen = 4
+
+type round =
+  | Colored of (int -> int)  (* virtual reg index -> architectural reg *)
+  | Spilled of int list * (int, int) Hashtbl.t
+      (* spilled representatives, and reg -> representative for every
+         register that must go through a slot (coalesced members of a
+         spilled node share its slot: they carry the same value across
+         the move that related them) *)
+
+let color_round (f : Prog.func) ~is_spill_temp =
+  (* Compact node numbering: arch registers keep 0..31, the function's
+     virtual registers follow in ascending order. *)
+  let temp_seen = Hashtbl.create 64 in
+  let temps = ref [] in
+  let note r =
+    let i = Reg.to_int r in
+    if i >= Reg.num_arch && not (Hashtbl.mem temp_seen i) then begin
+      Hashtbl.replace temp_seen i ();
+      temps := i :: !temps
+    end
+  in
+  Prog.iter_ins f (fun _ ins ->
+      List.iter note (Instr.defs ins.op);
+      List.iter note (Instr.uses ins.op));
+  Prog.iter_blocks f (fun b ->
+      match b.term with
+      | Prog.Branch { src; _ } -> note src
+      | Prog.Jump _ | Prog.Return -> ());
+  let temps = List.sort Int.compare !temps in
+  let nn = Reg.num_arch + List.length temps in
+  let reg_of = Array.init nn Fun.id in
+  let id_of = Hashtbl.create 64 in
+  List.iteri
+    (fun k r ->
+      reg_of.(Reg.num_arch + k) <- r;
+      Hashtbl.replace id_of r (Reg.num_arch + k))
+    temps;
+  let id r =
+    let i = Reg.to_int r in
+    if i < Reg.num_arch then i else Hashtbl.find id_of i
+  in
+  let precolored n = n < Reg.num_arch in
+  let adjm = Bitset.create (nn * nn) in
+  let adj u v = Bitset.mem adjm ((u * nn) + v) in
+  let adj_list = Array.make nn [] in
+  let degree = Array.make nn 0 in
+  for i = 0 to Reg.num_arch - 1 do
+    degree.(i) <- max_int / 2
+  done;
+  let nstate = Array.make nn st_precolored in
+  let alias = Array.init nn Fun.id in
+  let color = Array.make nn (-1) in
+  Array.iter (fun c -> color.(c) <- c) palette_ints;
+  let move_list = Array.make nn [] in
+  let wl_moves = ref [] in
+  let simp_wl = ref []
+  and freeze_wl = ref []
+  and spill_wl = ref []
+  and select_stack = ref [] in
+  let add_edge u v =
+    if u <> v && not (adj u v) then begin
+      Bitset.set adjm ((u * nn) + v);
+      Bitset.set adjm ((v * nn) + u);
+      if not (precolored u) then begin
+        adj_list.(u) <- v :: adj_list.(u);
+        degree.(u) <- degree.(u) + 1
+      end;
+      if not (precolored v) then begin
+        adj_list.(v) <- u :: adj_list.(v);
+        degree.(v) <- degree.(v) + 1
+      end
+    end
+  in
+  (* Build: walk each block backwards from its live-out set; a def
+     interferes with everything live across it, and a move's source is
+     exempted so the pair stays coalescible (Appel's Build). *)
+  let cfg = Cfg.of_func f in
+  let lv = Liveness.compute f cfg in
+  let live = Bitset.create nn in
+  Prog.iter_blocks f (fun b ->
+      Bitset.reset live;
+      let add_live r = if not (transparent r) then Bitset.set live (id r) in
+      Reg.Set.iter add_live (Liveness.live_out lv b.label);
+      Reg.Set.iter add_live (Liveness.term_uses b.term);
+      for i = Array.length b.body - 1 downto 0 do
+        let op = b.body.(i).op in
+        let defs =
+          List.filter (fun r -> not (transparent r)) (Instr.defs op)
+        in
+        let uses =
+          List.filter (fun r -> not (transparent r)) (Instr.uses op)
+        in
+        (match move_of op with
+        | Some (src, dst)
+          when (not (transparent src)) && not (transparent dst) ->
+          Bitset.clear live (id src);
+          let m = { ms = id src; md = id dst; mstate = m_worklist } in
+          move_list.(id src) <- m :: move_list.(id src);
+          if id src <> id dst then move_list.(id dst) <- m :: move_list.(id dst);
+          wl_moves := m :: !wl_moves
+        | _ -> ());
+        List.iter (fun d -> Bitset.set live (id d)) defs;
+        List.iter
+          (fun d ->
+            let dn = id d in
+            Bitset.iter live (fun l -> add_edge dn l))
+          defs;
+        List.iter (fun d -> Bitset.clear live (id d)) defs;
+        List.iter (fun u -> Bitset.set live (id u)) uses
+      done);
+  let node_moves n =
+    List.filter
+      (fun m -> m.mstate = m_worklist || m.mstate = m_active)
+      move_list.(n)
+  in
+  let move_related n = node_moves n <> [] in
+  let adjacent n =
+    List.filter
+      (fun w -> nstate.(w) <> st_stacked && nstate.(w) <> st_coalesced)
+      adj_list.(n)
+  in
+  let rec get_alias n =
+    if nstate.(n) = st_coalesced then get_alias alias.(n) else n
+  in
+  let enable_moves ns =
+    List.iter
+      (fun n ->
+        List.iter
+          (fun m ->
+            if m.mstate = m_active then begin
+              m.mstate <- m_worklist;
+              wl_moves := m :: !wl_moves
+            end)
+          move_list.(n))
+      ns
+  in
+  let decrement_degree m =
+    if not (precolored m) then begin
+      let d = degree.(m) in
+      degree.(m) <- d - 1;
+      if d = num_colors then begin
+        enable_moves (m :: adjacent m);
+        if nstate.(m) = st_spill then
+          if move_related m then begin
+            nstate.(m) <- st_freeze;
+            freeze_wl := m :: !freeze_wl
+          end
+          else begin
+            nstate.(m) <- st_simp;
+            simp_wl := m :: !simp_wl
+          end
+      end
+    end
+  in
+  let simplify n =
+    nstate.(n) <- st_stacked;
+    select_stack := n :: !select_stack;
+    List.iter decrement_degree (adjacent n)
+  in
+  let add_worklist u =
+    if
+      (not (precolored u))
+      && nstate.(u) = st_freeze
+      && (not (move_related u))
+      && degree.(u) < num_colors
+    then begin
+      nstate.(u) <- st_simp;
+      simp_wl := u :: !simp_wl
+    end
+  in
+  let ok t u = degree.(t) < num_colors || precolored t || adj t u in
+  let seen = Array.make nn false in
+  let union_adjacent u v =
+    let acc = ref [] in
+    let take n =
+      List.iter
+        (fun w ->
+          if not seen.(w) then begin
+            seen.(w) <- true;
+            acc := w :: !acc
+          end)
+        (adjacent n)
+    in
+    take u;
+    take v;
+    List.iter (fun w -> seen.(w) <- false) !acc;
+    !acc
+  in
+  let conservative ns =
+    let k = ref 0 in
+    List.iter (fun n -> if degree.(n) >= num_colors then incr k) ns;
+    !k < num_colors
+  in
+  let combine u v =
+    nstate.(v) <- st_coalesced;
+    alias.(v) <- u;
+    move_list.(u) <- move_list.(u) @ move_list.(v);
+    enable_moves [ v ];
+    List.iter
+      (fun t ->
+        add_edge t u;
+        decrement_degree t)
+      (adjacent v);
+    if degree.(u) >= num_colors && nstate.(u) = st_freeze then begin
+      nstate.(u) <- st_spill;
+      spill_wl := u :: !spill_wl
+    end
+  in
+  let coalesce m =
+    let x = get_alias m.ms and y = get_alias m.md in
+    let u, v = if precolored y then (y, x) else (x, y) in
+    if u = v then begin
+      m.mstate <- m_coalesced;
+      add_worklist u
+    end
+    else if precolored v || adj u v then begin
+      m.mstate <- m_constrained;
+      add_worklist u;
+      add_worklist v
+    end
+    else if
+      (precolored u && List.for_all (fun t -> ok t u) (adjacent v))
+      || ((not (precolored u)) && conservative (union_adjacent u v))
+    then begin
+      m.mstate <- m_coalesced;
+      combine u v;
+      add_worklist u
+    end
+    else m.mstate <- m_active
+  in
+  let freeze_moves u =
+    List.iter
+      (fun m ->
+        let x = get_alias m.ms and y = get_alias m.md in
+        let v = if y = get_alias u then x else y in
+        m.mstate <- m_frozen;
+        if
+          (not (precolored v))
+          && nstate.(v) = st_freeze
+          && node_moves v = []
+          && degree.(v) < num_colors
+        then begin
+          nstate.(v) <- st_simp;
+          simp_wl := v :: !simp_wl
+        end)
+      (node_moves u)
+  in
+  let freeze u =
+    nstate.(u) <- st_simp;
+    simp_wl := u :: !simp_wl;
+    freeze_moves u
+  in
+  let select_spill () =
+    (* Highest degree first, never a temp introduced by spill rewriting
+       unless nothing else remains; ties break on the lower register so
+       the choice is deterministic. *)
+    let cands =
+      List.sort_uniq Int.compare
+        (List.filter (fun n -> nstate.(n) = st_spill) !spill_wl)
+    in
+    match cands with
+    | [] -> false
+    | first :: _ ->
+      let better a b =
+        let sa = is_spill_temp reg_of.(a) and sb = is_spill_temp reg_of.(b) in
+        if sa <> sb then not sa
+        else if degree.(a) <> degree.(b) then degree.(a) > degree.(b)
+        else a < b
+      in
+      let n =
+        List.fold_left (fun acc c -> if better c acc then c else acc)
+          first cands
+      in
+      nstate.(n) <- st_simp;
+      simp_wl := n :: !simp_wl;
+      freeze_moves n;
+      true
+  in
+  (* Seed the worklists. *)
+  List.iter
+    (fun r ->
+      let n = Hashtbl.find id_of r in
+      if degree.(n) >= num_colors then begin
+        nstate.(n) <- st_spill;
+        spill_wl := n :: !spill_wl
+      end
+      else if move_related n then begin
+        nstate.(n) <- st_freeze;
+        freeze_wl := n :: !freeze_wl
+      end
+      else begin
+        nstate.(n) <- st_simp;
+        simp_wl := n :: !simp_wl
+      end)
+    temps;
+  let rec pop wl st =
+    match !wl with
+    | [] -> None
+    | n :: rest ->
+      wl := rest;
+      if nstate.(n) = st then Some n else pop wl st
+  in
+  let rec pop_move () =
+    match !wl_moves with
+    | [] -> None
+    | m :: rest ->
+      wl_moves := rest;
+      if m.mstate = m_worklist then Some m else pop_move ()
+  in
+  let running = ref true in
+  while !running do
+    match pop simp_wl st_simp with
+    | Some n -> simplify n
+    | None -> (
+      match pop_move () with
+      | Some m -> coalesce m
+      | None -> (
+        match pop freeze_wl st_freeze with
+        | Some n -> freeze n
+        | None -> if not (select_spill ()) then running := false))
+  done;
+  (* Optimistic coloring off the select stack. *)
+  let spilled = ref [] in
+  List.iter
+    (fun n ->
+      let forbidden = Array.make Reg.num_arch false in
+      List.iter
+        (fun w ->
+          let w = get_alias w in
+          if (precolored w || nstate.(w) = st_colored) && color.(w) >= 0 then
+            forbidden.(color.(w)) <- true)
+        adj_list.(n);
+      let rec pick i =
+        if i >= Array.length palette_ints then None
+        else if forbidden.(palette_ints.(i)) then pick (i + 1)
+        else Some palette_ints.(i)
+      in
+      match pick 0 with
+      | Some c ->
+        nstate.(n) <- st_colored;
+        color.(n) <- c
+      | None ->
+        nstate.(n) <- st_spilled;
+        spilled := n :: !spilled)
+    !select_stack;
+  if !spilled = [] then begin
+    List.iter
+      (fun r ->
+        let n = Hashtbl.find id_of r in
+        if nstate.(n) = st_coalesced then color.(n) <- color.(get_alias n))
+      temps;
+    Colored
+      (fun r ->
+        let c = color.(Hashtbl.find id_of r) in
+        if c < 0 then
+          Fmt.invalid_arg "Regalloc: %s left uncolored in %s"
+            (Reg.to_string (Reg.vreg (r - Reg.num_arch)))
+            f.fname;
+        c)
+  end
+  else begin
+    let reps =
+      List.sort Int.compare (List.map (fun n -> reg_of.(n)) !spilled)
+    in
+    let spill_map = Hashtbl.create 16 in
+    List.iter
+      (fun r ->
+        let n = Hashtbl.find id_of r in
+        let a = get_alias n in
+        if nstate.(a) = st_spilled then Hashtbl.replace spill_map r reg_of.(a))
+      temps;
+    Spilled (reps, spill_map)
+  end
+
+(* --- spill rewriting ------------------------------------------------------ *)
+
+type ctx = {
+  prog : Prog.t;
+  width_of : int -> Width.t;
+  mutable next_temp : int;
+  spill_ops : (int, int) Hashtbl.t;
+  max_iterations : int;
+  check : bool;
+}
+
+let fresh_temp ctx =
+  let r = Reg.vreg ctx.next_temp in
+  ctx.next_temp <- ctx.next_temp + 1;
+  r
+
+(* Rewrite every occurrence of a spilled register through its slot: a
+   reload before each use, a store after each def, one fresh temporary
+   per instruction per spilled register (an instruction that both reads
+   and writes the register works on the same temporary).  Instruction
+   ids of rewritten instructions are preserved, so the width oracle
+   keeps answering for their defs in later rounds. *)
+let rewrite_spills ctx (f : Prog.func) ~array_area ~spill_temps ~slot_of
+    ~slots_rev ~spill_off reps spill_map =
+  (* Slot width: the widest proven width over every definition of every
+     register sharing the slot; signed reloads of that many bytes
+     reproduce the value exactly. *)
+  let width_bytes = Hashtbl.create 16 in
+  Prog.iter_ins f (fun _ ins ->
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt spill_map (Reg.to_int d) with
+          | Some rep ->
+            let b = Width.bytes (ctx.width_of ins.iid) in
+            let cur =
+              Option.value ~default:0 (Hashtbl.find_opt width_bytes rep)
+            in
+            if b > cur then Hashtbl.replace width_bytes rep b
+          | None -> ())
+        (Instr.defs ins.op));
+  List.iter
+    (fun rep ->
+      if not (Hashtbl.mem slot_of rep) then begin
+        let bytes =
+          match Hashtbl.find_opt width_bytes rep with
+          | Some b -> b
+          | None -> 8
+        in
+        let off = (!spill_off + bytes - 1) / bytes * bytes in
+        let s =
+          { sreg = Reg.vreg (rep - Reg.num_arch); soffset = off; sbytes = bytes }
+        in
+        Hashtbl.replace slot_of rep s;
+        slots_rev := s :: !slots_rev;
+        spill_off := off + bytes
+      end)
+    reps;
+  let slot r = Hashtbl.find slot_of (Hashtbl.find spill_map (Reg.to_int r)) in
+  let spilled r = Hashtbl.mem spill_map (Reg.to_int r) in
+  let spill_ins op bytes =
+    let iid = Prog.fresh_iid ctx.prog in
+    Hashtbl.replace ctx.spill_ops iid bytes;
+    { Prog.iid; op }
+  in
+  let reload r dst =
+    let s = slot r in
+    spill_ins
+      (Instr.Load
+         {
+           width = Width.of_bytes s.sbytes;
+           signed = true;
+           base = Reg.sp;
+           offset = Int64.of_int (array_area + s.soffset);
+           dst;
+         })
+      s.sbytes
+  in
+  let save r src =
+    let s = slot r in
+    spill_ins
+      (Instr.Store
+         {
+           width = Width.of_bytes s.sbytes;
+           base = Reg.sp;
+           offset = Int64.of_int (array_area + s.soffset);
+           src;
+         })
+      s.sbytes
+  in
+  Prog.iter_blocks f (fun b ->
+      let out = ref [] in
+      Array.iter
+        (fun (ins : Prog.ins) ->
+          let uses =
+            List.sort_uniq Reg.compare
+              (List.filter spilled (Instr.uses ins.op))
+          in
+          let defs =
+            List.sort_uniq Reg.compare
+              (List.filter spilled (Instr.defs ins.op))
+          in
+          if uses = [] && defs = [] then out := ins :: !out
+          else begin
+            let temp_of = Hashtbl.create 4 in
+            let temp_for r =
+              match Hashtbl.find_opt temp_of (Reg.to_int r) with
+              | Some t -> t
+              | None ->
+                let t = fresh_temp ctx in
+                Hashtbl.replace spill_temps (Reg.to_int t) ();
+                Hashtbl.replace temp_of (Reg.to_int r) t;
+                t
+            in
+            List.iter (fun r -> out := reload r (temp_for r) :: !out) uses;
+            let subst r = if spilled r then temp_for r else r in
+            out := { ins with op = Instr.map_regs subst ins.op } :: !out;
+            List.iter (fun r -> out := save r (temp_for r) :: !out) defs
+          end)
+        b.body;
+      (match b.term with
+      | Prog.Branch ({ src; _ } as br) when spilled src ->
+        let t = fresh_temp ctx in
+        Hashtbl.replace spill_temps (Reg.to_int t) ();
+        out := reload src t :: !out;
+        b.term <- Prog.Branch { br with src = t }
+      | Prog.Branch _ | Prog.Jump _ | Prog.Return -> ());
+      b.body <- Array.of_list (List.rev !out))
+
+(* --- frame finalization --------------------------------------------------- *)
+
+let imm_limit = 32767
+let scratch = Reg.of_int 28
+
+let is_sp_alu aop = function
+  | Instr.Alu { op; src1; dst; _ } ->
+    op = aop && Reg.equal src1 Reg.sp && Reg.equal dst Reg.sp
+  | _ -> false
+
+let sp_adjust ctx aop amount =
+  let ins op = { Prog.iid = Prog.fresh_iid ctx.prog; op } in
+  if amount = 0 then []
+  else if amount <= imm_limit then
+    [
+      ins
+        (Instr.Alu
+           {
+             op = aop;
+             width = Width.W64;
+             src1 = Reg.sp;
+             src2 = Instr.Imm (Int64.of_int amount);
+             dst = Reg.sp;
+           });
+    ]
+  else
+    [
+      ins (Instr.Li { dst = scratch; imm = Int64.of_int amount });
+      ins
+        (Instr.Alu
+           {
+             op = aop;
+             width = Width.W64;
+             src1 = Reg.sp;
+             src2 = Instr.Reg scratch;
+             dst = Reg.sp;
+           });
+    ]
+
+(* The code generator emits stack adjustment only when it laid out an
+   array area; strip that form (either [sub sp, #n] or [li] + [sub])
+   and re-emit it for the final frame, with callee-saved save/restore
+   around the body.  Saves precede everything else so a parameter move
+   colored into a callee-saved register cannot clobber the caller's
+   value first. *)
+let finalize ctx (f : Prog.func) ~array_area ~spill_area ~callee =
+  let callee_area = 8 * List.length callee in
+  let frame = (array_area + spill_area + callee_area + 15) / 16 * 16 in
+  let save_base = array_area + spill_area in
+  let ins op = { Prog.iid = Prog.fresh_iid ctx.prog; op } in
+  let strip_prefix (body : Prog.ins array) =
+    if array_area = 0 || Array.length body = 0 then 0
+    else if is_sp_alu Instr.Sub body.(0).op then 1
+    else
+      match body.(0).op with
+      | Instr.Li _
+        when Array.length body > 1 && is_sp_alu Instr.Sub body.(1).op ->
+        2
+      | _ -> 0
+  in
+  let strip_suffix (body : Prog.ins array) =
+    let n = Array.length body in
+    if array_area = 0 || n = 0 then 0
+    else if is_sp_alu Instr.Add body.(n - 1).op then
+      if n > 1 && (match body.(n - 2).op with Instr.Li _ -> true | _ -> false)
+      then 2
+      else 1
+    else 0
+  in
+  let entry = f.blocks.(0) in
+  let kept =
+    Array.to_list
+      (Array.sub entry.body (strip_prefix entry.body)
+         (Array.length entry.body - strip_prefix entry.body))
+  in
+  let saves =
+    List.mapi
+      (fun k r ->
+        ins
+          (Instr.Store
+             {
+               width = Width.W64;
+               base = Reg.sp;
+               offset = Int64.of_int (save_base + (8 * k));
+               src = r;
+             }))
+      callee
+  in
+  entry.body <- Array.of_list (sp_adjust ctx Instr.Sub frame @ saves @ kept);
+  Prog.iter_blocks f (fun b ->
+      match b.term with
+      | Prog.Return ->
+        let cut = strip_suffix b.body in
+        let kept = Array.to_list (Array.sub b.body 0 (Array.length b.body - cut)) in
+        let reloads =
+          List.mapi
+            (fun k r ->
+              ins
+                (Instr.Load
+                   {
+                     width = Width.W64;
+                     signed = true;
+                     base = Reg.sp;
+                     offset = Int64.of_int (save_base + (8 * k));
+                     dst = r;
+                   }))
+            callee
+        in
+        b.body <- Array.of_list (kept @ reloads @ sp_adjust ctx Instr.Add frame)
+      | Prog.Jump _ | Prog.Branch _ -> ());
+  frame
+
+(* --- driver ---------------------------------------------------------------- *)
+
+(* Post-coloring verification (the [check] option): replay Build's
+   backward liveness walk over the final-round function and assert that
+   the assignment maps no two interfering registers to the same
+   architectural register (with Build's move-source exemption — a
+   coalesced move pair carries one value, so sharing is the point).
+   A violation is an allocator bug. *)
+let verify_coloring (f : Prog.func) subst =
+  let cfg = Cfg.of_func f in
+  let lv = Liveness.compute f cfg in
+  let phys r = Reg.to_int (subst r) in
+  let fail (d : Reg.t) (l : Reg.t) =
+    invalid_arg
+      (Format.asprintf
+         "Regalloc: in %s, interfering %a and %a share register %a" f.fname
+         Reg.pp d Reg.pp l Reg.pp (subst d))
+  in
+  Prog.iter_blocks f (fun b ->
+      let live = Hashtbl.create 32 in
+      let add_live r =
+        if not (transparent r) then Hashtbl.replace live (Reg.to_int r) r
+      in
+      let del_live r = Hashtbl.remove live (Reg.to_int r) in
+      Reg.Set.iter add_live (Liveness.live_out lv b.label);
+      Reg.Set.iter add_live (Liveness.term_uses b.term);
+      for i = Array.length b.body - 1 downto 0 do
+        let op = b.body.(i).op in
+        let defs =
+          List.filter (fun r -> not (transparent r)) (Instr.defs op)
+        in
+        let uses =
+          List.filter (fun r -> not (transparent r)) (Instr.uses op)
+        in
+        (match move_of op with
+        | Some (src, dst)
+          when (not (transparent src)) && not (transparent dst) ->
+          del_live src
+        | _ -> ());
+        List.iter
+          (fun d ->
+            Hashtbl.iter
+              (fun _ l -> if not (Reg.equal l d) && phys d = phys l then fail d l)
+              live)
+          defs;
+        List.iter del_live defs;
+        List.iter add_live uses
+      done)
+
+let allocate_func ctx (f : Prog.func) =
+  let array_area = f.frame_size in
+  let spill_temps = Hashtbl.create 16 in
+  let slot_of = Hashtbl.create 16 in
+  let slots_rev = ref [] in
+  let spill_off = ref 0 in
+  let iterations = ref 0 in
+  let rec loop () =
+    incr iterations;
+    if !iterations > ctx.max_iterations then
+      raise (Bound_exceeded { fname = f.fname; iterations = !iterations - 1 });
+    match
+      color_round f ~is_spill_temp:(fun r -> Hashtbl.mem spill_temps r)
+    with
+    | Colored color_of -> color_of
+    | Spilled (reps, spill_map) ->
+      rewrite_spills ctx f ~array_area ~spill_temps ~slot_of ~slots_rev
+        ~spill_off reps spill_map;
+      loop ()
+  in
+  let color_of = loop () in
+  let subst r =
+    if Reg.is_virtual r then Reg.of_int (color_of (Reg.to_int r)) else r
+  in
+  if ctx.check then verify_coloring f subst;
+  Prog.iter_blocks f (fun b ->
+      Array.iter
+        (fun (ins : Prog.ins) -> ins.op <- Instr.map_regs subst ins.op)
+        b.body;
+      (match b.term with
+      | Prog.Branch ({ src; _ } as br) when Reg.is_virtual src ->
+        b.term <- Prog.Branch { br with src = subst src }
+      | Prog.Branch _ | Prog.Jump _ | Prog.Return -> ());
+      (* Coalesced and same-colored moves are now identities: drop them. *)
+      b.body <-
+        Array.of_list
+          (List.filter
+             (fun (ins : Prog.ins) ->
+               match move_of ins.op with
+               | Some (s, d) -> not (Reg.equal s d)
+               | None -> true)
+             (Array.to_list b.body)));
+  let used = Hashtbl.create 8 in
+  Prog.iter_ins f (fun _ ins ->
+      List.iter
+        (fun r ->
+          if List.exists (Reg.equal r) Reg.callee_saved then
+            Hashtbl.replace used (Reg.to_int r) ())
+        (Instr.defs ins.op));
+  let callee =
+    List.filter (fun r -> Hashtbl.mem used (Reg.to_int r)) Reg.callee_saved
+  in
+  let spill_area = (!spill_off + 7) / 8 * 8 in
+  let frame = finalize ctx f ~array_area ~spill_area ~callee in
+  ( { f with frame_size = frame },
+    {
+      fa_name = f.fname;
+      fa_slots = List.rev !slots_rev;
+      fa_spill_area = spill_area;
+      fa_callee_saved = callee;
+      fa_iterations = !iterations;
+    } )
+
+let program ?(max_iterations = 12) ?(check = false) ~width_of (p : Prog.t) =
+  let ctx =
+    {
+      prog = p;
+      width_of;
+      next_temp = max 0 (Prog.max_reg p + 1 - Reg.num_arch);
+      spill_ops = Hashtbl.create 64;
+      max_iterations;
+      check;
+    }
+  in
+  let pairs = List.map (allocate_func ctx) p.funcs in
+  p.funcs <- List.map fst pairs;
+  { fallocs = List.map snd pairs; spill_ops = ctx.spill_ops }
+
+let spill_slots_bytes info =
+  List.fold_left
+    (fun acc fa ->
+      List.fold_left (fun acc s -> acc + s.sbytes) acc fa.fa_slots)
+    0 info.fallocs
+
+let spill_slots_naive_bytes info =
+  8 * List.fold_left (fun acc fa -> acc + List.length fa.fa_slots) 0 info.fallocs
+
+let pp_info ppf info =
+  List.iter
+    (fun fa ->
+      Format.fprintf ppf "%s: %d round%s, %d spill slot%s (%d bytes" fa.fa_name
+        fa.fa_iterations
+        (if fa.fa_iterations = 1 then "" else "s")
+        (List.length fa.fa_slots)
+        (if List.length fa.fa_slots = 1 then "" else "s")
+        (List.fold_left (fun a s -> a + s.sbytes) 0 fa.fa_slots);
+      Format.fprintf ppf ", naive %d)" (8 * List.length fa.fa_slots);
+      (match fa.fa_callee_saved with
+      | [] -> ()
+      | cs ->
+        Format.fprintf ppf ", callee-saved:";
+        List.iter (fun r -> Format.fprintf ppf " %a" Reg.pp r) cs);
+      Format.fprintf ppf "@\n";
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "  %a -> sp+%d (%d byte%s)@\n" Reg.pp s.sreg
+            s.soffset s.sbytes
+            (if s.sbytes = 1 then "" else "s"))
+        fa.fa_slots)
+    info.fallocs

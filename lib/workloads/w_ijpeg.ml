@@ -41,8 +41,14 @@ void init_quant() {
 }
 
 // 1-D integer transform of 8 values starting at [base] with stride
-// [stride]: butterfly-style adds and small-constant multiplies.
-void dct8(int base, int stride) {
+// [stride], in two explicit butterfly stages: the even-half combinations
+// (c0..c3) and the full odd-part product matrix (m0..m15) are all
+// materialized before the first store, and the inputs s0..s7 stay live
+// to the end for the returned input-energy proxy — deliberately more
+// simultaneously live scalars than the machine has registers, so the
+// register allocator must spill (and, since every one of them is a
+// proven-32-bit value, spill through narrow slots).
+long dct8(int base, int stride) {
   int s0 = block[base];
   int s1 = block[base + stride];
   int s2 = block[base + stride * 2];
@@ -59,20 +65,44 @@ void dct8(int base, int stride) {
   int b1 = s1 - s6;
   int b2 = s2 - s5;
   int b3 = s3 - s4;
-  block[base] = a0 + a1 + a2 + a3;
-  block[base + stride * 4] = a0 - a1 - a2 + a3;
-  block[base + stride * 2] = ((a0 - a3) * 17 + (a1 - a2) * 7) >> 4;
-  block[base + stride * 6] = ((a0 - a3) * 7 - (a1 - a2) * 17) >> 4;
-  block[base + stride] = (b0 * 23 + b1 * 19 + b2 * 13 + b3 * 5) >> 5;
-  block[base + stride * 3] = (b0 * 19 - b1 * 5 - b2 * 23 - b3 * 13) >> 5;
-  block[base + stride * 5] = (b0 * 13 - b1 * 23 + b2 * 5 + b3 * 19) >> 5;
-  block[base + stride * 7] = (b0 * 5 - b1 * 13 + b2 * 19 - b3 * 23) >> 5;
+  int c0 = a0 + a3;
+  int c1 = a1 + a2;
+  int c2 = a0 - a3;
+  int c3 = a1 - a2;
+  int m0 = b0 * 23;
+  int m1 = b1 * 19;
+  int m2 = b2 * 13;
+  int m3 = b3 * 5;
+  int m4 = b0 * 19;
+  int m5 = b1 * 5;
+  int m6 = b2 * 23;
+  int m7 = b3 * 13;
+  int m8 = b0 * 13;
+  int m9 = b1 * 23;
+  int m10 = b2 * 5;
+  int m11 = b3 * 19;
+  int m12 = b0 * 5;
+  int m13 = b1 * 13;
+  int m14 = b2 * 19;
+  int m15 = b3 * 23;
+  block[base] = c0 + c1;
+  block[base + stride * 4] = c0 - c1;
+  block[base + stride * 2] = (c2 * 17 + c3 * 7) >> 4;
+  block[base + stride * 6] = (c2 * 7 - c3 * 17) >> 4;
+  block[base + stride] = (m0 + m1 + m2 + m3) >> 5;
+  block[base + stride * 3] = (m4 - m5 - m6 - m7) >> 5;
+  block[base + stride * 5] = (m8 - m9 + m10 + m11) >> 5;
+  block[base + stride * 7] = (m12 - m13 + m14 - m15) >> 5;
+  return (long)(s0 * s0) + (long)(s1 * s1) + (long)(s2 * s2)
+       + (long)(s3 * s3) + (long)(s4 * s4) + (long)(s5 * s5)
+       + (long)(s6 * s6) + (long)(s7 * s7);
 }
 
 int main() {
   int dim = 32 * (int)input_scale;
   long acc = 0;
   long nonzero = 0;
+  long energy = 0;
   init_quant();
   for (int round = 0; round < 2; round++) {
     gen_image(dim);
@@ -82,8 +112,8 @@ int main() {
         for (int y = 0; y < 8; y++)
           for (int x = 0; x < 8; x++)
             block[y * 8 + x] = image[(by + y) * 96 + bx + x] - 128;
-        for (int r = 0; r < 8; r++) dct8(r * 8, 1);
-        for (int c = 0; c < 8; c++) dct8(c, 8);
+        for (int r = 0; r < 8; r++) energy += dct8(r * 8, 1);
+        for (int c = 0; c < 8; c++) energy += dct8(c, 8);
         // quantize / dequantize, count survivors
         for (int i = 0; i < 64; i++) {
           int q = block[i] / quant[i];
@@ -102,6 +132,7 @@ int main() {
   }
   emit(acc);
   emit(nonzero);
+  emit(energy);
   return 0;
 }
 |}

@@ -35,3 +35,8 @@ let compile w input =
   let p = Ogc_minic.Minic.compile w.source in
   set_scale p input;
   p
+
+let compile_with_alloc w input =
+  let p, info = Ogc_minic.Minic.compile_with_info w.source in
+  set_scale p input;
+  (p, info)

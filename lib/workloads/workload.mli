@@ -51,3 +51,9 @@ val set_scale : Ogc_ir.Prog.t -> input -> unit
     Every returned program is freshly built (safe to transform in
     place). *)
 val compile : t -> input -> Ogc_ir.Prog.t
+
+val compile_with_alloc :
+  t -> input -> Ogc_ir.Prog.t * Ogc_regalloc.Regalloc.info
+(** Like {!compile}, additionally returning the register allocator's
+    report (spill slots and their widths, spill-access instruction
+    ids). *)
