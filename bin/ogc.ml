@@ -730,8 +730,16 @@ let serve_cmd =
                    this a deliberately slow shard (hedging and \
                    slow-capture smoke tests).")
   in
+  let no_respec =
+    Arg.(value & flag
+         & info [ "no-respec" ]
+             ~doc:"Disable stale-while-revalidate: when a profile push \
+                   outdates a cached result, recompute synchronously \
+                   instead of serving the previous-epoch artifact and \
+                   re-specializing in the background.")
+  in
   let run addr jobs queue_limit cache_size cache_dir shard_id quiet log_level
-      trace slow_ms inject_slow_ms =
+      trace slow_ms inject_slow_ms no_respec =
     wrap (fun () ->
         (match log_level with
         | None -> ()
@@ -752,7 +760,8 @@ let serve_cmd =
             cache_dir;
             shard_id;
             slow_ms;
-            inject_slow_ms }
+            inject_slow_ms;
+            respecialize = not no_respec }
         in
         let t =
           try Server.create cfg
@@ -767,7 +776,49 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the optimization service (NDJSON over a socket)")
     Term.(const run $ addr_term $ jobs $ queue_limit $ cache_size $ cache_dir
-          $ shard_id $ quiet $ log_level $ trace $ slow_ms $ inject_slow_ms)
+          $ shard_id $ quiet $ log_level $ trace $ slow_ms $ inject_slow_ms
+          $ no_respec)
+
+(* Build a wire-profile delta by running the program locally.  The
+   compiler is deterministic, so local instruction ids and block labels
+   match what the server compiles from the same bytes, and the profiling
+   points are recomputed with the same front-half analysis the server's
+   chain runs. *)
+let auto_profile_delta spec =
+  let module Profile = Ogc_pass.Profile in
+  let p = load_program spec Workload.Train in
+  if Prog.find_global p "input_scale" <> None then
+    Workload.set_scale p Workload.Train;
+  (* The candidate screen runs on VRP-re-encoded code, exactly like the
+     server's chain front; re-encoding changes no instruction ids. *)
+  let a = Vrs.analyze p in
+  let hooks : (int, int64 -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let obs = Hashtbl.create 16 in
+  List.iter
+    (fun iid ->
+      let tbl : (int64, int ref) Hashtbl.t = Hashtbl.create 8 in
+      Hashtbl.replace obs iid tbl;
+      Hashtbl.replace hooks iid (fun v ->
+          match Hashtbl.find_opt tbl v with
+          | Some r -> incr r
+          | None -> Hashtbl.replace tbl v (ref 1)))
+    (Vrs.candidate_iids a);
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let out = Interp.run ~bb_counts:counts ~profile:hooks p in
+  let prof = Profile.create () in
+  Hashtbl.iter (fun fn arr -> Hashtbl.replace prof.Profile.p_bb fn arr) counts;
+  prof.Profile.p_total <- out.Interp.steps;
+  Hashtbl.iter
+    (fun iid tbl ->
+      match Hashtbl.fold (fun v r acc -> (v, !r) :: acc) tbl [] with
+      | [] -> ()
+      | [ (0L, n) ] ->
+        (* observed zero on every commit: the always-zero table, which
+           is what feeds the server's zspec pass *)
+        Hashtbl.replace prof.Profile.p_zeros iid n
+      | entries -> Hashtbl.replace prof.Profile.p_values iid entries)
+    obs;
+  Profile.to_json prof
 
 let submit_cmd =
   let program =
@@ -809,6 +860,18 @@ let submit_cmd =
                    --fleet) collects them).  Never affects routing or \
                    caching.")
   in
+  let push_profile =
+    Arg.(value & opt (some string) None
+         & info [ "push-profile" ] ~docv:"auto|FILE"
+             ~doc:"Stream an execution profile for PROGRAM back to the \
+                   server (the $(i,profile) op) instead of requesting an \
+                   analysis.  $(b,auto) compiles and runs the program \
+                   locally, collecting block counts and value \
+                   observations at the server's own profiling points; \
+                   anything else names a file holding a prepared \
+                   profile-delta JSON.  The response carries the \
+                   program's new profile epoch.")
+  in
   let stats =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Ask for the server's counters instead.")
@@ -841,7 +904,7 @@ let submit_cmd =
                    milliseconds (per attempt).")
   in
   let run addr program input vrp vrs policy cost deadline return_program id
-      trace_id stats ping metrics raw retries connect_timeout =
+      trace_id push_profile stats ping metrics raw retries connect_timeout =
     wrap (fun () ->
         let fields = ref [ ("proto", Json.Int Ogc_server.Protocol.proto_version) ] in
         let add k v = fields := (k, v) :: !fields in
@@ -873,6 +936,27 @@ let submit_cmd =
           Option.iter (fun c -> add "cost" (Json.Int c)) cost;
           Option.iter (fun d -> add "deadline_ms" (Json.Int d)) deadline;
           if return_program then add "return_program" (Json.Bool true));
+        (match push_profile with
+        | None -> ()
+        | Some _ when stats || ping || metrics ->
+          Fmt.failwith
+            "--push-profile needs a PROGRAM request, not --stats, --ping \
+             or --metrics"
+        | Some "auto" ->
+          add "op" (Json.Str "profile");
+          add "profile" (auto_profile_delta (Option.get program))
+        | Some file ->
+          if not (Sys.file_exists file) then
+            Fmt.failwith
+              "--push-profile: %s is not a file (use `auto` to collect \
+               one locally)"
+              file;
+          let ic = open_in_bin file in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          add "op" (Json.Str "profile");
+          add "profile" (Json.of_string s));
         Option.iter (fun i -> add "id" (Json.Str i)) id;
         Option.iter (fun tr -> add "trace_id" (Json.Str tr)) trace_id;
         let request = Json.to_string ~indent:false (Json.Obj (List.rev !fields)) in
@@ -957,8 +1041,8 @@ let submit_cmd =
     (Cmd.info "submit"
        ~doc:"Submit one request to a running optimization service")
     Term.(const run $ addr_term $ program $ input_arg $ vrp $ vrs $ policy
-          $ cost $ deadline $ return_program $ id $ trace_id $ stats $ ping
-          $ metrics $ raw $ retries $ connect_timeout)
+          $ cost $ deadline $ return_program $ id $ trace_id $ push_profile
+          $ stats $ ping $ metrics $ raw $ retries $ connect_timeout)
 
 (* --- router / loadgen ------------------------------------------------------ *)
 
@@ -1399,6 +1483,15 @@ let fuzz_cmd =
                    live locals, deep call chains), so every program \
                    exercises the register allocator's spill paths.")
   in
+  let zero_bias =
+    Arg.(value & flag
+         & info [ "zero-bias" ]
+             ~doc:"Generate MiniC programs planted with zero-dominated \
+                   values (zero globals, a never-written array feeding a \
+                   hot multiply), so the $(b,zspec) zero-specialization \
+                   chains in the oracle actually fire.  Takes precedence \
+                   over $(b,--pressure).")
+  in
   let corpus =
     Arg.(value & opt string "test/corpus"
          & info [ "corpus" ] ~docv:"DIR"
@@ -1435,11 +1528,12 @@ let fuzz_cmd =
     close_out oc;
     path
   in
-  let run seed count jobs shrink inject pressure corpus =
+  let run seed count jobs shrink inject pressure zero_bias corpus =
     wrap (fun () ->
         let jobs = if jobs = 0 then None else Some jobs in
         let s =
-          Ogc_fuzz.Fuzz.run ?jobs ~inject ~shrink ~pressure ~seed ~count ()
+          Ogc_fuzz.Fuzz.run ?jobs ~inject ~shrink ~pressure ~zero_bias ~seed
+            ~count ()
         in
         Format.printf
           "fuzz: seed %d: %d programs (%d minic, %d ir, %d skipped), %d \
@@ -1473,7 +1567,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random programs through every \
              optimization chain against the reference interpreter")
     Term.(const run $ seed $ count $ jobs $ shrink $ inject $ pressure
-          $ corpus)
+          $ zero_bias $ corpus)
 
 let () =
   let doc = "software-controlled operand gating (CGO 2004) toolchain" in

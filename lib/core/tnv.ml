@@ -41,6 +41,29 @@ let observe t v =
 
 let total t = t.total
 
+let of_entries ?(capacity = 8) ?(clean_interval = 4096) entries =
+  (* Install externally observed (value, count) pairs — a wire profile
+     replayed into a table.  When there are more entries than capacity,
+     keep the most frequent (ties broken by value, matching [entries]'
+     order) so the table looks as if those values had been observed
+     live.  The total still counts every given observation, so range
+     frequencies stay lower bounds. *)
+  let t = create ~capacity ~clean_interval () in
+  let sorted =
+    List.sort
+      (fun (v1, a) (v2, b) ->
+        match Int.compare b a with 0 -> Int64.compare v1 v2 | c -> c)
+      entries
+  in
+  List.iteri
+    (fun i (v, c) ->
+      if c > 0 then begin
+        t.total <- t.total + c;
+        if i < capacity then Hashtbl.replace t.counts v (ref c)
+      end)
+    sorted;
+  t
+
 let entries t =
   Hashtbl.fold (fun v c acc -> (v, !c) :: acc) t.counts []
   |> List.sort (fun (v1, a) (v2, b) ->

@@ -14,6 +14,14 @@ val create : ?capacity:int -> ?clean_interval:int -> unit -> t
 val observe : t -> int64 -> unit
 val total : t -> int
 
+val of_entries :
+  ?capacity:int -> ?clean_interval:int -> (int64 * int) list -> t
+(** [of_entries entries] builds a table as if the given (value, count)
+    observations had been streamed in: the [capacity] most frequent
+    values are installed, and [total] counts every observation (so
+    range frequencies from a clamped table remain lower bounds).
+    Entries with non-positive counts are ignored. *)
+
 (** Entries sorted by descending count. *)
 val entries : t -> (int64 * int) list
 

@@ -946,6 +946,171 @@ let assign_widths res (f : Prog.func) =
       | Some w -> res.widths.(ins.iid) <- Some w
       | None -> ())
 
+(* --- function-granular result cache ---------------------------------------- *)
+
+(* The final recorded pass is, per function, a pure function of the
+   function's code and its analysis inputs: the argument ranges, each
+   callee's visible return range, the addresses [La] resolves, the
+   config (with its per-function assumptions) and the engine.
+   [Fn_cache] memoizes that pass across whole-program runs, keyed by a
+   digest of exactly those inputs.  Recorded facts are stored
+   positionally (the [Prog.iter_ins] order), not by instruction id, so
+   a fragment survives the program-global iid renumbering that editing
+   an unrelated function (or a re-parse) causes.  The interprocedural
+   summary rounds always run — they are whole-program by nature and
+   their result feeds the digests. *)
+module Fn_cache = struct
+  let m_hit =
+    Metrics.counter "ogc_vrp_fn_cache_total" ~labels:[ ("outcome", "hit") ]
+
+  let m_run =
+    Metrics.counter "ogc_vrp_fn_cache_total" ~labels:[ ("outcome", "run") ]
+
+  type fragment = {
+    fr_ranges : Interval.t option array;  (* per body-instruction position *)
+    fr_inputs : (Interval.t * Interval.t) option array;
+    fr_reqs : Width.t option array;
+    fr_widths : Width.t option array;
+    fr_ret : Interval.t;
+    (* Effort counters replayed into [fixpoint_stats], keeping the
+       result — introspection included — identical to a live run. *)
+    fr_visits : int;
+    fr_rounds : int;
+  }
+
+  type t = {
+    m : Mutex.t;
+    capacity : int;
+    entries : (string, fragment) Hashtbl.t;
+    order : string Queue.t;  (* insertion order: FIFO eviction *)
+    mutable hits : int;
+    mutable runs : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    {
+      m = Mutex.create ();
+      capacity = max capacity 1;
+      entries = Hashtbl.create 256;
+      order = Queue.create ();
+      hits = 0;
+      runs = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.entries key with
+        | Some fr ->
+          t.hits <- t.hits + 1;
+          Metrics.incr m_hit;
+          Some fr
+        | None ->
+          t.runs <- t.runs + 1;
+          Metrics.incr m_run;
+          None)
+
+  let install t key fr =
+    locked t (fun () ->
+        if not (Hashtbl.mem t.entries key) then begin
+          while Hashtbl.length t.entries >= t.capacity do
+            match Queue.take_opt t.order with
+            | Some old -> Hashtbl.remove t.entries old
+            | None -> Hashtbl.reset t.entries
+          done;
+          Hashtbl.replace t.entries key fr;
+          Queue.add key t.order
+        end)
+
+  (* (hits, runs): fragment replays vs. live final passes since create. *)
+  let stats t = locked t (fun () -> (t.hits, t.runs))
+end
+
+(* Digest of everything the function's recorded pass can observe.  The
+   body is rendered through the (iid-free) assembly printer, so two
+   programs whose instruction ids differ but whose code and analysis
+   inputs agree share a digest. *)
+let func_digest ~config ~engine ~gaddr ~args ~ret_of ~callees
+    (f : Prog.func) =
+  let b = Buffer.create 1024 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\x00'
+  in
+  let interval (i : Interval.t) =
+    Printf.sprintf "%Ld:%Ld" i.Interval.lo i.Interval.hi
+  in
+  add (match engine with Dense -> "dense" | Naive -> "naive");
+  add
+    (Printf.sprintf "%b %b %d %d" config.useful config.useful_through_arith
+       config.widen_after config.interproc_rounds);
+  List.iter
+    (fun a ->
+      if String.equal a.af f.fname then
+        add
+          (Printf.sprintf "as %d %d %s" (Label.to_int a.alabel)
+             (Reg.to_int a.areg) (interval a.arange)))
+    config.assumptions;
+  add f.fname;
+  add (string_of_int f.arity);
+  add (string_of_int f.frame_size);
+  Array.iter (fun r -> add (interval r)) args;
+  Array.iter
+    (fun (blk : Prog.block) ->
+      add (string_of_int (Label.to_int blk.label));
+      Array.iter
+        (fun (ins : Prog.ins) ->
+          add (Instr.to_string ins.op);
+          match ins.op with
+          | Instr.La { symbol; _ } ->
+            add
+              (match Hashtbl.find_opt gaddr symbol with
+              | Some a -> Printf.sprintf "la %Ld" a
+              | None -> "la ?")
+          | _ -> ())
+        blk.body;
+      add (Asm.terminator_to_string blk.term))
+    f.blocks;
+  List.iter
+    (fun c -> add (Printf.sprintf "c %s %s" c (interval (ret_of c))))
+    callees;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let extract_fragment res (f : Prog.func) ~ret ~visits ~rounds =
+  let n = ref 0 in
+  Prog.iter_ins f (fun _ _ -> incr n);
+  let fr =
+    {
+      Fn_cache.fr_ranges = Array.make !n None;
+      fr_inputs = Array.make !n None;
+      fr_reqs = Array.make !n None;
+      fr_widths = Array.make !n None;
+      fr_ret = ret;
+      fr_visits = visits;
+      fr_rounds = rounds;
+    }
+  in
+  let pos = ref 0 in
+  Prog.iter_ins f (fun _ ins ->
+      fr.Fn_cache.fr_ranges.(!pos) <- get res.ranges ins.iid;
+      fr.Fn_cache.fr_inputs.(!pos) <- get res.inputs ins.iid;
+      fr.Fn_cache.fr_reqs.(!pos) <- get res.reqs ins.iid;
+      fr.Fn_cache.fr_widths.(!pos) <- get res.widths ins.iid;
+      incr pos);
+  fr
+
+let replay_fragment res (f : Prog.func) (fr : Fn_cache.fragment) =
+  let pos = ref 0 in
+  Prog.iter_ins f (fun _ ins ->
+      res.ranges.(ins.iid) <- fr.Fn_cache.fr_ranges.(!pos);
+      res.inputs.(ins.iid) <- fr.Fn_cache.fr_inputs.(!pos);
+      res.reqs.(ins.iid) <- fr.Fn_cache.fr_reqs.(!pos);
+      res.widths.(ins.iid) <- fr.Fn_cache.fr_widths.(!pos);
+      incr pos)
+
 (* --- driver ---------------------------------------------------------------- *)
 
 (* Interprocedural schedule.  Within one summary-refinement round the
@@ -965,8 +1130,8 @@ let assign_widths res (f : Prog.func) =
    callee's return from the finals of earlier levels when the callee has
    a smaller index, else from the round-fixpoint snapshot — exactly the
    view the sequential schedule provides. *)
-let analyze ?(config = default_config) ?(engine = Dense) ?jobs (p : Prog.t) :
-    result =
+let analyze ?(config = default_config) ?(engine = Dense) ?jobs ?fn_cache
+    (p : Prog.t) : result =
   let jobs = match jobs with None -> 1 | Some n -> Pool.resolve_jobs (Some n) in
   let n_iid = max p.next_iid 1 in
   let res =
@@ -1087,14 +1252,35 @@ let analyze ?(config = default_config) ?(engine = Dense) ?jobs (p : Prog.t) :
             | Some j -> snapshot_ret.(j)
             | None -> Interval.top
           in
-          let ctx =
-            { gaddr; ret_of; args_of = args_of f; func_of; config;
-              arg_acc = None; record = Some res }
+          let run_live () =
+            let ctx =
+              { gaddr; ret_of; args_of = args_of f; func_of; config;
+                arg_acc = None; record = Some res }
+            in
+            let ret, v, r = analyze_func ctx plans.(i) ~engine in
+            useful_pass config res f plans.(i).pcfg ops;
+            assign_widths res f;
+            (ret, v, r)
           in
-          let ret, v, r = analyze_func ctx plans.(i) ~engine in
-          useful_pass config res f plans.(i).pcfg ops;
-          assign_widths res f;
-          (i, ret, v, r))
+          match fn_cache with
+          | None ->
+            let ret, v, r = run_live () in
+            (i, ret, v, r)
+          | Some fc -> (
+            let key =
+              func_digest ~config ~engine ~gaddr ~args:(args_of f) ~ret_of
+                ~callees:(Callgraph.callees cg f.fname) f
+            in
+            match Fn_cache.find fc key with
+            | Some fr ->
+              replay_fragment res f fr;
+              (i, fr.Fn_cache.fr_ret, fr.Fn_cache.fr_visits,
+               fr.Fn_cache.fr_rounds)
+            | None ->
+              let ret, v, r = run_live () in
+              Fn_cache.install fc key
+                (extract_fragment res f ~ret ~visits:v ~rounds:r);
+              (i, ret, v, r)))
         by_level.(lv)
     in
     List.iter (fun (i, ret, v, r) -> finals.(i) <- Some ret; add_stats v r) results
@@ -1133,10 +1319,10 @@ let apply res (p : Prog.t) =
         | Instr.Li _ | Instr.La _ | Instr.Load _ | Instr.Store _
         | Instr.Call _ | Instr.Emit _ -> ()))
 
-let run ?config ?jobs p =
+let run ?config ?jobs ?fn_cache p =
   Span.with_ ~name:"vrp" (fun () ->
       let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
-      let res = analyze ?config ?jobs p in
+      let res = analyze ?config ?jobs ?fn_cache p in
       apply res p;
       if t0 > 0.0 then begin
         Metrics.incr m_runs;

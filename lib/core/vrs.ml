@@ -440,11 +440,15 @@ type analysis = {
 
 let profiled_points a = List.length a.a_master
 
+(* The profiling points, in master-list (decision) order: what a client
+   building a wire profile should sample. *)
+let candidate_iids a = List.map (fun c -> c.c_iid) a.a_master
+
 (* One guard instruction costs roughly the pipeline energy of an extra
    instruction; the paper's nJ labels (the Figure 8 sweep) scale it. *)
 let cost_of_label l = float_of_int l *. 0.03
 
-let analyze_inner config ?vrp ?bb (p : Prog.t) =
+let analyze_inner config ?vrp ?bb ?values (p : Prog.t) =
   let table = Savings_table.default in
   (* Step 0: VRP pass; VRS builds on re-encoded code.  A caller that
      already ran it (the pass manager) hands the result in. *)
@@ -467,16 +471,64 @@ let analyze_inner config ?vrp ?bb (p : Prog.t) =
      the (cost-independent) superset leaves per-candidate profiles
      identical to profiling any screened subset. *)
   let profiles = Hashtbl.create 64 in
-  let samplers = Hashtbl.create 64 in
-  List.iter
-    (fun c ->
-      let t = Tnv.create ~capacity:config.tnv_capacity () in
-      Hashtbl.replace profiles c.c_iid t;
-      Hashtbl.replace samplers c.c_iid (Tnv.observe t))
-    master;
-  Span.with_ ~name:"vrs:profile" (fun () ->
-      ignore (Interp.run ~config:config.train_config ~profile:samplers p));
+  (match values with
+  | Some tbl ->
+    (* Streamed wire profiles replace the profiling run: replay each
+       candidate's (value, count) observations into its table.
+       Candidates the client never observed get empty tables and fall
+       out of the cost/benefit test as [No_benefit]. *)
+    List.iter
+      (fun c ->
+        let entries =
+          Option.value ~default:[] (Hashtbl.find_opt tbl c.c_iid)
+        in
+        Hashtbl.replace profiles c.c_iid
+          (Tnv.of_entries ~capacity:config.tnv_capacity entries))
+      master
+  | None ->
+    let samplers = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        let t = Tnv.create ~capacity:config.tnv_capacity () in
+        Hashtbl.replace profiles c.c_iid t;
+        Hashtbl.replace samplers c.c_iid (Tnv.observe t))
+      master;
+    Span.with_ ~name:"vrs:profile" (fun () ->
+        ignore (Interp.run ~config:config.train_config ~profile:samplers p)));
   { a_vrp = vrp1; a_counts = counts; a_master = master; a_profiles = profiles }
+
+(* Steps 4-5, shared by full VRS and the zero-specialization variant:
+   propagate the guard-established ranges through the clones, realize
+   the constant folding, and re-assign widths on the cleaned program. *)
+let finish_clones config ~clone_iids ~assumptions (p : Prog.t) =
+  Validate.program p;
+  let vrp_cfg = { Vrp.default_config with assumptions } in
+  let vrp2 = Vrp.run ~config:vrp_cfg p in
+  let eliminated_in_clones =
+    if config.constprop then begin
+      let cp = Constprop.run vrp2 p in
+      List.length
+        (List.filter (fun iid -> Hashtbl.mem clone_iids iid) cp.removed_iids)
+    end
+    else 0
+  in
+  Validate.program p;
+  let vrp3 = Vrp.run ~config:vrp_cfg p in
+  Validate.program p;
+  (vrp3, eliminated_in_clones)
+
+let empty_report vrp =
+  {
+    profiled = [];
+    guard_iids = Hashtbl.create 64;
+    guard_branch_iids = Hashtbl.create 64;
+    clone_blocks = [];
+    clone_iids = Hashtbl.create 256;
+    static_cloned = 0;
+    static_eliminated = 0;
+    assumptions = [];
+    final_vrp = vrp;
+  }
 
 let specialize_inner config (a : analysis) (p : Prog.t) =
   let table = Savings_table.default in
@@ -485,19 +537,7 @@ let specialize_inner config (a : analysis) (p : Prog.t) =
   let profiles = a.a_profiles in
   let cands = select_for config a.a_master in
   (* Step 3: cost/benefit and transformation, best candidates first. *)
-  let report =
-    {
-      profiled = [];
-      guard_iids = Hashtbl.create 64;
-      guard_branch_iids = Hashtbl.create 64;
-      clone_blocks = [];
-      clone_iids = Hashtbl.create 256;
-      static_cloned = 0;
-      static_eliminated = 0;
-      assumptions = [];
-      final_vrp = vrp1;
-    }
-  in
+  let report = empty_report vrp1 in
   let consumed = Hashtbl.create 64 in
   let outcomes = ref [] in
   let assumptions = ref [] in
@@ -564,24 +604,12 @@ let specialize_inner config (a : analysis) (p : Prog.t) =
               (c.c_iid, Specialized { lo; hi; freq; benefit }) :: !outcomes)
       end)
     cands);
-  Validate.program p;
-  (* Step 4: propagate the guard-established ranges and fold constants. *)
-  let vrp_cfg = { Vrp.default_config with assumptions = !assumptions } in
-  let vrp2 = Vrp.run ~config:vrp_cfg p in
-  let eliminated_in_clones =
-    if config.constprop then begin
-      let cp = Constprop.run vrp2 p in
-      List.length
-        (List.filter
-           (fun iid -> Hashtbl.mem report.clone_iids iid)
-           cp.removed_iids)
-    end
-    else 0
+  (* Steps 4-5: propagate the guard-established ranges, fold constants
+     and assign final widths. *)
+  let vrp3, eliminated_in_clones =
+    finish_clones config ~clone_iids:report.clone_iids
+      ~assumptions:!assumptions p
   in
-  Validate.program p;
-  (* Step 5: final width assignment on the cleaned program. *)
-  let vrp3 = Vrp.run ~config:vrp_cfg p in
-  Validate.program p;
   let r =
     {
       report with
@@ -604,11 +632,104 @@ let specialize_inner config (a : analysis) (p : Prog.t) =
       r.profiled;
   r
 
-let analyze ?(config = default_config) ?vrp ?bb (p : Prog.t) =
-  Span.with_ ~name:"vrs:analyze" (fun () -> analyze_inner config ?vrp ?bb p)
+(* --- zero specialization (AZP-style) --------------------------------------- *)
+
+(* The min=max=0 slice of the pipeline: a candidate qualifies only when
+   its profile says the produced value is zero often enough — i.e. the
+   tightest profiled range is exactly [0,0] at frequency >= min_freq.
+   The guard is then the single-instruction Alpha zero test, and every
+   clone is entered under the assumption x = 0, so constant propagation
+   folds the dependent region down aggressively.  Deliberately cheap:
+   no range sweep, one fixed width target, one guard shape. *)
+let specialize_zero_inner config (a : analysis) (p : Prog.t) =
+  let table = Savings_table.default in
+  let vrp1 = a.a_vrp in
+  let counts = a.a_counts in
+  let profiles = a.a_profiles in
+  let cands = select_for config a.a_master in
+  let report = empty_report vrp1 in
+  let consumed = Hashtbl.create 64 in
+  let outcomes = ref [] in
+  let assumptions = ref [] in
+  let clone_blocks = ref [] in
+  let static_cloned = ref 0 in
+  Span.with_ ~name:"zspec:specialize" (fun () ->
+      List.iter
+        (fun c ->
+          if Hashtbl.mem consumed c.c_iid then
+            outcomes := (c.c_iid, Dependent_on_other) :: !outcomes
+          else
+            let tnv = Hashtbl.find profiles c.c_iid in
+            match Tnv.candidate_ranges tnv with
+            | (0L, 0L, freq) :: _ when freq >= config.min_freq -> (
+              let f = Prog.find_func p c.c_fname in
+              let cfg = Cfg.of_func f in
+              let ud = Usedef.compute f cfg in
+              let inst_count = make_inst_count f counts in
+              let ins_ops = Hashtbl.create 256 in
+              Prog.iter_ins f (fun _ ins ->
+                  Hashtbl.replace ins_ops ins.iid ins.op);
+              let sav =
+                estimate_savings ~table ~vrp:vrp1 ~ud ~ins_ops ~inst_count
+                  ~iid:c.c_iid ~new_width:(Width.needed_range 0L 0L)
+                  ~single:true
+              in
+              (* The zero test is one branch: guard_instr_count 0 0 = 1. *)
+              let cost = float_of_int c.c_count *. config.test_cost_nj in
+              let benefit = (freq *. sav) -. cost in
+              if benefit <= 0.0 then
+                outcomes := (c.c_iid, No_benefit) :: !outcomes
+              else
+                match
+                  specialize_point p f report ~iid:c.c_iid ~x:c.c_dst ~lo:0L
+                    ~hi:0L
+                with
+                | None -> outcomes := (c.c_iid, No_benefit) :: !outcomes
+                | Some (assumption, region_orig, region_clones, deps, cloned)
+                  ->
+                  assumptions := assumption :: !assumptions;
+                  static_cloned := !static_cloned + cloned;
+                  clone_blocks :=
+                    List.map (fun l -> (c.c_fname, l)) region_clones
+                    @ !clone_blocks;
+                  Hashtbl.iter
+                    (fun dep_iid () -> Hashtbl.replace consumed dep_iid ())
+                    deps;
+                  List.iter
+                    (fun l ->
+                      Array.iter
+                        (fun (ins : Prog.ins) ->
+                          Hashtbl.replace consumed ins.iid ())
+                        f.blocks.(Label.to_int l).body)
+                    region_orig;
+                  outcomes :=
+                    (c.c_iid, Specialized { lo = 0L; hi = 0L; freq; benefit })
+                    :: !outcomes)
+            | _ -> outcomes := (c.c_iid, No_benefit) :: !outcomes)
+        cands);
+  let vrp3, eliminated_in_clones =
+    finish_clones config ~clone_iids:report.clone_iids
+      ~assumptions:!assumptions p
+  in
+  {
+    report with
+    profiled = List.rev !outcomes;
+    clone_blocks = !clone_blocks;
+    static_cloned = !static_cloned;
+    static_eliminated = eliminated_in_clones;
+    assumptions = !assumptions;
+    final_vrp = vrp3;
+  }
+
+let analyze ?(config = default_config) ?vrp ?bb ?values (p : Prog.t) =
+  Span.with_ ~name:"vrs:analyze" (fun () ->
+      analyze_inner config ?vrp ?bb ?values p)
 
 let specialize ?(config = default_config) a (p : Prog.t) =
   specialize_inner config a p
+
+let specialize_zero ?(config = default_config) a (p : Prog.t) =
+  specialize_zero_inner config a p
 
 let run ?(config = default_config) (p : Prog.t) =
   Span.with_ ~name:"vrs" (fun () ->

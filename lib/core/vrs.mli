@@ -85,17 +85,29 @@ type analysis
 (** Number of profiled candidate points in the master list. *)
 val profiled_points : analysis -> int
 
-(** [analyze ?config ?vrp ?bb prog] runs the front half on [prog].
-    [vrp] hands in an already-computed-and-applied initial VRP result
-    (the analysis is then pure); without it, [Vrp.run] re-encodes [prog]
-    in place first.  [bb] hands in training basic-block counts plus the
-    run's dynamic instruction total, saving the first interpreter run.
+(** The profiling points (candidate instruction ids) in decision order —
+    what a client assembling a wire profile for this program should
+    sample. *)
+val candidate_iids : analysis -> int list
+
+(** [analyze ?config ?vrp ?bb ?values prog] runs the front half on
+    [prog].  [vrp] hands in an already-computed-and-applied initial VRP
+    result (the analysis is then pure); without it, [Vrp.run] re-encodes
+    [prog] in place first.  [bb] hands in training basic-block counts
+    plus the run's dynamic instruction total, saving the first
+    interpreter run.  [values] hands in streamed per-candidate
+    (value, count) observations — a wire profile — replacing the
+    value-profiling interpreter run entirely: each candidate's table is
+    rebuilt with {!Tnv.of_entries}, and candidates absent from [values]
+    profile as never-observed (so they specialize to nothing).  With
+    both [bb] and [values], the analysis runs no interpreter at all.
     Only [hot_fraction], [tnv_capacity] and [train_config] of [config]
     are consulted — the analysis is independent of the guard cost. *)
 val analyze :
   ?config:config ->
   ?vrp:Vrp.result ->
   ?bb:Interp.bb_counts * int ->
+  ?values:(int, (int64 * int) list) Hashtbl.t ->
   Prog.t ->
   analysis
 
@@ -107,6 +119,16 @@ val analyze :
     profile).  [specialize config (analyze config p) p] is byte-for-byte
     [run config p]. *)
 val specialize : ?config:config -> analysis -> Prog.t -> report
+
+(** [specialize_zero ?config analysis prog] applies the
+    zero-specialization back half (the AZP-style [zspec] pass): only
+    candidates whose tightest profiled range is exactly [0,0] at
+    frequency >= [min_freq] are considered, each guarded by the
+    single-instruction zero test, cloned, and constant-folded under the
+    x = 0 assumption.  Same in-place contract as {!specialize}; a cheap
+    high-yield subset of it, so running both on the same program state
+    is redundant — pick one per chain. *)
+val specialize_zero : ?config:config -> analysis -> Prog.t -> report
 
 (** [run ?config prog] applies the whole VRS pipeline to [prog] in place
     (including the embedded VRP passes and constant propagation) and

@@ -1,0 +1,28 @@
+(* Zero-value specialization (the AZP-style fast path): a thin driver
+   over {!Vrs.specialize_zero} that owns the pass telemetry.  The heavy
+   lifting — candidate selection, the zero-test guard, cloning and the
+   assumption-carrying cleanup passes — is shared with full VRS so the
+   two variants cannot drift. *)
+
+module Metrics = Ogc_obs.Metrics
+module Span = Ogc_obs.Span
+module Prog = Ogc_ir.Prog
+
+let m_runs = Metrics.counter "ogc_zspec_runs_total"
+let m_guards = Metrics.counter "ogc_zspec_guards_total"
+let m_pass_seconds = Metrics.histogram "ogc_zspec_pass_seconds"
+
+let specialize ?config a (p : Prog.t) =
+  Span.with_ ~name:"zspec" (fun () ->
+      let t0 = if Metrics.enabled () then Unix.gettimeofday () else 0.0 in
+      let r = Vrs.specialize_zero ?config a p in
+      if t0 > 0.0 then begin
+        Metrics.incr m_runs;
+        Metrics.add m_guards (float_of_int (Vrs.specialized_count r));
+        Metrics.observe m_pass_seconds (Unix.gettimeofday () -. t0)
+      end;
+      r)
+
+let run ?config ?vrp ?bb ?values (p : Prog.t) =
+  let a = Vrs.analyze ?config ?vrp ?bb ?values p in
+  specialize ?config a p

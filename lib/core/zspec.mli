@@ -1,0 +1,27 @@
+(** Zero-value specialization — the dedicated min=max=0 variant of VRS
+    (AZP-style zero fast paths, see PAPERS.md).
+
+    Candidates whose value profile says the produced value is zero with
+    frequency >= [min_freq] get a single-instruction zero-test guard
+    and a clone of the dependent region constant-folded under the x = 0
+    assumption.  Much cheaper to decide than full VRS (no range sweep)
+    while capturing its single highest-yield case. *)
+
+open Ogc_ir
+
+(** [specialize ?config analysis prog] applies the zero back half to
+    [prog] in place; same contract as {!Vrs.specialize}.  Records
+    zspec run/guard metrics and a [zspec] span. *)
+val specialize : ?config:Vrs.config -> Vrs.analysis -> Prog.t -> Vrs.report
+
+(** [run ?config ?vrp ?bb ?values prog] is {!Vrs.analyze} followed by
+    {!specialize}: the whole zero-specialization pipeline in place.
+    [values] substitutes a streamed wire profile for the value-profiling
+    training run (see {!Vrs.analyze}). *)
+val run :
+  ?config:Vrs.config ->
+  ?vrp:Vrp.result ->
+  ?bb:Interp.bb_counts * int ->
+  ?values:(int, (int64 * int) list) Hashtbl.t ->
+  Prog.t ->
+  Vrs.report

@@ -760,6 +760,18 @@ let handle_line t line =
         locked t (fun () -> t.routed <- t.routed + 1);
         let cands = candidates t key ~hits:0 ~promoted:false in
         fst (forward t ~t0 ~id ~hedge:false line cands)
+      | Protocol.Profile (preq, _) ->
+        (* A profile push must land where the program's analyses land —
+           the route_key owner — so the shard that serves the VRS
+           requests is the one whose epoch advances.  Single owner, no
+           hedging (a push is not idempotent: replaying it would double
+           the counts). *)
+        fl_op := "profile";
+        let rkey = Protocol.route_key preq in
+        fl_key := rkey;
+        locked t (fun () -> t.routed <- t.routed + 1);
+        let cands = candidates t rkey ~hits:0 ~promoted:false in
+        fst (forward t ~t0 ~id ~hedge:false line cands)
       | Protocol.Analyze req ->
         fl_op := "analyze";
         locked t (fun () -> t.routed <- t.routed + 1);

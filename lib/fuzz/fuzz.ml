@@ -34,12 +34,13 @@ let transforms_for ~inject ~seed ~index =
   Oracle.default_transforms @ random
   @ if inject then [ Oracle.injected_width_bug ] else []
 
-let generate ?(pressure = false) ~seed ~index () =
+let generate ?(pressure = false) ?(zero_bias = false) ~seed ~index () =
   let rng = Random.State.make [| seed; index; 0 |] in
   if index mod 3 = 2 then (Ir, Gen_ir.program rng)
   else
     let src =
-      if pressure then Gen_minic.pressure_program rng
+      if zero_bias then Gen_minic.zero_program rng
+      else if pressure then Gen_minic.pressure_program rng
       else Gen_minic.program rng
     in
     (Minic src, Ogc_minic.Minic.compile src)
@@ -57,8 +58,8 @@ type verdict =
       diffs : Oracle.diff list;
     }
 
-let check_one ~config ~inject ~pressure ~seed index =
-  match generate ~pressure ~seed ~index () with
+let check_one ~config ~inject ~pressure ~zero_bias ~seed index =
+  match generate ~pressure ~zero_bias ~seed ~index () with
   | exception Ogc_minic.Minic.Error msg -> V_gen_error msg
   | source, prog -> (
     let transforms = transforms_for ~inject ~seed ~index in
@@ -109,7 +110,7 @@ let shrink_failure ?(config = Oracle.interp_config) ~seed f =
     { f with f_min = Some minimized }
 
 let run ?jobs ?(inject = false) ?(shrink = false) ?(pressure = false)
-    ?(config = Oracle.interp_config) ~seed ~count () =
+    ?(zero_bias = false) ?(config = Oracle.interp_config) ~seed ~count () =
   let programs_total = Metrics.counter "ogc_fuzz_programs_total" in
   let chains_total = Metrics.counter "ogc_fuzz_chains_total" in
   let diffs_total = Metrics.counter "ogc_fuzz_diffs_total" in
@@ -117,7 +118,7 @@ let run ?jobs ?(inject = false) ?(shrink = false) ?(pressure = false)
   let verdicts =
     Span.with_ ~name:"fuzz:campaign" (fun () ->
         Pool.map ?jobs
-          (check_one ~config ~inject ~pressure ~seed)
+          (check_one ~config ~inject ~pressure ~zero_bias ~seed)
           (List.init count (fun i -> i)))
   in
   let summary =

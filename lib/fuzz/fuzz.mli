@@ -46,12 +46,20 @@ val transforms_for : inject:bool -> seed:int -> index:int -> Oracle.transform li
 (** The exact transform list program [index] of campaign [seed] is
     checked against; [inject] appends {!Oracle.injected_width_bug}. *)
 
-val generate : ?pressure:bool -> seed:int -> index:int -> unit -> source * Prog.t
+val generate :
+  ?pressure:bool ->
+  ?zero_bias:bool ->
+  seed:int ->
+  index:int ->
+  unit ->
+  source * Prog.t
 (** The exact program at [index] of campaign [seed].  [pressure]
     (default false) swaps the MiniC generator for
-    {!Gen_minic.pressure_program} (raw-IR indices are unaffected).
-    Raises {!Ogc_minic.Minic.Error} if the front end rejects a
-    generated source (a generator bug). *)
+    {!Gen_minic.pressure_program}; [zero_bias] (default false, takes
+    precedence over [pressure]) swaps it for {!Gen_minic.zero_program}
+    (raw-IR indices are unaffected either way).  Raises
+    {!Ogc_minic.Minic.Error} if the front end rejects a generated
+    source (a generator bug). *)
 
 val shrink_failure :
   ?config:Interp.config -> seed:int -> failure -> failure
@@ -64,6 +72,7 @@ val run :
   ?inject:bool ->
   ?shrink:bool ->
   ?pressure:bool ->
+  ?zero_bias:bool ->
   ?config:Interp.config ->
   seed:int ->
   count:int ->
@@ -74,4 +83,6 @@ val run :
     (default false) adds the known-bad transform; [shrink] (default
     false) minimizes every failure after the campaign; [pressure]
     (default false) generates high-register-pressure MiniC programs so
-    every campaign exercises the allocator's spill paths. *)
+    every campaign exercises the allocator's spill paths; [zero_bias]
+    (default false) generates zero-dominated MiniC programs so the
+    [zspec] chains in the oracle actually specialize. *)

@@ -182,15 +182,26 @@ let helper ?(funs = []) ?(max_arity = 2) globals name =
    may call [h_0..h_{i-1}].  Values live across a call can only survive
    in the few callee-saved registers, so the register allocator must
    spill; the defaults generate small programs that mostly color
-   cleanly. *)
-let program_gen ~pressure =
+   cleanly.
+
+   [~zero_bias] plants zero-dominated values so the [zspec] chains in
+   {!Oracle} actually fire: a few [long] globals initialized to 0 and a
+   [long] array that is declared but deliberately kept out of [env] (so
+   no generated statement ever writes it — statements only assign
+   [env.scalars] and [env.arrays], and globals are never assigned at
+   all).  A hot loop appended to [main] loads the zero array and
+   multiplies it in, giving VRS a wide, hot, always-zero candidate;
+   scalar initializers are also biased toward 0. *)
+let program_gen ~pressure ~zero_bias =
   let* nscalars = if pressure then int_range 18 30 else int_range 1 5 in
   let* narrays = int_range 0 2 in
   let* nglobals = int_range 0 2 in
   let* nfuns = if pressure then int_range 3 5 else int_range 0 2 in
+  let* nzeros = if zero_bias then int_range 1 3 else return 0 in
   let scalars = List.init nscalars (fun i -> Printf.sprintf "v%d" i) in
   let arrays = List.init narrays (fun i -> Printf.sprintf "arr%d" i) in
   let globals = List.init nglobals (fun i -> Printf.sprintf "g%d" i) in
+  let zeros = List.init nzeros (fun i -> Printf.sprintf "z%d" i) in
   let* helpers =
     if pressure then
       let rec build i acc funs =
@@ -208,20 +219,45 @@ let program_gen ~pressure =
       |> flatten_l
   in
   let funs = List.map snd helpers in
-  let env = { scalars; globals; arrays; readonly = []; funs } in
+  let env = { scalars; globals = globals @ zeros; arrays; readonly = []; funs } in
   let* tys =
     list_repeat nscalars (oneofl [ "char"; "short"; "int"; "long" ])
   in
   let* atys = list_repeat narrays (oneofl [ "char"; "short"; "int"; "long" ]) in
-  let* inits = list_repeat nscalars literal in
+  let scalar_init =
+    (* Zero-biased builds seed about half the locals with 0 so short
+       single-value ranges show up in the value profiles too. *)
+    if zero_bias then frequency [ (1, literal); (1, return "0") ] else literal
+  in
+  let* inits = list_repeat nscalars scalar_init in
   let* body = block env 2 6 in
   let* tail = block env 1 3 in
+  let* zero_kernel =
+    (* The planted zspec target: a hot loop over a never-written [long]
+       array ([zarr] is not in [env.arrays], so no statement can store to
+       it) whose load feeds a multiply — profiled min = max = 0, wide and
+       hot, exactly what the zero guard wants. *)
+    if not zero_bias then return []
+    else
+      let* bound = int_range 32 96 in
+      let zsum = String.concat " + " ("zarr[(zi * 7) & 63]" :: zeros) in
+      return
+        [
+          Printf.sprintf
+            "  for (int zi = 0; zi < %d; zi++) {\n\
+            \    emit((%s) * (zi + 3) + zi);\n\
+            \  }"
+            bound zsum;
+        ]
+  in
   let decls =
     List.concat
       [
         List.mapi
           (fun i g -> Printf.sprintf "long %s = %d;" g (i * 37 + 5))
           globals;
+        List.map (fun z -> Printf.sprintf "long %s = 0;" z) zeros;
+        (if zero_bias then [ Printf.sprintf "long zarr[%d];" arr_len ] else []);
         List.map2 (fun a t -> Printf.sprintf "%s %s[%d];" t a arr_len)
           arrays atys;
       ]
@@ -238,12 +274,16 @@ let program_gen ~pressure =
        @ [ "int main() {" ]
        @ local_decls
        @ [ body; tail ]
+       @ zero_kernel
        @ List.map (fun v -> Printf.sprintf "  emit(%s);" v) scalars
        @ [ "  return 0;"; "}" ]))
 
-let program = program_gen ~pressure:false
-let pressure_program = program_gen ~pressure:true
+let program = program_gen ~pressure:false ~zero_bias:false
+let pressure_program = program_gen ~pressure:true ~zero_bias:false
+let zero_program = program_gen ~pressure:false ~zero_bias:true
 let arbitrary_program = QCheck.make ~print:(fun s -> s) program
 
 let arbitrary_pressure_program =
   QCheck.make ~print:(fun s -> s) pressure_program
+
+let arbitrary_zero_program = QCheck.make ~print:(fun s -> s) zero_program

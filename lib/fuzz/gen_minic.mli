@@ -25,9 +25,21 @@ val pressure_program : string QCheck.Gen.t
     helpers.  Exercises the allocator's spilling paths; the same
     termination and memory-safety guarantees hold. *)
 
+val zero_program : string QCheck.Gen.t
+(** Like {!program} with the zero-bias knob on: a few [long] globals
+    initialized to 0, a [long] array that is declared but never written
+    by any generated statement, a hot loop in [main] that loads that
+    array into a multiply, and scalar initializers biased toward 0.
+    Plants zero-dominated wide hot values so the [zspec]
+    zero-specialization chains actually fire under the differential
+    oracle.  The same termination and memory-safety guarantees hold. *)
+
 val arbitrary_program : string QCheck.arbitrary
 (** {!program} packaged for [QCheck.Test.make] (prints the source on
     failure). *)
 
 val arbitrary_pressure_program : string QCheck.arbitrary
 (** {!pressure_program}, likewise packaged. *)
+
+val arbitrary_zero_program : string QCheck.arbitrary
+(** {!zero_program}, likewise packaged. *)

@@ -30,6 +30,7 @@ let default_transforms =
       "cleanup,vrp,encode-widths,bb-profile,value-profile,vrs:cost=30";
       "vrs:cost=50";
       "vrs:cost=110:constprop=false";
+      "vrp,encode-widths,bb-profile,value-profile,zspec:cost=50";
     ]
 
 let chain_pool =
@@ -45,6 +46,8 @@ let chain_pool =
     "vrs:cost=70";
     "vrs:cost=110";
     "vrs:cost=50:constprop=false";
+    "zspec:cost=30";
+    "zspec:cost=70";
   ]
 
 let random_chain st =

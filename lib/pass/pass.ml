@@ -3,6 +3,7 @@ module Prog_json = Ogc_ir.Prog_json
 module Interp = Ogc_ir.Interp
 module Vrp = Ogc_core.Vrp
 module Vrs = Ogc_core.Vrs
+module Zspec = Ogc_core.Zspec
 module Cleanup = Ogc_core.Cleanup
 module Constprop = Ogc_core.Constprop
 module J = Ogc_json.Json
@@ -18,6 +19,15 @@ type state = {
   mutable bb : (Interp.bb_counts * int) option;
   mutable profile : Vrs.analysis option;
   mutable report : Vrs.report option;
+  (* Environment the chain runs under, not an artifact fact: the caller's
+     streamed profile and the store's cross-run per-function VRP cache.
+     [wire_ok] IS artifact state — it says whether the program still has
+     the instruction ids [wire]'s observations were collected against
+     (every transformation clears it, so a pass downstream of e.g. VRS
+     falls back to training-run profiling). *)
+  mutable wire : Profile.t option;
+  mutable wire_ok : bool;
+  mutable fnc : Vrp.Fn_cache.t option;
 }
 
 let initial prog =
@@ -28,6 +38,9 @@ let initial prog =
     bb = None;
     profile = None;
     report = None;
+    wire = None;
+    wire_ok = true;
+    fnc = None;
   }
 
 (* Analysis facts are immutable once computed and keyed by instruction
@@ -35,13 +48,19 @@ let initial prog =
    copies only the program and shares the facts. *)
 let snapshot st = { st with prog = Prog.copy st.prog }
 
+(* [wire] and [fnc] stay the running chain's: a restored artifact must
+   not revive the environment of whichever chain stored it. *)
 let restore st snap =
   st.prog <- snap.prog;
   st.vrp <- snap.vrp;
   st.encoded <- snap.encoded;
   st.bb <- snap.bb;
   st.profile <- snap.profile;
-  st.report <- snap.report
+  st.report <- snap.report;
+  st.wire_ok <- snap.wire_ok
+
+(* The streamed profile only while its instruction ids still match. *)
+let wire_of st = if st.wire_ok then st.wire else None
 
 (* Transformations drop every analysis fact; each pass below re-installs
    exactly those it leaves valid. *)
@@ -49,7 +68,8 @@ let invalidate st =
   st.vrp <- None;
   st.encoded <- false;
   st.bb <- None;
-  st.profile <- None
+  st.profile <- None;
+  st.wire_ok <- false
 
 (* --- self-supplied prerequisites ------------------------------------------ *)
 
@@ -62,7 +82,7 @@ let ensure_vrp st =
   match st.vrp with
   | Some r -> r
   | None ->
-    let r = Vrp.analyze st.prog in
+    let r = Vrp.analyze ?fn_cache:st.fnc st.prog in
     st.vrp <- Some r;
     r
 
@@ -79,9 +99,14 @@ let ensure_bb st =
   match st.bb with
   | Some b -> b
   | None ->
-    let counts : Interp.bb_counts = Hashtbl.create 64 in
-    let out = Interp.run ~bb_counts:counts st.prog in
-    let b = (counts, out.Interp.steps) in
+    let b =
+      match wire_of st with
+      | Some w -> (w.Profile.p_bb, w.Profile.p_total)
+      | None ->
+        let counts : Interp.bb_counts = Hashtbl.create 64 in
+        let out = Interp.run ~bb_counts:counts st.prog in
+        (counts, out.Interp.steps)
+    in
     st.bb <- Some b;
     b
 
@@ -91,7 +116,8 @@ let ensure_profile st =
   | None ->
     let vrp = ensure_encoded st in
     let bb = ensure_bb st in
-    let a = Vrs.analyze ~vrp ~bb st.prog in
+    let values = Option.map Profile.values_table (wire_of st) in
+    let a = Vrs.analyze ~vrp ~bb ?values st.prog in
     st.profile <- Some a;
     a
 
@@ -142,7 +168,10 @@ let vrp_pass =
           | "conventional" -> Vrp.conventional_config
           | v -> Fmt.failwith "vrp: unknown variant %S" v
         in
-        st.vrp <- Some (Vrp.analyze ~config ~jobs:(cfg_int "jobs" cfg) st.prog);
+        st.vrp <-
+          Some
+            (Vrp.analyze ~config ~jobs:(cfg_int "jobs" cfg)
+               ?fn_cache:st.fnc st.prog);
         st.encoded <- false;
         st.profile <- None;
         Printf.sprintf "%s fixpoint over %d instructions"
@@ -206,12 +235,42 @@ let vrs_pass =
         let rep = Vrs.specialize ~config a st.prog in
         st.report <- Some rep;
         (* The report's final VRP pass ran on (and re-encoded) the
-           transformed program; the training profiles did not. *)
+           transformed program; the training profiles did not, and a
+           streamed profile no longer matches the cloned code. *)
         st.vrp <- Some rep.Vrs.final_vrp;
         st.encoded <- true;
         st.bb <- None;
         st.profile <- None;
+        st.wire_ok <- false;
         Printf.sprintf "%d specialized, %d cloned, %d eliminated"
+          (Vrs.specialized_count rep)
+          rep.Vrs.static_cloned rep.Vrs.static_eliminated);
+  }
+
+let zspec_pass =
+  {
+    name = "zspec";
+    doc = "zero-value specialization: single-instruction zero-test guards \
+           with constant-folded zero clones (min=max=0 profiles)";
+    defaults = [ ("cost", J.Int 50); ("constprop", J.Bool true) ];
+    exec =
+      (fun cfg st ->
+        let a = ensure_profile st in
+        let config =
+          {
+            Vrs.default_config with
+            test_cost_nj = Vrs.cost_of_label (cfg_int "cost" cfg);
+            constprop = cfg_bool "constprop" cfg;
+          }
+        in
+        let rep = Zspec.specialize ~config a st.prog in
+        st.report <- Some rep;
+        st.vrp <- Some rep.Vrs.final_vrp;
+        st.encoded <- true;
+        st.bb <- None;
+        st.profile <- None;
+        st.wire_ok <- false;
+        Printf.sprintf "%d zero-specialized, %d cloned, %d eliminated"
           (Vrs.specialized_count rep)
           rep.Vrs.static_cloned rep.Vrs.static_eliminated);
   }
@@ -234,8 +293,14 @@ let constprop_pass =
 let registry =
   [
     cleanup_pass; vrp_pass; encode_pass; bb_profile_pass; value_profile_pass;
-    vrs_pass; constprop_pass;
+    vrs_pass; zspec_pass; constprop_pass;
   ]
+
+(* Passes whose output depends on the (streamed) profile: a fresher
+   profile epoch must re-address exactly these artifacts and no others,
+   so the chain-key salt below is applied from the first of them on. *)
+let profile_dependent name =
+  List.mem name [ "bb-profile"; "value-profile"; "vrs"; "zspec" ]
 
 let find name = List.find_opt (fun p -> String.equal p.name name) registry
 
@@ -335,6 +400,11 @@ module Store = struct
     by_pass : (string, per_pass) Hashtbl.t;
     mutable tick : int;
     mutable fallback : (pass:string -> string -> state option) option;
+    (* Cross-run per-function VRP memo, shared by every chain that runs
+       against this store: an epoch bump re-addresses the downstream
+       artifacts, but unchanged functions still replay their fragments
+       here instead of re-running the fixpoint's final pass. *)
+    fn_cache : Vrp.Fn_cache.t;
   }
 
   let create ?(capacity = 64) () =
@@ -345,7 +415,10 @@ module Store = struct
       by_pass = Hashtbl.create 8;
       tick = 0;
       fallback = None;
+      fn_cache = Vrp.Fn_cache.create ();
     }
+
+  let fn_cache t = t.fn_cache
 
   let locked t f =
     Mutex.lock t.m;
@@ -479,15 +552,32 @@ type step = {
   t_summary : string;
 }
 
-let run_chain ?store chain prog =
+let run_chain ?store ?wire chain prog =
   let st = initial prog in
+  st.wire <- wire;
+  (match store with
+  | Some s -> st.fnc <- Some (Store.fn_cache s)
+  | None -> ());
+  let epoch = match wire with Some w -> Profile.epoch w | None -> 0 in
   (* Keys are only needed (and only worth the Prog_json serialization)
      when a store is attached. *)
   let key = ref (match store with Some _ -> digest_prog prog | None -> "") in
   let steps =
     List.map
       (fun inst ->
-        if store <> None then key := chain_key inst !key;
+        if store <> None then begin
+          key := chain_key inst !key;
+          (* Profile-dependent artifacts are additionally addressed by
+             the profile epoch, so "same program, fresher profile"
+             re-runs them while the front keeps hitting.  Epoch 0 (no
+             profile pushed, or a legacy client) leaves every key
+             byte-identical to the pre-profile scheme. *)
+          if epoch > 0 && profile_dependent inst.pass.name then
+            key :=
+              Digest.to_hex
+                (Digest.string
+                   (Printf.sprintf "%s\x00profile-epoch=%d" !key epoch))
+        end;
         let cached =
           match store with
           | None -> false
@@ -533,4 +623,4 @@ let run_chain ?store chain prog =
   in
   (st, steps)
 
-let run ?store spec prog = run_chain ?store (parse_chain spec) prog
+let run ?store ?wire spec prog = run_chain ?store ?wire (parse_chain spec) prog

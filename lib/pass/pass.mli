@@ -41,12 +41,25 @@ type state = {
   mutable profile : Ogc_core.Vrs.analysis option;
       (** VRS candidate master list + TNV value profiles *)
   mutable report : Ogc_core.Vrs.report option;  (** last VRS report *)
+  mutable wire : Profile.t option;
+      (** streamed execution profile the chain was invoked with —
+          environment, not an artifact fact (never snapshotted) *)
+  mutable wire_ok : bool;
+      (** whether [prog] still carries the instruction ids [wire]'s
+          observations refer to; cleared by every transformation *)
+  mutable fnc : Ogc_core.Vrp.Fn_cache.t option;
+      (** the attached store's cross-run per-function VRP cache —
+          environment, like [wire] *)
 }
 
+val wire_of : state -> Profile.t option
+(** The streamed profile, but only while the program still has the
+    instruction ids it was collected against. *)
+
 (** A registered pass: [cleanup], [vrp], [encode-widths], [bb-profile],
-    [value-profile], [vrs] or [constprop].  A pass that needs an
-    upstream fact the chain did not provide computes it on the spot with
-    default configurations. *)
+    [value-profile], [vrs], [zspec] or [constprop].  A pass that needs
+    an upstream fact the chain did not provide computes it on the spot
+    with default configurations. *)
 type t = private {
   name : string;
   doc : string;
@@ -57,9 +70,14 @@ type t = private {
 
 val registry : t list
 (** Pipeline order: cleanup, vrp, encode-widths, bb-profile,
-    value-profile, vrs, constprop. *)
+    value-profile, vrs, zspec, constprop. *)
 
 val find : string -> t option
+
+val profile_dependent : string -> bool
+(** Whether a pass's output depends on the execution profile
+    ([bb-profile], [value-profile], [vrs], [zspec]) — these are the
+    passes whose artifact addresses fold in the profile epoch. *)
 
 (** A pass plus its canonical configuration (every key present, registry
     key order — the digest input). *)
@@ -117,6 +135,10 @@ module Store : sig
 
   val entries : t -> int
 
+  val fn_cache : t -> Ogc_core.Vrp.Fn_cache.t
+  (** The store's cross-run per-function VRP cache, threaded into every
+      chain run against this store ({!Ogc_core.Vrp.Fn_cache}). *)
+
   val pass_stats : t -> (string * int * int) list
   (** Per pass name (sorted): store hits and misses since creation. *)
 
@@ -134,10 +156,26 @@ type step = {
   t_summary : string;  (** one-line human summary *)
 }
 
-val run_chain : ?store:Store.t -> instance list -> Prog.t -> state * step list
+val run_chain :
+  ?store:Store.t ->
+  ?wire:Profile.t ->
+  instance list ->
+  Prog.t ->
+  state * step list
 (** Run the chain over [prog] (transformed in place — but on a store hit
     the state's program is replaced by the cached snapshot's copy, so
-    callers must keep using [state.prog], not [prog]). *)
+    callers must keep using [state.prog], not [prog]).
 
-val run : ?store:Store.t -> string -> Prog.t -> state * step list
-(** [run ?store spec prog] = [run_chain ?store (parse_chain spec) prog]. *)
+    [wire] supplies a streamed execution profile: profile-dependent
+    passes consume it in place of their training interpreter runs (while
+    the program still carries the instruction ids it refers to), and —
+    when its epoch is positive — every profile-dependent step's artifact
+    address is salted with that epoch, so a fresher profile re-runs
+    exactly the profile-dependent suffix while the front of the chain
+    keeps hitting the store.  Epoch 0 (or no [wire]) leaves every
+    address byte-identical to a profile-less run. *)
+
+val run :
+  ?store:Store.t -> ?wire:Profile.t -> string -> Prog.t -> state * step list
+(** [run ?store ?wire spec prog] =
+    [run_chain ?store ?wire (parse_chain spec) prog]. *)

@@ -40,6 +40,10 @@ type op =
   | Put of string * J.t
   | Trace
   | Flight
+  | Profile of request * Ogc_pass.Profile.t
+      (** a client streaming back what it observed running the program:
+          the request names the program (route_key addresses the
+          profile), the payload is the decoded delta *)
 
 (* --- protocol version ----------------------------------------------------- *)
 
@@ -166,10 +170,21 @@ let op_of_json j =
     | r -> Put (key_arg j, r))
   | Some "trace" -> Trace
   | Some "flight" -> Flight
+  | Some "profile" -> (
+    (* Version-gated like ["proto"] itself: an op a legacy client never
+       sends, carrying the program payload (to address the profile) and
+       the observation delta. *)
+    match J.member "profile" j with
+    | J.Null -> fail "member \"profile\": required"
+    | d -> (
+      match Ogc_pass.Profile.of_json d with
+      | delta -> Profile (request_of_json j, delta)
+      | exception Ogc_pass.Profile.Malformed m ->
+        fail "member \"profile\": %s" m))
   | Some op ->
     fail
       "unknown op %S (expected analyze, stats, ping, metrics, fetch, put, \
-       trace or flight)"
+       trace, flight or profile)"
       op
 
 (* --- cache key ------------------------------------------------------------ *)
@@ -185,19 +200,22 @@ let payload_kind req =
   | Prog_tree p -> ("prog", J.to_string ~indent:false p)
   | Workload w -> ("workload", w)
 
-let cache_key req =
+let cache_key ?(epoch = 0) req =
   let kind, body = payload_kind req in
   let canonical =
     J.to_string ~indent:false
       (J.Obj
-         [ ("analyzer", J.Str Version.version);
-           ("kind", J.Str kind);
-           ("body", J.Str body);
-           ("input", J.Str (input_name req.input));
-           ("pass", J.Str (pass_name req.pass));
-           ("policy", J.Str (Policy.name req.policy));
-           ("cost", J.Int req.cost);
-           ("return_program", J.Bool req.return_program) ])
+         ([ ("analyzer", J.Str Version.version);
+            ("kind", J.Str kind);
+            ("body", J.Str body);
+            ("input", J.Str (input_name req.input));
+            ("pass", J.Str (pass_name req.pass));
+            ("policy", J.Str (Policy.name req.policy));
+            ("cost", J.Int req.cost);
+            ("return_program", J.Bool req.return_program) ]
+         (* Epoch 0 adds nothing, so programs nobody profiles — and
+            every legacy client — keep byte-identical addresses. *)
+         @ (if epoch > 0 then [ ("profile_epoch", J.Int epoch) ] else [])))
   in
   Cache.key_of_string canonical
 
@@ -257,7 +275,7 @@ let load req input =
    (e.g. two VRS costs) reuse the common prefix artifacts — the VRP
    fixpoint and the training/value profiles — instead of recomputing
    them. *)
-let build ?store req =
+let build ?store ?wire req =
   match req.pass with
   | P_none ->
     let p = load req req.input in
@@ -269,11 +287,22 @@ let build ?store req =
     (base, st.Pass.prog)
   | P_vrs ->
     let p = load req Workload.Train in
+    (* With a streamed profile the training runs are replaced by the
+       client's observations, and the chain grows a zero-specialization
+       tail — always-zero observations are exactly what [zspec] wants.
+       Without one (every legacy client) the chain is byte-identical to
+       what it always was. *)
     let chain =
-      Printf.sprintf "vrp,encode-widths,bb-profile,value-profile,vrs:cost=%d"
-        req.cost
+      match wire with
+      | Some _ ->
+        Printf.sprintf
+          "vrp,encode-widths,bb-profile,value-profile,vrs:cost=%d,zspec:cost=%d"
+          req.cost req.cost
+      | None ->
+        Printf.sprintf "vrp,encode-widths,bb-profile,value-profile,vrs:cost=%d"
+          req.cost
     in
-    let st, _ = Pass.run ?store chain p in
+    let st, _ = Pass.run ?store ?wire chain p in
     let p = st.Pass.prog in
     set_scale_if p req.input;
     (load req req.input, p)
@@ -294,14 +323,14 @@ let dynamic_widths stats =
     (fun (w, frac) -> (Ogc_isa.Width.to_string w, J.Float frac))
     (Results.width_distribution stats)
 
-let analyze ?store req =
+let analyze ?store ?wire req =
   (* The spans must never influence the payload: with tracing on or off,
      with a cold or warm store, the same request yields byte-identical
      JSON (tested). *)
   let base, p =
     Span.with_ ~name:"build"
       ~args:[ ("pass", J.Str (pass_name req.pass)) ]
-      (fun () -> build ?store req)
+      (fun () -> build ?store ?wire req)
   in
   let opt_stats = Pipeline.simulate ~policy:req.policy p in
   let base_stats = Pipeline.simulate ~policy:Policy.No_gating base in

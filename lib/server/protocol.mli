@@ -17,7 +17,7 @@
     in the result), ["id"] (opaque, echoed in the response),
     ["trace_id"]/["parent_span"] (distributed-trace context), and ["op"]
     (["analyze"] default, ["stats"], ["ping"], ["metrics"], ["trace"],
-    ["flight"]).
+    ["flight"], ["profile"]).
 
     The result payload of an analysis contains the static and dynamic
     width histograms of the optimized program, modelled energy / IPC and
@@ -61,6 +61,12 @@ type op =
       (** replication: install a result under its key *)
   | Trace  (** return this process's span rings ({!Ogc_obs.Span.export}) *)
   | Flight  (** return the flight-recorder ring ({!Ogc_obs.Flight}) *)
+  | Profile of request * Ogc_pass.Profile.t
+      (** a client streaming back execution observations for a program
+          it previously submitted: the request names the program (its
+          {!route_key} addresses the accumulated profile), the payload
+          is the decoded ["profile"] delta.  Version-gated like
+          ["proto"] — legacy clients never send it. *)
 
 val proto_version : int
 (** Version of this wire protocol (carried as the ["proto"] request
@@ -82,11 +88,15 @@ val op_of_json : Ogc_json.Json.t -> op
 val pass_name : pass -> string
 val input_name : Ogc_workloads.Workload.input -> string
 
-val cache_key : request -> string
+val cache_key : ?epoch:int -> request -> string
 (** Content address of a request: MD5 over a canonical rendering of the
     program payload, every result-affecting option, and the analyzer
     version — never over [id] or [deadline_ms].  Two requests with equal
-    keys receive byte-identical result payloads. *)
+    keys receive byte-identical result payloads.  [epoch] (default 0) is
+    the program's profile epoch: a positive epoch joins the digest
+    input, so each profile push re-addresses the whole result, while
+    epoch 0 — no profile, and every legacy client — leaves the key
+    byte-identical to what it always was. *)
 
 val route_key : request -> string
 (** Shard-placement address: MD5 over the program payload and analyzer
@@ -95,12 +105,19 @@ val route_key : request -> string
     equal route keys to one shard concentrates that program's
     chain-prefix artifacts in a single warm {!Ogc_pass.Pass.Store}. *)
 
-val analyze : ?store:Ogc_pass.Pass.Store.t -> request -> Ogc_json.Json.t
+val analyze :
+  ?store:Ogc_pass.Pass.Store.t ->
+  ?wire:Ogc_pass.Profile.t ->
+  request ->
+  Ogc_json.Json.t
 (** Run the requested pass chain and simulation; the cacheable result
     payload.  [store] is an {!Ogc_pass.Pass.Store} of intermediate
     artifacts: requests sharing a program and a chain prefix (e.g. two
     VRS requests differing only in [cost]) then reuse the VRP fixpoint
     and the training/value profiles instead of recomputing them — with
-    byte-identical results, warm or cold.  Raises [Parse_error] on bad
-    programs and [Failure] when an optimization changes the program's
-    output. *)
+    byte-identical results, warm or cold.  [wire] is the program's
+    accumulated streamed profile: a VRS request then consumes the
+    client's observations in place of its training interpreter runs and
+    grows a [zspec] (zero-specialization) tail on its chain.  Raises
+    [Parse_error] on bad programs and [Failure] when an optimization
+    changes the program's output. *)

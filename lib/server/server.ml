@@ -11,7 +11,7 @@ exception Deadline_exceeded
    lines that never parsed far enough to name an op. *)
 let known_ops =
   [ "analyze"; "stats"; "ping"; "metrics"; "fetch"; "put"; "trace"; "flight";
-    "invalid" ]
+    "profile"; "respec"; "invalid" ]
 
 let m_requests =
   List.map
@@ -38,6 +38,10 @@ type config = {
   shard_id : string option;
   slow_ms : float option; (* flight-recorder slow-request threshold *)
   inject_slow_ms : float option; (* fault injection: delay every analyze *)
+  respecialize : bool;
+      (* serve the previous-epoch artifact and re-specialize in the
+         background when a profile push outdates a cached result;
+         [false] recomputes synchronously instead *)
 }
 
 let default_config addr =
@@ -48,7 +52,8 @@ let default_config addr =
     cache_dir = None;
     shard_id = None;
     slow_ms = None;
-    inject_slow_ms = None }
+    inject_slow_ms = None;
+    respecialize = true }
 
 let addr_string = function
   | Unix_sock path -> path
@@ -65,10 +70,19 @@ type t = {
       (* per-pass artifact tier under the whole-result cache: a request
          that misses [cache] still reuses the chain-prefix artifacts
          (VRP fixpoint, training profiles) computed by earlier requests *)
+  profiles : Profile_store.t;
+      (* accumulated execution profiles, one per program (route_key) *)
   pending : int Atomic.t;  (* analyses queued or running *)
   stopping : bool Atomic.t;
   started : float;
   m : Mutex.t;  (* guards the mutable fields below *)
+  served : (string, int * string) Hashtbl.t;
+      (* epoch-free cache key -> (epoch, epoch-salted key) of the newest
+         artifact computed for that request shape: where the
+         stale-while-revalidate path finds the previous-epoch answer *)
+  respec_inflight : (string, unit) Hashtbl.t;
+      (* epoch-salted keys with a background re-specialization queued or
+         running — dedup so a burst of stale hits schedules one *)
   mutable conns : Unix.file_descr list;
   mutable threads : Thread.t list;
   mutable requests : int;
@@ -79,6 +93,8 @@ type t = {
   mutable fetches : int;  (* replication fetch ops served *)
   mutable fetch_hits : int;  (* ... that found the key *)
   mutable puts : int;  (* replication put ops accepted *)
+  mutable stale_served : int;  (* previous-epoch answers served *)
+  mutable respecs : int;  (* background re-specializations completed *)
   latencies : float array;  (* ring of the last [lat_window] latencies, ms *)
   mutable lat_n : int;
 }
@@ -132,10 +148,13 @@ let create cfg =
     pool = Pool.create ?jobs:cfg.jobs ();
     cache = Cache.create ~capacity:cfg.cache_capacity ?dir:cache_dir ();
     passes = Ogc_pass.Pass.Store.create ~capacity:cfg.cache_capacity ();
+    profiles = Profile_store.create ~capacity:cfg.cache_capacity ();
     pending = Atomic.make 0;
     stopping = Atomic.make false;
     started = Unix.gettimeofday ();
     m = Mutex.create ();
+    served = Hashtbl.create 64;
+    respec_inflight = Hashtbl.create 8;
     conns = [];
     threads = [];
     requests = 0;
@@ -146,6 +165,8 @@ let create cfg =
     fetches = 0;
     fetch_hits = 0;
     puts = 0;
+    stale_served = 0;
+    respecs = 0;
     latencies = Array.make lat_window 0.0;
     lat_n = 0 }
 
@@ -169,14 +190,16 @@ let percentile = Metrics.percentile_sorted
 
 let stats_json t =
   let c = Cache.stats t.cache in
-  let lats, counters, repl =
+  let lats, counters, repl, stale =
     locked t (fun () ->
         ( Array.sub t.latencies 0 (min t.lat_n lat_window),
           (t.requests, t.analyses, t.errors, t.rejected, t.expired, t.lat_n),
-          (t.fetches, t.fetch_hits, t.puts) ))
+          (t.fetches, t.fetch_hits, t.puts),
+          (t.stale_served, t.respecs) ))
   in
   let requests, analyses, errors, rejected, expired, lat_n = counters in
   let fetches, fetch_hits, puts = repl in
+  let stale_served, respecs = stale in
   Array.sort compare lats;
   let lookups = c.Cache.hits + c.Cache.misses in
   J.Obj
@@ -227,6 +250,22 @@ let stats_json t =
          [ ("fetches", J.Int fetches);
            ("fetch_hits", J.Int fetch_hits);
            ("puts", J.Int puts) ]);
+      ("profile",
+       (let programs, pushes = Profile_store.stats t.profiles in
+        let fn_hits, fn_runs =
+          Ogc_core.Vrp.Fn_cache.stats
+            (Ogc_pass.Pass.Store.fn_cache t.passes)
+        in
+        J.Obj
+          [ ("programs", J.Int programs);
+            ("pushes", J.Int pushes);
+            ("stale_served", J.Int stale_served);
+            ("respecializations", J.Int respecs);
+            (* per-function VRP memo behind every chain this store ran:
+               hits are functions whose final recorded pass was replayed
+               rather than recomputed *)
+            ("fn_cache",
+             J.Obj [ ("hits", J.Int fn_hits); ("runs", J.Int fn_runs) ]) ]));
       ("latency_ms",
        J.Obj
          [ ("count", J.Int lat_n);
@@ -268,13 +307,141 @@ type flight_info = {
   mutable fi_status : string;
 }
 
+let shard_name t =
+  match t.cfg.shard_id with Some i -> "shard-" ^ i | None -> "serve"
+
+(* One background re-specialization per (request shape, epoch),
+   admission-gated by the same bounded queue as foreground analyses;
+   when the queue is full the respec is simply dropped — the next stale
+   hit retries.  The task records a synthetic "respec" flight entry so
+   the recorder shows background work next to the requests that rode on
+   stale answers while it ran. *)
+let schedule_respec t ~(req : Protocol.request) ~rkey ~wire ~epoch ~key
+    ~base_key =
+  let fresh =
+    locked t (fun () ->
+        if Hashtbl.mem t.respec_inflight key then false
+        else begin
+          Hashtbl.replace t.respec_inflight key ();
+          true
+        end)
+  in
+  if fresh then begin
+    if Atomic.fetch_and_add t.pending 1 >= t.cfg.queue_limit then begin
+      Atomic.decr t.pending;
+      locked t (fun () -> Hashtbl.remove t.respec_inflight key)
+    end
+    else begin
+      let submitted = Unix.gettimeofday () in
+      ignore
+        (Pool.submit t.pool (fun () ->
+             let t1 = Unix.gettimeofday () in
+             let outcome =
+               try
+                 let payload =
+                   Span.with_ ~name:"respecialize"
+                     ~args:[ ("epoch", J.Int epoch) ]
+                     (fun () ->
+                       J.to_string ~indent:false
+                         (Protocol.analyze ~store:t.passes ?wire req))
+                 in
+                 Cache.store t.cache key payload;
+                 locked t (fun () ->
+                     t.respecs <- t.respecs + 1;
+                     match Hashtbl.find_opt t.served base_key with
+                     | Some (e, _) when e >= epoch -> ()
+                     | _ -> Hashtbl.replace t.served base_key (epoch, key));
+                 "ok"
+               with _ ->
+                 locked t (fun () -> t.errors <- t.errors + 1);
+                 "error"
+             in
+             Atomic.decr t.pending;
+             locked t (fun () -> Hashtbl.remove t.respec_inflight key);
+             Flight.record
+               { Flight.f_id = req.Protocol.id;
+                 f_trace = None;
+                 f_key = rkey;
+                 f_shard = shard_name t;
+                 f_op = "respec";
+                 f_queue_ms = (t1 -. submitted) *. 1000.0;
+                 f_hedged = false;
+                 f_cache = "miss";
+                 f_outcome = outcome;
+                 f_ms = (Unix.gettimeofday () -. t1) *. 1000.0;
+                 f_ts = t1 };
+             if Metrics.enabled () then
+               match List.assoc_opt "respec" m_requests with
+               | Some c -> Metrics.incr c
+               | None -> ()))
+    end
+  end
+
+(* Stale-while-revalidate: a profile push re-addressed this request (its
+   epoch joined the cache key), so the fresh key misses — answer from
+   the newest previous-epoch artifact immediately and re-specialize in
+   the background.  [None] means no usable stale answer: compute
+   synchronously as usual. *)
+let serve_stale t ~t0 ~fi ?id ~(req : Protocol.request) ~rkey ~wire ~epoch
+    ~key ~base_key () =
+  if epoch = 0 || not t.cfg.respecialize then None
+  else
+    match
+      locked t (fun () ->
+          match Hashtbl.find_opt t.served base_key with
+          | Some (e_old, old_key) when e_old < epoch -> Some (e_old, old_key)
+          | _ -> None)
+    with
+    | None -> None
+    | Some (e_old, old_key) -> (
+      match Cache.find t.cache old_key with
+      | None -> None
+      | Some payload ->
+        schedule_respec t ~req ~rkey ~wire ~epoch ~key ~base_key;
+        record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
+        fi.fi_cache <- "stale";
+        locked t (fun () -> t.stale_served <- t.stale_served + 1);
+        Some
+          (envelope ?id ~status:"ok"
+             [ ("cache", J.Str "stale");
+               ("profile_epoch", J.Int epoch);
+               ("served_epoch", J.Int e_old);
+               ("result", J.of_string payload) ]))
+
 let handle_analyze t ~t0 ~fi (req : Protocol.request) =
   (match t.cfg.inject_slow_ms with
   | Some ms when ms > 0.0 -> Thread.delay (ms /. 1000.0)
   | _ -> ());
   let id = req.Protocol.id in
-  let key = Protocol.cache_key req in
-  fi.fi_key <- Protocol.route_key req;
+  let rkey = Protocol.route_key req in
+  fi.fi_key <- rkey;
+  (* One consistent snapshot of the program's accumulated profile: the
+     epoch that salts the key is the epoch of the very copy the chain
+     will consume.  Only VRS chains consume profiles — every other pass
+     keeps its epoch-free key, so a push never invalidates it. *)
+  let wire =
+    match req.Protocol.pass with
+    | Protocol.P_vrs -> Profile_store.find t.profiles rkey
+    | _ -> None
+  in
+  let epoch =
+    match wire with Some w -> Ogc_pass.Profile.epoch w | None -> 0
+  in
+  let key = Protocol.cache_key ~epoch req in
+  let base_key = if epoch = 0 then key else Protocol.cache_key req in
+  (* Record even at epoch 0: the pre-push artifact is exactly what the
+     stale path wants to serve after the first push. *)
+  let note_served () =
+    if req.Protocol.pass = Protocol.P_vrs then
+      locked t (fun () ->
+          (* advisory map (a dangling entry just misses the stale path),
+             so a hard reset is an acceptable bound *)
+          if Hashtbl.length t.served > 4 * t.cfg.cache_capacity then
+            Hashtbl.reset t.served;
+          match Hashtbl.find_opt t.served base_key with
+          | Some (e, _) when e >= epoch -> ()
+          | _ -> Hashtbl.replace t.served base_key (epoch, key))
+  in
   let fail status =
     fi.fi_status <- status;
     envelope ?id ~status
@@ -283,9 +450,15 @@ let handle_analyze t ~t0 ~fi (req : Protocol.request) =
   | Some payload ->
     record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
     fi.fi_cache <- "hit";
+    note_served ();
     envelope ?id ~status:"ok"
       [ ("cache", J.Str "hit"); ("result", J.of_string payload) ]
   | None ->
+    match
+      serve_stale t ~t0 ~fi ?id ~req ~rkey ~wire ~epoch ~key ~base_key ()
+    with
+    | Some response -> response
+    | None ->
     if Option.fold ~none:false ~some:(fun ms -> ms <= 0) req.Protocol.deadline_ms
     then begin
       locked t (fun () -> t.expired <- t.expired + 1);
@@ -320,7 +493,7 @@ let handle_analyze t ~t0 ~fi (req : Protocol.request) =
               ~args:[ ("pass", J.Str (Protocol.pass_name req.Protocol.pass)) ]
               (fun () ->
                 J.to_string ~indent:false
-                  (Protocol.analyze ~store:t.passes req)))
+                  (Protocol.analyze ~store:t.passes ?wire req)))
       in
       let outcome =
         match Pool.await ticket with
@@ -331,6 +504,7 @@ let handle_analyze t ~t0 ~fi (req : Protocol.request) =
       match outcome with
       | Ok payload ->
         Cache.store t.cache key payload;
+        note_served ();
         record_latency t ((Unix.gettimeofday () -. t0) *. 1000.0);
         locked t (fun () -> t.analyses <- t.analyses + 1);
         fi.fi_cache <- "miss";
@@ -347,9 +521,6 @@ let handle_analyze t ~t0 ~fi (req : Protocol.request) =
         locked t (fun () -> t.errors <- t.errors + 1);
         fail "error" [ ("error", J.Str (Printexc.to_string e)) ]
     end
-
-let shard_name t =
-  match t.cfg.shard_id with Some i -> "shard-" ^ i | None -> "serve"
 
 let handle_line t line =
   let t0 = Unix.gettimeofday () in
@@ -421,6 +592,16 @@ let handle_line t line =
         Cache.store t.cache key (J.to_string ~indent:false result);
         locked t (fun () -> t.puts <- t.puts + 1);
         ("put", envelope ?id ~status:"ok" [ ("op", J.Str "put") ])
+      | Protocol.Profile (preq, delta) ->
+        (* Accumulate the observation delta under the program's identity
+           and answer with the bumped epoch — the client's receipt that
+           subsequent VRS answers will (eventually) reflect it. *)
+        let rkey = Protocol.route_key preq in
+        fi.fi_key <- rkey;
+        let epoch = Profile_store.push t.profiles rkey delta in
+        ( "profile",
+          envelope ?id ~status:"ok"
+            [ ("op", J.Str "profile"); ("epoch", J.Int epoch) ] )
       | Protocol.Analyze req ->
         fi.fi_trace <- req.Protocol.trace_id;
         (* Install the wire trace context around the request span: the

@@ -19,6 +19,18 @@
     recomputing them ([stats] reports per-pass hit/miss counts under
     ["passes"]).
 
+    {b Online specialization.}  The [profile] op lets clients stream
+    back what they observed running a program (block counts, TNV value
+    observations, always-zero counts).  Pushes accumulate in a
+    {!Profile_store} and bump the program's {e epoch}; VRS requests then
+    consume the accumulated profile instead of the training interpreter
+    and grow a [zspec] zero-specialization tail, with the epoch salting
+    their cache keys.  When a push outdates a cached result the server
+    answers stale-while-revalidate: the previous-epoch artifact is
+    served immediately ([{"cache":"stale"}]) while a background
+    re-specialization runs on the worker pool ([stats] reports all of
+    this under ["profile"]).
+
     Shutdown is graceful: {!stop} (or SIGINT after {!install_sigint})
     makes {!run} stop accepting, lets every in-flight request finish and
     its response flush, then retires the connection threads and the
@@ -45,16 +57,21 @@ type config = {
   inject_slow_ms : float option;
       (** fault injection: delay every analyze by this much, to make a
           deliberately slow shard for hedging/auto-capture smoke tests *)
+  respecialize : bool;
+      (** stale-while-revalidate (default [true]): when a [profile] push
+          has outdated a cached VRS result, answer from the
+          previous-epoch artifact ([{"cache":"stale"}]) and re-specialize
+          in the background; [false] recomputes synchronously instead *)
 }
 
 val addr_string : addr -> string
 (** Human-readable form: the socket path, or [host:port]. *)
 
 val default_config : addr -> config
-(** [jobs = None], [queue_limit = 64], [cache_capacity = 256], no
-    persistent cache.  Lifecycle events go through {!Ogc_obs.Log}
-    (structured NDJSON on stderr by default; raise the level to [Error]
-    to silence them). *)
+(** [jobs = None], [queue_limit = 64], [cache_capacity = 256],
+    [respecialize = true], no persistent cache.  Lifecycle events go
+    through {!Ogc_obs.Log} (structured NDJSON on stderr by default;
+    raise the level to [Error] to silence them). *)
 
 type t
 

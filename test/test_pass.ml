@@ -199,10 +199,125 @@ let test_parse_errors () =
 let test_registry () =
   Alcotest.(check (list string)) "registry order"
     [ "cleanup"; "vrp"; "encode-widths"; "bb-profile"; "value-profile";
-      "vrs"; "constprop" ]
+      "vrs"; "zspec"; "constprop" ]
     (List.map (fun (p : Pass.t) -> p.Pass.name) Pass.registry);
   Alcotest.(check bool) "find" true (Pass.find "vrs" <> None);
-  Alcotest.(check bool) "find unknown" true (Pass.find "nope" = None)
+  Alcotest.(check bool) "find unknown" true (Pass.find "nope" = None);
+  Alcotest.(check (list string)) "profile-dependent passes"
+    [ "bb-profile"; "value-profile"; "vrs"; "zspec" ]
+    (List.filter Pass.profile_dependent
+       (List.map (fun (p : Pass.t) -> p.Pass.name) Pass.registry))
+
+(* --- epoch economy: a fresher profile re-runs only the dependent suffix --- *)
+
+module Interp = Ogc_ir.Interp
+module Profile = Ogc_pass.Profile
+module Minic = Ogc_minic.Minic
+
+let epoch_src extra =
+  Printf.sprintf
+    {|long g = 5;
+long h1(int x) {
+  long t = 0;
+  for (int i = 0; i < x; i++) { t = t + i * 3; }
+  return t + g;
+}
+long h2(int x) { return x * x + 7; }
+int main() {
+  long acc = 0;
+  for (int i = 0; i < 10; i++) { acc = acc + h1(i & 7) + h2(i & 7); }
+  emit(acc);
+%s  return 0;
+}
+|}
+    extra
+
+(* A genuine wire profile for [p]: the same deterministic candidate
+   analysis the server runs picks the profiling points, one interpreter
+   run supplies block counts and per-point value observations. *)
+let mk_wire ~epoch p =
+  let a = Vrs.analyze (Prog.copy p) in
+  let hooks : (int, int64 -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let obs = Hashtbl.create 16 in
+  List.iter
+    (fun iid ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace obs iid tbl;
+      Hashtbl.replace hooks iid (fun v ->
+          match Hashtbl.find_opt tbl v with
+          | Some r -> incr r
+          | None -> Hashtbl.replace tbl v (ref 1)))
+    (Vrs.candidate_iids a);
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let out = Interp.run ~bb_counts:counts ~profile:hooks (Prog.copy p) in
+  let prof = Profile.create () in
+  Hashtbl.iter (fun fn arr -> Hashtbl.replace prof.Profile.p_bb fn arr) counts;
+  prof.Profile.p_total <- out.Interp.steps;
+  Hashtbl.iter
+    (fun iid tbl ->
+      match Hashtbl.fold (fun v r acc -> (v, !r) :: acc) tbl [] with
+      | [] -> ()
+      | entries -> Hashtbl.replace prof.Profile.p_values iid entries)
+    obs;
+  prof.Profile.p_epoch <- epoch;
+  prof
+
+let epoch_chain = "vrp,encode-widths,bb-profile,value-profile,vrs:cost=50"
+
+let test_epoch_reruns_dependent_suffix () =
+  let p = Minic.compile (epoch_src "") in
+  let store = Pass.Store.create () in
+  let wire = mk_wire ~epoch:1 p in
+  let _, steps1 = Pass.run ~store ~wire epoch_chain (Prog.copy p) in
+  Alcotest.(check bool) "first run computes everything" true
+    (List.for_all (fun s -> not s.Pass.t_cached) steps1);
+  let _, steps2 = Pass.run ~store ~wire epoch_chain (Prog.copy p) in
+  Alcotest.(check bool) "same epoch is fully cached" true
+    (List.for_all (fun s -> s.Pass.t_cached) steps2);
+  (* Fresher profile, same program: the guard-cost-independent front
+     keeps its epoch-free addresses and hits; every profile-dependent
+     pass is re-addressed and re-runs. *)
+  wire.Profile.p_epoch <- 2;
+  let st3, steps3 = Pass.run ~store ~wire epoch_chain (Prog.copy p) in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Pass.t_pass ^ " cached iff profile-independent")
+        (not (Pass.profile_dependent s.Pass.t_pass))
+        s.Pass.t_cached)
+    steps3;
+  List.iter
+    (fun (name, hits, misses) ->
+      match name with
+      | "vrp" | "encode-widths" ->
+        Alcotest.(check (pair int int))
+          (name ^ " store stats") (2, 1) (hits, misses)
+      | "bb-profile" | "value-profile" | "vrs" ->
+        Alcotest.(check (pair int int))
+          (name ^ " store stats") (1, 2) (hits, misses)
+      | _ -> ())
+    (Pass.Store.pass_stats store);
+  (* The stale-front reuse changed no bytes: a storeless run at the new
+     epoch produces the identical program. *)
+  let cold, _ = Pass.run ~wire epoch_chain (Prog.copy p) in
+  Alcotest.(check string) "warm epoch bump = cold" (prog_bytes cold.Pass.prog)
+    (prog_bytes st3.Pass.prog)
+
+let test_fn_granular_revrp () =
+  let p1 = Minic.compile (epoch_src "") in
+  (* Same helpers, one extra statement in [main]: only [main]'s fragment
+     digest changes. *)
+  let p2 = Minic.compile (epoch_src "  emit(999);\n") in
+  let store = Pass.Store.create () in
+  let fnc = Pass.Store.fn_cache store in
+  ignore (Pass.run ~store "vrp" (Prog.copy p1));
+  let h1, r1 = Ogc_core.Vrp.Fn_cache.stats fnc in
+  Alcotest.(check int) "cold run replays nothing" 0 h1;
+  Alcotest.(check bool) "several functions analyzed" true (r1 >= 3);
+  ignore (Pass.run ~store "vrp" (Prog.copy p2));
+  let h2, r2 = Ogc_core.Vrp.Fn_cache.stats fnc in
+  Alcotest.(check int) "unchanged functions replay" (r1 - 1) (h2 - h1);
+  Alcotest.(check int) "only the mutated function re-runs" 1 (r2 - r1)
 
 let () =
   Alcotest.run "pass"
@@ -211,6 +326,10 @@ let () =
         [
           Alcotest.test_case "cost sweep shares the analysis front" `Slow
             test_sweep_shares_front;
+          Alcotest.test_case "epoch bump re-runs only the dependent suffix"
+            `Quick test_epoch_reruns_dependent_suffix;
+          Alcotest.test_case "function mutation re-runs its VRP alone" `Quick
+            test_fn_granular_revrp;
         ] );
       ( "identity",
         [

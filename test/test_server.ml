@@ -312,6 +312,150 @@ let test_shard_cache_namespacing () =
           Alcotest.(check string) "restarted shard a rehydrates" "hit"
             (field (request path (analyze_req ())) "cache")))
 
+(* --- profile op / online specialization ------------------------------------ *)
+
+module Profile = Ogc_pass.Profile
+module Vrs = Ogc_core.Vrs
+module Prog = Ogc_ir.Prog
+module Interp = Ogc_ir.Interp
+
+(* A genuine training-run wire profile for [s]: the same deterministic
+   candidate analysis the server runs picks the profiling points; one
+   interpreter run at train scale supplies block counts and values. *)
+let wire_profile_json s =
+  let p = Ogc_minic.Minic.compile s in
+  if Prog.find_global p "input_scale" <> None then
+    Workload.set_scale p Workload.Train;
+  let a = Vrs.analyze (Prog.copy p) in
+  let hooks : (int, int64 -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let obs = Hashtbl.create 16 in
+  List.iter
+    (fun iid ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace obs iid tbl;
+      Hashtbl.replace hooks iid (fun v ->
+          match Hashtbl.find_opt tbl v with
+          | Some r -> incr r
+          | None -> Hashtbl.replace tbl v (ref 1)))
+    (Vrs.candidate_iids a);
+  let counts : Interp.bb_counts = Hashtbl.create 64 in
+  let out = Interp.run ~bb_counts:counts ~profile:hooks (Prog.copy p) in
+  let prof = Profile.create () in
+  Hashtbl.iter (fun fn arr -> Hashtbl.replace prof.Profile.p_bb fn arr) counts;
+  prof.Profile.p_total <- out.Interp.steps;
+  Hashtbl.iter
+    (fun iid tbl ->
+      match Hashtbl.fold (fun v r acc -> (v, !r) :: acc) tbl [] with
+      | [] -> ()
+      | entries -> Hashtbl.replace prof.Profile.p_values iid entries)
+    obs;
+  Profile.to_json prof
+
+let profile_req ?(source = src) () =
+  J.to_string ~indent:false
+    (J.Obj
+       [ ("op", J.Str "profile"); ("source", J.Str source);
+         ("profile", wire_profile_json source) ])
+
+let test_profile_roundtrip () =
+  with_server (fun path t ->
+      let r1 = request path (profile_req ()) in
+      Alcotest.(check string) "push ok" "ok" (field r1 "status");
+      Alcotest.(check string) "op echoed" "profile" (field r1 "op");
+      Alcotest.(check string) "first push is epoch 1" "1" (field r1 "epoch");
+      let r2 = request path (profile_req ()) in
+      Alcotest.(check string) "second push bumps" "2" (field r2 "epoch");
+      let prof = J.member "profile" (Server.stats_json t) in
+      Alcotest.(check int) "one program profiled" 1
+        (J.get_int "programs" prof);
+      Alcotest.(check int) "two pushes" 2 (J.get_int "pushes" prof))
+
+let test_profile_epoch_concurrent () =
+  with_server (fun path _ ->
+      let n = 8 in
+      let line = profile_req () in
+      let results = Array.make n "" in
+      let ths =
+        List.init n
+          (Thread.create (fun i -> results.(i) <- request path line))
+      in
+      List.iter Thread.join ths;
+      let epochs =
+        Array.to_list results
+        |> List.map (fun r -> int_of_string (field r "epoch"))
+        |> List.sort compare
+      in
+      (* Every concurrent push observes a distinct, gapless epoch. *)
+      Alcotest.(check (list int)) "epochs are a permutation of 1..n"
+        (List.init n (fun i -> i + 1))
+        epochs)
+
+let test_stale_while_revalidate () =
+  with_server (fun path t ->
+      let vrs_req () = analyze_req ~pass:"vrs" ~cost:50 () in
+      let r1 = request path (vrs_req ()) in
+      Alcotest.(check string) "epoch-0 artifact computed" "miss"
+        (field r1 "cache");
+      Alcotest.(check string) "push ok" "1"
+        (field (request path (profile_req ())) "epoch");
+      (* The next request is answered immediately from the epoch-0
+         artifact while re-specialization runs in the background. *)
+      let r2 = request path (vrs_req ()) in
+      Alcotest.(check string) "stale served" "stale" (field r2 "cache");
+      Alcotest.(check string) "served epoch reported" "0"
+        (field r2 "served_epoch");
+      Alcotest.(check string) "current epoch reported" "1"
+        (field r2 "profile_epoch");
+      Alcotest.(check string) "stale payload is the epoch-0 artifact"
+        (result_bytes r1) (result_bytes r2);
+      (* The background re-specialization lands: polling converges to a
+         fresh-epoch cache hit. *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      let rec converge () =
+        let r = request path (vrs_req ()) in
+        match field r "cache" with
+        | "hit" -> ()
+        | _ when Unix.gettimeofday () > deadline ->
+          Alcotest.fail "respecialization never landed"
+        | _ ->
+          Thread.delay 0.05;
+          converge ()
+      in
+      converge ();
+      let prof = J.member "profile" (Server.stats_json t) in
+      Alcotest.(check bool) "stale answers counted" true
+        (J.get_int "stale_served" prof >= 1);
+      Alcotest.(check int) "exactly one respecialization" 1
+        (J.get_int "respecializations" prof))
+
+let test_legacy_unaffected_by_profiles () =
+  with_server (fun path _ ->
+      (* A profile accumulated for some other program must not perturb a
+         legacy (never-pushing) client by a single byte. *)
+      let other = "int main() { emit(7); return 0; }" in
+      Alcotest.(check string) "other program's push ok" "1"
+        (field (request path (profile_req ~source:other ())) "epoch");
+      let r1 = request path (analyze_req ~pass:"vrs" ~cost:50 ()) in
+      Alcotest.(check string) "legacy first misses" "miss" (field r1 "cache");
+      Alcotest.(check bool) "no epoch fields on legacy responses" true
+        (J.member "profile_epoch" (J.of_string r1) = J.Null);
+      let r2 = request path (analyze_req ~pass:"vrs" ~cost:50 ()) in
+      Alcotest.(check string) "legacy rerun hits, never stale" "hit"
+        (field r2 "cache");
+      let req =
+        match
+          Ogc_server.Protocol.op_of_json
+            (J.of_string (analyze_req ~pass:"vrs" ~cost:50 ()))
+        with
+        | Ogc_server.Protocol.Analyze r -> r
+        | _ -> Alcotest.fail "not an analyze op"
+      in
+      let cold =
+        J.to_string ~indent:false (Ogc_server.Protocol.analyze req)
+      in
+      Alcotest.(check string) "profile-less path = storeless cold run" cold
+        (result_bytes r2))
+
 (* --- drain ----------------------------------------------------------------- *)
 
 let test_stop_drains () =
@@ -411,6 +555,14 @@ let () =
        [ Alcotest.test_case "version handshake" `Quick test_protocol_version;
          Alcotest.test_case "shard cache namespacing" `Quick
            test_shard_cache_namespacing ]);
+      ("profile",
+       [ Alcotest.test_case "push round-trip" `Quick test_profile_roundtrip;
+         Alcotest.test_case "concurrent pushes keep epochs monotonic" `Quick
+           test_profile_epoch_concurrent;
+         Alcotest.test_case "stale-while-revalidate ordering" `Quick
+           test_stale_while_revalidate;
+         Alcotest.test_case "legacy clients are byte-unaffected" `Quick
+           test_legacy_unaffected_by_profiles ]);
       ("drain",
        [ Alcotest.test_case "stop drains cleanly" `Quick test_stop_drains;
          Alcotest.test_case "SIGINT drains cleanly" `Quick
